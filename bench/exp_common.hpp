@@ -1,0 +1,91 @@
+// Shared plumbing for the experiment harnesses: collect traced runs of the
+// three miniapps at paper scale and print section banners.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "apps/ilcs.hpp"
+#include "apps/lulesh.hpp"
+#include "apps/oddeven.hpp"
+#include "apps/runner.hpp"
+#include "core/pipeline.hpp"
+
+namespace difftrace::bench {
+
+inline void banner(const std::string& title) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("============================================================\n");
+}
+
+inline simmpi::WorldConfig world_for(int nranks) {
+  simmpi::WorldConfig config;
+  config.nranks = nranks;
+  config.watchdog_poll = std::chrono::milliseconds(10);
+  config.wall_timeout = std::chrono::milliseconds(120'000);
+  return config;
+}
+
+struct Collected {
+  trace::TraceStore store;
+  simmpi::RunReport report;
+};
+
+inline Collected collect_odd_even(int nranks, apps::FaultSpec fault,
+                                  instrument::CaptureLevel level = instrument::CaptureLevel::MainImage) {
+  apps::OddEvenConfig app;
+  app.nranks = nranks;
+  app.elements_per_rank = 16;
+  app.fault = fault;
+  auto run = apps::run_traced(world_for(nranks),
+                              [app](simmpi::Comm& comm) { apps::odd_even_rank(comm, app); }, level);
+  return {std::move(run.store), std::move(run.report)};
+}
+
+/// `ncities` tunes the workload character per experiment. Small instances
+/// (default) give fast evaluations and stable per-worker trace shapes — what
+/// the OpenMP-bug ranking (E4) needs. The wrong-op experiment (E6) passes a
+/// hard instance instead: on tiny ones every 2-opt restart ties at the
+/// global optimum, the lowest-rank tiebreak parks champion ownership on
+/// rank 0 permanently, and the §IV-D ownership shift becomes invisible.
+inline Collected collect_ilcs(apps::FaultSpec fault,
+                              instrument::CaptureLevel level = instrument::CaptureLevel::MainImage,
+                              std::size_t ncities = 14) {
+  apps::IlcsConfig app;  // paper scale: 8 processes x 4 worker threads
+  app.nranks = 8;
+  app.workers = 4;
+  app.ncities = ncities;
+  // Longer rounds than the unit-test defaults: every worker completes many
+  // evaluations in both the normal and the faulty run, so run-to-run
+  // behaviour drift (which the paper's cluster-scale runs amortize over
+  // minutes) does not drown the injected signal.
+  app.round_pacing = std::chrono::milliseconds(3);
+  app.patience = 3;
+  app.fault = fault;
+  auto run = apps::run_traced(world_for(app.nranks),
+                              [app](simmpi::Comm& comm) { apps::ilcs_rank(comm, app); }, level);
+  return {std::move(run.store), std::move(run.report)};
+}
+
+inline Collected collect_lulesh(apps::FaultSpec fault, int cycles = 4, int elements = 32) {
+  apps::LuleshConfig app;  // paper scale: 8 processes x 4 OMP threads
+  app.nranks = 8;
+  app.omp_threads = 4;
+  app.elements_per_rank = elements;
+  app.cycles = cycles;
+  app.fault = fault;
+  auto run = apps::run_traced(world_for(app.nranks),
+                              [app](simmpi::Comm& comm) { apps::lulesh_rank(comm, app); });
+  return {std::move(run.store), std::move(run.report)};
+}
+
+inline void note_report(const simmpi::RunReport& report) {
+  if (report.deadlock)
+    std::printf("[watchdog] %s\n", report.deadlock_info.c_str());
+  else
+    std::printf("[run completed normally]\n");
+}
+
+}  // namespace difftrace::bench

@@ -1,0 +1,40 @@
+// E4 — Table VI & Figure 7a (§IV-B): ILCS-TSP, 8 processes × 4 worker
+// threads; the critical section protecting the champion memcpy is omitted
+// in worker 4 of process 6. The filter/attribute sweep must flag trace 6.4.
+#include "exp_common.hpp"
+
+using namespace difftrace;
+
+int main() {
+  bench::banner("E4 / Table VI: OpenMP bug — unprotected shared memory access by thread 4 of process 6");
+  auto normal = bench::collect_ilcs({});
+  auto faulty = bench::collect_ilcs({apps::FaultType::OmpNoCritical, 6, 4, -1});
+  bench::note_report(faulty.report);
+
+  // The Table VI filter grid: memory + critical-section + custom user code,
+  // in the paper's "11.*" (drop returns) and "01.*" (keep returns) variants.
+  core::FilterSpec mem_cust;
+  mem_cust.keep(core::Category::Memory).keep_custom("^CPU_Exec$");
+  core::FilterSpec mem_ompcrit_cust;
+  mem_ompcrit_cust.keep(core::Category::Memory)
+      .keep(core::Category::OmpCritical)
+      .keep_custom("^CPU_Exec$");
+  auto mem_cust_rets = mem_cust;
+  mem_cust_rets.drop_returns(false);
+  auto mem_ompcrit_cust_rets = mem_ompcrit_cust;
+  mem_ompcrit_cust_rets.drop_returns(false);
+
+  core::SweepConfig sweep;
+  sweep.filters = {mem_cust, mem_ompcrit_cust, mem_cust_rets, mem_ompcrit_cust_rets};
+  const auto table = core::sweep(normal.store, faulty.store, sweep);
+  std::printf("%s", table.render().c_str());
+  std::printf("\nconsensus suspicious trace: %s   (paper Table VI: 6.4)\n",
+              table.consensus_thread().c_str());
+  std::printf("consensus suspicious process: %d\n\n", table.consensus_process());
+
+  bench::banner("E4 / Figure 7a: diffNLR(6.4)");
+  const core::Session session(normal.store, faulty.store, mem_ompcrit_cust, {});
+  std::printf("%s", session.diffnlr({6, 4}).render().c_str());
+  std::printf("\npaper shape check: the faulty side lacks the GOMP_critical_start/end bracket\n");
+  return 0;
+}

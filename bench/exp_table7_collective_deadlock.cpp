@@ -1,0 +1,53 @@
+// E5 — Table VII & Figure 7b (§IV-C): process 2 calls MPI_Allreduce with a
+// wrong size, deadlocking the whole job early. Expected shape: the ranking
+// marks most processes as suspicious (not helpful on its own, as the paper
+// notes), but diffNLR of any process shows the common prefix up to the
+// Allreduce and the missing MPI_Finalize — the two debugging hints.
+#include "exp_common.hpp"
+
+using namespace difftrace;
+
+int main() {
+  bench::banner("E5 / Table VII: MPI bug — wrong collective size in process 2");
+  auto normal = bench::collect_ilcs({});
+  auto faulty = bench::collect_ilcs({apps::FaultType::WrongCollectiveSize, 2, -1, -1});
+  bench::note_report(faulty.report);
+
+  core::FilterSpec mpi_cust = core::FilterSpec::mpi_all();
+  mpi_cust.keep_custom("^CPU_Exec$");
+  core::FilterSpec mpicol_cust = core::FilterSpec::mpi_collectives();
+  mpicol_cust.keep_custom("^CPU_Exec$");
+
+  core::SweepConfig sweep;
+  sweep.filters = {mpi_cust, mpicol_cust};
+  const auto table = core::sweep(normal.store, faulty.store, sweep);
+  std::printf("%s", table.render().c_str());
+
+  std::size_t widest_row = 0;
+  for (const auto& row : table.rows) widest_row = std::max(widest_row, row.top_processes.size());
+  std::printf("\nbroadest row flags %zu of 8 processes (paper: 6 of 8 — \"almost all\")\n",
+              widest_row);
+
+  // §II-A single-run mode: no baseline needed — a truncation fault is
+  // visible in JSM_faulty alone (dissimilarity of each trace to the rest).
+  bench::banner("E5 / single-run outlier analysis of the faulty run (JSM_faulty only)");
+  const auto single = core::evaluate_single_run(faulty.store, mpi_cust,
+                                                {core::AttrKind::Single, core::FreqMode::Actual});
+  std::printf("per-trace outlier scores (1 - mean similarity):\n");
+  for (std::size_t i = 0; i < single.traces.size(); ++i) {
+    if (single.traces[i].thread != 0) continue;  // masters carry the MPI story
+    std::printf("  %-4s %.3f\n", single.traces[i].label().c_str(), single.outlier_scores[i]);
+  }
+  std::vector<std::string> labels;
+  for (const auto& key : single.traces) labels.push_back(key.label());
+  std::printf("faulty-run dendrogram (ward):\n%s",
+              core::render_dendrogram(single.dendrogram, single.traces.size(), labels).c_str());
+
+  bench::banner("E5 / Figure 7b: diffNLR(4) — picked arbitrarily, like the paper");
+  const core::Session session(normal.store, faulty.store, mpi_cust, {});
+  std::printf("%s", session.diffnlr({4, 0}).render().c_str());
+  std::printf(
+      "\npaper shape check: identical prefix through MPI_Allreduce; the buggy\n"
+      "trace's last entry is a collective call and MPI_Finalize is normal-only\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// E6 — Table VIII & Figure 7c (§IV-D): process 0 reduces the champion with
+// MPI_MAX instead of MPI_MIN. The job terminates (silent semantic bug);
+// MPI-filtered rows of the sweep converge on an outlier process and the
+// diffNLR shows the changed champion-exchange (MPI_Bcast) loop frequency.
+#include "exp_common.hpp"
+
+using namespace difftrace;
+
+int main() {
+  bench::banner("E6 / Table VIII: MPI bug — wrong collective operation, injected to process 0");
+  constexpr std::size_t kHardInstance = 100;  // see collect_ilcs
+  auto normal = bench::collect_ilcs({}, instrument::CaptureLevel::MainImage, kHardInstance);
+  auto faulty = bench::collect_ilcs({apps::FaultType::WrongCollectiveOp, 0, -1, -1},
+                                    instrument::CaptureLevel::MainImage, kHardInstance);
+  bench::note_report(faulty.report);
+
+  // The "cust" component covers the ILCS user code, which includes the
+  // champion-claim function — the trace artifact the wrong-op fault shifts.
+  core::FilterSpec plt_cust;  // "plt.cust": calls incl. user code, no MPI restriction
+  plt_cust.keep_custom("^CPU_|^MPI_|^GOMP_|^updateChampionBuffer$");
+  core::FilterSpec mpi_cust = core::FilterSpec::mpi_all();
+  mpi_cust.keep_custom("^CPU_Exec$|^updateChampionBuffer$");
+  core::FilterSpec mpicol_cust = core::FilterSpec::mpi_collectives();
+  mpicol_cust.keep_custom("^CPU_Exec$|^updateChampionBuffer$");
+
+  core::SweepConfig sweep;
+  sweep.filters = {plt_cust, mpi_cust, mpicol_cust};
+  const auto table = core::sweep(normal.store, faulty.store, sweep);
+  std::printf("%s", table.render().c_str());
+  std::printf("\nconsensus suspicious process: %d (paper: MPI rows agreed on one process)\n",
+              table.consensus_process());
+
+  bench::banner("E6 / Figure 7c: diffNLR of the flagged process's master thread");
+  const int flagged = table.consensus_process() >= 0 ? table.consensus_process() : 0;
+  const core::Session session(normal.store, faulty.store, mpi_cust, {});
+  std::printf("diffNLR(%d):\n%s", flagged, session.diffnlr({flagged, 0}).render().c_str());
+
+  // Quantify the Bcast-loop change the paper describes.
+  const auto count_bcasts = [&](const trace::TraceStore& store, int proc) {
+    const auto tokens = core::FilterSpec::mpi_collectives().apply(store, {proc, 0});
+    return std::count(tokens.begin(), tokens.end(), std::string("MPI_Bcast"));
+  };
+  std::printf("\nMPI_Bcast calls in process %d: normal=%ld faulty=%ld\n", flagged,
+              count_bcasts(normal.store, flagged), count_bcasts(faulty.store, flagged));
+  std::printf(
+      "paper shape check: the champion-exchange (MPI_Bcast) loop changes under the fault —\n"
+      "typically with MORE rounds in the buggy run, like the paper's Figure 7c. As in the\n"
+      "paper, the sweep flags a process other than the injected one; the claim pattern below\n"
+      "then reveals the mechanism (the faulty rank sees the MAX and claims every round).\n");
+
+  // Root-cause evidence: the faulty rank sees the MAX champion, so
+  // `local <= global` always holds and it claims ownership every round —
+  // starving every other rank's claim.
+  std::printf("\nchampion claims (updateChampionBuffer) per master:  rank:");
+  for (int proc = 0; proc < 8; ++proc) std::printf(" %d", proc);
+  std::printf("\n");
+  for (const auto* label : {"normal", "faulty"}) {
+    const auto& store = label[0] == 'n' ? normal.store : faulty.store;
+    std::printf("  %-6s claims:", label);
+    for (int proc = 0; proc < 8; ++proc) {
+      core::FilterSpec f;
+      f.keep_custom("^updateChampionBuffer$");
+      std::printf(" %zu", f.apply(store, {proc, 0}).size());
+    }
+    std::printf("\n");
+  }
+  std::printf("shape check: in the faulty run only process 0 (the injected rank) ever claims\n");
+  return 0;
+}

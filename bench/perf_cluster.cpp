@@ -1,0 +1,53 @@
+// P4 — hierarchical clustering and B-score cost across linkage methods and
+// trace counts (the O(n³) Lance-Williams loop is negligible at the paper's
+// 8-40 traces; this quantifies headroom).
+#include <benchmark/benchmark.h>
+
+#include "core/bscore.hpp"
+#include "core/hclust.hpp"
+#include "util/prng.hpp"
+
+using namespace difftrace;
+
+namespace {
+
+util::Matrix random_dist(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  util::Matrix d = util::Matrix::square(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) d(i, j) = d(j, i) = 0.05 + rng.uniform();
+  return d;
+}
+
+void BM_LinkageWard(benchmark::State& state) {
+  const auto d = random_dist(static_cast<std::size_t>(state.range(0)), 21);
+  for (auto _ : state) {
+    auto z = core::linkage(d, core::Linkage::Ward);
+    benchmark::DoNotOptimize(z);
+  }
+}
+BENCHMARK(BM_LinkageWard)->Arg(8)->Arg(40)->Arg(128)->Arg(256);
+
+void BM_LinkageMethods(benchmark::State& state) {
+  const auto method = static_cast<core::Linkage>(state.range(0));
+  const auto d = random_dist(64, 22);
+  for (auto _ : state) {
+    auto z = core::linkage(d, method);
+    benchmark::DoNotOptimize(z);
+  }
+  state.SetLabel(std::string(core::linkage_name(method)));
+}
+BENCHMARK(BM_LinkageMethods)->DenseRange(0, 6);
+
+void BM_Bscore(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = core::linkage(random_dist(n, 23), core::Linkage::Ward);
+  const auto b = core::linkage(random_dist(n, 24), core::Linkage::Ward);
+  for (auto _ : state) {
+    auto s = core::bscore(a, b, n);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_Bscore)->Arg(8)->Arg(40)->Arg(128);
+
+}  // namespace

@@ -1,0 +1,64 @@
+// P5 — streaming codec throughput and ratio (the ParLOT practicality
+// claim: compression must keep up with the traced application).
+#include <benchmark/benchmark.h>
+
+#include "compress/codec.hpp"
+#include "util/prng.hpp"
+
+using namespace difftrace;
+
+namespace {
+
+std::vector<compress::Symbol> loopy(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<compress::Symbol> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const auto body_len = 1 + rng.below(5);
+    const auto reps = 4 + rng.below(60);
+    std::vector<compress::Symbol> body;
+    for (std::size_t i = 0; i < body_len; ++i)
+      body.push_back(static_cast<compress::Symbol>(rng.below(512)));
+    for (std::size_t r = 0; r < reps && out.size() < n; ++r)
+      for (const auto s : body) out.push_back(s);
+  }
+  return out;
+}
+
+void encode_bench(benchmark::State& state, const char* codec_name) {
+  const auto input = loopy(static_cast<std::size_t>(state.range(0)), 31);
+  double ratio = 0.0;
+  for (auto _ : state) {
+    auto codec = compress::make_codec(codec_name);
+    for (const auto s : input) codec.encoder->push(s);
+    codec.encoder->flush();
+    ratio = static_cast<double>(input.size() * sizeof(compress::Symbol)) /
+            static_cast<double>(codec.encoder->bytes().size());
+    benchmark::DoNotOptimize(codec.encoder->bytes());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+  state.counters["ratio"] = ratio;
+}
+
+void BM_EncodeParlot(benchmark::State& state) { encode_bench(state, "parlot"); }
+void BM_EncodeLz78(benchmark::State& state) { encode_bench(state, "lz78"); }
+void BM_EncodeNull(benchmark::State& state) { encode_bench(state, "null"); }
+BENCHMARK(BM_EncodeParlot)->Arg(100'000)->Arg(1'000'000);
+BENCHMARK(BM_EncodeLz78)->Arg(100'000)->Arg(1'000'000);
+BENCHMARK(BM_EncodeNull)->Arg(100'000)->Arg(1'000'000);
+
+void BM_DecodeParlot(benchmark::State& state) {
+  const auto input = loopy(static_cast<std::size_t>(state.range(0)), 33);
+  auto codec = compress::make_codec("parlot");
+  for (const auto s : input) codec.encoder->push(s);
+  codec.encoder->flush();
+  const auto bytes = codec.encoder->bytes();
+  for (auto _ : state) {
+    auto symbols = codec.decoder->decode(bytes);
+    benchmark::DoNotOptimize(symbols);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_DecodeParlot)->Arg(100'000)->Arg(1'000'000);
+
+}  // namespace

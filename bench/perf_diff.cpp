@@ -1,0 +1,60 @@
+// P3 — Myers diff: O((N+M)·D). Cost scales with edit distance D, not with
+// sequence length alone — similar traces (the diffNLR case) diff almost for
+// free regardless of length.
+#include <benchmark/benchmark.h>
+
+#include "core/diff.hpp"
+#include "util/prng.hpp"
+
+using namespace difftrace;
+
+namespace {
+
+std::vector<std::uint32_t> base_sequence(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint32_t> out(n);
+  for (auto& v : out) v = static_cast<std::uint32_t>(rng.below(64));
+  return out;
+}
+
+/// b = a with `edits` random single-token replacements.
+std::vector<std::uint32_t> perturb(std::vector<std::uint32_t> a, std::size_t edits,
+                                   std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < edits && !a.empty(); ++i)
+    a[rng.below(a.size())] = 1000 + static_cast<std::uint32_t>(rng.below(64));
+  return a;
+}
+
+void BM_DiffVsLength_SmallEdit(benchmark::State& state) {
+  const auto a = base_sequence(static_cast<std::size_t>(state.range(0)), 1);
+  const auto b = perturb(a, 8, 2);
+  for (auto _ : state) {
+    auto script = core::myers_diff(a, b);
+    benchmark::DoNotOptimize(script);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_DiffVsLength_SmallEdit)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_DiffVsEditDistance(benchmark::State& state) {
+  const auto a = base_sequence(20'000, 3);
+  const auto b = perturb(a, static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    auto script = core::myers_diff(a, b);
+    benchmark::DoNotOptimize(script);
+  }
+  state.counters["edits"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_DiffVsEditDistance)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_DiffIdentical(benchmark::State& state) {
+  const auto a = base_sequence(100'000, 5);
+  for (auto _ : state) {
+    auto script = core::myers_diff(a, a);
+    benchmark::DoNotOptimize(script);
+  }
+}
+BENCHMARK(BM_DiffIdentical);
+
+}  // namespace

@@ -1,0 +1,86 @@
+// P2 — FCA construction cost: Godin-style incremental insertion vs Ganter's
+// batch NextClosure (the DESIGN.md ablation), and the two JSM paths.
+#include <benchmark/benchmark.h>
+
+#include "core/fca.hpp"
+#include "core/jsm.hpp"
+#include "util/prng.hpp"
+
+using namespace difftrace;
+
+namespace {
+
+core::FormalContext random_context(std::size_t objects, std::size_t attributes, double density,
+                                   std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  core::FormalContext ctx;
+  for (std::size_t m = 0; m < attributes; ++m) ctx.add_attribute("m" + std::to_string(m));
+  for (std::size_t g = 0; g < objects; ++g) {
+    ctx.add_object("g" + std::to_string(g));
+    for (std::size_t m = 0; m < attributes; ++m)
+      if (rng.uniform() < density) ctx.set_incidence(g, m);
+  }
+  return ctx;
+}
+
+void BM_IncrementalLattice(benchmark::State& state) {
+  const auto ctx = random_context(static_cast<std::size_t>(state.range(0)), 24, 0.4, 11);
+  for (auto _ : state) {
+    auto lattice = core::incremental_lattice(ctx);
+    benchmark::DoNotOptimize(lattice);
+    state.counters["concepts"] = static_cast<double>(lattice.size());
+  }
+}
+BENCHMARK(BM_IncrementalLattice)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_NextClosureLattice(benchmark::State& state) {
+  const auto ctx = random_context(static_cast<std::size_t>(state.range(0)), 24, 0.4, 11);
+  for (auto _ : state) {
+    auto lattice = core::next_closure_lattice(ctx);
+    benchmark::DoNotOptimize(lattice);
+  }
+}
+BENCHMARK(BM_NextClosureLattice)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_IncrementalInsertOneObject(benchmark::State& state) {
+  // The streaming case the paper cares about: cost of absorbing one more
+  // trace into an existing lattice.
+  const auto ctx = random_context(static_cast<std::size_t>(state.range(0)), 24, 0.4, 13);
+  util::Xoshiro256 rng(99);
+  util::DynamicBitset extra(24);
+  for (std::size_t m = 0; m < 24; ++m)
+    if (rng.uniform() < 0.4) extra.set(m);
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::IncrementalLattice inc(ctx.attribute_count());
+    for (std::size_t g = 0; g < ctx.object_count(); ++g) inc.add_object(ctx.object_intent(g));
+    state.ResumeTiming();
+    inc.add_object(extra);
+    benchmark::DoNotOptimize(inc);
+  }
+}
+BENCHMARK(BM_IncrementalInsertOneObject)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_JsmFromAttributes(benchmark::State& state) {
+  util::Xoshiro256 rng(5);
+  std::vector<std::set<std::string>> attrs(static_cast<std::size_t>(state.range(0)));
+  for (auto& s : attrs)
+    for (int i = 0; i < 60; ++i) s.insert("attr" + std::to_string(rng.below(200)));
+  for (auto _ : state) {
+    auto m = core::jsm_from_attributes(attrs);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_JsmFromAttributes)->Arg(16)->Arg(40)->Arg(80);
+
+void BM_JsmFromLattice(benchmark::State& state) {
+  const auto ctx = random_context(static_cast<std::size_t>(state.range(0)), 24, 0.4, 17);
+  const auto lattice = core::incremental_lattice(ctx);
+  for (auto _ : state) {
+    auto m = core::jsm_from_lattice(lattice, ctx.object_count());
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_JsmFromLattice)->Arg(16)->Arg(40);
+
+}  // namespace

@@ -1,0 +1,77 @@
+// P1 — NLR cost: the paper states Θ(K²·N). Sweeps N at fixed K and K at
+// fixed N over a loopy synthetic trace, plus the reduction-factor ablation
+// for the K=10-vs-50 comparison of §V.
+#include <benchmark/benchmark.h>
+
+#include "core/nlr.hpp"
+#include "util/prng.hpp"
+
+using namespace difftrace;
+
+namespace {
+
+std::vector<core::TokenId> loopy_trace(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<core::TokenId> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const auto body_len = 1 + rng.below(6);
+    const auto reps = 2 + rng.below(20);
+    std::vector<core::TokenId> body;
+    for (std::size_t i = 0; i < body_len; ++i) body.push_back(static_cast<core::TokenId>(rng.below(32)));
+    for (std::size_t r = 0; r < reps && out.size() < n; ++r)
+      for (const auto t : body) out.push_back(t);
+  }
+  return out;
+}
+
+void BM_NlrVsN(benchmark::State& state) {
+  const auto input = loopy_trace(static_cast<std::size_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    core::LoopTable loops;
+    auto program = core::build_nlr(input, loops, core::NlrConfig{.k = 10});
+    benchmark::DoNotOptimize(program);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_NlrVsN)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_NlrVsK(benchmark::State& state) {
+  const auto input = loopy_trace(20'000, 42);
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    core::LoopTable loops;
+    auto program = core::build_nlr(input, loops, core::NlrConfig{.k = k});
+    benchmark::DoNotOptimize(program);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 20'000);
+}
+BENCHMARK(BM_NlrVsK)->Arg(2)->Arg(5)->Arg(10)->Arg(25)->Arg(50);
+
+/// Ablation: reduction factor as a function of K (reported as a counter).
+void BM_NlrReductionFactor(benchmark::State& state) {
+  const auto input = loopy_trace(50'000, 7);
+  const auto k = static_cast<std::size_t>(state.range(0));
+  double factor = 0.0;
+  for (auto _ : state) {
+    core::LoopTable loops;
+    const auto program = core::build_nlr(input, loops, core::NlrConfig{.k = k});
+    factor = static_cast<double>(input.size()) / static_cast<double>(program.size());
+    benchmark::DoNotOptimize(factor);
+  }
+  state.counters["reduction"] = factor;
+}
+BENCHMARK(BM_NlrReductionFactor)->Arg(10)->Arg(50);
+
+void BM_NlrExpand(benchmark::State& state) {
+  const auto input = loopy_trace(50'000, 3);
+  core::LoopTable loops;
+  const auto program = core::build_nlr(input, loops, core::NlrConfig{.k = 10});
+  for (auto _ : state) {
+    auto expanded = core::expand_nlr(program, loops);
+    benchmark::DoNotOptimize(expanded);
+  }
+}
+BENCHMARK(BM_NlrExpand);
+
+}  // namespace

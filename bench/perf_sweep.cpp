@@ -1,0 +1,82 @@
+// P6 — end-to-end sweep cost and the future-work-(1) parallel speedup:
+// the full DiffTrace analysis (filter → NLR → attributes → JSM → clustering
+// → B-score) over a 16-process odd/even pair, serial vs multi-threaded.
+// NOTE: the speedup is bounded by the host's core count (a single-core box
+// shows flat times); correctness (identical tables at any thread count) is
+// asserted by OddEvenPipeline.ParallelSweepMatchesSerial.
+#include <benchmark/benchmark.h>
+
+#include "apps/oddeven.hpp"
+#include "apps/runner.hpp"
+#include "core/pipeline.hpp"
+
+using namespace difftrace;
+
+namespace {
+
+struct StorePair {
+  trace::TraceStore normal;
+  trace::TraceStore faulty;
+};
+
+const StorePair& stores() {
+  static const StorePair pair = [] {
+    const auto collect = [](apps::FaultSpec fault) {
+      apps::OddEvenConfig config;
+      config.nranks = 16;
+      config.elements_per_rank = 16;
+      config.fault = fault;
+      simmpi::WorldConfig world;
+      world.nranks = 16;
+      return apps::run_traced(world,
+                              [config](simmpi::Comm& c) { apps::odd_even_rank(c, config); })
+          .store;
+    };
+    return StorePair{collect({}), collect({apps::FaultType::SwapBug, 5, -1, 7})};
+  }();
+  return pair;
+}
+
+core::SweepConfig wide_sweep(std::size_t threads) {
+  core::SweepConfig config;
+  config.filters = {core::FilterSpec::mpi_all(),      core::FilterSpec::mpi_send_recv(),
+                    core::FilterSpec::mpi_collectives(), core::FilterSpec::everything(),
+                    core::FilterSpec::memory(),       core::FilterSpec::omp_all(),
+                    core::FilterSpec::everything().drop_returns(false),
+                    core::FilterSpec::mpi_all().drop_plt(false)};
+  config.analysis_threads = threads;
+  return config;
+}
+
+void BM_SweepThreads(benchmark::State& state) {
+  const auto& pair = stores();
+  const auto config = wide_sweep(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto table = core::sweep(pair.normal, pair.faulty, config);
+    benchmark::DoNotOptimize(table);
+  }
+  state.counters["rows"] = static_cast<double>(config.filters.size() * 6);
+}
+BENCHMARK(BM_SweepThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_SessionBuild(benchmark::State& state) {
+  const auto& pair = stores();
+  for (auto _ : state) {
+    core::Session session(pair.normal, pair.faulty, core::FilterSpec::everything(), {});
+    benchmark::DoNotOptimize(session);
+  }
+}
+BENCHMARK(BM_SessionBuild);
+
+void BM_Evaluate(benchmark::State& state) {
+  const auto& pair = stores();
+  const core::Session session(pair.normal, pair.faulty, core::FilterSpec::everything(), {});
+  for (auto _ : state) {
+    auto eval = core::evaluate(session, {core::AttrKind::Double, core::FreqMode::Actual},
+                               core::Linkage::Ward);
+    benchmark::DoNotOptimize(eval);
+  }
+}
+BENCHMARK(BM_Evaluate);
+
+}  // namespace

@@ -1,0 +1,101 @@
+// Bringing your own application to DiffTrace.
+//
+// This example is NOT one of the bundled miniapps: it shows the three
+// integration points a downstream user needs —
+//   1. instrument functions with DIFFTRACE_FN / TraceScope,
+//   2. run ranks through simmpi::run_world under apps::run_traced,
+//   3. hand the two TraceStores to the analysis pipeline.
+//
+// The toy "pipeline stage" app: every rank repeatedly loads a block,
+// transforms it, and forwards it to the next rank; rank 0 produces, the
+// last rank consumes. The injected regression: a new "validateBlock" call
+// was added in one version, and on rank 2 it retries ("revalidates") in a
+// loop — the kind of upgrade-introduced behaviour drift the paper's
+// relative-debugging story targets.
+#include <cstdio>
+#include <span>
+
+#include "apps/runner.hpp"
+#include "core/pipeline.hpp"
+#include "core/triage.hpp"
+#include "instrument/tracer.hpp"
+
+using namespace difftrace;
+
+namespace {
+
+constexpr int kBlocks = 12;
+
+void load_block(std::span<double> block, int index) {
+  DIFFTRACE_FN("loadBlock");
+  for (std::size_t i = 0; i < block.size(); ++i)
+    block[i] = static_cast<double>(index) + static_cast<double>(i) * 0.5;
+}
+
+void transform_block(std::span<double> block) {
+  DIFFTRACE_FN("transformBlock");
+  for (auto& v : block) v = v * 1.5 + 1.0;
+}
+
+void validate_block(std::span<const double> block, int retries) {
+  DIFFTRACE_FN("validateBlock");
+  for (int r = 0; r < retries; ++r) {
+    instrument::TraceScope retry_scope("revalidateBlock");
+    double checksum = 0.0;
+    for (const auto v : block) checksum += v;
+    (void)checksum;
+  }
+}
+
+/// `buggy`: rank 2 revalidates every block three times instead of zero.
+void stage_rank(simmpi::Comm& comm, bool buggy) {
+  instrument::TraceScope scope("main");
+  comm.init();
+  const int rank = comm.comm_rank();
+  const int size = comm.comm_size();
+
+  double block[8];
+  for (int b = 0; b < kBlocks; ++b) {
+    if (rank == 0) {
+      load_block(block, b);
+    } else {
+      comm.recv(std::span<double>(block), rank - 1, b);
+    }
+    transform_block(block);
+    validate_block(block, buggy && rank == 2 ? 3 : 0);
+    if (rank + 1 < size) comm.send(std::span<const double>(block), rank + 1, b);
+  }
+  comm.finalize();
+}
+
+trace::TraceStore collect(bool buggy) {
+  simmpi::WorldConfig world;
+  world.nranks = 6;
+  return apps::run_traced(world, [buggy](simmpi::Comm& comm) { stage_rank(comm, buggy); }).store;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("tracing the last-known-good version...\n");
+  const auto normal = collect(false);
+  std::printf("tracing the upgraded (regressed) version...\n\n");
+  const auto faulty = collect(true);
+
+  // Triage first: what kind of change is this?
+  core::FilterSpec filter;
+  filter.keep_custom("Block$|^MPI_");  // this app's own vocabulary + MPI
+  std::printf("%s\n", core::triage(normal, faulty, filter).render().c_str());
+
+  // Then the standard ranking sweep over the app-specific filter.
+  core::SweepConfig sweep;
+  sweep.filters = {filter};
+  const auto table = core::sweep(normal, faulty, sweep);
+  std::printf("%s\n", table.render().c_str());
+
+  const core::Session session(normal, faulty, filter, {});
+  const auto suspect = table.consensus_thread();
+  std::printf("diffNLR(%s):\n%s", suspect.c_str(),
+              session.diffnlr({table.consensus_process(), 0}).render(true).c_str());
+  return 0;
+}

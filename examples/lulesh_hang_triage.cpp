@@ -1,0 +1,53 @@
+// §V scenario: triaging a LULESH hang.
+//
+// Rank 2 silently stops calling LagrangeLeapFrog; the job deadlocks and the
+// watchdog truncates every trace at its last point of progress — exactly
+// what ParLOT's incremental flushing gives the paper. DiffTrace then shows
+// per-rank diffNLRs whose truncation points tell the story.
+#include <cstdio>
+
+#include "apps/lulesh.hpp"
+#include "apps/runner.hpp"
+#include "core/pipeline.hpp"
+
+using namespace difftrace;
+
+namespace {
+
+trace::TraceStore collect(apps::FaultSpec fault) {
+  apps::LuleshConfig app;
+  app.nranks = 8;
+  app.omp_threads = 4;
+  app.elements_per_rank = 24;
+  app.cycles = 4;
+  app.fault = fault;
+  simmpi::WorldConfig world;
+  world.nranks = app.nranks;
+  auto run = apps::run_traced(world, [app](simmpi::Comm& comm) { apps::lulesh_rank(comm, app); });
+  if (run.report.deadlock) std::printf("[watchdog] %s\n", run.report.deadlock_info.c_str());
+  return std::move(run.store);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("running LULESH proxy fault-free (8 procs x 4 threads, 4 cycles)...\n");
+  const auto normal = collect({});
+  std::printf("running LULESH proxy with rank 2 skipping LagrangeLeapFrog...\n\n");
+  const auto faulty = collect({apps::FaultType::SkipLagrangeLeapFrog, 2, -1, -1});
+
+  core::FilterSpec filter;
+  filter.keep(core::Category::MpiAll).keep_custom("^Lagrange|^TimeIncrement|^Comm[SMR]");
+
+  core::SweepConfig sweep;
+  sweep.filters = {filter, core::FilterSpec::mpi_all()};
+  const auto table = core::sweep(normal, faulty, sweep);
+  std::printf("%s\n", table.render().c_str());
+
+  const core::Session session(normal, faulty, filter, {});
+  for (const int rank : {2, 1, 3}) {
+    std::printf("diffNLR(%d.0) — where did rank %d stop making progress?\n", rank, rank);
+    std::printf("%s\n", session.diffnlr({rank, 0}).render(true).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: the full DiffTrace loop in ~60 lines.
+//
+//   1. Run the program twice under the tracer — once known-good, once with
+//      the bug (here: odd/even sort with the §II-G swapBug in rank 5).
+//   2. Sweep filters × attribute configs into a ranking table.
+//   3. Read the verdict and print diffNLR(suspect).
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+
+#include "apps/oddeven.hpp"
+#include "apps/runner.hpp"
+#include "core/pipeline.hpp"
+
+using namespace difftrace;
+
+namespace {
+
+trace::TraceStore collect(apps::FaultSpec fault) {
+  apps::OddEvenConfig app;
+  app.nranks = 16;
+  app.elements_per_rank = 16;
+  app.fault = fault;
+
+  simmpi::WorldConfig world;
+  world.nranks = app.nranks;
+
+  auto run = apps::run_traced(world, [app](simmpi::Comm& comm) { apps::odd_even_rank(comm, app); });
+  if (run.report.deadlock) std::printf("[watchdog] %s\n", run.report.deadlock_info.c_str());
+  return std::move(run.store);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("collecting the known-good run...\n");
+  const auto normal = collect({});
+  std::printf("collecting the buggy run (swapBug in rank 5, iteration 7)...\n\n");
+  const auto faulty = collect({apps::FaultType::SwapBug, 5, -1, 7});
+
+  core::DiffTrace difftrace(normal, faulty);
+
+  core::SweepConfig sweep;
+  sweep.filters = {core::FilterSpec::mpi_all(), core::FilterSpec::mpi_send_recv()};
+  const auto table = difftrace.rank(sweep);
+  std::printf("%s\n", table.render().c_str());
+
+  const auto suspect = table.consensus_thread();
+  std::printf("most suspicious trace: %s\n\n", suspect.c_str());
+
+  const auto session = difftrace.make_session(core::FilterSpec::mpi_all());
+  std::printf("diffNLR(%s):   ('-' = normal only, '+' = faulty only)\n", suspect.c_str());
+  std::printf("%s\n", session.diffnlr({5, 0}).render(/*color=*/true).c_str());
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fault-injection vocabulary for the miniapps — the paper's planted bugs.
+//
+//   SwapBug              §II-G: rank `proc` swaps the MPI_Recv/MPI_Send
+//                        order after iteration `iteration` of the odd/even
+//                        exchange loop (latent Send‖Send deadlock; completes
+//                        under eager buffering).
+//   DlBug                §II-G: an actual deadlock at the same location —
+//                        the rank posts a receive nobody will ever match.
+//   OmpNoCritical        §IV-B: worker `thread` of process `proc` updates
+//                        the shared champion WITHOUT the critical section.
+//   WrongCollectiveSize  §IV-C: process `proc` passes a wrong count to
+//                        MPI_Allreduce → whole-job hang.
+//   WrongCollectiveOp    §IV-D: process `proc` reduces with MPI_MAX instead
+//                        of MPI_MIN → silent semantic bug.
+//   SkipLagrangeLeapFrog §V: process `proc` never calls LagrangeLeapFrog →
+//                        neighbours starve on halo messages.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace difftrace::apps {
+
+enum class FaultType {
+  None,
+  SwapBug,
+  DlBug,
+  OmpNoCritical,
+  WrongCollectiveSize,
+  WrongCollectiveOp,
+  SkipLagrangeLeapFrog,
+};
+
+[[nodiscard]] constexpr std::string_view fault_name(FaultType t) noexcept {
+  switch (t) {
+    case FaultType::None: return "none";
+    case FaultType::SwapBug: return "swapBug";
+    case FaultType::DlBug: return "dlBug";
+    case FaultType::OmpNoCritical: return "ompNoCritical";
+    case FaultType::WrongCollectiveSize: return "wrongCollectiveSize";
+    case FaultType::WrongCollectiveOp: return "wrongCollectiveOp";
+    case FaultType::SkipLagrangeLeapFrog: return "skipLagrangeLeapFrog";
+  }
+  return "unknown";
+}
+
+struct FaultSpec {
+  FaultType type = FaultType::None;
+  int proc = -1;       // target process rank
+  int thread = -1;     // target worker thread (OmpNoCritical)
+  int iteration = -1;  // loop iteration at which the fault arms (SwapBug/DlBug)
+
+  [[nodiscard]] bool targets(int p) const noexcept { return type != FaultType::None && proc == p; }
+  [[nodiscard]] bool targets(int p, int t) const noexcept { return targets(p) && thread == t; }
+};
+
+}  // namespace difftrace::apps

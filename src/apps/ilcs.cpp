@@ -1,0 +1,207 @@
+#include "apps/ilcs.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <span>
+#include <thread>
+
+#include "apps/libc.hpp"
+#include "apps/tsp.hpp"
+#include "instrument/tracer.hpp"
+#include "simomp/team.hpp"
+#include "util/prng.hpp"
+
+namespace difftrace::apps {
+
+namespace {
+
+using instrument::TraceScope;
+
+/// Shared per-process state between the master and its workers
+/// (the `champ` array and `cont` flag of Listing 1).
+struct ProcessState {
+  explicit ProcessState(int workers)
+      : champ(static_cast<std::size_t>(workers) + 1, std::numeric_limits<double>::infinity()) {}
+
+  std::vector<double> champ;  // champ[tid]; slot 0 unused (master)
+  std::atomic<bool> cont{true};
+};
+
+void worker_thread(simmpi::Comm& comm, const IlcsConfig& config, const TspProblem& problem,
+                   ProcessState& state, int tid) {
+  TraceScope scope("ilcsWorker");
+  const int rank = comm.rank();
+  util::Xoshiro256 rng(config.seed ^ (static_cast<std::uint64_t>(rank) << 20) ^
+                       (static_cast<std::uint64_t>(tid) << 8));
+  // Champion slots are touched through atomic_ref: the *protocol-level*
+  // protection is the critical section (whose omission is the injected bug
+  // DiffTrace must spot in the trace), while atomic_ref keeps the injected
+  // race from being C++ UB inside our own test process.
+  const auto update_champ = [&](double value) {
+    double staging = 0.0;
+    traced_memcpy(&staging, &value, sizeof(double));
+    std::atomic_ref<double>(state.champ[static_cast<std::size_t>(tid)])
+        .store(staging, std::memory_order_relaxed);
+  };
+  // Every worker evaluates at least one seed: real ILCS workers complete
+  // thousands of evaluations per exchange round; our in-process masters can
+  // converge before a lagging worker is even scheduled, which would leave a
+  // structurally empty worker trace no real run exhibits.
+  bool first_evaluation = true;
+  while (first_evaluation || (state.cont.load(std::memory_order_acquire) && !comm.cancelled())) {
+    first_evaluation = false;
+    {
+      // Spin-loop politeness between evaluations — the poll/yield artifact
+      // Table I's "System/Poll" filter targets.
+      instrument::TraceScope yield_scope("sched_yield", trace::Image::SystemLib, /*plt=*/true);
+      std::this_thread::yield();
+    }
+    const std::uint64_t eval_seed = rng();
+    const double local_result = tsp_exec(problem, eval_seed);
+    const double current =
+        std::atomic_ref<double>(state.champ[static_cast<std::size_t>(tid)]).load(std::memory_order_relaxed);
+    if (local_result < current) {
+      // §IV-B fault: worker `thread` of process `proc` omits the critical
+      // section around the champion update.
+      if (config.fault.type == FaultType::OmpNoCritical && config.fault.targets(rank, tid)) {
+        update_champ(local_result);
+      } else {
+        simomp::Critical critical(rank, "champ");
+        update_champ(local_result);
+      }
+    }
+  }
+}
+
+void master_thread(simmpi::Comm& comm, const IlcsConfig& config, ProcessState& state) {
+  TraceScope scope("ilcsMaster");
+  const int rank = comm.rank();
+  double best_seen = std::numeric_limits<double>::infinity();
+  std::vector<std::byte> bcast_buffer(sizeof(double));
+  int stagnant = 0;
+
+  // The champion exchange is meaningless before the local workers have
+  // produced anything (on a cluster the first CPU_Exec results long precede
+  // the first reduction); wait for the first local result so round 0
+  // already reduces real champions — otherwise every rank "claims" the
+  // infinite champion and the MIN over claim ids degenerates to rank 0.
+  const auto local_champion = [&] {
+    simomp::Critical critical(rank, "champ");
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t t = 1; t < state.champ.size(); ++t)
+      best = std::min(best,
+                      std::atomic_ref<double>(state.champ[t]).load(std::memory_order_relaxed));
+    return best;
+  };
+  while (local_champion() == std::numeric_limits<double>::infinity() && !comm.cancelled())
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+
+  for (int round = 0; round < config.max_rounds && stagnant < config.patience; ++round) {
+    // On a cluster a champion-exchange round costs network latency; our
+    // in-process collectives are near-instant, so pace the master loop to
+    // give workers wall-clock time to search (like real ILCS, where rounds
+    // interleave with multi-millisecond CPU_Exec evaluations).
+    std::this_thread::sleep_for(config.round_pacing);
+
+    // Local champion = best over this process's workers.
+    const double local_best = local_champion();
+
+    // Reduce the global champion (Listing 1 line 24).
+    const auto op = config.fault.type == FaultType::WrongCollectiveOp && config.fault.targets(rank)
+                        ? simmpi::ReduceOp::Max
+                        : simmpi::ReduceOp::Min;
+    double global_champion;
+    if (config.fault.type == FaultType::WrongCollectiveSize && config.fault.targets(rank)) {
+      // §IV-C: wrong count — structurally mismatched, the whole job hangs.
+      const double wrong[2] = {local_best, 0.0};
+      double wrong_out[2];
+      comm.allreduce(std::span<const double>(wrong, 2), std::span<double>(wrong_out, 2), op);
+      global_champion = wrong_out[0];
+    } else {
+      global_champion = comm.allreduce_value(local_best, op);
+    }
+
+    // Reduce the champion's owner rank (Listing 1 line 25). Under the
+    // wrong-op fault the faulty rank sees the MAX and claims ownership
+    // almost every round, distorting who broadcasts and how often the
+    // champion "improves".
+    const std::int32_t my_claim =
+        local_best <= global_champion ? rank : std::numeric_limits<std::int32_t>::max();
+    std::int32_t champion_pid = comm.allreduce_value(my_claim, simmpi::ReduceOp::Min);
+    if (champion_pid == std::numeric_limits<std::int32_t>::max()) champion_pid = 0;
+
+    // Every master stages its local champion into the broadcast buffer
+    // under the critical section (each maintains its own candidate), so the
+    // memory/critical-section trace of a master round is identical across
+    // ranks and runs — who actually OWNS the champion is marked only by the
+    // application-level updateChampionBuffer call (Listing 1 lines 26-28),
+    // which the wrong-op fault makes the faulty rank execute every round.
+    {
+      simomp::Critical critical(rank, "champ");
+      traced_memcpy(bcast_buffer.data(), &local_best, sizeof(double));
+    }
+    if (rank == champion_pid) {
+      TraceScope claim_scope("updateChampionBuffer");
+    }
+
+    // Broadcast the champion tour from its owner (Listing 1 lines 29-31);
+    // every rank sees the same payload, which drives termination.
+    double payload = local_best;
+    comm.bcast(std::span<double>(&payload, 1), champion_pid);
+
+    if (payload < best_seen - 1e-9) {
+      best_seen = payload;
+      stagnant = 0;
+    } else if (best_seen != std::numeric_limits<double>::infinity()) {
+      // Stagnation only counts once a champion exists: before the workers
+      // deliver their first result there is no "quality" to stop improving.
+      ++stagnant;
+    }
+  }
+
+  state.cont.store(false, std::memory_order_release);
+
+  if (config.champion_sink != nullptr)
+    (*config.champion_sink)[static_cast<std::size_t>(rank)] = best_seen;
+}
+
+}  // namespace
+
+void ilcs_rank(simmpi::Comm& comm, const IlcsConfig& config) {
+  TraceScope scope("main");
+  comm.init();
+  const int rank = comm.comm_rank();
+  (void)comm.comm_size();
+
+  // Total CPU/GPU discovery (Listing 1 lines 7-8).
+  const auto total_cpus =
+      comm.allreduce_value(static_cast<std::int32_t>(config.workers), simmpi::ReduceOp::Sum);
+  const auto total_gpus = comm.allreduce_value(std::int32_t{0}, simmpi::ReduceOp::Sum);
+  (void)total_cpus;
+  (void)total_gpus;
+
+  const TspProblem problem = tsp_init(config.ncities, config.seed);
+  traced_alloc_note(problem.size() * sizeof(double) * 2);  // champion storage (line 10)
+
+  comm.barrier();
+
+  ProcessState state(config.workers);
+  simomp::parallel_region(rank, config.workers + 1, [&](int tid) {
+    if (tid == 0)
+      master_thread(comm, config, state);
+    else
+      worker_thread(comm, config, problem, state, tid);
+  });
+
+  if (rank == 0) tsp_output(0.0);
+  comm.finalize();
+}
+
+simmpi::RunReport run_ilcs(const IlcsConfig& config, const simmpi::WorldConfig& world) {
+  simmpi::WorldConfig wc = world;
+  wc.nranks = config.nranks;
+  return simmpi::run_world(wc, [&config](simmpi::Comm& comm) { ilcs_rank(comm, config); });
+}
+
+}  // namespace difftrace::apps

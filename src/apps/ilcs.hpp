@@ -1,0 +1,51 @@
+// ILCS — the paper's §IV case study: a scalable master/worker framework for
+// iterative local searches [23], reimplemented from Listing 1.
+//
+// Per process: an OpenMP-style parallel region of `workers + 1` threads.
+// Thread 0 (master) repeatedly MPI_Allreduce's the local champion and its
+// owner rank, then MPI_Bcast's the champion tour from the owning process.
+// Threads 1..workers loop on CPU_Exec (TSP 2-opt), updating the per-thread
+// champion under a named critical section via memcpy — the exact structure
+// whose perturbations Tables VI-VIII rank.
+//
+// Supported faults: OmpNoCritical, WrongCollectiveSize, WrongCollectiveOp.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "apps/faults.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace difftrace::apps {
+
+struct IlcsConfig {
+  int nranks = 8;
+  int workers = 4;        // lCPUs: worker threads per process (+1 master)
+  std::size_t ncities = 20;
+  /// Termination: stop after `patience` champion-exchange rounds without an
+  /// improvement in the broadcast champion (the listing's no-change
+  /// threshold), hard-capped at `max_rounds`. Decisions are made from the
+  /// broadcast value, which all ranks observe identically, so loop counts
+  /// stay consistent even under the wrong-op fault.
+  int patience = 2;
+  int max_rounds = 24;
+  /// Wall-clock pause per master round, standing in for the network latency
+  /// of a real cluster's champion exchange (keeps the in-process collectives
+  /// from outrunning the workers).
+  std::chrono::microseconds round_pacing{500};
+  std::uint64_t seed = 7;
+
+  FaultSpec fault;
+
+  /// Optional per-rank sink for the final global champion (index = rank);
+  /// size to nranks before running.
+  std::vector<double>* champion_sink = nullptr;
+};
+
+void ilcs_rank(simmpi::Comm& comm, const IlcsConfig& config);
+
+[[nodiscard]] simmpi::RunReport run_ilcs(const IlcsConfig& config, const simmpi::WorldConfig& world);
+
+}  // namespace difftrace::apps

@@ -1,0 +1,39 @@
+// Traced libc-style helpers. Pin sees the miniapps' calls into libc as
+// @plt-bracketed system-library functions; these wrappers reproduce that in
+// the trace (Table I's "System/Memory" and "System/String" filter targets)
+// while performing the real operation.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+
+#include "instrument/tracer.hpp"
+
+namespace difftrace::apps {
+
+inline void traced_memcpy(void* dst, const void* src, std::size_t n) {
+  instrument::TraceScope scope("memcpy", trace::Image::SystemLib, /*plt=*/true);
+  std::memcpy(dst, src, n);
+}
+
+inline void traced_memset(void* dst, int value, std::size_t n) {
+  instrument::TraceScope scope("memset", trace::Image::SystemLib, /*plt=*/true);
+  std::memset(dst, value, n);
+}
+
+[[nodiscard]] inline std::size_t traced_strlen(const char* s) {
+  instrument::TraceScope scope("strlen", trace::Image::SystemLib, /*plt=*/true);
+  return std::strlen(s);
+}
+
+/// Allocation-shaped trace entry (the storage itself is the caller's vector).
+inline void traced_alloc_note(std::size_t bytes) {
+  instrument::TraceScope scope("malloc", trace::Image::SystemLib, /*plt=*/true);
+  (void)bytes;
+}
+
+inline void traced_free_note() {
+  instrument::TraceScope scope("free", trace::Image::SystemLib, /*plt=*/true);
+}
+
+}  // namespace difftrace::apps

@@ -1,0 +1,484 @@
+#include "apps/lulesh.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <span>
+
+#include "apps/libc.hpp"
+#include "instrument/tracer.hpp"
+#include "simomp/team.hpp"
+#include "util/prng.hpp"
+
+namespace difftrace::apps {
+
+namespace {
+
+using instrument::TraceScope;
+
+/// The mesh slab owned by one rank.
+struct Domain {
+  std::vector<double> x;       // nodal positions
+  std::vector<double> xd;      // nodal velocities
+  std::vector<double> xdd;     // nodal accelerations
+  std::vector<double> force;   // nodal forces
+  std::vector<double> e;       // element energy
+  std::vector<double> p;       // element pressure
+  std::vector<double> q;       // element artificial viscosity
+  std::vector<double> vol;     // element relative volume
+  std::vector<double> ss;      // element sound speed
+  std::vector<int> region;     // element material region
+  double dt = 1e-3;
+  double time = 0.0;
+};
+
+// --- domain setup (the Domain constructor's call tree in real LULESH) -------
+
+void allocate_node_persistent(Domain& d, std::size_t n) {
+  TraceScope scope("AllocateNodePersistent");
+  traced_alloc_note((n + 1) * 4 * sizeof(double));
+  d.x.resize(n + 1);
+  d.xd.assign(n + 1, 0.0);
+  d.xdd.assign(n + 1, 0.0);
+  d.force.assign(n + 1, 0.0);
+}
+
+void allocate_elem_persistent(Domain& d, std::size_t n) {
+  TraceScope scope("AllocateElemPersistent");
+  traced_alloc_note(n * 6 * sizeof(double));
+  d.e.assign(n, 0.0);
+  d.p.assign(n, 0.0);
+  d.q.assign(n, 0.0);
+  d.vol.assign(n, 1.0);
+  d.ss.assign(n, 0.0);
+  d.region.resize(n);
+}
+
+void build_mesh(Domain& d, int rank, std::size_t n) {
+  TraceScope scope("BuildMesh");
+  for (std::size_t i = 0; i <= n; ++i)
+    d.x[i] = static_cast<double>(rank) + static_cast<double>(i) / static_cast<double>(n);
+}
+
+void setup_thread_support_structures(const LuleshConfig& config) {
+  TraceScope scope("SetupThreadSupportStructures");
+  traced_alloc_note(static_cast<std::size_t>(config.omp_threads) * sizeof(void*));
+}
+
+void create_region_index_sets(Domain& d, const LuleshConfig& config, util::Xoshiro256& rng) {
+  TraceScope scope("CreateRegionIndexSets");
+  for (auto& r : d.region) r = static_cast<int>(rng.below(static_cast<std::uint64_t>(config.regions)));
+}
+
+void setup_symmetry_planes(Domain& d, int rank) {
+  TraceScope scope("SetupSymmetryPlanes");
+  if (rank == 0) d.xd.front() = 0.0;
+}
+
+void setup_element_connectivities(std::size_t n) {
+  TraceScope scope("SetupElementConnectivities");
+  traced_alloc_note(n * 2 * sizeof(int));
+}
+
+void setup_boundary_conditions(std::size_t n) {
+  TraceScope scope("SetupBoundaryConditions");
+  traced_alloc_note(n * sizeof(int));
+}
+
+void setup_comm_buffers(int rank, int size) {
+  TraceScope scope("SetupCommBuffers");
+  (void)rank;
+  (void)size;
+  traced_alloc_note(2 * sizeof(double));
+}
+
+Domain allocate_domain(const LuleshConfig& config, int rank, int size) {
+  TraceScope scope("Domain_Build");
+  const auto n = static_cast<std::size_t>(config.elements_per_rank);
+  Domain d;
+  util::Xoshiro256 rng(config.seed + static_cast<std::uint64_t>(rank) * 0x51u);
+  allocate_node_persistent(d, n);
+  allocate_elem_persistent(d, n);
+  build_mesh(d, rank, n);
+  setup_thread_support_structures(config);
+  create_region_index_sets(d, config, rng);
+  setup_symmetry_planes(d, rank);
+  setup_element_connectivities(n);
+  setup_boundary_conditions(n);
+  setup_comm_buffers(rank, size);
+  // Sedov-style point deposit at the global origin.
+  if (rank == 0) d.e[0] = 3.948746e+7;
+  return d;
+}
+
+// --- tiny traced element kernels (the leaves of the LULESH call tree) -------
+
+/// libm entry points Pin would see as system-library calls.
+double traced_cbrt(double v) {
+  instrument::TraceScope scope("cbrt", trace::Image::SystemLib, /*plt=*/true);
+  return std::cbrt(v);
+}
+
+double traced_fabs(double v) {
+  instrument::TraceScope scope("fabs", trace::Image::SystemLib, /*plt=*/true);
+  return std::fabs(v);
+}
+
+double calc_elem_volume(double a, double b) {
+  TraceScope scope("CalcElemVolume");
+  return std::max(1e-12, b - a);
+}
+
+void collect_domain_nodes_to_elem_nodes(const Domain& d, std::size_t i, double out[2]) {
+  TraceScope scope("CollectDomainNodesToElemNodes");
+  out[0] = d.x[i];
+  out[1] = d.x[i + 1];
+}
+
+double sum_elem_face_normal(double a, double b) {
+  TraceScope scope("SumElemFaceNormal");
+  return 0.5 * (a + b);
+}
+
+double calc_elem_node_normals(double a, double b) {
+  TraceScope scope("CalcElemNodeNormals");
+  return sum_elem_face_normal(a, b);
+}
+
+double calc_elem_shape_function_derivatives(double volume) {
+  TraceScope scope("CalcElemShapeFunctionDerivatives");
+  return 1.0 / volume;
+}
+
+double sum_elem_stresses_to_node_forces(double p, double q, double grad) {
+  TraceScope scope("SumElemStressesToNodeForces");
+  return -(p + q) * grad;
+}
+
+double volu_der(double a, double b) {
+  TraceScope scope("VoluDer");
+  return b - a;
+}
+
+double calc_elem_volume_derivative(const Domain& d, std::size_t i) {
+  TraceScope scope("CalcElemVolumeDerivative");
+  return volu_der(d.x[i], d.x[i + 1]);
+}
+
+double calc_elem_fb_hourglass_force(double xd_left, double xd_right) {
+  TraceScope scope("CalcElemFBHourglassForce");
+  return 0.01 * (xd_left - xd_right);
+}
+
+double calc_elem_characteristic_length(double volume) {
+  TraceScope scope("CalcElemCharacteristicLength");
+  // Real LULESH: characteristic length ~ volume / largest face area; the
+  // cube root keeps the same scaling flavour (and exercises libm tracing).
+  return traced_cbrt(volume * volume * volume);
+}
+
+double calc_elem_velocity_gradient(double xd_left, double xd_right, double length) {
+  TraceScope scope("CalcElemVelocityGradient");
+  return (xd_right - xd_left) / length;
+}
+
+// --- halo exchange (the Comm* functions of LULESH) -----------------------------
+
+/// Exchanges one boundary double with each existing neighbour.
+/// recv_left/recv_right receive the neighbour values (untouched at domain
+/// boundaries).
+void comm_exchange(simmpi::Comm& comm, const char* phase, double send_left, double send_right,
+                   double& recv_left, double& recv_right) {
+  TraceScope scope(phase);
+  const int rank = comm.rank();
+  const int size = comm.size();
+  const int left = rank - 1;
+  const int right = rank + 1;
+  constexpr int kHaloTag = 77;
+
+  // CommRecv: post receives first, like LULESH does.
+  std::vector<simmpi::Request> recvs;
+  {
+    TraceScope recv_scope("CommRecv");
+    if (left >= 0) recvs.push_back(comm.irecv(std::span<double>(&recv_left, 1), left, kHaloTag));
+    if (right < size) recvs.push_back(comm.irecv(std::span<double>(&recv_right, 1), right, kHaloTag));
+  }
+  {
+    TraceScope send_scope("CommSend");
+    if (left >= 0) recvs.push_back(comm.isend(std::span<const double>(&send_left, 1), left, kHaloTag));
+    if (right < size)
+      recvs.push_back(comm.isend(std::span<const double>(&send_right, 1), right, kHaloTag));
+  }
+  // Real LULESH completes its halo requests with MPI_Waitall.
+  comm.waitall(std::span<simmpi::Request>(recvs));
+}
+
+// --- the LULESH call tree ---------------------------------------------------------
+
+/// [lo, hi) slice of `count` items for thread `tid` of `threads`.
+std::pair<std::size_t, std::size_t> thread_chunk(std::size_t count, int tid, int threads) {
+  const std::size_t chunk =
+      (count + static_cast<std::size_t>(threads) - 1) / static_cast<std::size_t>(threads);
+  const std::size_t lo = static_cast<std::size_t>(tid) * chunk;
+  return {std::min(count, lo), std::min(count, lo + chunk)};
+}
+
+// Both force kernels are *node*-parallel: each node gathers the
+// contributions of its (at most two) adjacent elements, so every array slot
+// has exactly one writer in a fixed evaluation order — race-free AND
+// bit-deterministic regardless of thread schedule (real LULESH achieves the
+// same with its per-node scatter structures).
+
+void integrate_stress_for_elems(const LuleshConfig& config, Domain& d, int rank) {
+  TraceScope scope("IntegrateStressForElems");
+  const std::size_t nelem = d.e.size();
+  simomp::parallel_region(rank, config.omp_threads, [&](int tid) {
+    TraceScope worker("IntegrateStressForElems_omp");
+    const auto [lo, hi] = thread_chunk(nelem + 1, tid, config.omp_threads);
+    const auto stress_of = [&](std::size_t elem) {
+      double nodes[2];
+      collect_domain_nodes_to_elem_nodes(d, elem, nodes);
+      const double volume = calc_elem_volume(nodes[0], nodes[1]);
+      const double grad = calc_elem_shape_function_derivatives(volume);
+      const double normal = calc_elem_node_normals(nodes[0], nodes[1]);
+      return sum_elem_stresses_to_node_forces(d.p[elem], d.q[elem], grad) *
+             (normal != 0.0 ? 1.0 : 1.0);
+    };
+    for (std::size_t node = lo; node < hi; ++node) {
+      double sum = 0.0;
+      if (node > 0) sum += 0.5 * stress_of(node - 1);
+      if (node < nelem) sum += 0.5 * stress_of(node);
+      d.force[node] += sum;
+    }
+  });
+}
+
+void calc_hourglass_control_for_elems(const LuleshConfig& config, Domain& d, int rank) {
+  TraceScope scope("CalcHourglassControlForElems");
+  const std::size_t nelem = d.e.size();
+  simomp::parallel_region(rank, config.omp_threads, [&](int tid) {
+    TraceScope worker("CalcFBHourglassForceForElems");
+    const auto [lo, hi] = thread_chunk(nelem + 1, tid, config.omp_threads);
+    const auto hourglass_of = [&](std::size_t elem) {
+      const double dvol = calc_elem_volume_derivative(d, elem);
+      return calc_elem_fb_hourglass_force(d.xd[elem], d.xd[elem + 1]) * (1.0 + 0.0 * dvol);
+    };
+    for (std::size_t node = lo; node < hi; ++node) {
+      double sum = 0.0;
+      if (node > 0) sum += hourglass_of(node - 1);
+      if (node < nelem) sum -= hourglass_of(node);
+      d.force[node] += sum;
+    }
+  });
+}
+
+void calc_volume_force_for_elems(const LuleshConfig& config, Domain& d, int rank) {
+  TraceScope scope("CalcVolumeForceForElems");
+  {
+    TraceScope init_scope("InitStressTermsForElems");
+    for (auto& f : d.force) f = 0.0;
+  }
+  integrate_stress_for_elems(config, d, rank);
+  calc_hourglass_control_for_elems(config, d, rank);
+}
+
+void calc_force_for_nodes(simmpi::Comm& comm, const LuleshConfig& config, Domain& d) {
+  TraceScope scope("CalcForceForNodes");
+  calc_volume_force_for_elems(config, d, comm.rank());
+  // CommSBN: sum boundary nodal forces with the neighbours.
+  double left_force = 0.0;
+  double right_force = 0.0;
+  comm_exchange(comm, "CommSBN", d.force.front(), d.force.back(), left_force, right_force);
+  d.force.front() += left_force;
+  d.force.back() += right_force;
+}
+
+void calc_acceleration_for_nodes(Domain& d) {
+  TraceScope scope("CalcAccelerationForNodes");
+  for (std::size_t i = 0; i < d.xdd.size(); ++i) d.xdd[i] = d.force[i];
+}
+
+void apply_acceleration_boundary_conditions(Domain& d, int rank, int size) {
+  TraceScope scope("ApplyAccelerationBoundaryConditionsForNodes");
+  if (rank == 0) d.xdd.front() = 0.0;
+  if (rank == size - 1) d.xdd.back() = 0.0;
+}
+
+void calc_velocity_for_nodes(Domain& d) {
+  TraceScope scope("CalcVelocityForNodes");
+  for (std::size_t i = 0; i < d.xd.size(); ++i) d.xd[i] += d.xdd[i] * d.dt;
+}
+
+void calc_position_for_nodes(Domain& d) {
+  TraceScope scope("CalcPositionForNodes");
+  for (std::size_t i = 0; i < d.x.size(); ++i) d.x[i] += d.xd[i] * d.dt;
+}
+
+void lagrange_nodal(simmpi::Comm& comm, const LuleshConfig& config, Domain& d) {
+  TraceScope scope("LagrangeNodal");
+  calc_force_for_nodes(comm, config, d);
+  calc_acceleration_for_nodes(d);
+  apply_acceleration_boundary_conditions(d, comm.rank(), comm.size());
+  calc_velocity_for_nodes(d);
+  calc_position_for_nodes(d);
+  // CommSyncPosVel: exchange boundary positions/velocities.
+  double left_x = d.x.front();
+  double right_x = d.x.back();
+  comm_exchange(comm, "CommSyncPosVel", d.x.front(), d.x.back(), left_x, right_x);
+  d.x.front() = 0.5 * (d.x.front() + left_x);
+  d.x.back() = 0.5 * (d.x.back() + right_x);
+}
+
+void calc_kinematics_for_elems(Domain& d) {
+  TraceScope scope("CalcKinematicsForElems");
+  for (std::size_t i = 0; i < d.vol.size(); ++i) {
+    const double volume = calc_elem_volume(d.x[i], d.x[i + 1]);
+    const double length = calc_elem_characteristic_length(volume);
+    const double grad = calc_elem_velocity_gradient(d.xd[i], d.xd[i + 1], length);
+    d.vol[i] = std::max(0.1, std::min(10.0, volume * (1.0 + grad * d.dt)));
+  }
+}
+
+void calc_lagrange_elements(Domain& d) {
+  TraceScope scope("CalcLagrangeElements");
+  calc_kinematics_for_elems(d);
+}
+
+void calc_monotonic_q_region_for_elems(Domain& d, int region) {
+  TraceScope scope("CalcMonotonicQRegionForElems");
+  for (std::size_t i = 0; i < d.q.size(); ++i)
+    if (d.region[i] == region) d.q[i] = 0.25 * traced_fabs(d.xd[i + 1] - d.xd[i]);
+}
+
+void calc_q_for_elems(simmpi::Comm& comm, const LuleshConfig& config, Domain& d) {
+  TraceScope scope("CalcQForElems");
+  {
+    TraceScope grad_scope("CalcMonotonicQGradientsForElems");
+    for (std::size_t i = 0; i < d.q.size(); ++i) d.q[i] *= 0.5;
+  }
+  // CommMonoQ: viscosity gradients at the slab boundary.
+  double left_q = 0.0;
+  double right_q = 0.0;
+  comm_exchange(comm, "CommMonoQ", d.q.front(), d.q.back(), left_q, right_q);
+  {
+    TraceScope mono_scope("CalcMonotonicQForElems");
+    for (int r = 0; r < config.regions; ++r) calc_monotonic_q_region_for_elems(d, r);
+  }
+}
+
+void calc_energy_for_elems(Domain& d, int region) {
+  TraceScope scope("CalcEnergyForElems");
+  for (std::size_t i = 0; i < d.e.size(); ++i)
+    if (d.region[i] == region) d.e[i] = std::max(0.0, d.e[i] - (d.p[i] + d.q[i]) * (1.0 - d.vol[i]));
+}
+
+void calc_pressure_for_elems(Domain& d, int region) {
+  TraceScope scope("CalcPressureForElems");
+  for (std::size_t i = 0; i < d.p.size(); ++i)
+    if (d.region[i] == region) d.p[i] = std::max(0.0, (2.0 / 3.0) * d.e[i] / d.vol[i]);
+}
+
+void calc_sound_speed_for_elems(Domain& d, int region) {
+  TraceScope scope("CalcSoundSpeedForElems");
+  for (std::size_t i = 0; i < d.ss.size(); ++i)
+    if (d.region[i] == region) d.ss[i] = std::sqrt(std::max(1e-12, d.p[i] / d.vol[i])) + 1e-3;
+}
+
+void eval_eos_for_elems(Domain& d, int region) {
+  TraceScope scope("EvalEOSForElems");
+  calc_energy_for_elems(d, region);
+  calc_pressure_for_elems(d, region);
+  calc_sound_speed_for_elems(d, region);
+}
+
+void apply_material_properties_for_elems(const LuleshConfig& config, Domain& d, int rank) {
+  TraceScope scope("ApplyMaterialPropertiesForElems");
+  simomp::parallel_region(rank, config.omp_threads, [&](int tid) {
+    TraceScope worker("EvalEOSForElems_omp");
+    // Regions are striped across the team.
+    for (int r = tid; r < config.regions; r += config.omp_threads) eval_eos_for_elems(d, r);
+  });
+}
+
+void update_volumes_for_elems(Domain& d) {
+  TraceScope scope("UpdateVolumesForElems");
+  for (auto& v : d.vol) v = 0.5 * (v + 1.0);
+}
+
+void lagrange_elements(simmpi::Comm& comm, const LuleshConfig& config, Domain& d) {
+  TraceScope scope("LagrangeElements");
+  calc_lagrange_elements(d);
+  calc_q_for_elems(comm, config, d);
+  apply_material_properties_for_elems(config, d, comm.rank());
+  update_volumes_for_elems(d);
+}
+
+double calc_courant_constraint_for_elems(const Domain& d) {
+  TraceScope scope("CalcCourantConstraintForElems");
+  double dt = 1e-2;
+  for (std::size_t i = 0; i < d.ss.size(); ++i)
+    dt = std::min(dt, 0.5 * d.vol[i] / std::max(1e-9, d.ss[i]));
+  return dt;
+}
+
+double calc_hydro_constraint_for_elems(const Domain& d) {
+  TraceScope scope("CalcHydroConstraintForElems");
+  double dt = 1e-2;
+  for (std::size_t i = 0; i < d.vol.size(); ++i)
+    dt = std::min(dt, 1e-2 * std::max(0.1, d.vol[i]));
+  return dt;
+}
+
+void calc_time_constraints_for_elems(Domain& d) {
+  TraceScope scope("CalcTimeConstraintsForElems");
+  d.dt = std::min(calc_courant_constraint_for_elems(d), calc_hydro_constraint_for_elems(d));
+}
+
+void lagrange_leap_frog(simmpi::Comm& comm, const LuleshConfig& config, Domain& d) {
+  TraceScope scope("LagrangeLeapFrog");
+  lagrange_nodal(comm, config, d);
+  lagrange_elements(comm, config, d);
+  calc_time_constraints_for_elems(d);
+}
+
+void time_increment(simmpi::Comm& comm, Domain& d) {
+  TraceScope scope("TimeIncrement");
+  d.dt = comm.allreduce_value(d.dt, simmpi::ReduceOp::Min);
+  d.time += d.dt;
+}
+
+}  // namespace
+
+void lulesh_rank(simmpi::Comm& comm, const LuleshConfig& config) {
+  TraceScope scope("main");
+  comm.init();
+  const int rank = comm.comm_rank();
+  (void)comm.comm_size();
+
+  Domain domain = allocate_domain(config, rank, comm.size());
+  comm.barrier();
+
+  for (int cycle = 0; cycle < config.cycles; ++cycle) {
+    time_increment(comm, domain);
+    // §V fault: process `proc` never invokes LagrangeLeapFrog — it stops
+    // updating the domain and stops serving halo messages, starving its
+    // neighbours.
+    if (config.fault.type == FaultType::SkipLagrangeLeapFrog && config.fault.targets(rank)) continue;
+    lagrange_leap_frog(comm, config, domain);
+  }
+
+  {
+    TraceScope verify("VerifyAndWriteFinalOutput");
+    if (config.energy_sink != nullptr)
+      (*config.energy_sink)[static_cast<std::size_t>(rank)] = domain.e.front();
+  }
+  comm.finalize();
+}
+
+simmpi::RunReport run_lulesh(const LuleshConfig& config, const simmpi::WorldConfig& world) {
+  simmpi::WorldConfig wc = world;
+  wc.nranks = config.nranks;
+  return simmpi::run_world(wc, [&config](simmpi::Comm& comm) { lulesh_rank(comm, config); });
+}
+
+}  // namespace difftrace::apps

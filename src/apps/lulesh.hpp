@@ -1,0 +1,48 @@
+// LULESH proxy — the §V workload.
+//
+// A Lagrangian shock-hydrodynamics *proxy* reproducing the real LULESH 2.0
+// call tree (LagrangeLeapFrog → LagrangeNodal/LagrangeElements → the force,
+// kinematics, artificial-viscosity, EOS and time-constraint kernels), with:
+//   * 1-D domain decomposition and halo exchange between neighbouring ranks
+//     via MPI_Irecv/MPI_Isend/MPI_Wait (the Comm* functions of LULESH),
+//   * OpenMP-style element loops (simomp parallel regions) inside the three
+//     big kernels, each element invoking small traced math kernels — the
+//     repetitive patterns NLR folds,
+//   * a per-cycle MPI_Allreduce(MIN) for the time increment.
+// The physics is simplified (the arrays evolve through cheap smoothing
+// updates); what §V measures — distinct functions, calls per trace,
+// compressed size, NLR reduction, and the progress-truncation fault — only
+// depends on the call structure and the message pattern, which match.
+//
+// Supported fault: SkipLagrangeLeapFrog (process `proc` never advances the
+// domain, §V's injected bug).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/faults.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace difftrace::apps {
+
+struct LuleshConfig {
+  int nranks = 8;
+  int omp_threads = 4;       // element-loop team size (including thread 0)
+  int elements_per_rank = 64;
+  int regions = 4;           // material regions (per-region EOS loops)
+  int cycles = 3;            // single-cycle in the paper; more cycles = richer loops
+  std::uint64_t seed = 11;
+
+  FaultSpec fault;
+
+  /// Optional per-rank sink for the final origin energy (index = rank).
+  std::vector<double>* energy_sink = nullptr;
+};
+
+void lulesh_rank(simmpi::Comm& comm, const LuleshConfig& config);
+
+[[nodiscard]] simmpi::RunReport run_lulesh(const LuleshConfig& config,
+                                           const simmpi::WorldConfig& world);
+
+}  // namespace difftrace::apps

@@ -1,0 +1,99 @@
+#include "apps/oddeven.hpp"
+
+#include <algorithm>
+#include <span>
+
+#include "instrument/tracer.hpp"
+#include "util/prng.hpp"
+
+namespace difftrace::apps {
+
+namespace {
+
+using instrument::TraceScope;
+
+/// Partner of `rank` in phase `i`, or -1 when the rank sits out (the traced
+/// findPtr() of Figure 2).
+int find_ptr(int i, int rank, int nranks) {
+  TraceScope scope("findPtr");
+  int partner;
+  if (i % 2 == 0)
+    partner = rank % 2 == 0 ? rank + 1 : rank - 1;
+  else
+    partner = rank % 2 == 0 ? rank - 1 : rank + 1;
+  if (partner < 0 || partner >= nranks) return -1;
+  return partner;
+}
+
+/// After an exchange the lower rank keeps the smaller half, the upper rank
+/// the larger half.
+void keep_half(std::vector<std::int32_t>& mine, const std::vector<std::int32_t>& theirs, bool keep_low) {
+  std::vector<std::int32_t> merged;
+  merged.reserve(mine.size() + theirs.size());
+  std::merge(mine.begin(), mine.end(), theirs.begin(), theirs.end(), std::back_inserter(merged));
+  if (keep_low)
+    mine.assign(merged.begin(), merged.begin() + static_cast<std::ptrdiff_t>(mine.size()));
+  else
+    mine.assign(merged.end() - static_cast<std::ptrdiff_t>(mine.size()), merged.end());
+}
+
+void odd_even_sort(simmpi::Comm& comm, std::vector<std::int32_t>& data, const OddEvenConfig& config) {
+  TraceScope scope("oddEvenSort");
+  const int rank = comm.rank();
+  const int nranks = comm.size();
+  std::vector<std::int32_t> partner_data(data.size());
+
+  for (int i = 0; i < nranks; ++i) {
+    const int partner = find_ptr(i, rank, nranks);
+    if (partner < 0) continue;
+
+    const bool fault_here = config.fault.targets(rank) && i >= config.fault.iteration;
+    if (fault_here && config.fault.type == FaultType::DlBug) {
+      // An actual deadlock: post a receive with a tag no one ever sends.
+      static constexpr int kDeadTag = 0x7FFF;
+      comm.recv(std::span<std::int32_t>(partner_data), partner, kDeadTag);
+      continue;  // unreachable: the recv blocks until the watchdog aborts
+    }
+
+    const bool send_first_normally = rank % 2 == 0;
+    const bool send_first =
+        fault_here && config.fault.type == FaultType::SwapBug ? !send_first_normally : send_first_normally;
+
+    if (send_first) {
+      comm.send(std::span<const std::int32_t>(data), partner, i);
+      comm.recv(std::span<std::int32_t>(partner_data), partner, i);
+    } else {
+      comm.recv(std::span<std::int32_t>(partner_data), partner, i);
+      comm.send(std::span<const std::int32_t>(data), partner, i);
+    }
+    keep_half(data, partner_data, rank < partner);
+  }
+}
+
+}  // namespace
+
+void odd_even_rank(simmpi::Comm& comm, const OddEvenConfig& config) {
+  TraceScope scope("main");
+  comm.init();
+  const int rank = comm.comm_rank();
+  (void)comm.comm_size();
+
+  // Initialize the local block with deterministic pseudo-random data.
+  util::Xoshiro256 rng(config.seed + static_cast<std::uint64_t>(rank) * 0x9E37u);
+  std::vector<std::int32_t> data(static_cast<std::size_t>(config.elements_per_rank));
+  for (auto& v : data) v = static_cast<std::int32_t>(rng.below(1'000'000));
+  std::sort(data.begin(), data.end());
+
+  odd_even_sort(comm, data, config);
+
+  if (config.result_sink != nullptr) (*config.result_sink)[static_cast<std::size_t>(rank)] = data;
+  comm.finalize();
+}
+
+simmpi::RunReport run_odd_even(const OddEvenConfig& config, const simmpi::WorldConfig& world) {
+  simmpi::WorldConfig wc = world;
+  wc.nranks = config.nranks;
+  return simmpi::run_world(wc, [&config](simmpi::Comm& comm) { odd_even_rank(comm, config); });
+}
+
+}  // namespace difftrace::apps

@@ -1,0 +1,40 @@
+// Odd/even transposition sort — the paper's walkthrough miniapp (Figure 2).
+//
+// Each rank holds a sorted block; the sort runs `nranks` phases. In even
+// phases even↔odd+1 pairs exchange blocks, in odd phases odd↔even+1 pairs.
+// Per Figure 2, even ranks Send-then-Recv and odd ranks Recv-then-Send, so
+// the per-trace loop bodies are [MPI_Send, MPI_Recv] for even ranks and
+// [MPI_Recv, MPI_Send] for odd ranks — the paper's L0 and L1. The first and
+// last rank sit out half the phases (Table III's halved iteration counts).
+//
+// Supported faults: SwapBug, DlBug (see faults.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/faults.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace difftrace::apps {
+
+struct OddEvenConfig {
+  int nranks = 4;
+  int elements_per_rank = 16;
+  std::uint64_t seed = 42;
+  FaultSpec fault;
+
+  /// When set, each rank deposits its final block here (index = rank) so
+  /// tests can verify global sortedness. Caller must size it to nranks.
+  std::vector<std::vector<std::int32_t>>* result_sink = nullptr;
+};
+
+/// The rank program (the `main()` of Figure 2). Emits main-image scopes
+/// "main", "oddEvenSort", "findPtr" plus the MPI API calls.
+void odd_even_rank(simmpi::Comm& comm, const OddEvenConfig& config);
+
+/// Convenience: run the whole job.
+[[nodiscard]] simmpi::RunReport run_odd_even(const OddEvenConfig& config,
+                                             const simmpi::WorldConfig& world);
+
+}  // namespace difftrace::apps

@@ -1,0 +1,43 @@
+#include "apps/runner.hpp"
+
+#include <memory>
+
+namespace difftrace::apps {
+
+namespace {
+
+/// Ends the tracer session on scope exit even when run_world throws.
+class SessionGuard {
+ public:
+  SessionGuard(std::shared_ptr<trace::FunctionRegistry> registry, instrument::CaptureLevel level,
+               const std::string& codec) {
+    instrument::Tracer::instance().begin_session(std::move(registry), level, codec);
+  }
+  ~SessionGuard() {
+    if (!taken_ && instrument::Tracer::instance().session_active())
+      (void)instrument::Tracer::instance().end_session();
+  }
+  SessionGuard(const SessionGuard&) = delete;
+  SessionGuard& operator=(const SessionGuard&) = delete;
+
+  [[nodiscard]] trace::TraceStore take() {
+    taken_ = true;
+    return instrument::Tracer::instance().end_session();
+  }
+
+ private:
+  bool taken_ = false;
+};
+
+}  // namespace
+
+TracedRun run_traced(const simmpi::WorldConfig& world, const simmpi::RankFn& fn,
+                     instrument::CaptureLevel level, const std::string& codec) {
+  SessionGuard guard(std::make_shared<trace::FunctionRegistry>(), level, codec);
+  TracedRun result;
+  result.report = simmpi::run_world(world, fn);
+  result.store = guard.take();
+  return result;
+}
+
+}  // namespace difftrace::apps

@@ -1,0 +1,23 @@
+// run_traced: the "collect ParLOT traces from one execution" step — begins
+// a tracing session, runs the MPI job, and harvests the per-thread trace
+// store, with RAII cleanup of the session even if the job throws.
+#pragma once
+
+#include <string>
+
+#include "instrument/tracer.hpp"
+#include "simmpi/runtime.hpp"
+#include "trace/store.hpp"
+
+namespace difftrace::apps {
+
+struct TracedRun {
+  trace::TraceStore store;
+  simmpi::RunReport report;
+};
+
+[[nodiscard]] TracedRun run_traced(const simmpi::WorldConfig& world, const simmpi::RankFn& fn,
+                                   instrument::CaptureLevel level = instrument::CaptureLevel::MainImage,
+                                   const std::string& codec = "parlot");
+
+}  // namespace difftrace::apps

@@ -1,0 +1,89 @@
+#include "apps/tsp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "apps/libc.hpp"
+#include "instrument/tracer.hpp"
+#include "util/prng.hpp"
+
+namespace difftrace::apps {
+
+using instrument::TraceScope;
+
+double TspProblem::distance(std::size_t a, std::size_t b) const {
+  const double dx = xs[a] - xs[b];
+  const double dy = ys[a] - ys[b];
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double TspProblem::tour_length(const std::vector<std::uint32_t>& tour) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < tour.size(); ++i)
+    total += distance(tour[i], tour[(i + 1) % tour.size()]);
+  return total;
+}
+
+TspProblem tsp_init(std::size_t ncities, std::uint64_t seed) {
+  TraceScope scope("CPU_Init");
+  // Option-string handling at startup (the System/String filter artifact).
+  (void)traced_strlen("tsp:2opt");
+  util::Xoshiro256 rng(seed);
+  TspProblem p;
+  p.xs.reserve(ncities);
+  p.ys.reserve(ncities);
+  for (std::size_t i = 0; i < ncities; ++i) {
+    p.xs.push_back(rng.uniform() * 1000.0);
+    p.ys.push_back(rng.uniform() * 1000.0);
+  }
+  return p;
+}
+
+namespace {
+
+/// One full 2-opt sweep; returns true when an improving move was applied.
+bool two_opt_pass(const TspProblem& problem, std::vector<std::uint32_t>& tour) {
+  TraceScope scope("twoOptPass");
+  const std::size_t n = tour.size();
+  bool improved = false;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = i + 2; j < n; ++j) {
+      if (i == 0 && j + 1 == n) continue;  // same edge
+      const auto a = tour[i];
+      const auto b = tour[i + 1];
+      const auto c = tour[j];
+      const auto d = tour[(j + 1) % n];
+      const double before = problem.distance(a, b) + problem.distance(c, d);
+      const double after = problem.distance(a, c) + problem.distance(b, d);
+      if (after + 1e-12 < before) {
+        std::reverse(tour.begin() + static_cast<std::ptrdiff_t>(i + 1),
+                     tour.begin() + static_cast<std::ptrdiff_t>(j + 1));
+        improved = true;
+      }
+    }
+  }
+  return improved;
+}
+
+}  // namespace
+
+double tsp_exec(const TspProblem& problem, std::uint64_t seed) {
+  TraceScope scope("CPU_Exec");
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint32_t> tour(problem.size());
+  std::iota(tour.begin(), tour.end(), 0u);
+  // Fisher-Yates random restart.
+  for (std::size_t i = tour.size(); i > 1; --i)
+    std::swap(tour[i - 1], tour[rng.below(i)]);
+  while (two_opt_pass(problem, tour)) {
+  }
+  return problem.tour_length(tour);
+}
+
+void tsp_output(double champion_length) {
+  TraceScope scope("CPU_Output");
+  (void)champion_length;
+}
+
+}  // namespace difftrace::apps

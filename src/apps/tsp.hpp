@@ -1,0 +1,31 @@
+// The TSP user code run under ILCS (§IV-A): random tour + 2-opt improvement
+// until a local minimum — the paper's CPU_Init / CPU_Exec / CPU_Output
+// triple. Instrumented with the same function names so Table VI's custom
+// filter ("CPU_Exec") applies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace difftrace::apps {
+
+struct TspProblem {
+  std::vector<double> xs;
+  std::vector<double> ys;
+
+  [[nodiscard]] std::size_t size() const noexcept { return xs.size(); }
+  [[nodiscard]] double distance(std::size_t a, std::size_t b) const;
+  [[nodiscard]] double tour_length(const std::vector<std::uint32_t>& tour) const;
+};
+
+/// CPU_Init: generates `ncities` deterministic pseudo-random coordinates.
+[[nodiscard]] TspProblem tsp_init(std::size_t ncities, std::uint64_t seed);
+
+/// CPU_Exec: evaluates one seed — random restart + 2-opt to local minimum.
+/// Returns the tour length found.
+[[nodiscard]] double tsp_exec(const TspProblem& problem, std::uint64_t seed);
+
+/// CPU_Output: traced no-op sink for the champion (rank 0 only in ILCS).
+void tsp_output(double champion_length);
+
+}  // namespace difftrace::apps

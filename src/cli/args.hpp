@@ -1,0 +1,46 @@
+// Minimal command-line parsing for the difftrace tool: positional
+// arguments plus --name value options and --name boolean flags. Kept as a
+// library so the command layer is unit-testable without spawning processes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace difftrace::cli {
+
+class ArgError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Args {
+ public:
+  /// Parses tokens (argv[1..]): "--key value" pairs, bare "--key" flags
+  /// (when followed by another option or nothing), everything else
+  /// positional. "--key=value" is also accepted.
+  explicit Args(const std::vector<std::string>& tokens);
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept { return positional_; }
+  [[nodiscard]] bool has(const std::string& key) const { return options_.contains(key); }
+
+  /// Option value; throws ArgError when missing.
+  [[nodiscard]] std::string required(const std::string& key) const;
+  [[nodiscard]] std::string get_or(const std::string& key, const std::string& fallback) const;
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  [[nodiscard]] std::int64_t int_or(const std::string& key, std::int64_t fallback) const;
+  [[nodiscard]] bool flag(const std::string& key) const;
+
+  /// Positional at index; throws ArgError with `what` when absent.
+  [[nodiscard]] std::string positional_at(std::size_t index, const std::string& what) const;
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> options_;  // flags map to ""
+};
+
+}  // namespace difftrace::cli

@@ -1,0 +1,427 @@
+#include "cli/commands.hpp"
+
+#include <map>
+#include <set>
+
+#include <fstream>
+
+#include "apps/ilcs.hpp"
+#include "apps/lulesh.hpp"
+#include "apps/oddeven.hpp"
+#include "apps/runner.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "core/triage.hpp"
+#include "trace/export.hpp"
+#include "util/str.hpp"
+#include "util/table.hpp"
+
+namespace difftrace::cli {
+
+namespace {
+
+using core::FilterSpec;
+
+trace::TraceKey parse_trace_key(const std::string& label) {
+  const auto parts = util::split(label, '.');
+  try {
+    if (parts.size() == 1) return {std::stoi(parts[0]), 0};
+    if (parts.size() == 2) return {std::stoi(parts[0]), std::stoi(parts[1])};
+  } catch (const std::exception&) {
+  }
+  throw ArgError("bad trace id '" + label + "' (expected P or P.T, e.g. 6.4)");
+}
+
+core::AttrConfig parse_attr(const std::string& spec) {
+  // "sing.noFreq" notation, matching the ranking tables.
+  core::AttrConfig config;
+  const auto parts = util::split(spec, '.');
+  if (parts.size() != 2) throw ArgError("bad attribute spec '" + spec + "' (expected e.g. sing.noFreq)");
+  if (parts[0] == "sing")
+    config.kind = core::AttrKind::Single;
+  else if (parts[0] == "doub")
+    config.kind = core::AttrKind::Double;
+  else
+    throw ArgError("unknown attribute kind '" + parts[0] + "'");
+  if (parts[1] == "actual")
+    config.freq = core::FreqMode::Actual;
+  else if (parts[1] == "log10")
+    config.freq = core::FreqMode::Log10;
+  else if (parts[1] == "noFreq")
+    config.freq = core::FreqMode::NoFreq;
+  else
+    throw ArgError("unknown frequency mode '" + parts[1] + "'");
+  return config;
+}
+
+core::Linkage parse_linkage(const std::string& name) {
+  for (const auto method : core::all_linkages())
+    if (name == core::linkage_name(method)) return method;
+  throw ArgError("unknown linkage '" + name + "'");
+}
+
+apps::FaultSpec parse_fault(const Args& args) {
+  apps::FaultSpec fault;
+  const auto name = args.get_or("fault", "none");
+  const std::map<std::string, apps::FaultType> kinds = {
+      {"none", apps::FaultType::None},
+      {"swapBug", apps::FaultType::SwapBug},
+      {"dlBug", apps::FaultType::DlBug},
+      {"ompNoCritical", apps::FaultType::OmpNoCritical},
+      {"wrongCollectiveSize", apps::FaultType::WrongCollectiveSize},
+      {"wrongCollectiveOp", apps::FaultType::WrongCollectiveOp},
+      {"skipLagrangeLeapFrog", apps::FaultType::SkipLagrangeLeapFrog},
+  };
+  const auto it = kinds.find(name);
+  if (it == kinds.end()) throw ArgError("unknown fault '" + name + "'");
+  fault.type = it->second;
+  fault.proc = static_cast<int>(args.int_or("fault-proc", -1));
+  fault.thread = static_cast<int>(args.int_or("fault-thread", -1));
+  fault.iteration = static_cast<int>(args.int_or("fault-iteration", -1));
+  if (fault.type != apps::FaultType::None && fault.proc < 0)
+    throw ArgError("--fault requires --fault-proc");
+  return fault;
+}
+
+core::NlrConfig nlr_from(const Args& args) {
+  core::NlrConfig nlr;
+  nlr.k = static_cast<std::size_t>(args.int_or("k", 10));
+  nlr.min_reps = static_cast<std::size_t>(args.int_or("min-reps", 2));
+  nlr.fold_known_bodies = args.flag("fold-known");
+  return nlr;
+}
+
+std::vector<FilterSpec> filters_from(const Args& args) {
+  std::vector<FilterSpec> filters;
+  for (const auto& spec : util::split(args.get_or("filters", "mpiall"), ','))
+    filters.push_back(parse_filter(spec));
+  return filters;
+}
+
+trace::TraceStore load_store(const std::string& path) {
+  try {
+    return trace::TraceStore::load(path);
+  } catch (const std::exception& e) {
+    throw ArgError("cannot load trace store '" + path + "': " + e.what());
+  }
+}
+
+}  // namespace
+
+FilterSpec parse_filter(const std::string& spec) {
+  FilterSpec filter;
+  bool any_term = false;
+  for (const auto& term : util::split(spec, '+')) {
+    if (term.empty()) throw ArgError("empty term in filter spec '" + spec + "'");
+    if (term == "rets") {
+      filter.drop_returns(false);
+      continue;
+    }
+    if (term == "plt") {
+      filter.drop_plt(false);
+      continue;
+    }
+    if (util::starts_with(term, "cust=")) {
+      filter.keep_custom(term.substr(5));
+      any_term = true;
+      continue;
+    }
+    if (term == "all") {
+      any_term = true;  // keep-set stays empty = Everything
+      continue;
+    }
+    static const std::map<std::string, core::Category> kCategories = {
+        {"mpiall", core::Category::MpiAll},   {"mpicol", core::Category::MpiCollectives},
+        {"mpisr", core::Category::MpiSendRecv}, {"mpiint", core::Category::MpiInternal},
+        {"omp", core::Category::OmpAll},      {"ompcrit", core::Category::OmpCritical},
+        {"ompmutex", core::Category::OmpMutex}, {"mem", core::Category::Memory},
+        {"net", core::Category::Network},     {"poll", core::Category::Poll},
+        {"string", core::Category::String},
+    };
+    const auto it = kCategories.find(term);
+    if (it == kCategories.end()) throw ArgError("unknown filter term '" + term + "'");
+    filter.keep(it->second);
+    any_term = true;
+  }
+  if (!any_term) throw ArgError("filter spec '" + spec + "' selects nothing (use 'all' to keep everything)");
+  return filter;
+}
+
+std::string usage_text() {
+  return R"(difftrace — whole-program trace analysis and diffing
+usage: difftrace <command> [options]
+
+commands:
+  collect --app {oddeven|ilcs|lulesh} --out FILE [--nranks N] [--fault NAME
+          --fault-proc P [--fault-thread T] [--fault-iteration I]]
+          [--level {main|all}] [--codec {parlot|lz78|null}] [--size N]
+          [--workers N] [--cycles N]
+      run a miniapp under the tracer and save the trace store.
+  info STORE
+      store statistics: traces, events, compression, distinct functions.
+  decode STORE --trace P.T [--filter SPEC]
+      print the (filtered) token stream of one trace.
+  nlr STORE --trace P.T [--filter SPEC] [--k N]
+      print the nested-loop representation of one trace.
+  rank NORMAL FAULTY [--filters SPEC,SPEC,...] [--attrs a,b,...] [--k N]
+       [--linkage NAME] [--top N] [--threads N]
+      filter x attribute sweep; prints the ranking table and consensus.
+  diffnlr NORMAL FAULTY --trace P.T [--filter SPEC] [--k N] [--color]
+          [--side-by-side]
+      loop-structure diff of one trace between the two runs.
+  progress NORMAL FAULTY [--filter SPEC]
+      per-trace progress ratios; flags the least-progressed trace.
+  outliers STORE [--filter SPEC] [--attr a] [--linkage NAME]
+      single-run JSM outlier analysis (no baseline needed).
+  export STORE [--format {csv|json}] [--out FILE]
+      export decoded traces with logical timestamps (OTF-style).
+  triage NORMAL FAULTY [--filter SPEC] [--k N]
+      initial bug-class triage: hang / structural-change / frequency-change.
+  report NORMAL FAULTY [--filters SPEC,...] [--detail-filter SPEC]
+         [--diffs N] [--side-by-side] [--threads N]
+      one-shot artifact: triage + ranking + progress + top diffNLRs.
+
+filter SPEC: '+'-joined terms from {mpiall, mpicol, mpisr, mpiint, omp,
+ompcrit, ompmutex, mem, net, poll, string, all, cust=REGEX}; prefix terms
+'rets' / 'plt' KEEP returns / @plt stubs. Example: mem+ompcrit+cust=^CPU_
+)";
+}
+
+int cmd_collect(const Args& args, std::ostream& out) {
+  const auto app = args.required("app");
+  const auto path = args.required("out");
+  const auto fault = parse_fault(args);
+  const auto level = args.get_or("level", "main") == "all" ? instrument::CaptureLevel::AllImages
+                                                           : instrument::CaptureLevel::MainImage;
+  const auto codec = args.get_or("codec", "parlot");
+
+  simmpi::WorldConfig world;
+  world.nranks = static_cast<int>(args.int_or("nranks", 8));
+
+  apps::TracedRun run;
+  if (app == "oddeven") {
+    apps::OddEvenConfig config;
+    config.nranks = world.nranks;
+    config.elements_per_rank = static_cast<int>(args.int_or("size", 16));
+    config.fault = fault;
+    run = apps::run_traced(world, [config](simmpi::Comm& c) { apps::odd_even_rank(c, config); },
+                           level, codec);
+  } else if (app == "ilcs") {
+    apps::IlcsConfig config;
+    config.nranks = world.nranks;
+    config.workers = static_cast<int>(args.int_or("workers", 4));
+    config.ncities = static_cast<std::size_t>(args.int_or("size", 14));
+    config.fault = fault;
+    run = apps::run_traced(world, [config](simmpi::Comm& c) { apps::ilcs_rank(c, config); },
+                           level, codec);
+  } else if (app == "lulesh") {
+    apps::LuleshConfig config;
+    config.nranks = world.nranks;
+    config.omp_threads = static_cast<int>(args.int_or("workers", 4));
+    config.elements_per_rank = static_cast<int>(args.int_or("size", 32));
+    config.cycles = static_cast<int>(args.int_or("cycles", 4));
+    config.fault = fault;
+    run = apps::run_traced(world, [config](simmpi::Comm& c) { apps::lulesh_rank(c, config); },
+                           level, codec);
+  } else {
+    throw ArgError("unknown app '" + app + "' (oddeven, ilcs, lulesh)");
+  }
+
+  if (run.report.deadlock) out << "[watchdog] " << run.report.deadlock_info << "\n";
+  run.store.save(path);
+  const auto stats = run.store.stats();
+  out << "saved " << stats.trace_count << " trace(s), " << stats.total_events << " events, "
+      << stats.total_compressed_bytes << " compressed bytes to " << path << "\n";
+  return 0;
+}
+
+int cmd_info(const Args& args, std::ostream& out) {
+  const auto store = load_store(args.positional_at(1, "trace-store path"));
+  const auto stats = store.stats();
+  out << "traces:             " << stats.trace_count << "\n";
+  out << "events:             " << stats.total_events << "\n";
+  out << "compressed bytes:   " << stats.total_compressed_bytes << "\n";
+  out << "compression ratio:  " << util::format_double(stats.compression_ratio, 1) << "x\n";
+  out << "distinct functions: " << store.registry().size() << "\n\n";
+
+  util::TextTable table({"Trace", "Events", "Bytes", "Codec", "Truncated"});
+  for (const auto& key : store.keys()) {
+    const auto& blob = store.blob(key);
+    table.add_row({key.label(), std::to_string(blob.event_count), std::to_string(blob.bytes.size()),
+                   blob.codec_name, blob.truncated ? "yes" : "no"});
+  }
+  out << table.render();
+  return 0;
+}
+
+int cmd_decode(const Args& args, std::ostream& out) {
+  const auto store = load_store(args.positional_at(1, "trace-store path"));
+  const auto key = parse_trace_key(args.required("trace"));
+  const auto filter = parse_filter(args.get_or("filter", "all"));
+  for (const auto& token : filter.apply(store, key)) out << token << "\n";
+  return 0;
+}
+
+int cmd_nlr(const Args& args, std::ostream& out) {
+  const auto store = load_store(args.positional_at(1, "trace-store path"));
+  const auto key = parse_trace_key(args.required("trace"));
+  const auto filter = parse_filter(args.get_or("filter", "all"));
+  core::TokenTable tokens;
+  core::LoopTable loops;
+  const auto program =
+      core::build_nlr(tokens.intern_all(filter.apply(store, key)), loops, nlr_from(args));
+  out << core::program_to_string(program, tokens);
+  for (std::size_t l = 0; l < loops.size(); ++l) {
+    out << "L" << l << " = [";
+    const auto& body = loops.body(l);
+    for (std::size_t i = 0; i < body.size(); ++i)
+      out << (i ? " " : "") << core::item_label(body[i], tokens);
+    out << "]\n";
+  }
+  return 0;
+}
+
+int cmd_rank(const Args& args, std::ostream& out) {
+  const auto normal = load_store(args.positional_at(1, "normal trace store"));
+  const auto faulty = load_store(args.positional_at(2, "faulty trace store"));
+  core::SweepConfig sweep;
+  sweep.filters = filters_from(args);
+  if (const auto attrs = args.get("attrs")) {
+    sweep.attributes.clear();
+    for (const auto& spec : util::split(*attrs, ',')) sweep.attributes.push_back(parse_attr(spec));
+  }
+  sweep.pipeline.nlr = nlr_from(args);
+  sweep.pipeline.linkage = parse_linkage(args.get_or("linkage", "ward"));
+  sweep.pipeline.top_n = static_cast<std::size_t>(args.int_or("top", 6));
+  sweep.analysis_threads = static_cast<std::size_t>(args.int_or("threads", 1));
+  const auto table = core::sweep(normal, faulty, sweep);
+  out << table.render();
+  out << "consensus suspicious trace:   " << table.consensus_thread() << "\n";
+  out << "consensus suspicious process: " << table.consensus_process() << "\n";
+  return 0;
+}
+
+int cmd_diffnlr(const Args& args, std::ostream& out) {
+  const auto normal = load_store(args.positional_at(1, "normal trace store"));
+  const auto faulty = load_store(args.positional_at(2, "faulty trace store"));
+  const auto key = parse_trace_key(args.required("trace"));
+  const core::Session session(normal, faulty, parse_filter(args.get_or("filter", "mpiall")),
+                              nlr_from(args));
+  const auto diff = session.diffnlr(key);
+  out << "diffNLR(" << key.label() << "):\n";
+  if (args.flag("side-by-side"))
+    out << diff.render_side_by_side();
+  else
+    out << diff.render(args.flag("color"));
+  return 0;
+}
+
+int cmd_progress(const Args& args, std::ostream& out) {
+  const auto normal = load_store(args.positional_at(1, "normal trace store"));
+  const auto faulty = load_store(args.positional_at(2, "faulty trace store"));
+  const core::Session session(normal, faulty, parse_filter(args.get_or("filter", "mpiall")),
+                              nlr_from(args));
+  util::TextTable table({"Trace", "Progress ratio"});
+  const auto ratios = session.progress_ratios();
+  for (std::size_t i = 0; i < ratios.size(); ++i)
+    table.add_row({session.traces()[i].label(), util::format_double(ratios[i], 3)});
+  out << table.render();
+  if (!session.traces().empty()) {
+    const auto least = session.least_progressed();
+    out << "least progressed: " << session.traces()[least].label() << " (ratio "
+        << util::format_double(ratios[least], 3) << ")\n";
+  }
+  return 0;
+}
+
+int cmd_outliers(const Args& args, std::ostream& out) {
+  const auto store = load_store(args.positional_at(1, "trace-store path"));
+  const auto eval = core::evaluate_single_run(
+      store, parse_filter(args.get_or("filter", "mpiall")),
+      parse_attr(args.get_or("attr", "sing.actual")), nlr_from(args),
+      parse_linkage(args.get_or("linkage", "ward")));
+  util::TextTable table({"Trace", "Outlier score"});
+  for (std::size_t i = 0; i < eval.traces.size(); ++i)
+    table.add_row({eval.traces[i].label(), util::format_double(eval.outlier_scores[i], 3)});
+  out << table.render();
+  std::vector<std::string> labels;
+  for (const auto& key : eval.traces) labels.push_back(key.label());
+  out << "dendrogram:\n" << core::render_dendrogram(eval.dendrogram, eval.traces.size(), labels);
+  return 0;
+}
+
+int cmd_report(const Args& args, std::ostream& out) {
+  const auto normal = load_store(args.positional_at(1, "normal trace store"));
+  const auto faulty = load_store(args.positional_at(2, "faulty trace store"));
+  core::ReportConfig config;
+  config.sweep.filters = filters_from(args);
+  config.sweep.pipeline.nlr = nlr_from(args);
+  config.sweep.analysis_threads = static_cast<std::size_t>(args.int_or("threads", 1));
+  config.detail_filter = parse_filter(args.get_or("detail-filter", args.get_or("filters", "mpiall")));
+  config.diffnlr_count = static_cast<std::size_t>(args.int_or("diffs", 2));
+  config.side_by_side = args.flag("side-by-side");
+  out << core::build_report(normal, faulty, config).text;
+  return 0;
+}
+
+int cmd_triage(const Args& args, std::ostream& out) {
+  const auto normal = load_store(args.positional_at(1, "normal trace store"));
+  const auto faulty = load_store(args.positional_at(2, "faulty trace store"));
+  const auto report = core::triage(normal, faulty, parse_filter(args.get_or("filter", "mpiall")),
+                                   nlr_from(args));
+  out << report.render();
+  return 0;
+}
+
+int cmd_export(const Args& args, std::ostream& out) {
+  const auto store = load_store(args.positional_at(1, "trace-store path"));
+  const auto format_name = args.get_or("format", "csv");
+  trace::ExportFormat format;
+  if (format_name == "csv")
+    format = trace::ExportFormat::Csv;
+  else if (format_name == "json")
+    format = trace::ExportFormat::Json;
+  else
+    throw ArgError("unknown export format '" + format_name + "' (csv, json)");
+
+  if (const auto path = args.get("out")) {
+    std::ofstream file(*path, std::ios::trunc);
+    if (!file) throw ArgError("cannot open output file '" + *path + "'");
+    trace::export_store(store, file, format);
+    out << "exported to " << *path << "\n";
+  } else {
+    trace::export_store(store, out, format);
+  }
+  return 0;
+}
+
+int run_command(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err) {
+  try {
+    if (argv.empty() || argv[0] == "help" || argv[0] == "--help") {
+      out << usage_text();
+      return 0;
+    }
+    const Args args(argv);
+    const auto& command = argv[0];
+    if (command == "collect") return cmd_collect(args, out);
+    if (command == "info") return cmd_info(args, out);
+    if (command == "decode") return cmd_decode(args, out);
+    if (command == "nlr") return cmd_nlr(args, out);
+    if (command == "rank") return cmd_rank(args, out);
+    if (command == "diffnlr") return cmd_diffnlr(args, out);
+    if (command == "progress") return cmd_progress(args, out);
+    if (command == "outliers") return cmd_outliers(args, out);
+    if (command == "export") return cmd_export(args, out);
+    if (command == "triage") return cmd_triage(args, out);
+    if (command == "report") return cmd_report(args, out);
+    throw ArgError("unknown command '" + command + "' (see 'difftrace help')");
+  } catch (const ArgError& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace difftrace::cli

@@ -1,0 +1,50 @@
+// The difftrace command-line tool, as a testable library. Each command
+// takes parsed Args and an output stream, returns a process exit code, and
+// throws cli::ArgError for usage mistakes (main converts those to exit 2).
+//
+// Commands (see usage_text() for the full synopsis):
+//   collect   run a miniapp under the tracer, save the store to a file
+//   info      trace-store statistics and per-trace summary
+//   decode    print a filtered token stream of one trace
+//   nlr       print the NLR of one trace (with the loop legend)
+//   rank      filter/attribute sweep over a normal/faulty store pair
+//   diffnlr   diffNLR(x) between two stores
+//   progress  per-trace progress ratios (least-progressed analysis)
+//   outliers  single-run JSM outlier analysis (no baseline needed)
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cli/args.hpp"
+#include "core/filter.hpp"
+
+namespace difftrace::cli {
+
+[[nodiscard]] std::string usage_text();
+
+/// Parses the tool's filter mini-language: '+'-joined category names
+/// (mpiall, mpicol, mpisr, mpiint, omp, ompcrit, ompmutex, mem, net, poll,
+/// string, all) and "cust=<regex>" terms, with optional leading "rets," /
+/// "plt," modifiers that KEEP returns / @plt stubs.
+/// Examples: "mpiall", "mem+ompcrit+cust=^CPU_", "rets,mpiall".
+[[nodiscard]] core::FilterSpec parse_filter(const std::string& spec);
+
+/// Dispatches argv[1..]; returns the exit code.
+int run_command(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err);
+
+// Individual commands (exposed for tests).
+int cmd_collect(const Args& args, std::ostream& out);
+int cmd_info(const Args& args, std::ostream& out);
+int cmd_decode(const Args& args, std::ostream& out);
+int cmd_nlr(const Args& args, std::ostream& out);
+int cmd_rank(const Args& args, std::ostream& out);
+int cmd_diffnlr(const Args& args, std::ostream& out);
+int cmd_progress(const Args& args, std::ostream& out);
+int cmd_outliers(const Args& args, std::ostream& out);
+int cmd_export(const Args& args, std::ostream& out);
+int cmd_triage(const Args& args, std::ostream& out);
+int cmd_report(const Args& args, std::ostream& out);
+
+}  // namespace difftrace::cli

@@ -1,0 +1,20 @@
+#include "compress/codec.hpp"
+
+#include <stdexcept>
+
+namespace difftrace::compress {
+
+Codec make_parlot_codec();
+Codec make_lz78_codec();
+Codec make_null_codec();
+
+Codec make_codec(std::string_view name) {
+  if (name == "parlot") return make_parlot_codec();
+  if (name == "lz78") return make_lz78_codec();
+  if (name == "null") return make_null_codec();
+  throw std::invalid_argument("make_codec: unknown codec '" + std::string(name) + "'");
+}
+
+std::vector<std::string> codec_names() { return {"parlot", "lz78", "null"}; }
+
+}  // namespace difftrace::compress

@@ -1,0 +1,71 @@
+// Streaming symbol codecs for trace compression.
+//
+// ParLOT's key property is *incremental, on-the-fly* compression of the
+// per-thread function-ID streams: every pushed symbol is absorbed
+// immediately, the encoder can be flushed at any moment (so traces survive a
+// crash or deadlock truncation), and decoding recovers the exact symbol
+// sequence. The codecs here encode an abstract stream of 32-bit symbols —
+// the trace layer maps call/return events onto symbols.
+//
+// Three codecs are provided (see DESIGN.md "Codec choice" ablation):
+//   "parlot" — order-2 context predictor + hit-run-length coding; mirrors the
+//              spirit of ParLOT's lightweight incremental scheme and achieves
+//              very high ratios on loopy traces.
+//   "lz78"   — classic LZ78 over the symbol alphabet; stronger on low-repeat
+//              streams, slightly slower.
+//   "null"   — plain varint literals; the "no compression" baseline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace difftrace::compress {
+
+using Symbol = std::uint32_t;
+
+/// Incremental encoder. Push symbols one at a time; `bytes()` is valid after
+/// `flush()` and also mid-stream (everything pushed before the last flush is
+/// decodable — this is the crash-survivability property).
+class SymbolEncoder {
+ public:
+  virtual ~SymbolEncoder() = default;
+
+  virtual void push(Symbol sym) = 0;
+
+  /// Drains internal state into the output buffer. Idempotent; push() may be
+  /// called again afterwards (the stream continues).
+  virtual void flush() = 0;
+
+  [[nodiscard]] virtual const std::vector<std::uint8_t>& bytes() const noexcept = 0;
+
+  /// Number of symbols pushed so far (pre-compression).
+  [[nodiscard]] virtual std::uint64_t symbol_count() const noexcept = 0;
+};
+
+/// One-shot decoder matching a codec's encoder output.
+class SymbolDecoder {
+ public:
+  virtual ~SymbolDecoder() = default;
+
+  /// Decodes an entire encoded buffer (as produced by flush()). Throws
+  /// std::runtime_error on malformed input.
+  [[nodiscard]] virtual std::vector<Symbol> decode(std::span<const std::uint8_t> data) const = 0;
+};
+
+struct Codec {
+  std::unique_ptr<SymbolEncoder> encoder;
+  std::unique_ptr<SymbolDecoder> decoder;
+};
+
+/// Factory. Known names: "parlot", "lz78", "null". Throws
+/// std::invalid_argument for unknown names.
+[[nodiscard]] Codec make_codec(std::string_view name);
+
+/// Names accepted by make_codec, for sweeps.
+[[nodiscard]] std::vector<std::string> codec_names();
+
+}  // namespace difftrace::compress

@@ -1,0 +1,63 @@
+#include "compress/lz_codec.hpp"
+
+#include <stdexcept>
+
+#include "util/varint.hpp"
+
+namespace difftrace::compress {
+
+void Lz78Encoder::push(Symbol sym) {
+  ++pushed_;
+  const auto key = std::make_pair(current_, sym);
+  if (const auto it = dict_.find(key); it != dict_.end()) {
+    current_ = it->second;
+    return;
+  }
+  util::put_varint(out_, current_);
+  util::put_varint(out_, static_cast<std::uint64_t>(sym) + 1);
+  dict_.emplace(key, next_index_++);
+  current_ = 0;
+}
+
+void Lz78Encoder::flush() {
+  if (current_ != 0) {
+    util::put_varint(out_, current_);
+    util::put_varint(out_, 0);  // flush record: phrase only
+    current_ = 0;
+  }
+}
+
+std::vector<Symbol> Lz78Decoder::decode(std::span<const std::uint8_t> data) const {
+  // phrases[i] = (parent phrase, symbol); index 0 is the empty phrase.
+  std::vector<std::pair<std::uint64_t, Symbol>> phrases = {{0, 0}};
+  std::vector<Symbol> out;
+  std::vector<Symbol> scratch;
+  const auto expand = [&](std::uint64_t index) {
+    scratch.clear();
+    while (index != 0) {
+      if (index >= phrases.size()) throw std::runtime_error("lz78 decode: phrase index out of range");
+      scratch.push_back(phrases[index].second);
+      index = phrases[index].first;
+    }
+    out.insert(out.end(), scratch.rbegin(), scratch.rend());
+  };
+
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::uint64_t phrase = util::get_varint(data, pos);
+    const std::uint64_t literal = util::get_varint(data, pos);
+    expand(phrase);
+    if (literal != 0) {
+      const auto sym = static_cast<Symbol>(literal - 1);
+      out.push_back(sym);
+      phrases.emplace_back(phrase, sym);
+    }
+  }
+  return out;
+}
+
+Codec make_lz78_codec() {
+  return Codec{std::make_unique<Lz78Encoder>(), std::make_unique<Lz78Decoder>()};
+}
+
+}  // namespace difftrace::compress

@@ -1,0 +1,40 @@
+// "lz78" codec: incremental LZ78 over the symbol alphabet.
+//
+// Output is a sequence of (phrase, literal) pairs: `varint(phrase_index)`
+// followed by `varint(literal+1)`. Phrase index 0 is the empty phrase. A
+// literal field of 0 marks a flush record (phrase only, no dictionary
+// growth), which keeps mid-stream flushes decodable — the property the
+// trace writer relies on for crash/deadlock survivability.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "compress/codec.hpp"
+
+namespace difftrace::compress {
+
+class Lz78Encoder final : public SymbolEncoder {
+ public:
+  void push(Symbol sym) override;
+  void flush() override;
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept override { return out_; }
+  [[nodiscard]] std::uint64_t symbol_count() const noexcept override { return pushed_; }
+
+ private:
+  // (phrase index, symbol) -> extended phrase index
+  std::map<std::pair<std::uint64_t, Symbol>, std::uint64_t> dict_;
+  std::vector<std::uint8_t> out_;
+  std::uint64_t current_ = 0;  // 0 = empty phrase
+  std::uint64_t next_index_ = 1;
+  std::uint64_t pushed_ = 0;
+};
+
+class Lz78Decoder final : public SymbolDecoder {
+ public:
+  [[nodiscard]] std::vector<Symbol> decode(std::span<const std::uint8_t> data) const override;
+};
+
+}  // namespace difftrace::compress

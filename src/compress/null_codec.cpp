@@ -1,0 +1,23 @@
+#include "compress/null_codec.hpp"
+
+#include "util/varint.hpp"
+
+namespace difftrace::compress {
+
+void NullEncoder::push(Symbol sym) {
+  ++pushed_;
+  util::put_varint(out_, sym);
+}
+
+std::vector<Symbol> NullDecoder::decode(std::span<const std::uint8_t> data) const {
+  std::vector<Symbol> out;
+  std::size_t pos = 0;
+  while (pos < data.size()) out.push_back(static_cast<Symbol>(util::get_varint(data, pos)));
+  return out;
+}
+
+Codec make_null_codec() {
+  return Codec{std::make_unique<NullEncoder>(), std::make_unique<NullDecoder>()};
+}
+
+}  // namespace difftrace::compress

@@ -1,0 +1,30 @@
+// "null" codec: plain varint literals, no modeling. The uncompressed
+// baseline for the compression-ratio experiment (E8).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/codec.hpp"
+
+namespace difftrace::compress {
+
+class NullEncoder final : public SymbolEncoder {
+ public:
+  void push(Symbol sym) override;
+  void flush() override {}
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept override { return out_; }
+  [[nodiscard]] std::uint64_t symbol_count() const noexcept override { return pushed_; }
+
+ private:
+  std::vector<std::uint8_t> out_;
+  std::uint64_t pushed_ = 0;
+};
+
+class NullDecoder final : public SymbolDecoder {
+ public:
+  [[nodiscard]] std::vector<Symbol> decode(std::span<const std::uint8_t> data) const override;
+};
+
+}  // namespace difftrace::compress

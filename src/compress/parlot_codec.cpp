@@ -1,0 +1,78 @@
+#include "compress/parlot_codec.hpp"
+
+#include <stdexcept>
+
+#include "util/varint.hpp"
+
+namespace difftrace::compress {
+
+namespace detail {
+
+bool Order2Predictor::predict(Symbol& out) const noexcept {
+  if (!warm_) return false;
+  const auto it = table_.find(context());
+  if (it == table_.end()) return false;
+  out = it->second;
+  return true;
+}
+
+void Order2Predictor::update(Symbol actual) {
+  if (warm_) table_[context()] = actual;
+  prev2_ = prev1_;
+  prev1_ = actual;
+  if (!warm_) {
+    if (++seen_ >= 2) warm_ = true;
+  }
+}
+
+}  // namespace detail
+
+void ParlotEncoder::push(Symbol sym) {
+  ++pushed_;
+  Symbol guess = 0;
+  if (predictor_.predict(guess) && guess == sym) {
+    ++run_;
+  } else {
+    util::put_varint(out_, run_);
+    util::put_varint(out_, static_cast<std::uint64_t>(sym) + 1);  // +1: 0 is the run-only marker
+    run_ = 0;
+  }
+  predictor_.update(sym);
+}
+
+void ParlotEncoder::flush() {
+  if (run_ != 0) {
+    util::put_varint(out_, run_);
+    util::put_varint(out_, 0);  // run-only chunk terminator
+    run_ = 0;
+  }
+}
+
+std::vector<Symbol> ParlotDecoder::decode(std::span<const std::uint8_t> data) const {
+  std::vector<Symbol> out;
+  detail::Order2Predictor predictor;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::uint64_t run = util::get_varint(data, pos);
+    const std::uint64_t literal = util::get_varint(data, pos);
+    for (std::uint64_t i = 0; i < run; ++i) {
+      Symbol guess = 0;
+      if (!predictor.predict(guess))
+        throw std::runtime_error("parlot decode: run claimed where predictor has no prediction");
+      out.push_back(guess);
+      predictor.update(guess);
+    }
+    if (literal != 0) {
+      const auto sym = static_cast<Symbol>(literal - 1);
+      out.push_back(sym);
+      predictor.update(sym);
+    }
+  }
+  return out;
+}
+
+Codec make_parlot_codec() {
+  return Codec{std::make_unique<ParlotEncoder>(), std::make_unique<ParlotDecoder>()};
+}
+
+}  // namespace difftrace::compress

@@ -1,0 +1,70 @@
+// "parlot" codec: order-2 finite-context predictor with hit-run-length
+// coding.
+//
+// The encoder keeps a hash table mapping the last two symbols (the context)
+// to the symbol that followed that context most recently. For each incoming
+// symbol it asks the predictor for its guess:
+//   - hit:  extend the current hit run (no output),
+//   - miss: emit the pending run length and the literal symbol, then update
+//           the table.
+// Tight loops in function-call traces make the predictor converge after one
+// iteration, so a loop iterated a million times costs a handful of bytes.
+// The decoder maintains the identical predictor and replays the stream.
+//
+// Wire format: a sequence of records, each `varint(run) varint(literal)`,
+// terminated at flush by `varint(run) 0xFF-marker` if a run is pending with
+// no literal. Concretely we encode record := varint(run_length) followed by
+// varint(literal+1); a literal field of 0 means "end-of-chunk, run only".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "compress/codec.hpp"
+
+namespace difftrace::compress {
+
+namespace detail {
+
+/// Shared predictor model: context (prev2, prev1) -> last successor.
+class Order2Predictor {
+ public:
+  [[nodiscard]] bool predict(Symbol& out) const noexcept;
+  void update(Symbol actual);
+
+ private:
+  [[nodiscard]] std::uint64_t context() const noexcept {
+    return (static_cast<std::uint64_t>(prev2_) << 32) | prev1_;
+  }
+
+  std::unordered_map<std::uint64_t, Symbol> table_;
+  Symbol prev1_ = 0xFFFFFFFFu;
+  Symbol prev2_ = 0xFFFFFFFFu;
+  bool warm_ = false;  // true once two symbols have been seen
+  int seen_ = 0;
+};
+
+}  // namespace detail
+
+class ParlotEncoder final : public SymbolEncoder {
+ public:
+  void push(Symbol sym) override;
+  void flush() override;
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept override { return out_; }
+  [[nodiscard]] std::uint64_t symbol_count() const noexcept override { return pushed_; }
+
+ private:
+  detail::Order2Predictor predictor_;
+  std::vector<std::uint8_t> out_;
+  std::uint64_t run_ = 0;
+  std::uint64_t pushed_ = 0;
+};
+
+class ParlotDecoder final : public SymbolDecoder {
+ public:
+  [[nodiscard]] std::vector<Symbol> decode(std::span<const std::uint8_t> data) const override;
+};
+
+}  // namespace difftrace::compress

@@ -1,0 +1,89 @@
+#include "core/attributes.hpp"
+
+#include <cmath>
+
+namespace difftrace::core {
+
+std::string AttrConfig::name() const {
+  std::string out = kind == AttrKind::Single ? "sing" : "doub";
+  out += '.';
+  switch (freq) {
+    case FreqMode::Actual: out += "actual"; break;
+    case FreqMode::Log10: out += "log10"; break;
+    case FreqMode::NoFreq: out += "noFreq"; break;
+  }
+  return out;
+}
+
+std::vector<AttrConfig> all_attr_configs() {
+  std::vector<AttrConfig> out;
+  for (const auto kind : {AttrKind::Single, AttrKind::Double})
+    for (const auto freq : {FreqMode::Actual, FreqMode::Log10, FreqMode::NoFreq})
+      out.push_back(AttrConfig{kind, freq});
+  return out;
+}
+
+namespace {
+
+/// Deep single mining: tokens accumulate their observed (expanded)
+/// frequency; each loop entry accumulates its iteration count under its
+/// shape label, at every nesting level.
+void mine_deep(const NlrItem& item, std::uint64_t multiplier, const TokenTable& tokens,
+               const LoopTable& loops, std::map<std::string, std::uint64_t>& freqs) {
+  if (!item.is_loop()) {
+    freqs[tokens.name(item.id)] += multiplier;
+    return;
+  }
+  freqs["L" + std::to_string(loops.shape_id(item.id))] += item.count * multiplier;
+  for (const auto& inner : loops.body(item.id))
+    mine_deep(inner, multiplier * item.count, tokens, loops, freqs);
+}
+
+}  // namespace
+
+std::map<std::string, std::uint64_t> mine_frequencies(const NlrProgram& program,
+                                                      const TokenTable& tokens,
+                                                      const LoopTable& loops, AttrKind kind,
+                                                      bool deep) {
+  std::map<std::string, std::uint64_t> freqs;
+  const auto weight = [](const NlrItem& item) { return item.is_loop() ? item.count : 1; };
+  const auto label_of = [&](const NlrItem& item) {
+    if (item.is_loop()) return "L" + std::to_string(loops.shape_id(item.id));
+    return tokens.name(item.id);
+  };
+  if (kind == AttrKind::Single) {
+    if (deep) {
+      for (const auto& item : program) mine_deep(item, 1, tokens, loops, freqs);
+    } else {
+      for (const auto& item : program) freqs[label_of(item)] += weight(item);
+    }
+  } else {
+    for (std::size_t i = 0; i + 1 < program.size(); ++i)
+      freqs[label_of(program[i]) + ">" + label_of(program[i + 1])] += 1;
+  }
+  return freqs;
+}
+
+std::set<std::string> mine_attributes(const NlrProgram& program, const TokenTable& tokens,
+                                      const LoopTable& loops, const AttrConfig& config) {
+  std::set<std::string> attrs;
+  for (const auto& [label, freq] :
+       mine_frequencies(program, tokens, loops, config.kind, config.deep)) {
+    switch (config.freq) {
+      case FreqMode::NoFreq:
+        attrs.insert(label);
+        break;
+      case FreqMode::Actual:
+        attrs.insert(label + ":" + std::to_string(freq));
+        break;
+      case FreqMode::Log10: {
+        const auto bucket = static_cast<std::uint64_t>(std::floor(std::log10(static_cast<double>(freq))));
+        attrs.insert(label + ":e" + std::to_string(bucket));
+        break;
+      }
+    }
+  }
+  return attrs;
+}
+
+}  // namespace difftrace::core

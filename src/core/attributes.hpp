@@ -1,0 +1,61 @@
+// Attribute mining from NLR programs — Table V of the paper.
+//
+// attr:   "Single" = each NLR entry (function name or loop id L<n>),
+//         "Double" = each consecutive pair of entries "A>B" (calling-context
+//         flavoured, as in Weber et al.'s structural clustering).
+// freq:   "Actual" = the observed frequency, "Log10" = floor(log10(freq)),
+//         "NoFreq" = presence only.
+// The mined attribute strings are "<attr>" (NoFreq) or "<attr>:<freq>", so
+// a frequency change makes a *different* attribute — the knob that controls
+// how sensitive the Jaccard similarity is to behavioural drift.
+//
+// A loop entry L^c contributes c to its attribute's frequency (the loop ran
+// c times); a plain entry contributes 1 per occurrence.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/nlr.hpp"
+
+namespace difftrace::core {
+
+enum class AttrKind : std::uint8_t { Single, Double };
+enum class FreqMode : std::uint8_t { Actual, Log10, NoFreq };
+
+struct AttrConfig {
+  AttrKind kind = AttrKind::Single;
+  FreqMode freq = FreqMode::NoFreq;
+  /// Deep single mining: besides the top-level NLR entries, every token is
+  /// credited its *observed* frequency in the expanded trace (a token inside
+  /// a loop body counts once per iteration). This keeps single attributes
+  /// invariant to how the reducer happened to segment a phase-shifted loop,
+  /// which otherwise fabricates attribute churn between asynchronous runs.
+  /// Off = literal Table V ("each entry of the trace NLR" only), used by the
+  /// walkthrough to print Table IV exactly.
+  bool deep = true;
+
+  /// "sing.noFreq" / "doub.log10" — the paper's ranking-table notation.
+  [[nodiscard]] std::string name() const;
+};
+
+/// All (kind, freq) combinations, the sweep axis of Tables VI-IX.
+[[nodiscard]] std::vector<AttrConfig> all_attr_configs();
+
+/// Raw frequency map before the freq-mode transform: attr label -> count.
+/// Loop entries are labelled by their count-insensitive *shape* id
+/// ("L<shape>"), so asynchronous runs whose loops merely iterate different
+/// numbers of times mine the same attribute vocabulary (see LoopTable).
+[[nodiscard]] std::map<std::string, std::uint64_t> mine_frequencies(const NlrProgram& program,
+                                                                    const TokenTable& tokens,
+                                                                    const LoopTable& loops,
+                                                                    AttrKind kind, bool deep = true);
+
+/// Final attribute set per Table V ({attr} or {attr:freq}).
+[[nodiscard]] std::set<std::string> mine_attributes(const NlrProgram& program, const TokenTable& tokens,
+                                                    const LoopTable& loops, const AttrConfig& config);
+
+}  // namespace difftrace::core

@@ -1,0 +1,59 @@
+#include "core/bscore.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace difftrace::core {
+
+double fowlkes_mallows_bk(const std::vector<int>& labels_a, const std::vector<int>& labels_b) {
+  if (labels_a.size() != labels_b.size())
+    throw std::invalid_argument("fowlkes_mallows_bk: label vectors differ in length");
+  const std::size_t n = labels_a.size();
+  if (n == 0) return 1.0;
+
+  int ka = 0;
+  int kb = 0;
+  for (const auto l : labels_a) ka = std::max(ka, l + 1);
+  for (const auto l : labels_b) kb = std::max(kb, l + 1);
+
+  std::vector<std::vector<double>> m(static_cast<std::size_t>(ka),
+                                     std::vector<double>(static_cast<std::size_t>(kb), 0.0));
+  for (std::size_t i = 0; i < n; ++i) m[static_cast<std::size_t>(labels_a[i])][static_cast<std::size_t>(labels_b[i])] += 1.0;
+
+  double t = -static_cast<double>(n);
+  for (const auto& row : m)
+    for (const auto v : row) t += v * v;
+
+  double p = -static_cast<double>(n);
+  for (const auto& row : m) {
+    double rs = 0.0;
+    for (const auto v : row) rs += v;
+    p += rs * rs;
+  }
+  double q = -static_cast<double>(n);
+  for (int j = 0; j < kb; ++j) {
+    double cs = 0.0;
+    for (int i = 0; i < ka; ++i) cs += m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    q += cs * cs;
+  }
+
+  if (p <= 0.0 || q <= 0.0) return t <= 0.0 ? 1.0 : 0.0;  // all-singleton degenerate cuts
+  return t / std::sqrt(p * q);
+}
+
+double bscore(const Dendrogram& a, const Dendrogram& b, std::size_t n) {
+  if (n < 2) return 1.0;
+  if (a.size() != n - 1 || b.size() != n - 1)
+    throw std::invalid_argument("bscore: dendrogram size does not match n");
+  const std::size_t k_lo = 2;
+  const std::size_t k_hi = n > 3 ? n - 1 : 2;
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t k = k_lo; k <= k_hi; ++k) {
+    sum += fowlkes_mallows_bk(cut_to_k(a, n, k), cut_to_k(b, n, k));
+    ++count;
+  }
+  return sum / static_cast<double>(count);
+}
+
+}  // namespace difftrace::core

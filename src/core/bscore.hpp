@@ -1,0 +1,25 @@
+// Fowlkes–Mallows comparison of two hierarchical clusterings (§III-C, [17]).
+//
+// For each cut level k = 2..n-1, both dendrograms are flattened into k
+// clusters and B_k = T_k / sqrt(P_k · Q_k) is computed from the k×k
+// contingency table (T_k = Σ m_ij² − n, P_k = Σ row² − n, Q_k = Σ col² − n).
+// The scalar B-score is the mean of B_k across cut levels: 1.0 for
+// identical hierarchies, smaller as they diverge. DiffTrace ranks parameter
+// combinations by ascending B-score — the combination under which the
+// faulty run's clustering changed the most is the most informative.
+#pragma once
+
+#include <vector>
+
+#include "core/hclust.hpp"
+
+namespace difftrace::core {
+
+/// B_k for one cut level, from two flat labelings of the same n objects.
+[[nodiscard]] double fowlkes_mallows_bk(const std::vector<int>& labels_a, const std::vector<int>& labels_b);
+
+/// Mean B_k over k = 2..n-1 (n < 4 degenerates to the single k = 2 cut;
+/// n < 2 is defined as 1.0).
+[[nodiscard]] double bscore(const Dendrogram& a, const Dendrogram& b, std::size_t n);
+
+}  // namespace difftrace::core

@@ -1,0 +1,115 @@
+#include "core/diff.hpp"
+
+#include <stdexcept>
+
+namespace difftrace::core {
+
+namespace {
+
+/// V array with k in [-max..max], stored with an offset.
+class KArray {
+ public:
+  explicit KArray(std::size_t max) : offset_(max), data_(2 * max + 1, 0) {}
+  [[nodiscard]] std::size_t& operator[](std::ptrdiff_t k) { return data_[static_cast<std::size_t>(k + static_cast<std::ptrdiff_t>(offset_))]; }
+  [[nodiscard]] std::size_t operator[](std::ptrdiff_t k) const { return data_[static_cast<std::size_t>(k + static_cast<std::ptrdiff_t>(offset_))]; }
+
+ private:
+  std::size_t offset_;
+  std::vector<std::size_t> data_;
+};
+
+void append_run(std::vector<EditChunk>& out, EditOp op, std::size_t a_pos, std::size_t b_pos,
+                std::size_t len) {
+  if (len == 0) return;
+  if (!out.empty() && out.back().op == op &&
+      out.back().a_begin + (op != EditOp::Insert ? out.back().length : 0) == a_pos &&
+      out.back().b_begin + (op != EditOp::Delete ? out.back().length : 0) == b_pos) {
+    out.back().length += len;
+    return;
+  }
+  out.push_back(EditChunk{op, a_pos, b_pos, len});
+}
+
+}  // namespace
+
+std::vector<EditChunk> myers_diff(std::span<const std::uint32_t> a, std::span<const std::uint32_t> b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  const std::size_t max = n + m;
+
+  // Forward pass, remembering the V array at each depth for backtracking.
+  std::vector<KArray> trace;
+  trace.reserve(max + 1);
+  KArray v(max == 0 ? 1 : max);
+  std::ptrdiff_t final_d = -1;
+  for (std::size_t d = 0; d <= max && final_d < 0; ++d) {
+    for (std::ptrdiff_t k = -static_cast<std::ptrdiff_t>(d); k <= static_cast<std::ptrdiff_t>(d); k += 2) {
+      std::size_t x;
+      if (k == -static_cast<std::ptrdiff_t>(d) ||
+          (k != static_cast<std::ptrdiff_t>(d) && v[k - 1] < v[k + 1])) {
+        x = v[k + 1];  // move down in the edit graph (take from b: Insert)
+      } else {
+        x = v[k - 1] + 1;  // move right (take from a: Delete)
+      }
+      std::size_t y = x - static_cast<std::size_t>(k);
+      while (x < n && y < m && a[x] == b[y]) {
+        ++x;
+        ++y;
+      }
+      v[k] = x;
+      if (x >= n && y >= m) {
+        final_d = static_cast<std::ptrdiff_t>(d);
+        break;
+      }
+    }
+    trace.push_back(v);
+  }
+  if (final_d < 0) throw std::logic_error("myers_diff: no path found (internal error)");
+
+  // Backtrack from (n, m) to (0, 0), collecting moves in reverse.
+  struct Move {
+    EditOp op;
+    std::size_t x;  // position in a after the move
+    std::size_t y;  // position in b after the move
+    std::size_t len;
+  };
+  std::vector<Move> moves;
+  std::size_t x = n;
+  std::size_t y = m;
+  for (std::ptrdiff_t d = final_d; d > 0; --d) {
+    const KArray& prev = trace[static_cast<std::size_t>(d - 1)];
+    const std::ptrdiff_t k = static_cast<std::ptrdiff_t>(x) - static_cast<std::ptrdiff_t>(y);
+    std::ptrdiff_t prev_k;
+    if (k == -d || (k != d && prev[k - 1] < prev[k + 1]))
+      prev_k = k + 1;  // came from an Insert
+    else
+      prev_k = k - 1;  // came from a Delete
+    const std::size_t prev_x = prev[prev_k];
+    const std::size_t prev_y = prev_x - static_cast<std::size_t>(prev_k);
+    // Snake (Equal run) after the single edit step.
+    const std::size_t step_x = prev_k == k + 1 ? prev_x : prev_x + 1;
+    const std::size_t step_y = prev_k == k + 1 ? prev_y + 1 : prev_y;
+    if (x > step_x) moves.push_back(Move{EditOp::Equal, step_x, step_y, x - step_x});
+    if (prev_k == k + 1)
+      moves.push_back(Move{EditOp::Insert, prev_x, prev_y, 1});
+    else
+      moves.push_back(Move{EditOp::Delete, prev_x, prev_y, 1});
+    x = prev_x;
+    y = prev_y;
+  }
+  if (x > 0) moves.push_back(Move{EditOp::Equal, 0, 0, x});  // leading snake at d = 0
+
+  std::vector<EditChunk> script;
+  for (auto it = moves.rbegin(); it != moves.rend(); ++it)
+    append_run(script, it->op, it->x, it->y, it->len);
+  return script;
+}
+
+std::size_t edit_distance(const std::vector<EditChunk>& script) {
+  std::size_t d = 0;
+  for (const auto& chunk : script)
+    if (chunk.op != EditOp::Equal) d += chunk.length;
+  return d;
+}
+
+}  // namespace difftrace::core

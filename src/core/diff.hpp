@@ -1,0 +1,31 @@
+// Myers O(ND) difference algorithm [18] over integer-token sequences — the
+// engine behind diffNLR, exactly the algorithm of GNU diff / git.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace difftrace::core {
+
+enum class EditOp : std::uint8_t { Equal, Delete, Insert };
+
+/// One run of the edit script. Equal consumes from both sides; Delete
+/// consumes from A only; Insert from B only.
+struct EditChunk {
+  EditOp op = EditOp::Equal;
+  std::size_t a_begin = 0;
+  std::size_t b_begin = 0;
+  std::size_t length = 0;
+
+  [[nodiscard]] bool operator==(const EditChunk&) const = default;
+};
+
+/// Minimal edit script converting `a` into `b` (runs coalesced, in order).
+[[nodiscard]] std::vector<EditChunk> myers_diff(std::span<const std::uint32_t> a,
+                                                std::span<const std::uint32_t> b);
+
+/// Total edit distance (inserted + deleted tokens) of a script.
+[[nodiscard]] std::size_t edit_distance(const std::vector<EditChunk>& script);
+
+}  // namespace difftrace::core

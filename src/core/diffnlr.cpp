@@ -1,0 +1,176 @@
+#include "core/diffnlr.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace difftrace::core {
+
+bool DiffNlr::identical() const noexcept {
+  for (const auto& block : blocks)
+    if (block.op != EditOp::Equal) return false;
+  return true;
+}
+
+std::size_t DiffNlr::distance() const noexcept {
+  std::size_t d = 0;
+  for (const auto& block : blocks)
+    if (block.op != EditOp::Equal) d += block.normal_items.size() + block.faulty_items.size();
+  return d;
+}
+
+std::string DiffNlr::render(bool color) const {
+  const char* kGreen = color ? "\x1b[32m" : "";
+  const char* kBlue = color ? "\x1b[34m" : "";
+  const char* kRed = color ? "\x1b[31m" : "";
+  const char* kReset = color ? "\x1b[0m" : "";
+  std::ostringstream os;
+  for (const auto& block : blocks) {
+    switch (block.op) {
+      case EditOp::Equal:
+        for (const auto& item : block.normal_items) os << kGreen << "  = " << item << kReset << '\n';
+        break;
+      case EditOp::Delete:
+        for (const auto& item : block.normal_items)
+          os << kBlue << "  - " << item << "   (normal only)" << kReset << '\n';
+        break;
+      case EditOp::Insert:
+        for (const auto& item : block.faulty_items)
+          os << kRed << "  + " << item << "   (faulty only)" << kReset << '\n';
+        break;
+    }
+  }
+  if (!legend.empty()) {
+    os << "  where:\n";
+    for (const auto& line : legend) os << "    " << line << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Collects `id` and every loop id its body references, depth-first.
+void collect_loop_ids(std::uint32_t id, const LoopTable& loops, std::set<std::uint32_t>& out) {
+  if (!out.insert(id).second) return;
+  for (const auto& item : loops.body(id))
+    if (item.is_loop()) collect_loop_ids(item.id, loops, out);
+}
+
+}  // namespace
+
+std::string DiffNlr::render_side_by_side() const {
+  // Column width: widest item on either side.
+  std::size_t width = 12;
+  for (const auto& block : blocks) {
+    for (const auto& item : block.normal_items) width = std::max(width, item.size());
+    for (const auto& item : block.faulty_items) width = std::max(width, item.size());
+  }
+
+  std::ostringstream os;
+  const auto center = [&](const std::string& text, std::size_t total) {
+    const std::size_t pad = total > text.size() ? total - text.size() : 0;
+    return std::string(pad / 2, ' ') + text + std::string(pad - pad / 2, ' ');
+  };
+  const std::size_t full = 2 * width + 3;  // two columns + middle separator
+
+  os << '|' << center("normal", width) << " | " << center("faulty", width) << "|\n";
+  os << '|' << std::string(full, '-') << "|\n";
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const auto& block = blocks[b];
+    if (block.op == EditOp::Equal) {
+      // Main stem: common items span both columns.
+      for (const auto& item : block.normal_items) os << '|' << center(item, full) << "|\n";
+      continue;
+    }
+    // Pair a Delete block with an immediately following Insert block (or
+    // vice versa) so the two sides line up, like the figures.
+    std::vector<std::string> left;
+    std::vector<std::string> right;
+    if (block.op == EditOp::Delete) {
+      left = block.normal_items;
+      if (b + 1 < blocks.size() && blocks[b + 1].op == EditOp::Insert) {
+        right = blocks[b + 1].faulty_items;
+        ++b;
+      }
+    } else {
+      right = block.faulty_items;
+      if (b + 1 < blocks.size() && blocks[b + 1].op == EditOp::Delete) {
+        left = blocks[b + 1].normal_items;
+        ++b;
+      }
+    }
+    const std::size_t rows = std::max(left.size(), right.size());
+    for (std::size_t r = 0; r < rows; ++r) {
+      os << '|' << center(r < left.size() ? left[r] : "", width) << " | "
+         << center(r < right.size() ? right[r] : "", width) << "|\n";
+    }
+  }
+  if (!legend.empty()) {
+    os << "where:\n";
+    for (const auto& line : legend) os << "  " << line << '\n';
+  }
+  return os.str();
+}
+
+DiffNlr diff_nlr(const NlrProgram& normal, const NlrProgram& faulty, const TokenTable& tokens,
+                 const LoopTable& loops) {
+  DiffNlr result = diff_nlr(normal, faulty, tokens);
+  std::set<std::uint32_t> ids;
+  for (const auto& program : {&normal, &faulty})
+    for (const auto& item : *program)
+      if (item.is_loop()) collect_loop_ids(item.id, loops, ids);
+  for (const auto id : ids) {
+    std::string line = "L" + std::to_string(id) + " = [";
+    const auto& body = loops.body(id);
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      if (i != 0) line += ' ';
+      line += item_label(body[i], tokens);
+    }
+    line += ']';
+    result.legend.push_back(std::move(line));
+  }
+  return result;
+}
+
+DiffNlr diff_nlr(const NlrProgram& normal, const NlrProgram& faulty, const TokenTable& tokens) {
+  // Map each distinct NLR item (exact, count included) to a diff token id.
+  std::map<NlrItem, std::uint32_t> ids;
+  const auto to_ids = [&](const NlrProgram& program) {
+    std::vector<std::uint32_t> out;
+    out.reserve(program.size());
+    for (const auto& item : program) {
+      const auto [it, _] = ids.emplace(item, static_cast<std::uint32_t>(ids.size()));
+      out.push_back(it->second);
+    }
+    return out;
+  };
+  const auto a = to_ids(normal);
+  const auto b = to_ids(faulty);
+  const auto script = myers_diff(a, b);
+
+  DiffNlr result;
+  for (const auto& chunk : script) {
+    DiffNlrBlock block;
+    block.op = chunk.op;
+    for (std::size_t i = 0; i < chunk.length; ++i) {
+      switch (chunk.op) {
+        case EditOp::Equal: {
+          const auto label = item_label(normal[chunk.a_begin + i], tokens);
+          block.normal_items.push_back(label);
+          block.faulty_items.push_back(label);
+          break;
+        }
+        case EditOp::Delete:
+          block.normal_items.push_back(item_label(normal[chunk.a_begin + i], tokens));
+          break;
+        case EditOp::Insert:
+          block.faulty_items.push_back(item_label(faulty[chunk.b_begin + i], tokens));
+          break;
+      }
+    }
+    result.blocks.push_back(std::move(block));
+  }
+  return result;
+}
+
+}  // namespace difftrace::core

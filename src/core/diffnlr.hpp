@@ -1,0 +1,58 @@
+// diffNLR (§II-F1): Myers diff over two NLR programs, rendered as a main
+// stem of common blocks with normal-only / faulty-only diff blocks — the
+// textual analogue of the paper's Figures 5-7.
+//
+// Tokens are whole NLR items compared exactly (loop id AND count), so
+// "L1^16" vs "L1^7" shows up as a diff — which is precisely how swapBug
+// (Figure 5) and the truncated dlBug run (Figure 6) become visible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/diff.hpp"
+#include "core/nlr.hpp"
+
+namespace difftrace::core {
+
+struct DiffNlrBlock {
+  EditOp op = EditOp::Equal;
+  std::vector<std::string> normal_items;  // Equal/Delete blocks
+  std::vector<std::string> faulty_items;  // Equal blocks mirror normal; Insert blocks fill this
+};
+
+struct DiffNlr {
+  std::vector<DiffNlrBlock> blocks;
+  /// "L0 = [MPI_Send MPI_Recv]"-style definitions of every loop id the
+  /// blocks reference (recursively). Filled when a LoopTable is supplied.
+  std::vector<std::string> legend;
+
+  [[nodiscard]] bool identical() const noexcept;
+  /// Inserted + deleted NLR items.
+  [[nodiscard]] std::size_t distance() const noexcept;
+
+  /// Text rendering:  "= item" common stem, "- item" normal-only,
+  /// "+ item" faulty-only, followed by the loop legend; optional ANSI
+  /// colors (green/blue/red).
+  [[nodiscard]] std::string render(bool color = false) const;
+
+  /// The paper's figure layout: common blocks span both columns (the "main
+  /// stem"); diff blocks sit side by side, normal left, faulty right.
+  ///
+  ///   |            MPI_Init             |
+  ///   | L1^16            | L1^7         |
+  ///   |                  | L0^9         |
+  ///   |           MPI_Finalize          |
+  [[nodiscard]] std::string render_side_by_side() const;
+};
+
+/// Diffs the NLR of trace x between the normal and faulty run — the paper's
+/// diffNLR(x) ≡ diff(T_x, T'_x). Both programs must come from the same
+/// analysis session (shared TokenTable/LoopTable). The overload taking the
+/// session's LoopTable also emits the loop-body legend.
+[[nodiscard]] DiffNlr diff_nlr(const NlrProgram& normal, const NlrProgram& faulty,
+                               const TokenTable& tokens);
+[[nodiscard]] DiffNlr diff_nlr(const NlrProgram& normal, const NlrProgram& faulty,
+                               const TokenTable& tokens, const LoopTable& loops);
+
+}  // namespace difftrace::core

@@ -1,0 +1,276 @@
+#include "core/fca.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace difftrace::core {
+
+// --- FormalContext ----------------------------------------------------------
+
+std::size_t FormalContext::add_object(const std::string& label) {
+  object_labels_.push_back(label);
+  incidence_.emplace_back(attribute_count(), false);
+  return object_labels_.size() - 1;
+}
+
+std::size_t FormalContext::add_attribute(const std::string& label) {
+  if (const auto existing = find_attribute(label)) return *existing;
+  attribute_labels_.push_back(label);
+  for (auto& row : incidence_) row.push_back(false);
+  return attribute_labels_.size() - 1;
+}
+
+std::optional<std::size_t> FormalContext::find_attribute(const std::string& label) const {
+  const auto it = std::find(attribute_labels_.begin(), attribute_labels_.end(), label);
+  if (it == attribute_labels_.end()) return std::nullopt;
+  return static_cast<std::size_t>(it - attribute_labels_.begin());
+}
+
+void FormalContext::set_incidence(std::size_t object, const std::string& attribute) {
+  set_incidence(object, add_attribute(attribute));
+}
+
+void FormalContext::set_incidence(std::size_t object, std::size_t attribute) {
+  incidence_.at(object).at(attribute) = true;
+}
+
+bool FormalContext::incident(std::size_t object, std::size_t attribute) const {
+  return incidence_.at(object).at(attribute);
+}
+
+util::DynamicBitset FormalContext::object_intent(std::size_t object) const {
+  util::DynamicBitset out(attribute_count());
+  const auto& row = incidence_.at(object);
+  for (std::size_t m = 0; m < row.size(); ++m)
+    if (row[m]) out.set(m);
+  return out;
+}
+
+util::DynamicBitset FormalContext::derive_objects(const util::DynamicBitset& objects) const {
+  util::DynamicBitset out(attribute_count());
+  if (attribute_count() == 0) return out;
+  for (std::size_t m = 0; m < attribute_count(); ++m) out.set(m);
+  for (std::size_t g = 0; g < object_count(); ++g) {
+    if (!objects.test(g)) continue;
+    out &= object_intent(g);
+  }
+  return out;
+}
+
+util::DynamicBitset FormalContext::derive_attributes(const util::DynamicBitset& attrs) const {
+  util::DynamicBitset out(object_count());
+  for (std::size_t g = 0; g < object_count(); ++g)
+    if (attrs.is_subset_of(object_intent(g))) out.set(g);
+  return out;
+}
+
+util::DynamicBitset FormalContext::closure(const util::DynamicBitset& attrs) const {
+  return derive_objects(derive_attributes(attrs));
+}
+
+std::string FormalContext::render() const {
+  std::ostringstream os;
+  std::size_t obj_width = 0;
+  for (const auto& label : object_labels_) obj_width = std::max(obj_width, label.size());
+  os << std::string(obj_width, ' ') << " |";
+  for (const auto& label : attribute_labels_) os << ' ' << label << " |";
+  os << '\n';
+  for (std::size_t g = 0; g < object_count(); ++g) {
+    os << object_labels_[g] << std::string(obj_width - object_labels_[g].size(), ' ') << " |";
+    for (std::size_t m = 0; m < attribute_count(); ++m) {
+      const auto w = attribute_labels_[m].size();
+      const char mark = incidence_[g][m] ? 'x' : ' ';
+      os << ' ' << std::string(w / 2, ' ') << mark << std::string(w - w / 2 - 1, ' ') << " |";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+// --- Lattice ---------------------------------------------------------------
+
+std::vector<std::pair<std::size_t, std::size_t>> Lattice::cover_edges() const {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 0; i < concepts.size(); ++i) {
+    for (std::size_t j = 0; j < concepts.size(); ++j) {
+      if (i == j) continue;
+      // j strictly below i?
+      if (!(concepts[j].extent.is_subset_of(concepts[i].extent) && concepts[j].extent != concepts[i].extent))
+        continue;
+      bool covered = true;
+      for (std::size_t k = 0; k < concepts.size() && covered; ++k) {
+        if (k == i || k == j) continue;
+        if (concepts[j].extent.is_subset_of(concepts[k].extent) && concepts[j].extent != concepts[k].extent &&
+            concepts[k].extent.is_subset_of(concepts[i].extent) && concepts[k].extent != concepts[i].extent)
+          covered = false;
+      }
+      if (covered) edges.emplace_back(i, j);
+    }
+  }
+  return edges;
+}
+
+std::size_t Lattice::object_concept(std::size_t g) const {
+  std::size_t best = concepts.size();
+  std::size_t best_extent = 0;
+  for (std::size_t i = 0; i < concepts.size(); ++i) {
+    if (g >= concepts[i].extent.size() || !concepts[i].extent.test(g)) continue;
+    if (best == concepts.size() || concepts[i].extent.count() < best_extent) {
+      best = i;
+      best_extent = concepts[i].extent.count();
+    }
+  }
+  if (best == concepts.size()) throw std::out_of_range("Lattice::object_concept: object in no concept");
+  return best;
+}
+
+std::string Lattice::render(const FormalContext& context) const {
+  // Reduced labelling: an attribute is printed at its attribute concept
+  // (the most general concept carrying it); an object at its object concept
+  // (the most specific concept containing it).
+  std::vector<std::vector<std::string>> attr_labels(concepts.size());
+  std::vector<std::vector<std::string>> object_labels(concepts.size());
+  for (std::size_t m = 0; m < context.attribute_count(); ++m) {
+    std::size_t best = concepts.size();
+    std::size_t best_extent = 0;
+    for (std::size_t i = 0; i < concepts.size(); ++i) {
+      if (!concepts[i].intent.test(m)) continue;
+      if (best == concepts.size() || concepts[i].extent.count() > best_extent) {
+        best = i;
+        best_extent = concepts[i].extent.count();
+      }
+    }
+    if (best != concepts.size()) attr_labels[best].push_back(context.attribute_label(m));
+  }
+  for (std::size_t g = 0; g < context.object_count(); ++g)
+    object_labels[object_concept(g)].push_back(context.object_label(g));
+
+  // Order top-down by extent size.
+  std::vector<std::size_t> order(concepts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return concepts[a].extent.count() > concepts[b].extent.count();
+  });
+
+  std::ostringstream os;
+  for (const auto i : order) {
+    os << "concept #" << i << "  extent=" << concepts[i].extent.count() << " object(s)";
+    if (!object_labels[i].empty()) {
+      os << "  objects:[";
+      for (std::size_t k = 0; k < object_labels[i].size(); ++k)
+        os << (k ? ", " : "") << object_labels[i][k];
+      os << ']';
+    }
+    if (!attr_labels[i].empty()) {
+      os << "  introduces:[";
+      for (std::size_t k = 0; k < attr_labels[i].size(); ++k) os << (k ? ", " : "") << attr_labels[i][k];
+      os << ']';
+    }
+    os << '\n';
+  }
+  os << cover_edges().size() << " cover edge(s)\n";
+  return os.str();
+}
+
+// --- IncrementalLattice --------------------------------------------------------
+
+IncrementalLattice::IncrementalLattice(std::size_t attribute_count, std::size_t max_concepts)
+    : attribute_count_(attribute_count), max_concepts_(max_concepts) {
+  // Empty context: the single concept has an empty extent and the full
+  // attribute set as intent (the lattice bottom).
+  util::DynamicBitset bottom(attribute_count_);
+  for (std::size_t m = 0; m < attribute_count_; ++m) bottom.set(m);
+  intents_.push_back(std::move(bottom));
+}
+
+void IncrementalLattice::add_object(const util::DynamicBitset& attributes) {
+  if (attributes.size() != attribute_count_)
+    throw std::invalid_argument("IncrementalLattice: attribute bitset size mismatch");
+  object_intents_.push_back(attributes);
+
+  // New closed intents are exactly {I ∩ A} ∪ {A}; all old intents remain
+  // closed. Maintains intersection-closure of the intent family.
+  std::unordered_set<util::DynamicBitset, util::DynamicBitsetHash> existing(intents_.begin(), intents_.end());
+  const std::size_t old_count = intents_.size();
+  for (std::size_t i = 0; i < old_count; ++i) {
+    auto meet = intents_[i] & attributes;
+    if (existing.insert(meet).second) intents_.push_back(std::move(meet));
+  }
+  if (existing.insert(attributes).second) intents_.push_back(attributes);
+  if (intents_.size() > max_concepts_)
+    throw std::length_error("IncrementalLattice: concept count exceeded " +
+                            std::to_string(max_concepts_) +
+                            " (pathological context; coarsen the attributes)");
+}
+
+Lattice IncrementalLattice::build() const {
+  Lattice lattice;
+  lattice.concepts.reserve(intents_.size());
+  for (const auto& intent : intents_) {
+    Concept c;
+    c.intent = intent;
+    c.extent = util::DynamicBitset(object_intents_.size());
+    for (std::size_t g = 0; g < object_intents_.size(); ++g)
+      if (intent.is_subset_of(object_intents_[g])) c.extent.set(g);
+    lattice.concepts.push_back(std::move(c));
+  }
+  std::sort(lattice.concepts.begin(), lattice.concepts.end(), [](const Concept& a, const Concept& b) {
+    if (a.extent.count() != b.extent.count()) return a.extent.count() > b.extent.count();
+    return a.intent.count() < b.intent.count();
+  });
+  return lattice;
+}
+
+// --- batch constructions -------------------------------------------------------
+
+Lattice next_closure_lattice(const FormalContext& context) {
+  const std::size_t m_count = context.attribute_count();
+  Lattice lattice;
+
+  util::DynamicBitset current = context.closure(util::DynamicBitset(m_count));
+  for (;;) {
+    Concept c;
+    c.intent = current;
+    c.extent = context.derive_attributes(current);
+    lattice.concepts.push_back(c);
+
+    // NextClosure step: find the lectically next closed set.
+    bool found = false;
+    util::DynamicBitset candidate(m_count);
+    for (std::size_t i = m_count; i-- > 0;) {
+      if (current.test(i)) continue;
+      util::DynamicBitset augmented(m_count);
+      for (std::size_t j = 0; j < i; ++j)
+        if (current.test(j)) augmented.set(j);
+      augmented.set(i);
+      auto closed = context.closure(augmented);
+      // Valid step iff closure adds no attribute smaller than i.
+      bool valid = true;
+      for (std::size_t j = 0; j < i && valid; ++j)
+        if (closed.test(j) && !current.test(j)) valid = false;
+      if (valid) {
+        candidate = std::move(closed);
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;
+    current = std::move(candidate);
+  }
+
+  std::sort(lattice.concepts.begin(), lattice.concepts.end(), [](const Concept& a, const Concept& b) {
+    if (a.extent.count() != b.extent.count()) return a.extent.count() > b.extent.count();
+    return a.intent.count() < b.intent.count();
+  });
+  return lattice;
+}
+
+Lattice incremental_lattice(const FormalContext& context) {
+  IncrementalLattice inc(context.attribute_count());
+  for (std::size_t g = 0; g < context.object_count(); ++g) inc.add_object(context.object_intent(g));
+  return inc.build();
+}
+
+}  // namespace difftrace::core

@@ -1,0 +1,116 @@
+// Formal Concept Analysis (§III-B).
+//
+// A formal context K = (G, M, I): objects G (traces), attributes M (mined
+// from NLR programs), incidence I. A *concept* is a pair (extent, intent)
+// with extent' = intent and intent' = extent (Galois closure). The concept
+// lattice orders concepts by extent inclusion.
+//
+// Two constructions are provided:
+//  * IncrementalLattice — objects are injected one at a time into an
+//    initially empty lattice, maintaining the set of closed intents
+//    (Godin-style incremental maintenance [21]; the intent set of the
+//    extended context is exactly {I ∩ A} ∪ {A} over existing intents I and
+//    the new object's attribute set A, plus the bottom intent M).
+//  * next_closure_lattice — Ganter's batch NextClosure [8], enumerating all
+//    closed attribute sets in lectic order. Quadratic in the concept count;
+//    used as the oracle in tests and the baseline in the FCA benchmark.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bitset.hpp"
+
+namespace difftrace::core {
+
+/// A formal context over string-labelled objects and attributes.
+class FormalContext {
+ public:
+  std::size_t add_object(const std::string& label);
+  std::size_t add_attribute(const std::string& label);
+  /// Adds attribute on first sight, then marks incidence.
+  void set_incidence(std::size_t object, const std::string& attribute);
+  void set_incidence(std::size_t object, std::size_t attribute);
+
+  [[nodiscard]] std::size_t object_count() const noexcept { return object_labels_.size(); }
+  [[nodiscard]] std::size_t attribute_count() const noexcept { return attribute_labels_.size(); }
+  [[nodiscard]] const std::string& object_label(std::size_t i) const { return object_labels_.at(i); }
+  [[nodiscard]] const std::string& attribute_label(std::size_t i) const { return attribute_labels_.at(i); }
+  [[nodiscard]] std::optional<std::size_t> find_attribute(const std::string& label) const;
+
+  /// Attribute set of one object, sized to attribute_count().
+  [[nodiscard]] util::DynamicBitset object_intent(std::size_t object) const;
+  [[nodiscard]] bool incident(std::size_t object, std::size_t attribute) const;
+
+  // Derivation operators.
+  /// attributes common to all objects in `objects`
+  [[nodiscard]] util::DynamicBitset derive_objects(const util::DynamicBitset& objects) const;
+  /// objects having all attributes in `attrs`
+  [[nodiscard]] util::DynamicBitset derive_attributes(const util::DynamicBitset& attrs) const;
+  /// closure(attrs) = derive(derive(attrs))
+  [[nodiscard]] util::DynamicBitset closure(const util::DynamicBitset& attrs) const;
+
+  /// Plain-text rendering (Table IV analogue: objects × attributes grid).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> object_labels_;
+  std::vector<std::string> attribute_labels_;
+  std::vector<std::vector<bool>> incidence_;  // [object][attribute]
+};
+
+struct Concept {
+  util::DynamicBitset extent;  // objects
+  util::DynamicBitset intent;  // attributes
+
+  [[nodiscard]] bool operator==(const Concept&) const = default;
+};
+
+struct Lattice {
+  std::vector<Concept> concepts;  // sorted by descending extent size, top first
+
+  /// Cover edges (i, j): concepts[i] is an upper neighbour of concepts[j].
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> cover_edges() const;
+  [[nodiscard]] std::size_t size() const noexcept { return concepts.size(); }
+
+  /// Index of the object concept of `g`: the concept with the largest
+  /// intent whose extent contains g.
+  [[nodiscard]] std::size_t object_concept(std::size_t g) const;
+
+  /// Multi-line rendering of the lattice (Figure 3 analogue).
+  [[nodiscard]] std::string render(const FormalContext& context) const;
+};
+
+/// Incrementally maintained lattice; feed objects as they are mined.
+class IncrementalLattice {
+ public:
+  /// `max_concepts` guards against pathological contexts (the worst case is
+  /// exponential, as the paper's O(2^2K·|G|) bound warns): exceeding it
+  /// throws std::length_error instead of exhausting memory.
+  explicit IncrementalLattice(std::size_t attribute_count, std::size_t max_concepts = 1'000'000);
+
+  /// Adds one object (attribute bitset sized to attribute_count).
+  void add_object(const util::DynamicBitset& attributes);
+
+  [[nodiscard]] std::size_t object_count() const noexcept { return object_intents_.size(); }
+  [[nodiscard]] std::size_t concept_count() const noexcept { return intents_.size(); }
+
+  /// Materializes the full lattice (computes extents for every intent).
+  [[nodiscard]] Lattice build() const;
+
+ private:
+  std::size_t attribute_count_;
+  std::size_t max_concepts_;
+  std::vector<util::DynamicBitset> object_intents_;
+  std::vector<util::DynamicBitset> intents_;  // closed intents, insertion order
+};
+
+/// Batch construction via NextClosure, the test oracle.
+[[nodiscard]] Lattice next_closure_lattice(const FormalContext& context);
+
+/// Incremental construction over a whole context (convenience).
+[[nodiscard]] Lattice incremental_lattice(const FormalContext& context);
+
+}  // namespace difftrace::core

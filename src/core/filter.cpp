@@ -1,0 +1,142 @@
+#include "core/filter.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "util/str.hpp"
+
+namespace difftrace::core {
+
+using util::contains_insensitive;
+using util::ends_with;
+using util::starts_with;
+
+std::string_view category_short_name(Category c) noexcept {
+  switch (c) {
+    case Category::MpiAll: return "mpiall";
+    case Category::MpiCollectives: return "mpicol";
+    case Category::MpiSendRecv: return "mpisr";
+    case Category::MpiInternal: return "mpiint";
+    case Category::OmpAll: return "omp";
+    case Category::OmpCritical: return "ompcrit";
+    case Category::OmpMutex: return "ompmutex";
+    case Category::Memory: return "mem";
+    case Category::Network: return "net";
+    case Category::Poll: return "poll";
+    case Category::String: return "string";
+  }
+  return "unknown";
+}
+
+bool category_matches(Category c, std::string_view name) {
+  switch (c) {
+    case Category::MpiAll:
+      return starts_with(name, "MPI_");
+    case Category::MpiCollectives: {
+      static constexpr std::array kCollectives = {
+          std::string_view{"MPI_Barrier"},   std::string_view{"MPI_Bcast"},
+          std::string_view{"MPI_Reduce"},    std::string_view{"MPI_Allreduce"},
+          std::string_view{"MPI_Gather"},    std::string_view{"MPI_Allgather"},
+          std::string_view{"MPI_Scatter"},   std::string_view{"MPI_Alltoall"},
+          std::string_view{"MPI_Reduce_scatter"},
+      };
+      for (const auto coll : kCollectives)
+        if (name == coll) return true;
+      return false;
+    }
+    case Category::MpiSendRecv:
+      return name == "MPI_Send" || name == "MPI_Isend" || name == "MPI_Recv" ||
+             name == "MPI_Irecv" || name == "MPI_Wait" || name == "MPI_Waitall";
+    case Category::MpiInternal:
+      return starts_with(name, "MPID") || starts_with(name, "MPIR_") || starts_with(name, "MPIDI_");
+    case Category::OmpAll:
+      return starts_with(name, "GOMP_");
+    case Category::OmpCritical:
+      return name == "GOMP_critical_start" || name == "GOMP_critical_end";
+    case Category::OmpMutex:
+      return contains_insensitive(name, "mutex");
+    case Category::Memory:
+      return contains_insensitive(name, "memcpy") || contains_insensitive(name, "memchk") ||
+             contains_insensitive(name, "memset") || contains_insensitive(name, "alloc") ||
+             contains_insensitive(name, "free");
+    case Category::Network:
+      return contains_insensitive(name, "network") || contains_insensitive(name, "tcp") ||
+             contains_insensitive(name, "sock") || contains_insensitive(name, "send_pkt") ||
+             contains_insensitive(name, "recv_pkt");
+    case Category::Poll:
+      return contains_insensitive(name, "poll") || contains_insensitive(name, "yield") ||
+             contains_insensitive(name, "sched");
+    case Category::String:
+      return starts_with(name, "str") || starts_with(name, "ret:str");
+  }
+  return false;
+}
+
+FilterSpec& FilterSpec::keep_custom(std::string regex) {
+  custom_regexes_.emplace_back(regex, std::regex::ECMAScript);
+  custom_patterns_.push_back(std::move(regex));
+  return *this;
+}
+
+bool FilterSpec::keeps_name(std::string_view name) const {
+  if (categories_.empty() && custom_regexes_.empty()) return true;  // Everything
+  for (const auto c : categories_)
+    if (category_matches(c, name)) return true;
+  for (const auto& re : custom_regexes_)
+    if (std::regex_search(name.begin(), name.end(), re)) return true;
+  return false;
+}
+
+std::string FilterSpec::name() const {
+  std::string out;
+  out += drop_returns_ ? '1' : '0';
+  out += drop_plt_ ? '1' : '0';
+  if (drop_plt_) out += ".plt";
+  for (const auto c : categories_) {
+    out += '.';
+    out += category_short_name(c);
+  }
+  if (!custom_patterns_.empty()) out += ".cust";
+  if (categories_.empty() && custom_patterns_.empty()) out += ".all";
+  return out;
+}
+
+std::vector<std::string> FilterSpec::apply(const std::vector<trace::TraceEvent>& events,
+                                           const trace::FunctionRegistry& registry) const {
+  // One registry snapshot instead of a mutex-guarded lookup per event —
+  // this is the hot path of every analysis, and parallel sweeps would
+  // otherwise serialize on the registry lock.
+  const auto functions = registry.snapshot();
+  std::vector<std::string> tokens;
+  tokens.reserve(events.size());
+  for (const auto& event : events) {
+    if (event.fid >= functions.size())
+      throw std::out_of_range("FilterSpec::apply: event references unknown function id " +
+                              std::to_string(event.fid));
+    const auto& fn = functions[event.fid];
+    if (drop_plt_ && ends_with(fn.name, "@plt")) continue;
+    if (event.kind == trace::EventKind::Return) {
+      if (drop_returns_) continue;
+      if (!keeps_name(fn.name)) continue;
+      tokens.push_back(std::string(kReturnPrefix) + fn.name);
+    } else {
+      if (!keeps_name(fn.name)) continue;
+      tokens.push_back(fn.name);
+    }
+  }
+  return tokens;
+}
+
+std::vector<std::string> FilterSpec::apply(const trace::TraceStore& store, trace::TraceKey key) const {
+  return apply(store.decode(key), store.registry());
+}
+
+FilterSpec FilterSpec::mpi_all() { return FilterSpec{}.keep(Category::MpiAll); }
+FilterSpec FilterSpec::mpi_collectives() { return FilterSpec{}.keep(Category::MpiCollectives); }
+FilterSpec FilterSpec::mpi_send_recv() { return FilterSpec{}.keep(Category::MpiSendRecv); }
+FilterSpec FilterSpec::omp_all() { return FilterSpec{}.keep(Category::OmpAll); }
+FilterSpec FilterSpec::omp_critical() { return FilterSpec{}.keep(Category::OmpCritical); }
+FilterSpec FilterSpec::memory() { return FilterSpec{}.keep(Category::Memory); }
+FilterSpec FilterSpec::everything() { return FilterSpec{}; }
+
+}  // namespace difftrace::core

@@ -1,0 +1,93 @@
+// Front-end trace filters — Table I of the paper.
+//
+// A FilterSpec is (a) two primary switches (drop returns, drop @plt stubs),
+// (b) a union of keep-categories (MPI/OMP/System sub-rows of Table I), and
+// (c) optional custom regular expressions. An empty keep-set with no
+// regexes means "Everything". The canonical name mirrors the paper's
+// ranking-table notation: "11.mpiall.cust" = drop returns, drop plt, keep
+// MPI-all plus the custom patterns.
+//
+// Filtering is the first pipeline stage: it turns a decoded event stream
+// into the token sequence NLR consumes. Kept Return events become tokens
+// prefixed "ret:" so loop detection still sees them as distinct entries.
+#pragma once
+
+#include <cstdint>
+#include <regex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/registry.hpp"
+#include "trace/store.hpp"
+
+namespace difftrace::core {
+
+enum class Category : std::uint8_t {
+  MpiAll,
+  MpiCollectives,
+  MpiSendRecv,
+  MpiInternal,
+  OmpAll,
+  OmpCritical,
+  OmpMutex,
+  Memory,
+  Network,
+  Poll,
+  String,
+};
+
+[[nodiscard]] std::string_view category_short_name(Category c) noexcept;
+
+/// True when `name` (a function name) belongs to `c` per Table I.
+[[nodiscard]] bool category_matches(Category c, std::string_view name);
+
+class FilterSpec {
+ public:
+  FilterSpec() = default;
+
+  FilterSpec& drop_returns(bool v) { drop_returns_ = v; return *this; }
+  FilterSpec& drop_plt(bool v) { drop_plt_ = v; return *this; }
+  FilterSpec& keep(Category c) { categories_.push_back(c); return *this; }
+  /// Adds a custom ECMAScript regex; a name matching ANY regex is kept.
+  FilterSpec& keep_custom(std::string regex);
+
+  [[nodiscard]] bool drops_returns() const noexcept { return drop_returns_; }
+  [[nodiscard]] bool drops_plt() const noexcept { return drop_plt_; }
+
+  /// True when the (call-event) function name survives the keep-set.
+  [[nodiscard]] bool keeps_name(std::string_view name) const;
+
+  /// "11.mpiall.cust"-style canonical name (paper ranking-table notation).
+  [[nodiscard]] std::string name() const;
+
+  /// Applies the filter to one decoded trace: returns the retained token
+  /// sequence ("foo" for calls, "ret:foo" for kept returns).
+  [[nodiscard]] std::vector<std::string> apply(const std::vector<trace::TraceEvent>& events,
+                                               const trace::FunctionRegistry& registry) const;
+
+  /// Convenience: decode + apply for one trace of a store.
+  [[nodiscard]] std::vector<std::string> apply(const trace::TraceStore& store, trace::TraceKey key) const;
+
+  // --- the pre-defined rows of Table I ------------------------------------
+  [[nodiscard]] static FilterSpec mpi_all();
+  [[nodiscard]] static FilterSpec mpi_collectives();
+  [[nodiscard]] static FilterSpec mpi_send_recv();
+  [[nodiscard]] static FilterSpec omp_all();
+  [[nodiscard]] static FilterSpec omp_critical();
+  [[nodiscard]] static FilterSpec memory();
+  [[nodiscard]] static FilterSpec everything();
+
+ private:
+  bool drop_returns_ = true;
+  bool drop_plt_ = true;
+  std::vector<Category> categories_;
+  std::vector<std::string> custom_patterns_;
+  std::vector<std::regex> custom_regexes_;
+};
+
+/// Prefix marking a kept Return event in the token stream.
+inline constexpr std::string_view kReturnPrefix = "ret:";
+
+}  // namespace difftrace::core

@@ -1,0 +1,108 @@
+#include "core/jsm.hpp"
+
+#include <algorithm>
+
+namespace difftrace::core {
+
+double jaccard(const std::set<std::string>& a, const std::set<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::size_t intersection = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++intersection;
+      ++ia;
+      ++ib;
+    }
+  }
+  const std::size_t uni = a.size() + b.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(uni);
+}
+
+double weighted_jaccard(const std::map<std::string, std::uint64_t>& a,
+                        const std::map<std::string, std::uint64_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  double min_sum = 0.0;
+  double max_sum = 0.0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() || ib != b.end()) {
+    if (ib == b.end() || (ia != a.end() && ia->first < ib->first)) {
+      max_sum += static_cast<double>(ia->second);
+      ++ia;
+    } else if (ia == a.end() || ib->first < ia->first) {
+      max_sum += static_cast<double>(ib->second);
+      ++ib;
+    } else {
+      min_sum += static_cast<double>(std::min(ia->second, ib->second));
+      max_sum += static_cast<double>(std::max(ia->second, ib->second));
+      ++ia;
+      ++ib;
+    }
+  }
+  return max_sum == 0.0 ? 1.0 : min_sum / max_sum;
+}
+
+util::Matrix jsm_from_frequencies(const std::vector<std::map<std::string, std::uint64_t>>& freqs) {
+  const std::size_t n = freqs.size();
+  util::Matrix m = util::Matrix::square(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double s = weighted_jaccard(freqs[i], freqs[j]);
+      m(i, j) = s;
+      m(j, i) = s;
+    }
+  }
+  return m;
+}
+
+util::Matrix jsm_from_attributes(const std::vector<std::set<std::string>>& attrs) {
+  const std::size_t n = attrs.size();
+  util::Matrix m = util::Matrix::square(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double s = jaccard(attrs[i], attrs[j]);
+      m(i, j) = s;
+      m(j, i) = s;
+    }
+  }
+  return m;
+}
+
+util::Matrix jsm_from_lattice(const Lattice& lattice, std::size_t object_count) {
+  util::Matrix m = util::Matrix::square(object_count);
+  std::vector<util::DynamicBitset> intents;
+  intents.reserve(object_count);
+  for (std::size_t g = 0; g < object_count; ++g)
+    intents.push_back(lattice.concepts[lattice.object_concept(g)].intent);
+  for (std::size_t i = 0; i < object_count; ++i) {
+    m(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < object_count; ++j) {
+      const auto inter = (intents[i] & intents[j]).count();
+      const auto uni = (intents[i] | intents[j]).count();
+      const double s = uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+      m(i, j) = s;
+      m(j, i) = s;
+    }
+  }
+  return m;
+}
+
+util::Matrix jsm_diff(const util::Matrix& normal, const util::Matrix& faulty) {
+  return abs_diff(faulty, normal);
+}
+
+std::vector<double> suspicion_scores(const util::Matrix& jsm_d) {
+  std::vector<double> scores(jsm_d.rows());
+  for (std::size_t i = 0; i < jsm_d.rows(); ++i) scores[i] = jsm_d.row_sum(i);
+  return scores;
+}
+
+}  // namespace difftrace::core

@@ -1,0 +1,52 @@
+// Jaccard Similarity Matrices (§II-E, §II-F).
+//
+// JSM[i][j] = |attrs(i) ∩ attrs(j)| / |attrs(i) ∪ attrs(j)| over the mined
+// attribute sets of each trace. JSM_D = |JSM_faulty − JSM_normal| is the
+// paper's "diff of the diffs" ("sky subtraction"): a base level of
+// dissimilarity exists even between healthy traces (master vs worker roles),
+// so what matters is how the similarity *relation changes* when the fault
+// is introduced. The per-trace suspicion score is the row sum of JSM_D —
+// "row 5 changed the most after the bug was introduced" (§II-G).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/fca.hpp"
+#include "util/matrix.hpp"
+
+namespace difftrace::core {
+
+/// Jaccard similarity of two string sets. Both empty => 1 (identical).
+[[nodiscard]] double jaccard(const std::set<std::string>& a, const std::set<std::string>& b);
+
+/// Weighted Jaccard over frequency vectors: Σ min(f_a, f_b) / Σ max(f_a,
+/// f_b) (missing keys count as 0). A graded alternative to embedding the
+/// frequency into the attribute identity (Table V's actual/log10 modes):
+/// a count drifting from 100 to 101 costs ~1%, not a whole attribute.
+[[nodiscard]] double weighted_jaccard(const std::map<std::string, std::uint64_t>& a,
+                                      const std::map<std::string, std::uint64_t>& b);
+
+/// Pairwise JSM over per-object frequency maps (weighted Jaccard).
+[[nodiscard]] util::Matrix jsm_from_frequencies(
+    const std::vector<std::map<std::string, std::uint64_t>>& freqs);
+
+/// Pairwise JSM over per-object attribute sets.
+[[nodiscard]] util::Matrix jsm_from_attributes(const std::vector<std::set<std::string>>& attrs);
+
+/// Same matrix computed through the concept lattice: each object's attribute
+/// set is recovered as the intent of its object concept. Exists to
+/// demonstrate (and test) that the lattice carries the full information.
+[[nodiscard]] util::Matrix jsm_from_lattice(const Lattice& lattice, std::size_t object_count);
+
+/// JSM_D = |faulty − normal| (element-wise).
+[[nodiscard]] util::Matrix jsm_diff(const util::Matrix& normal, const util::Matrix& faulty);
+
+/// Row sums of JSM_D: suspicion score per trace, descending order of
+/// "affected the most".
+[[nodiscard]] std::vector<double> suspicion_scores(const util::Matrix& jsm_d);
+
+}  // namespace difftrace::core

@@ -1,0 +1,231 @@
+#include "core/nlr.hpp"
+
+#include <stdexcept>
+
+namespace difftrace::core {
+
+// --- TokenTable -----------------------------------------------------------
+
+TokenId TokenTable::intern(const std::string& name) {
+  if (const auto it = by_name_.find(name); it != by_name_.end()) return it->second;
+  const auto id = static_cast<TokenId>(names_.size());
+  names_.push_back(name);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+const std::string& TokenTable::name(TokenId id) const {
+  if (id >= names_.size()) throw std::out_of_range("TokenTable: unknown token id " + std::to_string(id));
+  return names_[id];
+}
+
+std::optional<TokenId> TokenTable::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<TokenId> TokenTable::intern_all(const std::vector<std::string>& tokens) {
+  std::vector<TokenId> out;
+  out.reserve(tokens.size());
+  for (const auto& t : tokens) out.push_back(intern(t));
+  return out;
+}
+
+// --- LoopTable --------------------------------------------------------------
+
+const std::vector<std::uint32_t> LoopTable::kEmpty{};
+
+std::uint32_t LoopTable::intern(const NlrBody& body) {
+  if (body.empty()) throw std::invalid_argument("LoopTable: empty loop body");
+  if (const auto it = by_body_.find(body); it != by_body_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(bodies_.size());
+  bodies_.push_back(body);
+  by_body_.emplace(body, id);
+  if (by_length_.size() <= body.size()) by_length_.resize(body.size() + 1);
+  by_length_[body.size()].push_back(id);
+
+  // Canonical shape: strip counts, map nested loops to their shape ids
+  // (inner loops are always interned before the bodies that contain them).
+  NlrBody canonical = body;
+  for (auto& item : canonical) {
+    if (item.is_loop()) {
+      item.id = shape_ids_.at(item.id);
+      item.count = 0;
+    }
+  }
+  const auto [it, inserted] = by_shape_.emplace(std::move(canonical), next_shape_);
+  if (inserted) ++next_shape_;
+  shape_ids_.push_back(it->second);
+  return id;
+}
+
+std::uint32_t LoopTable::shape_id(std::uint32_t loop_id) const {
+  if (loop_id >= shape_ids_.size())
+    throw std::out_of_range("LoopTable: unknown loop id " + std::to_string(loop_id));
+  return shape_ids_[loop_id];
+}
+
+const NlrBody& LoopTable::body(std::uint32_t loop_id) const {
+  if (loop_id >= bodies_.size())
+    throw std::out_of_range("LoopTable: unknown loop id " + std::to_string(loop_id));
+  return bodies_[loop_id];
+}
+
+std::optional<std::uint32_t> LoopTable::find(const NlrBody& body) const {
+  const auto it = by_body_.find(body);
+  if (it == by_body_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<std::uint32_t>& LoopTable::bodies_of_length(std::size_t len) const {
+  if (len >= by_length_.size()) return kEmpty;
+  return by_length_[len];
+}
+
+// --- NlrBuilder --------------------------------------------------------------
+
+NlrBuilder::NlrBuilder(LoopTable& table, NlrConfig config) : table_(table), config_(config) {
+  if (config_.k == 0) throw std::invalid_argument("NlrConfig: k must be positive");
+  if (config_.min_reps < 2) throw std::invalid_argument("NlrConfig: min_reps must be >= 2");
+}
+
+void NlrBuilder::push(TokenId token) {
+  stack_.push_back(NlrItem::token(token));
+  reduce();
+}
+
+void NlrBuilder::push_all(const std::vector<TokenId>& tokens) {
+  for (const auto t : tokens) push(t);
+}
+
+bool NlrBuilder::blocks_equal(std::size_t start_a, std::size_t start_b, std::size_t len) const {
+  // Compare back-to-front: mismatches near the just-pushed end are cheapest.
+  for (std::size_t i = len; i-- > 0;)
+    if (stack_[start_a + i] != stack_[start_b + i]) return false;
+  return true;
+}
+
+bool NlrBuilder::try_extend() {
+  const std::size_t n = stack_.size();
+  // (a) adjacent loop merge: ... L^a L^b with the same body => L^(a+b).
+  if (n >= 2) {
+    const NlrItem& top = stack_[n - 1];
+    NlrItem& below = stack_[n - 2];
+    if (top.is_loop() && below.is_loop() && top.id == below.id) {
+      below.count += top.count;
+      stack_.pop_back();
+      return true;
+    }
+  }
+  // (b) body extension: ... L<body> body => count+1.
+  for (std::size_t b = 1; b <= config_.k && b + 1 <= n; ++b) {
+    const NlrItem& cand = stack_[n - b - 1];
+    if (!cand.is_loop()) continue;
+    const NlrBody& body = table_.body(cand.id);
+    if (body.size() != b) continue;
+    bool equal = true;
+    for (std::size_t i = 0; i < b; ++i) {
+      if (stack_[n - b + i] != body[i]) {
+        equal = false;
+        break;
+      }
+    }
+    if (!equal) continue;
+    stack_.resize(n - b);
+    stack_.back().count += 1;
+    return true;
+  }
+  return false;
+}
+
+bool NlrBuilder::try_form() {
+  const std::size_t n = stack_.size();
+  const std::size_t m = config_.min_reps;
+  for (std::size_t b = 1; b <= config_.k && m * b <= n; ++b) {
+    const std::size_t first = n - m * b;
+    bool all_equal = true;
+    for (std::size_t block = 1; block < m && all_equal; ++block)
+      all_equal = blocks_equal(first, first + block * b, b);
+    if (!all_equal) continue;
+    const NlrBody body(stack_.begin() + static_cast<std::ptrdiff_t>(n - b), stack_.end());
+    const auto loop_id = table_.intern(body);
+    stack_.resize(first);
+    stack_.push_back(NlrItem::loop(loop_id, m));
+    return true;
+  }
+  return false;
+}
+
+bool NlrBuilder::try_known_fold() {
+  const std::size_t n = stack_.size();
+  // Only bodies of length >= 2: folding single-token bodies would wrap every
+  // occurrence of any token that ever looped.
+  for (std::size_t b = 2; b <= config_.k && b <= n; ++b) {
+    const NlrBody candidate(stack_.begin() + static_cast<std::ptrdiff_t>(n - b), stack_.end());
+    const auto loop_id = table_.find(candidate);
+    if (!loop_id) continue;
+    stack_.resize(n - b);
+    stack_.push_back(NlrItem::loop(*loop_id, 1));
+    return true;
+  }
+  return false;
+}
+
+void NlrBuilder::reduce() {
+  for (;;) {
+    if (try_extend()) continue;
+    if (try_form()) continue;
+    if (config_.fold_known_bodies && try_known_fold()) continue;
+    break;
+  }
+}
+
+// --- free functions -----------------------------------------------------------
+
+NlrProgram build_nlr(const std::vector<TokenId>& tokens, LoopTable& table, const NlrConfig& config) {
+  NlrBuilder builder(table, config);
+  builder.push_all(tokens);
+  return builder.take();
+}
+
+namespace {
+
+void expand_into(const NlrItem& item, const LoopTable& table, std::vector<TokenId>& out) {
+  if (!item.is_loop()) {
+    out.push_back(item.id);
+    return;
+  }
+  const NlrBody& body = table.body(item.id);
+  for (std::uint64_t i = 0; i < item.count; ++i)
+    for (const auto& inner : body) expand_into(inner, table, out);
+}
+
+}  // namespace
+
+std::vector<TokenId> expand_nlr(const NlrProgram& program, const LoopTable& table) {
+  std::vector<TokenId> out;
+  for (const auto& item : program) expand_into(item, table, out);
+  return out;
+}
+
+std::string item_attr_label(const NlrItem& item, const TokenTable& tokens) {
+  if (item.is_loop()) return "L" + std::to_string(item.id);
+  return tokens.name(item.id);
+}
+
+std::string item_label(const NlrItem& item, const TokenTable& tokens) {
+  if (item.is_loop()) return "L" + std::to_string(item.id) + "^" + std::to_string(item.count);
+  return tokens.name(item.id);
+}
+
+std::string program_to_string(const NlrProgram& program, const TokenTable& tokens) {
+  std::string out;
+  for (const auto& item : program) {
+    out += item_label(item, tokens);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace difftrace::core

@@ -1,0 +1,336 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "util/stats.hpp"
+#include "util/str.hpp"
+#include "util/table.hpp"
+
+namespace difftrace::core {
+
+// --- Session -----------------------------------------------------------------
+
+Session::Session(const trace::TraceStore& normal, const trace::TraceStore& faulty, FilterSpec filter,
+                 NlrConfig nlr_config)
+    : filter_(std::move(filter)), nlr_config_(nlr_config) {
+  const auto normal_keys = normal.keys();
+  for (const auto& key : normal_keys)
+    if (faulty.contains(key)) traces_.push_back(key);
+
+  // Normal run first, then faulty: formation-order interning makes loop ids
+  // deterministic, and the normal run primes the table (§III-A heuristic).
+  normal_.reserve(traces_.size());
+  faulty_.reserve(traces_.size());
+  for (const auto& key : traces_) {
+    const auto ids = tokens_.intern_all(filter_.apply(normal, key));
+    normal_.push_back(build_nlr(ids, loops_, nlr_config_));
+  }
+  for (const auto& key : traces_) {
+    const auto ids = tokens_.intern_all(filter_.apply(faulty, key));
+    faulty_.push_back(build_nlr(ids, loops_, nlr_config_));
+  }
+}
+
+std::size_t Session::index_of(trace::TraceKey key) const {
+  const auto it = std::find(traces_.begin(), traces_.end(), key);
+  if (it == traces_.end()) throw std::out_of_range("Session: trace " + key.label() + " not in session");
+  return static_cast<std::size_t>(it - traces_.begin());
+}
+
+DiffNlr Session::diffnlr(trace::TraceKey key) const {
+  const auto i = index_of(key);
+  return diff_nlr(normal_[i], faulty_[i], tokens_, loops_);
+}
+
+double Session::progress_ratio(std::size_t i) const {
+  const auto normal_len = expand_nlr(normal_.at(i), loops_).size();
+  const auto faulty_len = expand_nlr(faulty_.at(i), loops_).size();
+  if (normal_len == 0) return 1.0;
+  return static_cast<double>(faulty_len) / static_cast<double>(normal_len);
+}
+
+std::vector<double> Session::progress_ratios() const {
+  std::vector<double> out(traces_.size());
+  for (std::size_t i = 0; i < traces_.size(); ++i) out[i] = progress_ratio(i);
+  return out;
+}
+
+std::size_t Session::least_progressed() const {
+  if (traces_.empty()) throw std::logic_error("Session::least_progressed: empty session");
+  const auto ratios = progress_ratios();
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < ratios.size(); ++i)
+    if (ratios[i] < ratios[best]) best = i;
+  return best;
+}
+
+std::string Session::label() const {
+  return filter_.name() + ".0K" + std::to_string(nlr_config_.k);
+}
+
+// --- Evaluation -------------------------------------------------------------
+
+Evaluation evaluate(const Session& session, const AttrConfig& attr, Linkage linkage_method) {
+  Evaluation out;
+  out.attr = attr;
+
+  const std::size_t n = session.traces().size();
+  std::vector<std::set<std::string>> attrs_normal(n);
+  std::vector<std::set<std::string>> attrs_faulty(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    attrs_normal[i] = mine_attributes(session.normal_nlr(i), session.tokens(), session.loops(), attr);
+    attrs_faulty[i] = mine_attributes(session.faulty_nlr(i), session.tokens(), session.loops(), attr);
+  }
+  out.jsm_normal = jsm_from_attributes(attrs_normal);
+  out.jsm_faulty = jsm_from_attributes(attrs_faulty);
+  out.jsm_d = jsm_diff(out.jsm_normal, out.jsm_faulty);
+  out.scores = suspicion_scores(out.jsm_d);
+
+  if (n >= 2) {
+    out.dend_normal = linkage(similarity_to_distance(out.jsm_normal), linkage_method);
+    out.dend_faulty = linkage(similarity_to_distance(out.jsm_faulty), linkage_method);
+    out.bscore = bscore(out.dend_normal, out.dend_faulty, n);
+  }
+  return out;
+}
+
+Evaluation evaluate_weighted(const Session& session, AttrKind kind, Linkage linkage_method) {
+  Evaluation out;
+  out.attr = AttrConfig{kind, FreqMode::Actual};
+
+  const std::size_t n = session.traces().size();
+  std::vector<std::map<std::string, std::uint64_t>> freqs_normal(n);
+  std::vector<std::map<std::string, std::uint64_t>> freqs_faulty(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    freqs_normal[i] = mine_frequencies(session.normal_nlr(i), session.tokens(), session.loops(), kind);
+    freqs_faulty[i] = mine_frequencies(session.faulty_nlr(i), session.tokens(), session.loops(), kind);
+  }
+  out.jsm_normal = jsm_from_frequencies(freqs_normal);
+  out.jsm_faulty = jsm_from_frequencies(freqs_faulty);
+  out.jsm_d = jsm_diff(out.jsm_normal, out.jsm_faulty);
+  out.scores = suspicion_scores(out.jsm_d);
+
+  if (n >= 2) {
+    out.dend_normal = linkage(similarity_to_distance(out.jsm_normal), linkage_method);
+    out.dend_faulty = linkage(similarity_to_distance(out.jsm_faulty), linkage_method);
+    out.bscore = bscore(out.dend_normal, out.dend_faulty, n);
+  }
+  return out;
+}
+
+SingleRunEvaluation evaluate_single_run(const trace::TraceStore& store, const FilterSpec& filter,
+                                        const AttrConfig& attr, const NlrConfig& nlr,
+                                        Linkage linkage_method) {
+  SingleRunEvaluation out;
+  out.traces = store.keys();
+
+  TokenTable tokens;
+  LoopTable loops;
+  std::vector<std::set<std::string>> attrs;
+  attrs.reserve(out.traces.size());
+  for (const auto& key : out.traces) {
+    const auto program = build_nlr(tokens.intern_all(filter.apply(store, key)), loops, nlr);
+    attrs.push_back(mine_attributes(program, tokens, loops, attr));
+  }
+  out.jsm = jsm_from_attributes(attrs);
+
+  const std::size_t n = out.traces.size();
+  out.outlier_scores.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != i) total += out.jsm(i, j);
+    out.outlier_scores[i] = n > 1 ? 1.0 - total / static_cast<double>(n - 1) : 0.0;
+  }
+  if (n >= 2) out.dendrogram = linkage(similarity_to_distance(out.jsm), linkage_method);
+  return out;
+}
+
+// --- suspicious selection -------------------------------------------------------
+
+std::vector<std::size_t> select_suspicious(const std::vector<double>& scores, std::size_t top_n,
+                                           double sigmas) {
+  constexpr double kEps = 1e-9;
+  const auto summary = util::summarize(scores);
+  const double threshold = summary.mean + sigmas * summary.stddev;
+
+  std::vector<std::size_t> order(scores.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+
+  std::vector<std::size_t> picked;
+  for (const auto i : order) {
+    if (picked.size() >= top_n) break;
+    if (scores[i] <= kEps) break;
+    if (scores[i] < threshold && !picked.empty()) break;
+    picked.push_back(i);
+  }
+  return picked;
+}
+
+// --- RankingTable -------------------------------------------------------------
+
+std::string RankingTable::render() const {
+  util::TextTable table({"Filter", "Attributes", "B-score", "Top Processes", "Top Threads"});
+  for (const auto& row : rows) {
+    std::vector<std::string> procs;
+    for (const auto p : row.top_processes) procs.push_back(std::to_string(p));
+    table.add_row({row.filter_label, row.attr_label, util::format_double(row.bscore),
+                   util::join(procs, ", "), util::join(row.top_threads, ", ")});
+  }
+  return table.render();
+}
+
+std::string RankingTable::consensus_thread() const {
+  // First-place finishes weigh 3, second 2, anything else in the list 1.
+  std::map<std::string, int> votes;
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.top_threads.size(); ++i)
+      votes[row.top_threads[i]] += i == 0 ? 3 : (i == 1 ? 2 : 1);
+  }
+  std::string best;
+  int best_votes = 0;
+  for (const auto& [label, v] : votes) {
+    if (v > best_votes) {
+      best = label;
+      best_votes = v;
+    }
+  }
+  return best;
+}
+
+int RankingTable::consensus_process() const {
+  std::map<int, int> votes;
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.top_processes.size(); ++i)
+      votes[row.top_processes[i]] += i == 0 ? 3 : (i == 1 ? 2 : 1);
+  }
+  int best = -1;
+  int best_votes = 0;
+  for (const auto& [proc, v] : votes) {
+    if (v > best_votes) {
+      best = proc;
+      best_votes = v;
+    }
+  }
+  return best;
+}
+
+// --- sweep ---------------------------------------------------------------------
+
+namespace {
+
+/// All rows for one filter (one Session, every attribute configuration).
+std::vector<RankingRow> rows_for_filter(const trace::TraceStore& normal,
+                                        const trace::TraceStore& faulty, const SweepConfig& config,
+                                        std::size_t filter_index) {
+  const Session session(normal, faulty, config.filters[filter_index], config.pipeline.nlr);
+  std::vector<RankingRow> rows;
+  rows.reserve(config.attributes.size());
+  for (std::size_t attr_index = 0; attr_index < config.attributes.size(); ++attr_index) {
+    const auto& attr = config.attributes[attr_index];
+    const auto eval = evaluate(session, attr, config.pipeline.linkage);
+
+    RankingRow row;
+    row.filter_label = session.label();
+    row.attr_label = attr.name();
+    row.bscore = eval.bscore;
+    row.filter_index = filter_index;
+    row.attr_index = attr_index;
+
+    const auto top = select_suspicious(eval.scores, config.pipeline.top_n,
+                                       config.pipeline.threshold_sigmas);
+    for (const auto i : top) row.top_threads.push_back(session.traces()[i].label());
+
+    // Process-level aggregation: mean suspicion across the process's
+    // threads, then the same selection rule.
+    std::map<int, std::pair<double, int>> per_proc;  // proc -> (sum, count)
+    for (std::size_t i = 0; i < session.traces().size(); ++i) {
+      auto& [sum, count] = per_proc[session.traces()[i].proc];
+      sum += eval.scores[i];
+      ++count;
+    }
+    std::vector<int> procs;
+    std::vector<double> proc_scores;
+    for (const auto& [proc, agg] : per_proc) {
+      procs.push_back(proc);
+      proc_scores.push_back(agg.first / agg.second);
+    }
+    const auto top_procs = select_suspicious(proc_scores, config.pipeline.top_n,
+                                             config.pipeline.threshold_sigmas);
+    for (const auto i : top_procs) row.top_processes.push_back(procs[i]);
+
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+RankingTable sweep(const trace::TraceStore& normal, const trace::TraceStore& faulty,
+                   const SweepConfig& config) {
+  const std::size_t requested =
+      config.analysis_threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                                   : config.analysis_threads;
+  const std::size_t workers = std::min(requested, std::max<std::size_t>(1, config.filters.size()));
+
+  std::vector<std::vector<RankingRow>> per_filter(config.filters.size());
+  if (workers <= 1) {
+    for (std::size_t f = 0; f < config.filters.size(); ++f)
+      per_filter[f] = rows_for_filter(normal, faulty, config, f);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const auto f = next.fetch_add(1, std::memory_order_relaxed);
+          if (f >= config.filters.size()) return;
+          try {
+            per_filter[f] = rows_for_filter(normal, faulty, config, f);
+          } catch (...) {
+            std::lock_guard lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  RankingTable table;
+  for (auto& rows : per_filter)
+    for (auto& row : rows) table.rows.push_back(std::move(row));
+  std::sort(table.rows.begin(), table.rows.end(), [](const RankingRow& a, const RankingRow& b) {
+    if (a.bscore != b.bscore) return a.bscore < b.bscore;
+    if (a.filter_index != b.filter_index) return a.filter_index < b.filter_index;
+    return a.attr_index < b.attr_index;
+  });
+  return table;
+}
+
+// --- DiffTrace facade --------------------------------------------------------------
+
+DiffTrace::DiffTrace(trace::TraceStore normal, trace::TraceStore faulty)
+    : normal_(std::move(normal)), faulty_(std::move(faulty)) {}
+
+Session DiffTrace::make_session(const FilterSpec& filter, const NlrConfig& nlr) const {
+  return Session(normal_, faulty_, filter, nlr);
+}
+
+RankingTable DiffTrace::rank(const SweepConfig& config) const {
+  return sweep(normal_, faulty_, config);
+}
+
+}  // namespace difftrace::core

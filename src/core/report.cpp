@@ -1,0 +1,89 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/str.hpp"
+#include "util/table.hpp"
+
+namespace difftrace::core {
+
+namespace {
+
+/// Suspects across all ranking rows, by the consensus voting scheme,
+/// descending.
+std::vector<std::string> voted_suspects(const RankingTable& table) {
+  std::map<std::string, int> votes;
+  for (const auto& row : table.rows)
+    for (std::size_t i = 0; i < row.top_threads.size(); ++i)
+      votes[row.top_threads[i]] += i == 0 ? 3 : (i == 1 ? 2 : 1);
+  std::vector<std::pair<std::string, int>> ordered(votes.begin(), votes.end());
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<std::string> out;
+  for (const auto& [label, _] : ordered) out.push_back(label);
+  return out;
+}
+
+trace::TraceKey parse_label(const std::string& label) {
+  const auto parts = util::split(label, '.');
+  return trace::TraceKey{std::stoi(parts.at(0)), std::stoi(parts.at(1))};
+}
+
+}  // namespace
+
+Report build_report(const trace::TraceStore& normal, const trace::TraceStore& faulty,
+                    const ReportConfig& config) {
+  Report report;
+  std::ostringstream os;
+
+  os << "==================== DiffTrace report ====================\n\n";
+
+  // 1. Triage: which debugging family is this?
+  report.triage = triage(normal, faulty, config.detail_filter, config.sweep.pipeline.nlr);
+  os << "--- triage ---\n" << report.triage.render() << '\n';
+
+  // 2. Ranking sweep.
+  report.ranking = sweep(normal, faulty, config.sweep);
+  os << "--- ranking (" << report.ranking.rows.size() << " parameter combinations) ---\n"
+     << report.ranking.render();
+  const auto consensus = report.ranking.consensus_thread();
+  if (!consensus.empty()) os << "consensus suspicious trace: " << consensus << "\n";
+  os << '\n';
+
+  // 3. Progress view under the detail filter.
+  const Session session(normal, faulty, config.detail_filter, config.sweep.pipeline.nlr);
+  if (!session.traces().empty()) {
+    const auto ratios = session.progress_ratios();
+    const auto least = session.least_progressed();
+    os << "--- progress (filter " << session.label() << ") ---\n";
+    os << "least progressed: " << session.traces()[least].label() << " at "
+       << util::format_double(ratios[least] * 100.0, 1) << "% of its normal-run work\n";
+    std::size_t truncated = 0;
+    for (const auto& key : session.traces())
+      if (faulty.blob(key).truncated) ++truncated;
+    os << truncated << " of " << session.traces().size() << " faulty traces watchdog-truncated\n\n";
+  }
+
+  // 4. diffNLRs of the top suspects (triage focus first if unranked).
+  for (const auto& label : voted_suspects(report.ranking)) {
+    if (report.suspects.size() >= config.diffnlr_count) break;
+    report.suspects.push_back(parse_label(label));
+  }
+  if (report.suspects.empty() && report.triage.bug_class != BugClass::NoAnomaly)
+    report.suspects.push_back(report.triage.focus);
+
+  for (const auto& key : report.suspects) {
+    if (std::find(session.traces().begin(), session.traces().end(), key) == session.traces().end())
+      continue;
+    const auto diff = session.diffnlr(key);
+    os << "--- diffNLR(" << key.label() << ") ---\n"
+       << (config.side_by_side ? diff.render_side_by_side() : diff.render()) << '\n';
+  }
+
+  report.text = os.str();
+  return report;
+}
+
+}  // namespace difftrace::core

@@ -1,0 +1,35 @@
+// The full DiffTrace report: one artifact combining everything the paper's
+// workflow surfaces for a normal/faulty pair — the bug-class triage, the
+// filter × attribute ranking table, the per-trace progress view, and the
+// diffNLRs of the top suspects (Figure 1's outputs, assembled).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/triage.hpp"
+
+namespace difftrace::core {
+
+struct ReportConfig {
+  SweepConfig sweep;
+  /// Filter used for the triage / progress / diffNLR sections (the sweep
+  /// may cover many; these sections need one vantage point).
+  FilterSpec detail_filter = FilterSpec::mpi_all();
+  /// diffNLRs rendered for this many top-voted suspects.
+  std::size_t diffnlr_count = 2;
+  bool side_by_side = false;
+};
+
+struct Report {
+  TriageReport triage;
+  RankingTable ranking;
+  std::vector<trace::TraceKey> suspects;  // descending vote order
+  std::string text;                       // the rendered artifact
+};
+
+[[nodiscard]] Report build_report(const trace::TraceStore& normal, const trace::TraceStore& faulty,
+                                  const ReportConfig& config);
+
+}  // namespace difftrace::core

@@ -1,0 +1,142 @@
+#include "core/triage.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace difftrace::core {
+
+std::string_view bug_class_name(BugClass c) noexcept {
+  switch (c) {
+    case BugClass::NoAnomaly: return "no-anomaly";
+    case BugClass::Hang: return "hang";
+    case BugClass::StructuralChange: return "structural-change";
+    case BugClass::FrequencyChange: return "frequency-change";
+  }
+  return "unknown";
+}
+
+std::string TriageReport::render() const {
+  std::ostringstream os;
+  os << "bug class: " << bug_class_name(bug_class) << '\n';
+  if (bug_class != BugClass::NoAnomaly) os << "inspect first: diffNLR(" << focus.label() << ")\n";
+  for (const auto& line : evidence) os << "  - " << line << '\n';
+  return os.str();
+}
+
+namespace {
+
+/// First few elements of a set, comma-joined, for evidence lines.
+std::string sample_of(const std::set<std::string>& items, std::size_t limit = 3) {
+  std::string out;
+  std::size_t shown = 0;
+  for (const auto& item : items) {
+    if (shown++ == limit) {
+      out += ", ...";
+      break;
+    }
+    if (!out.empty()) out += ", ";
+    out += item;
+  }
+  return out;
+}
+
+}  // namespace
+
+TriageReport triage(const trace::TraceStore& normal, const trace::TraceStore& faulty,
+                    const FilterSpec& filter, const NlrConfig& nlr) {
+  TriageReport report;
+  const Session session(normal, faulty, filter, nlr);
+  if (session.traces().empty()) {
+    report.evidence.push_back("no common traces between the two runs");
+    return report;
+  }
+
+  // --- Hang detection: watchdog truncation or lost progress ----------------
+  std::size_t truncated = 0;
+  for (const auto& key : session.traces())
+    if (faulty.blob(key).truncated) ++truncated;
+
+  const auto ratios = session.progress_ratios();
+  const auto least = session.least_progressed();
+  if (truncated > 0) {
+    report.bug_class = BugClass::Hang;
+    report.focus = session.traces()[least];
+    report.evidence.push_back(std::to_string(truncated) + " of " +
+                              std::to_string(session.traces().size()) +
+                              " faulty traces were truncated by the watchdog");
+    std::ostringstream os;
+    os << "least progressed: " << session.traces()[least].label() << " at "
+       << static_cast<int>(ratios[least] * 100.0) << "% of its normal-run work";
+    report.evidence.push_back(os.str());
+    return report;
+  }
+
+  // --- Structural vs frequency change over the attribute views -------------
+  const AttrConfig presence{AttrKind::Single, FreqMode::NoFreq};
+  const AttrConfig counts{AttrKind::Single, FreqMode::Actual};
+
+  double best_structural = 0.0;
+  std::size_t structural_focus = 0;
+  std::set<std::string> vanished_all;
+  std::set<std::string> appeared_all;
+  std::size_t count_drift_traces = 0;
+  double best_drift = 0.0;
+  std::size_t drift_focus = 0;
+
+  for (std::size_t i = 0; i < session.traces().size(); ++i) {
+    const auto a_normal = mine_attributes(session.normal_nlr(i), session.tokens(), session.loops(), presence);
+    const auto a_faulty = mine_attributes(session.faulty_nlr(i), session.tokens(), session.loops(), presence);
+    std::set<std::string> vanished;
+    std::set<std::string> appeared;
+    std::set_difference(a_normal.begin(), a_normal.end(), a_faulty.begin(), a_faulty.end(),
+                        std::inserter(vanished, vanished.begin()));
+    std::set_difference(a_faulty.begin(), a_faulty.end(), a_normal.begin(), a_normal.end(),
+                        std::inserter(appeared, appeared.begin()));
+    const auto structural = static_cast<double>(vanished.size() + appeared.size());
+    if (structural > best_structural) {
+      best_structural = structural;
+      structural_focus = i;
+    }
+    vanished_all.insert(vanished.begin(), vanished.end());
+    appeared_all.insert(appeared.begin(), appeared.end());
+
+    if (structural == 0.0) {
+      const auto c_normal = mine_attributes(session.normal_nlr(i), session.tokens(), session.loops(), counts);
+      const auto c_faulty = mine_attributes(session.faulty_nlr(i), session.tokens(), session.loops(), counts);
+      const double drift = 1.0 - jaccard(c_normal, c_faulty);
+      if (drift > 0.0) ++count_drift_traces;
+      if (drift > best_drift) {
+        best_drift = drift;
+        drift_focus = i;
+      }
+    }
+  }
+
+  if (best_structural > 0.0) {
+    report.bug_class = BugClass::StructuralChange;
+    report.focus = session.traces()[structural_focus];
+    if (!vanished_all.empty())
+      report.evidence.push_back("vanished from the faulty run: " + sample_of(vanished_all));
+    if (!appeared_all.empty())
+      report.evidence.push_back("appeared in the faulty run: " + sample_of(appeared_all));
+    report.evidence.push_back("largest presence change in trace " +
+                              session.traces()[structural_focus].label());
+    return report;
+  }
+
+  if (count_drift_traces > 0) {
+    report.bug_class = BugClass::FrequencyChange;
+    report.focus = session.traces()[drift_focus];
+    report.evidence.push_back(std::to_string(count_drift_traces) +
+                              " trace(s) run the same calls and loop shapes at different counts");
+    report.evidence.push_back("largest count drift in trace " + session.traces()[drift_focus].label());
+    return report;
+  }
+
+  report.evidence.push_back("traces are identical under this filter; try another filter or "
+                            "all-images capture");
+  return report;
+}
+
+}  // namespace difftrace::core

@@ -1,0 +1,52 @@
+// Initial bug triage (§I of the paper: "collect one standard set of data
+// and use it to make an initial triage ... guide a later, deeper debugging
+// phase"; future-work item 3 sketches classifying bugs from lattice/loop
+// features).
+//
+// The classifier runs the standard pipeline on a normal/faulty store pair
+// and maps the observable change onto a coarse bug class:
+//
+//   Hang              some faulty trace was truncated by the watchdog, or
+//                     stopped reaching calls its normal counterpart made
+//                     at the end (deadlock/livelock family). Focus: the
+//                     least-progressed trace.
+//   StructuralChange  presence-based attribute sets changed — calls or
+//                     loop structures appeared/vanished (swapped orders,
+//                     missing critical sections, skipped phases). Focus:
+//                     the trace with the largest presence change.
+//   FrequencyChange   the same calls and loop shapes, different counts
+//                     (silent semantic bugs like a wrong reduction
+//                     operator). Focus: the trace with the largest count
+//                     drift.
+//   NoAnomaly         nothing observable under this filter.
+//
+// The classes intentionally mirror the paper's three studied fault
+// families (Table VII hang, Table VI structural, Table VIII silent).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace difftrace::core {
+
+enum class BugClass { NoAnomaly, Hang, StructuralChange, FrequencyChange };
+
+[[nodiscard]] std::string_view bug_class_name(BugClass c) noexcept;
+
+struct TriageReport {
+  BugClass bug_class = BugClass::NoAnomaly;
+  /// Suggested trace to inspect first (diffNLR target). Meaningful unless
+  /// NoAnomaly.
+  trace::TraceKey focus{};
+  /// Human-readable rationale lines.
+  std::vector<std::string> evidence;
+
+  [[nodiscard]] std::string render() const;
+};
+
+[[nodiscard]] TriageReport triage(const trace::TraceStore& normal, const trace::TraceStore& faulty,
+                                  const FilterSpec& filter, const NlrConfig& nlr = {});
+
+}  // namespace difftrace::core

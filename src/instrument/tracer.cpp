@@ -1,0 +1,109 @@
+#include "instrument/tracer.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace difftrace::instrument {
+
+namespace {
+
+// Hot-path state is thread-local so instrumented code never touches the
+// Tracer mutex per event: the writer and registry are cached at bind time
+// (bind/unbind happen at thread start/end, strictly inside a session).
+struct ThreadState {
+  trace::TraceWriter* writer = nullptr;
+  trace::FunctionRegistry* registry = nullptr;
+};
+thread_local ThreadState t_state;
+
+std::atomic<CaptureLevel> g_level{CaptureLevel::MainImage};
+
+[[nodiscard]] bool captures(trace::Image image) noexcept {
+  return g_level.load(std::memory_order_relaxed) == CaptureLevel::AllImages ||
+         image != trace::Image::Internal;
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::begin_session(std::shared_ptr<trace::FunctionRegistry> registry, CaptureLevel level,
+                           std::string codec_name) {
+  std::lock_guard lock(mutex_);
+  if (active_) throw std::logic_error("Tracer: a session is already active");
+  if (!registry) throw std::invalid_argument("Tracer: registry must not be null");
+  active_ = true;
+  level_ = level;
+  g_level.store(level, std::memory_order_relaxed);
+  codec_name_ = std::move(codec_name);
+  registry_ = std::move(registry);
+  writers_.clear();
+}
+
+trace::TraceStore Tracer::end_session() {
+  std::lock_guard lock(mutex_);
+  if (!active_) throw std::logic_error("Tracer: no active session");
+  trace::TraceStore store(registry_);
+  for (const auto& [key, writer] : writers_) store.absorb(*writer);
+  active_ = false;
+  registry_.reset();
+  writers_.clear();
+  return store;
+}
+
+bool Tracer::session_active() const {
+  std::lock_guard lock(mutex_);
+  return active_;
+}
+
+CaptureLevel Tracer::level() const {
+  std::lock_guard lock(mutex_);
+  return level_;
+}
+
+void Tracer::bind_current_thread(trace::TraceKey key) {
+  std::lock_guard lock(mutex_);
+  if (!active_) throw std::logic_error("Tracer: bind_current_thread without an active session");
+  if (t_state.writer != nullptr) throw std::logic_error("Tracer: thread already bound");
+  auto& slot = writers_[key];
+  if (!slot) slot = std::make_unique<trace::TraceWriter>(key, codec_name_);
+  t_state.writer = slot.get();
+  t_state.registry = registry_.get();
+}
+
+void Tracer::unbind_current_thread() noexcept { t_state = ThreadState{}; }
+
+void Tracer::on_call(std::string_view name, trace::Image image) {
+  const ThreadState state = t_state;
+  if (state.writer == nullptr || !captures(image)) return;
+  state.writer->record(trace::EventKind::Call, state.registry->intern(name, image));
+}
+
+void Tracer::on_return(std::string_view name, trace::Image image) {
+  const ThreadState state = t_state;
+  if (state.writer == nullptr || !captures(image)) return;
+  state.writer->record(trace::EventKind::Return, state.registry->intern(name, image));
+}
+
+void Tracer::freeze_all() {
+  std::lock_guard lock(mutex_);
+  for (const auto& [key, writer] : writers_) writer->freeze();
+}
+
+TraceScope::TraceScope(std::string_view name, trace::Image image, bool plt)
+    : name_(name), image_(image), plt_(plt) {
+  auto& tracer = Tracer::instance();
+  if (plt_) tracer.on_call(name_ + "@plt", trace::Image::Main);
+  tracer.on_call(name_, image_);
+}
+
+TraceScope::~TraceScope() {
+  auto& tracer = Tracer::instance();
+  tracer.on_return(name_, image_);
+  if (plt_) tracer.on_return(name_ + "@plt", trace::Image::Main);
+}
+
+}  // namespace difftrace::instrument

@@ -1,0 +1,133 @@
+// The instrumentation layer: DiffTrace's stand-in for Pin + ParLOT.
+//
+// Real ParLOT attaches to a binary and records every function call/return
+// per thread, at one of two capture levels: *main image* (application code,
+// API entry points, and `@plt` stubs) or *all images* (additionally the
+// library-internal helpers). Here, instrumented code declares its functions
+// with RAII `TraceScope` guards; the guard emits a Call event on entry and a
+// Return event on destruction into a writer bound to the current thread.
+//
+// API wrappers (MPI_*, GOMP_*, memcpy, ...) construct their scopes with
+// `plt = true`, which additionally brackets the call with a synthetic
+// `<name>@plt` stub — the artifact Pin sees when the main image calls into a
+// shared library, and the thing Table I's "PLT" filter removes.
+//
+// Usage:
+//   Tracer::instance().begin_session(registry, CaptureLevel::MainImage);
+//   ... per thread: ThreadBinding bind({proc, thread}); run code ...
+//   trace::TraceStore store = Tracer::instance().end_session();
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "trace/event.hpp"
+#include "trace/registry.hpp"
+#include "trace/store.hpp"
+#include "trace/writer.hpp"
+
+namespace difftrace::instrument {
+
+enum class CaptureLevel {
+  MainImage,  // application functions, API entry points, @plt stubs
+  AllImages,  // additionally Image::Internal library helpers
+};
+
+class Tracer {
+ public:
+  [[nodiscard]] static Tracer& instance();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Starts a tracing session. Throws std::logic_error if one is active.
+  void begin_session(std::shared_ptr<trace::FunctionRegistry> registry,
+                     CaptureLevel level = CaptureLevel::MainImage,
+                     std::string codec_name = "parlot");
+
+  /// Harvests all per-thread writers into a TraceStore and closes the
+  /// session. Throws std::logic_error if none is active.
+  [[nodiscard]] trace::TraceStore end_session();
+
+  [[nodiscard]] bool session_active() const;
+  [[nodiscard]] CaptureLevel level() const;
+
+  /// Binds the calling thread to a trace stream. One binding per thread at
+  /// a time; ThreadBinding is the RAII front door. Re-binding a key that
+  /// already has a stream appends to it — successive parallel regions of
+  /// the same process keep writing the same per-thread trace file, exactly
+  /// as an OS thread reused across OpenMP regions would.
+  void bind_current_thread(trace::TraceKey key);
+  void unbind_current_thread() noexcept;
+
+  /// Instrumentation callbacks (no-ops when the thread is unbound, the
+  /// session is closed, or the capture level excludes the image).
+  void on_call(std::string_view name, trace::Image image);
+  void on_return(std::string_view name, trace::Image image);
+
+  /// Watchdog hook: permanently freezes every writer in the session, so
+  /// post-abort unwinding cannot append events (deadlock truncation).
+  void freeze_all();
+
+ private:
+  Tracer() = default;
+
+  mutable std::mutex mutex_;
+  bool active_ = false;
+  CaptureLevel level_ = CaptureLevel::MainImage;
+  std::string codec_name_ = "parlot";
+  std::shared_ptr<trace::FunctionRegistry> registry_;
+  std::map<trace::TraceKey, std::unique_ptr<trace::TraceWriter>> writers_;
+};
+
+/// RAII thread binding. Throws if no session is active.
+class ThreadBinding {
+ public:
+  explicit ThreadBinding(trace::TraceKey key) { Tracer::instance().bind_current_thread(key); }
+  ~ThreadBinding() { Tracer::instance().unbind_current_thread(); }
+  ThreadBinding(const ThreadBinding&) = delete;
+  ThreadBinding& operator=(const ThreadBinding&) = delete;
+};
+
+/// RAII thread binding that is a no-op when no session is active, so the
+/// simulated runtimes can run untraced (e.g. in correctness unit tests).
+class ScopedBinding {
+ public:
+  explicit ScopedBinding(trace::TraceKey key) {
+    auto& tracer = Tracer::instance();
+    if (tracer.session_active()) {
+      tracer.bind_current_thread(key);
+      bound_ = true;
+    }
+  }
+  ~ScopedBinding() {
+    if (bound_) Tracer::instance().unbind_current_thread();
+  }
+  ScopedBinding(const ScopedBinding&) = delete;
+  ScopedBinding& operator=(const ScopedBinding&) = delete;
+
+ private:
+  bool bound_ = false;
+};
+
+/// RAII call/return guard. `plt` wraps the call in a synthetic @plt stub.
+class TraceScope {
+ public:
+  explicit TraceScope(std::string_view name, trace::Image image = trace::Image::Main, bool plt = false);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  std::string name_;
+  trace::Image image_;
+  bool plt_;
+};
+
+}  // namespace difftrace::instrument
+
+/// Instruments the enclosing scope as application (main-image) code.
+#define DIFFTRACE_FN(name) ::difftrace::instrument::TraceScope difftrace_scope_##__LINE__(name)

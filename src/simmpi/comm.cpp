@@ -1,0 +1,167 @@
+#include "simmpi/comm.hpp"
+
+#include "instrument/tracer.hpp"
+
+namespace difftrace::simmpi {
+
+namespace {
+
+using instrument::TraceScope;
+using trace::Image;
+
+/// MPI API entry: "<name>@plt" stub + the API function itself.
+[[nodiscard]] TraceScope api_scope(const char* name) { return TraceScope(name, Image::MpiLib, /*plt=*/true); }
+
+/// Library-internal helper, visible only to all-images captures.
+struct InternalScope {
+  explicit InternalScope(const char* name) : scope(name, Image::Internal) {}
+  TraceScope scope;
+};
+
+}  // namespace
+
+Comm::Comm(std::shared_ptr<World> world, int rank) : world_(std::move(world)), rank_(rank) {
+  if (!world_) throw MpiError("Comm: world must not be null");
+  if (rank_ < 0 || rank_ >= world_->nranks()) throw MpiError("Comm: rank out of range");
+}
+
+void Comm::init() {
+  auto scope = api_scope("MPI_Init");
+  InternalScope a("MPID_Init");
+  InternalScope b("MPIDI_CH3_Init");
+}
+
+int Comm::comm_rank() {
+  auto scope = api_scope("MPI_Comm_rank");
+  return rank_;
+}
+
+int Comm::comm_size() {
+  auto scope = api_scope("MPI_Comm_size");
+  return world_->nranks();
+}
+
+void Comm::finalize() {
+  auto scope = api_scope("MPI_Finalize");
+  InternalScope a("MPID_Finalize");
+  // Synchronizing, like most real implementations: a job with one
+  // deadlocked rank hangs here, so the surviving ranks' traces show an
+  // MPI_Finalize call with no return.
+  world_->collective(rank_, CollParams{.type = CollType::Finalize}, {}, {});
+  world_->mark_finished(rank_);
+}
+
+void Comm::send_bytes(std::span<const std::byte> data, int dest, int tag) {
+  auto scope = api_scope("MPI_Send");
+  InternalScope a("MPID_Send");
+  InternalScope b("MPIDI_CH3_iSend");
+  world_->send(rank_, dest, tag, data);
+}
+
+std::size_t Comm::recv_bytes(std::span<std::byte> out, int src, int tag) {
+  auto scope = api_scope("MPI_Recv");
+  InternalScope a("MPID_Recv");
+  InternalScope b("MPIDI_CH3U_Recvq_FDU_or_AEP");
+  return world_->recv(rank_, src, tag, out);
+}
+
+Request Comm::isend_bytes(std::span<const std::byte> data, int dest, int tag) {
+  auto scope = api_scope("MPI_Isend");
+  InternalScope a("MPID_Isend");
+  Request req;
+  req.kind_ = Request::Kind::Send;
+  req.peer_ = dest;
+  req.tag_ = tag;
+  req.msg_ = world_->post_send(rank_, dest, tag, data);
+  req.complete_ = !req.msg_->rendezvous;
+  return req;
+}
+
+Request Comm::irecv_bytes(std::span<std::byte> out, int src, int tag) {
+  auto scope = api_scope("MPI_Irecv");
+  InternalScope a("MPID_Irecv");
+  Request req;
+  req.kind_ = Request::Kind::Recv;
+  req.peer_ = src;
+  req.tag_ = tag;
+  req.recv_buffer_ = out;
+  req.complete_ = world_->try_recv(rank_, src, tag, out).has_value();
+  return req;
+}
+
+void Comm::wait(Request& request) {
+  auto scope = api_scope("MPI_Wait");
+  InternalScope a("MPIR_Wait");
+  if (request.complete_ || request.kind_ == Request::Kind::None) {
+    request.complete_ = true;
+    return;
+  }
+  switch (request.kind_) {
+    case Request::Kind::Send:
+      world_->await_send(rank_, request.msg_);
+      break;
+    case Request::Kind::Recv:
+      world_->recv(rank_, request.peer_, request.tag_, request.recv_buffer_);
+      break;
+    case Request::Kind::None:
+      break;
+  }
+  request.complete_ = true;
+}
+
+void Comm::waitall(std::span<Request> requests) {
+  auto scope = api_scope("MPI_Waitall");
+  InternalScope a("MPIR_Waitall");
+  for (auto& request : requests) {
+    if (request.complete_ || request.kind_ == Request::Kind::None) {
+      request.complete_ = true;
+      continue;
+    }
+    switch (request.kind_) {
+      case Request::Kind::Send:
+        world_->await_send(rank_, request.msg_);
+        break;
+      case Request::Kind::Recv:
+        world_->recv(rank_, request.peer_, request.tag_, request.recv_buffer_);
+        break;
+      case Request::Kind::None:
+        break;
+    }
+    request.complete_ = true;
+  }
+}
+
+void Comm::barrier() {
+  auto scope = api_scope("MPI_Barrier");
+  InternalScope a("MPIR_Barrier_intra");
+  world_->collective(rank_, CollParams{.type = CollType::Barrier}, {}, {});
+}
+
+void Comm::bcast_bytes(std::span<std::byte> data, Dtype dtype, std::size_t count, int root) {
+  auto scope = api_scope("MPI_Bcast");
+  InternalScope a("MPIR_Bcast_intra");
+  const CollParams params{.type = CollType::Bcast, .dtype = dtype, .count = count, .root = root};
+  if (rank_ == root)
+    world_->collective(rank_, params, std::span<const std::byte>(data.data(), data.size()), {});
+  else
+    world_->collective(rank_, params, {}, data);
+}
+
+void Comm::reduce_bytes(std::span<const std::byte> in, std::span<std::byte> out, Dtype dtype,
+                        std::size_t count, ReduceOp op, int root) {
+  auto scope = api_scope("MPI_Reduce");
+  InternalScope a("MPIR_Reduce_intra");
+  const CollParams params{.type = CollType::Reduce, .dtype = dtype, .count = count, .root = root, .op = op};
+  world_->collective(rank_, params, in, rank_ == root ? out : std::span<std::byte>{});
+}
+
+void Comm::allreduce_bytes(std::span<const std::byte> in, std::span<std::byte> out, Dtype dtype,
+                           std::size_t count, ReduceOp op) {
+  auto scope = api_scope("MPI_Allreduce");
+  InternalScope a("MPIR_Allreduce_intra");
+  InternalScope b("MPIDI_POSIX_progress");
+  const CollParams params{.type = CollType::Allreduce, .dtype = dtype, .count = count, .op = op};
+  world_->collective(rank_, params, in, out);
+}
+
+}  // namespace difftrace::simmpi

@@ -1,0 +1,108 @@
+// Comm: the per-rank MPI-like API the miniapps program against.
+//
+// Every operation emits the canonical MPI trace name (MPI_Send, MPI_Recv,
+// MPI_Allreduce, ...) through the instrumentation layer, bracketed by a
+// synthetic @plt stub — matching what ParLOT records when a main-image call
+// enters libmpi. A handful of Image::Internal helper scopes are emitted
+// inside each operation so ParLOT(all images) captures and Table I's
+// "MPI Internal Library" filter have realistic content.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "simmpi/request.hpp"
+#include "simmpi/types.hpp"
+#include "simmpi/world.hpp"
+
+namespace difftrace::simmpi {
+
+class Comm {
+ public:
+  Comm(std::shared_ptr<World> world, int rank);
+
+  /// Traced queries, named after the calls they record.
+  void init();                       // MPI_Init
+  [[nodiscard]] int comm_rank();     // MPI_Comm_rank
+  [[nodiscard]] int comm_size();     // MPI_Comm_size
+  void finalize();                   // MPI_Finalize (synchronizing, like a barrier)
+
+  /// Untracked accessors for control logic that would not be a traced call.
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept { return world_->nranks(); }
+  [[nodiscard]] bool cancelled() const { return world_->cancelled(); }
+  [[nodiscard]] World& world() noexcept { return *world_; }
+
+  // --- point-to-point (typed) --------------------------------------------
+  template <typename T>
+  void send(std::span<const T> data, int dest, int tag) {
+    send_bytes(std::as_bytes(data), dest, tag);
+  }
+  template <typename T>
+  void send_value(const T& value, int dest, int tag) {
+    send(std::span<const T>(&value, 1), dest, tag);
+  }
+  template <typename T>
+  std::size_t recv(std::span<T> data, int src, int tag) {
+    return recv_bytes(std::as_writable_bytes(data), src, tag) / sizeof(T);
+  }
+  template <typename T>
+  [[nodiscard]] T recv_value(int src, int tag) {
+    T value{};
+    recv(std::span<T>(&value, 1), src, tag);
+    return value;
+  }
+
+  template <typename T>
+  [[nodiscard]] Request isend(std::span<const T> data, int dest, int tag) {
+    return isend_bytes(std::as_bytes(data), dest, tag);
+  }
+  template <typename T>
+  [[nodiscard]] Request irecv(std::span<T> data, int src, int tag) {
+    return irecv_bytes(std::as_writable_bytes(data), src, tag);
+  }
+  void wait(Request& request);   // MPI_Wait
+  void waitall(std::span<Request> requests);  // MPI_Waitall
+
+  // --- collectives (typed) -------------------------------------------------
+  void barrier();  // MPI_Barrier
+
+  template <typename T>
+  void bcast(std::span<T> data, int root) {
+    bcast_bytes(std::as_writable_bytes(data), dtype_of_v<T>, data.size(), root);
+  }
+  template <typename T>
+  void reduce(std::span<const T> in, std::span<T> out, ReduceOp op, int root) {
+    reduce_bytes(std::as_bytes(in), std::as_writable_bytes(out), dtype_of_v<T>, in.size(), op, root);
+  }
+  template <typename T>
+  void allreduce(std::span<const T> in, std::span<T> out, ReduceOp op) {
+    allreduce_bytes(std::as_bytes(in), std::as_writable_bytes(out), dtype_of_v<T>, in.size(), op);
+  }
+  template <typename T>
+  [[nodiscard]] T allreduce_value(const T& value, ReduceOp op) {
+    T out{};
+    allreduce(std::span<const T>(&value, 1), std::span<T>(&out, 1), op);
+    return out;
+  }
+
+  // --- untyped entry points (used by fault injection to force a wrong
+  // count without fabricating data) ----------------------------------------
+  void send_bytes(std::span<const std::byte> data, int dest, int tag);
+  std::size_t recv_bytes(std::span<std::byte> out, int src, int tag);
+  [[nodiscard]] Request isend_bytes(std::span<const std::byte> data, int dest, int tag);
+  [[nodiscard]] Request irecv_bytes(std::span<std::byte> out, int src, int tag);
+  void bcast_bytes(std::span<std::byte> data, Dtype dtype, std::size_t count, int root);
+  void reduce_bytes(std::span<const std::byte> in, std::span<std::byte> out, Dtype dtype,
+                    std::size_t count, ReduceOp op, int root);
+  void allreduce_bytes(std::span<const std::byte> in, std::span<std::byte> out, Dtype dtype,
+                       std::size_t count, ReduceOp op);
+
+ private:
+  std::shared_ptr<World> world_;
+  int rank_;
+};
+
+}  // namespace difftrace::simmpi

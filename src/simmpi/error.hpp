@@ -1,0 +1,25 @@
+// Error types for the simulated MPI runtime.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace difftrace::simmpi {
+
+/// Protocol/usage error (bad rank, truncating receive, type mismatch caught
+/// at the API boundary, ...). Maps to what a real MPI would report through
+/// MPI_ERRORS_ARE_FATAL.
+class MpiError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown into a blocked rank when the watchdog kills a deadlocked world.
+/// Deliberately NOT derived from std::exception: application-level
+/// `catch (const std::exception&)` handlers must not swallow the abort —
+/// it models the job scheduler killing the process.
+struct DeadlockAbort {
+  std::string reason;
+};
+
+}  // namespace difftrace::simmpi

@@ -1,0 +1,35 @@
+// Nonblocking-operation handles. Matching real MPI closely enough for the
+// paper's traces: MPI_Isend deposits immediately (rendezvous completion is
+// deferred to MPI_Wait); MPI_Irecv tries an immediate match and otherwise
+// completes inside MPI_Wait.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+namespace difftrace::simmpi {
+
+struct PendingMsg;
+
+class Request {
+ public:
+  enum class Kind { None, Send, Recv };
+
+  Request() = default;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool complete() const noexcept { return complete_; }
+
+ private:
+  friend class Comm;
+
+  Kind kind_ = Kind::None;
+  bool complete_ = true;
+  int peer_ = 0;  // dest for sends, source for recvs
+  int tag_ = 0;
+  std::shared_ptr<PendingMsg> msg_;    // send side
+  std::span<std::byte> recv_buffer_;   // recv side
+};
+
+}  // namespace difftrace::simmpi

@@ -1,0 +1,65 @@
+#include "simmpi/runtime.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "instrument/tracer.hpp"
+
+namespace difftrace::simmpi {
+
+RunReport run_world(const WorldConfig& config, const RankFn& fn) {
+  const auto world = std::make_shared<World>(config);
+  RunReport report;
+  report.ranks.resize(static_cast<std::size_t>(config.nranks));
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(config.nranks));
+  for (int rank = 0; rank < config.nranks; ++rank) {
+    threads.emplace_back([&, rank] {
+      instrument::ScopedBinding binding(trace::TraceKey{rank, 0});
+      Comm comm(world, rank);
+      auto& result = report.ranks[static_cast<std::size_t>(rank)];
+      try {
+        fn(comm);
+        result.status = RankStatus::Completed;
+        world->mark_finished(rank);  // idempotent if finalize() already ran
+      } catch (const DeadlockAbort&) {
+        result.status = RankStatus::Aborted;
+        world->mark_failed(rank);
+      } catch (const std::exception& e) {
+        result.status = RankStatus::Failed;
+        result.error = e.what();
+        world->mark_failed(rank);
+      }
+    });
+  }
+
+  // Watchdog: precise blocked-predicate analysis plus a wall-clock backstop.
+  std::atomic<bool> stop_watchdog{false};
+  std::thread watchdog([&] {
+    const auto start = std::chrono::steady_clock::now();
+    while (!stop_watchdog.load(std::memory_order_acquire)) {
+      if (world->all_done()) return;
+      auto reason = world->detect_deadlock();
+      if (!reason && std::chrono::steady_clock::now() - start > config.wall_timeout)
+        reason = "wall-clock timeout exceeded (treated as deadlock/livelock)";
+      if (reason) {
+        report.deadlock = true;
+        report.deadlock_info = *reason;
+        // Freeze first: a killed job stops writing traces before threads die.
+        instrument::Tracer::instance().freeze_all();
+        world->cancel(*reason);
+        return;
+      }
+      std::this_thread::sleep_for(config.watchdog_poll);
+    }
+  });
+
+  for (auto& t : threads) t.join();
+  stop_watchdog.store(true, std::memory_order_release);
+  watchdog.join();
+  return report;
+}
+
+}  // namespace difftrace::simmpi

@@ -1,0 +1,47 @@
+// Runtime: spawns one thread per rank, runs the application function, and
+// supervises the world with a deadlock watchdog.
+//
+// On deadlock the watchdog (1) freezes all trace writers — the moment the
+// job "gets killed", so traces truncate exactly where each rank stopped
+// making progress — then (2) cancels the world, waking every blocked rank
+// with DeadlockAbort so threads unwind and join cleanly.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simmpi/comm.hpp"
+#include "simmpi/world.hpp"
+
+namespace difftrace::simmpi {
+
+enum class RankStatus { Completed, Aborted, Failed };
+
+struct RankResult {
+  RankStatus status = RankStatus::Completed;
+  std::string error;  // for Failed: the exception message
+};
+
+struct RunReport {
+  std::vector<RankResult> ranks;
+  bool deadlock = false;
+  std::string deadlock_info;
+
+  [[nodiscard]] bool all_completed() const noexcept {
+    for (const auto& r : ranks)
+      if (r.status != RankStatus::Completed) return false;
+    return true;
+  }
+};
+
+using RankFn = std::function<void(Comm&)>;
+
+/// Runs `fn` once per rank on its own thread; each rank thread binds itself
+/// to the tracer (as thread 0 of its process) when a tracing session is
+/// active. Returns when every rank completed, failed, or was aborted by the
+/// watchdog.
+[[nodiscard]] RunReport run_world(const WorldConfig& config, const RankFn& fn);
+
+}  // namespace difftrace::simmpi

@@ -1,0 +1,44 @@
+// Shared datatype/op vocabulary for the simulated MPI.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace difftrace::simmpi {
+
+enum class ReduceOp : std::uint8_t { Sum, Min, Max, Prod };
+
+[[nodiscard]] constexpr std::string_view reduce_op_name(ReduceOp op) noexcept {
+  switch (op) {
+    case ReduceOp::Sum: return "MPI_SUM";
+    case ReduceOp::Min: return "MPI_MIN";
+    case ReduceOp::Max: return "MPI_MAX";
+    case ReduceOp::Prod: return "MPI_PROD";
+  }
+  return "MPI_OP_UNKNOWN";
+}
+
+enum class Dtype : std::uint8_t { I32, I64, F64, Byte };
+
+[[nodiscard]] constexpr std::size_t dtype_size(Dtype t) noexcept {
+  switch (t) {
+    case Dtype::I32: return 4;
+    case Dtype::I64: return 8;
+    case Dtype::F64: return 8;
+    case Dtype::Byte: return 1;
+  }
+  return 1;
+}
+
+template <typename T>
+struct dtype_of;
+template <> struct dtype_of<std::int32_t> { static constexpr Dtype value = Dtype::I32; };
+template <> struct dtype_of<std::int64_t> { static constexpr Dtype value = Dtype::I64; };
+template <> struct dtype_of<double> { static constexpr Dtype value = Dtype::F64; };
+template <> struct dtype_of<std::byte> { static constexpr Dtype value = Dtype::Byte; };
+
+template <typename T>
+inline constexpr Dtype dtype_of_v = dtype_of<T>::value;
+
+}  // namespace difftrace::simmpi

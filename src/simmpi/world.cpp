@@ -1,0 +1,302 @@
+#include "simmpi/world.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+namespace difftrace::simmpi {
+
+std::string_view coll_type_name(CollType t) noexcept {
+  switch (t) {
+    case CollType::Barrier: return "MPI_Barrier";
+    case CollType::Bcast: return "MPI_Bcast";
+    case CollType::Reduce: return "MPI_Reduce";
+    case CollType::Allreduce: return "MPI_Allreduce";
+    case CollType::Finalize: return "MPI_Finalize";
+  }
+  return "MPI_collective_unknown";
+}
+
+World::World(WorldConfig config) : config_(config) {
+  if (config_.nranks <= 0) throw MpiError("World: nranks must be positive");
+  mailbox_.resize(static_cast<std::size_t>(config_.nranks));
+  coll_seq_.assign(static_cast<std::size_t>(config_.nranks), 0);
+  blocked_.resize(static_cast<std::size_t>(config_.nranks));
+  done_.assign(static_cast<std::size_t>(config_.nranks), false);
+}
+
+void World::check_rank(int rank, const char* who) const {
+  if (rank < 0 || rank >= config_.nranks)
+    throw MpiError(std::string(who) + ": rank " + std::to_string(rank) + " out of range [0, " +
+                   std::to_string(config_.nranks) + ")");
+}
+
+void World::blocking_wait(std::unique_lock<std::mutex>& lock, int rank, const char* what,
+                          const std::function<bool()>& pred) {
+  if (cancelled_) throw DeadlockAbort{cancel_reason_};
+  if (pred()) return;
+  blocked_[static_cast<std::size_t>(rank)] = Blocked{what, pred};
+  cv_.notify_all();  // let the watchdog re-sample blocked state promptly
+  cv_.wait(lock, [&] { return cancelled_ || pred(); });
+  blocked_[static_cast<std::size_t>(rank)].reset();
+  if (cancelled_ && !pred()) throw DeadlockAbort{cancel_reason_};
+}
+
+std::shared_ptr<PendingMsg> World::find_match(int dst, int src, int tag) {
+  auto& queue = mailbox_[static_cast<std::size_t>(dst)];
+  for (const auto& msg : queue) {
+    if (msg->src == src && msg->tag == tag) return msg;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<PendingMsg> World::post_send(int src, int dst, int tag,
+                                             std::span<const std::byte> data) {
+  check_rank(src, "send");
+  check_rank(dst, "send(dest)");
+  auto msg = std::make_shared<PendingMsg>();
+  msg->src = src;
+  msg->tag = tag;
+  msg->payload.assign(data.begin(), data.end());
+  msg->rendezvous = data.size() > config_.eager_limit;
+
+  std::unique_lock lock(mutex_);
+  if (cancelled_) throw DeadlockAbort{cancel_reason_};
+  msg->id = next_msg_id_++;
+  mailbox_[static_cast<std::size_t>(dst)].push_back(msg);
+  cv_.notify_all();
+  return msg;
+}
+
+void World::await_send(int src, const std::shared_ptr<PendingMsg>& msg) {
+  if (!msg->rendezvous) return;  // eager sends complete at deposit
+  std::unique_lock lock(mutex_);
+  const PendingMsg* raw = msg.get();
+  blocking_wait(lock, src, "MPI_Send(rendezvous)", [raw] { return raw->consumed; });
+}
+
+void World::send(int src, int dst, int tag, std::span<const std::byte> data) {
+  const auto msg = post_send(src, dst, tag, data);
+  await_send(src, msg);
+}
+
+std::size_t World::recv(int dst, int src, int tag, std::span<std::byte> out) {
+  check_rank(dst, "recv");
+  check_rank(src, "recv(src)");
+  std::unique_lock lock(mutex_);
+  std::shared_ptr<PendingMsg> found;
+  blocking_wait(lock, dst, "MPI_Recv", [&, dst, src, tag] {
+    found = find_match(dst, src, tag);
+    return found != nullptr;
+  });
+  auto& queue = mailbox_[static_cast<std::size_t>(dst)];
+  queue.erase(std::find(queue.begin(), queue.end(), found));
+  if (found->payload.size() > out.size())
+    throw MpiError("MPI_Recv: message of " + std::to_string(found->payload.size()) +
+                   " bytes truncates buffer of " + std::to_string(out.size()));
+  std::copy(found->payload.begin(), found->payload.end(), out.begin());
+  found->consumed = true;
+  cv_.notify_all();
+  return found->payload.size();
+}
+
+std::optional<std::size_t> World::try_recv(int dst, int src, int tag, std::span<std::byte> out) {
+  check_rank(dst, "try_recv");
+  check_rank(src, "try_recv(src)");
+  std::unique_lock lock(mutex_);
+  if (cancelled_) throw DeadlockAbort{cancel_reason_};
+  const auto found = find_match(dst, src, tag);
+  if (!found) return std::nullopt;
+  auto& queue = mailbox_[static_cast<std::size_t>(dst)];
+  queue.erase(std::find(queue.begin(), queue.end(), found));
+  if (found->payload.size() > out.size())
+    throw MpiError("try_recv: message truncates buffer");
+  std::copy(found->payload.begin(), found->payload.end(), out.begin());
+  found->consumed = true;
+  cv_.notify_all();
+  return found->payload.size();
+}
+
+namespace {
+
+template <typename T>
+void reduce_typed(std::span<const std::byte> in, std::span<std::byte> acc, ReduceOp op) {
+  const std::size_t n = acc.size() / sizeof(T);
+  for (std::size_t i = 0; i < n; ++i) {
+    T a{};
+    T b{};
+    std::memcpy(&a, acc.data() + i * sizeof(T), sizeof(T));
+    std::memcpy(&b, in.data() + i * sizeof(T), sizeof(T));
+    T r{};
+    switch (op) {
+      case ReduceOp::Sum: r = static_cast<T>(a + b); break;
+      case ReduceOp::Min: r = std::min(a, b); break;
+      case ReduceOp::Max: r = std::max(a, b); break;
+      case ReduceOp::Prod: r = static_cast<T>(a * b); break;
+    }
+    std::memcpy(acc.data() + i * sizeof(T), &r, sizeof(T));
+  }
+}
+
+void reduce_bytes(Dtype dtype, ReduceOp op, std::span<const std::byte> in, std::span<std::byte> acc) {
+  switch (dtype) {
+    case Dtype::I32: reduce_typed<std::int32_t>(in, acc, op); break;
+    case Dtype::I64: reduce_typed<std::int64_t>(in, acc, op); break;
+    case Dtype::F64: reduce_typed<double>(in, acc, op); break;
+    case Dtype::Byte: throw MpiError("reduce: MPI_BYTE is not a reducible datatype");
+  }
+}
+
+}  // namespace
+
+void World::collective(int rank, const CollParams& params, std::span<const std::byte> in,
+                       std::span<std::byte> out) {
+  check_rank(rank, "collective");
+  if (params.type == CollType::Bcast || params.type == CollType::Reduce)
+    check_rank(params.root, "collective(root)");
+  const std::size_t expected = params.count * dtype_size(params.dtype);
+  const bool contributes =
+      params.type == CollType::Reduce || params.type == CollType::Allreduce ||
+      (params.type == CollType::Bcast && rank == params.root);
+  if (contributes && in.size() != expected)
+    throw MpiError(std::string(coll_type_name(params.type)) + ": contribution size " +
+                   std::to_string(in.size()) + " != count*dtype " + std::to_string(expected));
+
+  std::unique_lock lock(mutex_);
+  if (cancelled_) throw DeadlockAbort{cancel_reason_};
+  const std::uint64_t seq = coll_seq_[static_cast<std::size_t>(rank)]++;
+  auto it = collectives_.find(seq);
+  if (it == collectives_.end()) {
+    auto slot = std::make_shared<CollSlot>();
+    slot->contribs.resize(static_cast<std::size_t>(config_.nranks));
+    it = collectives_.emplace(seq, std::move(slot)).first;
+  }
+  const std::shared_ptr<CollSlot> slot = it->second;
+
+  if (!slot->first) {
+    slot->first = params;
+  } else if (!slot->first->structurally_equal(params)) {
+    // Structurally mismatched collective (wrong size / root / type): the
+    // instance can never complete — the realistic outcome is a hang, which
+    // the watchdog later converts into truncated traces.
+    slot->mismatch = true;
+  }
+  slot->contribs[static_cast<std::size_t>(rank)].assign(in.begin(), in.end());
+  slot->joined++;
+  if (slot->joined == config_.nranks && !slot->mismatch) {
+    slot->complete = true;
+    cv_.notify_all();
+  }
+
+  const CollSlot* raw = slot.get();
+  blocking_wait(lock, rank, coll_type_name(params.type).data(), [raw] { return raw->complete; });
+
+  // Each rank materializes its own result — with ITS OWN reduction
+  // operator, so an op-mismatched reduction terminates with inconsistent
+  // values rather than hanging (the Table VIII silent-bug behaviour).
+  switch (params.type) {
+    case CollType::Barrier:
+    case CollType::Finalize:
+      break;
+    case CollType::Bcast:
+      if (rank != params.root) {
+        const auto& payload = slot->contribs[static_cast<std::size_t>(params.root)];
+        if (out.size() < payload.size()) throw MpiError("MPI_Bcast: output buffer too small");
+        std::copy(payload.begin(), payload.end(), out.begin());
+      }
+      break;
+    case CollType::Reduce:
+    case CollType::Allreduce: {
+      const bool wants_result = params.type == CollType::Allreduce || rank == params.root;
+      if (wants_result) {
+        std::vector<std::byte> acc = slot->contribs[0];
+        for (std::size_t r = 1; r < slot->contribs.size(); ++r)
+          reduce_bytes(params.dtype, params.op, slot->contribs[r], acc);
+        if (out.size() < acc.size())
+          throw MpiError(std::string(coll_type_name(params.type)) + ": output buffer too small");
+        std::copy(acc.begin(), acc.end(), out.begin());
+      }
+      break;
+    }
+  }
+
+  slot->departed++;
+  if (slot->departed == config_.nranks) collectives_.erase(seq);
+}
+
+void World::mark_finished(int rank) {
+  check_rank(rank, "mark_finished");
+  std::lock_guard lock(mutex_);
+  if (!done_[static_cast<std::size_t>(rank)]) {
+    done_[static_cast<std::size_t>(rank)] = true;
+    ++finished_;
+    cv_.notify_all();
+  }
+}
+
+void World::mark_failed(int rank) {
+  check_rank(rank, "mark_failed");
+  std::lock_guard lock(mutex_);
+  if (!done_[static_cast<std::size_t>(rank)]) {
+    done_[static_cast<std::size_t>(rank)] = true;
+    ++failed_;
+    cv_.notify_all();
+  }
+}
+
+bool World::cancelled() const {
+  std::lock_guard lock(mutex_);
+  return cancelled_;
+}
+
+std::string World::cancel_reason() const {
+  std::lock_guard lock(mutex_);
+  return cancel_reason_;
+}
+
+void World::cancel(std::string reason) {
+  std::lock_guard lock(mutex_);
+  if (cancelled_) return;
+  cancelled_ = true;
+  cancel_reason_ = std::move(reason);
+  cv_.notify_all();
+}
+
+std::optional<std::string> World::detect_deadlock() {
+  std::lock_guard lock(mutex_);
+  if (cancelled_) return std::nullopt;
+  int blocked_count = 0;
+  for (int r = 0; r < config_.nranks; ++r) {
+    const auto idx = static_cast<std::size_t>(r);
+    if (done_[idx]) continue;
+    if (!blocked_[idx].has_value()) return std::nullopt;  // someone is runnable
+    ++blocked_count;
+  }
+  if (blocked_count == 0) return std::nullopt;  // everyone finished
+  // All unfinished ranks are blocked. If any predicate is satisfied the rank
+  // just has not woken yet — not a deadlock.
+  for (int r = 0; r < config_.nranks; ++r) {
+    const auto idx = static_cast<std::size_t>(r);
+    if (done_[idx] || !blocked_[idx].has_value()) continue;
+    if (blocked_[idx]->pred()) return std::nullopt;
+  }
+  std::ostringstream os;
+  os << "deadlock: " << blocked_count << " rank(s) blocked forever [";
+  bool sep = false;
+  for (int r = 0; r < config_.nranks; ++r) {
+    const auto idx = static_cast<std::size_t>(r);
+    if (done_[idx] || !blocked_[idx].has_value()) continue;
+    if (sep) os << ", ";
+    os << "rank " << r << " in " << blocked_[idx]->what;
+    sep = true;
+  }
+  os << "]";
+  return os.str();
+}
+
+bool World::all_done() const {
+  std::lock_guard lock(mutex_);
+  return finished_ + failed_ == config_.nranks;
+}
+
+}  // namespace difftrace::simmpi

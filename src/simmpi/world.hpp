@@ -1,0 +1,178 @@
+// World: the shared state of one simulated MPI job.
+//
+// Semantics reproduced from real MPI that the paper's bugs depend on:
+//  * Point-to-point messages are matched FIFO by (source, tag) per receiver.
+//    Sends at or below the eager limit buffer and return immediately;
+//    larger sends rendezvous (block until the matching receive drains them).
+//    This is the MPI_EAGER behaviour behind the paper's "Send ‖ Send
+//    deadlock under low-buffering" discussion (§II-B).
+//  * Collectives match by *call order* per rank (a global sequence). A
+//    collective instance completes only when every rank has joined it with
+//    identical parameters (type, count, dtype, op, root). A wrong-size
+//    MPI_Allreduce therefore hangs the whole job — exactly the fault in
+//    Table VII.
+//  * Deadlock detection: every blocking wait registers a re-evaluable
+//    predicate. When all unfinished ranks are blocked and no predicate is
+//    satisfiable, no rank thread can ever make progress again (helper
+//    threads never touch MPI state), so the watchdog declares deadlock,
+//    freezes the tracer (truncating traces the way a killed job does), and
+//    cancels all blocked operations with DeadlockAbort.
+//  * Threading model: MPI_THREAD_FUNNELED — at most one *blocking* MPI
+//    operation per rank at a time (the per-rank blocked slot assumes it).
+//    Nonblocking posts (isend/irecv) never block and are safe to mix; the
+//    miniapps follow the same master-only communication discipline as
+//    their real counterparts.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "simmpi/error.hpp"
+#include "simmpi/types.hpp"
+
+namespace difftrace::simmpi {
+
+struct WorldConfig {
+  int nranks = 4;
+  /// Messages strictly larger than this rendezvous (block until received).
+  std::size_t eager_limit = 4096;
+  /// Watchdog poll period.
+  std::chrono::milliseconds watchdog_poll{10};
+  /// Hard wall-clock limit; exceeded => treated as deadlock. A backstop for
+  /// livelocks the blocked-predicate analysis cannot see.
+  std::chrono::milliseconds wall_timeout{60000};
+};
+
+enum class CollType : std::uint8_t { Barrier, Bcast, Reduce, Allreduce, Finalize };
+
+[[nodiscard]] std::string_view coll_type_name(CollType t) noexcept;
+
+struct CollParams {
+  CollType type = CollType::Barrier;
+  Dtype dtype = Dtype::Byte;
+  std::size_t count = 0;
+  int root = 0;
+  ReduceOp op = ReduceOp::Sum;
+
+  /// Structural agreement required for an instance to complete. `op` is
+  /// deliberately excluded: real reductions with mismatched ops are
+  /// erroneous-but-terminating (each rank combines with its own operator),
+  /// which is exactly the paper's "wrong collective operation" silent bug
+  /// (Table VIII). Mismatched type/count/dtype/root changes message sizes
+  /// or sender identity and therefore hangs.
+  [[nodiscard]] bool structurally_equal(const CollParams& other) const noexcept {
+    return type == other.type && dtype == other.dtype && count == other.count && root == other.root;
+  }
+};
+
+class World {
+ public:
+  explicit World(WorldConfig config);
+
+  [[nodiscard]] int nranks() const noexcept { return config_.nranks; }
+  [[nodiscard]] const WorldConfig& config() const noexcept { return config_; }
+
+  // --- point-to-point ---------------------------------------------------
+  /// Blocking-standard-mode send. Eager messages return immediately.
+  void send(int src, int dst, int tag, std::span<const std::byte> data);
+  /// Deposits a message and returns a handle to poll/await its consumption
+  /// (the guts of isend).
+  [[nodiscard]] std::shared_ptr<struct PendingMsg> post_send(int src, int dst, int tag,
+                                                             std::span<const std::byte> data);
+  void await_send(int src, const std::shared_ptr<struct PendingMsg>& msg);
+  /// Blocking receive; fills `out` (must be >= message size, else MpiError).
+  /// Returns the received byte count.
+  std::size_t recv(int dst, int src, int tag, std::span<std::byte> out);
+  /// Non-blocking probe-and-take; nullopt when no matching message is ready.
+  [[nodiscard]] std::optional<std::size_t> try_recv(int dst, int src, int tag, std::span<std::byte> out);
+
+  // --- collectives --------------------------------------------------------
+  /// Joins the rank's next collective instance. `in` supplies this rank's
+  /// contribution (bcast: meaningful only at root; barrier/finalize: empty).
+  /// On completion copies the instance result into `out` per collective
+  /// semantics. Blocks until all ranks join with identical parameters.
+  void collective(int rank, const CollParams& params, std::span<const std::byte> in,
+                  std::span<std::byte> out);
+
+  // --- lifecycle / watchdog ----------------------------------------------
+  void mark_finished(int rank);
+  void mark_failed(int rank);
+
+  /// True once cancel() ran; spinning application threads should poll this.
+  [[nodiscard]] bool cancelled() const;
+  [[nodiscard]] std::string cancel_reason() const;
+
+  /// Wakes every blocked rank with DeadlockAbort. Idempotent.
+  void cancel(std::string reason);
+
+  /// One watchdog step: returns a reason string if the world is deadlocked
+  /// (all unfinished ranks blocked with unsatisfiable predicates), else
+  /// nullopt. Does not cancel by itself.
+  [[nodiscard]] std::optional<std::string> detect_deadlock();
+
+  /// True when every rank finished or failed.
+  [[nodiscard]] bool all_done() const;
+
+ private:
+  struct Blocked {
+    const char* what = nullptr;
+    std::function<bool()> pred;  // re-evaluated under mutex_ by the watchdog
+  };
+
+  struct CollSlot {
+    std::optional<CollParams> first;
+    bool mismatch = false;
+    int joined = 0;
+    int departed = 0;
+    bool complete = false;
+    std::vector<std::vector<std::byte>> contribs;
+  };
+
+  /// Blocks rank until pred() (or cancellation → DeadlockAbort). Must be
+  /// called with mutex_ held via the unique_lock.
+  void blocking_wait(std::unique_lock<std::mutex>& lock, int rank, const char* what,
+                     const std::function<bool()>& pred);
+
+  [[nodiscard]] std::shared_ptr<PendingMsg> find_match(int dst, int src, int tag);
+  void check_rank(int rank, const char* who) const;
+
+  WorldConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+
+  std::vector<std::deque<std::shared_ptr<PendingMsg>>> mailbox_;  // per destination
+  std::map<std::uint64_t, std::shared_ptr<CollSlot>> collectives_;
+  std::vector<std::uint64_t> coll_seq_;  // per-rank collective call counter
+
+  std::vector<std::optional<Blocked>> blocked_;  // per rank
+  int finished_ = 0;
+  int failed_ = 0;
+  std::vector<bool> done_;
+  bool cancelled_ = false;
+  std::string cancel_reason_;
+  std::uint64_t next_msg_id_ = 0;
+};
+
+/// A deposited point-to-point message. Exposed so isend requests can await
+/// consumption.
+struct PendingMsg {
+  int src = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+  bool rendezvous = false;
+  bool consumed = false;
+  std::uint64_t id = 0;
+};
+
+}  // namespace difftrace::simmpi

@@ -1,0 +1,147 @@
+#include "simomp/team.hpp"
+
+#include <condition_variable>
+#include <exception>
+#include <map>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "instrument/tracer.hpp"
+
+namespace difftrace::simomp {
+
+namespace {
+
+using instrument::TraceScope;
+using trace::Image;
+
+struct TeamState {
+  int size = 0;
+  // barrier state
+  int arrived = 0;
+  std::uint64_t generation = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::map<int, TeamState> teams;                          // proc -> active region
+  std::map<std::pair<int, std::string>, std::mutex> criticals;  // (proc, name)
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+namespace detail {
+
+void note_region_begin(int proc, int num_threads) {
+  auto& r = registry();
+  std::lock_guard lock(r.mutex);
+  auto [it, inserted] = r.teams.emplace(proc, TeamState{num_threads, 0, 0});
+  if (!inserted) throw std::logic_error("simomp: nested parallel regions are not supported");
+}
+
+void note_region_end(int proc) {
+  auto& r = registry();
+  std::lock_guard lock(r.mutex);
+  r.teams.erase(proc);
+}
+
+}  // namespace detail
+
+void parallel_region(int proc, int num_threads, const std::function<void(int)>& fn) {
+  if (num_threads <= 0) throw std::invalid_argument("parallel_region: num_threads must be positive");
+
+  // GOMP_parallel_start is emitted by the master (the forking thread).
+  instrument::Tracer::instance().on_call("GOMP_parallel_start@plt", Image::Main);
+  instrument::Tracer::instance().on_call("GOMP_parallel_start", Image::OmpLib);
+  {
+    TraceScope internal("gomp_team_start", Image::Internal);
+  }
+  instrument::Tracer::instance().on_return("GOMP_parallel_start", Image::OmpLib);
+  instrument::Tracer::instance().on_return("GOMP_parallel_start@plt", Image::Main);
+
+  detail::note_region_begin(proc, num_threads);
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(num_threads - 1));
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto capture_error = [&](std::exception_ptr e) {
+    std::lock_guard lock(error_mutex);
+    if (!first_error) first_error = e;
+  };
+
+  for (int tid = 1; tid < num_threads; ++tid) {
+    workers.emplace_back([&, tid] {
+      instrument::ScopedBinding binding(trace::TraceKey{proc, tid});
+      try {
+        fn(tid);
+      } catch (...) {
+        capture_error(std::current_exception());
+      }
+    });
+  }
+
+  // Master participates as thread 0, on the calling thread (which is
+  // already bound as {proc, 0} by the MPI runtime).
+  try {
+    fn(0);
+  } catch (...) {
+    capture_error(std::current_exception());
+  }
+
+  for (auto& w : workers) w.join();
+  detail::note_region_end(proc);
+
+  instrument::Tracer::instance().on_call("GOMP_parallel_end@plt", Image::Main);
+  instrument::Tracer::instance().on_call("GOMP_parallel_end", Image::OmpLib);
+  instrument::Tracer::instance().on_return("GOMP_parallel_end", Image::OmpLib);
+  instrument::Tracer::instance().on_return("GOMP_parallel_end@plt", Image::Main);
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+Critical::Critical(int proc, std::string_view name) {
+  auto& r = registry();
+  std::mutex* section = nullptr;
+  {
+    std::lock_guard lock(r.mutex);
+    section = &r.criticals[{proc, std::string(name)}];
+  }
+  {
+    // GOMP_critical_start returns once the lock is held.
+    TraceScope scope("GOMP_critical_start", Image::OmpLib, /*plt=*/true);
+    lock_ = std::unique_lock<std::mutex>(*section);
+  }
+}
+
+Critical::~Critical() {
+  TraceScope scope("GOMP_critical_end", Image::OmpLib, /*plt=*/true);
+  lock_.unlock();
+}
+
+void team_barrier(int proc) {
+  TraceScope scope("GOMP_barrier", Image::OmpLib, /*plt=*/true);
+  auto& r = registry();
+  std::unique_lock lock(r.mutex);
+  const auto it = r.teams.find(proc);
+  if (it == r.teams.end()) throw std::logic_error("team_barrier: no active parallel region for proc");
+  TeamState& team = it->second;
+  const std::uint64_t my_generation = team.generation;
+  if (++team.arrived == team.size) {
+    team.arrived = 0;
+    ++team.generation;
+    r.cv.notify_all();
+  } else {
+    r.cv.wait(lock, [&] { return team.generation != my_generation; });
+  }
+}
+
+}  // namespace difftrace::simomp

@@ -1,0 +1,56 @@
+// simomp: a fork/join shared-memory team runtime playing the role OpenMP
+// plays in the paper's hybrid miniapps.
+//
+// parallel_region(n, fn) runs fn(0..n-1): fn(0) on the calling thread (the
+// "master", like OpenMP's thread 0) and fn(1..n-1) on freshly spawned
+// threads, exactly the `#pragma omp parallel num_threads(n)` structure of
+// ILCS Listing 1. Worker threads bind to the tracer as process `proc`,
+// threads 1..n-1, producing the paper's "6.4"-style trace keys.
+//
+// Trace vocabulary matches libgomp so Table I's OMP filters apply:
+// GOMP_parallel_start/end, GOMP_critical_start/end, GOMP_barrier, plus
+// gomp_team_* internals for all-images captures.
+//
+// Exception safety: if the master or any worker throws (including the
+// watchdog's DeadlockAbort), all workers are still joined before the first
+// exception is rethrown — a parallel region never leaks threads.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace difftrace::simomp {
+
+/// Runs `fn(tid)` for tid in [0, num_threads). `proc` is the owning MPI
+/// rank, used for trace keys and critical-section scoping.
+void parallel_region(int proc, int num_threads, const std::function<void(int)>& fn);
+
+/// Named critical section, scoped per process (two processes' sections are
+/// independent, like OpenMP named criticals within separate jobs). Emits
+/// GOMP_critical_start/GOMP_critical_end around the lock.
+class Critical {
+ public:
+  Critical(int proc, std::string_view name);
+  ~Critical();
+  Critical(const Critical&) = delete;
+  Critical& operator=(const Critical&) = delete;
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Team-wide barrier for the current region (GOMP_barrier). All
+/// `num_threads` of the process's active region must call it.
+void team_barrier(int proc);
+
+/// The traced entry/exit that an `omp parallel` pragma compiles into;
+/// exposed for tests. parallel_region calls these internally.
+namespace detail {
+void note_region_begin(int proc, int num_threads);
+void note_region_end(int proc);
+}  // namespace detail
+
+}  // namespace difftrace::simomp

@@ -1,0 +1,47 @@
+// Trace event model shared by the tracer (producer) and DiffTrace (consumer).
+//
+// A trace is an ordered per-thread sequence of function call/return events.
+// Events are stored compressed as symbols: symbol = fid * 2 + kind.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "compress/codec.hpp"
+
+namespace difftrace::trace {
+
+using FunctionId = std::uint32_t;
+
+enum class EventKind : std::uint8_t { Call = 0, Return = 1 };
+
+struct TraceEvent {
+  FunctionId fid = 0;
+  EventKind kind = EventKind::Call;
+
+  [[nodiscard]] bool operator==(const TraceEvent&) const = default;
+};
+
+[[nodiscard]] constexpr compress::Symbol event_to_symbol(TraceEvent e) noexcept {
+  return e.fid * 2 + static_cast<compress::Symbol>(e.kind);
+}
+
+[[nodiscard]] constexpr TraceEvent symbol_to_event(compress::Symbol s) noexcept {
+  return TraceEvent{s / 2, static_cast<EventKind>(s & 1)};
+}
+
+/// Identifies one trace stream: process rank and thread index within it.
+/// Thread 0 is the process's master thread (for pure-MPI apps the only one).
+struct TraceKey {
+  int proc = 0;
+  int thread = 0;
+
+  [[nodiscard]] auto operator<=>(const TraceKey&) const = default;
+
+  /// "6.4"-style label matching the paper's process.thread notation.
+  [[nodiscard]] std::string label() const {
+    return std::to_string(proc) + "." + std::to_string(thread);
+  }
+};
+
+}  // namespace difftrace::trace

@@ -1,0 +1,80 @@
+#include "trace/export.hpp"
+
+namespace difftrace::trace {
+
+namespace {
+
+/// Minimal JSON string escaping (function names are identifiers, but @plt
+/// and template names can carry punctuation; quotes/backslashes must not
+/// break the document).
+void write_json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void export_csv(const TraceStore& store, std::ostream& out) {
+  out << "proc,thread,logical_ts,kind,function,image\n";
+  for (const auto& key : store.keys()) {
+    std::uint64_t ts = 0;
+    for (const auto& event : store.decode(key)) {
+      const auto fn = store.registry().info(event.fid);
+      out << key.proc << ',' << key.thread << ',' << ts++ << ','
+          << (event.kind == EventKind::Call ? "call" : "return") << ',' << fn.name << ','
+          << image_name(fn.image) << '\n';
+    }
+  }
+}
+
+void export_json(const TraceStore& store, std::ostream& out) {
+  out << "{\n  \"functions\": [\n";
+  const auto functions = store.registry().snapshot();
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    out << "    {\"id\": " << functions[i].id << ", \"name\": ";
+    write_json_string(out, functions[i].name);
+    out << ", \"image\": ";
+    write_json_string(out, std::string(image_name(functions[i].image)));
+    out << '}' << (i + 1 < functions.size() ? "," : "") << '\n';
+  }
+  out << "  ],\n  \"traces\": [\n";
+  const auto keys = store.keys();
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    const auto& blob = store.blob(keys[k]);
+    out << "    {\"proc\": " << keys[k].proc << ", \"thread\": " << keys[k].thread
+        << ", \"truncated\": " << (blob.truncated ? "true" : "false") << ", \"events\": [";
+    std::uint64_t ts = 0;
+    const auto events = store.decode(keys[k]);
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      out << '[' << ts++ << ',' << (events[e].kind == EventKind::Call ? 0 : 1) << ','
+          << events[e].fid << ']' << (e + 1 < events.size() ? "," : "");
+    }
+    out << "]}" << (k + 1 < keys.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+}
+
+void export_store(const TraceStore& store, std::ostream& out, ExportFormat format) {
+  switch (format) {
+    case ExportFormat::Csv: export_csv(store, out); break;
+    case ExportFormat::Json: export_json(store, out); break;
+  }
+}
+
+}  // namespace difftrace::trace

@@ -1,0 +1,27 @@
+// Trace export — the paper's future-work item (2): "Converting ParLOT
+// traces into Open Trace Format (OTF2) by logically timestamping trace
+// entries". OTF2 itself is a binary format with its own library; we export
+// the same information content in two open formats:
+//
+//   CSV:  proc,thread,logical_ts,kind,function,image   (one event per row)
+//   JSON: { functions: [...], traces: [ {proc, thread, truncated,
+//           events: [[ts, kind, fid], ...]} ] }
+//
+// The logical timestamp is the per-thread event index — the total order
+// ParLOT preserves within a stream (§II-F1); cross-thread ordering is a
+// consumer concern (happens-before mining, Lamport clocks).
+#pragma once
+
+#include <ostream>
+
+#include "trace/store.hpp"
+
+namespace difftrace::trace {
+
+enum class ExportFormat { Csv, Json };
+
+void export_csv(const TraceStore& store, std::ostream& out);
+void export_json(const TraceStore& store, std::ostream& out);
+void export_store(const TraceStore& store, std::ostream& out, ExportFormat format);
+
+}  // namespace difftrace::trace

@@ -1,0 +1,50 @@
+#include "trace/registry.hpp"
+
+#include <stdexcept>
+
+namespace difftrace::trace {
+
+std::string_view image_name(Image image) noexcept {
+  switch (image) {
+    case Image::Main: return "main";
+    case Image::MpiLib: return "mpi";
+    case Image::OmpLib: return "omp";
+    case Image::SystemLib: return "system";
+    case Image::Internal: return "internal";
+  }
+  return "unknown";
+}
+
+FunctionId FunctionRegistry::intern(std::string_view name, Image image) {
+  std::lock_guard lock(mutex_);
+  if (const auto it = by_name_.find(std::string(name)); it != by_name_.end()) return it->second;
+  const auto id = static_cast<FunctionId>(infos_.size());
+  infos_.push_back(FunctionInfo{id, std::string(name), image});
+  by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+std::optional<FunctionId> FunctionRegistry::find(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+FunctionInfo FunctionRegistry::info(FunctionId id) const {
+  std::lock_guard lock(mutex_);
+  if (id >= infos_.size()) throw std::out_of_range("FunctionRegistry: unknown id " + std::to_string(id));
+  return infos_[id];
+}
+
+std::size_t FunctionRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return infos_.size();
+}
+
+std::vector<FunctionInfo> FunctionRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return infos_;
+}
+
+}  // namespace difftrace::trace

@@ -1,0 +1,61 @@
+// Function registry: interns function names to dense IDs and records where
+// each function lives (which binary "image") — the information Pin has when
+// ParLOT decides what to instrument, and which the front-end filters use.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace difftrace::trace {
+
+/// Which binary image a function belongs to. ParLOT distinguishes the *main
+/// image* (application code, including `@plt` stubs for external calls) from
+/// library images captured only in all-images mode.
+enum class Image : std::uint8_t {
+  Main,      // application code + @plt stubs
+  MpiLib,    // MPI API entry points (MPI_Send, ...)
+  OmpLib,    // OpenMP runtime entry points (GOMP_*)
+  SystemLib, // libc-style functions (memcpy, malloc, poll, strlen, ...)
+  Internal,  // library-internal helpers, visible only in all-images captures
+};
+
+[[nodiscard]] std::string_view image_name(Image image) noexcept;
+
+struct FunctionInfo {
+  FunctionId id = 0;
+  std::string name;
+  Image image = Image::Main;
+};
+
+/// Thread-safe intern table. IDs are dense and stable for the lifetime of
+/// the registry; the same name always maps to the same ID.
+class FunctionRegistry {
+ public:
+  /// Returns the ID for `name`, creating it with `image` on first sight.
+  /// A later intern of an existing name ignores the image argument.
+  FunctionId intern(std::string_view name, Image image = Image::Main);
+
+  [[nodiscard]] std::optional<FunctionId> find(std::string_view name) const;
+  /// Returns by value: interning from other threads may reallocate storage,
+  /// so references would not be stable.
+  [[nodiscard]] FunctionInfo info(FunctionId id) const;
+  [[nodiscard]] std::string name(FunctionId id) const { return info(id).name; }
+  [[nodiscard]] std::size_t size() const;
+
+  /// Snapshot of all functions, ordered by ID (for serialization/reports).
+  [[nodiscard]] std::vector<FunctionInfo> snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, FunctionId> by_name_;
+  std::vector<FunctionInfo> infos_;
+};
+
+}  // namespace difftrace::trace

@@ -1,0 +1,191 @@
+#include "trace/store.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/varint.hpp"
+
+namespace difftrace::trace {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x44545243;  // "DTRC"
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+TraceStore::TraceStore(const TraceStore& other) : registry_(other.registry_) {
+  std::lock_guard lock(other.mutex_);
+  blobs_ = other.blobs_;
+}
+
+TraceStore& TraceStore::operator=(const TraceStore& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mutex_, other.mutex_);
+  registry_ = other.registry_;
+  blobs_ = other.blobs_;
+  return *this;
+}
+
+TraceStore::TraceStore(TraceStore&& other) noexcept : registry_(std::move(other.registry_)) {
+  std::lock_guard lock(other.mutex_);
+  blobs_ = std::move(other.blobs_);
+}
+
+TraceStore& TraceStore::operator=(TraceStore&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mutex_, other.mutex_);
+  registry_ = std::move(other.registry_);
+  blobs_ = std::move(other.blobs_);
+  return *this;
+}
+
+void TraceStore::absorb(const TraceWriter& writer) {
+  TraceBlob blob;
+  blob.codec_name = writer.codec_name();
+  blob.bytes = writer.bytes();
+  blob.event_count = writer.event_count();
+  blob.truncated = writer.frozen();
+  add_blob(writer.key(), std::move(blob));
+}
+
+void TraceStore::add_blob(TraceKey key, TraceBlob blob) {
+  std::lock_guard lock(mutex_);
+  blobs_[key] = std::move(blob);
+}
+
+std::vector<TraceKey> TraceStore::keys() const {
+  std::lock_guard lock(mutex_);
+  std::vector<TraceKey> out;
+  out.reserve(blobs_.size());
+  for (const auto& [key, _] : blobs_) out.push_back(key);
+  return out;
+}
+
+bool TraceStore::contains(TraceKey key) const {
+  std::lock_guard lock(mutex_);
+  return blobs_.contains(key);
+}
+
+const TraceBlob& TraceStore::blob(TraceKey key) const {
+  std::lock_guard lock(mutex_);
+  const auto it = blobs_.find(key);
+  if (it == blobs_.end()) throw std::out_of_range("TraceStore: no trace for " + key.label());
+  return it->second;
+}
+
+std::size_t TraceStore::size() const {
+  std::lock_guard lock(mutex_);
+  return blobs_.size();
+}
+
+std::vector<TraceEvent> TraceStore::decode(TraceKey key) const {
+  TraceBlob copy;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = blobs_.find(key);
+    if (it == blobs_.end()) throw std::out_of_range("TraceStore: no trace for " + key.label());
+    copy = it->second;
+  }
+  const auto codec = compress::make_codec(copy.codec_name);
+  const auto symbols = codec.decoder->decode(copy.bytes);
+  std::vector<TraceEvent> events;
+  events.reserve(symbols.size());
+  for (const auto s : symbols) events.push_back(symbol_to_event(s));
+  return events;
+}
+
+StoreStats TraceStore::stats() const {
+  std::lock_guard lock(mutex_);
+  StoreStats s;
+  s.trace_count = blobs_.size();
+  for (const auto& [_, blob] : blobs_) {
+    s.total_events += blob.event_count;
+    s.total_compressed_bytes += blob.bytes.size();
+  }
+  if (s.trace_count > 0) {
+    s.mean_events_per_trace = static_cast<double>(s.total_events) / static_cast<double>(s.trace_count);
+    s.mean_compressed_bytes_per_trace =
+        static_cast<double>(s.total_compressed_bytes) / static_cast<double>(s.trace_count);
+  }
+  if (s.total_compressed_bytes > 0)
+    s.compression_ratio =
+        static_cast<double>(s.total_events * sizeof(compress::Symbol)) / static_cast<double>(s.total_compressed_bytes);
+  return s;
+}
+
+void TraceStore::save(const std::filesystem::path& path) const {
+  std::vector<std::uint8_t> buf;
+  util::put_varint(buf, kMagic);
+  util::put_varint(buf, kVersion);
+
+  const auto functions = registry_->snapshot();
+  util::put_varint(buf, functions.size());
+  for (const auto& fn : functions) {
+    util::put_varint(buf, fn.name.size());
+    buf.insert(buf.end(), fn.name.begin(), fn.name.end());
+    util::put_varint(buf, static_cast<std::uint64_t>(fn.image));
+  }
+
+  std::lock_guard lock(mutex_);
+  util::put_varint(buf, blobs_.size());
+  for (const auto& [key, blob] : blobs_) {
+    util::put_svarint(buf, key.proc);
+    util::put_svarint(buf, key.thread);
+    util::put_varint(buf, blob.codec_name.size());
+    buf.insert(buf.end(), blob.codec_name.begin(), blob.codec_name.end());
+    util::put_varint(buf, blob.event_count);
+    util::put_varint(buf, blob.truncated ? 1 : 0);
+    util::put_varint(buf, blob.bytes.size());
+    buf.insert(buf.end(), blob.bytes.begin(), blob.bytes.end());
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("TraceStore::save: cannot open " + path.string());
+  out.write(reinterpret_cast<const char*>(buf.data()), static_cast<std::streamsize>(buf.size()));
+  if (!out) throw std::runtime_error("TraceStore::save: write failed for " + path.string());
+}
+
+TraceStore TraceStore::load(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("TraceStore::load: cannot open " + path.string());
+  std::vector<std::uint8_t> buf((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+  std::size_t pos = 0;
+  const auto read_string = [&](std::size_t len) {
+    if (pos + len > buf.size()) throw std::runtime_error("TraceStore::load: truncated file");
+    std::string s(buf.begin() + static_cast<std::ptrdiff_t>(pos), buf.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    pos += len;
+    return s;
+  };
+
+  if (util::get_varint(buf, pos) != kMagic) throw std::runtime_error("TraceStore::load: bad magic");
+  if (util::get_varint(buf, pos) != kVersion) throw std::runtime_error("TraceStore::load: unsupported version");
+
+  TraceStore store;
+  const auto nfunctions = util::get_varint(buf, pos);
+  for (std::uint64_t i = 0; i < nfunctions; ++i) {
+    const auto name = read_string(util::get_varint(buf, pos));
+    const auto image = static_cast<Image>(util::get_varint(buf, pos));
+    const auto id = store.registry().intern(name, image);
+    if (id != i) throw std::runtime_error("TraceStore::load: duplicate function name in registry dump");
+  }
+
+  const auto nblobs = util::get_varint(buf, pos);
+  for (std::uint64_t i = 0; i < nblobs; ++i) {
+    TraceKey key;
+    key.proc = static_cast<int>(util::get_svarint(buf, pos));
+    key.thread = static_cast<int>(util::get_svarint(buf, pos));
+    TraceBlob blob;
+    blob.codec_name = read_string(util::get_varint(buf, pos));
+    blob.event_count = util::get_varint(buf, pos);
+    blob.truncated = util::get_varint(buf, pos) != 0;
+    const auto nbytes = util::get_varint(buf, pos);
+    if (pos + nbytes > buf.size()) throw std::runtime_error("TraceStore::load: truncated blob");
+    blob.bytes.assign(buf.begin() + static_cast<std::ptrdiff_t>(pos),
+                      buf.begin() + static_cast<std::ptrdiff_t>(pos + nbytes));
+    pos += nbytes;
+    store.add_blob(key, std::move(blob));
+  }
+  return store;
+}
+
+}  // namespace difftrace::trace

@@ -1,0 +1,78 @@
+// TraceStore: the collected output of one traced execution — one compressed
+// blob per (process, thread) plus the shared function registry. This is the
+// in-memory equivalent of ParLOT's per-thread trace files, with binary
+// save/load so executions can be archived and re-analyzed offline with
+// different filters (the paper's "repeatedly analyze the traces offline"
+// workflow).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/registry.hpp"
+#include "trace/writer.hpp"
+
+namespace difftrace::trace {
+
+struct TraceBlob {
+  std::string codec_name;
+  std::vector<std::uint8_t> bytes;
+  std::uint64_t event_count = 0;  // pre-compression events
+  bool truncated = false;         // frozen by the watchdog (deadlock/abort)
+};
+
+struct StoreStats {
+  std::size_t trace_count = 0;
+  std::uint64_t total_events = 0;
+  std::uint64_t total_compressed_bytes = 0;
+  double mean_events_per_trace = 0.0;
+  double mean_compressed_bytes_per_trace = 0.0;
+  /// raw bytes (4 per event symbol) / compressed bytes
+  double compression_ratio = 0.0;
+};
+
+class TraceStore {
+ public:
+  TraceStore() : registry_(std::make_shared<FunctionRegistry>()) {}
+  explicit TraceStore(std::shared_ptr<FunctionRegistry> registry) : registry_(std::move(registry)) {}
+
+  // Copy/move take the source's lock; the registry is shared, blobs copied.
+  TraceStore(const TraceStore& other);
+  TraceStore& operator=(const TraceStore& other);
+  TraceStore(TraceStore&& other) noexcept;
+  TraceStore& operator=(TraceStore&& other) noexcept;
+
+  [[nodiscard]] FunctionRegistry& registry() noexcept { return *registry_; }
+  [[nodiscard]] const FunctionRegistry& registry() const noexcept { return *registry_; }
+  [[nodiscard]] std::shared_ptr<FunctionRegistry> registry_ptr() const noexcept { return registry_; }
+
+  /// Harvests a writer's encoded stream into the store (thread-safe).
+  void absorb(const TraceWriter& writer);
+  void add_blob(TraceKey key, TraceBlob blob);
+
+  [[nodiscard]] std::vector<TraceKey> keys() const;
+  [[nodiscard]] bool contains(TraceKey key) const;
+  [[nodiscard]] const TraceBlob& blob(TraceKey key) const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Decompresses one trace back into its ordered event sequence.
+  [[nodiscard]] std::vector<TraceEvent> decode(TraceKey key) const;
+
+  [[nodiscard]] StoreStats stats() const;
+
+  void save(const std::filesystem::path& path) const;
+  [[nodiscard]] static TraceStore load(const std::filesystem::path& path);
+
+ private:
+  std::shared_ptr<FunctionRegistry> registry_;
+  mutable std::mutex mutex_;
+  std::map<TraceKey, TraceBlob> blobs_;
+};
+
+}  // namespace difftrace::trace

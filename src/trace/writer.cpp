@@ -1,0 +1,47 @@
+#include "trace/writer.hpp"
+
+namespace difftrace::trace {
+
+TraceWriter::TraceWriter(TraceKey key, std::string codec_name, std::uint64_t flush_interval)
+    : key_(key),
+      codec_name_(std::move(codec_name)),
+      encoder_(compress::make_codec(codec_name_).encoder),
+      flush_interval_(flush_interval == 0 ? 1 : flush_interval) {}
+
+void TraceWriter::record(EventKind kind, FunctionId fid) {
+  std::lock_guard lock(mutex_);
+  if (frozen_) return;
+  encoder_->push(event_to_symbol(TraceEvent{fid, kind}));
+  if (++events_ % flush_interval_ == 0) encoder_->flush();
+}
+
+void TraceWriter::freeze() {
+  std::lock_guard lock(mutex_);
+  if (!frozen_) {
+    encoder_->flush();
+    frozen_ = true;
+  }
+}
+
+bool TraceWriter::frozen() const {
+  std::lock_guard lock(mutex_);
+  return frozen_;
+}
+
+void TraceWriter::flush() {
+  std::lock_guard lock(mutex_);
+  if (!frozen_) encoder_->flush();
+}
+
+std::uint64_t TraceWriter::event_count() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::vector<std::uint8_t> TraceWriter::bytes() const {
+  std::lock_guard lock(mutex_);
+  if (!frozen_) encoder_->flush();
+  return encoder_->bytes();
+}
+
+}  // namespace difftrace::trace

@@ -1,0 +1,59 @@
+// Per-thread trace writer: absorbs call/return events into an incremental
+// codec, flushing periodically so the encoded bytes are decodable even if
+// the owning thread never terminates cleanly (deadlock truncation).
+//
+// freeze() is the watchdog hook: after freeze, record() becomes a no-op.
+// The simmpi watchdog freezes every writer *before* it cancels blocked
+// ranks, so stack unwinding cannot fabricate Return events that a killed
+// process would never have emitted. record() is called only by the owning
+// thread, but freeze()/bytes() may come from the watchdog or the harness, so
+// the encoder is guarded by a mutex (uncontended on the hot path).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "compress/codec.hpp"
+#include "trace/event.hpp"
+
+namespace difftrace::trace {
+
+class TraceWriter {
+ public:
+  /// `flush_interval`: events between automatic incremental flushes.
+  explicit TraceWriter(TraceKey key, std::string codec_name = "parlot",
+                       std::uint64_t flush_interval = 256);
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void record(EventKind kind, FunctionId fid);
+
+  /// Permanently stops recording (idempotent, thread-safe) and flushes what
+  /// was recorded so far.
+  void freeze();
+  [[nodiscard]] bool frozen() const;
+
+  /// Finalizes the encoded stream. Safe to call repeatedly.
+  void flush();
+
+  [[nodiscard]] const TraceKey& key() const noexcept { return key_; }
+  [[nodiscard]] const std::string& codec_name() const noexcept { return codec_name_; }
+  [[nodiscard]] std::uint64_t event_count() const;
+  /// Copy of the encoded bytes (flushing first so the tail is decodable).
+  [[nodiscard]] std::vector<std::uint8_t> bytes() const;
+
+ private:
+  TraceKey key_;
+  std::string codec_name_;
+  mutable std::mutex mutex_;
+  std::unique_ptr<compress::SymbolEncoder> encoder_;
+  std::uint64_t flush_interval_;
+  std::uint64_t events_ = 0;
+  bool frozen_ = false;
+};
+
+}  // namespace difftrace::trace

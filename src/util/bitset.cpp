@@ -1,0 +1,103 @@
+#include "util/bitset.hpp"
+
+#include <bit>
+#include <sstream>
+#include <stdexcept>
+
+namespace difftrace::util {
+
+void DynamicBitset::check_index(std::size_t i) const {
+  if (i >= nbits_) throw std::out_of_range("DynamicBitset: index " + std::to_string(i) + " >= size " + std::to_string(nbits_));
+}
+
+void DynamicBitset::check_same_size(const DynamicBitset& other) const {
+  if (nbits_ != other.nbits_) throw std::invalid_argument("DynamicBitset: size mismatch");
+}
+
+void DynamicBitset::set(std::size_t i, bool value) {
+  check_index(i);
+  const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+  if (value)
+    words_[i / 64] |= mask;
+  else
+    words_[i / 64] &= ~mask;
+}
+
+bool DynamicBitset::test(std::size_t i) const {
+  check_index(i);
+  return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+std::size_t DynamicBitset::count() const noexcept {
+  std::size_t n = 0;
+  for (const auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool DynamicBitset::any() const noexcept {
+  for (const auto w : words_)
+    if (w != 0) return true;
+  return false;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+bool DynamicBitset::is_subset_of(const DynamicBitset& other) const {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  return true;
+}
+
+std::vector<std::size_t> DynamicBitset::to_indices() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t word = words_[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      out.push_back(w * 64 + static_cast<std::size_t>(bit));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+std::string DynamicBitset::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const auto i : to_indices()) {
+    if (!first) os << ", ";
+    os << i;
+    first = false;
+  }
+  os << '}';
+  return os.str();
+}
+
+std::size_t DynamicBitset::hash() const noexcept {
+  // FNV-1a over the words; size participates so {}, sized 3 vs 5, differ.
+  std::uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(nbits_);
+  for (const auto w : words_) mix(w);
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace difftrace::util

@@ -1,0 +1,57 @@
+// Dynamically sized bitset used for FCA extents/intents. Capacity is fixed at
+// construction; set operations require equal sizes (checked).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace difftrace::util {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t nbits) : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return nbits_; }
+
+  void set(std::size_t i, bool value = true);
+  [[nodiscard]] bool test(std::size_t i) const;
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept;
+  [[nodiscard]] bool any() const noexcept;
+  [[nodiscard]] bool none() const noexcept { return !any(); }
+
+  DynamicBitset& operator&=(const DynamicBitset& other);
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  [[nodiscard]] friend DynamicBitset operator&(DynamicBitset a, const DynamicBitset& b) { return a &= b; }
+  [[nodiscard]] friend DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) { return a |= b; }
+  [[nodiscard]] bool operator==(const DynamicBitset& other) const noexcept = default;
+
+  /// True if every set bit of *this is also set in `other`.
+  [[nodiscard]] bool is_subset_of(const DynamicBitset& other) const;
+
+  /// Indices of set bits, ascending.
+  [[nodiscard]] std::vector<std::size_t> to_indices() const;
+
+  /// "{0, 2, 5}"-style rendering for diagnostics.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Stable hash of the bit contents (for hash-map keys).
+  [[nodiscard]] std::size_t hash() const noexcept;
+
+ private:
+  void check_index(std::size_t i) const;
+  void check_same_size(const DynamicBitset& other) const;
+
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+struct DynamicBitsetHash {
+  std::size_t operator()(const DynamicBitset& b) const noexcept { return b.hash(); }
+};
+
+}  // namespace difftrace::util

@@ -1,0 +1,71 @@
+// Dense row-major matrix of doubles. Used for Jaccard similarity matrices and
+// pairwise-distance inputs to hierarchical clustering. Header-only.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace difftrace::util {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] static Matrix square(std::size_t n, double fill = 0.0) { return Matrix(n, n, fill); }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+
+  /// Element-wise |a - b|; both matrices must have identical shape.
+  [[nodiscard]] friend Matrix abs_diff(const Matrix& a, const Matrix& b) {
+    if (a.rows_ != b.rows_ || a.cols_ != b.cols_)
+      throw std::invalid_argument("Matrix::abs_diff: shape mismatch");
+    Matrix out(a.rows_, a.cols_);
+    for (std::size_t i = 0; i < a.data_.size(); ++i) out.data_[i] = std::abs(a.data_[i] - b.data_[i]);
+    return out;
+  }
+
+  /// Sum of row `r` (used for JSM_D per-trace suspicion scores).
+  [[nodiscard]] double row_sum(std::size_t r) const {
+    check(r, 0);
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += data_[r * cols_ + c];
+    return s;
+  }
+
+  [[nodiscard]] double max_abs() const noexcept {
+    double m = 0.0;
+    for (const auto v : data_) m = std::max(m, std::abs(v));
+    return m;
+  }
+
+  [[nodiscard]] bool operator==(const Matrix& other) const noexcept = default;
+
+ private:
+  void check(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_)
+      throw std::out_of_range("Matrix: (" + std::to_string(r) + "," + std::to_string(c) + ") out of " +
+                              std::to_string(rows_) + "x" + std::to_string(cols_));
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace difftrace::util

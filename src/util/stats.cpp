@@ -1,0 +1,26 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace difftrace::util {
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  s.min = samples[0];
+  s.max = samples[0];
+  for (const auto v : samples) {
+    s.total += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = s.total / static_cast<double>(s.count);
+  double ss = 0.0;
+  for (const auto v : samples) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = s.count > 1 ? std::sqrt(ss / static_cast<double>(s.count - 1)) : 0.0;
+  return s;
+}
+
+}  // namespace difftrace::util

@@ -1,0 +1,21 @@
+// Summary statistics over numeric samples, used for the §V LULESH trace
+// statistics (averages per process/thread) and the benchmark reports.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace difftrace::util {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double total = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+}  // namespace difftrace::util

@@ -1,0 +1,20 @@
+// Small string helpers shared by the filter front-end and table renderers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace difftrace::util {
+
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, std::string_view sep);
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+[[nodiscard]] bool contains_insensitive(std::string_view haystack, std::string_view needle) noexcept;
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Fixed-precision double rendering ("0.244"), for table cells.
+[[nodiscard]] std::string format_double(double v, int precision = 3);
+
+}  // namespace difftrace::util

@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/str.hpp"
+
+namespace difftrace::util {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("TextTable: header must not be empty");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw std::invalid_argument("TextTable: row has " + std::to_string(cells.size()) + " cells, expected " +
+                                std::to_string(header_.size()));
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  const auto rule = [&] {
+    os << '+';
+    for (const auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << ' ' << cells[c] << std::string(widths[c] - cells[c].size(), ' ') << " |";
+    os << '\n';
+  };
+  rule();
+  line(header_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+  return os.str();
+}
+
+std::string render_heatmap(const Matrix& m, const std::string& title) {
+  // Five shade levels from empty to full block, darker = closer to 1.
+  static const char* kShades[] = {"  ", "░░", "▒▒", "▓▓", "██"};
+  std::ostringstream os;
+  if (!title.empty()) os << title << '\n';
+  os << "    ";
+  for (std::size_t c = 0; c < m.cols(); ++c) os << (c % 10) << ' ';
+  os << '\n';
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    os << (r < 10 ? " " : "") << r << "  ";
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      const double v = std::clamp(m(r, c), 0.0, 1.0);
+      const int level = std::min(4, static_cast<int>(v * 5.0));
+      os << kShades[level];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace difftrace::util

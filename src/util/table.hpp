@@ -1,0 +1,32 @@
+// Plain-text table rendering for the ranking tables and walkthrough output.
+// Produces aligned ASCII tables comparable to the paper's Tables II-IX, plus
+// a greyscale heatmap renderer for JSM matrices (Figure 4 analogue).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace difftrace::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with column alignment and +--+ separators.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a square matrix of values in [0,1] as a unicode-shaded heatmap
+/// with row/column indices ("Figure 4"-style). Values outside [0,1] clamp.
+[[nodiscard]] std::string render_heatmap(const Matrix& m, const std::string& title = {});
+
+}  // namespace difftrace::util

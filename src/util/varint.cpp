@@ -1,0 +1,36 @@
+#include "util/varint.hpp"
+
+#include <stdexcept>
+
+namespace difftrace::util {
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t get_varint(std::span<const std::uint8_t> in, std::size_t& pos) {
+  std::uint64_t result = 0;
+  int shift = 0;
+  for (;;) {
+    if (pos >= in.size()) throw std::out_of_range("varint: truncated input");
+    if (shift >= 64) throw std::overflow_error("varint: value exceeds 64 bits");
+    const std::uint8_t byte = in[pos++];
+    result |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return result;
+    shift += 7;
+  }
+}
+
+void put_svarint(std::vector<std::uint8_t>& out, std::int64_t value) {
+  put_varint(out, zigzag_encode(value));
+}
+
+std::int64_t get_svarint(std::span<const std::uint8_t> in, std::size_t& pos) {
+  return zigzag_decode(get_varint(in, pos));
+}
+
+}  // namespace difftrace::util

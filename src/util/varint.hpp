@@ -1,0 +1,33 @@
+// Variable-length integer coding (unsigned LEB128) used by the streaming
+// trace codecs. Encoding is append-only into a byte vector; decoding walks a
+// span with an explicit cursor so callers can interleave other fields.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace difftrace::util {
+
+/// Appends `value` to `out` as unsigned LEB128 (7 bits per byte, MSB = more).
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value);
+
+/// Reads one unsigned LEB128 value from `in` starting at `pos`.
+/// Advances `pos` past the value. Throws std::out_of_range on truncated
+/// input and std::overflow_error if the value exceeds 64 bits.
+[[nodiscard]] std::uint64_t get_varint(std::span<const std::uint8_t> in, std::size_t& pos);
+
+/// Maps signed to unsigned so small-magnitude values stay short (zigzag).
+[[nodiscard]] constexpr std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] constexpr std::int64_t zigzag_decode(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+void put_svarint(std::vector<std::uint8_t>& out, std::int64_t value);
+[[nodiscard]] std::int64_t get_svarint(std::span<const std::uint8_t> in, std::size_t& pos);
+
+}  // namespace difftrace::util

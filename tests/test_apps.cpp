@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "apps/ilcs.hpp"
+#include "apps/lulesh.hpp"
+#include "apps/oddeven.hpp"
+#include "apps/tsp.hpp"
+
+namespace difftrace::apps {
+namespace {
+
+simmpi::WorldConfig fast_world() {
+  simmpi::WorldConfig config;
+  config.watchdog_poll = std::chrono::milliseconds(5);
+  config.wall_timeout = std::chrono::milliseconds(20'000);
+  return config;
+}
+
+// --- odd/even sort ----------------------------------------------------------
+
+std::vector<std::int32_t> flatten(const std::vector<std::vector<std::int32_t>>& blocks) {
+  std::vector<std::int32_t> all;
+  for (const auto& block : blocks) all.insert(all.end(), block.begin(), block.end());
+  return all;
+}
+
+TEST(OddEven, SortsGlobally) {
+  OddEvenConfig config;
+  config.nranks = 8;
+  config.elements_per_rank = 32;
+  std::vector<std::vector<std::int32_t>> result(8);
+  config.result_sink = &result;
+  const auto report = run_odd_even(config, fast_world());
+  EXPECT_TRUE(report.all_completed());
+  const auto all = flatten(result);
+  EXPECT_EQ(all.size(), 8u * 32u);
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+}
+
+TEST(OddEven, SingleRankTrivial) {
+  OddEvenConfig config;
+  config.nranks = 1;
+  config.elements_per_rank = 8;
+  std::vector<std::vector<std::int32_t>> result(1);
+  config.result_sink = &result;
+  const auto report = run_odd_even(config, fast_world());
+  EXPECT_TRUE(report.all_completed());
+  EXPECT_TRUE(std::is_sorted(result[0].begin(), result[0].end()));
+}
+
+TEST(OddEven, SwapBugStillTerminatesAndSorts) {
+  // §II-G: the swap is a *latent* deadlock; under eager buffering the run
+  // completes and even still sorts (both sides send first, then receive).
+  OddEvenConfig config;
+  config.nranks = 16;
+  config.elements_per_rank = 16;
+  config.fault = FaultSpec{FaultType::SwapBug, 5, -1, 7};
+  std::vector<std::vector<std::int32_t>> result(16);
+  config.result_sink = &result;
+  const auto report = run_odd_even(config, fast_world());
+  EXPECT_TRUE(report.all_completed());
+  EXPECT_FALSE(report.deadlock);
+  const auto all = flatten(result);
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+}
+
+TEST(OddEven, DlBugDeadlocksAndTruncates) {
+  OddEvenConfig config;
+  config.nranks = 16;
+  config.elements_per_rank = 16;
+  config.fault = FaultSpec{FaultType::DlBug, 5, -1, 7};
+  const auto report = run_odd_even(config, fast_world());
+  EXPECT_TRUE(report.deadlock);
+  EXPECT_EQ(report.ranks[5].status, simmpi::RankStatus::Aborted);
+  EXPECT_NE(report.deadlock_info.find("rank 5"), std::string::npos);
+}
+
+// --- TSP -----------------------------------------------------------------------
+
+TEST(Tsp, DeterministicProblemGeneration) {
+  const auto a = tsp_init(12, 99);
+  const auto b = tsp_init(12, 99);
+  EXPECT_EQ(a.xs, b.xs);
+  EXPECT_EQ(a.ys, b.ys);
+}
+
+TEST(Tsp, TwoOptImprovesOverIdentityTour) {
+  const auto problem = tsp_init(16, 5);
+  std::vector<std::uint32_t> identity(16);
+  std::iota(identity.begin(), identity.end(), 0u);
+  const double identity_len = problem.tour_length(identity);
+  const double optimized = tsp_exec(problem, 1);
+  EXPECT_LE(optimized, identity_len * 1.01);
+  EXPECT_GT(optimized, 0.0);
+}
+
+TEST(Tsp, DifferentSeedsGiveLocalOptima) {
+  const auto problem = tsp_init(14, 6);
+  const double a = tsp_exec(problem, 1);
+  const double b = tsp_exec(problem, 2);
+  // Both are valid tours of the same instance; lengths within 2x.
+  EXPECT_LT(std::max(a, b) / std::min(a, b), 2.0);
+}
+
+// --- ILCS ----------------------------------------------------------------------
+
+TEST(Ilcs, CompletesAndAgreesOnChampion) {
+  IlcsConfig config;
+  config.nranks = 4;
+  config.workers = 3;
+  config.ncities = 12;
+  std::vector<double> champions(4, -1.0);
+  config.champion_sink = &champions;
+  const auto report = run_ilcs(config, fast_world());
+  EXPECT_TRUE(report.all_completed());
+  for (const auto c : champions) {
+    EXPECT_GT(c, 0.0);
+    EXPECT_LT(c, 1e9);
+  }
+}
+
+TEST(Ilcs, OmpNoCriticalStillCompletes) {
+  IlcsConfig config;
+  config.nranks = 4;
+  config.workers = 3;
+  config.ncities = 12;
+  config.fault = FaultSpec{FaultType::OmpNoCritical, 2, 2, -1};
+  const auto report = run_ilcs(config, fast_world());
+  EXPECT_TRUE(report.all_completed());  // silent bug: no crash, no hang
+}
+
+TEST(Ilcs, WrongCollectiveSizeDeadlocks) {
+  IlcsConfig config;
+  config.nranks = 4;
+  config.workers = 2;
+  config.ncities = 10;
+  config.fault = FaultSpec{FaultType::WrongCollectiveSize, 2, -1, -1};
+  const auto report = run_ilcs(config, fast_world());
+  EXPECT_TRUE(report.deadlock);
+  EXPECT_NE(report.deadlock_info.find("MPI_Allreduce"), std::string::npos);
+}
+
+TEST(Ilcs, WrongCollectiveOpTerminates) {
+  IlcsConfig config;
+  config.nranks = 4;
+  config.workers = 2;
+  config.ncities = 10;
+  config.fault = FaultSpec{FaultType::WrongCollectiveOp, 0, -1, -1};
+  const auto report = run_ilcs(config, fast_world());
+  EXPECT_TRUE(report.all_completed());
+  EXPECT_FALSE(report.deadlock);
+}
+
+// --- LULESH ----------------------------------------------------------------------
+
+TEST(Lulesh, CompletesAllCycles) {
+  LuleshConfig config;
+  config.nranks = 4;
+  config.omp_threads = 2;
+  config.elements_per_rank = 16;
+  config.cycles = 3;
+  std::vector<double> energy(4, -1.0);
+  config.energy_sink = &energy;
+  const auto report = run_lulesh(config, fast_world());
+  EXPECT_TRUE(report.all_completed());
+  for (const auto e : energy) EXPECT_GE(e, 0.0);
+}
+
+TEST(Lulesh, EnergyDepositedAtOrigin) {
+  LuleshConfig config;
+  config.nranks = 2;
+  config.omp_threads = 2;
+  config.elements_per_rank = 8;
+  config.cycles = 1;
+  std::vector<double> energy(2, -1.0);
+  config.energy_sink = &energy;
+  const auto report = run_lulesh(config, fast_world());
+  EXPECT_TRUE(report.all_completed());
+  EXPECT_GT(energy[0], energy[1]);  // the Sedov deposit lives in rank 0
+}
+
+TEST(Lulesh, SkipLagrangeLeapFrogHangsTheJob) {
+  LuleshConfig config;
+  config.nranks = 4;
+  config.omp_threads = 2;
+  config.elements_per_rank = 16;
+  config.cycles = 3;
+  config.fault = FaultSpec{FaultType::SkipLagrangeLeapFrog, 2, -1, -1};
+  const auto report = run_lulesh(config, fast_world());
+  EXPECT_TRUE(report.deadlock);
+  // The skipping rank starves its neighbours: somebody is stuck in p2p.
+  EXPECT_NE(report.deadlock_info.find("MPI_"), std::string::npos);
+}
+
+TEST(Lulesh, DeterministicAcrossRuns) {
+  LuleshConfig config;
+  config.nranks = 2;
+  config.omp_threads = 2;
+  config.elements_per_rank = 8;
+  config.cycles = 2;
+  std::vector<double> e1(2), e2(2);
+  config.energy_sink = &e1;
+  (void)run_lulesh(config, fast_world());
+  config.energy_sink = &e2;
+  (void)run_lulesh(config, fast_world());
+  EXPECT_EQ(e1, e2);
+}
+
+}  // namespace
+}  // namespace difftrace::apps

@@ -1,0 +1,149 @@
+#include "core/attributes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace difftrace::core {
+namespace {
+
+struct Fixture {
+  TokenTable tokens;
+  LoopTable loops;
+
+  NlrProgram program(const std::vector<std::string>& names) {
+    std::vector<TokenId> ids;
+    for (const auto& n : names) ids.push_back(tokens.intern(n));
+    return build_nlr(ids, loops);
+  }
+};
+
+TEST(AttrConfig, NamesMatchPaperNotation) {
+  EXPECT_EQ((AttrConfig{AttrKind::Single, FreqMode::NoFreq}.name()), "sing.noFreq");
+  EXPECT_EQ((AttrConfig{AttrKind::Double, FreqMode::Log10}.name()), "doub.log10");
+  EXPECT_EQ((AttrConfig{AttrKind::Single, FreqMode::Actual}.name()), "sing.actual");
+}
+
+TEST(AttrConfig, AllConfigsEnumeratesSix) {
+  EXPECT_EQ(all_attr_configs().size(), 6u);
+}
+
+TEST(Attributes, SingleFrequenciesWeightLoopsByCount) {
+  Fixture f;
+  // a b a b a b -> L^3 with body [a, b]: the loop entry contributes 3 and,
+  // with deep mining, the body tokens their observed (expanded) counts.
+  const auto program = f.program({"init", "a", "b", "a", "b", "a", "b", "fini"});
+  const auto freqs = mine_frequencies(program, f.tokens, f.loops, AttrKind::Single);
+  EXPECT_EQ(freqs.at("init"), 1u);
+  EXPECT_EQ(freqs.at("L0"), 3u);
+  EXPECT_EQ(freqs.at("a"), 3u);
+  EXPECT_EQ(freqs.at("b"), 3u);
+  EXPECT_EQ(freqs.at("fini"), 1u);
+  EXPECT_EQ(freqs.size(), 5u);
+}
+
+TEST(Attributes, ShallowSingleMinesOnlyTopLevelEntries) {
+  // deep = false: the literal Table V reading used for the Table IV print.
+  Fixture f;
+  const auto program = f.program({"init", "a", "b", "a", "b", "a", "b", "fini"});
+  const auto freqs = mine_frequencies(program, f.tokens, f.loops, AttrKind::Single, /*deep=*/false);
+  EXPECT_EQ(freqs.size(), 3u);
+  EXPECT_EQ(freqs.at("L0"), 3u);
+}
+
+TEST(Attributes, DeepMiningInvariantToLoopSegmentation) {
+  // The same underlying behaviour folded at a different phase offset must
+  // mine the same token frequencies (the churn-resistance property).
+  Fixture f;
+  const auto p1 = f.program({"x", "y", "z", "x", "y", "z", "x", "y", "z"});
+  Fixture g;
+  const auto p2 = g.program({"y", "z", "x", "y", "z", "x", "y", "z", "x"});
+  auto f1 = mine_frequencies(p1, f.tokens, f.loops, AttrKind::Single);
+  auto f2 = mine_frequencies(p2, g.tokens, g.loops, AttrKind::Single);
+  for (const auto* t : {"x", "y", "z"}) {
+    EXPECT_EQ(f1.at(t), 3u) << t;
+    EXPECT_EQ(f2.at(t), 3u) << t;
+  }
+}
+
+TEST(Attributes, DoubleMinesConsecutivePairs) {
+  Fixture f;
+  const auto program = f.program({"x", "y", "z"});
+  const auto freqs = mine_frequencies(program, f.tokens, f.loops, AttrKind::Double);
+  EXPECT_EQ(freqs.size(), 2u);
+  EXPECT_EQ(freqs.at("x>y"), 1u);
+  EXPECT_EQ(freqs.at("y>z"), 1u);
+}
+
+TEST(Attributes, DoublePairsIncludeLoopEntries) {
+  Fixture f;
+  const auto program = f.program({"init", "a", "b", "a", "b", "fini"});
+  const auto freqs = mine_frequencies(program, f.tokens, f.loops, AttrKind::Double);
+  EXPECT_TRUE(freqs.contains("init>L0"));
+  EXPECT_TRUE(freqs.contains("L0>fini"));
+}
+
+TEST(Attributes, NoFreqDropsCounts) {
+  Fixture f;
+  const auto program = f.program({"a", "b", "a", "b"});
+  const auto attrs = mine_attributes(program, f.tokens, f.loops, {AttrKind::Single, FreqMode::NoFreq});
+  EXPECT_EQ(attrs, (std::set<std::string>{"L0", "a", "b"}));
+  const auto shallow = mine_attributes(program, f.tokens, f.loops,
+                                       {AttrKind::Single, FreqMode::NoFreq, /*deep=*/false});
+  EXPECT_EQ(shallow, (std::set<std::string>{"L0"}));
+}
+
+TEST(Attributes, ActualEmbedsExactCount) {
+  Fixture f;
+  const auto program = f.program({"a", "b", "a", "b", "a", "b"});
+  const auto attrs = mine_attributes(program, f.tokens, f.loops, {AttrKind::Single, FreqMode::Actual});
+  EXPECT_EQ(attrs, (std::set<std::string>{"L0:3", "a:3", "b:3"}));
+}
+
+TEST(Attributes, Log10Buckets) {
+  Fixture f;
+  TokenTable& t = f.tokens;
+  // Build programs with loop counts 9, 10, 99, 100 and check bucket edges.
+  const auto make_loop = [&](std::size_t reps) {
+    std::vector<TokenId> ids;
+    for (std::size_t i = 0; i < reps; ++i) {
+      ids.push_back(t.intern("p"));
+      ids.push_back(t.intern("q"));
+    }
+    return build_nlr(ids, f.loops);
+  };
+  const auto attrs9 = mine_attributes(make_loop(9), t, f.loops, {AttrKind::Single, FreqMode::Log10});
+  const auto attrs10 = mine_attributes(make_loop(10), t, f.loops, {AttrKind::Single, FreqMode::Log10});
+  const auto attrs99 = mine_attributes(make_loop(99), t, f.loops, {AttrKind::Single, FreqMode::Log10});
+  const auto attrs100 = mine_attributes(make_loop(100), t, f.loops, {AttrKind::Single, FreqMode::Log10});
+  EXPECT_EQ(attrs9, (std::set<std::string>{"L0:e0", "p:e0", "q:e0"}));
+  EXPECT_EQ(attrs10, attrs99);
+  EXPECT_EQ(*attrs10.begin(), "L0:e1");
+  EXPECT_EQ(*attrs100.begin(), "L0:e2");
+}
+
+TEST(Attributes, Log10IsCoarserThanActualButFinerThanNoFreq) {
+  Fixture f;
+  const auto p1 = f.program({"a", "b", "a", "b"});          // L^2
+  const auto p2 = f.program({"a", "b", "a", "b", "a", "b"});  // L^3
+  const auto actual1 = mine_attributes(p1, f.tokens, f.loops, {AttrKind::Single, FreqMode::Actual});
+  const auto actual2 = mine_attributes(p2, f.tokens, f.loops, {AttrKind::Single, FreqMode::Actual});
+  EXPECT_NE(actual1, actual2);  // actual distinguishes 2 vs 3
+  const auto log1 = mine_attributes(p1, f.tokens, f.loops, {AttrKind::Single, FreqMode::Log10});
+  const auto log2 = mine_attributes(p2, f.tokens, f.loops, {AttrKind::Single, FreqMode::Log10});
+  EXPECT_EQ(log1, log2);  // log10 buckets them together
+}
+
+TEST(Attributes, EmptyProgramYieldsNoAttributes) {
+  Fixture f;
+  EXPECT_TRUE(mine_attributes({}, f.tokens, f.loops, {}).empty());
+  EXPECT_TRUE(mine_frequencies({}, f.tokens, f.loops, AttrKind::Double).empty());
+}
+
+TEST(Attributes, SingleItemProgramHasNoPairs) {
+  Fixture f;
+  const auto program = f.program({"solo"});
+  EXPECT_TRUE(mine_frequencies(program, f.tokens, f.loops, AttrKind::Double).empty());
+  EXPECT_EQ(mine_frequencies(program, f.tokens, f.loops, AttrKind::Single).size(), 1u);
+}
+
+}  // namespace
+}  // namespace difftrace::core

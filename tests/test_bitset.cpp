@@ -1,0 +1,112 @@
+#include "util/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace difftrace::util {
+namespace {
+
+TEST(DynamicBitset, StartsEmpty) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.any());
+}
+
+TEST(DynamicBitset, SetAndTest) {
+  DynamicBitset b(70);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(69);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(69));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+}
+
+TEST(DynamicBitset, ClearBit) {
+  DynamicBitset b(10);
+  b.set(5);
+  b.set(5, false);
+  EXPECT_FALSE(b.test(5));
+}
+
+TEST(DynamicBitset, ThrowsOnOutOfRange) {
+  DynamicBitset b(10);
+  EXPECT_THROW(b.set(10), std::out_of_range);
+  EXPECT_THROW((void)b.test(10), std::out_of_range);
+}
+
+TEST(DynamicBitset, ThrowsOnSizeMismatch) {
+  DynamicBitset a(10);
+  DynamicBitset b(11);
+  EXPECT_THROW(a &= b, std::invalid_argument);
+  EXPECT_THROW(a |= b, std::invalid_argument);
+  EXPECT_THROW((void)a.is_subset_of(b), std::invalid_argument);
+}
+
+TEST(DynamicBitset, IntersectionAndUnion) {
+  DynamicBitset a(128);
+  DynamicBitset b(128);
+  a.set(1);
+  a.set(100);
+  b.set(100);
+  b.set(127);
+  const auto inter = a & b;
+  EXPECT_EQ(inter.count(), 1u);
+  EXPECT_TRUE(inter.test(100));
+  const auto uni = a | b;
+  EXPECT_EQ(uni.count(), 3u);
+}
+
+TEST(DynamicBitset, SubsetRelation) {
+  DynamicBitset a(64);
+  DynamicBitset b(64);
+  a.set(3);
+  b.set(3);
+  b.set(40);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.is_subset_of(a));
+  EXPECT_TRUE(DynamicBitset(64).is_subset_of(a));
+}
+
+TEST(DynamicBitset, ToIndicesAscending) {
+  DynamicBitset b(200);
+  b.set(199);
+  b.set(0);
+  b.set(64);
+  const auto idx = b.to_indices();
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[1], 64u);
+  EXPECT_EQ(idx[2], 199u);
+}
+
+TEST(DynamicBitset, ToStringRendersSet) {
+  DynamicBitset b(8);
+  b.set(1);
+  b.set(5);
+  EXPECT_EQ(b.to_string(), "{1, 5}");
+}
+
+TEST(DynamicBitset, EqualityAndHash) {
+  DynamicBitset a(64);
+  DynamicBitset b(64);
+  a.set(5);
+  b.set(5);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  b.set(6);
+  EXPECT_NE(a, b);
+}
+
+TEST(DynamicBitset, HashDistinguishesSizes) {
+  EXPECT_NE(DynamicBitset(3).hash(), DynamicBitset(5).hash());
+}
+
+}  // namespace
+}  // namespace difftrace::util

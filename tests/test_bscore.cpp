@@ -1,0 +1,97 @@
+#include "core/bscore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/prng.hpp"
+
+namespace difftrace::core {
+namespace {
+
+util::Matrix random_dist(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  util::Matrix d = util::Matrix::square(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) d(i, j) = d(j, i) = 0.1 + rng.uniform();
+  return d;
+}
+
+TEST(FowlkesMallows, IdenticalLabelingsGiveOne) {
+  const std::vector<int> labels = {0, 0, 1, 1, 2};
+  EXPECT_DOUBLE_EQ(fowlkes_mallows_bk(labels, labels), 1.0);
+}
+
+TEST(FowlkesMallows, PermutedLabelNamesStillOne) {
+  EXPECT_DOUBLE_EQ(fowlkes_mallows_bk({0, 0, 1, 1}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(FowlkesMallows, DisjointPairingsGiveZero) {
+  // {01}{23} vs {02}{13}: no co-clustered pair survives.
+  EXPECT_DOUBLE_EQ(fowlkes_mallows_bk({0, 0, 1, 1}, {0, 1, 0, 1}), 0.0);
+}
+
+TEST(FowlkesMallows, KnownPartialOverlap) {
+  // A = {012}{345}, B = {01}{2345}.
+  // T = sum m_ij^2 - n = (4+1+0+16) - 6 = 15 is wrong — contingency:
+  //   m = [[2,1],[0,3]] => sum sq = 4+1+9 = 14; T = 8.
+  //   P = (3^2+3^2) - 6 = 12;  Q = (2^2+4^2) - 6 = 14.
+  const double bk = fowlkes_mallows_bk({0, 0, 0, 1, 1, 1}, {0, 0, 1, 1, 1, 1});
+  EXPECT_NEAR(bk, 8.0 / std::sqrt(12.0 * 14.0), 1e-12);
+}
+
+TEST(FowlkesMallows, AllSingletonsDegenerate) {
+  EXPECT_DOUBLE_EQ(fowlkes_mallows_bk({0, 1, 2}, {0, 1, 2}), 1.0);
+}
+
+TEST(FowlkesMallows, LengthMismatchThrows) {
+  EXPECT_THROW((void)fowlkes_mallows_bk({0, 1}, {0}), std::invalid_argument);
+}
+
+TEST(Bscore, IdenticalDendrogramsScoreOne) {
+  const auto d = random_dist(8, 1);
+  const auto z = linkage(d, Linkage::Ward);
+  EXPECT_DOUBLE_EQ(bscore(z, z, 8), 1.0);
+}
+
+TEST(Bscore, DifferentHierarchiesScoreBelowOne) {
+  const auto a = linkage(random_dist(8, 1), Linkage::Ward);
+  const auto b = linkage(random_dist(8, 99), Linkage::Ward);
+  const double s = bscore(a, b, 8);
+  EXPECT_LT(s, 1.0);
+  EXPECT_GE(s, 0.0);
+}
+
+TEST(Bscore, MorePerturbationLowersScore) {
+  // Cluster structure: two tight groups. Slight perturbation vs full reshuffle.
+  const std::size_t n = 10;
+  util::Matrix base = util::Matrix::square(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool same = (i < 5) == (j < 5);
+      base(i, j) = base(j, i) = same ? 0.1 : 2.0;
+    }
+  util::Matrix slight = base;
+  slight(0, 5) = slight(5, 0) = 0.05;  // one object drifts
+  const auto scrambled = random_dist(n, 7);
+
+  const auto z0 = linkage(base, Linkage::Average);
+  const auto z1 = linkage(slight, Linkage::Average);
+  const auto z2 = linkage(scrambled, Linkage::Average);
+  EXPECT_GT(bscore(z0, z1, n), bscore(z0, z2, n));
+}
+
+TEST(Bscore, TinyInputsDefined) {
+  EXPECT_DOUBLE_EQ(bscore({}, {}, 1), 1.0);
+  EXPECT_DOUBLE_EQ(bscore({}, {}, 0), 1.0);
+  const auto z = linkage(random_dist(2, 3), Linkage::Single);
+  EXPECT_DOUBLE_EQ(bscore(z, z, 2), 1.0);
+}
+
+TEST(Bscore, SizeMismatchThrows) {
+  const auto z = linkage(random_dist(4, 1), Linkage::Single);
+  EXPECT_THROW((void)bscore(z, z, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace difftrace::core

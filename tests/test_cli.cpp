@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "cli/commands.hpp"
+
+namespace difftrace::cli {
+namespace {
+
+// --- Args -------------------------------------------------------------------
+
+TEST(Args, PositionalAndOptions) {
+  const Args args({"rank", "a.dtrc", "b.dtrc", "--k", "20", "--color"});
+  ASSERT_EQ(args.positional().size(), 3u);
+  EXPECT_EQ(args.positional_at(1, "x"), "a.dtrc");
+  EXPECT_EQ(args.int_or("k", 10), 20);
+  EXPECT_TRUE(args.flag("color"));
+  EXPECT_FALSE(args.flag("missing"));
+}
+
+TEST(Args, EqualsSyntax) {
+  const Args args({"--filter=mem+ompcrit", "--k=5"});
+  EXPECT_EQ(args.required("filter"), "mem+ompcrit");
+  EXPECT_EQ(args.int_or("k", 0), 5);
+}
+
+TEST(Args, FlagFollowedByOption) {
+  const Args args({"--color", "--trace", "5.0"});
+  EXPECT_TRUE(args.flag("color"));
+  EXPECT_EQ(args.required("trace"), "5.0");
+}
+
+TEST(Args, MissingRequiredThrows) {
+  const Args args({"cmd"});
+  EXPECT_THROW((void)args.required("out"), ArgError);
+  EXPECT_THROW((void)args.positional_at(1, "path"), ArgError);
+}
+
+TEST(Args, BadIntegerThrows) {
+  const Args args({"--k", "ten"});
+  EXPECT_THROW((void)args.int_or("k", 0), ArgError);
+}
+
+TEST(Args, EmptyOptionNameThrows) { EXPECT_THROW(Args({"--"}), ArgError); }
+
+// --- filter mini-language --------------------------------------------------------
+
+TEST(ParseFilter, Categories) {
+  const auto filter = parse_filter("mem+ompcrit+cust=^CPU_");
+  EXPECT_TRUE(filter.keeps_name("memcpy"));
+  EXPECT_TRUE(filter.keeps_name("GOMP_critical_start"));
+  EXPECT_TRUE(filter.keeps_name("CPU_Exec"));
+  EXPECT_FALSE(filter.keeps_name("MPI_Send"));
+  EXPECT_TRUE(filter.drops_returns());
+  EXPECT_TRUE(filter.drops_plt());
+}
+
+TEST(ParseFilter, ModifiersKeepReturnsAndPlt) {
+  const auto filter = parse_filter("rets+plt+mpiall");
+  EXPECT_FALSE(filter.drops_returns());
+  EXPECT_FALSE(filter.drops_plt());
+  EXPECT_TRUE(filter.keeps_name("MPI_Send"));
+}
+
+TEST(ParseFilter, AllKeepsEverything) {
+  const auto filter = parse_filter("all");
+  EXPECT_TRUE(filter.keeps_name("anything_at_all"));
+}
+
+TEST(ParseFilter, RejectsUnknownAndEmpty) {
+  EXPECT_THROW((void)parse_filter("bogus"), ArgError);
+  EXPECT_THROW((void)parse_filter("mem++ompcrit"), ArgError);
+  EXPECT_THROW((void)parse_filter("rets"), ArgError);  // modifiers only select nothing
+}
+
+// --- command round trip -------------------------------------------------------------
+
+class CliRoundTrip : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // ctest runs each case as its own process in parallel: the directory
+    // must be unique per process AND per test.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("difftrace_cli_" + std::to_string(::getpid()) + "_" + info->name());
+    std::filesystem::create_directories(dir_);
+    normal_ = (dir_ / "normal.dtrc").string();
+    faulty_ = (dir_ / "faulty.dtrc").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  int run(const std::vector<std::string>& argv) {
+    out_.str("");
+    err_.str("");
+    return run_command(argv, out_, err_);
+  }
+
+  std::filesystem::path dir_;
+  std::string normal_;
+  std::string faulty_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(CliRoundTrip, HelpPrintsUsage) {
+  EXPECT_EQ(run({"help"}), 0);
+  EXPECT_NE(out_.str().find("usage: difftrace"), std::string::npos);
+  EXPECT_EQ(run({}), 0);
+}
+
+TEST_F(CliRoundTrip, UnknownCommandFails) {
+  EXPECT_EQ(run({"frobnicate"}), 2);
+  EXPECT_NE(err_.str().find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliRoundTrip, CollectInfoDecodeNlr) {
+  ASSERT_EQ(run({"collect", "--app", "oddeven", "--nranks", "4", "--size", "8", "--out", normal_}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("saved 4 trace(s)"), std::string::npos);
+
+  ASSERT_EQ(run({"info", normal_}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("traces:             4"), std::string::npos);
+  EXPECT_NE(out_.str().find("0.0"), std::string::npos);
+
+  ASSERT_EQ(run({"decode", normal_, "--trace", "1.0", "--filter", "mpiall"}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("MPI_Init"), std::string::npos);
+  EXPECT_NE(out_.str().find("MPI_Finalize"), std::string::npos);
+
+  ASSERT_EQ(run({"nlr", normal_, "--trace", "1.0", "--filter", "mpiall"}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("L0^"), std::string::npos);
+  EXPECT_NE(out_.str().find("L0 = ["), std::string::npos);
+}
+
+TEST_F(CliRoundTrip, RankDiffnlrProgressPipeline) {
+  ASSERT_EQ(run({"collect", "--app", "oddeven", "--nranks", "16", "--size", "8", "--out", normal_}),
+            0)
+      << err_.str();
+  ASSERT_EQ(run({"collect", "--app", "oddeven", "--nranks", "16", "--size", "8", "--out", faulty_,
+                 "--fault", "swapBug", "--fault-proc", "5", "--fault-iteration", "7"}),
+            0)
+      << err_.str();
+
+  ASSERT_EQ(run({"rank", normal_, faulty_, "--filters", "mpiall,mpisr"}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("consensus suspicious trace:   5.0"), std::string::npos);
+
+  ASSERT_EQ(run({"diffnlr", normal_, faulty_, "--trace", "5.0", "--filter", "mpiall"}), 0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("- L"), std::string::npos);
+  EXPECT_NE(out_.str().find("= MPI_Finalize"), std::string::npos);
+
+  ASSERT_EQ(run({"progress", normal_, faulty_}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("least progressed:"), std::string::npos);
+}
+
+TEST_F(CliRoundTrip, OutliersSingleRun) {
+  ASSERT_EQ(run({"collect", "--app", "oddeven", "--nranks", "8", "--size", "8", "--out", faulty_,
+                 "--fault", "dlBug", "--fault-proc", "3", "--fault-iteration", "2"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("[watchdog]"), std::string::npos);
+  ASSERT_EQ(run({"outliers", faulty_, "--attr", "sing.actual"}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("Outlier score"), std::string::npos);
+  EXPECT_NE(out_.str().find("dendrogram:"), std::string::npos);
+}
+
+TEST_F(CliRoundTrip, ExportFormats) {
+  ASSERT_EQ(run({"collect", "--app", "oddeven", "--nranks", "2", "--size", "4", "--out", normal_}),
+            0);
+  ASSERT_EQ(run({"export", normal_, "--format", "csv"}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("proc,thread,logical_ts"), std::string::npos);
+
+  const auto json_path = (dir_ / "t.json").string();
+  ASSERT_EQ(run({"export", normal_, "--format", "json", "--out", json_path}), 0) << err_.str();
+  EXPECT_TRUE(std::filesystem::exists(json_path));
+
+  EXPECT_EQ(run({"export", normal_, "--format", "xml"}), 2);
+}
+
+TEST_F(CliRoundTrip, CollectValidatesArguments) {
+  EXPECT_EQ(run({"collect", "--app", "nosuch", "--out", normal_}), 2);
+  EXPECT_EQ(run({"collect", "--app", "oddeven"}), 2);  // missing --out
+  EXPECT_EQ(run({"collect", "--app", "oddeven", "--out", normal_, "--fault", "dlBug"}), 2);
+  EXPECT_NE(err_.str().find("--fault-proc"), std::string::npos);
+}
+
+TEST_F(CliRoundTrip, LoadErrorsAreArgErrors) {
+  EXPECT_EQ(run({"info", (dir_ / "missing.dtrc").string()}), 2);
+  EXPECT_NE(err_.str().find("cannot load"), std::string::npos);
+}
+
+TEST_F(CliRoundTrip, BadTraceKeyRejected) {
+  ASSERT_EQ(run({"collect", "--app", "oddeven", "--nranks", "2", "--size", "4", "--out", normal_}),
+            0);
+  EXPECT_EQ(run({"decode", normal_, "--trace", "x.y"}), 2);
+  EXPECT_NE(err_.str().find("bad trace id"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace difftrace::cli

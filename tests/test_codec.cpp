@@ -1,0 +1,150 @@
+#include "compress/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace difftrace::compress {
+namespace {
+
+std::vector<Symbol> encode_decode(const std::string& codec_name, const std::vector<Symbol>& input) {
+  auto codec = make_codec(codec_name);
+  for (const auto s : input) codec.encoder->push(s);
+  codec.encoder->flush();
+  return codec.decoder->decode(codec.encoder->bytes());
+}
+
+// Workload shapes modelled on trace content.
+std::vector<Symbol> make_input(const std::string& shape, std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<Symbol> input;
+  input.reserve(n);
+  if (shape == "loop") {
+    const Symbol body[] = {4, 5, 9, 5};
+    for (std::size_t i = 0; i < n; ++i) input.push_back(body[i % 4]);
+  } else if (shape == "random") {
+    for (std::size_t i = 0; i < n; ++i) input.push_back(static_cast<Symbol>(rng.below(64)));
+  } else if (shape == "constant") {
+    input.assign(n, 7);
+  } else {  // "phases": loopy segments with occasional switches
+    Symbol base = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i % 97 == 96) base = static_cast<Symbol>(rng.below(16)) * 8;
+      input.push_back(base + static_cast<Symbol>(i % 3));
+    }
+  }
+  return input;
+}
+
+using Param = std::tuple<std::string, std::string, std::size_t>;
+
+class CodecRoundTrip : public ::testing::TestWithParam<Param> {};
+
+TEST_P(CodecRoundTrip, DecodeInvertsEncode) {
+  const auto& [codec_name, shape, n] = GetParam();
+  const auto input = make_input(shape, n, 42);
+  EXPECT_EQ(encode_decode(codec_name, input), input);
+}
+
+TEST_P(CodecRoundTrip, MidStreamFlushKeepsStreamDecodable) {
+  const auto& [codec_name, shape, n] = GetParam();
+  const auto input = make_input(shape, n, 43);
+  auto codec = make_codec(codec_name);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    codec.encoder->push(input[i]);
+    if (i % 13 == 0) codec.encoder->flush();  // simulates incremental trace flushes
+  }
+  codec.encoder->flush();
+  EXPECT_EQ(codec.decoder->decode(codec.encoder->bytes()), input);
+}
+
+TEST_P(CodecRoundTrip, PrefixBeforeLastFlushIsDecodable) {
+  // Crash-survivability: decoding the bytes present after a flush yields
+  // exactly the symbols pushed so far.
+  const auto& [codec_name, shape, n] = GetParam();
+  const auto input = make_input(shape, n, 44);
+  auto codec = make_codec(codec_name);
+  const std::size_t cut = n / 2;
+  for (std::size_t i = 0; i < cut; ++i) codec.encoder->push(input[i]);
+  codec.encoder->flush();
+  const auto snapshot = codec.encoder->bytes();  // copy: "the file on disk at crash time"
+  const auto decoded = codec.decoder->decode(snapshot);
+  EXPECT_EQ(decoded, std::vector<Symbol>(input.begin(), input.begin() + static_cast<std::ptrdiff_t>(cut)));
+  // The stream continues fine afterwards.
+  for (std::size_t i = cut; i < n; ++i) codec.encoder->push(input[i]);
+  codec.encoder->flush();
+  EXPECT_EQ(codec.decoder->decode(codec.encoder->bytes()), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecsAllShapes, CodecRoundTrip,
+    ::testing::Combine(::testing::Values("parlot", "lz78", "null"),
+                       ::testing::Values("loop", "random", "constant", "phases"),
+                       ::testing::Values(std::size_t{0}, std::size_t{1}, std::size_t{2},
+                                         std::size_t{257}, std::size_t{5000})),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param) + "_" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(Codec, UnknownNameThrows) { EXPECT_THROW((void)make_codec("gzip"), std::invalid_argument); }
+
+TEST(Codec, NamesListsAllThree) {
+  const auto names = codec_names();
+  EXPECT_EQ(names.size(), 3u);
+  for (const auto& name : names) EXPECT_NO_THROW((void)make_codec(name));
+}
+
+TEST(Codec, SymbolCountTracksPushes) {
+  auto codec = make_codec("parlot");
+  for (int i = 0; i < 10; ++i) codec.encoder->push(3);
+  EXPECT_EQ(codec.encoder->symbol_count(), 10u);
+}
+
+TEST(ParlotCodec, LoopyInputCompressesMassively) {
+  // A loop body repeated 100k times must shrink by orders of magnitude —
+  // the property that makes whole-program tracing practical (ParLOT's
+  // compression-ratio claim, §I).
+  const auto input = make_input("loop", 100'000, 1);
+  auto codec = make_codec("parlot");
+  for (const auto s : input) codec.encoder->push(s);
+  codec.encoder->flush();
+  const double ratio = static_cast<double>(input.size() * sizeof(Symbol)) /
+                       static_cast<double>(codec.encoder->bytes().size());
+  EXPECT_GT(ratio, 1000.0);
+}
+
+TEST(ParlotCodec, BeatsNullOnPhasedTraces) {
+  const auto input = make_input("phases", 20'000, 2);
+  auto parlot = make_codec("parlot");
+  auto null = make_codec("null");
+  for (const auto s : input) {
+    parlot.encoder->push(s);
+    null.encoder->push(s);
+  }
+  parlot.encoder->flush();
+  null.encoder->flush();
+  EXPECT_LT(parlot.encoder->bytes().size() * 10, null.encoder->bytes().size());
+}
+
+TEST(Lz78Codec, MalformedPhraseIndexThrows) {
+  // varint(99) varint(0): phrase 99 does not exist.
+  std::vector<std::uint8_t> bogus = {99, 0};
+  const auto codec = make_codec("lz78");
+  EXPECT_THROW((void)codec.decoder->decode(bogus), std::runtime_error);
+}
+
+TEST(ParlotCodec, RunWithoutPredictionThrows) {
+  // A run-length record before any literal means the decoder's predictor
+  // cannot have a prediction: malformed.
+  std::vector<std::uint8_t> bogus = {5, 0};
+  const auto codec = make_codec("parlot");
+  EXPECT_THROW((void)codec.decoder->decode(bogus), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace difftrace::compress

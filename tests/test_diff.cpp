@@ -1,0 +1,153 @@
+#include "core/diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace difftrace::core {
+namespace {
+
+using Seq = std::vector<std::uint32_t>;
+
+/// Replays an edit script: must transform `a` into `b` exactly.
+Seq apply_script(const Seq& a, const Seq& b, const std::vector<EditChunk>& script) {
+  Seq out;
+  std::size_t a_pos = 0;
+  for (const auto& chunk : script) {
+    switch (chunk.op) {
+      case EditOp::Equal:
+        EXPECT_EQ(chunk.a_begin, a_pos);
+        for (std::size_t i = 0; i < chunk.length; ++i) out.push_back(a[chunk.a_begin + i]);
+        a_pos = chunk.a_begin + chunk.length;
+        break;
+      case EditOp::Delete:
+        EXPECT_EQ(chunk.a_begin, a_pos);
+        a_pos += chunk.length;
+        break;
+      case EditOp::Insert:
+        for (std::size_t i = 0; i < chunk.length; ++i) out.push_back(b[chunk.b_begin + i]);
+        break;
+    }
+  }
+  EXPECT_EQ(a_pos, a.size());
+  return out;
+}
+
+/// O(nm) DP edit distance (insert+delete only), the oracle for minimality.
+std::size_t dp_distance(const Seq& a, const Seq& b) {
+  std::vector<std::size_t> prev(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  std::vector<std::size_t> cur(b.size() + 1);
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      if (a[i - 1] == b[j - 1])
+        cur[j] = prev[j - 1];
+      else
+        cur[j] = 1 + std::min(prev[j], cur[j - 1]);
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+TEST(MyersDiff, IdenticalSequences) {
+  const Seq a = {1, 2, 3};
+  const auto script = myers_diff(a, a);
+  ASSERT_EQ(script.size(), 1u);
+  EXPECT_EQ(script[0].op, EditOp::Equal);
+  EXPECT_EQ(script[0].length, 3u);
+  EXPECT_EQ(edit_distance(script), 0u);
+}
+
+TEST(MyersDiff, BothEmpty) { EXPECT_TRUE(myers_diff({}, {}).empty()); }
+
+TEST(MyersDiff, InsertIntoEmpty) {
+  const Seq b = {5, 6};
+  const auto script = myers_diff({}, b);
+  ASSERT_EQ(script.size(), 1u);
+  EXPECT_EQ(script[0].op, EditOp::Insert);
+  EXPECT_EQ(script[0].length, 2u);
+}
+
+TEST(MyersDiff, DeleteToEmpty) {
+  const Seq a = {5, 6, 7};
+  const auto script = myers_diff(a, {});
+  ASSERT_EQ(script.size(), 1u);
+  EXPECT_EQ(script[0].op, EditOp::Delete);
+  EXPECT_EQ(edit_distance(script), 3u);
+}
+
+TEST(MyersDiff, ClassicExample) {
+  // ABCABBA -> CBABAC (Myers' paper example, distance 5).
+  const Seq a = {'A', 'B', 'C', 'A', 'B', 'B', 'A'};
+  const Seq b = {'C', 'B', 'A', 'B', 'A', 'C'};
+  const auto script = myers_diff(a, b);
+  EXPECT_EQ(edit_distance(script), 5u);
+  EXPECT_EQ(apply_script(a, b, script), b);
+}
+
+TEST(MyersDiff, CompletelyDisjoint) {
+  const Seq a = {1, 2};
+  const Seq b = {3, 4, 5};
+  const auto script = myers_diff(a, b);
+  EXPECT_EQ(edit_distance(script), 5u);
+  EXPECT_EQ(apply_script(a, b, script), b);
+}
+
+TEST(MyersDiff, SwapBugShape) {
+  // L1^16 vs [L1^7, L0^9]: one delete, two inserts (no common token since
+  // counts differ).
+  const Seq a = {100};       // L1^16
+  const Seq b = {101, 102};  // L1^7, L0^9
+  const auto script = myers_diff(a, b);
+  EXPECT_EQ(edit_distance(script), 3u);
+  EXPECT_EQ(apply_script(a, b, script), b);
+}
+
+struct RandomDiffParam {
+  std::size_t len_a;
+  std::size_t len_b;
+  std::uint32_t alphabet;
+  std::uint64_t seed;
+};
+
+class MyersRandom : public ::testing::TestWithParam<RandomDiffParam> {};
+
+TEST_P(MyersRandom, ScriptIsValidAndMinimal) {
+  const auto p = GetParam();
+  util::Xoshiro256 rng(p.seed);
+  Seq a(p.len_a);
+  Seq b(p.len_b);
+  for (auto& v : a) v = static_cast<std::uint32_t>(rng.below(p.alphabet));
+  for (auto& v : b) v = static_cast<std::uint32_t>(rng.below(p.alphabet));
+  const auto script = myers_diff(a, b);
+  EXPECT_EQ(apply_script(a, b, script), b);
+  EXPECT_EQ(edit_distance(script), dp_distance(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MyersRandom,
+    ::testing::Values(RandomDiffParam{0, 5, 3, 1}, RandomDiffParam{5, 0, 3, 2},
+                      RandomDiffParam{10, 10, 2, 3}, RandomDiffParam{10, 10, 8, 4},
+                      RandomDiffParam{40, 37, 4, 5}, RandomDiffParam{100, 100, 3, 6},
+                      RandomDiffParam{100, 5, 6, 7}, RandomDiffParam{63, 90, 2, 8},
+                      RandomDiffParam{1, 1, 1, 9}, RandomDiffParam{200, 180, 12, 10}));
+
+TEST(MyersDiff, RelatedSequencesProduceEqualRuns) {
+  // b = a with a small edit in the middle: the script must keep long Equal
+  // runs around it.
+  Seq a(50);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<std::uint32_t>(i % 7);
+  Seq b = a;
+  b[25] = 99;
+  const auto script = myers_diff(a, b);
+  EXPECT_EQ(edit_distance(script), 2u);
+  EXPECT_EQ(script.front().op, EditOp::Equal);
+  EXPECT_EQ(script.back().op, EditOp::Equal);
+}
+
+}  // namespace
+}  // namespace difftrace::core

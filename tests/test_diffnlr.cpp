@@ -1,0 +1,154 @@
+#include "core/diffnlr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace difftrace::core {
+namespace {
+
+struct Fixture {
+  TokenTable tokens;
+  LoopTable loops;
+
+  NlrProgram reduce(const std::vector<std::string>& names) {
+    std::vector<TokenId> ids;
+    for (const auto& n : names) ids.push_back(tokens.intern(n));
+    return build_nlr(ids, loops);
+  }
+
+  std::vector<std::string> repeat_pair(const std::string& a, const std::string& b, int reps,
+                                       std::vector<std::string> tail = {}) {
+    std::vector<std::string> out;
+    for (int i = 0; i < reps; ++i) {
+      out.push_back(a);
+      out.push_back(b);
+    }
+    out.insert(out.end(), tail.begin(), tail.end());
+    return out;
+  }
+};
+
+TEST(DiffNlr, IdenticalProgramsAreAllCommon) {
+  Fixture f;
+  const auto p = f.reduce({"MPI_Init", "a", "b", "a", "b", "MPI_Finalize"});
+  const auto d = diff_nlr(p, p, f.tokens);
+  EXPECT_TRUE(d.identical());
+  EXPECT_EQ(d.distance(), 0u);
+  ASSERT_EQ(d.blocks.size(), 1u);
+  EXPECT_EQ(d.blocks[0].normal_items.size(), 3u);
+}
+
+TEST(DiffNlr, SwapBugFigureFive) {
+  // Figure 5: normal = init/rank/size, L1^16, finalize;
+  //           faulty = init/rank/size, L1^7, L0^9, finalize.
+  Fixture f;
+  // Prime L0 = [s,r] like an even-rank trace would.
+  (void)f.reduce({"MPI_Send", "MPI_Recv", "MPI_Send", "MPI_Recv"});
+  std::vector<std::string> head = {"MPI_Init", "MPI_Comm_rank", "MPI_Comm_size"};
+  auto normal_tokens = head;
+  const auto normal_body = f.repeat_pair("MPI_Recv", "MPI_Send", 16, {"MPI_Finalize"});
+  normal_tokens.insert(normal_tokens.end(), normal_body.begin(), normal_body.end());
+
+  auto faulty_tokens = head;
+  const auto phase1 = f.repeat_pair("MPI_Recv", "MPI_Send", 7);
+  const auto phase2 = f.repeat_pair("MPI_Send", "MPI_Recv", 9, {"MPI_Finalize"});
+  faulty_tokens.insert(faulty_tokens.end(), phase1.begin(), phase1.end());
+  faulty_tokens.insert(faulty_tokens.end(), phase2.begin(), phase2.end());
+
+  const auto d = diff_nlr(f.reduce(normal_tokens), f.reduce(faulty_tokens), f.tokens);
+  EXPECT_FALSE(d.identical());
+  const auto text = d.render();
+  // Common stem includes the MPI prologue and MPI_Finalize.
+  EXPECT_NE(text.find("= MPI_Init"), std::string::npos);
+  EXPECT_NE(text.find("= MPI_Finalize"), std::string::npos);
+  // Normal-only: the 16-iteration loop; faulty-only: the split loops.
+  EXPECT_NE(text.find("- L1^16"), std::string::npos);
+  EXPECT_NE(text.find("+ L1^7"), std::string::npos);
+  EXPECT_NE(text.find("+ L0^9"), std::string::npos);
+}
+
+TEST(DiffNlr, DlBugFigureSix) {
+  // Figure 6: the faulty trace never reaches MPI_Finalize and ends with the
+  // stuck MPI_Recv.
+  Fixture f;
+  auto normal_tokens = f.repeat_pair("MPI_Recv", "MPI_Send", 16, {"MPI_Finalize"});
+  auto faulty_tokens = f.repeat_pair("MPI_Recv", "MPI_Send", 7, {"MPI_Recv"});
+  const auto d = diff_nlr(f.reduce(normal_tokens), f.reduce(faulty_tokens), f.tokens);
+  const auto text = d.render();
+  EXPECT_NE(text.find("- L0^16"), std::string::npos);
+  EXPECT_NE(text.find("- MPI_Finalize"), std::string::npos);  // normal only!
+  EXPECT_NE(text.find("+ L0^7"), std::string::npos);
+  EXPECT_NE(text.find("+ MPI_Recv"), std::string::npos);
+  EXPECT_EQ(text.find("= MPI_Finalize"), std::string::npos);
+}
+
+TEST(DiffNlr, SideBySideAlignsDiffColumns) {
+  Fixture f;
+  // Prime L0 = [s,r].
+  (void)f.reduce({"MPI_Send", "MPI_Recv", "MPI_Send", "MPI_Recv"});
+  auto normal_tokens = f.repeat_pair("MPI_Recv", "MPI_Send", 16, {"MPI_Finalize"});
+  auto faulty_tokens = f.repeat_pair("MPI_Recv", "MPI_Send", 7);
+  const auto tail = f.repeat_pair("MPI_Send", "MPI_Recv", 9, {"MPI_Finalize"});
+  faulty_tokens.insert(faulty_tokens.end(), tail.begin(), tail.end());
+  const auto d = diff_nlr(f.reduce(normal_tokens), f.reduce(faulty_tokens), f.tokens, f.loops);
+
+  const auto text = d.render_side_by_side();
+  // Header and main stem spanning both columns.
+  EXPECT_NE(text.find("normal"), std::string::npos);
+  EXPECT_NE(text.find("faulty"), std::string::npos);
+  EXPECT_NE(text.find("MPI_Finalize"), std::string::npos);
+  // The delete/insert pair lines up on one row: L1^16 left, L1^7 right.
+  std::istringstream lines(text);
+  std::string line;
+  bool aligned = false;
+  while (std::getline(lines, line))
+    if (line.find("L1^16") != std::string::npos && line.find("L1^7") != std::string::npos)
+      aligned = true;
+  EXPECT_TRUE(aligned) << text;
+  // Legend present.
+  EXPECT_NE(text.find("where:"), std::string::npos);
+}
+
+TEST(DiffNlr, SideBySideInsertOnlyBlock) {
+  Fixture f;
+  const auto a = f.reduce({"x", "z"});
+  const auto b = f.reduce({"x", "y", "z"});
+  const auto text = diff_nlr(a, b, f.tokens).render_side_by_side();
+  std::istringstream lines(text);
+  std::string line;
+  bool y_on_right_only = false;
+  while (std::getline(lines, line)) {
+    const auto pos = line.find('y');
+    if (pos != std::string::npos && line.find('|', 1) < pos) y_on_right_only = true;
+  }
+  EXPECT_TRUE(y_on_right_only) << text;
+}
+
+TEST(DiffNlr, ColorRenderingCarriesAnsiCodes) {
+  Fixture f;
+  const auto a = f.reduce({"x"});
+  const auto b = f.reduce({"y"});
+  const auto text = diff_nlr(a, b, f.tokens).render(/*color=*/true);
+  EXPECT_NE(text.find("\x1b[34m"), std::string::npos);  // blue normal-only
+  EXPECT_NE(text.find("\x1b[31m"), std::string::npos);  // red faulty-only
+  EXPECT_NE(text.find("\x1b[0m"), std::string::npos);
+}
+
+TEST(DiffNlr, DistanceCountsBothSides) {
+  Fixture f;
+  const auto a = f.reduce({"p", "q"});
+  const auto b = f.reduce({"p", "r", "s"});
+  const auto d = diff_nlr(a, b, f.tokens);
+  EXPECT_EQ(d.distance(), 3u);  // -q, +r, +s
+}
+
+TEST(DiffNlr, EmptyPrograms) {
+  Fixture f;
+  const auto d = diff_nlr({}, {}, f.tokens);
+  EXPECT_TRUE(d.identical());
+  EXPECT_TRUE(d.blocks.empty());
+}
+
+}  // namespace
+}  // namespace difftrace::core

@@ -1,0 +1,92 @@
+#include "trace/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/writer.hpp"
+
+namespace difftrace::trace {
+namespace {
+
+TraceStore sample_store() {
+  TraceStore store;
+  const auto main_id = store.registry().intern("main", Image::Main);
+  const auto send_id = store.registry().intern("MPI_Send", Image::MpiLib);
+  TraceWriter w0({0, 0});
+  w0.record(EventKind::Call, main_id);
+  w0.record(EventKind::Call, send_id);
+  w0.record(EventKind::Return, send_id);
+  w0.record(EventKind::Return, main_id);
+  store.absorb(w0);
+  TraceWriter w1({1, 2});
+  w1.record(EventKind::Call, main_id);
+  w1.freeze();
+  store.absorb(w1);
+  return store;
+}
+
+TEST(ExportCsv, HeaderAndRows) {
+  std::ostringstream out;
+  export_csv(sample_store(), out);
+  const auto text = out.str();
+  EXPECT_NE(text.find("proc,thread,logical_ts,kind,function,image\n"), std::string::npos);
+  EXPECT_NE(text.find("0,0,0,call,main,main"), std::string::npos);
+  EXPECT_NE(text.find("0,0,1,call,MPI_Send,mpi"), std::string::npos);
+  EXPECT_NE(text.find("0,0,2,return,MPI_Send,mpi"), std::string::npos);
+  EXPECT_NE(text.find("1,2,0,call,main,main"), std::string::npos);
+}
+
+TEST(ExportCsv, LogicalTimestampsArePerThread) {
+  std::ostringstream out;
+  export_csv(sample_store(), out);
+  const auto text = out.str();
+  // Trace (1,2) restarts its clock at 0.
+  EXPECT_NE(text.find("1,2,0,"), std::string::npos);
+  EXPECT_EQ(text.find("1,2,1,"), std::string::npos);
+}
+
+TEST(ExportJson, StructureAndEscaping) {
+  TraceStore store;
+  const auto odd = store.registry().intern("weird\"name\\x", Image::SystemLib);
+  TraceWriter writer({0, 0});
+  writer.record(EventKind::Call, odd);
+  store.absorb(writer);
+
+  std::ostringstream out;
+  export_json(store, out);
+  const auto text = out.str();
+  EXPECT_NE(text.find("\"functions\""), std::string::npos);
+  EXPECT_NE(text.find("\"traces\""), std::string::npos);
+  EXPECT_NE(text.find("weird\\\"name\\\\x"), std::string::npos);
+  EXPECT_NE(text.find("\"image\": \"system\""), std::string::npos);
+}
+
+TEST(ExportJson, TruncatedFlagAndEventTriples) {
+  std::ostringstream out;
+  export_json(sample_store(), out);
+  const auto text = out.str();
+  EXPECT_NE(text.find("\"truncated\": true"), std::string::npos);
+  EXPECT_NE(text.find("\"truncated\": false"), std::string::npos);
+  EXPECT_NE(text.find("[0,0,0]"), std::string::npos);  // ts=0, call, fid 0
+  EXPECT_NE(text.find("[2,1,1]"), std::string::npos);  // ts=2, return, fid 1
+}
+
+TEST(ExportJson, EmptyStoreIsValidDocument) {
+  std::ostringstream out;
+  export_json(TraceStore{}, out);
+  const auto text = out.str();
+  EXPECT_NE(text.find("\"functions\": [\n  ]"), std::string::npos);
+}
+
+TEST(ExportDispatch, SelectsFormat) {
+  std::ostringstream csv;
+  std::ostringstream json;
+  export_store(sample_store(), csv, ExportFormat::Csv);
+  export_store(sample_store(), json, ExportFormat::Json);
+  EXPECT_NE(csv.str().find("proc,thread"), std::string::npos);
+  EXPECT_NE(json.str().find('{'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace difftrace::trace

@@ -1,0 +1,222 @@
+#include "core/fca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/prng.hpp"
+
+namespace difftrace::core {
+namespace {
+
+/// Table IV of the paper: the odd/even-sort formal context.
+FormalContext paper_context() {
+  FormalContext ctx;
+  const auto t0 = ctx.add_object("Trace 0");
+  const auto t1 = ctx.add_object("Trace 1");
+  const auto t2 = ctx.add_object("Trace 2");
+  const auto t3 = ctx.add_object("Trace 3");
+  for (const auto g : {t0, t1, t2, t3}) {
+    ctx.set_incidence(g, "MPI_Init");
+    ctx.set_incidence(g, "MPI_Comm_size");
+    ctx.set_incidence(g, "MPI_Comm_rank");
+    ctx.set_incidence(g, "MPI_Finalize");
+  }
+  ctx.set_incidence(t0, "L0");
+  ctx.set_incidence(t2, "L0");
+  ctx.set_incidence(t1, "L1");
+  ctx.set_incidence(t3, "L1");
+  return ctx;
+}
+
+std::set<std::string> intent_set(const Lattice& lattice) {
+  std::set<std::string> out;
+  for (const auto& c : lattice.concepts) out.insert(c.intent.to_string());
+  return out;
+}
+
+TEST(FormalContext, GrowsAttributesOnDemand) {
+  FormalContext ctx;
+  const auto g = ctx.add_object("obj");
+  ctx.set_incidence(g, "a");
+  ctx.set_incidence(g, "b");
+  const auto h = ctx.add_object("obj2");
+  ctx.set_incidence(h, "b");
+  EXPECT_EQ(ctx.attribute_count(), 2u);
+  EXPECT_TRUE(ctx.incident(g, 0));
+  EXPECT_FALSE(ctx.incident(h, 0));
+  EXPECT_TRUE(ctx.incident(h, *ctx.find_attribute("b")));
+}
+
+TEST(FormalContext, DerivationOperators) {
+  const auto ctx = paper_context();
+  util::DynamicBitset evens(4);
+  evens.set(0);
+  evens.set(2);
+  const auto common = ctx.derive_objects(evens);
+  EXPECT_EQ(common.count(), 5u);  // four shared MPI calls + L0
+  util::DynamicBitset l0(ctx.attribute_count());
+  l0.set(*ctx.find_attribute("L0"));
+  const auto extent = ctx.derive_attributes(l0);
+  EXPECT_EQ(extent.to_string(), "{0, 2}");
+}
+
+TEST(FormalContext, ClosureIsIdempotentAndExtensive) {
+  const auto ctx = paper_context();
+  util::DynamicBitset attrs(ctx.attribute_count());
+  attrs.set(0);  // MPI_Init
+  const auto closed = ctx.closure(attrs);
+  EXPECT_TRUE(attrs.is_subset_of(closed));
+  EXPECT_EQ(ctx.closure(closed), closed);
+  EXPECT_EQ(closed.count(), 4u);  // MPI_Init pulls in the other shared calls
+}
+
+TEST(FormalContext, RenderShowsGrid) {
+  const auto s = paper_context().render();
+  EXPECT_NE(s.find("Trace 0"), std::string::npos);
+  EXPECT_NE(s.find("L0"), std::string::npos);
+  EXPECT_NE(s.find('x'), std::string::npos);
+}
+
+TEST(Lattice, PaperExampleHasFigureThreeStructure) {
+  // Figure 3: top (all traces, shared calls), two middle concepts (even
+  // traces with L0, odd traces with L1), bottom (no trace has everything).
+  const auto ctx = paper_context();
+  const auto lattice = next_closure_lattice(ctx);
+  ASSERT_EQ(lattice.size(), 4u);
+  EXPECT_EQ(lattice.concepts[0].extent.count(), 4u);  // top
+  EXPECT_EQ(lattice.concepts[0].intent.count(), 4u);  // the shared MPI calls
+  EXPECT_EQ(lattice.concepts[1].extent.count(), 2u);
+  EXPECT_EQ(lattice.concepts[2].extent.count(), 2u);
+  EXPECT_EQ(lattice.concepts[3].extent.count(), 0u);  // bottom
+  EXPECT_EQ(lattice.concepts[3].intent.count(), 6u);
+  EXPECT_EQ(lattice.cover_edges().size(), 4u);  // diamond
+}
+
+TEST(Lattice, IncrementalMatchesNextClosureOnPaperExample) {
+  const auto ctx = paper_context();
+  EXPECT_EQ(intent_set(incremental_lattice(ctx)), intent_set(next_closure_lattice(ctx)));
+}
+
+TEST(Lattice, ObjectConceptIsMostSpecific) {
+  const auto ctx = paper_context();
+  const auto lattice = next_closure_lattice(ctx);
+  const auto c0 = lattice.object_concept(0);
+  EXPECT_EQ(lattice.concepts[c0].extent.to_string(), "{0, 2}");
+  EXPECT_TRUE(lattice.concepts[c0].intent.test(*ctx.find_attribute("L0")));
+}
+
+TEST(Lattice, RenderUsesReducedLabelling) {
+  const auto ctx = paper_context();
+  const auto s = next_closure_lattice(ctx).render(ctx);
+  EXPECT_NE(s.find("Trace 0"), std::string::npos);
+  EXPECT_NE(s.find("L1"), std::string::npos);
+  EXPECT_NE(s.find("cover edge"), std::string::npos);
+}
+
+TEST(IncrementalLattice, EmptyContextHasSingleConcept) {
+  IncrementalLattice inc(3);
+  EXPECT_EQ(inc.concept_count(), 1u);
+  const auto lattice = inc.build();
+  ASSERT_EQ(lattice.size(), 1u);
+  EXPECT_EQ(lattice.concepts[0].intent.count(), 3u);
+  EXPECT_EQ(lattice.concepts[0].extent.count(), 0u);
+}
+
+TEST(IncrementalLattice, RejectsWrongBitsetSize) {
+  IncrementalLattice inc(3);
+  EXPECT_THROW(inc.add_object(util::DynamicBitset(4)), std::invalid_argument);
+}
+
+TEST(IncrementalLattice, ConceptCapThrowsInsteadOfExploding) {
+  // Pairwise-disjoint half-overlapping intents blow up the concept count;
+  // a tight cap must fail fast.
+  IncrementalLattice inc(16, /*max_concepts=*/8);
+  util::Xoshiro256 rng(5);
+  EXPECT_THROW(
+      {
+        for (int g = 0; g < 16; ++g) {
+          util::DynamicBitset attrs(16);
+          for (std::size_t m = 0; m < 16; ++m)
+            if (rng.uniform() < 0.5) attrs.set(m);
+          inc.add_object(attrs);
+        }
+      },
+      std::length_error);
+}
+
+TEST(IncrementalLattice, ZeroAttributes) {
+  IncrementalLattice inc(0);
+  inc.add_object(util::DynamicBitset(0));
+  inc.add_object(util::DynamicBitset(0));
+  const auto lattice = inc.build();
+  EXPECT_EQ(lattice.size(), 1u);
+  EXPECT_EQ(lattice.concepts[0].extent.count(), 2u);
+}
+
+// Property: incremental and NextClosure agree on random contexts, and all
+// lattice invariants hold.
+struct RandomParam {
+  std::size_t objects;
+  std::size_t attributes;
+  double density;
+  std::uint64_t seed;
+};
+
+class RandomContexts : public ::testing::TestWithParam<RandomParam> {
+ protected:
+  FormalContext make() const {
+    const auto p = GetParam();
+    util::Xoshiro256 rng(p.seed);
+    FormalContext ctx;
+    for (std::size_t m = 0; m < p.attributes; ++m) ctx.add_attribute("m" + std::to_string(m));
+    for (std::size_t g = 0; g < p.objects; ++g) {
+      ctx.add_object("g" + std::to_string(g));
+      for (std::size_t m = 0; m < p.attributes; ++m)
+        if (rng.uniform() < p.density) ctx.set_incidence(g, m);
+    }
+    return ctx;
+  }
+};
+
+TEST_P(RandomContexts, IncrementalEqualsNextClosure) {
+  const auto ctx = make();
+  EXPECT_EQ(intent_set(incremental_lattice(ctx)), intent_set(next_closure_lattice(ctx)));
+}
+
+TEST_P(RandomContexts, ConceptsAreGaloisClosed) {
+  const auto ctx = make();
+  for (const auto& c : incremental_lattice(ctx).concepts) {
+    EXPECT_EQ(ctx.derive_attributes(c.intent), c.extent);
+    EXPECT_EQ(ctx.derive_objects(c.extent), c.intent);
+  }
+}
+
+TEST_P(RandomContexts, IntentsClosedUnderIntersection) {
+  const auto ctx = make();
+  const auto lattice = incremental_lattice(ctx);
+  std::set<std::string> intents;
+  for (const auto& c : lattice.concepts) intents.insert(c.intent.to_string());
+  for (const auto& a : lattice.concepts)
+    for (const auto& b : lattice.concepts)
+      EXPECT_TRUE(intents.contains((a.intent & b.intent).to_string()));
+}
+
+TEST_P(RandomContexts, EveryObjectIntentIsSomeConceptIntent) {
+  const auto ctx = make();
+  const auto lattice = incremental_lattice(ctx);
+  for (std::size_t g = 0; g < ctx.object_count(); ++g) {
+    const auto oc = lattice.object_concept(g);
+    EXPECT_EQ(lattice.concepts[oc].intent, ctx.object_intent(g));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomContexts,
+                         ::testing::Values(RandomParam{1, 1, 0.5, 1}, RandomParam{3, 4, 0.5, 2},
+                                           RandomParam{5, 6, 0.3, 3}, RandomParam{5, 6, 0.8, 4},
+                                           RandomParam{8, 8, 0.5, 5}, RandomParam{10, 6, 0.4, 6},
+                                           RandomParam{6, 10, 0.6, 7}, RandomParam{12, 5, 0.2, 8}));
+
+}  // namespace
+}  // namespace difftrace::core

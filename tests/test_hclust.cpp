@@ -1,0 +1,151 @@
+#include "core/hclust.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/prng.hpp"
+
+namespace difftrace::core {
+namespace {
+
+util::Matrix dist_from(const std::vector<std::vector<double>>& rows) {
+  const auto n = rows.size();
+  util::Matrix m = util::Matrix::square(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = rows[i][j];
+  return m;
+}
+
+/// Two tight pairs far apart: {0,1} and {2,3}.
+util::Matrix two_pairs() {
+  return dist_from({{0.0, 0.1, 5.0, 5.0},
+                    {0.1, 0.0, 5.0, 5.0},
+                    {5.0, 5.0, 0.0, 0.2},
+                    {5.0, 5.0, 0.2, 0.0}});
+}
+
+TEST(Linkage, SingleOnKnownExample) {
+  // Points on a line at 0, 1, 3, 7 (distances |xi - xj|).
+  const auto d = dist_from({{0, 1, 3, 7}, {1, 0, 2, 6}, {3, 2, 0, 4}, {7, 6, 4, 0}});
+  const auto z = linkage(d, Linkage::Single);
+  ASSERT_EQ(z.size(), 3u);
+  EXPECT_DOUBLE_EQ(z[0].height, 1.0);  // {0,1}
+  EXPECT_DOUBLE_EQ(z[1].height, 2.0);  // {0,1}+{2}: min(2,3) = 2
+  EXPECT_DOUBLE_EQ(z[2].height, 4.0);  // +{3}: min(6,7,4) = 4
+  EXPECT_EQ(z[2].size, 4u);
+}
+
+TEST(Linkage, CompleteOnKnownExample) {
+  const auto d = dist_from({{0, 1, 3, 7}, {1, 0, 2, 6}, {3, 2, 0, 4}, {7, 6, 4, 0}});
+  const auto z = linkage(d, Linkage::Complete);
+  EXPECT_DOUBLE_EQ(z[0].height, 1.0);
+  EXPECT_DOUBLE_EQ(z[1].height, 3.0);  // max(2,3)
+  EXPECT_DOUBLE_EQ(z[2].height, 7.0);  // max(7,6,4)
+}
+
+TEST(Linkage, AverageOnKnownExample) {
+  const auto d = dist_from({{0, 1, 3, 7}, {1, 0, 2, 6}, {3, 2, 0, 4}, {7, 6, 4, 0}});
+  const auto z = linkage(d, Linkage::Average);
+  EXPECT_DOUBLE_EQ(z[1].height, 2.5);           // (3+2)/2
+  EXPECT_DOUBLE_EQ(z[2].height, (7.0 + 6 + 4) / 3);
+}
+
+TEST(Linkage, WardMatchesScipyOnTwoPairs) {
+  // SciPy: ward on this matrix merges (0,1)@0.1, (2,3)@0.2, then
+  // d = sqrt(((1+1)*25 + (1+1)*25 - ... ) ...) — verified value below.
+  const auto z = linkage(two_pairs(), Linkage::Ward);
+  ASSERT_EQ(z.size(), 3u);
+  EXPECT_DOUBLE_EQ(z[0].height, 0.1);
+  EXPECT_DOUBLE_EQ(z[1].height, 0.2);
+  // Lance-Williams ward with the recorded inter-pair distances:
+  // step1: d({01},2) = sqrt((2*25 + 1*25 - 1*0.01)/3), same for 3;
+  // step2: combine with d({01},{23}).
+  // step1: d({01},k)² = (2·25 + 2·25 − 0.01)/3 = 33.33 for k ∈ {2,3};
+  // step2: d({01},{23})² = (3·33.33 + 3·33.33 − 2·0.04)/4 = 49.975.
+  EXPECT_NEAR(z[2].height, std::sqrt(49.975), 1e-9);
+}
+
+class AllLinkagesFixture : public ::testing::TestWithParam<Linkage> {};
+
+TEST_P(AllLinkagesFixture, TwoTightPairsClusterFirst) {
+  const auto z = linkage(two_pairs(), GetParam());
+  ASSERT_EQ(z.size(), 3u);
+  // First two merges must be the tight pairs (in either order).
+  const auto is_pair = [](const Merge& m) {
+    return (m.a == 0 && m.b == 1) || (m.a == 1 && m.b == 0) || (m.a == 2 && m.b == 3) ||
+           (m.a == 3 && m.b == 2);
+  };
+  EXPECT_TRUE(is_pair(z[0]));
+  EXPECT_TRUE(is_pair(z[1]));
+  const auto labels = cut_to_k(z, 4, 2);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_NE(labels[0], labels[2]);
+}
+
+TEST_P(AllLinkagesFixture, MergeIdsFollowScipyConvention) {
+  const auto z = linkage(two_pairs(), GetParam());
+  // The last merge joins the two pair-clusters created by merges 0 and 1,
+  // i.e. ids n+0 = 4 and n+1 = 5.
+  EXPECT_EQ(std::min(z[2].a, z[2].b), 4u);
+  EXPECT_EQ(std::max(z[2].a, z[2].b), 5u);
+  EXPECT_EQ(z[2].size, 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, AllLinkagesFixture, ::testing::ValuesIn(all_linkages()),
+                         [](const ::testing::TestParamInfo<Linkage>& info) {
+                           return std::string(linkage_name(info.param));
+                         });
+
+TEST(Linkage, MonotoneMethodsHaveNondecreasingHeights) {
+  util::Xoshiro256 rng(17);
+  const std::size_t n = 12;
+  util::Matrix d = util::Matrix::square(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) d(i, j) = d(j, i) = 0.1 + rng.uniform();
+  for (const auto method : {Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Weighted,
+                            Linkage::Ward}) {
+    const auto z = linkage(d, method);
+    for (std::size_t i = 1; i < z.size(); ++i)
+      EXPECT_GE(z[i].height + 1e-12, z[i - 1].height) << linkage_name(method);
+  }
+}
+
+TEST(Linkage, RejectsNonSquare) {
+  EXPECT_THROW((void)linkage(util::Matrix(2, 3), Linkage::Single), std::invalid_argument);
+}
+
+TEST(Linkage, SingletonAndEmpty) {
+  EXPECT_TRUE(linkage(util::Matrix::square(1), Linkage::Ward).empty());
+  EXPECT_TRUE(linkage(util::Matrix::square(0), Linkage::Ward).empty());
+}
+
+TEST(CutToK, FullRangeOfK) {
+  const auto z = linkage(two_pairs(), Linkage::Average);
+  EXPECT_EQ(cut_to_k(z, 4, 1), (std::vector<int>{0, 0, 0, 0}));
+  const auto k4 = cut_to_k(z, 4, 4);
+  EXPECT_EQ(k4, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_THROW((void)cut_to_k(z, 4, 0), std::invalid_argument);
+  EXPECT_THROW((void)cut_to_k(z, 4, 5), std::invalid_argument);
+}
+
+TEST(CutToK, LabelsInFirstAppearanceOrder) {
+  const auto z = linkage(two_pairs(), Linkage::Complete);
+  const auto labels = cut_to_k(z, 4, 2);
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[2], 1);
+}
+
+TEST(SimilarityToDistance, InvertsAndSymmetrizes) {
+  util::Matrix s = util::Matrix::square(2, 1.0);
+  s(0, 1) = 0.3;
+  s(1, 0) = 0.5;  // slightly asymmetric input
+  const auto d = similarity_to_distance(s);
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.6);
+  EXPECT_DOUBLE_EQ(d(1, 0), 0.6);
+}
+
+}  // namespace
+}  // namespace difftrace::core

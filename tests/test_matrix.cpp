@@ -1,0 +1,75 @@
+#include "util/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace difftrace::util {
+namespace {
+
+TEST(Matrix, ConstructsWithFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+}
+
+TEST(Matrix, SquareFactory) {
+  const auto m = Matrix::square(4);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 4u);
+}
+
+TEST(Matrix, ElementAssignment) {
+  Matrix m(2, 2);
+  m(0, 1) = 3.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 0.0);
+}
+
+TEST(Matrix, ThrowsOnOutOfRange) {
+  Matrix m(2, 2);
+  EXPECT_THROW((void)m(2, 0), std::out_of_range);
+  EXPECT_THROW((void)m(0, 2), std::out_of_range);
+}
+
+TEST(Matrix, AbsDiff) {
+  Matrix a(2, 2);
+  Matrix b(2, 2);
+  a(0, 0) = 1.0;
+  b(0, 0) = 3.5;
+  a(1, 1) = -2.0;
+  const auto d = abs_diff(a, b);
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.5);
+  EXPECT_DOUBLE_EQ(d(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, AbsDiffThrowsOnShapeMismatch) {
+  EXPECT_THROW((void)abs_diff(Matrix(2, 2), Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Matrix, RowSum) {
+  Matrix m(2, 3);
+  m(0, 0) = 1.0;
+  m(0, 1) = 2.0;
+  m(0, 2) = 3.0;
+  EXPECT_DOUBLE_EQ(m.row_sum(0), 6.0);
+  EXPECT_DOUBLE_EQ(m.row_sum(1), 0.0);
+}
+
+TEST(Matrix, MaxAbs) {
+  Matrix m(2, 2);
+  m(0, 1) = -7.0;
+  m(1, 0) = 3.0;
+  EXPECT_DOUBLE_EQ(m.max_abs(), 7.0);
+}
+
+TEST(Matrix, Equality) {
+  Matrix a(2, 2);
+  Matrix b(2, 2);
+  EXPECT_EQ(a, b);
+  b(0, 0) = 1.0;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace difftrace::util

@@ -1,0 +1,316 @@
+#include "core/nlr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace difftrace::core {
+namespace {
+
+struct Fixture {
+  TokenTable tokens;
+  LoopTable loops;
+
+  std::vector<TokenId> ids(const std::vector<std::string>& names) {
+    std::vector<TokenId> out;
+    for (const auto& n : names) out.push_back(tokens.intern(n));
+    return out;
+  }
+
+  NlrProgram program_of(const std::vector<std::string>& names) {
+    return build_nlr(ids(names), loops);
+  }
+
+  std::vector<std::string> labels(const NlrProgram& program) {
+    std::vector<std::string> out;
+    for (const auto& item : program) out.push_back(item_label(item, tokens));
+    return out;
+  }
+};
+
+TEST(TokenTable, InternsDense) {
+  TokenTable t;
+  EXPECT_EQ(t.intern("a"), 0u);
+  EXPECT_EQ(t.intern("b"), 1u);
+  EXPECT_EQ(t.intern("a"), 0u);
+  EXPECT_EQ(t.name(1), "b");
+  EXPECT_FALSE(t.find("c").has_value());
+  EXPECT_THROW((void)t.name(9), std::out_of_range);
+}
+
+TEST(LoopTable, InternsBodiesOnce) {
+  LoopTable lt;
+  const NlrBody body = {NlrItem::token(1), NlrItem::token(2)};
+  const auto id = lt.intern(body);
+  EXPECT_EQ(lt.intern(body), id);
+  EXPECT_EQ(lt.body(id), body);
+  EXPECT_EQ(lt.size(), 1u);
+  EXPECT_THROW((void)lt.body(7), std::out_of_range);
+  EXPECT_THROW((void)lt.intern({}), std::invalid_argument);
+}
+
+TEST(Nlr, SimplePairLoop) {
+  Fixture f;
+  const auto program = build_nlr(f.ids({"s", "r", "s", "r", "s", "r", "s", "r"}), f.loops);
+  EXPECT_EQ(f.labels(program), (std::vector<std::string>{"L0^4"}));
+  EXPECT_EQ(f.loops.body(0).size(), 2u);
+}
+
+TEST(Nlr, PaperTableThreeShape) {
+  // Table III: init/rank/size + [Send,Recv]^2 + finalize for T0.
+  Fixture f;
+  const auto program = build_nlr(
+      f.ids({"MPI_Init", "MPI_Comm_rank", "MPI_Comm_size", "MPI_Send", "MPI_Recv", "MPI_Send",
+             "MPI_Recv", "MPI_Finalize"}),
+      f.loops);
+  EXPECT_EQ(f.labels(program), (std::vector<std::string>{"MPI_Init", "MPI_Comm_rank",
+                                                         "MPI_Comm_size", "L0^2", "MPI_Finalize"}));
+}
+
+TEST(Nlr, OppositePhaseBodiesGetDistinctIds) {
+  // Table III: even traces fold [Send,Recv] (L0), odd traces [Recv,Send] (L1).
+  Fixture f;
+  const auto even = build_nlr(f.ids({"s", "r", "s", "r"}), f.loops);
+  const auto odd = build_nlr(f.ids({"r", "s", "r", "s"}), f.loops);
+  ASSERT_EQ(even.size(), 1u);
+  ASSERT_EQ(odd.size(), 1u);
+  EXPECT_NE(even[0].id, odd[0].id);
+  EXPECT_EQ(f.loops.size(), 2u);
+}
+
+TEST(Nlr, SameBodyAcrossTracesSharesId) {
+  // The swapBug signature: a faulty trace running [r,s]^k then [s,r]^m must
+  // reuse the L-ids that other traces' formations created.
+  Fixture f;
+  const auto t0 = build_nlr(f.ids({"s", "r", "s", "r"}), f.loops);         // L0 = [s,r]
+  const auto t5 = build_nlr(f.ids({"r", "s", "r", "s", "r", "s"}), f.loops);  // L1 = [r,s]
+  std::vector<std::string> faulty_tokens;
+  for (int i = 0; i < 7; ++i) {
+    faulty_tokens.push_back("r");
+    faulty_tokens.push_back("s");
+  }
+  for (int i = 0; i < 9; ++i) {
+    faulty_tokens.push_back("s");
+    faulty_tokens.push_back("r");
+  }
+  const auto faulty = build_nlr(f.ids(faulty_tokens), f.loops);
+  ASSERT_EQ(faulty.size(), 2u);
+  EXPECT_EQ(item_label(faulty[0], f.tokens), "L" + std::to_string(t5[0].id) + "^7");
+  EXPECT_EQ(item_label(faulty[1], f.tokens), "L" + std::to_string(t0[0].id) + "^9");
+}
+
+TEST(Nlr, TruncatedTraceKeepsTrailingPartial) {
+  // The dlBug signature: loop runs 7 times then a lone Recv where the rank
+  // got stuck (Figure 6).
+  Fixture f;
+  std::vector<std::string> names;
+  for (int i = 0; i < 7; ++i) {
+    names.push_back("r");
+    names.push_back("s");
+  }
+  names.push_back("r");
+  const auto program = build_nlr(f.ids(names), f.loops);
+  EXPECT_EQ(f.labels(program), (std::vector<std::string>{"L0^7", "r"}));
+}
+
+TEST(Nlr, NestedLoops) {
+  // (a b b)^3 => outer loop whose body contains the inner (b)^2 loop.
+  Fixture f;
+  std::vector<std::string> names;
+  for (int i = 0; i < 3; ++i) {
+    names.push_back("a");
+    names.push_back("b");
+    names.push_back("b");
+  }
+  const auto program = build_nlr(f.ids(names), f.loops);
+  ASSERT_EQ(program.size(), 1u);
+  EXPECT_TRUE(program[0].is_loop());
+  EXPECT_EQ(program[0].count, 3u);
+  const auto& body = f.loops.body(program[0].id);
+  ASSERT_EQ(body.size(), 2u);
+  EXPECT_FALSE(body[0].is_loop());
+  EXPECT_TRUE(body[1].is_loop());
+  EXPECT_EQ(body[1].count, 2u);
+}
+
+TEST(Nlr, TripleNestedLoops) {
+  // ((a b b)^2 c)^2: three levels — inner (b)^2, middle [a, L(b)^2]^2,
+  // outer [L(mid)^2, c]^2.
+  Fixture f;
+  std::vector<std::string> names;
+  for (int outer = 0; outer < 2; ++outer) {
+    for (int mid = 0; mid < 2; ++mid) {
+      names.push_back("a");
+      names.push_back("b");
+      names.push_back("b");
+    }
+    names.push_back("c");
+  }
+  const auto program = build_nlr(f.ids(names), f.loops);
+  ASSERT_EQ(program.size(), 1u);
+  EXPECT_TRUE(program[0].is_loop());
+  EXPECT_EQ(program[0].count, 2u);
+  // Lossless at full depth.
+  EXPECT_EQ(expand_nlr(program, f.loops), f.ids(names));
+  // The outer body contains a loop whose body contains a loop.
+  const auto& outer_body = f.loops.body(program[0].id);
+  bool has_nested_loop = false;
+  for (const auto& item : outer_body) {
+    if (!item.is_loop()) continue;
+    for (const auto& inner : f.loops.body(item.id))
+      if (inner.is_loop()) has_nested_loop = true;
+  }
+  EXPECT_TRUE(has_nested_loop);
+}
+
+TEST(Nlr, AdjacentLoopMergeAddsCounts) {
+  Fixture f;
+  NlrBuilder builder(f.loops, NlrConfig{});
+  // a a a a  => L^4 via forming L^2 then extending twice.
+  const auto a = f.tokens.intern("a");
+  for (int i = 0; i < 4; ++i) builder.push(a);
+  const auto& program = builder.program();
+  ASSERT_EQ(program.size(), 1u);
+  EXPECT_EQ(program[0].count, 4u);
+}
+
+TEST(Nlr, BlockLongerThanKNotFolded) {
+  // Body length 3 with K=2 must not be recognized.
+  Fixture f;
+  NlrConfig config;
+  config.k = 2;
+  const auto program = build_nlr(f.ids({"a", "b", "c", "a", "b", "c"}), f.loops, config);
+  EXPECT_EQ(program.size(), 6u);
+  EXPECT_EQ(f.loops.size(), 0u);
+}
+
+TEST(Nlr, MinRepsThree) {
+  Fixture f;
+  NlrConfig config;
+  config.min_reps = 3;
+  const auto two = build_nlr(f.ids({"a", "b", "a", "b"}), f.loops, config);
+  EXPECT_EQ(two.size(), 4u);  // two occurrences are not enough
+  const auto three = build_nlr(f.ids({"a", "b", "a", "b", "a", "b"}), f.loops, config);
+  EXPECT_EQ(three.size(), 1u);
+  EXPECT_EQ(three[0].count, 3u);
+}
+
+TEST(Nlr, KnownBodyFoldWrapsSingleOccurrence) {
+  Fixture f;
+  NlrConfig config;
+  config.fold_known_bodies = true;
+  (void)build_nlr(f.ids({"x", "y", "x", "y"}), f.loops, config);  // teaches [x,y]
+  const auto single = build_nlr(f.ids({"q", "x", "y", "q"}), f.loops, config);
+  ASSERT_EQ(single.size(), 3u);
+  EXPECT_TRUE(single[1].is_loop());
+  EXPECT_EQ(single[1].count, 1u);
+}
+
+TEST(Nlr, ShapeIdsIgnoreNestedCounts) {
+  // (a b b)^2 and (a b b b)^2 produce different loop ids (inner counts 2 vs
+  // 3) but the SAME shape: [a, L(b)^*] — the property that keeps FCA
+  // attributes stable across asynchronous runs.
+  Fixture f;
+  const auto p1 = f.program_of({"a", "b", "b", "a", "b", "b"});
+  const auto p2 = f.program_of({"a", "b", "b", "b", "a", "b", "b", "b"});
+  ASSERT_EQ(p1.size(), 1u);
+  ASSERT_EQ(p2.size(), 1u);
+  EXPECT_NE(p1[0].id, p2[0].id);
+  EXPECT_EQ(f.loops.shape_id(p1[0].id), f.loops.shape_id(p2[0].id));
+}
+
+TEST(Nlr, ShapeIdsDistinguishStructure) {
+  Fixture f;
+  const auto p1 = f.program_of({"a", "b", "a", "b"});
+  const auto p2 = f.program_of({"b", "a", "b", "a"});
+  EXPECT_NE(f.loops.shape_id(p1[0].id), f.loops.shape_id(p2[0].id));
+  EXPECT_THROW((void)f.loops.shape_id(99), std::out_of_range);
+}
+
+TEST(Nlr, ConfigValidation) {
+  Fixture f;
+  EXPECT_THROW(NlrBuilder(f.loops, NlrConfig{.k = 0}), std::invalid_argument);
+  EXPECT_THROW(NlrBuilder(f.loops, NlrConfig{.min_reps = 1}), std::invalid_argument);
+}
+
+TEST(Nlr, EmptyInput) {
+  Fixture f;
+  EXPECT_TRUE(build_nlr({}, f.loops).empty());
+}
+
+TEST(Nlr, ItemLabels) {
+  Fixture f;
+  const auto a = f.tokens.intern("MPI_Send");
+  EXPECT_EQ(item_label(NlrItem::token(a), f.tokens), "MPI_Send");
+  EXPECT_EQ(item_attr_label(NlrItem::token(a), f.tokens), "MPI_Send");
+  EXPECT_EQ(item_label(NlrItem::loop(3, 16), f.tokens), "L3^16");
+  EXPECT_EQ(item_attr_label(NlrItem::loop(3, 16), f.tokens), "L3");
+}
+
+// --- property: expansion is lossless ---------------------------------------------
+
+struct LosslessParam {
+  std::size_t k;
+  std::size_t min_reps;
+  bool fold_known;
+  std::size_t alphabet;
+  std::size_t length;
+  std::uint64_t seed;
+};
+
+class NlrLossless : public ::testing::TestWithParam<LosslessParam> {};
+
+TEST_P(NlrLossless, ExpandReproducesInput) {
+  const auto p = GetParam();
+  util::Xoshiro256 rng(p.seed);
+  LoopTable loops;
+  NlrConfig config{.k = p.k, .min_reps = p.min_reps, .fold_known_bodies = p.fold_known};
+
+  // Loopy random input: random walk over phase blocks.
+  std::vector<TokenId> input;
+  while (input.size() < p.length) {
+    const auto body_len = 1 + rng.below(4);
+    const auto reps = 1 + rng.below(9);
+    std::vector<TokenId> body;
+    for (std::size_t i = 0; i < body_len; ++i)
+      body.push_back(static_cast<TokenId>(rng.below(p.alphabet)));
+    for (std::size_t r = 0; r < reps && input.size() < p.length; ++r)
+      for (const auto t : body) input.push_back(t);
+  }
+
+  const auto program = build_nlr(input, loops, config);
+  EXPECT_EQ(expand_nlr(program, loops), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NlrLossless,
+    ::testing::Values(LosslessParam{10, 2, false, 4, 500, 1}, LosslessParam{10, 2, false, 2, 500, 2},
+                      LosslessParam{10, 2, true, 4, 500, 3}, LosslessParam{5, 3, false, 3, 500, 4},
+                      LosslessParam{50, 2, false, 8, 2000, 5}, LosslessParam{3, 2, false, 16, 1000, 6},
+                      LosslessParam{10, 2, true, 2, 2000, 7}, LosslessParam{1, 2, false, 2, 300, 8},
+                      LosslessParam{20, 4, false, 5, 1500, 9}, LosslessParam{10, 2, false, 1, 400, 10}));
+
+TEST(Nlr, ReductionShrinksLoopyTraces) {
+  // §V's reduction-factor claim, in miniature: a loopy 10k-token stream must
+  // reduce by a large factor.
+  Fixture f;
+  std::vector<TokenId> input;
+  const auto a = f.tokens.intern("a");
+  const auto b = f.tokens.intern("b");
+  const auto c = f.tokens.intern("c");
+  for (int i = 0; i < 2500; ++i) {
+    input.push_back(a);
+    input.push_back(b);
+    input.push_back(b);
+    input.push_back(c);
+  }
+  const auto program = build_nlr(input, f.loops);
+  EXPECT_LE(program.size(), 3u);
+  EXPECT_EQ(expand_nlr(program, f.loops).size(), input.size());
+}
+
+}  // namespace
+}  // namespace difftrace::core

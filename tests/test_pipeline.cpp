@@ -1,0 +1,282 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "apps/oddeven.hpp"
+#include "apps/runner.hpp"
+
+namespace difftrace::core {
+namespace {
+
+simmpi::WorldConfig fast_world() {
+  simmpi::WorldConfig config;
+  config.watchdog_poll = std::chrono::milliseconds(5);
+  config.wall_timeout = std::chrono::milliseconds(20'000);
+  return config;
+}
+
+trace::TraceStore trace_odd_even(int nranks, apps::FaultSpec fault) {
+  apps::OddEvenConfig config;
+  config.nranks = nranks;
+  config.elements_per_rank = 8;
+  config.fault = fault;
+  auto world = fast_world();
+  world.nranks = nranks;
+  auto run = apps::run_traced(world,
+                              [config](simmpi::Comm& comm) { apps::odd_even_rank(comm, config); });
+  return std::move(run.store);
+}
+
+/// Shared 16-rank normal/faulty trace pairs (collected once; §II-G setup).
+class OddEvenPipeline : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    normal_ = new trace::TraceStore(trace_odd_even(16, {}));
+    swap_ = new trace::TraceStore(trace_odd_even(16, {apps::FaultType::SwapBug, 5, -1, 7}));
+    dl_ = new trace::TraceStore(trace_odd_even(16, {apps::FaultType::DlBug, 5, -1, 7}));
+  }
+  static void TearDownTestSuite() {
+    delete normal_;
+    delete swap_;
+    delete dl_;
+    normal_ = swap_ = dl_ = nullptr;
+  }
+
+  static trace::TraceStore* normal_;
+  static trace::TraceStore* swap_;
+  static trace::TraceStore* dl_;
+};
+
+trace::TraceStore* OddEvenPipeline::normal_ = nullptr;
+trace::TraceStore* OddEvenPipeline::swap_ = nullptr;
+trace::TraceStore* OddEvenPipeline::dl_ = nullptr;
+
+TEST_F(OddEvenPipeline, TracesCollectedForAllRanks) {
+  EXPECT_EQ(normal_->size(), 16u);
+  EXPECT_EQ(swap_->size(), 16u);
+  EXPECT_EQ(dl_->size(), 16u);
+}
+
+TEST_F(OddEvenPipeline, NormalTracesShowPaperTableTwoContent) {
+  const auto tokens = FilterSpec::mpi_all().apply(*normal_, {1, 0});
+  ASSERT_GE(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0], "MPI_Init");
+  EXPECT_EQ(tokens[1], "MPI_Comm_rank");
+  EXPECT_EQ(tokens[2], "MPI_Comm_size");
+  EXPECT_EQ(tokens.back(), "MPI_Finalize");
+  // Rank 1 exchanges in every phase: 16 × [Recv, Send].
+  EXPECT_EQ(std::count(tokens.begin(), tokens.end(), "MPI_Recv"), 16);
+  EXPECT_EQ(std::count(tokens.begin(), tokens.end(), "MPI_Send"), 16);
+}
+
+TEST_F(OddEvenPipeline, EdgeRanksDoHalfTheIterations) {
+  const auto t0 = FilterSpec::mpi_all().apply(*normal_, {0, 0});
+  const auto t1 = FilterSpec::mpi_all().apply(*normal_, {1, 0});
+  EXPECT_EQ(std::count(t0.begin(), t0.end(), "MPI_Send") * 2,
+            std::count(t1.begin(), t1.end(), "MPI_Send"));
+}
+
+TEST_F(OddEvenPipeline, SessionBuildsPaperTableThreeNlr) {
+  const Session session(*normal_, *normal_, FilterSpec::mpi_all(), NlrConfig{});
+  const auto& program = session.normal_nlr(session.index_of({2, 0}));
+  // init, rank, size, L^16, finalize.
+  ASSERT_EQ(program.size(), 5u);
+  EXPECT_TRUE(program[3].is_loop());
+  EXPECT_EQ(program[3].count, 16u);
+  // Even and odd ranks use different loop bodies.
+  const auto& odd_program = session.normal_nlr(session.index_of({3, 0}));
+  ASSERT_EQ(odd_program.size(), 5u);
+  EXPECT_NE(program[3].id, odd_program[3].id);
+}
+
+TEST_F(OddEvenPipeline, SwapBugSuspicionFlagsTraceFive) {
+  const Session session(*normal_, *swap_, FilterSpec::mpi_all(), NlrConfig{});
+  const auto eval = evaluate(session, {AttrKind::Single, FreqMode::NoFreq}, Linkage::Ward);
+  const auto idx5 = session.index_of({5, 0});
+  for (std::size_t i = 0; i < eval.scores.size(); ++i)
+    if (i != idx5) {
+      EXPECT_GE(eval.scores[idx5], eval.scores[i]) << "trace " << i;
+    }
+  EXPECT_GT(eval.scores[idx5], 0.0);
+}
+
+TEST_F(OddEvenPipeline, SwapBugDiffNlrShowsFigureFive) {
+  const Session session(*normal_, *swap_, FilterSpec::mpi_all(), NlrConfig{});
+  const auto d = session.diffnlr({5, 0});
+  const auto text = d.render();
+  EXPECT_NE(text.find("^16"), std::string::npos);  // normal-only L^16
+  EXPECT_NE(text.find("^7"), std::string::npos);   // faulty L^7 ...
+  EXPECT_NE(text.find("^9"), std::string::npos);   // ... then L^9
+  EXPECT_NE(text.find("= MPI_Finalize"), std::string::npos);  // both terminate
+}
+
+TEST_F(OddEvenPipeline, DlBugDiffNlrShowsFigureSix) {
+  const Session session(*normal_, *dl_, FilterSpec::mpi_all(), NlrConfig{});
+  const auto d = session.diffnlr({5, 0});
+  const auto text = d.render();
+  EXPECT_NE(text.find("- MPI_Finalize"), std::string::npos);  // faulty never got there
+  EXPECT_NE(text.find("+ MPI_Recv"), std::string::npos);      // stuck in the dead receive
+}
+
+TEST_F(OddEvenPipeline, DlBugRankingFlagsTheTruncationOutlier) {
+  // The dead receive in rank 5 cascades: every rank's exchange loop
+  // eventually starves and the watchdog truncates all traces — except the
+  // last rank, which finishes its (half-length) loop and blocks inside
+  // MPI_Finalize. Relative to the normal run that lone "terminated
+  // normally"-looking trace is the most dissimilar one, exactly the
+  // JSM_faulty observation of §II-A ("processes whose execution got
+  // truncated will look highly dissimilar to those that terminated
+  // normally").
+  SweepConfig config;
+  config.filters = {FilterSpec::mpi_all(), FilterSpec::mpi_send_recv()};
+  const auto table = sweep(*normal_, *dl_, config);
+  ASSERT_FALSE(table.rows.empty());
+  EXPECT_EQ(table.consensus_thread(), "15.0");
+  const auto tokens = FilterSpec::mpi_all().apply(*dl_, {15, 0});
+  EXPECT_EQ(tokens.back(), "MPI_Finalize");
+}
+
+TEST_F(OddEvenPipeline, DlBugLeastProgressedTraceIsFive) {
+  // The root cause is found through the paper's progress lens (§II-D): the
+  // NLR-expanded faulty trace of rank 5 covers the smallest fraction of its
+  // normal counterpart — it stopped first, everyone else starved later.
+  const Session session(*normal_, *dl_, FilterSpec::mpi_all(), NlrConfig{});
+  EXPECT_EQ(session.traces()[session.least_progressed()], (trace::TraceKey{5, 0}));
+  EXPECT_LT(session.progress_ratio(session.least_progressed()), 0.6);
+}
+
+TEST_F(OddEvenPipeline, RankingRowsSortedByBscore) {
+  SweepConfig config;
+  config.filters = {FilterSpec::mpi_all()};
+  const auto table = sweep(*normal_, *swap_, config);
+  ASSERT_EQ(table.rows.size(), 6u);  // 1 filter × 6 attribute configs
+  for (std::size_t i = 1; i < table.rows.size(); ++i)
+    EXPECT_LE(table.rows[i - 1].bscore, table.rows[i].bscore);
+}
+
+TEST_F(OddEvenPipeline, RankingTableRenders) {
+  SweepConfig config;
+  config.filters = {FilterSpec::mpi_all()};
+  const auto table = sweep(*normal_, *swap_, config);
+  const auto text = table.render();
+  EXPECT_NE(text.find("Filter"), std::string::npos);
+  EXPECT_NE(text.find("B-score"), std::string::npos);
+  EXPECT_NE(text.find("11.plt.mpiall.0K10"), std::string::npos);
+  EXPECT_NE(text.find("sing.noFreq"), std::string::npos);
+}
+
+TEST_F(OddEvenPipeline, IdenticalRunsProduceNoSuspicion) {
+  const Session session(*normal_, *normal_, FilterSpec::mpi_all(), NlrConfig{});
+  const auto eval = evaluate(session, {AttrKind::Single, FreqMode::Actual}, Linkage::Ward);
+  EXPECT_DOUBLE_EQ(eval.jsm_d.max_abs(), 0.0);
+  EXPECT_DOUBLE_EQ(eval.bscore, 1.0);
+  const auto top = select_suspicious(eval.scores, 6, 1.0);
+  EXPECT_TRUE(top.empty());
+}
+
+TEST_F(OddEvenPipeline, FacadeTiesItTogether) {
+  const DiffTrace dt(*normal_, *swap_);
+  SweepConfig config;
+  config.filters = {FilterSpec::mpi_all()};
+  const auto table = dt.rank(config);
+  EXPECT_EQ(table.consensus_thread(), "5.0");
+  const auto session = dt.make_session(FilterSpec::mpi_all());
+  EXPECT_FALSE(session.diffnlr({5, 0}).identical());
+  EXPECT_TRUE(session.diffnlr({9, 0}).identical());
+}
+
+TEST_F(OddEvenPipeline, WeightedEvaluationFlagsTraceFive) {
+  const Session session(*normal_, *swap_, FilterSpec::mpi_all(), NlrConfig{});
+  const auto eval = evaluate_weighted(session, AttrKind::Single, Linkage::Ward);
+  const auto idx5 = session.index_of({5, 0});
+  for (std::size_t i = 0; i < eval.scores.size(); ++i)
+    if (i != idx5) {
+      EXPECT_GE(eval.scores[idx5], eval.scores[i]) << "trace " << i;
+    }
+  EXPECT_GT(eval.scores[idx5], 0.0);
+  EXPECT_LT(eval.bscore, 1.0 + 1e-12);
+}
+
+TEST_F(OddEvenPipeline, WeightedEvaluationIdenticalRunsAreClean) {
+  const Session session(*normal_, *normal_, FilterSpec::mpi_all(), NlrConfig{});
+  const auto eval = evaluate_weighted(session, AttrKind::Double, Linkage::Ward);
+  EXPECT_DOUBLE_EQ(eval.jsm_d.max_abs(), 0.0);
+  EXPECT_DOUBLE_EQ(eval.bscore, 1.0);
+}
+
+TEST_F(OddEvenPipeline, TracesAreDeterministicAcrossCollections) {
+  // The whole methodology rests on the normal run being a reproducible
+  // baseline: a second collection of the same configuration must produce
+  // token-identical filtered traces.
+  const auto again = trace_odd_even(16, {});
+  for (const auto& key : normal_->keys()) {
+    EXPECT_EQ(FilterSpec::mpi_all().apply(*normal_, key), FilterSpec::mpi_all().apply(again, key))
+        << key.label();
+  }
+}
+
+TEST_F(OddEvenPipeline, ParallelSweepMatchesSerial) {
+  SweepConfig serial;
+  serial.filters = {FilterSpec::mpi_all(), FilterSpec::mpi_send_recv(),
+                    FilterSpec::mpi_collectives(), FilterSpec::everything()};
+  auto parallel = serial;
+  parallel.analysis_threads = 4;
+  auto hw = serial;
+  hw.analysis_threads = 0;  // hardware concurrency
+
+  const auto a = sweep(*normal_, *swap_, serial);
+  const auto b = sweep(*normal_, *swap_, parallel);
+  const auto c = sweep(*normal_, *swap_, hw);
+  EXPECT_EQ(a.render(), b.render());
+  EXPECT_EQ(a.render(), c.render());
+  ASSERT_EQ(a.rows.size(), 24u);
+}
+
+TEST(RankingTable, ConsensusOfEmptyTableIsBenign) {
+  RankingTable table;
+  EXPECT_EQ(table.consensus_thread(), "");
+  EXPECT_EQ(table.consensus_process(), -1);
+  EXPECT_NE(table.render().find("Filter"), std::string::npos);
+}
+
+TEST(RankingTable, ConsensusWeighsFirstPlaceHighest) {
+  RankingTable table;
+  RankingRow a;
+  a.top_threads = {"1.0", "2.0", "3.0"};
+  a.top_processes = {1, 2};
+  RankingRow b;
+  b.top_threads = {"2.0", "1.0"};
+  b.top_processes = {2};
+  RankingRow c;
+  c.top_threads = {"2.0"};
+  c.top_processes = {2};
+  table.rows = {a, b, c};
+  // 2.0: 2+3+3 = 8 votes; 1.0: 3+2 = 5 votes.
+  EXPECT_EQ(table.consensus_thread(), "2.0");
+  EXPECT_EQ(table.consensus_process(), 2);
+}
+
+TEST(SelectSuspicious, ThresholdAndCap) {
+  const std::vector<double> scores = {0.0, 5.0, 0.1, 4.9, 0.05};
+  const auto top = select_suspicious(scores, 6, 1.0);
+  ASSERT_GE(top.size(), 1u);
+  EXPECT_EQ(top[0], 1u);
+  const auto capped = select_suspicious(scores, 1, 0.0);
+  EXPECT_EQ(capped.size(), 1u);
+}
+
+TEST(SelectSuspicious, AllZeroGivesEmpty) {
+  EXPECT_TRUE(select_suspicious({0.0, 0.0, 0.0}, 6, 1.0).empty());
+}
+
+TEST(SelectSuspicious, SingleNonzeroAlwaysReported) {
+  const auto top = select_suspicious({0.0, 0.0, 0.3}, 6, 1.0);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], 2u);
+}
+
+}  // namespace
+}  // namespace difftrace::core

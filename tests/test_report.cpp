@@ -1,0 +1,83 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/oddeven.hpp"
+#include "apps/runner.hpp"
+
+namespace difftrace::core {
+namespace {
+
+trace::TraceStore trace_odd_even(apps::FaultSpec fault) {
+  apps::OddEvenConfig config;
+  config.nranks = 16;
+  config.elements_per_rank = 8;
+  config.fault = fault;
+  simmpi::WorldConfig world;
+  world.nranks = 16;
+  world.watchdog_poll = std::chrono::milliseconds(5);
+  auto run = apps::run_traced(world,
+                              [config](simmpi::Comm& c) { apps::odd_even_rank(c, config); });
+  return std::move(run.store);
+}
+
+TEST(Report, SwapBugReportHasAllSections) {
+  const auto normal = trace_odd_even({});
+  const auto faulty = trace_odd_even({apps::FaultType::SwapBug, 5, -1, 7});
+
+  ReportConfig config;
+  config.sweep.filters = {FilterSpec::mpi_all(), FilterSpec::mpi_send_recv()};
+  const auto report = build_report(normal, faulty, config);
+
+  EXPECT_EQ(report.triage.bug_class, BugClass::StructuralChange);
+  EXPECT_EQ(report.ranking.consensus_thread(), "5.0");
+  ASSERT_FALSE(report.suspects.empty());
+  EXPECT_EQ(report.suspects.front(), (trace::TraceKey{5, 0}));
+
+  const auto& text = report.text;
+  EXPECT_NE(text.find("--- triage ---"), std::string::npos);
+  EXPECT_NE(text.find("--- ranking"), std::string::npos);
+  EXPECT_NE(text.find("--- progress"), std::string::npos);
+  EXPECT_NE(text.find("--- diffNLR(5.0) ---"), std::string::npos);
+  EXPECT_NE(text.find("structural-change"), std::string::npos);
+  EXPECT_NE(text.find("^16"), std::string::npos);  // the Figure-5 loop
+}
+
+TEST(Report, DlBugReportShowsHangAndTruncation) {
+  const auto normal = trace_odd_even({});
+  const auto faulty = trace_odd_even({apps::FaultType::DlBug, 5, -1, 7});
+
+  ReportConfig config;
+  config.sweep.filters = {FilterSpec::mpi_all()};
+  const auto report = build_report(normal, faulty, config);
+
+  EXPECT_EQ(report.triage.bug_class, BugClass::Hang);
+  EXPECT_NE(report.text.find("watchdog-truncated"), std::string::npos);
+  EXPECT_NE(report.text.find("least progressed: 5.0"), std::string::npos);
+}
+
+TEST(Report, IdenticalRunsReportNoAnomaly) {
+  const auto normal = trace_odd_even({});
+  ReportConfig config;
+  config.sweep.filters = {FilterSpec::mpi_all()};
+  const auto report = build_report(normal, normal, config);
+  EXPECT_EQ(report.triage.bug_class, BugClass::NoAnomaly);
+  EXPECT_TRUE(report.suspects.empty());
+  EXPECT_EQ(report.text.find("--- diffNLR"), std::string::npos);
+}
+
+TEST(Report, SideBySideOptionChangesLayout) {
+  const auto normal = trace_odd_even({});
+  const auto faulty = trace_odd_even({apps::FaultType::SwapBug, 5, -1, 7});
+  ReportConfig config;
+  config.sweep.filters = {FilterSpec::mpi_all()};
+  config.side_by_side = true;
+  config.diffnlr_count = 1;
+  const auto report = build_report(normal, faulty, config);
+  // The two-column layout's separator rule only appears in side-by-side mode.
+  EXPECT_NE(report.text.find("|--"), std::string::npos);
+  EXPECT_NE(report.text.find("faulty"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace difftrace::core

@@ -1,0 +1,415 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <thread>
+
+#include "simmpi/runtime.hpp"
+
+namespace difftrace::simmpi {
+namespace {
+
+WorldConfig fast_world(int nranks) {
+  WorldConfig config;
+  config.nranks = nranks;
+  config.watchdog_poll = std::chrono::milliseconds(5);
+  config.wall_timeout = std::chrono::milliseconds(10'000);
+  return config;
+}
+
+TEST(SimMpi, RankAndSizeQueries) {
+  std::vector<int> seen(4, -1);
+  const auto report = run_world(fast_world(4), [&](Comm& comm) {
+    EXPECT_EQ(comm.comm_size(), 4);
+    seen[static_cast<std::size_t>(comm.rank())] = comm.comm_rank();
+  });
+  EXPECT_TRUE(report.all_completed());
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(seen[static_cast<std::size_t>(r)], r);
+}
+
+TEST(SimMpi, SendRecvDeliversPayload) {
+  const auto report = run_world(fast_world(2), [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::int32_t values[3] = {10, 20, 30};
+      comm.send(std::span<const std::int32_t>(values), 1, 7);
+    } else {
+      std::int32_t buf[3] = {};
+      const auto count = comm.recv(std::span<std::int32_t>(buf), 0, 7);
+      EXPECT_EQ(count, 3u);
+      EXPECT_EQ(buf[2], 30);
+    }
+  });
+  EXPECT_TRUE(report.all_completed());
+}
+
+TEST(SimMpi, MessagesMatchedFifoPerSourceAndTag) {
+  const auto report = run_world(fast_world(2), [](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (std::int32_t i = 0; i < 5; ++i) comm.send_value(i, 1, 3);
+    } else {
+      for (std::int32_t i = 0; i < 5; ++i) EXPECT_EQ(comm.recv_value<std::int32_t>(0, 3), i);
+    }
+  });
+  EXPECT_TRUE(report.all_completed());
+}
+
+TEST(SimMpi, TagsSelectMessages) {
+  const auto report = run_world(fast_world(2), [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(std::int32_t{111}, 1, 1);
+      comm.send_value(std::int32_t{222}, 1, 2);
+    } else {
+      // Receive in the opposite order of the sends.
+      EXPECT_EQ(comm.recv_value<std::int32_t>(0, 2), 222);
+      EXPECT_EQ(comm.recv_value<std::int32_t>(0, 1), 111);
+    }
+  });
+  EXPECT_TRUE(report.all_completed());
+}
+
+TEST(SimMpi, TruncatingReceiveFails) {
+  const auto report = run_world(fast_world(2), [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::int32_t values[4] = {1, 2, 3, 4};
+      comm.send(std::span<const std::int32_t>(values), 1, 0);
+    } else {
+      std::int32_t buf[2] = {};
+      EXPECT_THROW((void)comm.recv(std::span<std::int32_t>(buf), 0, 0), MpiError);
+    }
+  });
+  // Rank 1 threw; the harness records it as Failed only if it escaped, but
+  // EXPECT_THROW swallowed it, so both complete.
+  EXPECT_TRUE(report.all_completed());
+}
+
+TEST(SimMpi, BadRankArgumentsThrow) {
+  const auto report = run_world(fast_world(2), [](Comm& comm) {
+    if (comm.rank() == 0) {
+      EXPECT_THROW(comm.send_value(std::int32_t{1}, 5, 0), MpiError);
+      std::int32_t v = 0;
+      EXPECT_THROW((void)comm.recv(std::span<std::int32_t>(&v, 1), -1, 0), MpiError);
+    }
+  });
+  EXPECT_TRUE(report.all_completed());
+}
+
+TEST(SimMpi, IsendIrecvWait) {
+  const auto report = run_world(fast_world(2), [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const double value = 2.5;
+      auto req = comm.isend(std::span<const double>(&value, 1), 1, 9);
+      comm.wait(req);
+      EXPECT_TRUE(req.complete());
+    } else {
+      double buf = 0.0;
+      auto req = comm.irecv(std::span<double>(&buf, 1), 0, 9);
+      comm.wait(req);
+      EXPECT_DOUBLE_EQ(buf, 2.5);
+    }
+  });
+  EXPECT_TRUE(report.all_completed());
+}
+
+TEST(SimMpi, RendezvousSendBlocksUntilReceived) {
+  // Payload above the eager limit: the sender cannot complete before the
+  // receiver posts.
+  WorldConfig config = fast_world(2);
+  config.eager_limit = 16;
+  std::atomic<bool> receiver_started{false};
+  const auto report = run_world(config, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::int32_t> big(64, 7);
+      comm.send(std::span<const std::int32_t>(big), 1, 0);
+      EXPECT_TRUE(receiver_started.load());  // could only complete after recv
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      receiver_started.store(true);
+      std::vector<std::int32_t> buf(64);
+      comm.recv(std::span<std::int32_t>(buf), 0, 0);
+      EXPECT_EQ(buf[63], 7);
+    }
+  });
+  EXPECT_TRUE(report.all_completed());
+}
+
+TEST(SimMpi, HeadToHeadRendezvousSendsDeadlock) {
+  // The §II-B waiting trap: Send ‖ Send above the eager limit.
+  WorldConfig config = fast_world(2);
+  config.eager_limit = 4;
+  const auto report = run_world(config, [](Comm& comm) {
+    std::vector<std::int32_t> big(64, comm.rank());
+    std::vector<std::int32_t> buf(64);
+    const int peer = 1 - comm.rank();
+    comm.send(std::span<const std::int32_t>(big), peer, 0);
+    comm.recv(std::span<std::int32_t>(buf), peer, 0);
+  });
+  EXPECT_TRUE(report.deadlock);
+  EXPECT_EQ(report.ranks[0].status, RankStatus::Aborted);
+  EXPECT_EQ(report.ranks[1].status, RankStatus::Aborted);
+  EXPECT_NE(report.deadlock_info.find("MPI_Send"), std::string::npos);
+}
+
+TEST(SimMpi, HeadToHeadEagerSendsComplete) {
+  // Same exchange below the eager limit completes — the paper's point that
+  // the swapBug is latent under buffering.
+  WorldConfig config = fast_world(2);
+  config.eager_limit = 4096;
+  const auto report = run_world(config, [](Comm& comm) {
+    std::vector<std::int32_t> big(64, comm.rank());
+    std::vector<std::int32_t> buf(64);
+    const int peer = 1 - comm.rank();
+    comm.send(std::span<const std::int32_t>(big), peer, 0);
+    comm.recv(std::span<std::int32_t>(buf), peer, 0);
+    EXPECT_EQ(buf[0], peer);
+  });
+  EXPECT_TRUE(report.all_completed());
+  EXPECT_FALSE(report.deadlock);
+}
+
+TEST(SimMpi, BarrierSynchronizes) {
+  std::atomic<int> before{0};
+  const auto report = run_world(fast_world(4), [&](Comm& comm) {
+    before.fetch_add(1);
+    comm.barrier();
+    EXPECT_EQ(before.load(), 4);
+  });
+  EXPECT_TRUE(report.all_completed());
+}
+
+TEST(SimMpi, BcastDistributesFromRoot) {
+  const auto report = run_world(fast_world(4), [](Comm& comm) {
+    double value = comm.rank() == 2 ? 6.25 : 0.0;
+    comm.bcast(std::span<double>(&value, 1), 2);
+    EXPECT_DOUBLE_EQ(value, 6.25);
+  });
+  EXPECT_TRUE(report.all_completed());
+}
+
+TEST(SimMpi, ReduceToRoot) {
+  const auto report = run_world(fast_world(4), [](Comm& comm) {
+    const std::int64_t mine = comm.rank() + 1;
+    std::int64_t out = -1;
+    comm.reduce(std::span<const std::int64_t>(&mine, 1), std::span<std::int64_t>(&out, 1),
+                ReduceOp::Sum, 0);
+    if (comm.rank() == 0)
+      EXPECT_EQ(out, 10);
+    else
+      EXPECT_EQ(out, -1);  // non-roots untouched
+  });
+  EXPECT_TRUE(report.all_completed());
+}
+
+class AllreduceOps : public ::testing::TestWithParam<ReduceOp> {};
+
+TEST_P(AllreduceOps, AllRanksAgree) {
+  const auto op = GetParam();
+  const auto report = run_world(fast_world(5), [op](Comm& comm) {
+    const double mine = static_cast<double>(comm.rank() + 1);
+    const double out = comm.allreduce_value(mine, op);
+    double expected = 0.0;
+    switch (op) {
+      case ReduceOp::Sum: expected = 15.0; break;
+      case ReduceOp::Min: expected = 1.0; break;
+      case ReduceOp::Max: expected = 5.0; break;
+      case ReduceOp::Prod: expected = 120.0; break;
+    }
+    EXPECT_DOUBLE_EQ(out, expected);
+  });
+  EXPECT_TRUE(report.all_completed());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, AllreduceOps,
+                         ::testing::Values(ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max,
+                                           ReduceOp::Prod));
+
+TEST(SimMpi, AllreduceVector) {
+  const auto report = run_world(fast_world(3), [](Comm& comm) {
+    const std::int32_t mine[2] = {comm.rank(), -comm.rank()};
+    std::int32_t out[2] = {};
+    comm.allreduce(std::span<const std::int32_t>(mine), std::span<std::int32_t>(out), ReduceOp::Sum);
+    EXPECT_EQ(out[0], 3);
+    EXPECT_EQ(out[1], -3);
+  });
+  EXPECT_TRUE(report.all_completed());
+}
+
+TEST(SimMpi, WrongCollectiveSizeHangsWholeJob) {
+  // Table VII's fault class: one rank contributes a different count.
+  const auto report = run_world(fast_world(3), [](Comm& comm) {
+    if (comm.rank() == 1) {
+      const double mine[2] = {1.0, 2.0};
+      double out[2] = {};
+      comm.allreduce(std::span<const double>(mine), std::span<double>(out), ReduceOp::Min);
+    } else {
+      (void)comm.allreduce_value(1.0, ReduceOp::Min);
+    }
+  });
+  EXPECT_TRUE(report.deadlock);
+  for (const auto& rank : report.ranks) EXPECT_EQ(rank.status, RankStatus::Aborted);
+}
+
+TEST(SimMpi, MismatchedCollectiveTypesHang) {
+  const auto report = run_world(fast_world(2), [](Comm& comm) {
+    if (comm.rank() == 0)
+      comm.barrier();
+    else
+      (void)comm.allreduce_value(1.0, ReduceOp::Sum);
+  });
+  EXPECT_TRUE(report.deadlock);
+}
+
+TEST(SimMpi, WrongOpTerminatesWithPerRankResults) {
+  // Table VIII's fault class: op mismatch is silent — each rank reduces
+  // with its own operator.
+  const auto report = run_world(fast_world(3), [](Comm& comm) {
+    const double mine = static_cast<double>(comm.rank() + 1);
+    const auto op = comm.rank() == 0 ? ReduceOp::Max : ReduceOp::Min;
+    const double out = comm.allreduce_value(mine, op);
+    if (comm.rank() == 0)
+      EXPECT_DOUBLE_EQ(out, 3.0);
+    else
+      EXPECT_DOUBLE_EQ(out, 1.0);
+  });
+  EXPECT_TRUE(report.all_completed());
+  EXPECT_FALSE(report.deadlock);
+}
+
+TEST(SimMpi, RecvWithNoSenderDeadlocks) {
+  const auto report = run_world(fast_world(2), [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::int32_t v = 0;
+      (void)comm.recv(std::span<std::int32_t>(&v, 1), 1, 0);
+    }
+    // rank 1 returns immediately; rank 0 waits forever.
+  });
+  EXPECT_TRUE(report.deadlock);
+  EXPECT_EQ(report.ranks[0].status, RankStatus::Aborted);
+  EXPECT_EQ(report.ranks[1].status, RankStatus::Completed);
+}
+
+TEST(SimMpi, WaitallCompletesMixedRequests) {
+  const auto report = run_world(fast_world(2), [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::int32_t a = 5;
+      const std::int32_t b = 6;
+      Request reqs[2] = {comm.isend(std::span<const std::int32_t>(&a, 1), 1, 1),
+                         comm.isend(std::span<const std::int32_t>(&b, 1), 1, 2)};
+      comm.waitall(std::span<Request>(reqs));
+      EXPECT_TRUE(reqs[0].complete());
+      EXPECT_TRUE(reqs[1].complete());
+    } else {
+      std::int32_t a = 0;
+      std::int32_t b = 0;
+      Request reqs[2] = {comm.irecv(std::span<std::int32_t>(&a, 1), 0, 1),
+                         comm.irecv(std::span<std::int32_t>(&b, 1), 0, 2)};
+      comm.waitall(std::span<Request>(reqs));
+      EXPECT_EQ(a, 5);
+      EXPECT_EQ(b, 6);
+    }
+  });
+  EXPECT_TRUE(report.all_completed());
+}
+
+TEST(SimMpi, FinalizeSynchronizes) {
+  const auto report = run_world(fast_world(3), [](Comm& comm) {
+    comm.init();
+    comm.finalize();
+  });
+  EXPECT_TRUE(report.all_completed());
+}
+
+TEST(SimMpi, DeadlockedRankStallsFinalize) {
+  // One rank stuck in recv; the others reach MPI_Finalize but the job hangs
+  // — and the report shows who was stuck where.
+  const auto report = run_world(fast_world(3), [](Comm& comm) {
+    comm.init();
+    if (comm.rank() == 1) {
+      std::int32_t v = 0;
+      (void)comm.recv(std::span<std::int32_t>(&v, 1), 0, 12345);
+    }
+    comm.finalize();
+  });
+  EXPECT_TRUE(report.deadlock);
+  EXPECT_NE(report.deadlock_info.find("rank 1 in MPI_Recv"), std::string::npos);
+  EXPECT_NE(report.deadlock_info.find("MPI_Finalize"), std::string::npos);
+}
+
+TEST(SimMpi, TryRecvNonBlocking) {
+  const auto report = run_world(fast_world(2), [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::int32_t v = 0;
+      EXPECT_FALSE(comm.world().try_recv(0, 1, 0, std::as_writable_bytes(std::span<std::int32_t>(&v, 1)))
+                       .has_value());
+      comm.barrier();  // rank 1 sends before the barrier
+      comm.barrier();
+      EXPECT_TRUE(comm.world().try_recv(0, 1, 0, std::as_writable_bytes(std::span<std::int32_t>(&v, 1)))
+                      .has_value());
+      EXPECT_EQ(v, 55);
+    } else {
+      comm.barrier();
+      comm.send_value(std::int32_t{55}, 0, 0);
+      comm.barrier();
+    }
+  });
+  EXPECT_TRUE(report.all_completed());
+}
+
+TEST(SimMpi, ManyRanksStress) {
+  // Ring pass with 16 ranks, several laps.
+  const auto report = run_world(fast_world(16), [](Comm& comm) {
+    const int n = comm.size();
+    const int rank = comm.rank();
+    std::int32_t token = rank;
+    for (int lap = 0; lap < 4; ++lap) {
+      comm.send_value(token, (rank + 1) % n, lap);
+      token = comm.recv_value<std::int32_t>((rank + n - 1) % n, lap);
+    }
+    EXPECT_EQ(token, (rank + n - 4 % n) % n);
+  });
+  EXPECT_TRUE(report.all_completed());
+}
+
+TEST(SimMpi, WorldRejectsNonpositiveRanks) {
+  EXPECT_THROW((void)World(WorldConfig{.nranks = 0}), MpiError);
+}
+
+TEST(SimMpi, BcastWithInvalidRootThrows) {
+  const auto report = run_world(fast_world(2), [](Comm& comm) {
+    double v = 0.0;
+    EXPECT_THROW(comm.bcast(std::span<double>(&v, 1), 9), MpiError);
+    EXPECT_THROW(comm.bcast(std::span<double>(&v, 1), -1), MpiError);
+  });
+  EXPECT_TRUE(report.all_completed());
+}
+
+TEST(SimMpi, ReduceOnBytesThrows) {
+  // MPI_BYTE is not reducible; the error must surface at completion.
+  const auto report = run_world(fast_world(2), [](Comm& comm) {
+    const std::byte in[2] = {};
+    std::byte out[2] = {};
+    EXPECT_THROW(
+        comm.allreduce_bytes(std::span<const std::byte>(in), std::span<std::byte>(out), Dtype::Byte,
+                             2, ReduceOp::Sum),
+        MpiError);
+  });
+  EXPECT_TRUE(report.all_completed());
+}
+
+TEST(SimMpi, CollectiveContributionSizeValidated) {
+  const auto report = run_world(fast_world(2), [](Comm& comm) {
+    const double in[2] = {1.0, 2.0};
+    double out[2] = {};
+    // claims count=3 but supplies 2 doubles
+    EXPECT_THROW(comm.allreduce_bytes(std::as_bytes(std::span<const double>(in)),
+                                      std::as_writable_bytes(std::span<double>(out)), Dtype::F64, 3,
+                                      ReduceOp::Sum),
+                 MpiError);
+  });
+  EXPECT_TRUE(report.all_completed());
+}
+
+}  // namespace
+}  // namespace difftrace::simmpi

@@ -1,0 +1,217 @@
+// Randomized stress/property tests for the simulated MPI runtime: message
+// storms with deterministic expected delivery, mixed eager/rendezvous
+// payloads, random collective schedules, and watchdog behaviour under load.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "simmpi/runtime.hpp"
+#include "util/prng.hpp"
+
+namespace difftrace::simmpi {
+namespace {
+
+WorldConfig fast_world(int nranks, std::size_t eager_limit = 4096) {
+  WorldConfig config;
+  config.nranks = nranks;
+  config.eager_limit = eager_limit;
+  config.watchdog_poll = std::chrono::milliseconds(5);
+  config.wall_timeout = std::chrono::milliseconds(60'000);
+  return config;
+}
+
+struct StormParam {
+  int nranks;
+  int messages_per_rank;
+  std::size_t eager_limit;  // small => rendezvous mixes in
+  std::uint64_t seed;
+};
+
+class MessageStorm : public ::testing::TestWithParam<StormParam> {};
+
+// Every rank isends `messages_per_rank` messages to pseudo-random
+// destinations (tag = destination rank); sizes straddle the eager limit.
+// Nonblocking sends deposit immediately, so every rank can post its whole
+// schedule, then drain its expected messages in per-source FIFO order, and
+// only wait on rendezvous completions at the end — a pattern that cannot
+// deadlock regardless of the schedule. (Blocking-send storms with ordered
+// drains CAN legitimately deadlock under rendezvous; and our World models
+// MPI_THREAD_FUNNELED, one blocking MPI call per rank at a time.)
+TEST_P(MessageStorm, AllMessagesDeliveredInPerSourceOrder) {
+  const auto p = GetParam();
+  const int n = p.nranks;
+
+  // Precompute the schedule (deterministic from the seed, same on all ranks).
+  // schedule[src] = list of (dst, payload_size, payload_seed)
+  std::vector<std::vector<std::tuple<int, std::size_t, std::uint32_t>>> schedule(
+      static_cast<std::size_t>(n));
+  util::Xoshiro256 rng(p.seed);
+  for (int src = 0; src < n; ++src)
+    for (int m = 0; m < p.messages_per_rank; ++m) {
+      const int dst = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+      const std::size_t size = 1 + rng.below(2 * p.eager_limit / sizeof(std::int32_t) + 4);
+      schedule[static_cast<std::size_t>(src)].emplace_back(dst, size,
+                                                           static_cast<std::uint32_t>(rng()));
+    }
+
+  const auto report = run_world(fast_world(n, p.eager_limit), [&](Comm& comm) {
+    const int me = comm.rank();
+    // Expected incoming (size, seed) per source, from the shared schedule.
+    std::vector<std::vector<std::pair<std::size_t, std::uint32_t>>> expected(
+        static_cast<std::size_t>(n));
+    for (int src = 0; src < n; ++src)
+      for (const auto& [dst, size, seed] : schedule[static_cast<std::size_t>(src)])
+        if (dst == me) expected[static_cast<std::size_t>(src)].emplace_back(size, seed);
+
+    // Post the whole send schedule without blocking.
+    std::vector<Request> pending;
+    for (const auto& [dst, size, seed] : schedule[static_cast<std::size_t>(me)]) {
+      std::vector<std::int32_t> payload(size);
+      for (std::size_t i = 0; i < size; ++i)
+        payload[i] = static_cast<std::int32_t>(seed + static_cast<std::uint32_t>(i));
+      pending.push_back(comm.isend(std::span<const std::int32_t>(payload), dst, /*tag=*/dst));
+    }
+
+    // Drain each source FIFO; sizes and fills must match the schedule in order.
+    for (int src = 0; src < n; ++src) {
+      for (const auto& [size, seed] : expected[static_cast<std::size_t>(src)]) {
+        std::vector<std::int32_t> buf(size);
+        const auto got = comm.recv(std::span<std::int32_t>(buf), src, /*tag=*/me);
+        ASSERT_EQ(got, size);
+        for (std::size_t i = 0; i < size; ++i)
+          ASSERT_EQ(buf[i], static_cast<std::int32_t>(seed + static_cast<std::uint32_t>(i)));
+      }
+    }
+    for (auto& req : pending) comm.wait(req);
+  });
+  EXPECT_TRUE(report.all_completed()) << report.deadlock_info;
+  EXPECT_FALSE(report.deadlock);
+}
+
+INSTANTIATE_TEST_SUITE_P(Storms, MessageStorm,
+                         ::testing::Values(StormParam{2, 20, 64, 1}, StormParam{4, 12, 64, 2},
+                                           StormParam{8, 8, 32, 3}, StormParam{4, 25, 8, 4},
+                                           StormParam{6, 10, 4096, 5}, StormParam{3, 40, 16, 6}),
+                         [](const ::testing::TestParamInfo<StormParam>& info) {
+                           return "n" + std::to_string(info.param.nranks) + "_m" +
+                                  std::to_string(info.param.messages_per_rank) + "_e" +
+                                  std::to_string(info.param.eager_limit) + "_s" +
+                                  std::to_string(info.param.seed);
+                         });
+
+class CollectiveSchedule : public ::testing::TestWithParam<std::uint64_t> {};
+
+// A random but rank-consistent schedule of collectives must complete with
+// correct results at every step.
+TEST_P(CollectiveSchedule, RandomSequencesComplete) {
+  const auto seed = GetParam();
+  const int n = 5;
+  // Build the schedule once (same for every rank).
+  enum class Op { Barrier, BcastFromK, SumAll, MinAll, ReduceToK };
+  std::vector<std::pair<Op, int>> schedule;
+  util::Xoshiro256 rng(seed);
+  for (int i = 0; i < 40; ++i) {
+    const auto pick = rng.below(5);
+    const int root = static_cast<int>(rng.below(n));
+    schedule.emplace_back(static_cast<Op>(pick), root);
+  }
+
+  const auto report = run_world(fast_world(n), [&](Comm& comm) {
+    const int me = comm.rank();
+    for (std::size_t step = 0; step < schedule.size(); ++step) {
+      const auto [op, root] = schedule[step];
+      const double mine = static_cast<double>(me + 1) * static_cast<double>(step + 1);
+      switch (op) {
+        case Op::Barrier:
+          comm.barrier();
+          break;
+        case Op::BcastFromK: {
+          double value = me == root ? mine : -1.0;
+          comm.bcast(std::span<double>(&value, 1), root);
+          EXPECT_DOUBLE_EQ(value, static_cast<double>(root + 1) * static_cast<double>(step + 1));
+          break;
+        }
+        case Op::SumAll: {
+          const double sum = comm.allreduce_value(mine, ReduceOp::Sum);
+          EXPECT_DOUBLE_EQ(sum, 15.0 * static_cast<double>(step + 1));  // 1+..+5 = 15
+          break;
+        }
+        case Op::MinAll: {
+          const double min = comm.allreduce_value(mine, ReduceOp::Min);
+          EXPECT_DOUBLE_EQ(min, static_cast<double>(step + 1));
+          break;
+        }
+        case Op::ReduceToK: {
+          double out = -1.0;
+          comm.reduce(std::span<const double>(&mine, 1), std::span<double>(&out, 1), ReduceOp::Max,
+                      root);
+          if (me == root) {
+          EXPECT_DOUBLE_EQ(out, 5.0 * static_cast<double>(step + 1));
+        }
+          break;
+        }
+      }
+    }
+  });
+  EXPECT_TRUE(report.all_completed()) << report.deadlock_info;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollectiveSchedule, ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(SimMpiStress, InterleavedPointToPointAndCollectives) {
+  const auto report = run_world(fast_world(6), [](Comm& comm) {
+    const int n = comm.size();
+    const int me = comm.rank();
+    for (int round = 0; round < 10; ++round) {
+      // Ring shift.
+      comm.send_value<std::int32_t>(me * 100 + round, (me + 1) % n, round);
+      const auto got = comm.recv_value<std::int32_t>((me + n - 1) % n, round);
+      EXPECT_EQ(got, ((me + n - 1) % n) * 100 + round);
+      // Then a collective that would hang if any rank were out of step.
+      const auto total = comm.allreduce_value(std::int32_t{1}, ReduceOp::Sum);
+      EXPECT_EQ(total, n);
+    }
+  });
+  EXPECT_TRUE(report.all_completed());
+}
+
+TEST(SimMpiStress, WatchdogFindsDeadlockBuriedUnderTraffic) {
+  // Lots of healthy traffic, then rank 3 waits for a message that never
+  // comes; everyone else proceeds to the finalize barrier.
+  const auto report = run_world(fast_world(5), [](Comm& comm) {
+    const int n = comm.size();
+    const int me = comm.rank();
+    for (int round = 0; round < 20; ++round) {
+      comm.send_value<std::int32_t>(round, (me + 1) % n, 1);
+      (void)comm.recv_value<std::int32_t>((me + n - 1) % n, 1);
+    }
+    if (comm.rank() == 3) {
+      std::int32_t v = 0;
+      (void)comm.recv(std::span<std::int32_t>(&v, 1), 0, 0xDEAD);
+    }
+    comm.barrier();
+  });
+  EXPECT_TRUE(report.deadlock);
+  EXPECT_NE(report.deadlock_info.find("rank 3 in MPI_Recv"), std::string::npos);
+  EXPECT_EQ(report.ranks[3].status, RankStatus::Aborted);
+}
+
+TEST(SimMpiStress, ManySmallWorldsSequentially) {
+  // Runtime must be fully reusable: no leaked global state between worlds.
+  for (int round = 0; round < 25; ++round) {
+    const auto report = run_world(fast_world(3), [round](Comm& comm) {
+      const auto sum = comm.allreduce_value(static_cast<std::int64_t>(comm.rank() + round),
+                                            ReduceOp::Sum);
+      EXPECT_EQ(sum, 3 + 3 * round);
+    });
+    ASSERT_TRUE(report.all_completed());
+  }
+}
+
+}  // namespace
+}  // namespace difftrace::simmpi

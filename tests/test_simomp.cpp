@@ -1,0 +1,213 @@
+#include "simomp/team.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "instrument/tracer.hpp"
+
+namespace difftrace::simomp {
+namespace {
+
+TEST(SimOmp, RunsEveryThreadId) {
+  std::mutex m;
+  std::set<int> seen;
+  parallel_region(0, 5, [&](int tid) {
+    std::lock_guard lock(m);
+    seen.insert(tid);
+  });
+  EXPECT_EQ(seen, (std::set<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimOmp, MasterRunsOnCallingThread) {
+  const auto caller = std::this_thread::get_id();
+  std::thread::id master_id;
+  parallel_region(0, 3, [&](int tid) {
+    if (tid == 0) master_id = std::this_thread::get_id();
+  });
+  EXPECT_EQ(master_id, caller);
+}
+
+TEST(SimOmp, SingleThreadRegionIsJustTheCaller) {
+  int calls = 0;
+  parallel_region(0, 1, [&](int tid) {
+    EXPECT_EQ(tid, 0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(SimOmp, RejectsNonpositiveThreadCount) {
+  EXPECT_THROW(parallel_region(0, 0, [](int) {}), std::invalid_argument);
+}
+
+TEST(SimOmp, NestedRegionsRejected) {
+  EXPECT_THROW(parallel_region(0, 2,
+                               [&](int tid) {
+                                 if (tid == 0) parallel_region(0, 2, [](int) {});
+                               }),
+               std::logic_error);
+}
+
+TEST(SimOmp, RegionsOfDifferentProcessesCoexist) {
+  std::thread other([&] { parallel_region(1, 3, [](int) {}); });
+  parallel_region(0, 3, [](int) {});
+  other.join();
+  SUCCEED();
+}
+
+TEST(SimOmp, CriticalSectionIsMutuallyExclusive) {
+  int counter = 0;  // deliberately non-atomic: the critical section protects it
+  constexpr int kIters = 2000;
+  parallel_region(0, 8, [&](int) {
+    for (int i = 0; i < kIters; ++i) {
+      Critical critical(0, "counter");
+      ++counter;
+    }
+  });
+  EXPECT_EQ(counter, 8 * kIters);
+}
+
+TEST(SimOmp, NamedCriticalsAreIndependentLocks) {
+  // A thread holding critical "a" must not block one taking critical "b":
+  // if the names shared one lock, this interleaving would deadlock.
+  std::atomic<bool> a_held{false};
+  std::atomic<bool> proceed{false};
+  parallel_region(0, 2, [&](int tid) {
+    if (tid == 0) {
+      Critical a(0, "a");
+      a_held.store(true);
+      while (!proceed.load()) std::this_thread::yield();
+    } else {
+      while (!a_held.load()) std::this_thread::yield();
+      Critical b(0, "b");  // must not block on "a"
+      proceed.store(true);
+    }
+  });
+  SUCCEED();
+}
+
+TEST(SimOmp, CriticalsScopedPerProcess) {
+  // The same critical name in different processes uses different locks.
+  std::atomic<bool> p0_held{false};
+  std::atomic<bool> done{false};
+  std::thread p1([&] {
+    while (!p0_held.load()) std::this_thread::yield();
+    parallel_region(1, 1, [&](int) {
+      Critical c(1, "champ");
+      done.store(true);
+    });
+  });
+  parallel_region(0, 1, [&](int) {
+    Critical c(0, "champ");
+    p0_held.store(true);
+    while (!done.load()) std::this_thread::yield();
+  });
+  p1.join();
+}
+
+TEST(SimOmp, BarrierSynchronizesTeam) {
+  std::atomic<int> phase1{0};
+  parallel_region(0, 6, [&](int) {
+    phase1.fetch_add(1);
+    team_barrier(0);
+    EXPECT_EQ(phase1.load(), 6);
+  });
+}
+
+TEST(SimOmp, BarrierReusableAcrossGenerations) {
+  std::atomic<int> count{0};
+  parallel_region(0, 4, [&](int) {
+    for (int round = 0; round < 5; ++round) {
+      count.fetch_add(1);
+      team_barrier(0);
+      EXPECT_EQ(count.load() % 4, 0);
+      team_barrier(0);
+    }
+  });
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(SimOmp, BarrierOutsideRegionThrows) { EXPECT_THROW(team_barrier(42), std::logic_error); }
+
+TEST(SimOmp, RegionsAndCriticalsEmitGompTraceEvents) {
+  auto& tracer = instrument::Tracer::instance();
+  tracer.begin_session(std::make_shared<trace::FunctionRegistry>());
+  {
+    instrument::ThreadBinding bind(trace::TraceKey{7, 0});
+    // parallel_region binds worker threads as {proc, tid} itself.
+    parallel_region(7, 2, [](int tid) {
+      if (tid == 1) Critical c(7, "x");
+    });
+  }
+  const auto store = tracer.end_session();
+
+  // Master trace: the fork/join bracket.
+  std::vector<std::string> master_names;
+  for (const auto& event : store.decode({7, 0}))
+    if (event.kind == trace::EventKind::Call)
+      master_names.push_back(store.registry().name(event.fid));
+  EXPECT_NE(std::find(master_names.begin(), master_names.end(), "GOMP_parallel_start"),
+            master_names.end());
+  EXPECT_NE(std::find(master_names.begin(), master_names.end(), "GOMP_parallel_end"),
+            master_names.end());
+
+  // Worker trace: the critical bracket (with @plt stubs).
+  std::vector<std::string> worker_names;
+  for (const auto& event : store.decode({7, 1}))
+    if (event.kind == trace::EventKind::Call)
+      worker_names.push_back(store.registry().name(event.fid));
+  EXPECT_NE(std::find(worker_names.begin(), worker_names.end(), "GOMP_critical_start"),
+            worker_names.end());
+  EXPECT_NE(std::find(worker_names.begin(), worker_names.end(), "GOMP_critical_end"),
+            worker_names.end());
+  EXPECT_NE(std::find(worker_names.begin(), worker_names.end(), "GOMP_critical_start@plt"),
+            worker_names.end());
+}
+
+TEST(SimOmp, WorkerExceptionPropagatesAfterJoin) {
+  std::atomic<int> completed{0};
+  try {
+    parallel_region(0, 4, [&](int tid) {
+      if (tid == 2) throw std::runtime_error("worker boom");
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "worker boom");
+  }
+  EXPECT_EQ(completed.load(), 3);  // all other threads were joined, not leaked
+}
+
+TEST(SimOmp, MasterExceptionStillJoinsWorkers) {
+  std::atomic<int> workers_done{0};
+  EXPECT_THROW(parallel_region(0, 4,
+                               [&](int tid) {
+                                 if (tid == 0) throw std::logic_error("master boom");
+                                 workers_done.fetch_add(1);
+                               }),
+               std::logic_error);
+  EXPECT_EQ(workers_done.load(), 3);
+}
+
+TEST(SimOmp, RegionCanRunAgainAfterException) {
+  EXPECT_THROW(parallel_region(0, 2, [](int) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  int runs = 0;
+  parallel_region(0, 2, [&](int) {
+    Critical c(0, "again");
+    ++runs;
+  });
+  EXPECT_EQ(runs, 2);
+}
+
+}  // namespace
+}  // namespace difftrace::simomp

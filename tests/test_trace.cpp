@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "trace/event.hpp"
+#include "trace/registry.hpp"
+#include "trace/store.hpp"
+#include "trace/writer.hpp"
+
+namespace difftrace::trace {
+namespace {
+
+TEST(Event, SymbolRoundTrip) {
+  const TraceEvent call{42, EventKind::Call};
+  const TraceEvent ret{42, EventKind::Return};
+  EXPECT_EQ(symbol_to_event(event_to_symbol(call)), call);
+  EXPECT_EQ(symbol_to_event(event_to_symbol(ret)), ret);
+  EXPECT_NE(event_to_symbol(call), event_to_symbol(ret));
+}
+
+TEST(TraceKey, LabelAndOrdering) {
+  const TraceKey a{6, 4};
+  EXPECT_EQ(a.label(), "6.4");
+  EXPECT_LT((TraceKey{1, 9}), (TraceKey{2, 0}));
+  EXPECT_LT((TraceKey{1, 1}), (TraceKey{1, 2}));
+}
+
+TEST(Registry, InternIsIdempotent) {
+  FunctionRegistry reg;
+  const auto a = reg.intern("MPI_Send", Image::MpiLib);
+  const auto b = reg.intern("MPI_Send", Image::SystemLib);  // image of later intern ignored
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.info(a).image, Image::MpiLib);
+}
+
+TEST(Registry, DenseSequentialIds) {
+  FunctionRegistry reg;
+  EXPECT_EQ(reg.intern("a"), 0u);
+  EXPECT_EQ(reg.intern("b"), 1u);
+  EXPECT_EQ(reg.intern("c"), 2u);
+}
+
+TEST(Registry, FindAndInfo) {
+  FunctionRegistry reg;
+  const auto id = reg.intern("main", Image::Main);
+  EXPECT_EQ(reg.find("main"), id);
+  EXPECT_FALSE(reg.find("missing").has_value());
+  EXPECT_EQ(reg.name(id), "main");
+  EXPECT_THROW((void)reg.info(99), std::out_of_range);
+}
+
+TEST(Registry, SnapshotOrderedById) {
+  FunctionRegistry reg;
+  reg.intern("x");
+  reg.intern("y");
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "x");
+  EXPECT_EQ(snap[1].name, "y");
+}
+
+TEST(Writer, RecordsAndDecodes) {
+  TraceWriter writer({0, 0});
+  writer.record(EventKind::Call, 1);
+  writer.record(EventKind::Call, 2);
+  writer.record(EventKind::Return, 2);
+  writer.record(EventKind::Return, 1);
+  TraceStore store;
+  store.absorb(writer);
+  const auto events = store.decode({0, 0});
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0], (TraceEvent{1, EventKind::Call}));
+  EXPECT_EQ(events[3], (TraceEvent{1, EventKind::Return}));
+}
+
+TEST(Writer, FreezeDropsSubsequentEvents) {
+  TraceWriter writer({0, 0});
+  writer.record(EventKind::Call, 1);
+  writer.freeze();
+  writer.record(EventKind::Call, 2);  // a killed process writes nothing more
+  EXPECT_TRUE(writer.frozen());
+  EXPECT_EQ(writer.event_count(), 1u);
+  TraceStore store;
+  store.absorb(writer);
+  EXPECT_TRUE(store.blob({0, 0}).truncated);
+  EXPECT_EQ(store.decode({0, 0}).size(), 1u);
+}
+
+TEST(Writer, FreezeIsIdempotent) {
+  TraceWriter writer({0, 0});
+  writer.freeze();
+  writer.freeze();
+  EXPECT_TRUE(writer.frozen());
+}
+
+TEST(Writer, BytesMidStreamAreDecodable) {
+  // The incremental-compression property: a snapshot taken between flushes
+  // decodes to everything recorded so far.
+  TraceWriter writer({1, 2}, "parlot", /*flush_interval=*/4);
+  for (std::uint32_t i = 0; i < 100; ++i) writer.record(EventKind::Call, i % 5);
+  const auto snapshot = writer.bytes();
+  const auto codec = compress::make_codec("parlot");
+  EXPECT_EQ(codec.decoder->decode(snapshot).size(), 100u);
+}
+
+TEST(Store, KeysSortedAndContains) {
+  TraceStore store;
+  store.add_blob({1, 0}, TraceBlob{"null", {}, 0, false});
+  store.add_blob({0, 1}, TraceBlob{"null", {}, 0, false});
+  const auto keys = store.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], (TraceKey{0, 1}));
+  EXPECT_TRUE(store.contains({1, 0}));
+  EXPECT_FALSE(store.contains({9, 9}));
+  EXPECT_THROW((void)store.decode({9, 9}), std::out_of_range);
+}
+
+TEST(Store, StatsAggregates) {
+  TraceStore store;
+  TraceWriter w1({0, 0}, "null");
+  TraceWriter w2({1, 0}, "null");
+  for (int i = 0; i < 10; ++i) w1.record(EventKind::Call, 3);
+  for (int i = 0; i < 30; ++i) w2.record(EventKind::Call, 3);
+  store.absorb(w1);
+  store.absorb(w2);
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.trace_count, 2u);
+  EXPECT_EQ(stats.total_events, 40u);
+  EXPECT_DOUBLE_EQ(stats.mean_events_per_trace, 20.0);
+  EXPECT_GT(stats.compression_ratio, 0.0);
+}
+
+TEST(Store, SaveLoadRoundTrip) {
+  TraceStore store;
+  store.registry().intern("main", Image::Main);
+  store.registry().intern("MPI_Send", Image::MpiLib);
+  TraceWriter writer({2, 3});
+  writer.record(EventKind::Call, 0);
+  writer.record(EventKind::Call, 1);
+  writer.record(EventKind::Return, 1);
+  writer.freeze();
+  store.absorb(writer);
+
+  const auto path = std::filesystem::temp_directory_path() / "difftrace_store_test.bin";
+  store.save(path);
+  const auto loaded = TraceStore::load(path);
+  std::filesystem::remove(path);
+
+  EXPECT_EQ(loaded.registry().size(), 2u);
+  EXPECT_EQ(loaded.registry().name(1), "MPI_Send");
+  EXPECT_EQ(loaded.registry().info(1).image, Image::MpiLib);
+  ASSERT_TRUE(loaded.contains({2, 3}));
+  EXPECT_TRUE(loaded.blob({2, 3}).truncated);
+  const auto events = loaded.decode({2, 3});
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1], (TraceEvent{1, EventKind::Call}));
+}
+
+TEST(Store, LoadRejectsGarbage) {
+  const auto path = std::filesystem::temp_directory_path() / "difftrace_bogus.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a trace store";
+  }
+  EXPECT_THROW((void)TraceStore::load(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Store, CopyAndMoveSemantics) {
+  TraceStore store;
+  store.add_blob({0, 0}, TraceBlob{"null", {1, 2}, 2, false});
+  TraceStore copy = store;
+  EXPECT_TRUE(copy.contains({0, 0}));
+  TraceStore moved = std::move(store);
+  EXPECT_TRUE(moved.contains({0, 0}));
+}
+
+}  // namespace
+}  // namespace difftrace::trace

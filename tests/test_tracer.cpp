@@ -1,0 +1,182 @@
+#include "instrument/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace difftrace::instrument {
+namespace {
+
+using trace::EventKind;
+using trace::Image;
+using trace::TraceKey;
+
+/// Decoded (name, kind) pairs of one trace.
+std::vector<std::pair<std::string, EventKind>> decoded(const trace::TraceStore& store, TraceKey key) {
+  std::vector<std::pair<std::string, EventKind>> out;
+  for (const auto& event : store.decode(key))
+    out.emplace_back(store.registry().name(event.fid), event.kind);
+  return out;
+}
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    // Never leak a session across tests.
+    if (Tracer::instance().session_active()) (void)Tracer::instance().end_session();
+  }
+};
+
+TEST_F(TracerTest, SessionLifecycle) {
+  EXPECT_FALSE(Tracer::instance().session_active());
+  Tracer::instance().begin_session(std::make_shared<trace::FunctionRegistry>());
+  EXPECT_TRUE(Tracer::instance().session_active());
+  EXPECT_THROW(
+      Tracer::instance().begin_session(std::make_shared<trace::FunctionRegistry>()),
+      std::logic_error);
+  (void)Tracer::instance().end_session();
+  EXPECT_FALSE(Tracer::instance().session_active());
+  EXPECT_THROW((void)Tracer::instance().end_session(), std::logic_error);
+}
+
+TEST_F(TracerTest, NullRegistryRejected) {
+  EXPECT_THROW(Tracer::instance().begin_session(nullptr), std::invalid_argument);
+}
+
+TEST_F(TracerTest, ScopeEmitsCallAndReturn) {
+  Tracer::instance().begin_session(std::make_shared<trace::FunctionRegistry>());
+  {
+    ThreadBinding bind(TraceKey{0, 0});
+    {
+      TraceScope scope("foo");
+      TraceScope inner("bar");
+    }
+  }
+  const auto store = Tracer::instance().end_session();
+  const auto events = decoded(store, {0, 0});
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0], (std::pair<std::string, EventKind>{"foo", EventKind::Call}));
+  EXPECT_EQ(events[1], (std::pair<std::string, EventKind>{"bar", EventKind::Call}));
+  EXPECT_EQ(events[2], (std::pair<std::string, EventKind>{"bar", EventKind::Return}));
+  EXPECT_EQ(events[3], (std::pair<std::string, EventKind>{"foo", EventKind::Return}));
+}
+
+TEST_F(TracerTest, PltScopesBracketApiCalls) {
+  Tracer::instance().begin_session(std::make_shared<trace::FunctionRegistry>());
+  {
+    ThreadBinding bind(TraceKey{0, 0});
+    TraceScope scope("MPI_Send", Image::MpiLib, /*plt=*/true);
+  }
+  const auto store = Tracer::instance().end_session();
+  const auto events = decoded(store, {0, 0});
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].first, "MPI_Send@plt");
+  EXPECT_EQ(events[1].first, "MPI_Send");
+  EXPECT_EQ(events[2].first, "MPI_Send");
+  EXPECT_EQ(events[3].first, "MPI_Send@plt");
+}
+
+TEST_F(TracerTest, MainImageLevelDropsInternalFunctions) {
+  Tracer::instance().begin_session(std::make_shared<trace::FunctionRegistry>(),
+                                   CaptureLevel::MainImage);
+  {
+    ThreadBinding bind(TraceKey{0, 0});
+    TraceScope app("app_fn", Image::Main);
+    TraceScope internal("MPID_Helper", Image::Internal);
+    TraceScope sys("memcpy", Image::SystemLib);
+  }
+  const auto store = Tracer::instance().end_session();
+  const auto events = decoded(store, {0, 0});
+  for (const auto& [name, kind] : events) EXPECT_NE(name, "MPID_Helper");
+  EXPECT_EQ(events.size(), 4u);  // app_fn + memcpy, call+return each
+}
+
+TEST_F(TracerTest, AllImagesLevelKeepsInternalFunctions) {
+  Tracer::instance().begin_session(std::make_shared<trace::FunctionRegistry>(),
+                                   CaptureLevel::AllImages);
+  {
+    ThreadBinding bind(TraceKey{0, 0});
+    TraceScope internal("MPID_Helper", Image::Internal);
+  }
+  const auto store = Tracer::instance().end_session();
+  EXPECT_EQ(decoded(store, {0, 0}).size(), 2u);
+}
+
+TEST_F(TracerTest, EventsWithoutBindingAreDropped) {
+  Tracer::instance().begin_session(std::make_shared<trace::FunctionRegistry>());
+  {
+    TraceScope scope("unbound");
+  }
+  const auto store = Tracer::instance().end_session();
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST_F(TracerTest, EventsOutsideSessionAreDropped) {
+  TraceScope scope("no_session");  // must not crash or record anywhere
+  SUCCEED();
+}
+
+TEST_F(TracerTest, RebindingSameKeyAppends) {
+  // Successive OpenMP regions reuse the same per-thread trace file.
+  Tracer::instance().begin_session(std::make_shared<trace::FunctionRegistry>());
+  for (int region = 0; region < 3; ++region) {
+    std::thread worker([&] {
+      ThreadBinding bind(TraceKey{0, 1});
+      TraceScope scope("work");
+    });
+    worker.join();
+  }
+  const auto store = Tracer::instance().end_session();
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.decode({0, 1}).size(), 6u);
+}
+
+TEST_F(TracerTest, DoubleBindThrows) {
+  Tracer::instance().begin_session(std::make_shared<trace::FunctionRegistry>());
+  ThreadBinding bind(TraceKey{0, 0});
+  EXPECT_THROW(Tracer::instance().bind_current_thread(TraceKey{0, 1}), std::logic_error);
+}
+
+TEST_F(TracerTest, ScopedBindingIsNoopWithoutSession) {
+  ScopedBinding bind(TraceKey{0, 0});  // no session: must not throw
+  SUCCEED();
+}
+
+TEST_F(TracerTest, FreezeAllTruncatesEverything) {
+  Tracer::instance().begin_session(std::make_shared<trace::FunctionRegistry>());
+  {
+    ThreadBinding bind(TraceKey{3, 0});
+    Tracer::instance().on_call("before", Image::Main);
+    Tracer::instance().freeze_all();
+    Tracer::instance().on_call("after", Image::Main);  // dropped
+  }
+  const auto store = Tracer::instance().end_session();
+  const auto events = decoded(store, {3, 0});
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].first, "before");
+  EXPECT_TRUE(store.blob({3, 0}).truncated);
+}
+
+TEST_F(TracerTest, ParallelThreadsGetSeparateStreams) {
+  Tracer::instance().begin_session(std::make_shared<trace::FunctionRegistry>());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([t] {
+      ThreadBinding bind(TraceKey{0, t});
+      for (int i = 0; i < 50; ++i) TraceScope scope("fn" + std::to_string(t));
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto store = Tracer::instance().end_session();
+  EXPECT_EQ(store.size(), 8u);
+  for (int t = 0; t < 8; ++t) {
+    const auto events = decoded(store, {0, t});
+    ASSERT_EQ(events.size(), 100u);
+    EXPECT_EQ(events[0].first, "fn" + std::to_string(t));
+  }
+}
+
+}  // namespace
+}  // namespace difftrace::instrument

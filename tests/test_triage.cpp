@@ -1,0 +1,119 @@
+// Triage classification over the actual miniapp faults — the paper's
+// "initial triage" claim (§I): one standard data set suffices to route the
+// bug to the right deeper-debugging family.
+#include "core/triage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/ilcs.hpp"
+#include "apps/oddeven.hpp"
+#include "apps/runner.hpp"
+#include "trace/writer.hpp"
+
+namespace difftrace::core {
+namespace {
+
+simmpi::WorldConfig fast_world(int nranks) {
+  simmpi::WorldConfig config;
+  config.nranks = nranks;
+  config.watchdog_poll = std::chrono::milliseconds(5);
+  config.wall_timeout = std::chrono::milliseconds(30'000);
+  return config;
+}
+
+trace::TraceStore trace_odd_even(apps::FaultSpec fault) {
+  apps::OddEvenConfig config;
+  config.nranks = 16;
+  config.elements_per_rank = 8;
+  config.fault = fault;
+  auto run = apps::run_traced(fast_world(16),
+                              [config](simmpi::Comm& c) { apps::odd_even_rank(c, config); });
+  return std::move(run.store);
+}
+
+TEST(Triage, CleanRunIsNoAnomaly) {
+  const auto normal = trace_odd_even({});
+  const auto report = triage(normal, normal, FilterSpec::mpi_all());
+  EXPECT_EQ(report.bug_class, BugClass::NoAnomaly);
+  EXPECT_EQ(bug_class_name(report.bug_class), "no-anomaly");
+}
+
+TEST(Triage, DlBugIsHangFocusedOnRankFive) {
+  const auto normal = trace_odd_even({});
+  const auto faulty = trace_odd_even({apps::FaultType::DlBug, 5, -1, 7});
+  const auto report = triage(normal, faulty, FilterSpec::mpi_all());
+  EXPECT_EQ(report.bug_class, BugClass::Hang);
+  EXPECT_EQ(report.focus, (trace::TraceKey{5, 0}));
+  ASSERT_FALSE(report.evidence.empty());
+  EXPECT_NE(report.render().find("truncated by the watchdog"), std::string::npos);
+}
+
+TEST(Triage, SwapBugIsStructuralChangeInRankFive) {
+  const auto normal = trace_odd_even({});
+  const auto faulty = trace_odd_even({apps::FaultType::SwapBug, 5, -1, 7});
+  const auto report = triage(normal, faulty, FilterSpec::mpi_all());
+  EXPECT_EQ(report.bug_class, BugClass::StructuralChange);
+  EXPECT_EQ(report.focus, (trace::TraceKey{5, 0}));
+  EXPECT_NE(report.render().find("diffNLR(5.0)"), std::string::npos);
+}
+
+TEST(Triage, IlcsWrongSizeIsHang) {
+  apps::IlcsConfig config;
+  config.nranks = 4;
+  config.workers = 2;
+  config.ncities = 10;
+  auto normal_run = apps::run_traced(fast_world(4),
+                                     [config](simmpi::Comm& c) { apps::ilcs_rank(c, config); });
+  config.fault = apps::FaultSpec{apps::FaultType::WrongCollectiveSize, 2, -1, -1};
+  auto faulty_run = apps::run_traced(fast_world(4),
+                                     [config](simmpi::Comm& c) { apps::ilcs_rank(c, config); });
+  const auto report = triage(normal_run.store, faulty_run.store, FilterSpec::mpi_all());
+  EXPECT_EQ(report.bug_class, BugClass::Hang);
+}
+
+// Synthetic stores give deterministic coverage of the non-hang classes.
+trace::TraceStore make_store(const std::vector<std::vector<std::string>>& traces) {
+  trace::TraceStore store;
+  for (std::size_t p = 0; p < traces.size(); ++p) {
+    trace::TraceWriter writer({static_cast<int>(p), 0});
+    for (const auto& name : traces[p])
+      writer.record(trace::EventKind::Call, store.registry().intern(name));
+    store.absorb(writer);
+  }
+  return store;
+}
+
+TEST(Triage, PureCountChangeIsFrequencyChange) {
+  const auto normal = make_store({{"a", "b", "a", "b"}, {"c", "c"}});
+  const auto faulty = make_store({{"a", "b", "a", "b", "a", "b"}, {"c", "c"}});
+  const auto report = triage(normal, faulty, FilterSpec::everything());
+  EXPECT_EQ(report.bug_class, BugClass::FrequencyChange);
+  EXPECT_EQ(report.focus, (trace::TraceKey{0, 0}));
+}
+
+TEST(Triage, VanishedCallIsStructural) {
+  const auto normal = make_store({{"init", "lock", "work", "unlock", "fini"}});
+  const auto faulty = make_store({{"init", "work", "fini"}});
+  const auto report = triage(normal, faulty, FilterSpec::everything());
+  EXPECT_EQ(report.bug_class, BugClass::StructuralChange);
+  EXPECT_NE(report.render().find("vanished"), std::string::npos);
+  EXPECT_NE(report.render().find("lock"), std::string::npos);
+}
+
+TEST(Triage, AppearedCallIsStructural) {
+  const auto normal = make_store({{"init", "fini"}});
+  const auto faulty = make_store({{"init", "retry", "fini"}});
+  const auto report = triage(normal, faulty, FilterSpec::everything());
+  EXPECT_EQ(report.bug_class, BugClass::StructuralChange);
+  EXPECT_NE(report.render().find("appeared"), std::string::npos);
+}
+
+TEST(Triage, EmptyIntersectionReportsNoAnomaly) {
+  const auto a = make_store({});
+  const auto report = triage(a, a, FilterSpec::everything());
+  EXPECT_EQ(report.bug_class, BugClass::NoAnomaly);
+  EXPECT_NE(report.render().find("no common traces"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace difftrace::core

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+#include "util/str.hpp"
+#include "util/table.hpp"
+
+namespace difftrace::util {
+namespace {
+
+// --- str -----------------------------------------------------------------
+
+TEST(Str, SplitBasic) {
+  const auto parts = split("a.b.c", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Str, SplitKeepsEmptySegments) {
+  const auto parts = split("a..b", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Str, SplitEmptyStringGivesOneEmpty) {
+  const auto parts = split("", '.');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Str, JoinInvertsSplit) {
+  EXPECT_EQ(join({"x", "y", "z"}, "."), "x.y.z");
+  EXPECT_EQ(join({}, "."), "");
+}
+
+TEST(Str, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("MPI_Send", "MPI_"));
+  EXPECT_FALSE(starts_with("GOMP_x", "MPI_"));
+  EXPECT_TRUE(ends_with("foo@plt", "@plt"));
+  EXPECT_FALSE(ends_with("plt", "@plt"));
+}
+
+TEST(Str, ContainsInsensitive) {
+  EXPECT_TRUE(contains_insensitive("TracedMemCpy", "memcpy"));
+  EXPECT_TRUE(contains_insensitive("abc", ""));
+  EXPECT_FALSE(contains_insensitive("ab", "abc"));
+}
+
+TEST(Str, ToLower) { EXPECT_EQ(to_lower("MPI_Send"), "mpi_send"); }
+
+TEST(Str, FormatDouble) {
+  EXPECT_EQ(format_double(0.2444, 3), "0.244");
+  EXPECT_EQ(format_double(1.0, 1), "1.0");
+}
+
+// --- stats -----------------------------------------------------------------
+
+TEST(Stats, EmptySamples) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, KnownValues) {
+  const double data[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const auto s = summarize(data);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.total, 40.0);
+  EXPECT_NEAR(s.stddev, 2.13809, 1e-4);  // sample stddev
+}
+
+TEST(Stats, SingleSampleHasZeroStddev) {
+  const double data[] = {3.0};
+  EXPECT_DOUBLE_EQ(summarize(data).stddev, 0.0);
+}
+
+// --- prng ---------------------------------------------------------------------
+
+TEST(Prng, DeterministicForSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Prng, BelowRespectsBound) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+// --- table -----------------------------------------------------------------------
+
+TEST(TextTable, RendersAlignedCells) {
+  TextTable t({"Name", "Value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const auto s = t.render();
+  EXPECT_NE(s.find("| Name   | Value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TextTable, ThrowsOnCellCountMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(TextTable, ThrowsOnEmptyHeader) { EXPECT_THROW(TextTable({}), std::invalid_argument); }
+
+TEST(Heatmap, RendersShades) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(1, 1) = 0.0;
+  const auto s = render_heatmap(m, "title");
+  EXPECT_NE(s.find("title"), std::string::npos);
+  EXPECT_NE(s.find("██"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace difftrace::util

@@ -1,0 +1,88 @@
+#include "util/varint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace difftrace::util {
+namespace {
+
+TEST(Varint, EncodesSmallValuesInOneByte) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 0);
+  put_varint(buf, 1);
+  put_varint(buf, 127);
+  EXPECT_EQ(buf.size(), 3u);
+}
+
+TEST(Varint, EncodesBoundaryAt128InTwoBytes) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 128);
+  EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(Varint, RoundTripsMaxUint64) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, std::numeric_limits<std::uint64_t>::max());
+  std::size_t pos = 0;
+  EXPECT_EQ(get_varint(buf, pos), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Varint, RoundTripsSequenceAndAdvancesCursor) {
+  const std::vector<std::uint64_t> values = {0, 1, 127, 128, 300, 1u << 20, 0xFFFFFFFFull, 1ull << 60};
+  std::vector<std::uint8_t> buf;
+  for (const auto v : values) put_varint(buf, v);
+  std::size_t pos = 0;
+  for (const auto v : values) EXPECT_EQ(get_varint(buf, pos), v);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Varint, ThrowsOnTruncatedInput) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 1u << 20);
+  buf.pop_back();
+  std::size_t pos = 0;
+  EXPECT_THROW((void)get_varint(buf, pos), std::out_of_range);
+}
+
+TEST(Varint, ThrowsOnOverlongEncoding) {
+  // 11 continuation bytes > 64 bits of payload.
+  const std::vector<std::uint8_t> buf(11, 0x80);
+  std::size_t pos = 0;
+  EXPECT_THROW((void)get_varint(buf, pos), std::exception);
+}
+
+TEST(Varint, ThrowsOnEmptyInput) {
+  const std::vector<std::uint8_t> buf;
+  std::size_t pos = 0;
+  EXPECT_THROW((void)get_varint(buf, pos), std::out_of_range);
+}
+
+TEST(Zigzag, MapsSignMagnitudeInterleaved) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  EXPECT_EQ(zigzag_encode(2), 4u);
+}
+
+class ZigzagRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ZigzagRoundTrip, DecodeInvertsEncode) {
+  const auto v = GetParam();
+  EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  std::vector<std::uint8_t> buf;
+  put_svarint(buf, v);
+  std::size_t pos = 0;
+  EXPECT_EQ(get_svarint(buf, pos), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, ZigzagRoundTrip,
+                         ::testing::Values(std::int64_t{0}, std::int64_t{-1}, std::int64_t{1},
+                                           std::int64_t{-1234567}, std::int64_t{1234567},
+                                           std::numeric_limits<std::int64_t>::min(),
+                                           std::numeric_limits<std::int64_t>::max()));
+
+}  // namespace
+}  // namespace difftrace::util

@@ -1,0 +1,12 @@
+// The difftrace command-line tool. All logic lives in src/cli (testable);
+// this is just argv marshalling.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return difftrace::cli::run_command(args, std::cout, std::cerr);
+}
