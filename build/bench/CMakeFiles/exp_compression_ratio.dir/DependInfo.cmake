@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/exp_compression_ratio.cpp" "bench/CMakeFiles/exp_compression_ratio.dir/exp_compression_ratio.cpp.o" "gcc" "bench/CMakeFiles/exp_compression_ratio.dir/exp_compression_ratio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/difftrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/difftrace_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/difftrace_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simomp/CMakeFiles/difftrace_simomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/difftrace_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/difftrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/difftrace_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/difftrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

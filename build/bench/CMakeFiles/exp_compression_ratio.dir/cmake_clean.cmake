@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_compression_ratio.dir/exp_compression_ratio.cpp.o"
+  "CMakeFiles/exp_compression_ratio.dir/exp_compression_ratio.cpp.o.d"
+  "exp_compression_ratio"
+  "exp_compression_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_compression_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig5_6_oddeven_bugs.dir/exp_fig5_6_oddeven_bugs.cpp.o"
+  "CMakeFiles/exp_fig5_6_oddeven_bugs.dir/exp_fig5_6_oddeven_bugs.cpp.o.d"
+  "exp_fig5_6_oddeven_bugs"
+  "exp_fig5_6_oddeven_bugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig5_6_oddeven_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

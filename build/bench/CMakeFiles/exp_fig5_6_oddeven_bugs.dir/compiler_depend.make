@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_fig5_6_oddeven_bugs.
+# This may be replaced when dependencies are built.

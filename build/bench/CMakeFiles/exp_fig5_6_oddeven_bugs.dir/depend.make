@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_fig5_6_oddeven_bugs.
+# This may be replaced when dependencies are built.

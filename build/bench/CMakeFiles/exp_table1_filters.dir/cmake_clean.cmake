@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table1_filters.dir/exp_table1_filters.cpp.o"
+  "CMakeFiles/exp_table1_filters.dir/exp_table1_filters.cpp.o.d"
+  "exp_table1_filters"
+  "exp_table1_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table1_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table6_omp_bug.dir/exp_table6_omp_bug.cpp.o"
+  "CMakeFiles/exp_table6_omp_bug.dir/exp_table6_omp_bug.cpp.o.d"
+  "exp_table6_omp_bug"
+  "exp_table6_omp_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table6_omp_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_table6_omp_bug.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table7_collective_deadlock.dir/exp_table7_collective_deadlock.cpp.o"
+  "CMakeFiles/exp_table7_collective_deadlock.dir/exp_table7_collective_deadlock.cpp.o.d"
+  "exp_table7_collective_deadlock"
+  "exp_table7_collective_deadlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table7_collective_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

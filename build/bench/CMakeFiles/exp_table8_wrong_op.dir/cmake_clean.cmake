@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table8_wrong_op.dir/exp_table8_wrong_op.cpp.o"
+  "CMakeFiles/exp_table8_wrong_op.dir/exp_table8_wrong_op.cpp.o.d"
+  "exp_table8_wrong_op"
+  "exp_table8_wrong_op.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table8_wrong_op.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_table8_wrong_op.
+# This may be replaced when dependencies are built.

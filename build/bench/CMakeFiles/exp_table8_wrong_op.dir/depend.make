@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_table8_wrong_op.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table9_lulesh.dir/exp_table9_lulesh.cpp.o"
+  "CMakeFiles/exp_table9_lulesh.dir/exp_table9_lulesh.cpp.o.d"
+  "exp_table9_lulesh"
+  "exp_table9_lulesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table9_lulesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

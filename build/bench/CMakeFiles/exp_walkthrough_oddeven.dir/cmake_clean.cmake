@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_walkthrough_oddeven.dir/exp_walkthrough_oddeven.cpp.o"
+  "CMakeFiles/exp_walkthrough_oddeven.dir/exp_walkthrough_oddeven.cpp.o.d"
+  "exp_walkthrough_oddeven"
+  "exp_walkthrough_oddeven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_walkthrough_oddeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_cluster.dir/perf_cluster.cpp.o"
+  "CMakeFiles/perf_cluster.dir/perf_cluster.cpp.o.d"
+  "perf_cluster"
+  "perf_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

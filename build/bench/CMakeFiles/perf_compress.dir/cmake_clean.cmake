@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_compress.dir/perf_compress.cpp.o"
+  "CMakeFiles/perf_compress.dir/perf_compress.cpp.o.d"
+  "perf_compress"
+  "perf_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

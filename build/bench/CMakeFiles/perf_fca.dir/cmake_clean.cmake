@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_fca.dir/perf_fca.cpp.o"
+  "CMakeFiles/perf_fca.dir/perf_fca.cpp.o.d"
+  "perf_fca"
+  "perf_fca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_fca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_nlr.dir/perf_nlr.cpp.o"
+  "CMakeFiles/perf_nlr.dir/perf_nlr.cpp.o.d"
+  "perf_nlr"
+  "perf_nlr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_nlr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

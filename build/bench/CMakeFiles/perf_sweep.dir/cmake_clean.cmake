@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_sweep.dir/perf_sweep.cpp.o"
+  "CMakeFiles/perf_sweep.dir/perf_sweep.cpp.o.d"
+  "perf_sweep"
+  "perf_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilcs_debugging.dir/ilcs_debugging.cpp.o"
+  "CMakeFiles/ilcs_debugging.dir/ilcs_debugging.cpp.o.d"
+  "ilcs_debugging"
+  "ilcs_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilcs_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

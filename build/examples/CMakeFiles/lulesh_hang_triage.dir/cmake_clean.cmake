@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lulesh_hang_triage.dir/lulesh_hang_triage.cpp.o"
+  "CMakeFiles/lulesh_hang_triage.dir/lulesh_hang_triage.cpp.o.d"
+  "lulesh_hang_triage"
+  "lulesh_hang_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lulesh_hang_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oddeven_walkthrough.dir/oddeven_walkthrough.cpp.o"
+  "CMakeFiles/oddeven_walkthrough.dir/oddeven_walkthrough.cpp.o.d"
+  "oddeven_walkthrough"
+  "oddeven_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oddeven_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/ilcs.cpp" "src/apps/CMakeFiles/difftrace_apps.dir/ilcs.cpp.o" "gcc" "src/apps/CMakeFiles/difftrace_apps.dir/ilcs.cpp.o.d"
+  "/root/repo/src/apps/lulesh.cpp" "src/apps/CMakeFiles/difftrace_apps.dir/lulesh.cpp.o" "gcc" "src/apps/CMakeFiles/difftrace_apps.dir/lulesh.cpp.o.d"
+  "/root/repo/src/apps/oddeven.cpp" "src/apps/CMakeFiles/difftrace_apps.dir/oddeven.cpp.o" "gcc" "src/apps/CMakeFiles/difftrace_apps.dir/oddeven.cpp.o.d"
+  "/root/repo/src/apps/runner.cpp" "src/apps/CMakeFiles/difftrace_apps.dir/runner.cpp.o" "gcc" "src/apps/CMakeFiles/difftrace_apps.dir/runner.cpp.o.d"
+  "/root/repo/src/apps/tsp.cpp" "src/apps/CMakeFiles/difftrace_apps.dir/tsp.cpp.o" "gcc" "src/apps/CMakeFiles/difftrace_apps.dir/tsp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simmpi/CMakeFiles/difftrace_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simomp/CMakeFiles/difftrace_simomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/difftrace_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/difftrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/difftrace_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/difftrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

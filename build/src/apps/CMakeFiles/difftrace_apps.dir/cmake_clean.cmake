@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difftrace_apps.dir/ilcs.cpp.o"
+  "CMakeFiles/difftrace_apps.dir/ilcs.cpp.o.d"
+  "CMakeFiles/difftrace_apps.dir/lulesh.cpp.o"
+  "CMakeFiles/difftrace_apps.dir/lulesh.cpp.o.d"
+  "CMakeFiles/difftrace_apps.dir/oddeven.cpp.o"
+  "CMakeFiles/difftrace_apps.dir/oddeven.cpp.o.d"
+  "CMakeFiles/difftrace_apps.dir/runner.cpp.o"
+  "CMakeFiles/difftrace_apps.dir/runner.cpp.o.d"
+  "CMakeFiles/difftrace_apps.dir/tsp.cpp.o"
+  "CMakeFiles/difftrace_apps.dir/tsp.cpp.o.d"
+  "libdifftrace_apps.a"
+  "libdifftrace_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difftrace_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

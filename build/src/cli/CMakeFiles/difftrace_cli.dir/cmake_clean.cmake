@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difftrace_cli.dir/args.cpp.o"
+  "CMakeFiles/difftrace_cli.dir/args.cpp.o.d"
+  "CMakeFiles/difftrace_cli.dir/commands.cpp.o"
+  "CMakeFiles/difftrace_cli.dir/commands.cpp.o.d"
+  "libdifftrace_cli.a"
+  "libdifftrace_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difftrace_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

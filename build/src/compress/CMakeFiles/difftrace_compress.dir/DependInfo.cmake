@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/codec.cpp" "src/compress/CMakeFiles/difftrace_compress.dir/codec.cpp.o" "gcc" "src/compress/CMakeFiles/difftrace_compress.dir/codec.cpp.o.d"
+  "/root/repo/src/compress/lz_codec.cpp" "src/compress/CMakeFiles/difftrace_compress.dir/lz_codec.cpp.o" "gcc" "src/compress/CMakeFiles/difftrace_compress.dir/lz_codec.cpp.o.d"
+  "/root/repo/src/compress/null_codec.cpp" "src/compress/CMakeFiles/difftrace_compress.dir/null_codec.cpp.o" "gcc" "src/compress/CMakeFiles/difftrace_compress.dir/null_codec.cpp.o.d"
+  "/root/repo/src/compress/parlot_codec.cpp" "src/compress/CMakeFiles/difftrace_compress.dir/parlot_codec.cpp.o" "gcc" "src/compress/CMakeFiles/difftrace_compress.dir/parlot_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/difftrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

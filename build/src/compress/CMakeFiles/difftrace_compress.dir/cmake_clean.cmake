@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difftrace_compress.dir/codec.cpp.o"
+  "CMakeFiles/difftrace_compress.dir/codec.cpp.o.d"
+  "CMakeFiles/difftrace_compress.dir/lz_codec.cpp.o"
+  "CMakeFiles/difftrace_compress.dir/lz_codec.cpp.o.d"
+  "CMakeFiles/difftrace_compress.dir/null_codec.cpp.o"
+  "CMakeFiles/difftrace_compress.dir/null_codec.cpp.o.d"
+  "CMakeFiles/difftrace_compress.dir/parlot_codec.cpp.o"
+  "CMakeFiles/difftrace_compress.dir/parlot_codec.cpp.o.d"
+  "libdifftrace_compress.a"
+  "libdifftrace_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difftrace_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attributes.cpp" "src/core/CMakeFiles/difftrace_core.dir/attributes.cpp.o" "gcc" "src/core/CMakeFiles/difftrace_core.dir/attributes.cpp.o.d"
+  "/root/repo/src/core/bscore.cpp" "src/core/CMakeFiles/difftrace_core.dir/bscore.cpp.o" "gcc" "src/core/CMakeFiles/difftrace_core.dir/bscore.cpp.o.d"
+  "/root/repo/src/core/diff.cpp" "src/core/CMakeFiles/difftrace_core.dir/diff.cpp.o" "gcc" "src/core/CMakeFiles/difftrace_core.dir/diff.cpp.o.d"
+  "/root/repo/src/core/diffnlr.cpp" "src/core/CMakeFiles/difftrace_core.dir/diffnlr.cpp.o" "gcc" "src/core/CMakeFiles/difftrace_core.dir/diffnlr.cpp.o.d"
+  "/root/repo/src/core/fca.cpp" "src/core/CMakeFiles/difftrace_core.dir/fca.cpp.o" "gcc" "src/core/CMakeFiles/difftrace_core.dir/fca.cpp.o.d"
+  "/root/repo/src/core/filter.cpp" "src/core/CMakeFiles/difftrace_core.dir/filter.cpp.o" "gcc" "src/core/CMakeFiles/difftrace_core.dir/filter.cpp.o.d"
+  "/root/repo/src/core/hclust.cpp" "src/core/CMakeFiles/difftrace_core.dir/hclust.cpp.o" "gcc" "src/core/CMakeFiles/difftrace_core.dir/hclust.cpp.o.d"
+  "/root/repo/src/core/jsm.cpp" "src/core/CMakeFiles/difftrace_core.dir/jsm.cpp.o" "gcc" "src/core/CMakeFiles/difftrace_core.dir/jsm.cpp.o.d"
+  "/root/repo/src/core/nlr.cpp" "src/core/CMakeFiles/difftrace_core.dir/nlr.cpp.o" "gcc" "src/core/CMakeFiles/difftrace_core.dir/nlr.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/difftrace_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/difftrace_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/difftrace_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/difftrace_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/triage.cpp" "src/core/CMakeFiles/difftrace_core.dir/triage.cpp.o" "gcc" "src/core/CMakeFiles/difftrace_core.dir/triage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/difftrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/difftrace_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/difftrace_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

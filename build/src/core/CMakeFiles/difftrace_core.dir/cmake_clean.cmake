@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difftrace_core.dir/attributes.cpp.o"
+  "CMakeFiles/difftrace_core.dir/attributes.cpp.o.d"
+  "CMakeFiles/difftrace_core.dir/bscore.cpp.o"
+  "CMakeFiles/difftrace_core.dir/bscore.cpp.o.d"
+  "CMakeFiles/difftrace_core.dir/diff.cpp.o"
+  "CMakeFiles/difftrace_core.dir/diff.cpp.o.d"
+  "CMakeFiles/difftrace_core.dir/diffnlr.cpp.o"
+  "CMakeFiles/difftrace_core.dir/diffnlr.cpp.o.d"
+  "CMakeFiles/difftrace_core.dir/fca.cpp.o"
+  "CMakeFiles/difftrace_core.dir/fca.cpp.o.d"
+  "CMakeFiles/difftrace_core.dir/filter.cpp.o"
+  "CMakeFiles/difftrace_core.dir/filter.cpp.o.d"
+  "CMakeFiles/difftrace_core.dir/hclust.cpp.o"
+  "CMakeFiles/difftrace_core.dir/hclust.cpp.o.d"
+  "CMakeFiles/difftrace_core.dir/jsm.cpp.o"
+  "CMakeFiles/difftrace_core.dir/jsm.cpp.o.d"
+  "CMakeFiles/difftrace_core.dir/nlr.cpp.o"
+  "CMakeFiles/difftrace_core.dir/nlr.cpp.o.d"
+  "CMakeFiles/difftrace_core.dir/pipeline.cpp.o"
+  "CMakeFiles/difftrace_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/difftrace_core.dir/report.cpp.o"
+  "CMakeFiles/difftrace_core.dir/report.cpp.o.d"
+  "CMakeFiles/difftrace_core.dir/triage.cpp.o"
+  "CMakeFiles/difftrace_core.dir/triage.cpp.o.d"
+  "libdifftrace_core.a"
+  "libdifftrace_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difftrace_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/instrument/tracer.cpp" "src/instrument/CMakeFiles/difftrace_instrument.dir/tracer.cpp.o" "gcc" "src/instrument/CMakeFiles/difftrace_instrument.dir/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/difftrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/difftrace_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/difftrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difftrace_instrument.dir/tracer.cpp.o"
+  "CMakeFiles/difftrace_instrument.dir/tracer.cpp.o.d"
+  "libdifftrace_instrument.a"
+  "libdifftrace_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difftrace_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difftrace_simmpi.dir/comm.cpp.o"
+  "CMakeFiles/difftrace_simmpi.dir/comm.cpp.o.d"
+  "CMakeFiles/difftrace_simmpi.dir/runtime.cpp.o"
+  "CMakeFiles/difftrace_simmpi.dir/runtime.cpp.o.d"
+  "CMakeFiles/difftrace_simmpi.dir/world.cpp.o"
+  "CMakeFiles/difftrace_simmpi.dir/world.cpp.o.d"
+  "libdifftrace_simmpi.a"
+  "libdifftrace_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difftrace_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

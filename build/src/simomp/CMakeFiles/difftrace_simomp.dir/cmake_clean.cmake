@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difftrace_simomp.dir/team.cpp.o"
+  "CMakeFiles/difftrace_simomp.dir/team.cpp.o.d"
+  "libdifftrace_simomp.a"
+  "libdifftrace_simomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difftrace_simomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

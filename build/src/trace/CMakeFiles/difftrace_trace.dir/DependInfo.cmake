@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/export.cpp" "src/trace/CMakeFiles/difftrace_trace.dir/export.cpp.o" "gcc" "src/trace/CMakeFiles/difftrace_trace.dir/export.cpp.o.d"
+  "/root/repo/src/trace/registry.cpp" "src/trace/CMakeFiles/difftrace_trace.dir/registry.cpp.o" "gcc" "src/trace/CMakeFiles/difftrace_trace.dir/registry.cpp.o.d"
+  "/root/repo/src/trace/store.cpp" "src/trace/CMakeFiles/difftrace_trace.dir/store.cpp.o" "gcc" "src/trace/CMakeFiles/difftrace_trace.dir/store.cpp.o.d"
+  "/root/repo/src/trace/writer.cpp" "src/trace/CMakeFiles/difftrace_trace.dir/writer.cpp.o" "gcc" "src/trace/CMakeFiles/difftrace_trace.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compress/CMakeFiles/difftrace_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/difftrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difftrace_trace.dir/export.cpp.o"
+  "CMakeFiles/difftrace_trace.dir/export.cpp.o.d"
+  "CMakeFiles/difftrace_trace.dir/registry.cpp.o"
+  "CMakeFiles/difftrace_trace.dir/registry.cpp.o.d"
+  "CMakeFiles/difftrace_trace.dir/store.cpp.o"
+  "CMakeFiles/difftrace_trace.dir/store.cpp.o.d"
+  "CMakeFiles/difftrace_trace.dir/writer.cpp.o"
+  "CMakeFiles/difftrace_trace.dir/writer.cpp.o.d"
+  "libdifftrace_trace.a"
+  "libdifftrace_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difftrace_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

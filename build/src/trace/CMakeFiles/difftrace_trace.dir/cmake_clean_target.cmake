@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdifftrace_trace.a"
+)

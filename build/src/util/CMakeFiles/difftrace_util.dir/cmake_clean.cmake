@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difftrace_util.dir/bitset.cpp.o"
+  "CMakeFiles/difftrace_util.dir/bitset.cpp.o.d"
+  "CMakeFiles/difftrace_util.dir/stats.cpp.o"
+  "CMakeFiles/difftrace_util.dir/stats.cpp.o.d"
+  "CMakeFiles/difftrace_util.dir/str.cpp.o"
+  "CMakeFiles/difftrace_util.dir/str.cpp.o.d"
+  "CMakeFiles/difftrace_util.dir/table.cpp.o"
+  "CMakeFiles/difftrace_util.dir/table.cpp.o.d"
+  "CMakeFiles/difftrace_util.dir/varint.cpp.o"
+  "CMakeFiles/difftrace_util.dir/varint.cpp.o.d"
+  "libdifftrace_util.a"
+  "libdifftrace_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difftrace_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bscore.dir/test_bscore.cpp.o"
+  "CMakeFiles/test_bscore.dir/test_bscore.cpp.o.d"
+  "test_bscore"
+  "test_bscore.pdb"
+  "test_bscore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bscore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diffnlr.dir/test_diffnlr.cpp.o"
+  "CMakeFiles/test_diffnlr.dir/test_diffnlr.cpp.o.d"
+  "test_diffnlr"
+  "test_diffnlr.pdb"
+  "test_diffnlr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diffnlr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

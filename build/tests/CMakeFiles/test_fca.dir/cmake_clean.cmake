@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fca.dir/test_fca.cpp.o"
+  "CMakeFiles/test_fca.dir/test_fca.cpp.o.d"
+  "test_fca"
+  "test_fca.pdb"
+  "test_fca[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hclust.dir/test_hclust.cpp.o"
+  "CMakeFiles/test_hclust.dir/test_hclust.cpp.o.d"
+  "test_hclust"
+  "test_hclust.pdb"
+  "test_hclust[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hclust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

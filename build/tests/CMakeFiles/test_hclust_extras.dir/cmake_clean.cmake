@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hclust_extras.dir/test_hclust_extras.cpp.o"
+  "CMakeFiles/test_hclust_extras.dir/test_hclust_extras.cpp.o.d"
+  "test_hclust_extras"
+  "test_hclust_extras.pdb"
+  "test_hclust_extras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hclust_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

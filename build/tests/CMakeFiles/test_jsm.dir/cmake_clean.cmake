@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jsm.dir/test_jsm.cpp.o"
+  "CMakeFiles/test_jsm.dir/test_jsm.cpp.o.d"
+  "test_jsm"
+  "test_jsm.pdb"
+  "test_jsm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

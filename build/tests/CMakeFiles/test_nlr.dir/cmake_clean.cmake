@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nlr.dir/test_nlr.cpp.o"
+  "CMakeFiles/test_nlr.dir/test_nlr.cpp.o.d"
+  "test_nlr"
+  "test_nlr.pdb"
+  "test_nlr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nlr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_triage.dir/test_triage.cpp.o"
+  "CMakeFiles/test_triage.dir/test_triage.cpp.o.d"
+  "test_triage"
+  "test_triage.pdb"
+  "test_triage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

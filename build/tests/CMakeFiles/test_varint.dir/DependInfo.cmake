@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_varint.cpp" "tests/CMakeFiles/test_varint.dir/test_varint.cpp.o" "gcc" "tests/CMakeFiles/test_varint.dir/test_varint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/difftrace_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/difftrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/difftrace_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/difftrace_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simomp/CMakeFiles/difftrace_simomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/difftrace_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/difftrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/difftrace_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/difftrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_varint[1]_include.cmake")
+include("/root/repo/build/tests/test_bitset[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_codec[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_tracer[1]_include.cmake")
+include("/root/repo/build/tests/test_simmpi[1]_include.cmake")
+include("/root/repo/build/tests/test_simmpi_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_simomp[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_filter[1]_include.cmake")
+include("/root/repo/build/tests/test_nlr[1]_include.cmake")
+include("/root/repo/build/tests/test_fca[1]_include.cmake")
+include("/root/repo/build/tests/test_attributes[1]_include.cmake")
+include("/root/repo/build/tests/test_jsm[1]_include.cmake")
+include("/root/repo/build/tests/test_hclust[1]_include.cmake")
+include("/root/repo/build/tests/test_hclust_extras[1]_include.cmake")
+include("/root/repo/build/tests/test_bscore[1]_include.cmake")
+include("/root/repo/build/tests/test_diff[1]_include.cmake")
+include("/root/repo/build/tests/test_diffnlr[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_export[1]_include.cmake")
+include("/root/repo/build/tests/test_triage[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difftrace_tool.dir/main.cpp.o"
+  "CMakeFiles/difftrace_tool.dir/main.cpp.o.d"
+  "difftrace"
+  "difftrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difftrace_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
