@@ -1,0 +1,112 @@
+// Resilient-ingestion overhead: v2 framed save/load against best-effort
+// salvage, and strict decode against the bounded decode_prefix path — the
+// checksummed container must not make healthy-path ingestion measurably
+// slower, and salvage of a damaged archive must stay linear in file size.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "trace/chaos.hpp"
+#include "trace/store.hpp"
+#include "util/prng.hpp"
+#include "util/varint.hpp"
+
+using namespace difftrace;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<compress::Symbol> loopy(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<compress::Symbol> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const auto body_len = 1 + rng.below(5);
+    const auto reps = 4 + rng.below(60);
+    std::vector<compress::Symbol> body;
+    for (std::size_t i = 0; i < body_len; ++i)
+      body.push_back(static_cast<compress::Symbol>(rng.below(512)));
+    for (std::size_t r = 0; r < reps && out.size() < n; ++r)
+      for (const auto s : body) out.push_back(s);
+  }
+  return out;
+}
+
+trace::TraceStore make_store(std::size_t traces, std::size_t events_per_trace) {
+  trace::TraceStore store;
+  for (std::size_t i = 0; i < 600; ++i)
+    store.registry().intern("fn" + std::to_string(i), trace::Image::Main);
+  for (std::size_t t = 0; t < traces; ++t) {
+    auto codec = compress::make_codec("parlot");
+    for (const auto s : loopy(events_per_trace, t + 1)) codec.encoder->push(s % 1200);
+    codec.encoder->flush();
+    trace::TraceBlob blob;
+    blob.codec_name = "parlot";
+    blob.bytes = codec.encoder->bytes();
+    blob.event_count = events_per_trace;
+    store.add_blob({static_cast<int>(t), 0}, std::move(blob));
+  }
+  return store;
+}
+
+fs::path bench_path() { return fs::temp_directory_path() / "difftrace_perf_salvage.dtr"; }
+
+void BM_SaveV2(benchmark::State& state) {
+  const auto store = make_store(16, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) store.save(bench_path());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0) * 16);
+}
+BENCHMARK(BM_SaveV2)->Arg(10'000)->Arg(100'000);
+
+void BM_LoadStrict(benchmark::State& state) {
+  make_store(16, static_cast<std::size_t>(state.range(0))).save(bench_path());
+  for (auto _ : state) {
+    auto store = trace::TraceStore::load(bench_path());
+    benchmark::DoNotOptimize(store);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0) * 16);
+}
+BENCHMARK(BM_LoadStrict)->Arg(10'000)->Arg(100'000);
+
+void BM_SalvageHealthy(benchmark::State& state) {
+  make_store(16, static_cast<std::size_t>(state.range(0))).save(bench_path());
+  for (auto _ : state) {
+    auto result = trace::TraceStore::salvage(bench_path());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0) * 16);
+}
+BENCHMARK(BM_SalvageHealthy)->Arg(10'000)->Arg(100'000);
+
+void BM_SalvageDamaged(benchmark::State& state) {
+  make_store(16, static_cast<std::size_t>(state.range(0))).save(bench_path());
+  const auto archive = trace::chaos_read_file(bench_path());
+  const auto mutated = trace::chaos_random(archive, 7);
+  trace::chaos_write_file(bench_path(), mutated.bytes);
+  std::size_t recovered = 0;
+  for (auto _ : state) {
+    auto result = trace::TraceStore::salvage(bench_path());
+    recovered = result.report.recovered;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["recovered"] = static_cast<double>(recovered);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0) * 16);
+}
+BENCHMARK(BM_SalvageDamaged)->Arg(10'000)->Arg(100'000);
+
+void BM_DecodePrefixVsStrict(benchmark::State& state) {
+  const auto input = loopy(static_cast<std::size_t>(state.range(0)), 9);
+  auto codec = compress::make_codec("parlot");
+  for (const auto s : input) codec.encoder->push(s);
+  codec.encoder->flush();
+  const auto bytes = codec.encoder->bytes();
+  for (auto _ : state) {
+    auto result = codec.decoder->decode_prefix(bytes, compress::kNoSymbolCap);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_DecodePrefixVsStrict)->Arg(100'000)->Arg(1'000'000);
+
+}  // namespace

@@ -12,6 +12,7 @@
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "core/triage.hpp"
+#include "trace/chaos.hpp"
 #include "trace/export.hpp"
 #include "util/str.hpp"
 #include "util/table.hpp"
@@ -98,11 +99,21 @@ std::vector<FilterSpec> filters_from(const Args& args) {
   return filters;
 }
 
-trace::TraceStore load_store(const std::string& path) {
+trace::TraceStore load_store(const std::string& path, std::ostream& out) {
   try {
     return trace::TraceStore::load(path);
   } catch (const std::exception& e) {
-    throw ArgError("cannot load trace store '" + path + "': " + e.what());
+    // Damaged archives are the expected input of a debugging tool (the jobs
+    // we trace get killed); fall back to salvage and analyze what survives
+    // rather than refusing. fsck gives the full per-blob report.
+    auto result = trace::TraceStore::salvage(path);
+    if (result.store.size() == 0)
+      throw ArgError("cannot load trace store '" + path + "': " + e.what());
+    out << "[salvage] '" << path << "' is damaged (" << e.what() << "); recovered "
+        << result.report.recovered << " intact and " << result.report.salvaged
+        << " partial blob(s), dropped " << result.report.dropped
+        << " — run 'difftrace fsck' for details\n";
+    return std::move(result.store);
   }
 }
 
@@ -180,6 +191,13 @@ commands:
   report NORMAL FAULTY [--filters SPEC,...] [--detail-filter SPEC]
          [--diffs N] [--side-by-side] [--threads N]
       one-shot artifact: triage + ranking + progress + top diffNLRs.
+  fsck STORE [--rescue FILE]
+      integrity-check an archive; prints a per-section salvage report and
+      exits non-zero if anything is damaged. --rescue writes the recovered
+      store (re-framed and re-checksummed) to FILE.
+  chaos STORE --out FILE [--seed N] [--fault {truncate|bitflip|dropblob|
+        freeze|random}]
+      write a deterministically corrupted copy of an archive (testing aid).
 
 filter SPEC: '+'-joined terms from {mpiall, mpicol, mpisr, mpiint, omp,
 ompcrit, ompmutex, mem, net, poll, string, all, cust=REGEX}; prefix terms
@@ -236,7 +254,7 @@ int cmd_collect(const Args& args, std::ostream& out) {
 }
 
 int cmd_info(const Args& args, std::ostream& out) {
-  const auto store = load_store(args.positional_at(1, "trace-store path"));
+  const auto store = load_store(args.positional_at(1, "trace-store path"), out);
   const auto stats = store.stats();
   out << "traces:             " << stats.trace_count << "\n";
   out << "events:             " << stats.total_events << "\n";
@@ -255,7 +273,7 @@ int cmd_info(const Args& args, std::ostream& out) {
 }
 
 int cmd_decode(const Args& args, std::ostream& out) {
-  const auto store = load_store(args.positional_at(1, "trace-store path"));
+  const auto store = load_store(args.positional_at(1, "trace-store path"), out);
   const auto key = parse_trace_key(args.required("trace"));
   const auto filter = parse_filter(args.get_or("filter", "all"));
   for (const auto& token : filter.apply(store, key)) out << token << "\n";
@@ -263,7 +281,7 @@ int cmd_decode(const Args& args, std::ostream& out) {
 }
 
 int cmd_nlr(const Args& args, std::ostream& out) {
-  const auto store = load_store(args.positional_at(1, "trace-store path"));
+  const auto store = load_store(args.positional_at(1, "trace-store path"), out);
   const auto key = parse_trace_key(args.required("trace"));
   const auto filter = parse_filter(args.get_or("filter", "all"));
   core::TokenTable tokens;
@@ -282,8 +300,8 @@ int cmd_nlr(const Args& args, std::ostream& out) {
 }
 
 int cmd_rank(const Args& args, std::ostream& out) {
-  const auto normal = load_store(args.positional_at(1, "normal trace store"));
-  const auto faulty = load_store(args.positional_at(2, "faulty trace store"));
+  const auto normal = load_store(args.positional_at(1, "normal trace store"), out);
+  const auto faulty = load_store(args.positional_at(2, "faulty trace store"), out);
   core::SweepConfig sweep;
   sweep.filters = filters_from(args);
   if (const auto attrs = args.get("attrs")) {
@@ -294,6 +312,8 @@ int cmd_rank(const Args& args, std::ostream& out) {
   sweep.pipeline.linkage = parse_linkage(args.get_or("linkage", "ward"));
   sweep.pipeline.top_n = static_cast<std::size_t>(args.int_or("top", 6));
   sweep.analysis_threads = static_cast<std::size_t>(args.int_or("threads", 1));
+  for (const auto& health : core::store_health(normal, faulty))
+    out << "[degraded] trace " << health.key.label() << ": " << health.note << "\n";
   const auto table = core::sweep(normal, faulty, sweep);
   out << table.render();
   out << "consensus suspicious trace:   " << table.consensus_thread() << "\n";
@@ -302,8 +322,8 @@ int cmd_rank(const Args& args, std::ostream& out) {
 }
 
 int cmd_diffnlr(const Args& args, std::ostream& out) {
-  const auto normal = load_store(args.positional_at(1, "normal trace store"));
-  const auto faulty = load_store(args.positional_at(2, "faulty trace store"));
+  const auto normal = load_store(args.positional_at(1, "normal trace store"), out);
+  const auto faulty = load_store(args.positional_at(2, "faulty trace store"), out);
   const auto key = parse_trace_key(args.required("trace"));
   const core::Session session(normal, faulty, parse_filter(args.get_or("filter", "mpiall")),
                               nlr_from(args));
@@ -317,8 +337,8 @@ int cmd_diffnlr(const Args& args, std::ostream& out) {
 }
 
 int cmd_progress(const Args& args, std::ostream& out) {
-  const auto normal = load_store(args.positional_at(1, "normal trace store"));
-  const auto faulty = load_store(args.positional_at(2, "faulty trace store"));
+  const auto normal = load_store(args.positional_at(1, "normal trace store"), out);
+  const auto faulty = load_store(args.positional_at(2, "faulty trace store"), out);
   const core::Session session(normal, faulty, parse_filter(args.get_or("filter", "mpiall")),
                               nlr_from(args));
   util::TextTable table({"Trace", "Progress ratio"});
@@ -335,7 +355,7 @@ int cmd_progress(const Args& args, std::ostream& out) {
 }
 
 int cmd_outliers(const Args& args, std::ostream& out) {
-  const auto store = load_store(args.positional_at(1, "trace-store path"));
+  const auto store = load_store(args.positional_at(1, "trace-store path"), out);
   const auto eval = core::evaluate_single_run(
       store, parse_filter(args.get_or("filter", "mpiall")),
       parse_attr(args.get_or("attr", "sing.actual")), nlr_from(args),
@@ -351,8 +371,8 @@ int cmd_outliers(const Args& args, std::ostream& out) {
 }
 
 int cmd_report(const Args& args, std::ostream& out) {
-  const auto normal = load_store(args.positional_at(1, "normal trace store"));
-  const auto faulty = load_store(args.positional_at(2, "faulty trace store"));
+  const auto normal = load_store(args.positional_at(1, "normal trace store"), out);
+  const auto faulty = load_store(args.positional_at(2, "faulty trace store"), out);
   core::ReportConfig config;
   config.sweep.filters = filters_from(args);
   config.sweep.pipeline.nlr = nlr_from(args);
@@ -365,8 +385,8 @@ int cmd_report(const Args& args, std::ostream& out) {
 }
 
 int cmd_triage(const Args& args, std::ostream& out) {
-  const auto normal = load_store(args.positional_at(1, "normal trace store"));
-  const auto faulty = load_store(args.positional_at(2, "faulty trace store"));
+  const auto normal = load_store(args.positional_at(1, "normal trace store"), out);
+  const auto faulty = load_store(args.positional_at(2, "faulty trace store"), out);
   const auto report = core::triage(normal, faulty, parse_filter(args.get_or("filter", "mpiall")),
                                    nlr_from(args));
   out << report.render();
@@ -374,7 +394,7 @@ int cmd_triage(const Args& args, std::ostream& out) {
 }
 
 int cmd_export(const Args& args, std::ostream& out) {
-  const auto store = load_store(args.positional_at(1, "trace-store path"));
+  const auto store = load_store(args.positional_at(1, "trace-store path"), out);
   const auto format_name = args.get_or("format", "csv");
   trace::ExportFormat format;
   if (format_name == "csv")
@@ -392,6 +412,58 @@ int cmd_export(const Args& args, std::ostream& out) {
   } else {
     trace::export_store(store, out, format);
   }
+  return 0;
+}
+
+int cmd_fsck(const Args& args, std::ostream& out) {
+  const auto path = args.positional_at(1, "trace-store path");
+  trace::SalvageResult result;
+  try {
+    result = trace::TraceStore::salvage(path);
+  } catch (const std::exception& e) {
+    // salvage only throws on I/O problems (missing/unreadable file).
+    throw ArgError("cannot read '" + path + "': " + e.what());
+  }
+  out << "fsck " << path << "\n" << result.report.render();
+  if (const auto rescue = args.get("rescue")) {
+    result.store.save(*rescue);
+    out << "rescued store written to " << *rescue << " (" << result.store.size() << " trace(s))\n";
+  }
+  return result.report.ok() ? 0 : 1;
+}
+
+int cmd_chaos(const Args& args, std::ostream& out) {
+  const auto path = args.positional_at(1, "trace-store path");
+  const auto out_path = args.required("out");
+  const auto seed = static_cast<std::uint64_t>(args.int_or("seed", 1));
+  const auto fault_name = args.get_or("fault", "random");
+
+  std::vector<std::uint8_t> archive;
+  try {
+    archive = trace::chaos_read_file(path);
+  } catch (const std::exception& e) {
+    throw ArgError("cannot read '" + path + "': " + e.what());
+  }
+
+  trace::ChaosResult result;
+  if (fault_name == "random")
+    result = trace::chaos_random(archive, seed);
+  else if (fault_name == "truncate")
+    result = trace::chaos_inject(archive, trace::ChaosFault::Truncate, seed);
+  else if (fault_name == "bitflip")
+    result = trace::chaos_inject(archive, trace::ChaosFault::BitFlip, seed);
+  else if (fault_name == "dropblob")
+    result = trace::chaos_inject(archive, trace::ChaosFault::DropBlob, seed);
+  else if (fault_name == "freeze")
+    result = trace::chaos_inject(archive, trace::ChaosFault::FreezeMidFlush, seed);
+  else
+    throw ArgError("unknown fault '" + fault_name +
+                   "' (truncate, bitflip, dropblob, freeze, random)");
+
+  trace::chaos_write_file(out_path, result.bytes);
+  out << "injected " << trace::chaos_fault_name(result.fault) << " (seed " << seed << "): "
+      << result.description << "\n";
+  out << archive.size() << " -> " << result.bytes.size() << " bytes written to " << out_path << "\n";
   return 0;
 }
 
@@ -414,6 +486,8 @@ int run_command(const std::vector<std::string>& argv, std::ostream& out, std::os
     if (command == "export") return cmd_export(args, out);
     if (command == "triage") return cmd_triage(args, out);
     if (command == "report") return cmd_report(args, out);
+    if (command == "fsck") return cmd_fsck(args, out);
+    if (command == "chaos") return cmd_chaos(args, out);
     throw ArgError("unknown command '" + command + "' (see 'difftrace help')");
   } catch (const ArgError& e) {
     err << "error: " << e.what() << "\n";

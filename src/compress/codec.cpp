@@ -4,6 +4,12 @@
 
 namespace difftrace::compress {
 
+std::vector<Symbol> SymbolDecoder::decode(std::span<const std::uint8_t> data) const {
+  auto result = decode_prefix(data, kNoSymbolCap);
+  if (!result.complete) throw std::runtime_error(result.error);
+  return std::move(result.symbols);
+}
+
 Codec make_parlot_codec();
 Codec make_lz78_codec();
 Codec make_null_codec();

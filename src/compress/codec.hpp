@@ -46,6 +46,25 @@ class SymbolEncoder {
   [[nodiscard]] virtual std::uint64_t symbol_count() const noexcept = 0;
 };
 
+/// Cap on symbols produced by a bounded decode. Guards against corrupt
+/// run-length / phrase fields that would otherwise expand a few flipped bits
+/// into gigabytes of output (a decode-bomb hang). Trusted paths pass
+/// kNoSymbolCap.
+inline constexpr std::uint64_t kDefaultSymbolCap = std::uint64_t{1} << 24;
+inline constexpr std::uint64_t kNoSymbolCap = ~std::uint64_t{0};
+
+/// Result of a bounded best-effort decode (see SymbolDecoder::decode_prefix).
+struct PrefixDecode {
+  std::vector<Symbol> symbols;
+  /// Bytes consumed through the last fully-decoded record. Always <= the
+  /// input size; the suffix [consumed, size) is the unreadable tail.
+  std::size_t consumed = 0;
+  /// True when the whole buffer decoded cleanly (and the cap was not hit).
+  bool complete = false;
+  /// Why decoding stopped, when !complete.
+  std::string error;
+};
+
 /// One-shot decoder matching a codec's encoder output.
 class SymbolDecoder {
  public:
@@ -53,7 +72,16 @@ class SymbolDecoder {
 
   /// Decodes an entire encoded buffer (as produced by flush()). Throws
   /// std::runtime_error on malformed input.
-  [[nodiscard]] virtual std::vector<Symbol> decode(std::span<const std::uint8_t> data) const = 0;
+  [[nodiscard]] std::vector<Symbol> decode(std::span<const std::uint8_t> data) const;
+
+  /// Best-effort bounded decode: consumes records until the buffer ends, a
+  /// record is malformed/truncated, or `max_symbols` would be exceeded —
+  /// then stops cleanly at the last valid record boundary instead of
+  /// throwing or over-reading. Since every encoder flush ends on a record
+  /// boundary, a stream truncated mid-flush salvages everything up to the
+  /// last complete record (ParLOT's crash-survivability property).
+  [[nodiscard]] virtual PrefixDecode decode_prefix(std::span<const std::uint8_t> data,
+                                                   std::uint64_t max_symbols = kDefaultSymbolCap) const = 0;
 };
 
 struct Codec {

@@ -1,6 +1,7 @@
 #include "compress/lz_codec.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "util/varint.hpp"
 
@@ -27,33 +28,58 @@ void Lz78Encoder::flush() {
   }
 }
 
-std::vector<Symbol> Lz78Decoder::decode(std::span<const std::uint8_t> data) const {
+PrefixDecode Lz78Decoder::decode_prefix(std::span<const std::uint8_t> data,
+                                        std::uint64_t max_symbols) const {
+  PrefixDecode result;
   // phrases[i] = (parent phrase, symbol); index 0 is the empty phrase.
   std::vector<std::pair<std::uint64_t, Symbol>> phrases = {{0, 0}};
-  std::vector<Symbol> out;
   std::vector<Symbol> scratch;
-  const auto expand = [&](std::uint64_t index) {
+  // Expands `index` into scratch (in reverse); empty optional on a dangling
+  // phrase reference. Parent indices are always smaller than the phrase's
+  // own index, so the chain walk terminates.
+  const auto expand = [&](std::uint64_t index) -> bool {
     scratch.clear();
     while (index != 0) {
-      if (index >= phrases.size()) throw std::runtime_error("lz78 decode: phrase index out of range");
+      if (index >= phrases.size()) return false;
       scratch.push_back(phrases[index].second);
       index = phrases[index].first;
     }
-    out.insert(out.end(), scratch.rbegin(), scratch.rend());
+    return true;
   };
 
   std::size_t pos = 0;
   while (pos < data.size()) {
-    const std::uint64_t phrase = util::get_varint(data, pos);
-    const std::uint64_t literal = util::get_varint(data, pos);
-    expand(phrase);
+    const std::size_t record_start = pos;
+    std::uint64_t phrase = 0;
+    std::uint64_t literal = 0;
+    try {
+      phrase = util::get_varint(data, pos);
+      literal = util::get_varint(data, pos);
+    } catch (const std::exception&) {
+      result.consumed = record_start;
+      result.error = "lz78 decode: truncated record at byte " + std::to_string(record_start);
+      return result;
+    }
+    if (!expand(phrase)) {
+      result.consumed = record_start;
+      result.error = "lz78 decode: phrase index out of range (byte " + std::to_string(record_start) + ")";
+      return result;
+    }
+    if (result.symbols.size() + scratch.size() + (literal != 0 ? 1 : 0) > max_symbols) {
+      result.consumed = record_start;
+      result.error = "lz78 decode: symbol cap exceeded at byte " + std::to_string(record_start);
+      return result;
+    }
+    result.symbols.insert(result.symbols.end(), scratch.rbegin(), scratch.rend());
     if (literal != 0) {
       const auto sym = static_cast<Symbol>(literal - 1);
-      out.push_back(sym);
+      result.symbols.push_back(sym);
       phrases.emplace_back(phrase, sym);
     }
+    result.consumed = pos;
   }
-  return out;
+  result.complete = true;
+  return result;
 }
 
 Codec make_lz78_codec() {

@@ -34,7 +34,8 @@ class Lz78Encoder final : public SymbolEncoder {
 
 class Lz78Decoder final : public SymbolDecoder {
  public:
-  [[nodiscard]] std::vector<Symbol> decode(std::span<const std::uint8_t> data) const override;
+  [[nodiscard]] PrefixDecode decode_prefix(std::span<const std::uint8_t> data,
+                                           std::uint64_t max_symbols) const override;
 };
 
 }  // namespace difftrace::compress

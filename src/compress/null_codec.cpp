@@ -1,5 +1,8 @@
 #include "compress/null_codec.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "util/varint.hpp"
 
 namespace difftrace::compress {
@@ -9,11 +12,28 @@ void NullEncoder::push(Symbol sym) {
   util::put_varint(out_, sym);
 }
 
-std::vector<Symbol> NullDecoder::decode(std::span<const std::uint8_t> data) const {
-  std::vector<Symbol> out;
+PrefixDecode NullDecoder::decode_prefix(std::span<const std::uint8_t> data,
+                                        std::uint64_t max_symbols) const {
+  PrefixDecode result;
   std::size_t pos = 0;
-  while (pos < data.size()) out.push_back(static_cast<Symbol>(util::get_varint(data, pos)));
-  return out;
+  while (pos < data.size()) {
+    const std::size_t record_start = pos;
+    if (result.symbols.size() + 1 > max_symbols) {
+      result.consumed = record_start;
+      result.error = "null decode: symbol cap exceeded at byte " + std::to_string(record_start);
+      return result;
+    }
+    try {
+      result.symbols.push_back(static_cast<Symbol>(util::get_varint(data, pos)));
+    } catch (const std::exception&) {
+      result.consumed = record_start;
+      result.error = "null decode: truncated varint at byte " + std::to_string(record_start);
+      return result;
+    }
+    result.consumed = pos;
+  }
+  result.complete = true;
+  return result;
 }
 
 Codec make_null_codec() {

@@ -24,7 +24,8 @@ class NullEncoder final : public SymbolEncoder {
 
 class NullDecoder final : public SymbolDecoder {
  public:
-  [[nodiscard]] std::vector<Symbol> decode(std::span<const std::uint8_t> data) const override;
+  [[nodiscard]] PrefixDecode decode_prefix(std::span<const std::uint8_t> data,
+                                           std::uint64_t max_symbols) const override;
 };
 
 }  // namespace difftrace::compress

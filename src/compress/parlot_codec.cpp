@@ -1,6 +1,7 @@
 #include "compress/parlot_codec.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "util/varint.hpp"
 
@@ -48,27 +49,52 @@ void ParlotEncoder::flush() {
   }
 }
 
-std::vector<Symbol> ParlotDecoder::decode(std::span<const std::uint8_t> data) const {
-  std::vector<Symbol> out;
+PrefixDecode ParlotDecoder::decode_prefix(std::span<const std::uint8_t> data,
+                                          std::uint64_t max_symbols) const {
+  PrefixDecode result;
   detail::Order2Predictor predictor;
   std::size_t pos = 0;
   while (pos < data.size()) {
-    const std::uint64_t run = util::get_varint(data, pos);
-    const std::uint64_t literal = util::get_varint(data, pos);
+    const std::size_t record_start = pos;
+    std::uint64_t run = 0;
+    std::uint64_t literal = 0;
+    try {
+      run = util::get_varint(data, pos);
+      literal = util::get_varint(data, pos);
+    } catch (const std::exception&) {
+      result.consumed = record_start;
+      result.error = "parlot decode: truncated record at byte " + std::to_string(record_start);
+      return result;
+    }
+    if (result.symbols.size() + run + (literal != 0 ? 1 : 0) > max_symbols) {
+      result.consumed = record_start;
+      result.error = "parlot decode: symbol cap exceeded at byte " + std::to_string(record_start);
+      return result;
+    }
     for (std::uint64_t i = 0; i < run; ++i) {
       Symbol guess = 0;
-      if (!predictor.predict(guess))
-        throw std::runtime_error("parlot decode: run claimed where predictor has no prediction");
-      out.push_back(guess);
+      if (!predictor.predict(guess)) {
+        // A hit run can only replay symbols the predictor can reproduce; a
+        // failed mid-run prediction means the run length is corrupt. The
+        // partially-replayed run is discarded (roll back to record_start).
+        result.symbols.resize(result.symbols.size() - i);
+        result.consumed = record_start;
+        result.error = "parlot decode: run claimed where predictor has no prediction (byte " +
+                       std::to_string(record_start) + ")";
+        return result;
+      }
+      result.symbols.push_back(guess);
       predictor.update(guess);
     }
     if (literal != 0) {
       const auto sym = static_cast<Symbol>(literal - 1);
-      out.push_back(sym);
+      result.symbols.push_back(sym);
       predictor.update(sym);
     }
+    result.consumed = pos;
   }
-  return out;
+  result.complete = true;
+  return result;
 }
 
 Codec make_parlot_codec() {

@@ -64,7 +64,8 @@ class ParlotEncoder final : public SymbolEncoder {
 
 class ParlotDecoder final : public SymbolDecoder {
  public:
-  [[nodiscard]] std::vector<Symbol> decode(std::span<const std::uint8_t> data) const override;
+  [[nodiscard]] PrefixDecode decode_prefix(std::span<const std::uint8_t> data,
+                                           std::uint64_t max_symbols) const override;
 };
 
 }  // namespace difftrace::compress

@@ -128,7 +128,11 @@ std::vector<std::string> FilterSpec::apply(const std::vector<trace::TraceEvent>&
 }
 
 std::vector<std::string> FilterSpec::apply(const trace::TraceStore& store, trace::TraceKey key) const {
-  return apply(store.decode(key), store.registry());
+  // Tolerant decode: a salvaged or tail-corrupt blob contributes its clean
+  // prefix (the ParLOT killed-job property) instead of aborting the
+  // analysis. Callers that must distinguish degraded traces use
+  // decode_tolerant directly (see core::Session).
+  return apply(store.decode_tolerant(key).events, store.registry());
 }
 
 FilterSpec FilterSpec::mpi_all() { return FilterSpec{}.keep(Category::MpiAll); }

@@ -19,22 +19,75 @@ namespace difftrace::core {
 Session::Session(const trace::TraceStore& normal, const trace::TraceStore& faulty, FilterSpec filter,
                  NlrConfig nlr_config)
     : filter_(std::move(filter)), nlr_config_(nlr_config) {
-  const auto normal_keys = normal.keys();
-  for (const auto& key : normal_keys)
-    if (faulty.contains(key)) traces_.push_back(key);
+  // Union of both runs' keys: analyzable traces (present in both) keep their
+  // JSM row; one-sided traces are recorded as dropped, never silently lost.
+  for (const auto& key : normal.keys()) {
+    if (faulty.contains(key))
+      traces_.push_back(key);
+    else
+      dropped_.push_back({key, true, "missing in faulty run"});
+  }
+  for (const auto& key : faulty.keys())
+    if (!normal.contains(key)) dropped_.push_back({key, true, "missing in normal run"});
+
+  // Decode tolerantly: salvaged or tail-corrupt blobs contribute their clean
+  // prefix and flag the trace as degraded instead of aborting the session.
+  health_.reserve(traces_.size());
+  std::vector<trace::TraceStore::DecodedTrace> normal_events;
+  std::vector<trace::TraceStore::DecodedTrace> faulty_events;
+  normal_events.reserve(traces_.size());
+  faulty_events.reserve(traces_.size());
+  for (const auto& key : traces_) {
+    normal_events.push_back(normal.decode_tolerant(key));
+    faulty_events.push_back(faulty.decode_tolerant(key));
+    TraceHealth h{key, false, ""};
+    const auto& n = normal_events.back();
+    const auto& f = faulty_events.back();
+    if (!n.complete || !f.complete) {
+      h.degraded = true;
+      if (!n.complete) h.note = "normal run: " + n.note;
+      if (!f.complete) h.note += (h.note.empty() ? "" : "; ") + ("faulty run: " + f.note);
+    }
+    health_.push_back(std::move(h));
+  }
 
   // Normal run first, then faulty: formation-order interning makes loop ids
   // deterministic, and the normal run primes the table (§III-A heuristic).
   normal_.reserve(traces_.size());
   faulty_.reserve(traces_.size());
-  for (const auto& key : traces_) {
-    const auto ids = tokens_.intern_all(filter_.apply(normal, key));
+  for (std::size_t i = 0; i < traces_.size(); ++i) {
+    const auto ids = tokens_.intern_all(filter_.apply(normal_events[i].events, normal.registry()));
     normal_.push_back(build_nlr(ids, loops_, nlr_config_));
   }
-  for (const auto& key : traces_) {
-    const auto ids = tokens_.intern_all(filter_.apply(faulty, key));
+  for (std::size_t i = 0; i < traces_.size(); ++i) {
+    const auto ids = tokens_.intern_all(filter_.apply(faulty_events[i].events, faulty.registry()));
     faulty_.push_back(build_nlr(ids, loops_, nlr_config_));
   }
+}
+
+bool Session::any_degraded() const noexcept {
+  if (!dropped_.empty()) return true;
+  return std::any_of(health_.begin(), health_.end(),
+                     [](const TraceHealth& h) { return h.degraded; });
+}
+
+std::vector<TraceHealth> store_health(const trace::TraceStore& normal,
+                                      const trace::TraceStore& faulty) {
+  std::vector<TraceHealth> out;
+  for (const auto& key : normal.keys()) {
+    if (!faulty.contains(key)) {
+      out.push_back({key, true, "missing in faulty run"});
+      continue;
+    }
+    std::string note;
+    if (normal.blob(key).salvaged) note = "normal run: salvaged blob";
+    if (faulty.blob(key).salvaged)
+      note += (note.empty() ? "" : "; ") + std::string("faulty run: salvaged blob");
+    if (!note.empty()) out.push_back({key, true, std::move(note)});
+  }
+  for (const auto& key : faulty.keys())
+    if (!normal.contains(key)) out.push_back({key, true, "missing in normal run"});
+  return out;
 }
 
 std::size_t Session::index_of(trace::TraceKey key) const {

@@ -36,6 +36,17 @@ struct PipelineConfig {
   double threshold_sigmas = 1.0;
 };
 
+/// Why (and how) a trace participates in the analysis at reduced fidelity.
+/// Degraded-mode contract: the JSM/ranking/progress stages run on whatever
+/// survives ingestion, but every trace that is missing, salvaged, or only
+/// partially decodable is flagged here so suspicion scores are never
+/// silently computed over a different population than the reader assumes.
+struct TraceHealth {
+  trace::TraceKey key;
+  bool degraded = false;  // analyzable, but one side is salvaged/short
+  std::string note;       // human-readable reason, empty when healthy
+};
+
 /// Filter-dependent state shared by all attribute configurations.
 class Session {
  public:
@@ -46,6 +57,12 @@ class Session {
   [[nodiscard]] const NlrConfig& nlr_config() const noexcept { return nlr_config_; }
   /// Traces present in both runs, in TraceKey order — the JSM row order.
   [[nodiscard]] const std::vector<trace::TraceKey>& traces() const noexcept { return traces_; }
+  /// Per-trace ingestion health, parallel to traces().
+  [[nodiscard]] const std::vector<TraceHealth>& health() const noexcept { return health_; }
+  [[nodiscard]] bool degraded(std::size_t i) const { return health_.at(i).degraded; }
+  /// Traces present in only one run (dropped from the analysis) + reason.
+  [[nodiscard]] const std::vector<TraceHealth>& dropped() const noexcept { return dropped_; }
+  [[nodiscard]] bool any_degraded() const noexcept;
   [[nodiscard]] const TokenTable& tokens() const noexcept { return tokens_; }
   [[nodiscard]] const LoopTable& loops() const noexcept { return loops_; }
   [[nodiscard]] const NlrProgram& normal_nlr(std::size_t i) const { return normal_.at(i); }
@@ -75,11 +92,19 @@ class Session {
   FilterSpec filter_;
   NlrConfig nlr_config_;
   std::vector<trace::TraceKey> traces_;
+  std::vector<TraceHealth> health_;
+  std::vector<TraceHealth> dropped_;
   TokenTable tokens_;
   LoopTable loops_;
   std::vector<NlrProgram> normal_;
   std::vector<NlrProgram> faulty_;
 };
+
+/// Cheap (no-decode) ingestion health check of a normal/faulty store pair:
+/// flags keys missing from one run and blobs marked salvaged. Used by the
+/// CLI to warn before a sweep; Session computes the decode-accurate version.
+[[nodiscard]] std::vector<TraceHealth> store_health(const trace::TraceStore& normal,
+                                                    const trace::TraceStore& faulty);
 
 /// One (filter × attribute) analysis outcome.
 struct Evaluation {

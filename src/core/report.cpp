@@ -52,8 +52,24 @@ Report build_report(const trace::TraceStore& normal, const trace::TraceStore& fa
   if (!consensus.empty()) os << "consensus suspicious trace: " << consensus << "\n";
   os << '\n';
 
-  // 3. Progress view under the detail filter.
+  // 3. Ingestion health under the detail filter: which traces the analysis
+  // above did NOT see at full fidelity.
   const Session session(normal, faulty, config.detail_filter, config.sweep.pipeline.nlr);
+  for (const auto& d : session.dropped()) report.degraded.push_back(d);
+  for (const auto& h : session.health())
+    if (h.degraded) report.degraded.push_back(h);
+  if (!report.degraded.empty()) {
+    os << "--- trace health (" << report.degraded.size() << " degraded/dropped) ---\n";
+    util::TextTable health_table({"Trace", "Status", "Detail"});
+    for (const auto& d : session.dropped()) health_table.add_row({d.key.label(), "dropped", d.note});
+    for (const auto& h : session.health())
+      if (h.degraded) health_table.add_row({h.key.label(), "degraded", h.note});
+    os << health_table.render();
+    os << "scores above are computed over the " << session.traces().size()
+       << " analyzable trace(s) only\n\n";
+  }
+
+  // 4. Progress view under the detail filter.
   if (!session.traces().empty()) {
     const auto ratios = session.progress_ratios();
     const auto least = session.least_progressed();
@@ -66,7 +82,7 @@ Report build_report(const trace::TraceStore& normal, const trace::TraceStore& fa
     os << truncated << " of " << session.traces().size() << " faulty traces watchdog-truncated\n\n";
   }
 
-  // 4. diffNLRs of the top suspects (triage focus first if unranked).
+  // 5. diffNLRs of the top suspects (triage focus first if unranked).
   for (const auto& label : voted_suspects(report.ranking)) {
     if (report.suspects.size() >= config.diffnlr_count) break;
     report.suspects.push_back(parse_label(label));

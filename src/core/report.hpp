@@ -26,6 +26,11 @@ struct Report {
   TriageReport triage;
   RankingTable ranking;
   std::vector<trace::TraceKey> suspects;  // descending vote order
+  /// Ingestion problems: traces dropped (present in one run only) or
+  /// analyzed degraded (salvaged / partially decodable blobs). Empty for a
+  /// healthy pair; rendered as its own report section otherwise, so the
+  /// ranking is never read as covering traces it silently lost.
+  std::vector<TraceHealth> degraded;
   std::string text;                       // the rendered artifact
 };
 

@@ -1,0 +1,157 @@
+#include "trace/chaos.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace difftrace::trace {
+
+namespace {
+
+// Mirrors the v2 layout constants in store.cpp (kept private there; the
+// chaos harness reads frames only to pick realistic mutation sites, and
+// must keep working even if handed a non-archive byte soup).
+constexpr std::uint32_t kFrameSync = 0xD1FFC0DEu;
+constexpr std::uint8_t kTagBlob = 2;
+constexpr std::size_t kHeaderBytes = 8;
+constexpr std::size_t kFrameHeaderBytes = 13;
+
+std::uint32_t read_u32(std::span<const std::uint8_t> in, std::size_t pos) {
+  return static_cast<std::uint32_t>(in[pos]) | static_cast<std::uint32_t>(in[pos + 1]) << 8 |
+         static_cast<std::uint32_t>(in[pos + 2]) << 16 | static_cast<std::uint32_t>(in[pos + 3]) << 24;
+}
+
+struct FrameRef {
+  std::size_t offset = 0;   // frame start (sync marker)
+  std::size_t end = 0;      // one past the payload
+  std::uint8_t tag = 0;
+};
+
+/// Walks a well-formed v2 archive's frames; returns empty for anything else.
+std::vector<FrameRef> scan_frames(std::span<const std::uint8_t> buf) {
+  std::vector<FrameRef> frames;
+  if (buf.size() < kHeaderBytes || buf[0] != 'D' || buf[1] != 'T' || buf[2] != 'R' || buf[3] != '2')
+    return frames;
+  std::size_t pos = kHeaderBytes;
+  while (buf.size() - pos >= kFrameHeaderBytes) {
+    if (read_u32(buf, pos) != kFrameSync) break;
+    const auto len = read_u32(buf, pos + 9);
+    if (len > buf.size() - pos - kFrameHeaderBytes) break;
+    frames.push_back({pos, pos + kFrameHeaderBytes + len, buf[pos + 4]});
+    pos = frames.back().end;
+  }
+  return frames;
+}
+
+std::vector<FrameRef> blob_frames(std::span<const std::uint8_t> buf) {
+  auto frames = scan_frames(buf);
+  std::erase_if(frames, [](const FrameRef& f) { return f.tag != kTagBlob; });
+  return frames;
+}
+
+}  // namespace
+
+std::string_view chaos_fault_name(ChaosFault fault) noexcept {
+  switch (fault) {
+    case ChaosFault::Truncate: return "truncate";
+    case ChaosFault::BitFlip: return "bitflip";
+    case ChaosFault::DropBlob: return "dropblob";
+    case ChaosFault::FreezeMidFlush: return "freeze";
+  }
+  return "?";
+}
+
+ChaosResult chaos_truncate(std::span<const std::uint8_t> archive, std::size_t at) {
+  ChaosResult result;
+  result.fault = ChaosFault::Truncate;
+  at = std::min(at, archive.size());
+  result.bytes.assign(archive.begin(), archive.begin() + static_cast<std::ptrdiff_t>(at));
+  result.description = "truncated to " + std::to_string(at) + " of " +
+                       std::to_string(archive.size()) + " bytes";
+  return result;
+}
+
+ChaosResult chaos_bit_flip(std::span<const std::uint8_t> archive, std::uint64_t bit) {
+  ChaosResult result;
+  result.fault = ChaosFault::BitFlip;
+  result.bytes.assign(archive.begin(), archive.end());
+  if (archive.empty()) {
+    result.description = "bit flip skipped: empty archive";
+    return result;
+  }
+  bit %= archive.size() * 8;
+  result.bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  result.description = "flipped bit " + std::to_string(bit % 8) + " of byte " +
+                       std::to_string(bit / 8);
+  return result;
+}
+
+ChaosResult chaos_drop_blob(std::span<const std::uint8_t> archive, std::size_t index) {
+  const auto blobs = blob_frames(archive);
+  if (blobs.empty()) return chaos_truncate(archive, archive.size() / 2);
+  const auto& frame = blobs[index % blobs.size()];
+  ChaosResult result;
+  result.fault = ChaosFault::DropBlob;
+  result.bytes.assign(archive.begin(), archive.begin() + static_cast<std::ptrdiff_t>(frame.offset));
+  result.bytes.insert(result.bytes.end(), archive.begin() + static_cast<std::ptrdiff_t>(frame.end),
+                      archive.end());
+  result.description = "dropped blob frame " + std::to_string(index % blobs.size()) + " (bytes " +
+                       std::to_string(frame.offset) + ".." + std::to_string(frame.end) + ")";
+  return result;
+}
+
+ChaosResult chaos_freeze_mid_flush(std::span<const std::uint8_t> archive, std::uint64_t seed) {
+  const auto blobs = blob_frames(archive);
+  if (blobs.empty()) return chaos_truncate(archive, archive.size() / 2);
+  const auto& last = blobs.back();
+  // Cut strictly inside the payload, after the frame header: the on-disk
+  // state of a writer that died between flush and a complete frame write.
+  const auto payload_at = last.offset + kFrameHeaderBytes;
+  util::Xoshiro256 rng(seed);
+  const auto span = last.end - payload_at;
+  const auto cut = payload_at + (span > 1 ? 1 + rng.below(span - 1) : 0);
+  auto result = chaos_truncate(archive, cut);
+  result.fault = ChaosFault::FreezeMidFlush;
+  result.description = "froze writer mid-flush: archive ends " + std::to_string(last.end - cut) +
+                       " byte(s) into the final blob frame's stream";
+  return result;
+}
+
+ChaosResult chaos_inject(std::span<const std::uint8_t> archive, ChaosFault fault,
+                         std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  switch (fault) {
+    case ChaosFault::Truncate:
+      return chaos_truncate(archive, archive.empty() ? 0 : rng.below(archive.size()));
+    case ChaosFault::BitFlip:
+      return chaos_bit_flip(archive, rng());
+    case ChaosFault::DropBlob:
+      return chaos_drop_blob(archive, static_cast<std::size_t>(rng()));
+    case ChaosFault::FreezeMidFlush:
+      return chaos_freeze_mid_flush(archive, rng());
+  }
+  throw std::invalid_argument("chaos_inject: unknown fault kind");
+}
+
+ChaosResult chaos_random(std::span<const std::uint8_t> archive, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const auto fault = static_cast<ChaosFault>(rng.below(4));
+  return chaos_inject(archive, fault, rng());
+}
+
+std::vector<std::uint8_t> chaos_read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("chaos: cannot open " + path.string());
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void chaos_write_file(const std::filesystem::path& path, std::span<const std::uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("chaos: cannot open " + path.string());
+  out.write(reinterpret_cast<const char*>(bytes.data()), static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("chaos: write failed for " + path.string());
+}
+
+}  // namespace difftrace::trace

@@ -1,0 +1,67 @@
+// Deterministic chaos harness for the resilient-ingestion subsystem: every
+// fault a killed or misbehaving job can inflict on a trace archive, injected
+// reproducibly from a seed so fuzz failures replay exactly.
+//
+// Faults modelled (§II-B/§V of the paper — traces from killed jobs are the
+// *normal* input, not an error case):
+//   Truncate    — the file ends at byte N (job killed mid-write, torn copy).
+//   BitFlip     — a single bit flipped (storage/network corruption).
+//   DropBlob    — one whole blob frame excised (a per-thread file lost).
+//   FreezeMidFlush — the archive ends inside the *last blob's* encoded
+//                 stream: what a writer frozen mid-flush leaves on disk.
+//
+// All mutators are pure byte-level functions plus path-based convenience
+// wrappers; `chaos_random` picks fault + location from the seed.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace difftrace::trace {
+
+enum class ChaosFault : std::uint8_t { Truncate, BitFlip, DropBlob, FreezeMidFlush };
+
+[[nodiscard]] std::string_view chaos_fault_name(ChaosFault fault) noexcept;
+
+/// One injected fault: the mutated archive plus a human-readable record of
+/// exactly what was done (for fsck reports and failing-seed replay).
+struct ChaosResult {
+  std::vector<std::uint8_t> bytes;
+  ChaosFault fault = ChaosFault::Truncate;
+  std::string description;
+};
+
+/// Cuts the archive at byte `at` (clamped to the input size).
+[[nodiscard]] ChaosResult chaos_truncate(std::span<const std::uint8_t> archive, std::size_t at);
+
+/// Flips bit `bit` (clamped to the input's bit count; empty input unchanged).
+[[nodiscard]] ChaosResult chaos_bit_flip(std::span<const std::uint8_t> archive, std::uint64_t bit);
+
+/// Removes the `index`-th blob frame of a v2 archive (modulo the blob
+/// count). On a v1 or frameless archive falls back to truncation at the
+/// seed-chosen point.
+[[nodiscard]] ChaosResult chaos_drop_blob(std::span<const std::uint8_t> archive, std::size_t index);
+
+/// Ends the archive inside the last blob frame's encoded stream — the bytes
+/// a writer frozen mid-flush would have left on disk. Archives without a
+/// blob frame fall back to plain truncation.
+[[nodiscard]] ChaosResult chaos_freeze_mid_flush(std::span<const std::uint8_t> archive,
+                                                 std::uint64_t seed);
+
+/// Picks a fault kind and location deterministically from `seed` and
+/// applies it. Equal seeds on equal archives yield identical mutations.
+[[nodiscard]] ChaosResult chaos_random(std::span<const std::uint8_t> archive, std::uint64_t seed);
+
+/// Applies a specific fault kind at a seed-chosen location.
+[[nodiscard]] ChaosResult chaos_inject(std::span<const std::uint8_t> archive, ChaosFault fault,
+                                       std::uint64_t seed);
+
+// --- path-based wrappers (CLI / tests) --------------------------------------
+
+[[nodiscard]] std::vector<std::uint8_t> chaos_read_file(const std::filesystem::path& path);
+void chaos_write_file(const std::filesystem::path& path, std::span<const std::uint8_t> bytes);
+
+}  // namespace difftrace::trace

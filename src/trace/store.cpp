@@ -1,16 +1,222 @@
 #include "trace/store.hpp"
 
+#include <algorithm>
+#include <array>
 #include <fstream>
+#include <optional>
+#include <span>
+#include <sstream>
 #include <stdexcept>
 
+#include "util/crc32.hpp"
+#include "util/table.hpp"
 #include "util/varint.hpp"
 
 namespace difftrace::trace {
 
 namespace {
-constexpr std::uint32_t kMagic = 0x44545243;  // "DTRC"
-constexpr std::uint32_t kVersion = 1;
+
+// --- v1 (legacy): one flat varint stream, no framing, no checksums --------
+constexpr std::uint32_t kMagicV1 = 0x44545243;  // "DTRC"
+constexpr std::uint32_t kVersionV1 = 1;
+
+// --- v2: fixed header + self-describing checksummed frames ----------------
+constexpr std::array<std::uint8_t, 4> kMagicV2 = {'D', 'T', 'R', '2'};
+constexpr std::uint32_t kVersionV2 = 2;
+/// Marker opening every frame; salvage scans for it to resynchronize after
+/// a corrupted length field.
+constexpr std::uint32_t kFrameSync = 0xD1FFC0DEu;
+constexpr std::uint8_t kTagRegistry = 1;
+constexpr std::uint8_t kTagBlob = 2;
+/// sync(4) + tag(1) + crc(4) + payload_len(4)
+constexpr std::size_t kFrameHeaderBytes = 13;
+
+constexpr std::uint64_t kFlagTruncated = 1;
+constexpr std::uint64_t kFlagSalvaged = 2;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+/// Caller guarantees pos + 4 <= in.size().
+std::uint32_t read_u32(std::span<const std::uint8_t> in, std::size_t pos) {
+  return static_cast<std::uint32_t>(in[pos]) | static_cast<std::uint32_t>(in[pos + 1]) << 8 |
+         static_cast<std::uint32_t>(in[pos + 2]) << 16 | static_cast<std::uint32_t>(in[pos + 3]) << 24;
+}
+
+std::string at_offset(std::size_t pos) { return " at byte " + std::to_string(pos); }
+
+std::string read_string(std::span<const std::uint8_t> in, std::size_t& pos, std::size_t len,
+                        const std::string& section) {
+  if (len > in.size() || pos > in.size() - len)
+    throw std::runtime_error("TraceStore: truncated " + section + at_offset(pos) + " (need " +
+                             std::to_string(len) + " bytes, " + std::to_string(in.size() - pos) +
+                             " left)");
+  std::string s(in.begin() + static_cast<std::ptrdiff_t>(pos),
+                in.begin() + static_cast<std::ptrdiff_t>(pos + len));
+  pos += len;
+  return s;
+}
+
+void encode_registry_payload(std::vector<std::uint8_t>& out, const std::vector<FunctionInfo>& functions) {
+  util::put_varint(out, functions.size());
+  for (const auto& fn : functions) {
+    util::put_varint(out, fn.name.size());
+    out.insert(out.end(), fn.name.begin(), fn.name.end());
+    util::put_varint(out, static_cast<std::uint64_t>(fn.image));
+  }
+}
+
+/// Parses registry functions from `payload`. Strict mode throws on any
+/// damage; best-effort mode stops at the first bad byte and reports how many
+/// functions were readable. Returns true when the whole payload parsed.
+bool parse_registry_payload(std::span<const std::uint8_t> payload, bool best_effort,
+                            std::vector<FunctionInfo>& out) {
+  std::size_t pos = 0;
+  try {
+    const auto count = util::get_varint(payload, pos);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      FunctionInfo fn;
+      const auto len = util::get_varint(payload, pos);
+      fn.name = read_string(payload, pos, len, "registry function name");
+      fn.image = static_cast<Image>(util::get_varint(payload, pos));
+      out.push_back(std::move(fn));
+    }
+  } catch (const std::exception&) {
+    if (!best_effort) throw;
+    return false;
+  }
+  return true;
+}
+
+void encode_blob_payload(std::vector<std::uint8_t>& out, TraceKey key, const TraceBlob& blob) {
+  util::put_svarint(out, key.proc);
+  util::put_svarint(out, key.thread);
+  util::put_varint(out, blob.codec_name.size());
+  out.insert(out.end(), blob.codec_name.begin(), blob.codec_name.end());
+  util::put_varint(out, blob.event_count);
+  util::put_varint(out, (blob.truncated ? kFlagTruncated : 0) | (blob.salvaged ? kFlagSalvaged : 0));
+  util::put_varint(out, blob.bytes.size());
+  out.insert(out.end(), blob.bytes.begin(), blob.bytes.end());
+}
+
+struct ParsedBlob {
+  TraceKey key;
+  TraceBlob blob;
+  /// True when `blob.bytes` holds fewer bytes than the payload declared
+  /// (torn frame): the blob is a prefix of what the writer emitted.
+  bool bytes_short = false;
+  /// Payload bytes consumed (v1 salvage walks blobs back-to-back with this).
+  std::size_t consumed = 0;
+};
+
+/// Parses one blob payload. In best-effort mode a payload whose encoded
+/// stream is cut short still yields the available prefix (`bytes_short`);
+/// damage before the byte stream begins yields nullopt.
+std::optional<ParsedBlob> parse_blob_payload(std::span<const std::uint8_t> payload, bool best_effort) {
+  ParsedBlob out;
+  std::size_t pos = 0;
+  try {
+    out.key.proc = static_cast<int>(util::get_svarint(payload, pos));
+    out.key.thread = static_cast<int>(util::get_svarint(payload, pos));
+    const auto codec_len = util::get_varint(payload, pos);
+    out.blob.codec_name = read_string(payload, pos, codec_len, "blob codec name");
+    out.blob.event_count = util::get_varint(payload, pos);
+    const auto flags = util::get_varint(payload, pos);
+    out.blob.truncated = (flags & kFlagTruncated) != 0;
+    out.blob.salvaged = (flags & kFlagSalvaged) != 0;
+    const auto nbytes = util::get_varint(payload, pos);
+    const auto available = std::min<std::uint64_t>(nbytes, payload.size() - pos);
+    if (available < nbytes && !best_effort)
+      throw std::runtime_error("TraceStore: truncated blob bytes" + at_offset(pos) + " (need " +
+                               std::to_string(nbytes) + " bytes, " +
+                               std::to_string(payload.size() - pos) + " left)");
+    out.bytes_short = available < nbytes;
+    out.blob.bytes.assign(payload.begin() + static_cast<std::ptrdiff_t>(pos),
+                          payload.begin() + static_cast<std::ptrdiff_t>(pos + available));
+    out.consumed = pos + static_cast<std::size_t>(available);
+  } catch (const std::exception&) {
+    if (!best_effort) throw;
+    return std::nullopt;
+  }
+  return out;
+}
+
+void write_file(const std::filesystem::path& path, std::span<const std::uint8_t> buf,
+                const char* who) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error(std::string(who) + ": cannot open " + path.string());
+  out.write(reinterpret_cast<const char*>(buf.data()), static_cast<std::streamsize>(buf.size()));
+  if (!out) throw std::runtime_error(std::string(who) + ": write failed for " + path.string());
+}
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path, const char* who) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error(std::string(who) + ": cannot open " + path.string());
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+bool is_v2(std::span<const std::uint8_t> buf) {
+  return buf.size() >= kMagicV2.size() && std::equal(kMagicV2.begin(), kMagicV2.end(), buf.begin());
+}
+
+/// Verifies that a salvaged-candidate blob decodes, trimming it to its
+/// longest decodable prefix. Returns false when nothing decodes (or the
+/// codec name itself is damaged) — the blob is then worthless.
+bool trim_to_decodable_prefix(TraceBlob& blob) {
+  try {
+    const auto codec = compress::make_codec(blob.codec_name);
+    const auto cap = std::max(blob.event_count, compress::kDefaultSymbolCap);
+    auto result = codec.decoder->decode_prefix(blob.bytes, cap);
+    if (result.symbols.empty() && !blob.bytes.empty()) return false;
+    blob.bytes.resize(result.consumed);
+    return true;
+  } catch (const std::exception&) {
+    return false;  // unknown codec name
+  }
+}
+
+void note_entry(LoadReport& report, LoadReport::Status status, std::string section,
+                std::uint64_t offset, std::uint64_t bytes, std::string reason) {
+  if (status == LoadReport::Status::Recovered)
+    ++report.recovered;
+  else if (status == LoadReport::Status::Salvaged)
+    ++report.salvaged;
+  else
+    ++report.dropped;
+  report.entries.push_back({status, std::move(section), offset, bytes, std::move(reason)});
+}
+
 }  // namespace
+
+// --- LoadReport --------------------------------------------------------------
+
+std::string LoadReport::render() const {
+  std::ostringstream os;
+  os << "archive version " << version << ": " << recovered << " blob(s) intact, " << salvaged
+     << " salvaged, " << dropped << " dropped; registry "
+     << (registry_ok ? "ok (" + std::to_string(registry_functions) + " functions)"
+                     : "damaged (" + std::to_string(registry_functions) + " functions readable)");
+  if (placeholder_functions > 0) os << ", " << placeholder_functions << " placeholder name(s)";
+  os << "\n";
+  if (!entries.empty()) {
+    util::TextTable table({"Section", "Status", "Offset", "Bytes", "Reason"});
+    for (const auto& e : entries) {
+      const char* status = e.status == Status::Recovered ? "recovered"
+                           : e.status == Status::Salvaged ? "salvaged"
+                                                          : "dropped";
+      table.add_row({e.section, status, std::to_string(e.offset), std::to_string(e.bytes),
+                     e.reason.empty() ? "-" : e.reason});
+    }
+    os << table.render();
+  }
+  return os.str();
+}
+
+// --- TraceStore basics -------------------------------------------------------
 
 TraceStore::TraceStore(const TraceStore& other) : registry_(other.registry_) {
   std::lock_guard lock(other.mutex_);
@@ -93,6 +299,37 @@ std::vector<TraceEvent> TraceStore::decode(TraceKey key) const {
   return events;
 }
 
+TraceStore::DecodedTrace TraceStore::decode_tolerant(TraceKey key) const {
+  TraceBlob copy;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = blobs_.find(key);
+    if (it == blobs_.end()) throw std::out_of_range("TraceStore: no trace for " + key.label());
+    copy = it->second;
+  }
+  DecodedTrace out;
+  compress::PrefixDecode decoded;
+  try {
+    const auto codec = compress::make_codec(copy.codec_name);
+    decoded = codec.decoder->decode_prefix(copy.bytes,
+                                           std::max(copy.event_count, compress::kDefaultSymbolCap));
+  } catch (const std::exception& e) {
+    out.complete = false;
+    out.note = e.what();
+    return out;
+  }
+  out.events.reserve(decoded.symbols.size());
+  for (const auto s : decoded.symbols) out.events.push_back(symbol_to_event(s));
+  if (!decoded.complete) {
+    out.complete = false;
+    out.note = decoded.error;
+  } else if (copy.salvaged) {
+    out.complete = false;
+    out.note = "salvaged from damaged archive";
+  }
+  return out;
+}
+
 StoreStats TraceStore::stats() const {
   std::lock_guard lock(mutex_);
   StoreStats s;
@@ -112,80 +349,378 @@ StoreStats TraceStore::stats() const {
   return s;
 }
 
+// --- save (always writes v2) -------------------------------------------------
+
 void TraceStore::save(const std::filesystem::path& path) const {
   std::vector<std::uint8_t> buf;
-  util::put_varint(buf, kMagic);
-  util::put_varint(buf, kVersion);
+  buf.insert(buf.end(), kMagicV2.begin(), kMagicV2.end());
+  put_u32(buf, kVersionV2);
 
-  const auto functions = registry_->snapshot();
-  util::put_varint(buf, functions.size());
-  for (const auto& fn : functions) {
-    util::put_varint(buf, fn.name.size());
-    buf.insert(buf.end(), fn.name.begin(), fn.name.end());
-    util::put_varint(buf, static_cast<std::uint64_t>(fn.image));
-  }
-
-  std::lock_guard lock(mutex_);
-  util::put_varint(buf, blobs_.size());
-  for (const auto& [key, blob] : blobs_) {
-    util::put_svarint(buf, key.proc);
-    util::put_svarint(buf, key.thread);
-    util::put_varint(buf, blob.codec_name.size());
-    buf.insert(buf.end(), blob.codec_name.begin(), blob.codec_name.end());
-    util::put_varint(buf, blob.event_count);
-    util::put_varint(buf, blob.truncated ? 1 : 0);
-    util::put_varint(buf, blob.bytes.size());
-    buf.insert(buf.end(), blob.bytes.begin(), blob.bytes.end());
-  }
-
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("TraceStore::save: cannot open " + path.string());
-  out.write(reinterpret_cast<const char*>(buf.data()), static_cast<std::streamsize>(buf.size()));
-  if (!out) throw std::runtime_error("TraceStore::save: write failed for " + path.string());
-}
-
-TraceStore TraceStore::load(const std::filesystem::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("TraceStore::load: cannot open " + path.string());
-  std::vector<std::uint8_t> buf((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
-
-  std::size_t pos = 0;
-  const auto read_string = [&](std::size_t len) {
-    if (pos + len > buf.size()) throw std::runtime_error("TraceStore::load: truncated file");
-    std::string s(buf.begin() + static_cast<std::ptrdiff_t>(pos), buf.begin() + static_cast<std::ptrdiff_t>(pos + len));
-    pos += len;
-    return s;
+  const auto append_frame = [&buf](std::uint8_t tag, const std::vector<std::uint8_t>& payload) {
+    put_u32(buf, kFrameSync);
+    buf.push_back(tag);
+    put_u32(buf, util::crc32(payload));
+    put_u32(buf, static_cast<std::uint32_t>(payload.size()));
+    buf.insert(buf.end(), payload.begin(), payload.end());
   };
 
-  if (util::get_varint(buf, pos) != kMagic) throw std::runtime_error("TraceStore::load: bad magic");
-  if (util::get_varint(buf, pos) != kVersion) throw std::runtime_error("TraceStore::load: unsupported version");
+  std::vector<std::uint8_t> payload;
+  encode_registry_payload(payload, registry_->snapshot());
+  append_frame(kTagRegistry, payload);
+
+  std::lock_guard lock(mutex_);
+  for (const auto& [key, blob] : blobs_) {
+    payload.clear();
+    encode_blob_payload(payload, key, blob);
+    append_frame(kTagBlob, payload);
+  }
+  write_file(path, buf, "TraceStore::save");
+}
+
+// --- strict load -------------------------------------------------------------
+
+namespace {
+
+TraceStore load_v1_strict(std::span<const std::uint8_t> buf) {
+  std::size_t pos = 0;
+  if (util::get_varint(buf, pos) != kMagicV1)
+    throw std::runtime_error("TraceStore::load: bad magic in header at byte 0");
+  if (const auto version = util::get_varint(buf, pos); version != kVersionV1)
+    throw std::runtime_error("TraceStore::load: unsupported version " + std::to_string(version) +
+                             " in header" + at_offset(pos));
 
   TraceStore store;
   const auto nfunctions = util::get_varint(buf, pos);
   for (std::uint64_t i = 0; i < nfunctions; ++i) {
-    const auto name = read_string(util::get_varint(buf, pos));
+    const auto fn_offset = pos;
+    const auto len = util::get_varint(buf, pos);
+    const auto name = read_string(buf, pos, len, "registry (function " + std::to_string(i) + ")");
     const auto image = static_cast<Image>(util::get_varint(buf, pos));
     const auto id = store.registry().intern(name, image);
-    if (id != i) throw std::runtime_error("TraceStore::load: duplicate function name in registry dump");
+    if (id != i)
+      throw std::runtime_error("TraceStore::load: duplicate function name in registry dump" +
+                               at_offset(fn_offset));
   }
 
   const auto nblobs = util::get_varint(buf, pos);
   for (std::uint64_t i = 0; i < nblobs; ++i) {
+    const auto blob_offset = pos;
     TraceKey key;
     key.proc = static_cast<int>(util::get_svarint(buf, pos));
     key.thread = static_cast<int>(util::get_svarint(buf, pos));
     TraceBlob blob;
-    blob.codec_name = read_string(util::get_varint(buf, pos));
+    const auto codec_len = util::get_varint(buf, pos);
+    blob.codec_name = read_string(buf, pos, codec_len, "blob " + key.label() + " codec name");
     blob.event_count = util::get_varint(buf, pos);
     blob.truncated = util::get_varint(buf, pos) != 0;
     const auto nbytes = util::get_varint(buf, pos);
-    if (pos + nbytes > buf.size()) throw std::runtime_error("TraceStore::load: truncated blob");
+    if (nbytes > buf.size() || pos > buf.size() - nbytes)
+      throw std::runtime_error("TraceStore::load: truncated blob " + key.label() + " (frame" +
+                               at_offset(blob_offset) + ", need " + std::to_string(nbytes) +
+                               " payload bytes, " + std::to_string(buf.size() - pos) + " left)");
     blob.bytes.assign(buf.begin() + static_cast<std::ptrdiff_t>(pos),
                       buf.begin() + static_cast<std::ptrdiff_t>(pos + nbytes));
     pos += nbytes;
     store.add_blob(key, std::move(blob));
   }
   return store;
+}
+
+TraceStore load_v2_strict(std::span<const std::uint8_t> buf) {
+  if (buf.size() < kMagicV2.size() + 4)
+    throw std::runtime_error("TraceStore::load: truncated header at byte 0");
+  if (const auto version = read_u32(buf, kMagicV2.size()); version != kVersionV2)
+    throw std::runtime_error("TraceStore::load: unsupported version " + std::to_string(version) +
+                             " in header at byte 4");
+
+  TraceStore store;
+  bool seen_registry = false;
+  std::size_t pos = kMagicV2.size() + 4;
+  while (pos < buf.size()) {
+    if (buf.size() - pos < kFrameHeaderBytes)
+      throw std::runtime_error("TraceStore::load: truncated frame header" + at_offset(pos));
+    if (read_u32(buf, pos) != kFrameSync)
+      throw std::runtime_error("TraceStore::load: bad frame sync marker" + at_offset(pos));
+    const auto tag = buf[pos + 4];
+    const auto crc = read_u32(buf, pos + 5);
+    const auto len = read_u32(buf, pos + 9);
+    const auto payload_at = pos + kFrameHeaderBytes;
+    if (len > buf.size() - payload_at)
+      throw std::runtime_error("TraceStore::load: truncated frame payload (frame" + at_offset(pos) +
+                               ", need " + std::to_string(len) + " bytes, " +
+                               std::to_string(buf.size() - payload_at) + " left)");
+    const auto payload = buf.subspan(payload_at, len);
+    if (util::crc32(payload) != crc)
+      throw std::runtime_error("TraceStore::load: checksum mismatch in " +
+                               std::string(tag == kTagRegistry ? "registry" : "blob") + " frame" +
+                               at_offset(pos));
+    if (tag == kTagRegistry) {
+      if (seen_registry)
+        throw std::runtime_error("TraceStore::load: duplicate registry frame" + at_offset(pos));
+      seen_registry = true;
+      std::vector<FunctionInfo> functions;
+      parse_registry_payload(payload, /*best_effort=*/false, functions);
+      for (const auto& fn : functions) store.registry().intern(fn.name, fn.image);
+    } else if (tag == kTagBlob) {
+      auto parsed = parse_blob_payload(payload, /*best_effort=*/false);
+      store.add_blob(parsed->key, std::move(parsed->blob));
+    } else {
+      throw std::runtime_error("TraceStore::load: unknown frame tag " + std::to_string(tag) +
+                               at_offset(pos));
+    }
+    pos = payload_at + len;
+  }
+  if (!seen_registry) throw std::runtime_error("TraceStore::load: archive has no registry frame");
+  return store;
+}
+
+}  // namespace
+
+TraceStore TraceStore::load(const std::filesystem::path& path) {
+  const auto buf = read_file(path, "TraceStore::load");
+  if (is_v2(buf)) return load_v2_strict(buf);
+  return load_v1_strict(buf);
+}
+
+// --- salvage -----------------------------------------------------------------
+
+namespace {
+
+/// Interns "?fn<id>" placeholders for every function id referenced by the
+/// store's decodable blobs but missing from the (damaged) registry, so
+/// degraded analysis keeps running instead of tripping on unknown ids.
+void fill_placeholder_names(TraceStore& store, LoadReport& report) {
+  FunctionId max_fid = 0;
+  bool any = false;
+  for (const auto& key : store.keys()) {
+    const auto decoded = store.decode_tolerant(key);
+    for (const auto& event : decoded.events) {
+      max_fid = std::max(max_fid, event.fid);
+      any = true;
+    }
+  }
+  if (!any) return;
+  auto& registry = store.registry();
+  for (FunctionId id = static_cast<FunctionId>(registry.size()); id <= max_fid; ++id) {
+    registry.intern("?fn" + std::to_string(id), Image::Main);
+    ++report.placeholder_functions;
+  }
+}
+
+void salvage_v1(std::span<const std::uint8_t> buf, TraceStore& store, LoadReport& report) {
+  report.version = 1;
+  std::size_t pos = 0;
+  try {
+    if (util::get_varint(buf, pos) != kMagicV1) {
+      note_entry(report, LoadReport::Status::Dropped, "header", 0, 0, "bad magic");
+      return;
+    }
+    if (util::get_varint(buf, pos) != kVersionV1) {
+      note_entry(report, LoadReport::Status::Dropped, "header", 0, 0, "unsupported version");
+      return;
+    }
+  } catch (const std::exception&) {
+    note_entry(report, LoadReport::Status::Dropped, "header", 0, 0, "truncated header");
+    return;
+  }
+
+  // Registry: keep every function readable before the stream breaks.
+  const auto registry_offset = pos;
+  try {
+    const auto nfunctions = util::get_varint(buf, pos);
+    std::uint64_t i = 0;
+    try {
+      for (; i < nfunctions; ++i) {
+        const auto len = util::get_varint(buf, pos);
+        const auto name = read_string(buf, pos, len, "registry function name");
+        const auto image = static_cast<Image>(util::get_varint(buf, pos));
+        store.registry().intern(name, image);
+      }
+      report.registry_ok = true;
+    } catch (const std::exception&) {
+      note_entry(report, LoadReport::Status::Salvaged, "registry", registry_offset,
+                 pos - registry_offset,
+                 "truncated after " + std::to_string(i) + " of " + std::to_string(nfunctions) +
+                     " functions");
+      report.registry_functions = store.registry().size();
+      return;  // the blob section is unreachable once the registry breaks
+    }
+  } catch (const std::exception&) {
+    note_entry(report, LoadReport::Status::Dropped, "registry", registry_offset, 0,
+               "unreadable function count");
+    return;
+  }
+  report.registry_functions = store.registry().size();
+
+  std::uint64_t nblobs = 0;
+  const auto count_offset = pos;
+  try {
+    nblobs = util::get_varint(buf, pos);
+  } catch (const std::exception&) {
+    note_entry(report, LoadReport::Status::Dropped, "blob count", count_offset, 0, "truncated");
+    return;
+  }
+  for (std::uint64_t i = 0; i < nblobs; ++i) {
+    const auto blob_offset = pos;
+    auto parsed = parse_blob_payload(buf.subspan(pos), /*best_effort=*/true);
+    if (!parsed) {
+      note_entry(report, LoadReport::Status::Dropped, "blob #" + std::to_string(i), blob_offset,
+                 buf.size() - blob_offset, "truncated mid-frame; v1 has no resync markers");
+      return;  // without framing there is no way to find the next blob
+    }
+    // v1 has no checksums: verify by decoding, and trim to the clean prefix.
+    const auto declared = parsed->blob.bytes.size();
+    TraceBlob candidate = parsed->blob;
+    if (!trim_to_decodable_prefix(candidate)) {
+      note_entry(report, LoadReport::Status::Dropped, "blob " + parsed->key.label(), blob_offset,
+                 declared, "encoded stream undecodable");
+    } else if (parsed->bytes_short || candidate.bytes.size() < declared) {
+      candidate.salvaged = true;
+      note_entry(report, LoadReport::Status::Salvaged, "blob " + parsed->key.label(), blob_offset,
+                 candidate.bytes.size(),
+                 parsed->bytes_short ? "file ends mid-blob" : "undecodable tail trimmed");
+      store.add_blob(parsed->key, std::move(candidate));
+    } else {
+      note_entry(report, LoadReport::Status::Recovered, "blob " + parsed->key.label(), blob_offset,
+                 declared, "");
+      store.add_blob(parsed->key, std::move(parsed->blob));
+    }
+    if (parsed->bytes_short) return;  // nothing follows a torn final blob
+    pos += parsed->consumed;
+  }
+}
+
+void salvage_v2(std::span<const std::uint8_t> buf, TraceStore& store, LoadReport& report) {
+  report.version = 2;
+  if (buf.size() < kMagicV2.size() + 4) {
+    note_entry(report, LoadReport::Status::Dropped, "header", 0, buf.size(), "truncated header");
+    return;
+  }
+  if (const auto version = read_u32(buf, kMagicV2.size()); version != kVersionV2) {
+    note_entry(report, LoadReport::Status::Dropped, "header", 4, 4,
+               "unsupported version " + std::to_string(version));
+    return;
+  }
+
+  const auto handle_registry = [&](std::span<const std::uint8_t> payload, std::size_t frame_offset,
+                                   bool crc_ok) {
+    std::vector<FunctionInfo> functions;
+    const bool parsed_all = parse_registry_payload(payload, /*best_effort=*/true, functions);
+    for (const auto& fn : functions) store.registry().intern(fn.name, fn.image);
+    report.registry_functions = store.registry().size();
+    if (crc_ok && parsed_all) {
+      report.registry_ok = true;
+    } else {
+      note_entry(report, LoadReport::Status::Salvaged, "registry", frame_offset, payload.size(),
+                 crc_ok ? "malformed payload (prefix kept)"
+                        : "checksum mismatch; " + std::to_string(functions.size()) +
+                              " function name(s) readable");
+    }
+  };
+
+  const auto handle_blob = [&](std::span<const std::uint8_t> payload, std::size_t frame_offset,
+                               bool crc_ok, bool frame_torn) {
+    auto parsed = parse_blob_payload(payload, /*best_effort=*/true);
+    if (!parsed) {
+      note_entry(report, LoadReport::Status::Dropped, "blob frame", frame_offset, payload.size(),
+                 crc_ok ? "malformed payload" : "checksum mismatch and unparsable header");
+      return;
+    }
+    const auto section = "blob " + parsed->key.label();
+    if (crc_ok && !frame_torn) {
+      note_entry(report, LoadReport::Status::Recovered, section, frame_offset, payload.size(), "");
+      store.add_blob(parsed->key, std::move(parsed->blob));
+      return;
+    }
+    // Damaged frame: keep the longest decodable prefix of the stream, if any.
+    TraceBlob candidate = std::move(parsed->blob);
+    if (!trim_to_decodable_prefix(candidate)) {
+      note_entry(report, LoadReport::Status::Dropped, section, frame_offset, payload.size(),
+                 frame_torn ? "file ends mid-frame; no decodable prefix"
+                            : "checksum mismatch; no decodable prefix");
+      return;
+    }
+    candidate.salvaged = true;
+    note_entry(report, LoadReport::Status::Salvaged, section, frame_offset, candidate.bytes.size(),
+               frame_torn ? "file ends mid-frame; decodable prefix kept"
+                          : "checksum mismatch; decodable prefix kept");
+    store.add_blob(parsed->key, std::move(candidate));
+  };
+
+  /// Scans for the next frame sync marker at or after `from`.
+  const auto find_sync = [&buf](std::size_t from) -> std::size_t {
+    for (std::size_t p = from; p + 4 <= buf.size(); ++p)
+      if (read_u32(buf, p) == kFrameSync) return p;
+    return buf.size();
+  };
+
+  std::size_t pos = kMagicV2.size() + 4;
+  while (pos < buf.size()) {
+    if (buf.size() - pos < kFrameHeaderBytes || read_u32(buf, pos) != kFrameSync) {
+      // Lost framing: either trailing garbage or a corrupted header. Scan
+      // forward for the next sync marker and report the skipped span.
+      const auto resync = find_sync(buf.size() - pos < 4 ? buf.size() : pos + 1);
+      note_entry(report, LoadReport::Status::Dropped, "framing", pos, resync - pos,
+                 resync < buf.size() ? "unreadable bytes skipped to next frame marker"
+                                     : "unreadable bytes through end of file");
+      pos = resync;
+      continue;
+    }
+    const auto tag = buf[pos + 4];
+    const auto crc = read_u32(buf, pos + 5);
+    const auto len = read_u32(buf, pos + 9);
+    const auto payload_at = pos + kFrameHeaderBytes;
+    const bool frame_torn = len > buf.size() - payload_at;
+    const auto available = frame_torn ? buf.size() - payload_at : static_cast<std::size_t>(len);
+
+    // A corrupted length field can masquerade as a huge torn frame and
+    // swallow every following one. If another sync marker sits inside the
+    // claimed payload, trust the marker over the length.
+    auto payload_end = payload_at + available;
+    if (const auto inner = find_sync(payload_at); inner < payload_end) payload_end = inner;
+
+    const auto payload = buf.subspan(payload_at, payload_end - payload_at);
+    const bool torn = frame_torn || payload.size() < len;
+    const bool crc_ok = !torn && util::crc32(payload) == crc;
+    if (tag == kTagRegistry) {
+      if (crc_ok && report.registry_ok) {
+        note_entry(report, LoadReport::Status::Dropped, "registry", pos, payload.size(),
+                   "duplicate registry frame ignored");
+      } else {
+        handle_registry(payload, pos, crc_ok);
+      }
+    } else if (tag == kTagBlob) {
+      handle_blob(payload, pos, crc_ok, torn);
+    } else {
+      note_entry(report, LoadReport::Status::Dropped, "frame", pos, payload.size(),
+                 "unknown frame tag " + std::to_string(tag));
+    }
+    pos = payload_end;
+  }
+}
+
+}  // namespace
+
+SalvageResult TraceStore::salvage(const std::filesystem::path& path) {
+  SalvageResult result;
+  std::vector<std::uint8_t> buf;
+  try {
+    buf = read_file(path, "TraceStore::salvage");
+  } catch (const std::exception& e) {
+    note_entry(result.report, LoadReport::Status::Dropped, "file", 0, 0, e.what());
+    return result;
+  }
+  if (is_v2(buf))
+    salvage_v2(buf, result.store, result.report);
+  else
+    salvage_v1(buf, result.store, result.report);
+  // A lost registry obviously needs placeholder names, but so does a
+  // *salvaged blob* next to an intact registry: its decodable prefix can
+  // contain corrupted function ids past the registry's end, and analysis
+  // must not trip on them.
+  if (!result.report.registry_ok || result.report.salvaged > 0)
+    fill_placeholder_names(result.store, result.report);
+  return result;
 }
 
 }  // namespace difftrace::trace

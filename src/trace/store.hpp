@@ -4,6 +4,16 @@
 // save/load so executions can be archived and re-analyzed offline with
 // different filters (the paper's "repeatedly analyze the traces offline"
 // workflow).
+//
+// On-disk format (v2, see DESIGN.md "Archive format v2"): a fixed header
+// followed by self-describing frames (sync marker, tag, CRC-32, length,
+// payload) — one frame for the registry, one per blob. Because traces come
+// from *killed* jobs (deadlocks, aborts, truncated flushes), loading has two
+// modes: `load` is strict (any damage throws, with the byte offset and
+// section named), while `salvage` is best-effort — it recovers every intact
+// frame from a truncated or bit-flipped archive, resynchronizes on the
+// frame markers, and returns a structured LoadReport instead of throwing.
+// v1 archives (no framing, no checksums) still load and salvage.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +35,10 @@ struct TraceBlob {
   std::vector<std::uint8_t> bytes;
   std::uint64_t event_count = 0;  // pre-compression events
   bool truncated = false;         // frozen by the watchdog (deadlock/abort)
+  /// Recovered from a damaged archive (checksum mismatch or torn frame):
+  /// `bytes` may hold only a decodable prefix of the original stream.
+  /// Downstream analysis treats the trace as degraded, not authoritative.
+  bool salvaged = false;
 };
 
 struct StoreStats {
@@ -37,8 +51,51 @@ struct StoreStats {
   double compression_ratio = 0.0;
 };
 
+/// Outcome of one archive ingestion (strict or salvage). One Entry per
+/// section encountered — every blob frame gets a row, so `difftrace fsck`
+/// can print a per-blob verdict with byte offsets.
+struct LoadReport {
+  enum class Status : std::uint8_t {
+    Recovered,  // intact: checksum verified (v2) / parsed cleanly (v1)
+    Salvaged,   // damaged but a decodable prefix was kept (blob.salvaged set)
+    Dropped,    // unusable: nothing of this section reached the store
+  };
+  struct Entry {
+    Status status = Status::Recovered;
+    std::string section;       // "header", "registry", "blob 2.3", "framing"
+    std::uint64_t offset = 0;  // byte offset of the frame / failure point
+    std::uint64_t bytes = 0;   // payload bytes present in the file
+    std::string reason;        // empty for a clean recovery
+  };
+
+  int version = 0;
+  bool registry_ok = false;
+  std::size_t registry_functions = 0;
+  /// "?fn<id>" names invented for function ids referenced by recovered
+  /// blobs but lost with a damaged registry section.
+  std::size_t placeholder_functions = 0;
+  std::size_t recovered = 0;
+  std::size_t salvaged = 0;
+  std::size_t dropped = 0;
+  std::vector<Entry> entries;
+
+  [[nodiscard]] bool ok() const noexcept { return registry_ok && salvaged == 0 && dropped == 0; }
+  [[nodiscard]] std::string render() const;
+};
+
+struct SalvageResult;
+
 class TraceStore {
  public:
+  /// Best-effort decode of one trace (never throws on corrupt bytes).
+  struct DecodedTrace {
+    std::vector<TraceEvent> events;
+    /// False when the blob was salvaged or its tail failed to decode —
+    /// `events` is then the longest clean prefix.
+    bool complete = true;
+    std::string note;  // why the trace is degraded, when !complete
+  };
+
   TraceStore() : registry_(std::make_shared<FunctionRegistry>()) {}
   explicit TraceStore(std::shared_ptr<FunctionRegistry> registry) : registry_(std::move(registry)) {}
 
@@ -61,18 +118,36 @@ class TraceStore {
   [[nodiscard]] const TraceBlob& blob(TraceKey key) const;
   [[nodiscard]] std::size_t size() const;
 
-  /// Decompresses one trace back into its ordered event sequence.
+  /// Decompresses one trace back into its ordered event sequence. Strict:
+  /// throws std::runtime_error on corrupt bytes.
   [[nodiscard]] std::vector<TraceEvent> decode(TraceKey key) const;
+
+  /// Decompresses as much of one trace as is readable. Corrupt or salvaged
+  /// blobs yield the longest decodable prefix with `complete = false`
+  /// instead of throwing (only a missing key still throws out_of_range).
+  [[nodiscard]] DecodedTrace decode_tolerant(TraceKey key) const;
 
   [[nodiscard]] StoreStats stats() const;
 
+  /// Writes a v2 framed+checksummed archive.
   void save(const std::filesystem::path& path) const;
+  /// Strict load of a v1 or v2 archive; throws std::runtime_error naming the
+  /// failing section and byte offset on any damage.
   [[nodiscard]] static TraceStore load(const std::filesystem::path& path);
+  /// Best-effort load: recovers every intact blob from a truncated or
+  /// bit-flipped archive. Never throws on damage — the report says what was
+  /// recovered, what was dropped, and why.
+  [[nodiscard]] static SalvageResult salvage(const std::filesystem::path& path);
 
  private:
   std::shared_ptr<FunctionRegistry> registry_;
   mutable std::mutex mutex_;
   std::map<TraceKey, TraceBlob> blobs_;
+};
+
+struct SalvageResult {
+  TraceStore store;
+  LoadReport report;
 };
 
 }  // namespace difftrace::trace

@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) used by the v2 trace-store
+// archive to detect bit flips and torn writes per frame. Streaming form:
+// crc32_update lets callers checksum a payload in pieces; crc32 is the
+// one-shot convenience.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace difftrace::util {
+
+/// Continues a CRC-32 computation. Start from `crc32_init()`, feed bytes,
+/// then finalize with `crc32_final()`.
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t state, std::span<const std::uint8_t> data) noexcept;
+
+[[nodiscard]] constexpr std::uint32_t crc32_init() noexcept { return 0xFFFFFFFFu; }
+[[nodiscard]] constexpr std::uint32_t crc32_final(std::uint32_t state) noexcept { return state ^ 0xFFFFFFFFu; }
+
+/// One-shot CRC-32 of a buffer.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace difftrace::util

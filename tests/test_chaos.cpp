@@ -1,0 +1,557 @@
+// Fault-injection tests for the resilient-ingestion subsystem: corruption
+// fuzzing of the codecs and the varint layer, salvage of chaos-mutated
+// archives, the exhaustive truncation sweep (every intact blob must be
+// recovered no matter where the file ends), watchdog freeze-ordering, and
+// the end-to-end degraded-mode pipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "apps/oddeven.hpp"
+#include "apps/runner.hpp"
+#include "compress/codec.hpp"
+#include "core/report.hpp"
+#include "trace/chaos.hpp"
+#include "trace/store.hpp"
+#include "util/prng.hpp"
+#include "util/varint.hpp"
+
+namespace difftrace {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path temp_file(const std::string& name) {
+  return fs::temp_directory_path() / ("difftrace_chaos_" + name);
+}
+
+struct TempFile {
+  fs::path path;
+  explicit TempFile(const std::string& name) : path(temp_file(name)) {}
+  ~TempFile() { std::error_code ec; fs::remove(path, ec); }
+};
+
+// --- v2 frame walking (test-side mirror of the format in DESIGN.md) ---------
+
+constexpr std::uint32_t kFrameSync = 0xD1FFC0DEu;
+constexpr std::size_t kHeaderBytes = 8;        // "DTR2" + u32 version
+constexpr std::size_t kFrameHeaderBytes = 13;  // sync + tag + crc + len
+constexpr std::uint8_t kTagBlob = 2;
+
+std::uint32_t read_u32le(std::span<const std::uint8_t> buf, std::size_t at) {
+  return static_cast<std::uint32_t>(buf[at]) | (static_cast<std::uint32_t>(buf[at + 1]) << 8) |
+         (static_cast<std::uint32_t>(buf[at + 2]) << 16) |
+         (static_cast<std::uint32_t>(buf[at + 3]) << 24);
+}
+
+struct Frame {
+  std::uint8_t tag = 0;
+  std::size_t offset = 0;  // frame start (sync marker)
+  std::size_t end = 0;     // one past the payload
+};
+
+std::vector<Frame> walk_frames(std::span<const std::uint8_t> archive) {
+  std::vector<Frame> frames;
+  std::size_t pos = kHeaderBytes;
+  while (pos + kFrameHeaderBytes <= archive.size() && read_u32le(archive, pos) == kFrameSync) {
+    const auto len = read_u32le(archive, pos + 9);
+    const auto end = pos + kFrameHeaderBytes + len;
+    if (end > archive.size()) break;
+    frames.push_back({archive[pos + 4], pos, end});
+    pos = end;
+  }
+  return frames;
+}
+
+// --- fixtures ----------------------------------------------------------------
+
+simmpi::WorldConfig fast_world(int nranks) {
+  simmpi::WorldConfig config;
+  config.nranks = nranks;
+  config.watchdog_poll = std::chrono::milliseconds(5);
+  config.wall_timeout = std::chrono::milliseconds(20'000);
+  return config;
+}
+
+trace::TraceStore collect_oddeven(int nranks, apps::FaultSpec fault = {},
+                                  const std::string& codec = "parlot") {
+  apps::OddEvenConfig config;
+  config.nranks = nranks;
+  config.elements_per_rank = 16;
+  config.fault = fault;
+  auto run = apps::run_traced(fast_world(nranks),
+                              [config](simmpi::Comm& c) { apps::odd_even_rank(c, config); },
+                              instrument::CaptureLevel::MainImage, codec);
+  return std::move(run.store);
+}
+
+/// A call-balanced symbol stream with enough structure for every codec to
+/// exercise its run/phrase machinery (nested loops of calls and returns).
+std::vector<compress::Symbol> loopy_symbols(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<compress::Symbol> symbols;
+  symbols.reserve(n);
+  std::vector<compress::Symbol> stack;
+  while (symbols.size() < n) {
+    const bool call = stack.empty() || rng.below(3) != 0;
+    if (call) {
+      const auto fid = static_cast<compress::Symbol>(rng.below(12));
+      stack.push_back(fid);
+      symbols.push_back(fid * 2);
+    } else {
+      symbols.push_back(stack.back() * 2 + 1);
+      stack.pop_back();
+    }
+  }
+  return symbols;
+}
+
+std::vector<std::uint8_t> encode_with_flushes(const std::string& codec_name,
+                                              const std::vector<compress::Symbol>& symbols) {
+  auto codec = compress::make_codec(codec_name);
+  std::size_t i = 0;
+  for (const auto sym : symbols) {
+    codec.encoder->push(sym);
+    if (++i % 64 == 0) codec.encoder->flush();  // periodic flush boundaries
+  }
+  codec.encoder->flush();
+  return codec.encoder->bytes();
+}
+
+// --- codec corruption fuzz (satellite c) ------------------------------------
+
+class CodecFuzz : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CodecFuzz, FiveHundredSeededMutationsNeverCrashOrOverRead) {
+  const auto codec_name = GetParam();
+  const auto symbols = loopy_symbols(2'000, 42);
+  const auto clean = encode_with_flushes(codec_name, symbols);
+  auto codec = compress::make_codec(codec_name);
+
+  // Sanity: the clean stream round-trips completely.
+  const auto full = codec.decoder->decode_prefix(clean, compress::kNoSymbolCap);
+  ASSERT_TRUE(full.complete);
+  ASSERT_EQ(full.symbols, symbols);
+  ASSERT_EQ(full.consumed, clean.size());
+
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    util::Xoshiro256 rng(seed * 2654435761ULL + 17);
+    auto mutated = clean;
+    if (seed % 2 == 0) {
+      mutated.resize(rng.below(clean.size()));  // truncation
+    } else {
+      const auto bit = rng.below(clean.size() * 8);  // single bit flip
+      mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    const auto result = codec.decoder->decode_prefix(mutated);
+    // No crash, no hang, no over-read: whatever came back must obey the
+    // prefix contract.
+    EXPECT_LE(result.consumed, mutated.size()) << codec_name << " seed " << seed;
+    EXPECT_LE(result.symbols.size(), compress::kDefaultSymbolCap) << codec_name << " seed " << seed;
+    if (!result.complete)
+      EXPECT_FALSE(result.error.empty()) << codec_name << " seed " << seed;
+  }
+}
+
+TEST_P(CodecFuzz, TruncationAtEveryFlushBoundaryKeepsThePrefix) {
+  const auto codec_name = GetParam();
+  const auto symbols = loopy_symbols(512, 7);
+  auto codec = compress::make_codec(codec_name);
+  std::vector<std::size_t> flush_offsets;
+  std::size_t i = 0;
+  for (const auto sym : symbols) {
+    codec.encoder->push(sym);
+    if (++i % 64 == 0) {
+      codec.encoder->flush();
+      flush_offsets.push_back(codec.encoder->bytes().size());
+    }
+  }
+  codec.encoder->flush();
+  const auto& clean = codec.encoder->bytes();
+
+  for (const auto offset : flush_offsets) {
+    const auto result = codec.decoder->decode_prefix(
+        std::span(clean.data(), offset), compress::kNoSymbolCap);
+    ASSERT_TRUE(result.complete) << codec_name << " cut at flush offset " << offset;
+    // Everything pushed before that flush is recovered exactly.
+    ASSERT_LE(result.symbols.size(), symbols.size());
+    EXPECT_TRUE(std::equal(result.symbols.begin(), result.symbols.end(), symbols.begin()))
+        << codec_name << " cut at flush offset " << offset;
+  }
+}
+
+TEST_P(CodecFuzz, SymbolCapStopsDecodeBombs) {
+  const auto codec_name = GetParam();
+  const auto clean = encode_with_flushes(codec_name, loopy_symbols(4'096, 3));
+  auto codec = compress::make_codec(codec_name);
+  const auto result = codec.decoder->decode_prefix(clean, 100);
+  EXPECT_FALSE(result.complete);
+  EXPECT_LE(result.symbols.size(), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecFuzz, ::testing::Values("parlot", "lz78", "null"));
+
+TEST(VarintFuzz, FiveHundredMutatedBuffersNeverOverRead) {
+  std::vector<std::uint8_t> clean;
+  for (std::uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 300ULL, 1ULL << 20, ~0ULL >> 1, ~0ULL})
+    util::put_varint(clean, v);
+
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    util::Xoshiro256 rng(seed + 1000);
+    auto buf = clean;
+    if (seed % 3 == 0) {
+      buf.resize(rng.below(clean.size() + 1));
+    } else if (seed % 3 == 1) {
+      if (!buf.empty()) {
+        const auto bit = rng.below(buf.size() * 8);
+        buf[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+    } else {
+      buf.assign(rng.below(12), 0xFF);  // all-continuation bytes: worst case
+    }
+    std::size_t pos = 0;
+    // Reads either produce a value or throw; pos never passes the end.
+    while (pos < buf.size()) {
+      try {
+        (void)util::get_varint(buf, pos);
+      } catch (const std::exception&) {
+        break;
+      }
+      ASSERT_LE(pos, buf.size()) << "seed " << seed;
+    }
+  }
+}
+
+// --- archive chaos + salvage (tentpole) -------------------------------------
+
+TEST(ArchiveChaos, RandomFaultsAlwaysSalvageWithoutThrowing) {
+  const auto store = collect_oddeven(4);
+  TempFile clean("random.dtr");
+  TempFile hurt("random_hurt.dtr");
+  store.save(clean.path);
+  const auto archive = trace::chaos_read_file(clean.path);
+
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const auto mutated = trace::chaos_random(archive, seed);
+    trace::chaos_write_file(hurt.path, mutated.bytes);
+    const auto result = trace::TraceStore::salvage(hurt.path);  // must not throw
+    // Every recovered trace must decode without throwing.
+    for (const auto& key : result.store.keys()) {
+      const auto decoded = result.store.decode_tolerant(key);
+      EXPECT_LE(decoded.events.size(), result.store.blob(key).event_count)
+          << mutated.description << " trace " << key.label();
+    }
+  }
+}
+
+TEST(ArchiveChaos, TruncationSweepRecoversEveryFullyContainedBlob) {
+  // Acceptance criterion: truncate the archive at EVERY byte past the
+  // registry frame; salvage must recover 100% of the blobs whose frames are
+  // fully contained in the remaining prefix.
+  const auto store = collect_oddeven(3);
+  TempFile clean("sweep.dtr");
+  TempFile cut("sweep_cut.dtr");
+  store.save(clean.path);
+  const auto archive = trace::chaos_read_file(clean.path);
+
+  const auto frames = walk_frames(archive);
+  ASSERT_GE(frames.size(), 2u);  // registry + at least one blob
+  const auto registry_end = frames.front().end;
+
+  for (std::size_t at = registry_end; at <= archive.size(); ++at) {
+    std::size_t contained = 0;
+    for (const auto& frame : frames)
+      if (frame.tag == kTagBlob && frame.end <= at) ++contained;
+
+    const auto mutated = trace::chaos_truncate(archive, at);
+    trace::chaos_write_file(cut.path, mutated.bytes);
+    const auto result = trace::TraceStore::salvage(cut.path);
+    EXPECT_TRUE(result.report.registry_ok) << "cut at " << at;
+    EXPECT_EQ(result.report.recovered, contained) << "cut at " << at;
+    EXPECT_GE(result.store.size(), contained) << "cut at " << at;
+  }
+}
+
+TEST(ArchiveChaos, BitFlipInBlobPayloadDegradesOnlyThatBlob) {
+  const auto store = collect_oddeven(4);
+  TempFile clean("flip.dtr");
+  TempFile hurt("flip_hurt.dtr");
+  store.save(clean.path);
+  auto archive = trace::chaos_read_file(clean.path);
+
+  const auto frames = walk_frames(archive);
+  std::vector<Frame> blobs;
+  for (const auto& frame : frames)
+    if (frame.tag == kTagBlob) blobs.push_back(frame);
+  ASSERT_GE(blobs.size(), 2u);
+
+  // Flip one bit in the middle of the last blob's payload.
+  const auto& victim = blobs.back();
+  const auto payload_at = victim.offset + kFrameHeaderBytes;
+  archive[(payload_at + victim.end) / 2] ^= 0x10;
+  trace::chaos_write_file(hurt.path, archive);
+
+  const auto result = trace::TraceStore::salvage(hurt.path);
+  EXPECT_TRUE(result.report.registry_ok);
+  EXPECT_EQ(result.report.recovered, blobs.size() - 1);
+  EXPECT_EQ(result.report.salvaged + result.report.dropped, 1u);
+  // The other blobs are untouched and still strictly decodable.
+  std::size_t healthy = 0;
+  for (const auto& key : result.store.keys())
+    if (!result.store.blob(key).salvaged) ++healthy;
+  EXPECT_EQ(healthy, blobs.size() - 1);
+}
+
+TEST(ArchiveChaos, DropBlobRemovesExactlyOneTrace) {
+  const auto store = collect_oddeven(4);
+  TempFile clean("drop.dtr");
+  TempFile hurt("drop_hurt.dtr");
+  store.save(clean.path);
+  const auto archive = trace::chaos_read_file(clean.path);
+
+  const auto mutated = trace::chaos_drop_blob(archive, 1);
+  trace::chaos_write_file(hurt.path, mutated.bytes);
+  const auto result = trace::TraceStore::salvage(hurt.path);
+  EXPECT_TRUE(result.report.registry_ok);
+  EXPECT_EQ(result.store.size(), store.size() - 1);
+  EXPECT_EQ(result.report.dropped, 0u);  // excision is clean: nothing partial
+}
+
+TEST(ArchiveChaos, FreezeMidFlushKeepsAllEarlierBlobsAndAPrefixOfTheLast) {
+  const auto store = collect_oddeven(4);
+  TempFile clean("freeze.dtr");
+  TempFile hurt("freeze_hurt.dtr");
+  store.save(clean.path);
+  const auto archive = trace::chaos_read_file(clean.path);
+
+  std::size_t blob_count = 0;
+  for (const auto& frame : walk_frames(archive))
+    if (frame.tag == kTagBlob) ++blob_count;
+  ASSERT_GE(blob_count, 2u);
+
+  const auto mutated = trace::chaos_freeze_mid_flush(archive, 11);
+  trace::chaos_write_file(hurt.path, mutated.bytes);
+  const auto result = trace::TraceStore::salvage(hurt.path);
+  EXPECT_TRUE(result.report.registry_ok);
+  EXPECT_EQ(result.report.recovered, blob_count - 1);
+  EXPECT_LE(result.report.dropped, 1u);
+}
+
+TEST(ArchiveChaos, StrictLoadErrorsNameSectionAndOffset) {
+  const auto store = collect_oddeven(2);
+  TempFile clean("strict.dtr");
+  TempFile hurt("strict_hurt.dtr");
+  store.save(clean.path);
+  const auto archive = trace::chaos_read_file(clean.path);
+
+  const auto mutated = trace::chaos_truncate(archive, archive.size() - 3);
+  trace::chaos_write_file(hurt.path, mutated.bytes);
+  try {
+    (void)trace::TraceStore::load(hurt.path);
+    FAIL() << "strict load of a truncated archive must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("byte"), std::string::npos) << what;  // the failure offset
+    EXPECT_NE(what.find("frame"), std::string::npos) << what;  // the section
+  }
+}
+
+TEST(ArchiveChaos, V1ArchivesStillSalvage) {
+  // A hand-built v1 archive (flat varint stream, no framing): magic,
+  // version, registry, one blob — then truncated mid-blob.
+  std::vector<std::uint8_t> v1;
+  util::put_varint(v1, 0x44545243);  // v1 magic
+  util::put_varint(v1, 1);           // version
+  util::put_varint(v1, 2);           // registry: 2 functions
+  for (const std::string name : {"main", "work"}) {
+    util::put_varint(v1, name.size());
+    v1.insert(v1.end(), name.begin(), name.end());
+    util::put_varint(v1, 0);  // image = Main
+  }
+  util::put_varint(v1, 1);  // 1 blob
+  util::put_svarint(v1, 0);
+  util::put_svarint(v1, 0);
+  const std::string codec = "null";
+  util::put_varint(v1, codec.size());
+  v1.insert(v1.end(), codec.begin(), codec.end());
+  auto null_codec = compress::make_codec("null");
+  for (const auto sym : {0u, 2u, 3u, 1u}) null_codec.encoder->push(sym);
+  null_codec.encoder->flush();
+  const auto& bytes = null_codec.encoder->bytes();
+  util::put_varint(v1, 4);  // event_count
+  util::put_varint(v1, 0);  // flags
+  util::put_varint(v1, bytes.size());
+  v1.insert(v1.end(), bytes.begin(), bytes.end());
+
+  TempFile full("v1_full.dtr");
+  trace::chaos_write_file(full.path, v1);
+  const auto loaded = trace::TraceStore::load(full.path);  // strict v1 load
+  EXPECT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.decode({0, 0}).size(), 4u);
+
+  TempFile torn("v1_torn.dtr");
+  trace::chaos_write_file(torn.path, trace::chaos_truncate(v1, v1.size() - 2).bytes);
+  const auto result = trace::TraceStore::salvage(torn.path);
+  EXPECT_EQ(result.report.version, 1);
+  EXPECT_TRUE(result.report.registry_ok);
+  ASSERT_EQ(result.store.size(), 1u);
+  const auto decoded = result.store.decode_tolerant({0, 0});
+  EXPECT_FALSE(decoded.complete);
+  EXPECT_GE(decoded.events.size(), 1u);  // a prefix survived
+}
+
+// --- watchdog freeze-ordering (satellite d) ----------------------------------
+
+TEST(WatchdogFreeze, NoFabricatedReturnsAfterDeadlockDetection) {
+  // The watchdog freezes every TraceWriter BEFORE cancelling ranks, so a
+  // salvaged stream never contains Return events invented during teardown:
+  // every decoded prefix must be call-balanced or truncated mid-call-stack,
+  // never Return-heavy.
+  const auto store =
+      collect_oddeven(16, apps::FaultSpec{apps::FaultType::DlBug, 5, -1, 7});
+  ASSERT_GE(store.size(), 16u);
+
+  std::size_t truncated = 0;
+  for (const auto& key : store.keys()) {
+    const auto& blob = store.blob(key);
+    if (blob.truncated) ++truncated;
+    const auto decoded = store.decode_tolerant(key);
+    EXPECT_LE(decoded.events.size(), blob.event_count) << key.label();
+    // Stack simulation: a Return must always match the innermost open Call.
+    std::vector<trace::FunctionId> stack;
+    for (const auto& event : decoded.events) {
+      if (event.kind == trace::EventKind::Call) {
+        stack.push_back(event.fid);
+      } else {
+        ASSERT_FALSE(stack.empty()) << key.label() << ": Return with empty call stack";
+        ASSERT_EQ(stack.back(), event.fid) << key.label() << ": mismatched Return";
+        stack.pop_back();
+      }
+    }
+    // Open frames are fine (frozen mid-execution); unmatched Returns are not.
+  }
+  EXPECT_GT(truncated, 0u) << "the deadlocked run must freeze at least one writer";
+}
+
+TEST(WatchdogFreeze, FrozenStoreSurvivesSaveChaosSalvageRoundTrip) {
+  const auto store =
+      collect_oddeven(8, apps::FaultSpec{apps::FaultType::DlBug, 3, -1, 5});
+  TempFile clean("frozen.dtr");
+  TempFile hurt("frozen_hurt.dtr");
+  store.save(clean.path);
+  const auto archive = trace::chaos_read_file(clean.path);
+
+  for (std::uint64_t seed = 100; seed < 132; ++seed) {
+    const auto mutated = trace::chaos_random(archive, seed);
+    trace::chaos_write_file(hurt.path, mutated.bytes);
+    const auto result = trace::TraceStore::salvage(hurt.path);
+    for (const auto& key : result.store.keys()) {
+      const auto decoded = result.store.decode_tolerant(key);
+      // Salvaged prefixes still obey the stack discipline (calls may stay
+      // open, Returns never outnumber their Calls for a function).
+      std::vector<trace::FunctionId> stack;
+      bool balanced = true;
+      for (const auto& event : decoded.events) {
+        if (event.kind == trace::EventKind::Call) {
+          stack.push_back(event.fid);
+        } else if (stack.empty() || stack.back() != event.fid) {
+          balanced = false;  // only possible on a bit-flipped (salvaged) blob
+          break;
+        } else {
+          stack.pop_back();
+        }
+      }
+      if (!balanced)
+        EXPECT_TRUE(result.store.blob(key).salvaged)
+            << mutated.description << " trace " << key.label();
+    }
+  }
+}
+
+// --- degraded-mode pipeline (tentpole, E3-style) -----------------------------
+
+TEST(DegradedPipeline, CorruptedBlobStillYieldsARankingWithTheTraceFlagged) {
+  const auto normal = collect_oddeven(6);
+  const auto faulty_clean =
+      collect_oddeven(6, apps::FaultSpec{apps::FaultType::DlBug, 2, -1, 5});
+
+  TempFile clean("e3.dtr");
+  TempFile hurt("e3_hurt.dtr");
+  faulty_clean.save(clean.path);
+  auto archive = trace::chaos_read_file(clean.path);
+
+  // Corrupt exactly one per-thread blob (bit flip mid-payload of the last).
+  const auto frames = walk_frames(archive);
+  std::vector<Frame> blobs;
+  for (const auto& frame : frames)
+    if (frame.tag == kTagBlob) blobs.push_back(frame);
+  ASSERT_GE(blobs.size(), 2u);
+  const auto& victim = blobs.back();
+  archive[(victim.offset + kFrameHeaderBytes + victim.end) / 2] ^= 0x08;
+  trace::chaos_write_file(hurt.path, archive);
+
+  const auto salvage = trace::TraceStore::salvage(hurt.path);
+  ASSERT_FALSE(salvage.report.ok());
+  ASSERT_EQ(salvage.report.salvaged + salvage.report.dropped, 1u);
+
+  core::ReportConfig config;
+  config.sweep.filters = {core::FilterSpec::mpi_all()};
+  const auto report = core::build_report(normal, salvage.store, config);
+
+  // The analysis still ranks traces...
+  EXPECT_FALSE(report.ranking.rows.empty());
+  EXPECT_FALSE(report.text.empty());
+  // ...and the damaged trace is explicitly flagged, not silently absent.
+  EXPECT_FALSE(report.degraded.empty());
+  EXPECT_NE(report.text.find("trace health"), std::string::npos);
+}
+
+TEST(DegradedPipeline, MissingTraceIsReportedAsDropped) {
+  const auto normal = collect_oddeven(4);
+  auto faulty = collect_oddeven(4, apps::FaultSpec{apps::FaultType::DlBug, 1, -1, 5});
+
+  TempFile clean("dropped.dtr");
+  TempFile hurt("dropped_hurt.dtr");
+  faulty.save(clean.path);
+  const auto archive = trace::chaos_read_file(clean.path);
+  const auto mutated = trace::chaos_drop_blob(archive, 0);
+  trace::chaos_write_file(hurt.path, mutated.bytes);
+  const auto salvage = trace::TraceStore::salvage(hurt.path);
+  ASSERT_EQ(salvage.store.size(), faulty.size() - 1);
+
+  const core::Session session(normal, salvage.store, core::FilterSpec::mpi_all(), {});
+  EXPECT_EQ(session.traces().size(), salvage.store.size());
+  ASSERT_EQ(session.dropped().size(), 1u);
+  EXPECT_NE(session.dropped().front().note.find("missing"), std::string::npos);
+
+  const auto health = core::store_health(normal, salvage.store);
+  ASSERT_FALSE(health.empty());
+}
+
+TEST(DegradedPipeline, FsckReportRendersPerBlobVerdicts) {
+  const auto store = collect_oddeven(3);
+  TempFile clean("render.dtr");
+  TempFile hurt("render_hurt.dtr");
+  store.save(clean.path);
+  const auto archive = trace::chaos_read_file(clean.path);
+  const auto mutated = trace::chaos_random(archive, 5);
+  trace::chaos_write_file(hurt.path, mutated.bytes);
+
+  const auto result = trace::TraceStore::salvage(hurt.path);
+  const auto text = result.report.render();
+  EXPECT_NE(text.find("Section"), std::string::npos);
+  EXPECT_NE(text.find("Status"), std::string::npos);
+  // Healthy archives render an all-clear via fsck as well.
+  const auto healthy = trace::TraceStore::salvage(clean.path);
+  EXPECT_TRUE(healthy.report.ok());
+  EXPECT_EQ(healthy.report.recovered, store.size());
+}
+
+}  // namespace
+}  // namespace difftrace
