@@ -1,0 +1,122 @@
+// Semantic-verifier throughput: `difftrace check` is an offline pass over
+// whole archives, so its cost is measured in events/sec — context build
+// (tolerant decode + stack walk + blocked classification) plus the three
+// checkers over a synthetic job with realistic call nesting, matched p2p
+// traffic, per-iteration collectives, and worker-thread lock activity.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "analyze/analyze.hpp"
+#include "trace/store.hpp"
+#include "trace/writer.hpp"
+
+using namespace difftrace;
+
+namespace {
+
+/// One rank per proc exchanging ring traffic and joining one allreduce per
+/// iteration, plus one worker thread per proc taking a critical section —
+/// roughly the op mix an ilcs/lulesh archive carries.
+trace::TraceStore make_job(int nranks, std::size_t iterations) {
+  trace::TraceStore store;
+  const auto main_fn = store.registry().intern("main");
+  const auto step = store.registry().intern("step");
+  const auto send = store.registry().intern("MPI_Send", trace::Image::MpiLib);
+  const auto recv = store.registry().intern("MPI_Recv", trace::Image::MpiLib);
+  const auto allreduce = store.registry().intern("MPI_Allreduce", trace::Image::MpiLib);
+  const auto crit = store.registry().intern("GOMP_critical_start", trace::Image::OmpLib);
+
+  for (int rank = 0; rank < nranks; ++rank) {
+    trace::TraceWriter writer({rank, 0}, "parlot");
+    const int right = (rank + 1) % nranks;
+    const int left = (rank + nranks - 1) % nranks;
+    writer.record(trace::EventKind::Call, main_fn);
+    for (std::size_t i = 0; i < iterations; ++i) {
+      writer.record(trace::EventKind::Call, step);
+      writer.record(trace::EventKind::Call, send);
+      writer.annotate({.code = trace::OpCode::SendPost, .peer = right, .tag = 7, .count = 64});
+      writer.record(trace::EventKind::Return, send);
+      writer.record(trace::EventKind::Call, recv);
+      writer.annotate({.code = trace::OpCode::RecvPost, .peer = left, .tag = 7});
+      writer.record(trace::EventKind::Return, recv);
+      writer.record(trace::EventKind::Call, allreduce);
+      writer.annotate({.code = trace::OpCode::CollEnter,
+                       .peer = 0,
+                       .count = 1,
+                       .coll = 3,
+                       .dtype = 1,
+                       .redop = 1,
+                       .detail = "MPI_Allreduce"});
+      writer.record(trace::EventKind::Return, allreduce);
+      writer.record(trace::EventKind::Return, step);
+    }
+    writer.record(trace::EventKind::Return, main_fn);
+    store.absorb(writer);
+
+    trace::TraceWriter worker({rank, 1}, "parlot");
+    worker.record(trace::EventKind::Call, main_fn);
+    for (std::size_t i = 0; i < iterations; ++i) {
+      worker.record(trace::EventKind::Call, crit);
+      worker.annotate({.code = trace::OpCode::LockAcquire, .detail = "champion"});
+      worker.annotate({.code = trace::OpCode::LockRelease, .detail = "champion"});
+      worker.record(trace::EventKind::Return, crit);
+    }
+    worker.record(trace::EventKind::Return, main_fn);
+    store.absorb(worker);
+  }
+  return store;
+}
+
+std::int64_t total_events(const trace::TraceStore& store) {
+  return static_cast<std::int64_t>(store.stats().total_events);
+}
+
+/// Full `difftrace check`: context build + all three checkers.
+void BM_CheckAll(benchmark::State& state) {
+  const auto store = make_job(8, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto report = analyze::run_checks(store);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * total_events(store));
+}
+BENCHMARK(BM_CheckAll)->Arg(1'000)->Arg(10'000);
+
+/// Context build alone (decode + stack walk): the floor any checker pays.
+void BM_CheckContextBuild(benchmark::State& state) {
+  const auto store = make_job(8, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto ctx = analyze::CheckContext::build(store);
+    benchmark::DoNotOptimize(ctx);
+  }
+  state.SetItemsProcessed(state.iterations() * total_events(store));
+}
+BENCHMARK(BM_CheckContextBuild)->Arg(1'000)->Arg(10'000);
+
+/// Single-checker costs over a shared store (per-checker marginal price).
+void BM_CheckOne(benchmark::State& state, const char* checker) {
+  const auto store = make_job(8, 5'000);
+  for (auto _ : state) {
+    auto report = analyze::run_checks(store, {.checkers = {checker}});
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * total_events(store));
+}
+BENCHMARK_CAPTURE(BM_CheckOne, stream, "stream");
+BENCHMARK_CAPTURE(BM_CheckOne, mpi, "mpi");
+BENCHMARK_CAPTURE(BM_CheckOne, locks, "locks");
+
+/// Scaling in rank count at fixed per-rank work (wait-for graph growth).
+void BM_CheckRankScaling(benchmark::State& state) {
+  const auto store = make_job(static_cast<int>(state.range(0)), 2'000);
+  for (auto _ : state) {
+    auto report = analyze::run_checks(store);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * total_events(store));
+}
+BENCHMARK(BM_CheckRankScaling)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace

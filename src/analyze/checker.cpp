@@ -1,0 +1,45 @@
+#include "analyze/checker.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace difftrace::analyze {
+
+namespace {
+
+using Factory = std::unique_ptr<Checker> (*)();
+
+struct Registration {
+  std::string_view name;
+  std::string_view description;
+  Factory factory;
+};
+
+constexpr Registration kRegistry[] = {
+    {"stream", "call/return stack balance, orphan and mismatched returns",
+     &make_wellformed_checker},
+    {"mpi", "send/recv matching, collective agreement, wait-for-graph deadlock detection",
+     &make_mpi_checker},
+    {"locks", "lock acquisition order and held-across-barrier discipline", &make_lock_checker},
+};
+
+}  // namespace
+
+std::vector<CheckerInfo> available_checkers() {
+  std::vector<CheckerInfo> out;
+  for (const auto& r : kRegistry) out.push_back({r.name, r.description});
+  return out;
+}
+
+std::unique_ptr<Checker> make_checker(std::string_view name) {
+  for (const auto& r : kRegistry)
+    if (r.name == name) return r.factory();
+  std::string known;
+  for (const auto& r : kRegistry) {
+    if (!known.empty()) known += ", ";
+    known += r.name;
+  }
+  throw std::invalid_argument("unknown checker '" + std::string(name) + "' (known: " + known + ")");
+}
+
+}  // namespace difftrace::analyze

@@ -1,0 +1,48 @@
+// Checker: one family of semantic rules run over a CheckContext. Checkers
+// are registered by name in a static table (checker.cpp) so the CLI can
+// list them (`difftrace check --list`) and run a subset (`--checkers`).
+//
+//   stream  call/return stack well-formedness     (wellformed.cpp)
+//   mpi     p2p matching, collectives, wait-for   (mpi.cpp)
+//   locks   lock discipline / lock order          (locks.cpp)
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "analyze/context.hpp"
+#include "analyze/diagnostic.hpp"
+
+namespace difftrace::analyze {
+
+class Checker {
+ public:
+  Checker() = default;
+  virtual ~Checker() = default;
+  Checker(const Checker&) = delete;
+  Checker& operator=(const Checker&) = delete;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual std::string_view description() const noexcept = 0;
+  virtual void run(const CheckContext& ctx, CheckReport& out) const = 0;
+};
+
+struct CheckerInfo {
+  std::string_view name;
+  std::string_view description;
+};
+
+/// The registered checkers, in run order.
+[[nodiscard]] std::vector<CheckerInfo> available_checkers();
+
+/// Instantiates one checker by registered name.
+/// Throws std::invalid_argument for unknown names (listing the known ones).
+[[nodiscard]] std::unique_ptr<Checker> make_checker(std::string_view name);
+
+// Concrete factories (one per implementation file).
+[[nodiscard]] std::unique_ptr<Checker> make_wellformed_checker();
+[[nodiscard]] std::unique_ptr<Checker> make_mpi_checker();
+[[nodiscard]] std::unique_ptr<Checker> make_lock_checker();
+
+}  // namespace difftrace::analyze

@@ -1,0 +1,67 @@
+#include "analyze/diagnostic.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace difftrace::analyze {
+
+std::string_view severity_name(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::Info: return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?severity";
+}
+
+std::string Diagnostic::render() const {
+  std::ostringstream os;
+  os << severity_name(severity) << " " << rule << " @" << where.label();
+  if (!function.empty()) os << " " << function;
+  os << ": " << message;
+  if (!path.empty()) os << " [" << path << "]";
+  return os.str();
+}
+
+std::size_t CheckReport::count(Severity severity) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [severity](const Diagnostic& d) { return d.severity == severity; }));
+}
+
+int CheckReport::exit_code() const noexcept {
+  if (errors() > 0) return 1;
+  return diagnostics.empty() ? 0 : 3;
+}
+
+void CheckReport::sort() {
+  std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.severity != b.severity) return a.severity > b.severity;
+                     if (a.where != b.where) return a.where < b.where;
+                     if (a.rule != b.rule) return a.rule < b.rule;
+                     return a.event_index < b.event_index;
+                   });
+}
+
+std::string CheckReport::render() const {
+  std::ostringstream os;
+  os << "checked " << streams_checked << " stream(s), " << events_checked << " event(s), "
+     << checkers_run << " checker(s): " << errors() << " error(s), " << warnings()
+     << " warning(s), " << count(Severity::Info) << " info(s)\n";
+  if (!diagnostics.empty()) {
+    util::TextTable table({"Severity", "Rule", "Where", "Function", "Message"});
+    for (const auto& d : diagnostics)
+      table.add_row({std::string(severity_name(d.severity)), d.rule, d.where.label(),
+                     d.function.empty() ? "-" : d.function, d.message});
+    os << table.render();
+  }
+  for (const auto& d : diagnostics)
+    if (!d.path.empty()) os << "  path " << d.where.label() << ": " << d.path << "\n";
+  for (const auto& note : notes) os << "  note: " << note << "\n";
+  return os.str();
+}
+
+}  // namespace difftrace::analyze

@@ -1,0 +1,65 @@
+// Diagnostic records: the structured findings of the semantic trace
+// verifier (`difftrace check`). Each diagnostic names a rule, a severity,
+// the trace stream it anchors to (rank.thread), the implicated function —
+// with the full open-frame call path when the finding is about a blocked
+// stream — and a human-readable message. CheckReport aggregates them with
+// the degradation notes and drives the CLI exit code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace difftrace::analyze {
+
+enum class Severity : std::uint8_t {
+  Info = 0,     // context worth surfacing (e.g. truncated stream)
+  Warning = 1,  // suspicious but not proven fatal, or degraded evidence
+  Error = 2,    // semantic violation: deadlock, unmatched op, broken stream
+};
+
+[[nodiscard]] std::string_view severity_name(Severity severity) noexcept;
+
+struct Diagnostic {
+  std::string rule{};  // "mpi.unmatched-recv", "lock.order-cycle", ...
+  Severity severity = Severity::Warning;
+  trace::TraceKey where{};   // stream the finding anchors to
+  std::string function{};    // implicated function (e.g. "MPI_Recv")
+  std::string path{};        // open-frame call path for blocked streams, "" otherwise
+  std::uint64_t event_index = 0;  // position in the stream, when meaningful
+  std::string message{};
+
+  /// One-line rendering: "error mpi.unmatched-recv @1.0 MPI_Recv: ...".
+  [[nodiscard]] std::string render() const;
+};
+
+struct CheckReport {
+  std::vector<Diagnostic> diagnostics;
+  /// Non-diagnostic context: degraded streams, skipped checkers, missing
+  /// op records. Never affects the exit code.
+  std::vector<std::string> notes;
+  std::size_t streams_checked = 0;
+  std::uint64_t events_checked = 0;
+  std::size_t checkers_run = 0;
+
+  void add(Diagnostic diagnostic) { diagnostics.push_back(std::move(diagnostic)); }
+  [[nodiscard]] std::size_t count(Severity severity) const noexcept;
+  [[nodiscard]] std::size_t errors() const noexcept { return count(Severity::Error); }
+  [[nodiscard]] std::size_t warnings() const noexcept { return count(Severity::Warning); }
+  [[nodiscard]] bool clean() const noexcept { return diagnostics.empty(); }
+
+  /// `difftrace check` exit code, documented next to fsck's in the README:
+  /// 0 = no diagnostics, 1 = at least one error, 3 = warnings/infos only.
+  /// (2 is the CLI's usage-error code, so the checker never returns it.)
+  [[nodiscard]] int exit_code() const noexcept;
+
+  /// Orders diagnostics most-severe first, then by stream, rule, position.
+  void sort();
+
+  [[nodiscard]] std::string render() const;
+};
+
+}  // namespace difftrace::analyze

@@ -1,0 +1,137 @@
+// Lock-discipline checker over the simomp op records:
+//
+//  * order cycles — thread A takes lock x then y while thread B (same
+//    process: criticals are per-process) takes y then x. Classic ABBA;
+//    pending acquisitions count, so a frozen mid-deadlock trace shows the
+//    inversion even though neither thread got both locks.
+//  * held-across-barrier — entering a team barrier while holding a lock:
+//    any teammate that needs the lock before its own barrier call can
+//    never arrive, so the barrier (and the region) may never complete.
+//  * re-acquire — taking a lock the thread already holds self-deadlocks a
+//    non-recursive critical section.
+//  * unreleased / unpaired release — balance violations, reported only for
+//    streams that finished cleanly (a frozen trace legitimately ends with
+//    locks held).
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/checker.hpp"
+
+namespace difftrace::analyze {
+
+namespace {
+
+using trace::OpCode;
+using trace::OpRecord;
+
+class LockChecker final : public Checker {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "locks"; }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "lock acquisition order and held-across-barrier discipline";
+  }
+
+  void run(const CheckContext& ctx, CheckReport& out) const override {
+    // Acquisition-order edges per process: held-lock -> next-lock, with the
+    // stream and op that witnessed the pair.
+    struct Witness {
+      trace::TraceKey key;
+      std::uint64_t event_index = 0;
+    };
+    std::map<int, std::map<std::pair<std::string, std::string>, Witness>> order;
+
+    for (const auto& s : ctx.streams()) {
+      std::vector<const OpRecord*> held;  // acquisition order, completed acquires
+      for (std::size_t i = 0; i < s.ops.size(); ++i) {
+        const auto& op = s.ops[i];
+        const bool pending = s.blocked && s.pending() == &op;
+        if (op.code == OpCode::LockAcquire) {
+          const bool already_held =
+              std::any_of(held.begin(), held.end(),
+                          [&op](const OpRecord* h) { return h->detail == op.detail; });
+          if (already_held)
+            out.add({.rule = "lock.reacquire",
+                     .severity = Severity::Error,
+                     .where = s.key,
+                     .function = "GOMP_critical_start",
+                     .event_index = op.event_index,
+                     .message = "lock '" + op.detail +
+                                "' acquired while already held — self-deadlock on a "
+                                "non-recursive critical section"});
+          for (const auto* h : held)
+            order[s.key.proc].try_emplace({h->detail, op.detail},
+                                          Witness{s.key, op.event_index});
+          if (!pending) held.push_back(&op);  // a pending acquire was never granted
+        } else if (op.code == OpCode::LockRelease) {
+          const auto it = std::find_if(held.rbegin(), held.rend(), [&op](const OpRecord* h) {
+            return h->detail == op.detail;
+          });
+          if (it == held.rend()) {
+            out.add({.rule = "lock.unpaired-release",
+                     .severity = Severity::Warning,
+                     .where = s.key,
+                     .function = "GOMP_critical_end",
+                     .event_index = op.event_index,
+                     .message = "release of lock '" + op.detail + "' that this thread does not hold"});
+          } else {
+            held.erase(std::next(it).base());
+          }
+        } else if (op.code == OpCode::ThreadBarrier && !held.empty()) {
+          std::string names;
+          for (const auto* h : held) {
+            if (!names.empty()) names += "', '";
+            names += h->detail;
+          }
+          out.add({.rule = "lock.held-at-barrier",
+                   .severity = Severity::Error,
+                   .where = s.key,
+                   .function = "GOMP_barrier",
+                   .event_index = op.event_index,
+                   .message = "thread enters the team barrier holding lock(s) '" + names +
+                              "' — teammates contending for them can never reach the barrier"});
+        }
+      }
+      // Locks still held at the end of a stream that finished cleanly.
+      if (!s.truncated && !s.degraded && !s.blocked)
+        for (const auto* h : held)
+          out.add({.rule = "lock.unreleased",
+                   .severity = Severity::Warning,
+                   .where = s.key,
+                   .function = "GOMP_critical_start",
+                   .event_index = h->event_index,
+                   .message = "lock '" + h->detail + "' is never released"});
+    }
+
+    // Order inversions: x-before-y and y-before-x both witnessed in the
+    // same process. Report each unordered pair once, from both witnesses.
+    for (const auto& [proc, edges] : order) {
+      std::set<std::pair<std::string, std::string>> reported;
+      for (const auto& [pair, witness] : edges) {
+        const auto reverse = std::make_pair(pair.second, pair.first);
+        const auto it = edges.find(reverse);
+        if (it == edges.end()) continue;
+        auto canon = std::minmax(pair.first, pair.second);
+        if (!reported.insert({canon.first, canon.second}).second) continue;
+        out.add({.rule = "lock.order-cycle",
+                 .severity = Severity::Error,
+                 .where = witness.key,
+                 .function = "GOMP_critical_start",
+                 .event_index = witness.event_index,
+                 .message = "inconsistent lock order in process " + std::to_string(proc) +
+                            ": '" + pair.first + "' taken before '" + pair.second + "' (thread " +
+                            std::to_string(witness.key.thread) + ") but '" + pair.second +
+                            "' before '" + pair.first + "' (thread " +
+                            std::to_string(it->second.key.thread) + ") — ABBA deadlock risk"});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Checker> make_lock_checker() { return std::make_unique<LockChecker>(); }
+
+}  // namespace difftrace::analyze

@@ -1,0 +1,75 @@
+// Stream well-formedness: every trace must be a balanced call/return
+// sequence. Orphan returns (no open call) and mismatched returns (closing
+// a different function than the open one) indicate a corrupted or
+// mis-instrumented stream; unreturned frames at the end of a stream are
+// expected in truncated/degraded traces (the watchdog froze the writer
+// mid-call) but suspicious in a run that claims to have finished cleanly.
+#include <string>
+
+#include "analyze/checker.hpp"
+
+namespace difftrace::analyze {
+
+namespace {
+
+class WellformedChecker final : public Checker {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "stream"; }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "call/return stack balance, orphan and mismatched returns";
+  }
+
+  void run(const CheckContext& ctx, CheckReport& out) const override {
+    for (const auto& s : ctx.streams()) {
+      // Structural damage is an Error in a verified stream; in a degraded
+      // one the decoder already warned us the tail is unreliable.
+      const auto structural = s.degraded ? Severity::Warning : Severity::Error;
+      for (const auto index : s.orphan_returns) {
+        const auto fid = s.events[index].fid;
+        out.add({.rule = "stream.orphan-return",
+                 .severity = structural,
+                 .where = s.key,
+                 .function = ctx.fn_name(fid),
+                 .event_index = index,
+                 .message = "return event with no matching call"});
+      }
+      for (const auto index : s.mismatched_returns) {
+        const auto fid = s.events[index].fid;
+        out.add({.rule = "stream.mismatched-return",
+                 .severity = structural,
+                 .where = s.key,
+                 .function = ctx.fn_name(fid),
+                 .event_index = index,
+                 .message = "return does not close the innermost open call"});
+      }
+      if (s.open_frames.empty()) continue;
+      if (s.truncated || s.degraded) {
+        out.add({.rule = "stream.unclosed-call",
+                 .severity = Severity::Info,
+                 .where = s.key,
+                 .function = ctx.fn_name(s.open_frames.back().fid),
+                 .path = ctx.call_path(s),
+                 .event_index = s.open_frames.back().call_index,
+                 .message = "trace ends inside " + std::to_string(s.open_frames.size()) +
+                            " unreturned frame(s) (" +
+                            std::string(s.truncated ? "frozen by watchdog" : "degraded tail") +
+                            ")"});
+      } else {
+        out.add({.rule = "stream.unclosed-call",
+                 .severity = Severity::Warning,
+                 .where = s.key,
+                 .function = ctx.fn_name(s.open_frames.back().fid),
+                 .path = ctx.call_path(s),
+                 .event_index = s.open_frames.back().call_index,
+                 .message = "stream from a cleanly finished run ends with " +
+                            std::to_string(s.open_frames.size()) + " unreturned frame(s)"});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Checker> make_wellformed_checker() { return std::make_unique<WellformedChecker>(); }
+
+}  // namespace difftrace::analyze

@@ -5,6 +5,7 @@
 
 #include <fstream>
 
+#include "analyze/analyze.hpp"
 #include "apps/ilcs.hpp"
 #include "apps/lulesh.hpp"
 #include "apps/oddeven.hpp"
@@ -191,6 +192,11 @@ commands:
   report NORMAL FAULTY [--filters SPEC,...] [--detail-filter SPEC]
          [--diffs N] [--side-by-side] [--threads N]
       one-shot artifact: triage + ranking + progress + top diffNLRs.
+  check STORE [--checkers NAME,NAME,...] [--list]
+      semantic trace verifier: call/return well-formedness, MPI send/recv
+      matching, collective agreement, deadlock cycles, and lock discipline.
+      exits 0 when clean, 1 when any error-severity finding exists, 3 when
+      only warnings/infos were found. --list prints the available checkers.
   fsck STORE [--rescue FILE]
       integrity-check an archive; prints a per-section salvage report and
       exits non-zero if anything is damaged. --rescue writes the recovered
@@ -415,6 +421,29 @@ int cmd_export(const Args& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_check(const Args& args, std::ostream& out) {
+  if (args.flag("list")) {
+    util::TextTable table({"Checker", "Description"});
+    for (const auto& info : analyze::available_checkers())
+      table.add_row({std::string(info.name), std::string(info.description)});
+    out << table.render();
+    return 0;
+  }
+  const auto path = args.positional_at(1, "trace-store path");
+  const auto store = load_store(path, out);
+  analyze::CheckOptions options;
+  if (const auto names = args.get("checkers"))
+    for (const auto& name : util::split(*names, ',')) options.checkers.push_back(name);
+  analyze::CheckReport report;
+  try {
+    report = analyze::run_checks(store, options);
+  } catch (const std::invalid_argument& e) {
+    throw ArgError(e.what());
+  }
+  out << "check " << path << "\n" << report.render();
+  return report.exit_code();
+}
+
 int cmd_fsck(const Args& args, std::ostream& out) {
   const auto path = args.positional_at(1, "trace-store path");
   trace::SalvageResult result;
@@ -486,6 +515,7 @@ int run_command(const std::vector<std::string>& argv, std::ostream& out, std::os
     if (command == "export") return cmd_export(args, out);
     if (command == "triage") return cmd_triage(args, out);
     if (command == "report") return cmd_report(args, out);
+    if (command == "check") return cmd_check(args, out);
     if (command == "fsck") return cmd_fsck(args, out);
     if (command == "chaos") return cmd_chaos(args, out);
     throw ArgError("unknown command '" + command + "' (see 'difftrace help')");

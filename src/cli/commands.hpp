@@ -11,6 +11,8 @@
 //   diffnlr   diffNLR(x) between two stores
 //   progress  per-trace progress ratios (least-progressed analysis)
 //   outliers  single-run JSM outlier analysis (no baseline needed)
+//   check     semantic verifier: stream well-formedness, MPI matching and
+//             deadlock detection, lock discipline (exit 0/1/3)
 //   fsck      archive integrity check / best-effort salvage report
 //   chaos     inject a deterministic fault into an archive (testing aid)
 #pragma once
@@ -48,6 +50,7 @@ int cmd_outliers(const Args& args, std::ostream& out);
 int cmd_export(const Args& args, std::ostream& out);
 int cmd_triage(const Args& args, std::ostream& out);
 int cmd_report(const Args& args, std::ostream& out);
+int cmd_check(const Args& args, std::ostream& out);
 int cmd_fsck(const Args& args, std::ostream& out);
 int cmd_chaos(const Args& args, std::ostream& out);
 

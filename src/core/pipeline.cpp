@@ -386,4 +386,12 @@ RankingTable DiffTrace::rank(const SweepConfig& config) const {
   return sweep(normal_, faulty_, config);
 }
 
+analyze::CheckReport DiffTrace::check_normal(const analyze::CheckOptions& options) const {
+  return analyze::run_checks(normal_, options);
+}
+
+analyze::CheckReport DiffTrace::check_faulty(const analyze::CheckOptions& options) const {
+  return analyze::run_checks(faulty_, options);
+}
+
 }  // namespace difftrace::core

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/analyze.hpp"
 #include "core/attributes.hpp"
 #include "core/bscore.hpp"
 #include "core/diffnlr.hpp"
@@ -196,6 +197,12 @@ class DiffTrace {
 
   [[nodiscard]] Session make_session(const FilterSpec& filter, const NlrConfig& nlr = {}) const;
   [[nodiscard]] RankingTable rank(const SweepConfig& config) const;
+
+  /// Semantic verification (`difftrace check`) of either run. The normal
+  /// run is the baseline sanity check (expected clean); the faulty run is
+  /// where deadlocks / unmatched ops / lock inversions show up.
+  [[nodiscard]] analyze::CheckReport check_normal(const analyze::CheckOptions& options = {}) const;
+  [[nodiscard]] analyze::CheckReport check_faulty(const analyze::CheckOptions& options = {}) const;
 
  private:
   trace::TraceStore normal_;

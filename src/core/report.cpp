@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "analyze/analyze.hpp"
 #include "util/str.hpp"
 #include "util/table.hpp"
 
@@ -40,8 +41,13 @@ Report build_report(const trace::TraceStore& normal, const trace::TraceStore& fa
 
   os << "==================== DiffTrace report ====================\n\n";
 
+  // 0. Semantic verification of the faulty run, computed up front so its
+  // findings can corroborate the triage.
+  if (config.run_check) report.check = analyze::run_checks(faulty);
+
   // 1. Triage: which debugging family is this?
   report.triage = triage(normal, faulty, config.detail_filter, config.sweep.pipeline.nlr);
+  if (config.run_check) corroborate(report.triage, report.check);
   os << "--- triage ---\n" << report.triage.render() << '\n';
 
   // 2. Ranking sweep.
@@ -51,6 +57,35 @@ Report build_report(const trace::TraceStore& normal, const trace::TraceStore& fa
   const auto consensus = report.ranking.consensus_thread();
   if (!consensus.empty()) os << "consensus suspicious trace: " << consensus << "\n";
   os << '\n';
+
+  // Top-voted suspects (shared by the semantic cross-reference and the
+  // diffNLR section below; triage focus is the fallback when unranked).
+  for (const auto& label : voted_suspects(report.ranking)) {
+    if (report.suspects.size() >= config.diffnlr_count) break;
+    report.suspects.push_back(parse_label(label));
+  }
+  if (report.suspects.empty() && report.triage.bug_class != BugClass::NoAnomaly)
+    report.suspects.push_back(report.triage.focus);
+
+  // 2b. Semantic check findings, cross-referenced with the ranking: a trace
+  // both statistically suspicious and semantically implicated is the place
+  // to start reading.
+  if (config.run_check) {
+    os << "--- semantic check (faulty run) ---\n" << report.check.render();
+    for (const auto& key : report.suspects) {
+      std::string rules;
+      for (const auto& d : report.check.diagnostics) {
+        if (!(d.where == key)) continue;
+        if (rules.find(d.rule) != std::string::npos) continue;
+        if (!rules.empty()) rules += ", ";
+        rules += d.rule;
+      }
+      if (!rules.empty())
+        os << "cross-reference: trace " << key.label()
+           << " is both ranking-suspicious and semantically implicated (" << rules << ")\n";
+    }
+    os << '\n';
+  }
 
   // 3. Ingestion health under the detail filter: which traces the analysis
   // above did NOT see at full fidelity.
@@ -82,14 +117,7 @@ Report build_report(const trace::TraceStore& normal, const trace::TraceStore& fa
     os << truncated << " of " << session.traces().size() << " faulty traces watchdog-truncated\n\n";
   }
 
-  // 5. diffNLRs of the top suspects (triage focus first if unranked).
-  for (const auto& label : voted_suspects(report.ranking)) {
-    if (report.suspects.size() >= config.diffnlr_count) break;
-    report.suspects.push_back(parse_label(label));
-  }
-  if (report.suspects.empty() && report.triage.bug_class != BugClass::NoAnomaly)
-    report.suspects.push_back(report.triage.focus);
-
+  // 5. diffNLRs of the top suspects.
   for (const auto& key : report.suspects) {
     if (std::find(session.traces().begin(), session.traces().end(), key) == session.traces().end())
       continue;

@@ -1,12 +1,14 @@
 // The full DiffTrace report: one artifact combining everything the paper's
 // workflow surfaces for a normal/faulty pair — the bug-class triage, the
-// filter × attribute ranking table, the per-trace progress view, and the
-// diffNLRs of the top suspects (Figure 1's outputs, assembled).
+// filter × attribute ranking table, the semantic verifier's findings, the
+// per-trace progress view, and the diffNLRs of the top suspects (Figure 1's
+// outputs, assembled).
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "analyze/diagnostic.hpp"
 #include "core/pipeline.hpp"
 #include "core/triage.hpp"
 
@@ -20,11 +22,18 @@ struct ReportConfig {
   /// diffNLRs rendered for this many top-voted suspects.
   std::size_t diffnlr_count = 2;
   bool side_by_side = false;
+  /// Run the semantic verifier (`difftrace check`) over the faulty store
+  /// and render its findings next to the ranking, cross-referenced with the
+  /// top-voted suspects. The statistical pipeline is untouched either way.
+  bool run_check = true;
 };
 
 struct Report {
   TriageReport triage;
   RankingTable ranking;
+  /// Semantic verifier findings over the faulty run (empty when
+  /// config.run_check is off).
+  analyze::CheckReport check;
   std::vector<trace::TraceKey> suspects;  // descending vote order
   /// Ingestion problems: traces dropped (present in one run only) or
   /// analyzed degraded (salvaged / partially decodable blobs). Empty for a

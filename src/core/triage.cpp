@@ -139,4 +139,34 @@ TriageReport triage(const trace::TraceStore& normal, const trace::TraceStore& fa
   return report;
 }
 
+void corroborate(TriageReport& report, const analyze::CheckReport& check) {
+  if (check.clean()) {
+    if (report.bug_class != BugClass::NoAnomaly)
+      report.evidence.push_back("semantic check: no rule violations — the anomaly is "
+                                "statistical only (frequency/structure, not a protocol bug)");
+    return;
+  }
+  // Diagnostics are sorted most-severe-first, so the first one anchored at
+  // the focus trace is the strongest corroboration available.
+  const analyze::Diagnostic* at_focus = nullptr;
+  for (const auto& d : check.diagnostics)
+    if (d.where == report.focus) {
+      at_focus = &d;
+      break;
+    }
+  if (report.bug_class != BugClass::NoAnomaly && at_focus != nullptr) {
+    std::string line = "semantic check corroborates trace " + report.focus.label() + ": " +
+                       std::string(analyze::severity_name(at_focus->severity)) + " " +
+                       at_focus->rule;
+    if (!at_focus->function.empty()) line += " in " + at_focus->function;
+    report.evidence.push_back(line);
+  } else {
+    const auto& top = check.diagnostics.front();
+    report.evidence.push_back(
+        "semantic check: " + std::to_string(check.errors()) + " error(s), " +
+        std::to_string(check.warnings()) + " warning(s); strongest finding at trace " +
+        top.where.label() + " (" + top.rule + ") — see the semantic check section");
+  }
+}
+
 }  // namespace difftrace::core

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/diagnostic.hpp"
 #include "core/pipeline.hpp"
 
 namespace difftrace::core {
@@ -48,5 +49,13 @@ struct TriageReport {
 
 [[nodiscard]] TriageReport triage(const trace::TraceStore& normal, const trace::TraceStore& faulty,
                                   const FilterSpec& filter, const NlrConfig& nlr = {});
+
+/// Cross-references the statistical triage with the semantic verifier's
+/// findings on the faulty run (`difftrace check`). A diagnostic anchored at
+/// the focus trace turns a statistical suspicion into a named rule
+/// violation; violations elsewhere are surfaced so the reader knows the two
+/// analyses disagree about where to look. Appends evidence lines only —
+/// never changes the class or focus the statistics chose.
+void corroborate(TriageReport& report, const analyze::CheckReport& check);
 
 }  // namespace difftrace::core

@@ -88,6 +88,12 @@ void Tracer::on_return(std::string_view name, trace::Image image) {
   state.writer->record(trace::EventKind::Return, state.registry->intern(name, image));
 }
 
+void Tracer::on_op(trace::OpRecord op) {
+  const ThreadState state = t_state;
+  if (state.writer == nullptr) return;
+  state.writer->annotate(std::move(op));
+}
+
 void Tracer::freeze_all() {
   std::lock_guard lock(mutex_);
   for (const auto& [key, writer] : writers_) writer->freeze();

@@ -68,6 +68,12 @@ class Tracer {
   void on_call(std::string_view name, trace::Image image);
   void on_return(std::string_view name, trace::Image image);
 
+  /// Semantic annotation callback: attaches an op record (peer/tag/
+  /// collective params, see trace/op.hpp) to the current thread's stream.
+  /// Recorded at every capture level — ops are metadata about the API call
+  /// the runtime is executing, not extra events. No-op when unbound.
+  void on_op(trace::OpRecord op);
+
   /// Watchdog hook: permanently freezes every writer in the session, so
   /// post-abort unwinding cannot append events (deadlock truncation).
   void freeze_all();

@@ -18,6 +18,37 @@ struct InternalScope {
   TraceScope scope;
 };
 
+// Semantic op annotations (trace/op.hpp), emitted *before* the potentially
+// blocking World call so a watchdog-frozen trace still records the pending
+// operation's peer/tag/params. They land inside the MPI_* frame opened above.
+
+void note_p2p(trace::OpCode code, int peer, int tag, std::uint64_t bytes = 0) {
+  trace::OpRecord op;
+  op.code = code;
+  op.peer = peer;
+  op.tag = tag;
+  op.count = bytes;
+  instrument::Tracer::instance().on_op(std::move(op));
+}
+
+void note_coll(const CollParams& params, const char* api_name) {
+  trace::OpRecord op;
+  op.code = trace::OpCode::CollEnter;
+  op.peer = params.root;
+  op.count = params.count;
+  op.coll = static_cast<std::uint8_t>(params.type);
+  op.dtype = static_cast<std::uint8_t>(params.dtype);
+  op.redop = static_cast<std::uint8_t>(params.op);
+  op.detail = api_name;
+  instrument::Tracer::instance().on_op(std::move(op));
+}
+
+/// The op a wait on `request` amounts to: completing a send or a recv.
+void note_wait(const Request& request) {
+  note_p2p(request.kind() == Request::Kind::Send ? trace::OpCode::WaitSend : trace::OpCode::WaitRecv,
+           request.peer(), request.tag());
+}
+
 }  // namespace
 
 Comm::Comm(std::shared_ptr<World> world, int rank) : world_(std::move(world)), rank_(rank) {
@@ -47,7 +78,9 @@ void Comm::finalize() {
   // Synchronizing, like most real implementations: a job with one
   // deadlocked rank hangs here, so the surviving ranks' traces show an
   // MPI_Finalize call with no return.
-  world_->collective(rank_, CollParams{.type = CollType::Finalize}, {}, {});
+  const CollParams params{.type = CollType::Finalize};
+  note_coll(params, "MPI_Finalize");
+  world_->collective(rank_, params, {}, {});
   world_->mark_finished(rank_);
 }
 
@@ -55,6 +88,7 @@ void Comm::send_bytes(std::span<const std::byte> data, int dest, int tag) {
   auto scope = api_scope("MPI_Send");
   InternalScope a("MPID_Send");
   InternalScope b("MPIDI_CH3_iSend");
+  note_p2p(trace::OpCode::SendPost, dest, tag, data.size());
   world_->send(rank_, dest, tag, data);
 }
 
@@ -62,12 +96,14 @@ std::size_t Comm::recv_bytes(std::span<std::byte> out, int src, int tag) {
   auto scope = api_scope("MPI_Recv");
   InternalScope a("MPID_Recv");
   InternalScope b("MPIDI_CH3U_Recvq_FDU_or_AEP");
+  note_p2p(trace::OpCode::RecvPost, src, tag);
   return world_->recv(rank_, src, tag, out);
 }
 
 Request Comm::isend_bytes(std::span<const std::byte> data, int dest, int tag) {
   auto scope = api_scope("MPI_Isend");
   InternalScope a("MPID_Isend");
+  note_p2p(trace::OpCode::IsendPost, dest, tag, data.size());
   Request req;
   req.kind_ = Request::Kind::Send;
   req.peer_ = dest;
@@ -80,6 +116,7 @@ Request Comm::isend_bytes(std::span<const std::byte> data, int dest, int tag) {
 Request Comm::irecv_bytes(std::span<std::byte> out, int src, int tag) {
   auto scope = api_scope("MPI_Irecv");
   InternalScope a("MPID_Irecv");
+  note_p2p(trace::OpCode::IrecvPost, src, tag);
   Request req;
   req.kind_ = Request::Kind::Recv;
   req.peer_ = src;
@@ -96,6 +133,7 @@ void Comm::wait(Request& request) {
     request.complete_ = true;
     return;
   }
+  note_wait(request);
   switch (request.kind_) {
     case Request::Kind::Send:
       world_->await_send(rank_, request.msg_);
@@ -117,6 +155,7 @@ void Comm::waitall(std::span<Request> requests) {
       request.complete_ = true;
       continue;
     }
+    note_wait(request);
     switch (request.kind_) {
       case Request::Kind::Send:
         world_->await_send(rank_, request.msg_);
@@ -134,13 +173,16 @@ void Comm::waitall(std::span<Request> requests) {
 void Comm::barrier() {
   auto scope = api_scope("MPI_Barrier");
   InternalScope a("MPIR_Barrier_intra");
-  world_->collective(rank_, CollParams{.type = CollType::Barrier}, {}, {});
+  const CollParams params{.type = CollType::Barrier};
+  note_coll(params, "MPI_Barrier");
+  world_->collective(rank_, params, {}, {});
 }
 
 void Comm::bcast_bytes(std::span<std::byte> data, Dtype dtype, std::size_t count, int root) {
   auto scope = api_scope("MPI_Bcast");
   InternalScope a("MPIR_Bcast_intra");
   const CollParams params{.type = CollType::Bcast, .dtype = dtype, .count = count, .root = root};
+  note_coll(params, "MPI_Bcast");
   if (rank_ == root)
     world_->collective(rank_, params, std::span<const std::byte>(data.data(), data.size()), {});
   else
@@ -152,6 +194,7 @@ void Comm::reduce_bytes(std::span<const std::byte> in, std::span<std::byte> out,
   auto scope = api_scope("MPI_Reduce");
   InternalScope a("MPIR_Reduce_intra");
   const CollParams params{.type = CollType::Reduce, .dtype = dtype, .count = count, .root = root, .op = op};
+  note_coll(params, "MPI_Reduce");
   world_->collective(rank_, params, in, rank_ == root ? out : std::span<std::byte>{});
 }
 
@@ -161,6 +204,7 @@ void Comm::allreduce_bytes(std::span<const std::byte> in, std::span<std::byte> o
   InternalScope a("MPIR_Allreduce_intra");
   InternalScope b("MPIDI_POSIX_progress");
   const CollParams params{.type = CollType::Allreduce, .dtype = dtype, .count = count, .op = op};
+  note_coll(params, "MPI_Allreduce");
   world_->collective(rank_, params, in, out);
 }
 

@@ -20,6 +20,9 @@ class Request {
 
   [[nodiscard]] Kind kind() const noexcept { return kind_; }
   [[nodiscard]] bool complete() const noexcept { return complete_; }
+  /// Destination rank for sends, source rank for recvs.
+  [[nodiscard]] int peer() const noexcept { return peer_; }
+  [[nodiscard]] int tag() const noexcept { return tag_; }
 
  private:
   friend class Comm;

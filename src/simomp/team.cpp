@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "instrument/tracer.hpp"
+#include "trace/op.hpp"
 
 namespace difftrace::simomp {
 
@@ -33,6 +34,16 @@ struct Registry {
 Registry& registry() {
   static Registry r;
   return r;
+}
+
+/// Semantic op annotation (trace/op.hpp) on the current thread's stream.
+/// Lock acquisitions are annotated *before* blocking on the mutex, so a
+/// frozen trace still names the lock a thread is stuck on.
+void note_lock_op(trace::OpCode code, std::string_view lock_name) {
+  trace::OpRecord op;
+  op.code = code;
+  op.detail = std::string(lock_name);
+  instrument::Tracer::instance().on_op(std::move(op));
 }
 
 }  // namespace
@@ -108,7 +119,7 @@ void parallel_region(int proc, int num_threads, const std::function<void(int)>& 
   if (first_error) std::rethrow_exception(first_error);
 }
 
-Critical::Critical(int proc, std::string_view name) {
+Critical::Critical(int proc, std::string_view name) : name_(name) {
   auto& r = registry();
   std::mutex* section = nullptr;
   {
@@ -118,17 +129,20 @@ Critical::Critical(int proc, std::string_view name) {
   {
     // GOMP_critical_start returns once the lock is held.
     TraceScope scope("GOMP_critical_start", Image::OmpLib, /*plt=*/true);
+    note_lock_op(trace::OpCode::LockAcquire, name_);
     lock_ = std::unique_lock<std::mutex>(*section);
   }
 }
 
 Critical::~Critical() {
   TraceScope scope("GOMP_critical_end", Image::OmpLib, /*plt=*/true);
+  note_lock_op(trace::OpCode::LockRelease, name_);
   lock_.unlock();
 }
 
 void team_barrier(int proc) {
   TraceScope scope("GOMP_barrier", Image::OmpLib, /*plt=*/true);
+  instrument::Tracer::instance().on_op(trace::OpRecord{.code = trace::OpCode::ThreadBarrier});
   auto& r = registry();
   std::unique_lock lock(r.mutex);
   const auto it = r.teams.find(proc);

@@ -39,6 +39,7 @@ class Critical {
   Critical& operator=(const Critical&) = delete;
 
  private:
+  std::string name_;  // kept for the release annotation
   std::unique_lock<std::mutex> lock_;
 };
 

@@ -1,0 +1,74 @@
+#include "trace/op.hpp"
+
+#include <stdexcept>
+
+#include "util/varint.hpp"
+
+namespace difftrace::trace {
+
+std::string_view op_code_name(OpCode code) noexcept {
+  switch (code) {
+    case OpCode::None: return "none";
+    case OpCode::SendPost: return "send";
+    case OpCode::RecvPost: return "recv";
+    case OpCode::IsendPost: return "isend";
+    case OpCode::IrecvPost: return "irecv";
+    case OpCode::WaitSend: return "wait-send";
+    case OpCode::WaitRecv: return "wait-recv";
+    case OpCode::CollEnter: return "collective";
+    case OpCode::LockAcquire: return "lock-acquire";
+    case OpCode::LockRelease: return "lock-release";
+    case OpCode::ThreadBarrier: return "thread-barrier";
+  }
+  return "?op";
+}
+
+void encode_ops(std::vector<std::uint8_t>& out, const std::vector<OpRecord>& ops) {
+  util::put_varint(out, ops.size());
+  for (const auto& op : ops) {
+    util::put_varint(out, op.event_index);
+    util::put_varint(out, static_cast<std::uint64_t>(op.code));
+    util::put_svarint(out, op.peer);
+    util::put_svarint(out, op.tag);
+    util::put_varint(out, op.count);
+    util::put_varint(out, op.coll);
+    util::put_varint(out, op.dtype);
+    util::put_varint(out, op.redop);
+    util::put_varint(out, op.detail.size());
+    out.insert(out.end(), op.detail.begin(), op.detail.end());
+  }
+}
+
+bool decode_ops(std::span<const std::uint8_t> in, std::size_t& pos, bool best_effort,
+                std::vector<OpRecord>& out) {
+  std::size_t cursor = pos;
+  try {
+    const auto count = util::get_varint(in, cursor);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      OpRecord op;
+      op.event_index = util::get_varint(in, cursor);
+      op.code = static_cast<OpCode>(util::get_varint(in, cursor));
+      op.peer = static_cast<std::int32_t>(util::get_svarint(in, cursor));
+      op.tag = static_cast<std::int32_t>(util::get_svarint(in, cursor));
+      op.count = util::get_varint(in, cursor);
+      op.coll = static_cast<std::uint8_t>(util::get_varint(in, cursor));
+      op.dtype = static_cast<std::uint8_t>(util::get_varint(in, cursor));
+      op.redop = static_cast<std::uint8_t>(util::get_varint(in, cursor));
+      const auto detail_len = util::get_varint(in, cursor);
+      if (detail_len > in.size() || cursor > in.size() - detail_len)
+        throw std::out_of_range("truncated op detail");
+      op.detail.assign(in.begin() + static_cast<std::ptrdiff_t>(cursor),
+                       in.begin() + static_cast<std::ptrdiff_t>(cursor + detail_len));
+      cursor += detail_len;
+      out.push_back(std::move(op));
+      pos = cursor;  // commit record-by-record so best-effort keeps the prefix
+    }
+  } catch (const std::exception&) {
+    if (!best_effort) throw;
+    return false;
+  }
+  pos = cursor;
+  return true;
+}
+
+}  // namespace difftrace::trace

@@ -1,0 +1,71 @@
+// Semantic operation records: a per-thread side-channel that annotates the
+// call/return event stream with what the runtime *meant* by a call — which
+// peer an MPI_Recv waits on, which collective a rank entered, which lock a
+// thread acquired. The event stream alone says "rank 3 called MPI_Recv";
+// the op record adds "…from rank 5, tag 77", which is exactly what the
+// offline verifier (src/analyze) needs to match sends against recvs, detect
+// collective mismatches, and build wait-for graphs.
+//
+// Ops ride inside the trace archive next to the encoded event bytes (CRC
+// covered by the same v2 blob frame), so `difftrace check` works on archived
+// runs with no re-execution. Archives written before this side-channel
+// existed simply load with zero ops; salvaged (damaged) blobs drop their ops
+// because the checksum no longer vouches for them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace difftrace::trace {
+
+enum class OpCode : std::uint8_t {
+  None = 0,
+  SendPost = 1,    // blocking send posted: peer = destination, tag, count = bytes
+  RecvPost = 2,    // blocking recv posted: peer = source, tag
+  IsendPost = 3,   // nonblocking send posted (never blocks by itself)
+  IrecvPost = 4,   // nonblocking recv posted
+  WaitSend = 5,    // wait on a pending send request: peer = destination, tag
+  WaitRecv = 6,    // wait on a pending recv request: peer = source, tag
+  CollEnter = 7,   // collective entered: coll/dtype/redop raw, peer = root, count
+  LockAcquire = 8,  // named lock acquisition posted (may block): detail = lock name
+  LockRelease = 9,  // named lock released: detail = lock name
+  ThreadBarrier = 10,  // team-wide thread barrier entered
+};
+
+[[nodiscard]] std::string_view op_code_name(OpCode code) noexcept;
+
+/// One semantic annotation, anchored into its thread's event stream by
+/// `event_index` (the number of call/return events recorded before the op —
+/// i.e. the op happened *inside* whichever frames are open at that index).
+/// Field meaning depends on `code`; unused fields keep their defaults.
+struct OpRecord {
+  std::uint64_t event_index = 0;
+  OpCode code = OpCode::None;
+  std::int32_t peer = -1;   // partner rank (p2p) or root (collectives); -1 = n/a
+  std::int32_t tag = -1;    // message tag; -1 = n/a
+  std::uint64_t count = 0;  // payload bytes (p2p) or element count (collectives)
+  // Collective identity, stored as raw bytes so the trace layer does not
+  // depend on the simmpi enums: which collective, element type, reduction op.
+  std::uint8_t coll = 0;
+  std::uint8_t dtype = 0;
+  std::uint8_t redop = 0;
+  std::string detail{};  // human-readable: API name for collectives, lock name for locks
+
+  [[nodiscard]] bool operator==(const OpRecord&) const = default;
+};
+
+/// Appends `ops` to `out` (varint count, then per-record varint fields).
+void encode_ops(std::vector<std::uint8_t>& out, const std::vector<OpRecord>& ops);
+
+/// Parses an op section written by `encode_ops` starting at `pos`, advancing
+/// `pos` past it. Strict mode throws on damage; best-effort mode returns
+/// false and leaves `out` with the records readable before the damage.
+bool decode_ops(std::span<const std::uint8_t> in, std::size_t& pos, bool best_effort,
+                std::vector<OpRecord>& out);
+
+}  // namespace difftrace::trace

@@ -101,6 +101,7 @@ void encode_blob_payload(std::vector<std::uint8_t>& out, TraceKey key, const Tra
   util::put_varint(out, (blob.truncated ? kFlagTruncated : 0) | (blob.salvaged ? kFlagSalvaged : 0));
   util::put_varint(out, blob.bytes.size());
   out.insert(out.end(), blob.bytes.begin(), blob.bytes.end());
+  encode_ops(out, blob.ops);
 }
 
 struct ParsedBlob {
@@ -116,7 +117,13 @@ struct ParsedBlob {
 /// Parses one blob payload. In best-effort mode a payload whose encoded
 /// stream is cut short still yields the available prefix (`bytes_short`);
 /// damage before the byte stream begins yields nullopt.
-std::optional<ParsedBlob> parse_blob_payload(std::span<const std::uint8_t> payload, bool best_effort) {
+///
+/// `with_ops` is set for v2 frames (payload boundary exact): the op section
+/// follows the encoded bytes, and a payload ending right after them — an
+/// archive predating the op side-channel — parses as zero ops. v1 archives
+/// pack blobs back-to-back with no op section, so their callers pass false.
+std::optional<ParsedBlob> parse_blob_payload(std::span<const std::uint8_t> payload, bool best_effort,
+                                             bool with_ops) {
   ParsedBlob out;
   std::size_t pos = 0;
   try {
@@ -137,7 +144,11 @@ std::optional<ParsedBlob> parse_blob_payload(std::span<const std::uint8_t> paylo
     out.bytes_short = available < nbytes;
     out.blob.bytes.assign(payload.begin() + static_cast<std::ptrdiff_t>(pos),
                           payload.begin() + static_cast<std::ptrdiff_t>(pos + available));
-    out.consumed = pos + static_cast<std::size_t>(available);
+    pos += static_cast<std::size_t>(available);
+    if (with_ops && !out.bytes_short && pos < payload.size()) {
+      if (!decode_ops(payload, pos, best_effort, out.blob.ops)) out.blob.ops.clear();
+    }
+    out.consumed = pos;
   } catch (const std::exception&) {
     if (!best_effort) throw;
     return std::nullopt;
@@ -249,6 +260,7 @@ void TraceStore::absorb(const TraceWriter& writer) {
   blob.codec_name = writer.codec_name();
   blob.bytes = writer.bytes();
   blob.event_count = writer.event_count();
+  blob.ops = writer.ops();
   blob.truncated = writer.frozen();
   add_blob(writer.key(), std::move(blob));
 }
@@ -462,7 +474,7 @@ TraceStore load_v2_strict(std::span<const std::uint8_t> buf) {
       parse_registry_payload(payload, /*best_effort=*/false, functions);
       for (const auto& fn : functions) store.registry().intern(fn.name, fn.image);
     } else if (tag == kTagBlob) {
-      auto parsed = parse_blob_payload(payload, /*best_effort=*/false);
+      auto parsed = parse_blob_payload(payload, /*best_effort=*/false, /*with_ops=*/true);
       store.add_blob(parsed->key, std::move(parsed->blob));
     } else {
       throw std::runtime_error("TraceStore::load: unknown frame tag " + std::to_string(tag) +
@@ -562,7 +574,7 @@ void salvage_v1(std::span<const std::uint8_t> buf, TraceStore& store, LoadReport
   }
   for (std::uint64_t i = 0; i < nblobs; ++i) {
     const auto blob_offset = pos;
-    auto parsed = parse_blob_payload(buf.subspan(pos), /*best_effort=*/true);
+    auto parsed = parse_blob_payload(buf.subspan(pos), /*best_effort=*/true, /*with_ops=*/false);
     if (!parsed) {
       note_entry(report, LoadReport::Status::Dropped, "blob #" + std::to_string(i), blob_offset,
                  buf.size() - blob_offset, "truncated mid-frame; v1 has no resync markers");
@@ -620,7 +632,7 @@ void salvage_v2(std::span<const std::uint8_t> buf, TraceStore& store, LoadReport
 
   const auto handle_blob = [&](std::span<const std::uint8_t> payload, std::size_t frame_offset,
                                bool crc_ok, bool frame_torn) {
-    auto parsed = parse_blob_payload(payload, /*best_effort=*/true);
+    auto parsed = parse_blob_payload(payload, /*best_effort=*/true, /*with_ops=*/true);
     if (!parsed) {
       note_entry(report, LoadReport::Status::Dropped, "blob frame", frame_offset, payload.size(),
                  crc_ok ? "malformed payload" : "checksum mismatch and unparsable header");
@@ -632,8 +644,12 @@ void salvage_v2(std::span<const std::uint8_t> buf, TraceStore& store, LoadReport
       store.add_blob(parsed->key, std::move(parsed->blob));
       return;
     }
-    // Damaged frame: keep the longest decodable prefix of the stream, if any.
+    // Damaged frame: keep the longest decodable prefix of the stream, if
+    // any. The op section is dropped wholesale — with the checksum broken
+    // there is no way to tell a genuine op record from corrupted bytes, and
+    // the semantic checkers must not reason from fabricated peers/tags.
     TraceBlob candidate = std::move(parsed->blob);
+    candidate.ops.clear();
     if (!trim_to_decodable_prefix(candidate)) {
       note_entry(report, LoadReport::Status::Dropped, section, frame_offset, payload.size(),
                  frame_torn ? "file ends mid-frame; no decodable prefix"

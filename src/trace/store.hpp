@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "trace/event.hpp"
+#include "trace/op.hpp"
 #include "trace/registry.hpp"
 #include "trace/writer.hpp"
 
@@ -34,7 +35,12 @@ struct TraceBlob {
   std::string codec_name;
   std::vector<std::uint8_t> bytes;
   std::uint64_t event_count = 0;  // pre-compression events
-  bool truncated = false;         // frozen by the watchdog (deadlock/abort)
+  /// Semantic op annotations (src/trace/op.hpp), ordered by event_index.
+  /// Persisted inside the same v2 blob frame as `bytes` (CRC covered);
+  /// archives written before the side-channel load with zero ops, and
+  /// salvaged blobs drop theirs — the checksum no longer vouches for them.
+  std::vector<OpRecord> ops;
+  bool truncated = false;  // frozen by the watchdog (deadlock/abort)
   /// Recovered from a damaged archive (checksum mismatch or torn frame):
   /// `bytes` may hold only a decodable prefix of the original stream.
   /// Downstream analysis treats the trace as degraded, not authoritative.

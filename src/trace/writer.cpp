@@ -15,6 +15,13 @@ void TraceWriter::record(EventKind kind, FunctionId fid) {
   if (++events_ % flush_interval_ == 0) encoder_->flush();
 }
 
+void TraceWriter::annotate(OpRecord op) {
+  std::lock_guard lock(mutex_);
+  if (frozen_) return;
+  op.event_index = events_;
+  ops_.push_back(std::move(op));
+}
+
 void TraceWriter::freeze() {
   std::lock_guard lock(mutex_);
   if (!frozen_) {
@@ -42,6 +49,11 @@ std::vector<std::uint8_t> TraceWriter::bytes() const {
   std::lock_guard lock(mutex_);
   if (!frozen_) encoder_->flush();
   return encoder_->bytes();
+}
+
+std::vector<OpRecord> TraceWriter::ops() const {
+  std::lock_guard lock(mutex_);
+  return ops_;
 }
 
 }  // namespace difftrace::trace

@@ -18,6 +18,7 @@
 
 #include "compress/codec.hpp"
 #include "trace/event.hpp"
+#include "trace/op.hpp"
 
 namespace difftrace::trace {
 
@@ -32,6 +33,13 @@ class TraceWriter {
 
   void record(EventKind kind, FunctionId fid);
 
+  /// Attaches a semantic op record to the stream at the current event index
+  /// (the op's own `event_index` is overwritten). Ops land *inside* whatever
+  /// frames are open when they are emitted — runtimes annotate just before
+  /// a potentially blocking step so a frozen trace still names the pending
+  /// operation. No-op once frozen, mirroring record().
+  void annotate(OpRecord op);
+
   /// Permanently stops recording (idempotent, thread-safe) and flushes what
   /// was recorded so far.
   void freeze();
@@ -45,6 +53,8 @@ class TraceWriter {
   [[nodiscard]] std::uint64_t event_count() const;
   /// Copy of the encoded bytes (flushing first so the tail is decodable).
   [[nodiscard]] std::vector<std::uint8_t> bytes() const;
+  /// Copy of the semantic op records annotated so far.
+  [[nodiscard]] std::vector<OpRecord> ops() const;
 
  private:
   TraceKey key_;
@@ -53,6 +63,7 @@ class TraceWriter {
   std::unique_ptr<compress::SymbolEncoder> encoder_;
   std::uint64_t flush_interval_;
   std::uint64_t events_ = 0;
+  std::vector<OpRecord> ops_;
   bool frozen_ = false;
 };
 

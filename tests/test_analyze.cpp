@@ -1,0 +1,589 @@
+#include "analyze/analyze.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string_view>
+
+#include "analyze/checker.hpp"
+#include "analyze/context.hpp"
+#include "trace/op.hpp"
+#include "trace/store.hpp"
+#include "trace/writer.hpp"
+
+namespace difftrace::analyze {
+namespace {
+
+using trace::EventKind;
+using trace::Image;
+using trace::OpCode;
+using trace::OpRecord;
+
+// Hand-builds a store one stream at a time through the real TraceWriter, so
+// the tests exercise the same encode/annotate/absorb path the tracer uses.
+class StoreBuilder {
+ public:
+  trace::FunctionId fn(const std::string& name, Image image = Image::Main) {
+    return store_.registry().intern(name, image);
+  }
+
+  trace::TraceWriter& stream(int proc, int thread = 0) {
+    const trace::TraceKey key{proc, thread};
+    auto it = writers_.find(key);
+    if (it == writers_.end())
+      it = writers_.emplace(key, std::make_unique<trace::TraceWriter>(key, "null")).first;
+    return *it->second;
+  }
+
+  /// Absorbs every stream; the listed keys are frozen first (watchdog kill).
+  trace::TraceStore finish(std::initializer_list<trace::TraceKey> freeze = {}) {
+    for (auto& [key, writer] : writers_) {
+      if (std::find(freeze.begin(), freeze.end(), key) != freeze.end()) writer->freeze();
+      store_.absorb(*writer);
+    }
+    return std::move(store_);
+  }
+
+ private:
+  trace::TraceStore store_;
+  std::map<trace::TraceKey, std::unique_ptr<trace::TraceWriter>> writers_;
+};
+
+void call(trace::TraceWriter& w, trace::FunctionId f) { w.record(EventKind::Call, f); }
+void ret(trace::TraceWriter& w, trace::FunctionId f) { w.record(EventKind::Return, f); }
+
+std::size_t count_rule(const CheckReport& report, std::string_view rule) {
+  return static_cast<std::size_t>(std::count_if(
+      report.diagnostics.begin(), report.diagnostics.end(),
+      [rule](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+const Diagnostic* find_rule(const CheckReport& report, std::string_view rule) {
+  for (const auto& d : report.diagnostics)
+    if (d.rule == rule) return &d;
+  return nullptr;
+}
+
+// --- registry and options ---------------------------------------------------
+
+TEST(CheckerRegistry, ListsStreamMpiAndLocks) {
+  const auto infos = available_checkers();
+  ASSERT_EQ(infos.size(), 3u);
+  EXPECT_EQ(infos[0].name, "stream");
+  EXPECT_EQ(infos[1].name, "mpi");
+  EXPECT_EQ(infos[2].name, "locks");
+  for (const auto& info : infos) {
+    const auto checker = make_checker(info.name);
+    EXPECT_EQ(checker->name(), info.name);
+    EXPECT_EQ(checker->description(), info.description);
+  }
+}
+
+TEST(CheckerRegistry, UnknownNameThrowsListingKnownOnes) {
+  try {
+    (void)make_checker("bogus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("mpi"), std::string::npos);
+  }
+}
+
+TEST(CheckerRegistry, RunChecksFailsFastOnUnknownChecker) {
+  const trace::TraceStore store;
+  EXPECT_THROW((void)run_checks(store, {.checkers = {"stream", "bogus"}}), std::invalid_argument);
+}
+
+// --- exit codes -------------------------------------------------------------
+
+TEST(CheckReportApi, ExitCodeMapsSeverities) {
+  CheckReport report;
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.exit_code(), 0);
+  report.add({.rule = "x", .severity = Severity::Info});
+  EXPECT_EQ(report.exit_code(), 3);
+  report.add({.rule = "x", .severity = Severity::Warning});
+  EXPECT_EQ(report.exit_code(), 3);
+  report.add({.rule = "x", .severity = Severity::Error});
+  EXPECT_EQ(report.exit_code(), 1);
+  EXPECT_EQ(report.errors(), 1u);
+  EXPECT_EQ(report.warnings(), 1u);
+}
+
+TEST(CheckReportApi, SortPutsMostSevereFirst) {
+  CheckReport report;
+  report.add({.rule = "b", .severity = Severity::Info, .where = {0, 0}});
+  report.add({.rule = "a", .severity = Severity::Error, .where = {3, 0}});
+  report.add({.rule = "c", .severity = Severity::Warning, .where = {1, 0}});
+  report.sort();
+  EXPECT_EQ(report.diagnostics[0].severity, Severity::Error);
+  EXPECT_EQ(report.diagnostics[2].severity, Severity::Info);
+}
+
+// --- stream well-formedness -------------------------------------------------
+
+TEST(Wellformed, BalancedCleanRunIsClean) {
+  StoreBuilder b;
+  const auto main_fn = b.fn("main");
+  const auto work = b.fn("work");
+  auto& w = b.stream(0);
+  call(w, main_fn);
+  call(w, work);
+  ret(w, work);
+  ret(w, main_fn);
+  const auto store = b.finish();
+  const auto report = run_checks(store);
+  EXPECT_TRUE(report.clean()) << report.render();
+  EXPECT_EQ(report.exit_code(), 0);
+  EXPECT_EQ(report.streams_checked, 1u);
+  EXPECT_EQ(report.events_checked, 4u);
+  EXPECT_EQ(report.checkers_run, 3u);
+}
+
+TEST(Wellformed, OrphanReturnIsError) {
+  StoreBuilder b;
+  const auto main_fn = b.fn("main");
+  auto& w = b.stream(0);
+  ret(w, main_fn);  // return with an empty stack
+  const auto report = run_checks(b.finish());
+  const auto* d = find_rule(report, "stream.orphan-return");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_EQ(d->function, "main");
+  EXPECT_EQ(report.exit_code(), 1);
+}
+
+TEST(Wellformed, MismatchedReturnIsError) {
+  StoreBuilder b;
+  const auto f = b.fn("f");
+  const auto g = b.fn("g");
+  auto& w = b.stream(0);
+  call(w, f);
+  ret(w, g);  // closes the wrong function
+  const auto report = run_checks(b.finish());
+  const auto* d = find_rule(report, "stream.mismatched-return");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_EQ(d->function, "g");
+}
+
+TEST(Wellformed, UnclosedCallInCleanRunIsWarning) {
+  StoreBuilder b;
+  const auto main_fn = b.fn("main");
+  auto& w = b.stream(0);
+  call(w, main_fn);  // never returns, but nothing froze the writer
+  const auto report = run_checks(b.finish());
+  const auto* d = find_rule(report, "stream.unclosed-call");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Warning);
+  EXPECT_NE(d->message.find("cleanly finished"), std::string::npos);
+}
+
+TEST(Wellformed, UnclosedCallInTruncatedRunIsInfoWithPath) {
+  StoreBuilder b;
+  const auto main_fn = b.fn("main");
+  const auto recv = b.fn("MPI_Recv", Image::MpiLib);
+  auto& w = b.stream(0);
+  call(w, main_fn);
+  call(w, recv);
+  const auto report = run_checks(b.finish({{0, 0}}));
+  const auto* d = find_rule(report, "stream.unclosed-call");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Info);
+  EXPECT_NE(d->message.find("frozen by watchdog"), std::string::npos);
+  EXPECT_NE(d->path.find("main > MPI_Recv"), std::string::npos);
+}
+
+// --- blocked-stream classification ------------------------------------------
+
+TEST(Context, OpenMpiFrameClassifiesStreamAsBlocked) {
+  StoreBuilder b;
+  const auto main_fn = b.fn("main");
+  const auto recv = b.fn("MPI_Recv", Image::MpiLib);
+  auto& w = b.stream(2);
+  call(w, main_fn);
+  call(w, recv);
+  w.annotate({.code = OpCode::RecvPost, .peer = 1, .tag = 7});
+  const auto store = b.finish({{2, 0}});
+  const auto ctx = CheckContext::build(store);
+  const auto* s = ctx.find({2, 0});
+  ASSERT_NE(s, nullptr);
+  EXPECT_TRUE(s->blocked);
+  EXPECT_EQ(ctx.fn_name(s->blocked_fid), "MPI_Recv");
+  ASSERT_NE(s->pending(), nullptr);
+  EXPECT_EQ(s->pending()->code, OpCode::RecvPost);
+  EXPECT_EQ(s->pending()->peer, 1);
+}
+
+TEST(Context, OpenMainFramesOnlyIsNotBlocked) {
+  StoreBuilder b;
+  const auto main_fn = b.fn("main");
+  auto& w = b.stream(0);
+  call(w, main_fn);
+  const auto store = b.finish({{0, 0}});
+  const auto ctx = CheckContext::build(store);
+  const auto* s = ctx.find({0, 0});
+  ASSERT_NE(s, nullptr);
+  EXPECT_FALSE(s->blocked);
+}
+
+// --- MPI checker ------------------------------------------------------------
+
+/// A balanced rank that posts the given ops from inside one MPI frame each.
+void matched_pair(StoreBuilder& b, int src, int dst, int tag) {
+  const auto main_fn = b.fn("main");
+  const auto send = b.fn("MPI_Send", Image::MpiLib);
+  const auto recv = b.fn("MPI_Recv", Image::MpiLib);
+  auto& ws = b.stream(src);
+  call(ws, main_fn);
+  call(ws, send);
+  ws.annotate({.code = OpCode::SendPost, .peer = dst, .tag = tag});
+  ret(ws, send);
+  ret(ws, main_fn);
+  auto& wr = b.stream(dst);
+  call(wr, main_fn);
+  call(wr, recv);
+  wr.annotate({.code = OpCode::RecvPost, .peer = src, .tag = tag});
+  ret(wr, recv);
+  ret(wr, main_fn);
+}
+
+TEST(MpiChecker, MatchedTrafficIsClean) {
+  StoreBuilder b;
+  matched_pair(b, 0, 1, 42);
+  const auto report = run_checks(b.finish());
+  EXPECT_TRUE(report.clean()) << report.render();
+  EXPECT_EQ(report.exit_code(), 0);
+}
+
+TEST(MpiChecker, BlockedUnmatchedRecvNamesRankFunctionAndPeer) {
+  StoreBuilder b;
+  const auto main_fn = b.fn("main");
+  const auto recv = b.fn("MPI_Recv", Image::MpiLib);
+  auto& w0 = b.stream(0);
+  call(w0, main_fn);
+  ret(w0, main_fn);
+  auto& w1 = b.stream(1);
+  call(w1, main_fn);
+  call(w1, recv);
+  w1.annotate({.code = OpCode::RecvPost, .peer = 0, .tag = 9});
+  const auto report = run_checks(b.finish({{1, 0}}));
+  const auto* d = find_rule(report, "mpi.unmatched-recv");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_EQ(d->where, (trace::TraceKey{1, 0}));
+  EXPECT_EQ(d->function, "MPI_Recv");
+  EXPECT_NE(d->message.find("from rank 0 tag 9"), std::string::npos);
+  EXPECT_EQ(report.exit_code(), 1);
+}
+
+TEST(MpiChecker, SendSurplusIsWarning) {
+  StoreBuilder b;
+  matched_pair(b, 0, 1, 1);
+  const auto send = b.fn("MPI_Send", Image::MpiLib);
+  auto& w0 = b.stream(0);  // one extra send nobody receives
+  call(w0, send);
+  w0.annotate({.code = OpCode::SendPost, .peer = 1, .tag = 99});
+  ret(w0, send);
+  const auto report = run_checks(b.finish());
+  const auto* d = find_rule(report, "mpi.unmatched-send");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Warning);
+  EXPECT_EQ(report.exit_code(), 3);
+}
+
+TEST(MpiChecker, RecvRecvCycleIsReportedOnce) {
+  StoreBuilder b;
+  const auto main_fn = b.fn("main");
+  const auto recv = b.fn("MPI_Recv", Image::MpiLib);
+  for (int rank : {0, 1}) {
+    auto& w = b.stream(rank);
+    call(w, main_fn);
+    call(w, recv);
+    w.annotate({.code = OpCode::RecvPost, .peer = 1 - rank, .tag = rank});
+  }
+  const auto report = run_checks(b.finish({{0, 0}, {1, 0}}));
+  EXPECT_EQ(count_rule(report, "mpi.deadlock-cycle"), 1u);
+  const auto* d = find_rule(report, "mpi.deadlock-cycle");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_NE(d->message.find("rank 0"), std::string::npos);
+  EXPECT_NE(d->message.find("rank 1"), std::string::npos);
+}
+
+/// One rank per proc entering an allreduce; `count` per rank, all completing.
+void collective_round(StoreBuilder& b, const std::vector<std::uint64_t>& counts,
+                      const std::vector<std::uint8_t>& redops) {
+  const auto main_fn = b.fn("main");
+  const auto allreduce = b.fn("MPI_Allreduce", Image::MpiLib);
+  for (std::size_t rank = 0; rank < counts.size(); ++rank) {
+    auto& w = b.stream(static_cast<int>(rank));
+    call(w, main_fn);
+    call(w, allreduce);
+    w.annotate({.code = OpCode::CollEnter,
+                .peer = 0,
+                .count = counts[rank],
+                .coll = 3,
+                .dtype = 1,
+                .redop = redops[rank],
+                .detail = "MPI_Allreduce"});
+    ret(w, allreduce);
+    ret(w, main_fn);
+  }
+}
+
+TEST(MpiChecker, CollectiveCountMismatchNamesDissenter) {
+  StoreBuilder b;
+  collective_round(b, {1, 1, 2}, {1, 1, 1});
+  const auto report = run_checks(b.finish());
+  ASSERT_EQ(count_rule(report, "mpi.collective-mismatch"), 1u);
+  const auto* d = find_rule(report, "mpi.collective-mismatch");
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_EQ(d->where, (trace::TraceKey{2, 0}));
+  EXPECT_NE(d->message.find("count=2"), std::string::npos);
+}
+
+TEST(MpiChecker, CollectiveRedopMismatchIsWarningOnly) {
+  StoreBuilder b;
+  collective_round(b, {1, 1, 1}, {1, 2, 1});
+  const auto report = run_checks(b.finish());
+  EXPECT_EQ(count_rule(report, "mpi.collective-mismatch"), 0u);
+  ASSERT_EQ(count_rule(report, "mpi.collective-op-mismatch"), 1u);
+  const auto* d = find_rule(report, "mpi.collective-op-mismatch");
+  EXPECT_EQ(d->severity, Severity::Warning);
+  EXPECT_EQ(d->where, (trace::TraceKey{1, 0}));
+  EXPECT_EQ(report.exit_code(), 3);
+}
+
+TEST(MpiChecker, CollectiveStallNamesMissingRank) {
+  StoreBuilder b;
+  const auto main_fn = b.fn("main");
+  const auto barrier = b.fn("MPI_Barrier", Image::MpiLib);
+  for (int rank : {0, 1}) {  // blocked inside the barrier
+    auto& w = b.stream(rank);
+    call(w, main_fn);
+    call(w, barrier);
+    w.annotate({.code = OpCode::CollEnter, .peer = -1, .coll = 1, .detail = "MPI_Barrier"});
+  }
+  auto& w2 = b.stream(2);  // finishes without ever joining
+  call(w2, main_fn);
+  ret(w2, main_fn);
+  const auto report = run_checks(b.finish({{0, 0}, {1, 0}}));
+  ASSERT_EQ(count_rule(report, "mpi.collective-stall"), 1u);
+  const auto* d = find_rule(report, "mpi.collective-stall");
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_EQ(d->function, "MPI_Barrier");
+  EXPECT_NE(d->message.find("rank 2"), std::string::npos);
+}
+
+TEST(MpiChecker, ArchiveWithoutOpsIsSkippedWithNote) {
+  StoreBuilder b;
+  const auto main_fn = b.fn("main");
+  auto& w = b.stream(0);
+  call(w, main_fn);
+  ret(w, main_fn);
+  const auto report = run_checks(b.finish(), {.checkers = {"mpi"}});
+  EXPECT_TRUE(report.clean());
+  ASSERT_FALSE(report.notes.empty());
+  EXPECT_NE(report.notes.front().find("no op records"), std::string::npos);
+}
+
+TEST(MpiChecker, DegradedArchiveCapsErrorsAtWarning) {
+  StoreBuilder b;
+  const auto main_fn = b.fn("main");
+  const auto recv = b.fn("MPI_Recv", Image::MpiLib);
+  auto& w0 = b.stream(0);
+  call(w0, main_fn);
+  ret(w0, main_fn);
+  auto& w1 = b.stream(1);
+  call(w1, main_fn);
+  call(w1, recv);
+  w1.annotate({.code = OpCode::RecvPost, .peer = 0, .tag = 5});
+  auto store = b.finish({{1, 0}});
+  // Re-mark rank 0's blob as salvaged: evidence is now one-sided, so the
+  // unmatched-recv can no longer be proven — absence of a send might just be
+  // a dropped record.
+  auto blob = store.blob({0, 0});
+  blob.salvaged = true;
+  store.add_blob({0, 0}, std::move(blob));
+
+  const auto report = run_checks(store);
+  EXPECT_EQ(report.errors(), 0u) << report.render();
+  const auto* d = find_rule(report, "mpi.unmatched-recv");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Warning);
+  EXPECT_EQ(report.exit_code(), 3);
+  ASSERT_FALSE(report.notes.empty());  // the degradation is called out
+}
+
+// --- lock checker -----------------------------------------------------------
+
+trace::TraceWriter& balanced_thread(StoreBuilder& b, int proc, int thread) {
+  const auto main_fn = b.fn("main");
+  auto& w = b.stream(proc, thread);
+  call(w, main_fn);
+  ret(w, main_fn);
+  return w;
+}
+
+TEST(LockChecker, AbbaOrderIsCycleError) {
+  StoreBuilder b;
+  auto& t0 = balanced_thread(b, 0, 0);
+  t0.annotate({.code = OpCode::LockAcquire, .detail = "A"});
+  t0.annotate({.code = OpCode::LockAcquire, .detail = "B"});
+  t0.annotate({.code = OpCode::LockRelease, .detail = "B"});
+  t0.annotate({.code = OpCode::LockRelease, .detail = "A"});
+  auto& t1 = balanced_thread(b, 0, 1);
+  t1.annotate({.code = OpCode::LockAcquire, .detail = "B"});
+  t1.annotate({.code = OpCode::LockAcquire, .detail = "A"});
+  t1.annotate({.code = OpCode::LockRelease, .detail = "A"});
+  t1.annotate({.code = OpCode::LockRelease, .detail = "B"});
+  const auto report = run_checks(b.finish(), {.checkers = {"locks"}});
+  ASSERT_EQ(count_rule(report, "mpi.deadlock-cycle"), 0u);
+  ASSERT_EQ(count_rule(report, "lock.order-cycle"), 1u);
+  const auto* d = find_rule(report, "lock.order-cycle");
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_NE(d->message.find("'A'"), std::string::npos);
+  EXPECT_NE(d->message.find("'B'"), std::string::npos);
+}
+
+TEST(LockChecker, ConsistentOrderIsClean) {
+  StoreBuilder b;
+  for (int thread : {0, 1}) {
+    auto& t = balanced_thread(b, 0, thread);
+    t.annotate({.code = OpCode::LockAcquire, .detail = "A"});
+    t.annotate({.code = OpCode::LockAcquire, .detail = "B"});
+    t.annotate({.code = OpCode::LockRelease, .detail = "B"});
+    t.annotate({.code = OpCode::LockRelease, .detail = "A"});
+  }
+  const auto report = run_checks(b.finish(), {.checkers = {"locks"}});
+  EXPECT_TRUE(report.clean()) << report.render();
+}
+
+TEST(LockChecker, HeldAcrossBarrierIsError) {
+  StoreBuilder b;
+  auto& t0 = balanced_thread(b, 0, 0);
+  t0.annotate({.code = OpCode::LockAcquire, .detail = "mutex"});
+  t0.annotate({.code = OpCode::ThreadBarrier});
+  t0.annotate({.code = OpCode::LockRelease, .detail = "mutex"});
+  const auto report = run_checks(b.finish(), {.checkers = {"locks"}});
+  ASSERT_EQ(count_rule(report, "lock.held-at-barrier"), 1u);
+  const auto* d = find_rule(report, "lock.held-at-barrier");
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_NE(d->message.find("mutex"), std::string::npos);
+}
+
+TEST(LockChecker, ReacquireAndUnpairedRelease) {
+  StoreBuilder b;
+  auto& t0 = balanced_thread(b, 0, 0);
+  t0.annotate({.code = OpCode::LockAcquire, .detail = "A"});
+  t0.annotate({.code = OpCode::LockAcquire, .detail = "A"});  // self-deadlock
+  t0.annotate({.code = OpCode::LockRelease, .detail = "Z"});  // never held
+  const auto report = run_checks(b.finish(), {.checkers = {"locks"}});
+  EXPECT_EQ(count_rule(report, "lock.reacquire"), 1u);
+  EXPECT_EQ(count_rule(report, "lock.unpaired-release"), 1u);
+}
+
+TEST(LockChecker, UnreleasedReportedOnlyForCleanStreams) {
+  StoreBuilder b;
+  auto& t0 = balanced_thread(b, 0, 0);
+  t0.annotate({.code = OpCode::LockAcquire, .detail = "A"});
+  auto& t1 = balanced_thread(b, 1, 0);
+  t1.annotate({.code = OpCode::LockAcquire, .detail = "B"});
+  const auto report = run_checks(b.finish({{1, 0}}), {.checkers = {"locks"}});
+  ASSERT_EQ(count_rule(report, "lock.unreleased"), 1u);
+  // Only the cleanly-finished stream reports; the frozen one legitimately
+  // ends holding its lock.
+  EXPECT_EQ(find_rule(report, "lock.unreleased")->where, (trace::TraceKey{0, 0}));
+}
+
+// --- op side-channel persistence --------------------------------------------
+
+TEST(OpRecords, EncodeDecodeRoundTrip) {
+  std::vector<OpRecord> ops;
+  ops.push_back({.event_index = 7,
+                 .code = OpCode::SendPost,
+                 .peer = 3,
+                 .tag = -1,
+                 .count = 4096,
+                 .detail = "x"});
+  ops.push_back({.event_index = 9,
+                 .code = OpCode::CollEnter,
+                 .peer = 0,
+                 .tag = 0,
+                 .count = 2,
+                 .coll = 4,
+                 .dtype = 1,
+                 .redop = 2,
+                 .detail = "MPI_Allreduce"});
+  std::vector<std::uint8_t> bytes;
+  trace::encode_ops(bytes, ops);
+  std::vector<OpRecord> decoded;
+  std::size_t pos = 0;
+  ASSERT_TRUE(trace::decode_ops(bytes, pos, /*best_effort=*/false, decoded));
+  EXPECT_EQ(pos, bytes.size());
+  EXPECT_EQ(decoded, ops);
+}
+
+TEST(OpRecords, TruncatedBufferKeepsPrefixInBestEffortMode) {
+  std::vector<OpRecord> ops;
+  ops.push_back({.event_index = 1, .code = OpCode::LockAcquire, .detail = "A"});
+  ops.push_back({.event_index = 2, .code = OpCode::LockRelease, .detail = "A"});
+  std::vector<std::uint8_t> bytes;
+  trace::encode_ops(bytes, ops);
+  bytes.resize(bytes.size() - 2);  // tear the last record
+
+  std::vector<OpRecord> strict;
+  std::size_t pos = 0;
+  EXPECT_THROW((void)trace::decode_ops(bytes, pos, /*best_effort=*/false, strict),
+               std::exception);
+
+  std::vector<OpRecord> tolerant;
+  pos = 0;
+  EXPECT_FALSE(trace::decode_ops(bytes, pos, /*best_effort=*/true, tolerant));
+  ASSERT_EQ(tolerant.size(), 1u);
+  EXPECT_EQ(tolerant.front(), ops.front());
+}
+
+TEST(OpRecords, SaveLoadPreservesOpsAcrossArchiveRoundTrip) {
+  StoreBuilder b;
+  matched_pair(b, 0, 1, 11);
+  const auto store = b.finish();
+  const auto path = std::filesystem::temp_directory_path() / "difftrace_test_analyze_ops.dtr";
+  store.save(path);
+  const auto loaded = trace::TraceStore::load(path);
+  std::filesystem::remove(path);
+  ASSERT_TRUE(loaded.contains({0, 0}));
+  EXPECT_EQ(loaded.blob({0, 0}).ops, store.blob({0, 0}).ops);
+  EXPECT_EQ(loaded.blob({1, 0}).ops, store.blob({1, 0}).ops);
+  ASSERT_EQ(loaded.blob({0, 0}).ops.size(), 1u);
+  EXPECT_EQ(loaded.blob({0, 0}).ops.front().code, OpCode::SendPost);
+  // The reloaded archive verifies clean end to end.
+  EXPECT_TRUE(run_checks(loaded).clean());
+}
+
+TEST(OpRecords, LegacyBlobWithoutOpsSectionLoadsWithZeroOps) {
+  // A blob whose payload carries no trailing op section (the pre-side-channel
+  // layout) must parse as "no ops", not as garbage.
+  StoreBuilder b;
+  const auto main_fn = b.fn("main");
+  auto& w = b.stream(0);
+  call(w, main_fn);
+  ret(w, main_fn);
+  auto store = b.finish();
+  auto blob = store.blob({0, 0});
+  blob.ops.clear();
+  store.add_blob({0, 0}, std::move(blob));
+  const auto path = std::filesystem::temp_directory_path() / "difftrace_test_analyze_noops.dtr";
+  store.save(path);
+  const auto loaded = trace::TraceStore::load(path);
+  std::filesystem::remove(path);
+  EXPECT_TRUE(loaded.blob({0, 0}).ops.empty());
+  EXPECT_EQ(loaded.decode({0, 0}).size(), 2u);
+}
+
+}  // namespace
+}  // namespace difftrace::analyze

@@ -1,0 +1,256 @@
+// Golden verdict tests for `difftrace check`: each injected fault family
+// from the paper's studied bugs must produce the right diagnostics at the
+// right rank/function, normal runs must verify clean, and chaos-damaged
+// archives must degrade to warnings instead of crashing the checker.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <sstream>
+
+#include "analyze/analyze.hpp"
+#include "apps/ilcs.hpp"
+#include "apps/lulesh.hpp"
+#include "apps/oddeven.hpp"
+#include "apps/runner.hpp"
+#include "cli/commands.hpp"
+#include "core/report.hpp"
+#include "trace/chaos.hpp"
+
+namespace difftrace {
+namespace {
+
+using analyze::CheckReport;
+using analyze::Severity;
+
+simmpi::WorldConfig fast_world(int nranks) {
+  simmpi::WorldConfig config;
+  config.nranks = nranks;
+  config.watchdog_poll = std::chrono::milliseconds(5);
+  return config;
+}
+
+trace::TraceStore trace_odd_even(apps::FaultSpec fault, int nranks = 4) {
+  apps::OddEvenConfig config;
+  config.nranks = nranks;
+  config.elements_per_rank = 8;
+  config.fault = fault;
+  auto run = apps::run_traced(fast_world(nranks),
+                              [config](simmpi::Comm& c) { apps::odd_even_rank(c, config); });
+  return std::move(run.store);
+}
+
+trace::TraceStore trace_ilcs(apps::FaultSpec fault) {
+  apps::IlcsConfig config;
+  config.nranks = 4;
+  config.workers = 3;
+  config.ncities = 12;
+  config.fault = fault;
+  auto run = apps::run_traced(fast_world(config.nranks),
+                              [config](simmpi::Comm& c) { apps::ilcs_rank(c, config); });
+  return std::move(run.store);
+}
+
+trace::TraceStore trace_lulesh(apps::FaultSpec fault) {
+  apps::LuleshConfig config;
+  config.nranks = 4;
+  config.omp_threads = 2;
+  config.elements_per_rank = 12;
+  config.cycles = 3;
+  config.fault = fault;
+  auto run = apps::run_traced(fast_world(config.nranks),
+                              [config](simmpi::Comm& c) { apps::lulesh_rank(c, config); });
+  return std::move(run.store);
+}
+
+std::size_t count_rule(const CheckReport& report, std::string_view rule) {
+  return static_cast<std::size_t>(
+      std::count_if(report.diagnostics.begin(), report.diagnostics.end(),
+                    [rule](const analyze::Diagnostic& d) { return d.rule == rule; }));
+}
+
+const analyze::Diagnostic* find_rule(const CheckReport& report, std::string_view rule) {
+  for (const auto& d : report.diagnostics)
+    if (d.rule == rule) return &d;
+  return nullptr;
+}
+
+// --- oddeven ------------------------------------------------------------------
+
+TEST(CheckGolden, OddEvenNormalRunIsClean) {
+  const auto store = trace_odd_even({});
+  const auto report = analyze::run_checks(store);
+  EXPECT_TRUE(report.clean()) << report.render();
+  EXPECT_EQ(report.exit_code(), 0);
+}
+
+TEST(CheckGolden, OddEvenDeadlockNamesCycleRanksAndFunction) {
+  // DlBug at rank 1: its partner exchange breaks, ranks 1 and 2 end up in
+  // mutual MPI_Recv, and everyone else starves behind them.
+  const auto store = trace_odd_even({apps::FaultType::DlBug, 1, -1, 1});
+  const auto report = analyze::run_checks(store);
+  EXPECT_EQ(report.exit_code(), 1);
+
+  ASSERT_GE(count_rule(report, "mpi.deadlock-cycle"), 1u) << report.render();
+  const auto* cycle = find_rule(report, "mpi.deadlock-cycle");
+  EXPECT_EQ(cycle->severity, Severity::Error);
+  EXPECT_EQ(cycle->function, "MPI_Recv");
+  EXPECT_NE(cycle->message.find("rank 1"), std::string::npos);
+  EXPECT_NE(cycle->message.find("rank 2"), std::string::npos);
+  EXPECT_NE(cycle->path.find("oddEvenSort > "), std::string::npos);
+
+  // The blocked-rank evidence names the exact rank, function, and peer.
+  const auto* recv = find_rule(report, "mpi.unmatched-recv");
+  ASSERT_NE(recv, nullptr);
+  EXPECT_EQ(recv->severity, Severity::Error);
+  EXPECT_EQ(recv->function, "MPI_Recv");
+}
+
+// --- ilcs ---------------------------------------------------------------------
+
+TEST(CheckGolden, IlcsNormalRunIsClean) {
+  const auto store = trace_ilcs({});
+  const auto report = analyze::run_checks(store);
+  EXPECT_TRUE(report.clean()) << report.render();
+}
+
+TEST(CheckGolden, IlcsWrongCollectiveSizeFlagsTheFaultyRank) {
+  const auto store = trace_ilcs({apps::FaultType::WrongCollectiveSize, 2, -1, -1});
+  const auto report = analyze::run_checks(store);
+  EXPECT_EQ(report.exit_code(), 1);
+  ASSERT_GE(count_rule(report, "mpi.collective-mismatch"), 1u) << report.render();
+  const auto* d = find_rule(report, "mpi.collective-mismatch");
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_EQ(d->where.proc, 2);  // majority voting isolates the dissenter
+  EXPECT_NE(d->message.find("rank 2"), std::string::npos);
+}
+
+TEST(CheckGolden, IlcsWrongCollectiveOpIsSilentWarning) {
+  // The paper's silent fault: the job completes, results diverge. No error
+  // — but the checker still flags the divergent reduction op.
+  const auto store = trace_ilcs({apps::FaultType::WrongCollectiveOp, 0, -1, -1});
+  const auto report = analyze::run_checks(store);
+  EXPECT_EQ(report.errors(), 0u) << report.render();
+  ASSERT_GE(count_rule(report, "mpi.collective-op-mismatch"), 1u) << report.render();
+  const auto* d = find_rule(report, "mpi.collective-op-mismatch");
+  EXPECT_EQ(d->severity, Severity::Warning);
+  EXPECT_EQ(d->where.proc, 0);
+  EXPECT_EQ(report.exit_code(), 3);
+}
+
+// --- lulesh -------------------------------------------------------------------
+
+TEST(CheckGolden, LuleshNormalRunIsClean) {
+  const auto store = trace_lulesh({});
+  const auto report = analyze::run_checks(store);
+  EXPECT_TRUE(report.clean()) << report.render();
+}
+
+TEST(CheckGolden, LuleshSkippedPhaseImplicatesRankTwo) {
+  const auto store = trace_lulesh({apps::FaultType::SkipLagrangeLeapFrog, 2, -1, -1});
+  const auto report = analyze::run_checks(store);
+  EXPECT_EQ(report.exit_code(), 1);
+  // Rank 2 stops participating; the errors must point at it — either
+  // anchored there or naming it as the rank everyone waits on.
+  const bool rank2_implicated = std::any_of(
+      report.diagnostics.begin(), report.diagnostics.end(), [](const analyze::Diagnostic& d) {
+        return d.severity == Severity::Error &&
+               (d.where.proc == 2 || d.message.find("rank 2") != std::string::npos);
+      });
+  EXPECT_TRUE(rank2_implicated) << report.render();
+}
+
+// --- damaged archives ---------------------------------------------------------
+
+TEST(CheckGolden, ChaosSalvagedArchivesNeverErrorOnACleanRun) {
+  // A clean run's archive, randomly damaged: whatever survives salvage must
+  // check without crashing, and damage alone must never manufacture an
+  // error-severity verdict — missing evidence caps at warning.
+  const auto store = trace_odd_even({});
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = dir / "difftrace_check_chaos_src.dtr";
+  store.save(path);
+  const auto archive = trace::chaos_read_file(path);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto corrupted = trace::chaos_random(archive, seed);
+    const auto bad_path = dir / "difftrace_check_chaos_bad.dtr";
+    trace::chaos_write_file(bad_path, corrupted.bytes);
+    const auto result = trace::TraceStore::salvage(bad_path);
+    const auto report = analyze::run_checks(result.store);
+    EXPECT_EQ(report.errors(), 0u)
+        << "seed " << seed << " (" << corrupted.description << "):\n" << report.render();
+    std::filesystem::remove(bad_path);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(CheckGolden, TruncatedDeadlockArchiveStillChecksWithoutCrashing) {
+  const auto store = trace_odd_even({apps::FaultType::DlBug, 1, -1, 1});
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = dir / "difftrace_check_trunc.dtr";
+  store.save(path);
+  auto archive = trace::chaos_read_file(path);
+  const auto torn = trace::chaos_inject(archive, trace::ChaosFault::Truncate, 3);
+  trace::chaos_write_file(path, torn.bytes);
+  const auto result = trace::TraceStore::salvage(path);
+  std::filesystem::remove(path);
+  // Whatever survived, the checker must complete and produce a report.
+  const auto report = analyze::run_checks(result.store);
+  EXPECT_EQ(report.streams_checked, result.store.size());
+}
+
+// --- CLI and report integration -----------------------------------------------
+
+TEST(CheckGolden, CliCheckCommandExitCodesAndListing) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto normal_path = (dir / "difftrace_check_cli_normal.dtr").string();
+  const auto faulty_path = (dir / "difftrace_check_cli_faulty.dtr").string();
+  trace_odd_even({}).save(normal_path);
+  trace_odd_even({apps::FaultType::DlBug, 1, -1, 1}).save(faulty_path);
+
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(cli::run_command({"check", normal_path}, out, err), 0);
+  EXPECT_NE(out.str().find("0 error(s)"), std::string::npos);
+
+  out.str("");
+  EXPECT_EQ(cli::run_command({"check", faulty_path}, out, err), 1);
+  EXPECT_NE(out.str().find("mpi.deadlock-cycle"), std::string::npos);
+  EXPECT_NE(out.str().find("MPI_Recv"), std::string::npos);
+
+  out.str("");
+  EXPECT_EQ(cli::run_command({"check", faulty_path, "--checkers", "locks"}, out, err), 0);
+
+  out.str("");
+  EXPECT_EQ(cli::run_command({"check", "--list"}, out, err), 0);
+  for (const auto* name : {"stream", "mpi", "locks"})
+    EXPECT_NE(out.str().find(name), std::string::npos);
+
+  out.str("");
+  err.str("");
+  EXPECT_EQ(cli::run_command({"check", faulty_path, "--checkers", "bogus"}, out, err), 2);
+  EXPECT_NE(err.str().find("bogus"), std::string::npos);
+
+  std::filesystem::remove(normal_path);
+  std::filesystem::remove(faulty_path);
+}
+
+TEST(CheckGolden, ReportEmbedsSemanticFindingsAndCorroboratesTriage) {
+  const auto normal = trace_odd_even({});
+  const auto faulty = trace_odd_even({apps::FaultType::DlBug, 1, -1, 1});
+  core::ReportConfig config;
+  config.sweep.filters = {core::FilterSpec::mpi_all()};
+  const auto report = core::build_report(normal, faulty, config);
+
+  EXPECT_EQ(report.check.exit_code(), 1);
+  const auto& text = report.text;
+  EXPECT_NE(text.find("--- semantic check (faulty run) ---"), std::string::npos);
+  EXPECT_NE(text.find("mpi.deadlock-cycle"), std::string::npos);
+  // The triage evidence cites the checker's finding for its focus trace.
+  EXPECT_NE(text.find("semantic check"), std::string::npos);
+  EXPECT_EQ(report.triage.bug_class, core::BugClass::Hang);
+}
+
+}  // namespace
+}  // namespace difftrace

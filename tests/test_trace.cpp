@@ -107,8 +107,8 @@ TEST(Writer, BytesMidStreamAreDecodable) {
 
 TEST(Store, KeysSortedAndContains) {
   TraceStore store;
-  store.add_blob({1, 0}, TraceBlob{"null", {}, 0, false});
-  store.add_blob({0, 1}, TraceBlob{"null", {}, 0, false});
+  store.add_blob({1, 0}, TraceBlob{.codec_name = "null", .event_count = 0});
+  store.add_blob({0, 1}, TraceBlob{.codec_name = "null", .event_count = 0});
   const auto keys = store.keys();
   ASSERT_EQ(keys.size(), 2u);
   EXPECT_EQ(keys[0], (TraceKey{0, 1}));
@@ -170,7 +170,7 @@ TEST(Store, LoadRejectsGarbage) {
 
 TEST(Store, CopyAndMoveSemantics) {
   TraceStore store;
-  store.add_blob({0, 0}, TraceBlob{"null", {1, 2}, 2, false});
+  store.add_blob({0, 0}, TraceBlob{.codec_name = "null", .bytes = {1, 2}, .event_count = 2});
   TraceStore copy = store;
   EXPECT_TRUE(copy.contains({0, 0}));
   TraceStore moved = std::move(store);

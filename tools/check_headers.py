@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Standalone-compile every public header under src/.
+
+A header that only compiles because some .cpp happens to include its
+dependencies first is a refactoring landmine: reordering includes or adding
+the header to a new TU breaks the build far from the actual culprit. This
+tool wraps each header in a one-line TU and runs the compiler in syntax-only
+mode, so every header is proven self-sufficient (IWYU at the include-set
+level). Wired into CI next to the build jobs.
+
+Usage: tools/check_headers.py [--compiler g++] [--std c++20] [--jobs N] [HEADER...]
+Exit code: 0 when every header compiles standalone, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC_DIR = REPO_ROOT / "src"
+
+
+def find_headers() -> list[pathlib.Path]:
+    return sorted(SRC_DIR.rglob("*.hpp"))
+
+
+def check_one(header: pathlib.Path, compiler: str, std: str) -> tuple[pathlib.Path, str]:
+    """Compile `header` alone; returns (header, error_output) — empty on success."""
+    rel = header.relative_to(SRC_DIR).as_posix()
+    cmd = [
+        compiler,
+        f"-std={std}",
+        "-fsyntax-only",
+        "-Wall",
+        "-Wextra",
+        "-Werror",
+        "-I",
+        str(SRC_DIR),
+        "-x",
+        "c++",
+        "-",  # the synthetic TU arrives on stdin
+    ]
+    proc = subprocess.run(
+        cmd,
+        input=f'#include "{rel}"\n',
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    if proc.returncode == 0:
+        return header, ""
+    output = proc.stderr.strip() or proc.stdout.strip() or f"exit code {proc.returncode}"
+    return header, output
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--compiler", default="g++", help="compiler driver (default: g++)")
+    parser.add_argument("--std", default="c++20", help="language standard (default: c++20)")
+    parser.add_argument("--jobs", type=int, default=4, help="parallel compiles (default: 4)")
+    parser.add_argument(
+        "headers",
+        nargs="*",
+        type=pathlib.Path,
+        help="specific headers to check (default: every src/**/*.hpp)",
+    )
+    args = parser.parse_args()
+
+    headers = [h.resolve() for h in args.headers] if args.headers else find_headers()
+    if not headers:
+        print("no headers found under src/", file=sys.stderr)
+        return 1
+
+    failures: list[tuple[pathlib.Path, str]] = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=max(1, args.jobs)) as pool:
+        futures = [pool.submit(check_one, h, args.compiler, args.std) for h in headers]
+        for future in concurrent.futures.as_completed(futures):
+            header, error = future.result()
+            if error:
+                failures.append((header, error))
+
+    for header, error in sorted(failures):
+        rel = header.relative_to(REPO_ROOT)
+        print(f"FAIL {rel}", file=sys.stderr)
+        for line in error.splitlines():
+            print(f"  {line}", file=sys.stderr)
+
+    ok = len(headers) - len(failures)
+    print(f"check_headers: {ok}/{len(headers)} headers compile standalone")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
