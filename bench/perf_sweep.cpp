@@ -4,11 +4,27 @@
 // NOTE: the speedup is bounded by the host's core count (a single-core box
 // shows flat times); correctness (identical tables at any thread count) is
 // asserted by OddEvenPipeline.ParallelSweepMatchesSerial.
+//
+// This bench has two modes:
+//   perf_sweep [gbench flags]   google-benchmark timings (default)
+//   perf_sweep --json[=PATH]    one instrumented pass per thread count,
+//                               emitted as a run manifest (the BENCH_*.json
+//                               format) — phases carry the wall/CPU numbers,
+//                               counters the pipeline throughput.
 #include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "apps/oddeven.hpp"
 #include "apps/runner.hpp"
 #include "core/pipeline.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 using namespace difftrace;
 
@@ -79,4 +95,69 @@ void BM_Evaluate(benchmark::State& state) {
 }
 BENCHMARK(BM_Evaluate);
 
+// --- manifest mode (--json) --------------------------------------------------
+
+// One measured sweep per thread count, each under its own span, so the
+// manifest's phase table is the speedup curve and its counters the pipeline
+// throughput. This is the generator for BENCH_sweep.json.
+int run_manifest_mode(const std::vector<std::string>& command, const std::string& json_path) {
+  obs::MetricsRegistry::instance().reset();
+  obs::PhaseTable::instance().reset();
+  {
+    obs::Span span_root("perf_sweep");
+    const StorePair* pair = nullptr;
+    {
+      obs::Span span_collect("collect");
+      pair = &stores();
+    }
+    for (const std::size_t threads : {1, 2, 4, 8}) {
+      obs::Span span_sweep("sweep_t" + std::to_string(threads));
+      auto table = core::sweep(pair->normal, pair->faulty, wide_sweep(threads));
+      benchmark::DoNotOptimize(table);
+    }
+  }
+  const auto manifest = obs::collect_manifest(command, {}, 0);
+  if (json_path.empty()) {
+    manifest.write_json(std::cout);
+    std::cout << "\n";
+  } else {
+    std::ofstream file(json_path);
+    if (!file) {
+      std::cerr << "perf_sweep: cannot write '" << json_path << "'\n";
+      return 1;
+    }
+    manifest.write_json(file);
+    file << "\n";
+    std::cerr << "[stats] manifest written to " << json_path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  bool want_json = false;
+  std::string json_path;
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      want_json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      want_json = true;
+      json_path = arg.substr(7);
+    } else {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+  if (want_json)
+    return run_manifest_mode({bench_argv.empty() ? "perf_sweep" : bench_argv[0], "--json"},
+                             json_path);
+
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

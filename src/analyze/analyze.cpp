@@ -2,9 +2,13 @@
 
 #include <memory>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace difftrace::analyze {
 
 CheckReport run_checks(const trace::TraceStore& store, const CheckOptions& options) {
+  obs::Span span_check("check");
   // Resolve the checker set first so an unknown name fails fast.
   std::vector<std::unique_ptr<Checker>> checkers;
   if (options.checkers.empty()) {
@@ -24,10 +28,16 @@ CheckReport run_checks(const trace::TraceStore& store, const CheckOptions& optio
                              " — severities that rely on its evidence are capped at warning");
   }
   for (const auto& checker : checkers) {
+    obs::Span span_checker(checker->name());
     checker->run(ctx, report);
     ++report.checkers_run;
   }
   report.sort();
+
+  static auto& events = obs::counter("check.events_checked");
+  static auto& diagnostics = obs::counter("check.diagnostics");
+  events.add(report.events_checked);
+  diagnostics.add(report.diagnostics.size());
   return report;
 }
 

@@ -1,9 +1,10 @@
 #include "cli/commands.hpp"
 
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <set>
-
-#include <fstream>
+#include <sstream>
 
 #include "analyze/analyze.hpp"
 #include "apps/ilcs.hpp"
@@ -13,8 +14,13 @@
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "core/triage.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/selftrace.hpp"
+#include "obs/span.hpp"
 #include "trace/chaos.hpp"
 #include "trace/export.hpp"
+#include "util/json.hpp"
 #include "util/str.hpp"
 #include "util/table.hpp"
 
@@ -100,7 +106,7 @@ std::vector<FilterSpec> filters_from(const Args& args) {
   return filters;
 }
 
-trace::TraceStore load_store(const std::string& path, std::ostream& out) {
+trace::TraceStore load_store(const std::string& path, std::ostream& err) {
   try {
     return trace::TraceStore::load(path);
   } catch (const std::exception& e) {
@@ -110,7 +116,7 @@ trace::TraceStore load_store(const std::string& path, std::ostream& out) {
     auto result = trace::TraceStore::salvage(path);
     if (result.store.size() == 0)
       throw ArgError("cannot load trace store '" + path + "': " + e.what());
-    out << "[salvage] '" << path << "' is damaged (" << e.what() << "); recovered "
+    err << "[salvage] '" << path << "' is damaged (" << e.what() << "); recovered "
         << result.report.recovered << " intact and " << result.report.salvaged
         << " partial blob(s), dropped " << result.report.dropped
         << " — run 'difftrace fsck' for details\n";
@@ -169,8 +175,9 @@ commands:
           [--level {main|all}] [--codec {parlot|lz78|null}] [--size N]
           [--workers N] [--cycles N]
       run a miniapp under the tracer and save the trace store.
-  info STORE
+  info STORE [--json]
       store statistics: traces, events, compression, distinct functions.
+      --json emits the same data as a machine-readable document.
   decode STORE --trace P.T [--filter SPEC]
       print the (filtered) token stream of one trace.
   nlr STORE --trace P.T [--filter SPEC] [--k N]
@@ -204,6 +211,16 @@ commands:
   chaos STORE --out FILE [--seed N] [--fault {truncate|bitflip|dropblob|
         freeze|random}]
       write a deterministically corrupted copy of an archive (testing aid).
+  stats MANIFEST
+      render a run manifest (the --stats=FILE output) as human tables.
+
+global flags (any command; use the '=' forms):
+  --stats[=FILE]      collect a run manifest: per-phase wall/CPU spans,
+                      pipeline counters, input digests, peak RSS. Written as
+                      JSON to FILE, or rendered to stderr without a FILE.
+  --self-trace[=FILE] record difftrace's own pipeline phases as a v2 trace
+                      archive (default difftrace-selftrace.dtrc) — analyzable
+                      with 'difftrace nlr', 'diffnlr', and 'fsck'.
 
 filter SPEC: '+'-joined terms from {mpiall, mpicol, mpisr, mpiint, omp,
 ompcrit, ompmutex, mem, net, poll, string, all, cust=REGEX}; prefix terms
@@ -211,7 +228,7 @@ ompcrit, ompmutex, mem, net, poll, string, all, cust=REGEX}; prefix terms
 )";
 }
 
-int cmd_collect(const Args& args, std::ostream& out) {
+int cmd_collect(const Args& args, std::ostream& out, std::ostream& err) {
   const auto app = args.required("app");
   const auto path = args.required("out");
   const auto fault = parse_fault(args);
@@ -251,7 +268,7 @@ int cmd_collect(const Args& args, std::ostream& out) {
     throw ArgError("unknown app '" + app + "' (oddeven, ilcs, lulesh)");
   }
 
-  if (run.report.deadlock) out << "[watchdog] " << run.report.deadlock_info << "\n";
+  if (run.report.deadlock) err << "[watchdog] " << run.report.deadlock_info << "\n";
   run.store.save(path);
   const auto stats = run.store.stats();
   out << "saved " << stats.trace_count << " trace(s), " << stats.total_events << " events, "
@@ -259,9 +276,36 @@ int cmd_collect(const Args& args, std::ostream& out) {
   return 0;
 }
 
-int cmd_info(const Args& args, std::ostream& out) {
-  const auto store = load_store(args.positional_at(1, "trace-store path"), out);
+int cmd_info(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto store = load_store(args.positional_at(1, "trace-store path"), err);
   const auto stats = store.stats();
+  if (args.flag("json")) {
+    util::JsonWriter json(out);
+    json.begin_object();
+    json.field("traces", stats.trace_count);
+    json.field("events", stats.total_events);
+    json.field("compressed_bytes", stats.total_compressed_bytes);
+    json.field("compression_ratio", stats.compression_ratio);
+    json.field("functions", store.registry().size());
+    json.key("blobs");
+    json.begin_array();
+    for (const auto& key : store.keys()) {
+      const auto& blob = store.blob(key);
+      json.begin_object();
+      json.field("proc", key.proc);
+      json.field("thread", key.thread);
+      json.field("events", blob.event_count);
+      json.field("bytes", blob.bytes.size());
+      json.field("codec", blob.codec_name);
+      json.field("truncated", blob.truncated);
+      json.field("salvaged", blob.salvaged);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    out << "\n";
+    return 0;
+  }
   out << "traces:             " << stats.trace_count << "\n";
   out << "events:             " << stats.total_events << "\n";
   out << "compressed bytes:   " << stats.total_compressed_bytes << "\n";
@@ -278,16 +322,16 @@ int cmd_info(const Args& args, std::ostream& out) {
   return 0;
 }
 
-int cmd_decode(const Args& args, std::ostream& out) {
-  const auto store = load_store(args.positional_at(1, "trace-store path"), out);
+int cmd_decode(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto store = load_store(args.positional_at(1, "trace-store path"), err);
   const auto key = parse_trace_key(args.required("trace"));
   const auto filter = parse_filter(args.get_or("filter", "all"));
   for (const auto& token : filter.apply(store, key)) out << token << "\n";
   return 0;
 }
 
-int cmd_nlr(const Args& args, std::ostream& out) {
-  const auto store = load_store(args.positional_at(1, "trace-store path"), out);
+int cmd_nlr(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto store = load_store(args.positional_at(1, "trace-store path"), err);
   const auto key = parse_trace_key(args.required("trace"));
   const auto filter = parse_filter(args.get_or("filter", "all"));
   core::TokenTable tokens;
@@ -305,31 +349,40 @@ int cmd_nlr(const Args& args, std::ostream& out) {
   return 0;
 }
 
-int cmd_rank(const Args& args, std::ostream& out) {
-  const auto normal = load_store(args.positional_at(1, "normal trace store"), out);
-  const auto faulty = load_store(args.positional_at(2, "faulty trace store"), out);
+int cmd_rank(const Args& args, std::ostream& out, std::ostream& err) {
+  // Phase accounting: "load" spans everything up to the sweep (store loads,
+  // config parsing, degraded-store triage), core::sweep opens its own span,
+  // and "render" covers the rest — so the manifest's depth-1 phases tile the
+  // command's wall time with no dark gaps.
+  std::optional<trace::TraceStore> normal, faulty;
   core::SweepConfig sweep;
-  sweep.filters = filters_from(args);
-  if (const auto attrs = args.get("attrs")) {
-    sweep.attributes.clear();
-    for (const auto& spec : util::split(*attrs, ',')) sweep.attributes.push_back(parse_attr(spec));
+  {
+    obs::Span span_load("load");
+    normal = load_store(args.positional_at(1, "normal trace store"), err);
+    faulty = load_store(args.positional_at(2, "faulty trace store"), err);
+    sweep.filters = filters_from(args);
+    if (const auto attrs = args.get("attrs")) {
+      sweep.attributes.clear();
+      for (const auto& spec : util::split(*attrs, ',')) sweep.attributes.push_back(parse_attr(spec));
+    }
+    sweep.pipeline.nlr = nlr_from(args);
+    sweep.pipeline.linkage = parse_linkage(args.get_or("linkage", "ward"));
+    sweep.pipeline.top_n = static_cast<std::size_t>(args.int_or("top", 6));
+    sweep.analysis_threads = static_cast<std::size_t>(args.int_or("threads", 1));
+    for (const auto& health : core::store_health(*normal, *faulty))
+      err << "[degraded] trace " << health.key.label() << ": " << health.note << "\n";
   }
-  sweep.pipeline.nlr = nlr_from(args);
-  sweep.pipeline.linkage = parse_linkage(args.get_or("linkage", "ward"));
-  sweep.pipeline.top_n = static_cast<std::size_t>(args.int_or("top", 6));
-  sweep.analysis_threads = static_cast<std::size_t>(args.int_or("threads", 1));
-  for (const auto& health : core::store_health(normal, faulty))
-    out << "[degraded] trace " << health.key.label() << ": " << health.note << "\n";
-  const auto table = core::sweep(normal, faulty, sweep);
+  const auto table = core::sweep(*normal, *faulty, sweep);
+  obs::Span span_render("render");
   out << table.render();
   out << "consensus suspicious trace:   " << table.consensus_thread() << "\n";
   out << "consensus suspicious process: " << table.consensus_process() << "\n";
   return 0;
 }
 
-int cmd_diffnlr(const Args& args, std::ostream& out) {
-  const auto normal = load_store(args.positional_at(1, "normal trace store"), out);
-  const auto faulty = load_store(args.positional_at(2, "faulty trace store"), out);
+int cmd_diffnlr(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto normal = load_store(args.positional_at(1, "normal trace store"), err);
+  const auto faulty = load_store(args.positional_at(2, "faulty trace store"), err);
   const auto key = parse_trace_key(args.required("trace"));
   const core::Session session(normal, faulty, parse_filter(args.get_or("filter", "mpiall")),
                               nlr_from(args));
@@ -342,9 +395,9 @@ int cmd_diffnlr(const Args& args, std::ostream& out) {
   return 0;
 }
 
-int cmd_progress(const Args& args, std::ostream& out) {
-  const auto normal = load_store(args.positional_at(1, "normal trace store"), out);
-  const auto faulty = load_store(args.positional_at(2, "faulty trace store"), out);
+int cmd_progress(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto normal = load_store(args.positional_at(1, "normal trace store"), err);
+  const auto faulty = load_store(args.positional_at(2, "faulty trace store"), err);
   const core::Session session(normal, faulty, parse_filter(args.get_or("filter", "mpiall")),
                               nlr_from(args));
   util::TextTable table({"Trace", "Progress ratio"});
@@ -360,8 +413,8 @@ int cmd_progress(const Args& args, std::ostream& out) {
   return 0;
 }
 
-int cmd_outliers(const Args& args, std::ostream& out) {
-  const auto store = load_store(args.positional_at(1, "trace-store path"), out);
+int cmd_outliers(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto store = load_store(args.positional_at(1, "trace-store path"), err);
   const auto eval = core::evaluate_single_run(
       store, parse_filter(args.get_or("filter", "mpiall")),
       parse_attr(args.get_or("attr", "sing.actual")), nlr_from(args),
@@ -376,9 +429,9 @@ int cmd_outliers(const Args& args, std::ostream& out) {
   return 0;
 }
 
-int cmd_report(const Args& args, std::ostream& out) {
-  const auto normal = load_store(args.positional_at(1, "normal trace store"), out);
-  const auto faulty = load_store(args.positional_at(2, "faulty trace store"), out);
+int cmd_report(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto normal = load_store(args.positional_at(1, "normal trace store"), err);
+  const auto faulty = load_store(args.positional_at(2, "faulty trace store"), err);
   core::ReportConfig config;
   config.sweep.filters = filters_from(args);
   config.sweep.pipeline.nlr = nlr_from(args);
@@ -390,17 +443,17 @@ int cmd_report(const Args& args, std::ostream& out) {
   return 0;
 }
 
-int cmd_triage(const Args& args, std::ostream& out) {
-  const auto normal = load_store(args.positional_at(1, "normal trace store"), out);
-  const auto faulty = load_store(args.positional_at(2, "faulty trace store"), out);
+int cmd_triage(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto normal = load_store(args.positional_at(1, "normal trace store"), err);
+  const auto faulty = load_store(args.positional_at(2, "faulty trace store"), err);
   const auto report = core::triage(normal, faulty, parse_filter(args.get_or("filter", "mpiall")),
                                    nlr_from(args));
   out << report.render();
   return 0;
 }
 
-int cmd_export(const Args& args, std::ostream& out) {
-  const auto store = load_store(args.positional_at(1, "trace-store path"), out);
+int cmd_export(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto store = load_store(args.positional_at(1, "trace-store path"), err);
   const auto format_name = args.get_or("format", "csv");
   trace::ExportFormat format;
   if (format_name == "csv")
@@ -421,7 +474,7 @@ int cmd_export(const Args& args, std::ostream& out) {
   return 0;
 }
 
-int cmd_check(const Args& args, std::ostream& out) {
+int cmd_check(const Args& args, std::ostream& out, std::ostream& err) {
   if (args.flag("list")) {
     util::TextTable table({"Checker", "Description"});
     for (const auto& info : analyze::available_checkers())
@@ -430,7 +483,7 @@ int cmd_check(const Args& args, std::ostream& out) {
     return 0;
   }
   const auto path = args.positional_at(1, "trace-store path");
-  const auto store = load_store(path, out);
+  const auto store = load_store(path, err);
   analyze::CheckOptions options;
   if (const auto names = args.get("checkers"))
     for (const auto& name : util::split(*names, ',')) options.checkers.push_back(name);
@@ -444,7 +497,7 @@ int cmd_check(const Args& args, std::ostream& out) {
   return report.exit_code();
 }
 
-int cmd_fsck(const Args& args, std::ostream& out) {
+int cmd_fsck(const Args& args, std::ostream& out, std::ostream& /*err*/) {
   const auto path = args.positional_at(1, "trace-store path");
   trace::SalvageResult result;
   try {
@@ -461,7 +514,7 @@ int cmd_fsck(const Args& args, std::ostream& out) {
   return result.report.ok() ? 0 : 1;
 }
 
-int cmd_chaos(const Args& args, std::ostream& out) {
+int cmd_chaos(const Args& args, std::ostream& out, std::ostream& /*err*/) {
   const auto path = args.positional_at(1, "trace-store path");
   const auto out_path = args.required("out");
   const auto seed = static_cast<std::uint64_t>(args.int_or("seed", 1));
@@ -496,36 +549,119 @@ int cmd_chaos(const Args& args, std::ostream& out) {
   return 0;
 }
 
-int run_command(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err) {
+int cmd_stats(const Args& args, std::ostream& out, std::ostream& /*err*/) {
+  const auto path = args.positional_at(1, "manifest path (from --stats=FILE)");
+  std::ifstream file(path);
+  if (!file) throw ArgError("cannot open manifest '" + path + "'");
+  std::ostringstream text;
+  text << file.rdbuf();
+  obs::RunManifest manifest;
   try {
-    if (argv.empty() || argv[0] == "help" || argv[0] == "--help") {
-      out << usage_text();
-      return 0;
-    }
+    manifest = obs::RunManifest::from_json_text(text.str());
+  } catch (const std::exception& e) {
+    throw ArgError("cannot parse manifest '" + path + "': " + e.what());
+  }
+  out << manifest.render();
+  return 0;
+}
+
+namespace {
+
+int dispatch(const std::string& command, const Args& args, std::ostream& out, std::ostream& err) {
+  if (command == "collect") return cmd_collect(args, out, err);
+  if (command == "info") return cmd_info(args, out, err);
+  if (command == "decode") return cmd_decode(args, out, err);
+  if (command == "nlr") return cmd_nlr(args, out, err);
+  if (command == "rank") return cmd_rank(args, out, err);
+  if (command == "diffnlr") return cmd_diffnlr(args, out, err);
+  if (command == "progress") return cmd_progress(args, out, err);
+  if (command == "outliers") return cmd_outliers(args, out, err);
+  if (command == "export") return cmd_export(args, out, err);
+  if (command == "triage") return cmd_triage(args, out, err);
+  if (command == "report") return cmd_report(args, out, err);
+  if (command == "check") return cmd_check(args, out, err);
+  if (command == "fsck") return cmd_fsck(args, out, err);
+  if (command == "chaos") return cmd_chaos(args, out, err);
+  if (command == "stats") return cmd_stats(args, out, err);
+  throw ArgError("unknown command '" + command + "' (see 'difftrace help')");
+}
+
+}  // namespace
+
+int run_command(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err) {
+  if (argv.empty() || argv[0] == "help" || argv[0] == "--help") {
+    out << usage_text();
+    return 0;
+  }
+
+  int code = 0;
+  bool want_stats = false;
+  bool want_selftrace = false;
+  std::string stats_path;
+  std::string selftrace_path;
+  std::vector<std::string> input_paths;
+  try {
     const Args args(argv);
     const auto& command = argv[0];
-    if (command == "collect") return cmd_collect(args, out);
-    if (command == "info") return cmd_info(args, out);
-    if (command == "decode") return cmd_decode(args, out);
-    if (command == "nlr") return cmd_nlr(args, out);
-    if (command == "rank") return cmd_rank(args, out);
-    if (command == "diffnlr") return cmd_diffnlr(args, out);
-    if (command == "progress") return cmd_progress(args, out);
-    if (command == "outliers") return cmd_outliers(args, out);
-    if (command == "export") return cmd_export(args, out);
-    if (command == "triage") return cmd_triage(args, out);
-    if (command == "report") return cmd_report(args, out);
-    if (command == "check") return cmd_check(args, out);
-    if (command == "fsck") return cmd_fsck(args, out);
-    if (command == "chaos") return cmd_chaos(args, out);
-    throw ArgError("unknown command '" + command + "' (see 'difftrace help')");
+    want_stats = args.has("stats");
+    stats_path = args.get_or("stats", "");
+    want_selftrace = args.has("self-trace");
+    selftrace_path = args.get_or("self-trace", "");
+    if (want_selftrace && selftrace_path.empty()) selftrace_path = "difftrace-selftrace.dtrc";
+
+    // One telemetry window per run: the process may host several in-process
+    // run_command calls (tests), so start each instrumented run from zero.
+    if (want_stats || want_selftrace) {
+      obs::MetricsRegistry::instance().reset();
+      obs::PhaseTable::instance().reset();
+    }
+    if (want_selftrace) obs::SelfTrace::instance().start();
+
+    // Input digests for the manifest: positional operands that name files.
+    for (std::size_t i = 1; i < args.positional().size(); ++i) {
+      std::error_code ec;
+      if (std::filesystem::is_regular_file(args.positional()[i], ec))
+        input_paths.push_back(args.positional()[i]);
+    }
+
+    {
+      // The command root span: every per-stage span nests under it, and the
+      // manifest's wall time / coverage accounting is rooted here.
+      obs::Span span_command(command);
+      code = dispatch(command, args, out, err);
+    }
   } catch (const ArgError& e) {
     err << "error: " << e.what() << "\n";
-    return 2;
+    code = 2;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
-    return 1;
+    code = 1;
   }
+
+  // Telemetry epilogue — outside the root span so its own cost (CRC-32 of
+  // the inputs, archive save) never pollutes the phase table.
+  try {
+    if (want_selftrace && obs::SelfTrace::instance().active()) {
+      const auto store = obs::SelfTrace::instance().stop();
+      store.save(selftrace_path);
+      err << "[self-trace] " << store.size() << " stream(s) written to " << selftrace_path << "\n";
+    }
+    if (want_stats) {
+      const auto manifest = obs::collect_manifest(argv, input_paths, code);
+      if (stats_path.empty()) {
+        err << manifest.render();
+      } else {
+        std::ofstream file(stats_path, std::ios::trunc);
+        if (!file) throw std::runtime_error("cannot open stats file '" + stats_path + "'");
+        manifest.write_json(file);
+        err << "[stats] manifest written to " << stats_path << "\n";
+      }
+    }
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    if (code == 0) code = 1;
+  }
+  return code;
 }
 
 }  // namespace difftrace::cli

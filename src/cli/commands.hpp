@@ -15,6 +15,16 @@
 //             deadlock detection, lock discipline (exit 0/1/3)
 //   fsck      archive integrity check / best-effort salvage report
 //   chaos     inject a deterministic fault into an archive (testing aid)
+//   stats     render a run manifest (--stats=FILE output) as tables
+//
+// Global flags (any command): --stats=FILE writes a JSON run manifest
+// (bare --stats renders it to err), --self-trace=FILE records the
+// pipeline's own phases as a v2 trace archive (see obs/selftrace.hpp).
+// Use the '=' forms — a separated value would be eaten as the option's
+// argument ahead of the positionals.
+//
+// Stream discipline: command *results* go to `out`; progress/salvage
+// chatter, degraded-mode warnings, and telemetry summaries go to `err`.
 #pragma once
 
 #include <ostream>
@@ -38,20 +48,22 @@ namespace difftrace::cli {
 /// Dispatches argv[1..]; returns the exit code.
 int run_command(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err);
 
-// Individual commands (exposed for tests).
-int cmd_collect(const Args& args, std::ostream& out);
-int cmd_info(const Args& args, std::ostream& out);
-int cmd_decode(const Args& args, std::ostream& out);
-int cmd_nlr(const Args& args, std::ostream& out);
-int cmd_rank(const Args& args, std::ostream& out);
-int cmd_diffnlr(const Args& args, std::ostream& out);
-int cmd_progress(const Args& args, std::ostream& out);
-int cmd_outliers(const Args& args, std::ostream& out);
-int cmd_export(const Args& args, std::ostream& out);
-int cmd_triage(const Args& args, std::ostream& out);
-int cmd_report(const Args& args, std::ostream& out);
-int cmd_check(const Args& args, std::ostream& out);
-int cmd_fsck(const Args& args, std::ostream& out);
-int cmd_chaos(const Args& args, std::ostream& out);
+// Individual commands (exposed for tests). Results go to `out`; chatter
+// (salvage notes, watchdog and degraded-mode warnings) goes to `err`.
+int cmd_collect(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_info(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_decode(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_nlr(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_rank(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_diffnlr(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_progress(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_outliers(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_export(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_triage(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_report(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_check(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_fsck(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_chaos(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_stats(const Args& args, std::ostream& out, std::ostream& err);
 
 }  // namespace difftrace::cli

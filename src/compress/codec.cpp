@@ -2,11 +2,17 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace difftrace::compress {
 
 std::vector<Symbol> SymbolDecoder::decode(std::span<const std::uint8_t> data) const {
+  static auto& bytes_in = obs::counter("compress.decode_bytes_in");
+  static auto& symbols_out = obs::counter("compress.decode_symbols_out");
   auto result = decode_prefix(data, kNoSymbolCap);
   if (!result.complete) throw std::runtime_error(result.error);
+  bytes_in.add(data.size());
+  symbols_out.add(result.symbols.size());
   return std::move(result.symbols);
 }
 

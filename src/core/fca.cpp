@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+
 namespace difftrace::core {
 
 // --- FormalContext ----------------------------------------------------------
@@ -199,6 +201,10 @@ void IncrementalLattice::add_object(const util::DynamicBitset& attributes) {
     if (existing.insert(meet).second) intents_.push_back(std::move(meet));
   }
   if (existing.insert(attributes).second) intents_.push_back(attributes);
+  if (intents_.size() > old_count) {
+    static auto& inserted = obs::counter("fca.concepts_inserted");
+    inserted.add(intents_.size() - old_count);
+  }
   if (intents_.size() > max_concepts_)
     throw std::length_error("IncrementalLattice: concept count exceeded " +
                             std::to_string(max_concepts_) +

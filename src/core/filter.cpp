@@ -3,6 +3,7 @@
 #include <array>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/str.hpp"
 
 namespace difftrace::core {
@@ -124,6 +125,11 @@ std::vector<std::string> FilterSpec::apply(const std::vector<trace::TraceEvent>&
       tokens.push_back(fn.name);
     }
   }
+  // Charged per apply() call, not per event, to keep the sweep hot path flat.
+  static auto& events_in = obs::counter("filter.events_in");
+  static auto& tokens_kept = obs::counter("filter.tokens_kept");
+  events_in.add(events.size());
+  tokens_kept.add(tokens.size());
   return tokens;
 }
 

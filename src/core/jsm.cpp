@@ -2,6 +2,20 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
+namespace difftrace::core {
+namespace {
+
+/// Cells above the diagonal actually computed for an n-object matrix.
+void charge_jsm_cells(std::size_t n) {
+  static auto& cells = obs::counter("jsm.cells");
+  if (n > 1) cells.add(n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace difftrace::core
+
 namespace difftrace::core {
 
 double jaccard(const std::set<std::string>& a, const std::set<std::string>& b) {
@@ -50,6 +64,7 @@ double weighted_jaccard(const std::map<std::string, std::uint64_t>& a,
 
 util::Matrix jsm_from_frequencies(const std::vector<std::map<std::string, std::uint64_t>>& freqs) {
   const std::size_t n = freqs.size();
+  charge_jsm_cells(n);
   util::Matrix m = util::Matrix::square(n);
   for (std::size_t i = 0; i < n; ++i) {
     m(i, i) = 1.0;
@@ -64,6 +79,7 @@ util::Matrix jsm_from_frequencies(const std::vector<std::map<std::string, std::u
 
 util::Matrix jsm_from_attributes(const std::vector<std::set<std::string>>& attrs) {
   const std::size_t n = attrs.size();
+  charge_jsm_cells(n);
   util::Matrix m = util::Matrix::square(n);
   for (std::size_t i = 0; i < n; ++i) {
     m(i, i) = 1.0;
@@ -77,6 +93,7 @@ util::Matrix jsm_from_attributes(const std::vector<std::set<std::string>>& attrs
 }
 
 util::Matrix jsm_from_lattice(const Lattice& lattice, std::size_t object_count) {
+  charge_jsm_cells(object_count);
   util::Matrix m = util::Matrix::square(object_count);
   std::vector<util::DynamicBitset> intents;
   intents.reserve(object_count);

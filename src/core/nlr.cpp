@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace difftrace::core {
 
 // --- TokenTable -----------------------------------------------------------
@@ -185,8 +187,17 @@ void NlrBuilder::reduce() {
 
 NlrProgram build_nlr(const std::vector<TokenId>& tokens, LoopTable& table, const NlrConfig& config) {
   NlrBuilder builder(table, config);
+  const auto loops_before = table.size();
   builder.push_all(tokens);
-  return builder.take();
+  auto program = builder.take();
+  // One charge per reduction, measuring how much the loop recognizer folded.
+  static auto& tokens_in = obs::counter("nlr.tokens_in");
+  static auto& items_out = obs::counter("nlr.items_out");
+  static auto& loops = obs::counter("nlr.loops_interned");
+  tokens_in.add(tokens.size());
+  items_out.add(program.size());
+  loops.add(table.size() - loops_before);
+  return program;
 }
 
 namespace {

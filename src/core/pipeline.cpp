@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/span.hpp"
 #include "util/stats.hpp"
 #include "util/str.hpp"
 #include "util/table.hpp"
@@ -19,6 +20,7 @@ namespace difftrace::core {
 Session::Session(const trace::TraceStore& normal, const trace::TraceStore& faulty, FilterSpec filter,
                  NlrConfig nlr_config)
     : filter_(std::move(filter)), nlr_config_(nlr_config) {
+  obs::Span span_session("session");
   // Union of both runs' keys: analyzable traces (present in both) keep their
   // JSM row; one-sided traces are recorded as dropped, never silently lost.
   for (const auto& key : normal.keys()) {
@@ -37,22 +39,26 @@ Session::Session(const trace::TraceStore& normal, const trace::TraceStore& fault
   std::vector<trace::TraceStore::DecodedTrace> faulty_events;
   normal_events.reserve(traces_.size());
   faulty_events.reserve(traces_.size());
-  for (const auto& key : traces_) {
-    normal_events.push_back(normal.decode_tolerant(key));
-    faulty_events.push_back(faulty.decode_tolerant(key));
-    TraceHealth h{key, false, ""};
-    const auto& n = normal_events.back();
-    const auto& f = faulty_events.back();
-    if (!n.complete || !f.complete) {
-      h.degraded = true;
-      if (!n.complete) h.note = "normal run: " + n.note;
-      if (!f.complete) h.note += (h.note.empty() ? "" : "; ") + ("faulty run: " + f.note);
+  {
+    obs::Span span_decode("decode");
+    for (const auto& key : traces_) {
+      normal_events.push_back(normal.decode_tolerant(key));
+      faulty_events.push_back(faulty.decode_tolerant(key));
+      TraceHealth h{key, false, ""};
+      const auto& n = normal_events.back();
+      const auto& f = faulty_events.back();
+      if (!n.complete || !f.complete) {
+        h.degraded = true;
+        if (!n.complete) h.note = "normal run: " + n.note;
+        if (!f.complete) h.note += (h.note.empty() ? "" : "; ") + ("faulty run: " + f.note);
+      }
+      health_.push_back(std::move(h));
     }
-    health_.push_back(std::move(h));
   }
 
   // Normal run first, then faulty: formation-order interning makes loop ids
   // deterministic, and the normal run primes the table (§III-A heuristic).
+  obs::Span span_nlr("nlr");
   normal_.reserve(traces_.size());
   faulty_.reserve(traces_.size());
   for (std::size_t i = 0; i < traces_.size(); ++i) {
@@ -130,22 +136,32 @@ std::string Session::label() const {
 // --- Evaluation -------------------------------------------------------------
 
 Evaluation evaluate(const Session& session, const AttrConfig& attr, Linkage linkage_method) {
+  obs::Span span_evaluate("evaluate");
   Evaluation out;
   out.attr = attr;
 
   const std::size_t n = session.traces().size();
   std::vector<std::set<std::string>> attrs_normal(n);
   std::vector<std::set<std::string>> attrs_faulty(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    attrs_normal[i] = mine_attributes(session.normal_nlr(i), session.tokens(), session.loops(), attr);
-    attrs_faulty[i] = mine_attributes(session.faulty_nlr(i), session.tokens(), session.loops(), attr);
+  {
+    obs::Span span_attrs("attributes");
+    for (std::size_t i = 0; i < n; ++i) {
+      attrs_normal[i] =
+          mine_attributes(session.normal_nlr(i), session.tokens(), session.loops(), attr);
+      attrs_faulty[i] =
+          mine_attributes(session.faulty_nlr(i), session.tokens(), session.loops(), attr);
+    }
   }
-  out.jsm_normal = jsm_from_attributes(attrs_normal);
-  out.jsm_faulty = jsm_from_attributes(attrs_faulty);
-  out.jsm_d = jsm_diff(out.jsm_normal, out.jsm_faulty);
-  out.scores = suspicion_scores(out.jsm_d);
+  {
+    obs::Span span_jsm("jsm");
+    out.jsm_normal = jsm_from_attributes(attrs_normal);
+    out.jsm_faulty = jsm_from_attributes(attrs_faulty);
+    out.jsm_d = jsm_diff(out.jsm_normal, out.jsm_faulty);
+    out.scores = suspicion_scores(out.jsm_d);
+  }
 
   if (n >= 2) {
+    obs::Span span_cluster("cluster");
     out.dend_normal = linkage(similarity_to_distance(out.jsm_normal), linkage_method);
     out.dend_faulty = linkage(similarity_to_distance(out.jsm_faulty), linkage_method);
     out.bscore = bscore(out.dend_normal, out.dend_faulty, n);
@@ -154,6 +170,7 @@ Evaluation evaluate(const Session& session, const AttrConfig& attr, Linkage link
 }
 
 Evaluation evaluate_weighted(const Session& session, AttrKind kind, Linkage linkage_method) {
+  obs::Span span_evaluate("evaluate");
   Evaluation out;
   out.attr = AttrConfig{kind, FreqMode::Actual};
 
@@ -180,6 +197,7 @@ Evaluation evaluate_weighted(const Session& session, AttrKind kind, Linkage link
 SingleRunEvaluation evaluate_single_run(const trace::TraceStore& store, const FilterSpec& filter,
                                         const AttrConfig& attr, const NlrConfig& nlr,
                                         Linkage linkage_method) {
+  obs::Span span_evaluate("evaluate");
   SingleRunEvaluation out;
   out.traces = store.keys();
 
@@ -329,6 +347,7 @@ std::vector<RankingRow> rows_for_filter(const trace::TraceStore& normal,
 
 RankingTable sweep(const trace::TraceStore& normal, const trace::TraceStore& faulty,
                    const SweepConfig& config) {
+  obs::Span span_sweep("sweep");
   const std::size_t requested =
       config.analysis_threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
                                    : config.analysis_threads;

@@ -1,0 +1,71 @@
+#include "obs/metrics.hpp"
+
+namespace difftrace::obs {
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  Snapshot out;
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  return *it->second;
+}
+
+std::vector<CounterSample> MetricsRegistry::counters(bool nonzero_only) const {
+  std::lock_guard lock(mutex_);
+  std::vector<CounterSample> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    const auto value = counter->value();
+    if (nonzero_only && value == 0) continue;
+    out.push_back({name, value});
+  }
+  return out;
+}
+
+std::vector<HistogramSample> MetricsRegistry::histograms(bool nonzero_only) const {
+  std::lock_guard lock(mutex_);
+  std::vector<HistogramSample> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    auto data = histogram->snapshot();
+    if (nonzero_only && data.count == 0) continue;
+    out.push_back({name, data});
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+}  // namespace difftrace::obs

@@ -1,0 +1,119 @@
+// Process-wide metrics for the DiffTrace pipeline: named counters and
+// log2-bucketed histograms, aggregated into the run manifest (obs/manifest).
+//
+// Design for the hot path: instruments cache a reference once
+// (`static auto& c = obs::counter("nlr.tokens_in");`) and then touch only a
+// relaxed atomic — no locks, no lookups. The registry mutex guards
+// registration and snapshots only. Entries live behind stable pointers for
+// the process lifetime; reset() zeroes values but never invalidates
+// references, so cached call-site statics stay valid across CLI commands
+// executed in one process (the test harness does exactly that).
+//
+// Counting convention: instruments count *aggregates* per operation (events
+// per decoded blob, tokens per NLR build), not per element, so a fully
+// instrumented pipeline costs a handful of atomic adds per stage invocation.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace difftrace::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Histogram over non-negative integer samples with fixed log2 buckets:
+/// bucket 0 holds the value 0, bucket i (i >= 1) holds [2^(i-1), 2^i).
+/// 65 buckets cover the full uint64 range, so record() never clamps.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  /// Bucket index of a sample: 0 for 0, otherwise std::bit_width(v).
+  [[nodiscard]] static constexpr std::size_t bucket_index(std::uint64_t v) noexcept {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+  /// Inclusive lower bound of bucket i (0, 1, 2, 4, 8, ...).
+  [[nodiscard]] static constexpr std::uint64_t bucket_lower_bound(std::size_t i) noexcept {
+    return i <= 1 ? i : std::uint64_t{1} << (i - 1);
+  }
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+  };
+  [[nodiscard]] Snapshot snapshot() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  Histogram::Snapshot data;
+};
+
+class MetricsRegistry {
+ public:
+  [[nodiscard]] static MetricsRegistry& instance();
+
+  /// Returns the counter/histogram named `name`, registering it on first
+  /// use. The returned reference is valid for the process lifetime.
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  /// Sorted-by-name snapshots. `nonzero_only` drops entries that never
+  /// fired — the manifest records what the run actually did.
+  [[nodiscard]] std::vector<CounterSample> counters(bool nonzero_only = false) const;
+  [[nodiscard]] std::vector<HistogramSample> histograms(bool nonzero_only = false) const;
+
+  /// Zeroes every value; registered names and cached references survive.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Call-site helpers: obs::counter("x").add(n).
+[[nodiscard]] inline Counter& counter(std::string_view name) {
+  return MetricsRegistry::instance().counter(name);
+}
+[[nodiscard]] inline Histogram& histogram(std::string_view name) {
+  return MetricsRegistry::instance().histogram(name);
+}
+
+}  // namespace difftrace::obs

@@ -1,0 +1,67 @@
+#include "obs/selftrace.hpp"
+
+#include <stdexcept>
+
+#include "obs/span.hpp"
+
+namespace difftrace::obs {
+
+namespace {
+
+void selftrace_span_hook(std::string_view name, bool enter) {
+  SelfTrace::instance().on_span(name, enter);
+}
+
+}  // namespace
+
+SelfTrace& SelfTrace::instance() {
+  static SelfTrace self;
+  return self;
+}
+
+void SelfTrace::start(std::string codec_name) {
+  {
+    std::lock_guard lock(mutex_);
+    if (active_) throw std::logic_error("SelfTrace::start: already active");
+    active_ = true;
+    codec_name_ = std::move(codec_name);
+    registry_ = std::make_shared<trace::FunctionRegistry>();
+    writers_.clear();
+    next_thread_index_ = 0;
+  }
+  set_span_hook(&selftrace_span_hook);
+}
+
+trace::TraceStore SelfTrace::stop() {
+  set_span_hook(nullptr);
+  std::lock_guard lock(mutex_);
+  if (!active_) throw std::logic_error("SelfTrace::stop: not active");
+  active_ = false;
+  trace::TraceStore store(registry_);
+  for (const auto& [tid, writer] : writers_) store.absorb(*writer);
+  writers_.clear();
+  registry_.reset();
+  return store;
+}
+
+bool SelfTrace::active() const {
+  std::lock_guard lock(mutex_);
+  return active_;
+}
+
+void SelfTrace::on_span(std::string_view name, bool enter) {
+  std::lock_guard lock(mutex_);
+  if (!active_) return;  // hook raced a stop(); drop the event
+  auto it = writers_.find(std::this_thread::get_id());
+  if (it == writers_.end()) {
+    const trace::TraceKey key{0, next_thread_index_++};
+    it = writers_
+             .emplace(std::this_thread::get_id(),
+                      std::make_unique<trace::TraceWriter>(key, codec_name_))
+             .first;
+  }
+  const auto fid = registry_->intern(name, trace::Image::Main);
+  it->second->record(enter ? trace::EventKind::Call : trace::EventKind::Return, fid);
+}
+
+}  // namespace difftrace::obs

@@ -1,0 +1,65 @@
+// SelfTrace: difftrace tracing itself.
+//
+// When started, every obs::Span begin/end is recorded as a Call/Return
+// event of a function named after the phase, through the same machinery
+// application traces use: phase names are interned into a
+// trace::FunctionRegistry, events go through per-thread trace::TraceWriter
+// streams (incremental codec, crash-survivable flushing), and stop()
+// harvests a genuine trace::TraceStore. Saved with TraceStore::save it is a
+// v2 framed+checksummed archive that `difftrace fsck` verifies and
+// `difftrace nlr` / `diffnlr` analyze — so a structural regression in the
+// pipeline (a stage that stopped running, a loop that changed shape) shows
+// up as a diffNLR between two self-traces, exactly the paper's method
+// pointed at its own implementation.
+//
+// Streams are keyed {0, thread-index}: the first thread to open a span is
+// 0.0 (the CLI main thread), sweep workers become 0.1, 0.2, ... in order of
+// first span. Span frequency is per pipeline stage, not per trace event, so
+// the singleton's mutex is uncontended in practice.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "trace/registry.hpp"
+#include "trace/store.hpp"
+#include "trace/writer.hpp"
+
+namespace difftrace::obs {
+
+class SelfTrace {
+ public:
+  [[nodiscard]] static SelfTrace& instance();
+
+  SelfTrace(const SelfTrace&) = delete;
+  SelfTrace& operator=(const SelfTrace&) = delete;
+
+  /// Installs the span hook and begins recording. Throws std::logic_error
+  /// if already active.
+  void start(std::string codec_name = "parlot");
+
+  /// Uninstalls the hook and harvests the per-thread streams into a store.
+  /// Throws std::logic_error if not active.
+  [[nodiscard]] trace::TraceStore stop();
+
+  [[nodiscard]] bool active() const;
+
+  /// Span-hook entry point (public for the free-function trampoline).
+  void on_span(std::string_view name, bool enter);
+
+ private:
+  SelfTrace() = default;
+
+  mutable std::mutex mutex_;
+  bool active_ = false;
+  std::string codec_name_ = "parlot";
+  std::shared_ptr<trace::FunctionRegistry> registry_;
+  std::map<std::thread::id, std::unique_ptr<trace::TraceWriter>> writers_;
+  int next_thread_index_ = 0;
+};
+
+}  // namespace difftrace::obs

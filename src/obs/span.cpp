@@ -1,0 +1,86 @@
+#include "obs/span.hpp"
+
+#include <atomic>
+#include <ctime>
+
+namespace difftrace::obs {
+
+namespace {
+
+std::uint64_t clock_ns(clockid_t clock) noexcept {
+  timespec ts{};
+  clock_gettime(clock, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+// Per-thread stack of open span paths; the top is the parent of a new span.
+thread_local std::vector<std::string> tl_span_stack;
+
+std::atomic<SpanHook> g_span_hook{nullptr};
+
+}  // namespace
+
+std::uint64_t wall_now_ns() noexcept { return clock_ns(CLOCK_MONOTONIC); }
+std::uint64_t thread_cpu_now_ns() noexcept { return clock_ns(CLOCK_THREAD_CPUTIME_ID); }
+
+void set_span_hook(SpanHook hook) noexcept { g_span_hook.store(hook, std::memory_order_release); }
+
+PhaseTable& PhaseTable::instance() {
+  static PhaseTable table;
+  return table;
+}
+
+void PhaseTable::add(const std::string& path, std::string_view name, std::size_t depth,
+                     std::uint64_t wall_ns, std::uint64_t cpu_ns) {
+  std::lock_guard lock(mutex_);
+  auto& stats = phases_[path];
+  if (stats.count == 0) {
+    stats.path = path;
+    stats.name = std::string(name);
+    stats.depth = depth;
+  }
+  ++stats.count;
+  stats.wall_ns += wall_ns;
+  stats.cpu_ns += cpu_ns;
+}
+
+std::vector<PhaseStats> PhaseTable::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<PhaseStats> out;
+  out.reserve(phases_.size());
+  for (const auto& [path, stats] : phases_) out.push_back(stats);
+  return out;
+}
+
+void PhaseTable::reset() {
+  std::lock_guard lock(mutex_);
+  phases_.clear();
+}
+
+Span::Span(std::string_view name) {
+  depth_ = tl_span_stack.size();
+  if (depth_ == 0) {
+    path_ = std::string(name);
+  } else {
+    path_ = tl_span_stack.back();
+    path_ += '/';
+    name_offset_ = path_.size();
+    path_ += name;
+  }
+  tl_span_stack.push_back(path_);
+  if (const auto hook = g_span_hook.load(std::memory_order_acquire)) hook(name, true);
+  start_wall_ = wall_now_ns();
+  start_cpu_ = thread_cpu_now_ns();
+}
+
+Span::~Span() {
+  const auto wall = wall_now_ns() - start_wall_;
+  const auto cpu = thread_cpu_now_ns() - start_cpu_;
+  const std::string_view name = std::string_view(path_).substr(name_offset_);
+  if (const auto hook = g_span_hook.load(std::memory_order_acquire)) hook(name, false);
+  tl_span_stack.pop_back();
+  PhaseTable::instance().add(path_, name, depth_, wall, cpu);
+}
+
+}  // namespace difftrace::obs

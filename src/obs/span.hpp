@@ -1,0 +1,84 @@
+// RAII phase timers for the DiffTrace pipeline.
+//
+// A Span marks one pipeline phase (load, sweep, session, evaluate, ...) on
+// the thread that opens it. Spans nest: each thread keeps a stack, and a
+// span's *path* is the '/'-joined names of the enclosing spans plus its own
+// ("rank/sweep/session"). On destruction the wall and thread-CPU time are
+// aggregated into the process-wide PhaseTable, keyed by path — repeated
+// phases (one Session per filter) accumulate count and totals instead of
+// producing one record each.
+//
+// A span opened on a worker thread with no enclosing span roots its own
+// tree (depth 0) — the parallel sweep's per-filter sessions appear as
+// independent roots, which the manifest's coverage accounting ignores (it
+// reasons over the main thread's tree: the depth-0 phase with the largest
+// wall time and its depth-1 children).
+//
+// The span begin/end hook is how obs::SelfTrace observes phases without the
+// span layer depending on the trace layer (which itself depends on obs for
+// counters): selftrace installs a function pointer, spans invoke it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace difftrace::obs {
+
+/// Aggregated timings of one phase path.
+struct PhaseStats {
+  std::string path;   // "rank/sweep/session"
+  std::string name;   // "session"
+  std::size_t depth = 0;  // 0 = root of its thread's tree
+  std::uint64_t count = 0;
+  std::uint64_t wall_ns = 0;
+  std::uint64_t cpu_ns = 0;  // thread CPU time
+};
+
+class PhaseTable {
+ public:
+  [[nodiscard]] static PhaseTable& instance();
+
+  void add(const std::string& path, std::string_view name, std::size_t depth,
+           std::uint64_t wall_ns, std::uint64_t cpu_ns);
+
+  /// Snapshot sorted by path.
+  [[nodiscard]] std::vector<PhaseStats> snapshot() const;
+  void reset();
+
+ private:
+  PhaseTable() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, PhaseStats> phases_;
+};
+
+/// Monotonic wall clock / calling thread's CPU clock, in nanoseconds.
+[[nodiscard]] std::uint64_t wall_now_ns() noexcept;
+[[nodiscard]] std::uint64_t thread_cpu_now_ns() noexcept;
+
+/// Span begin/end observer (used by SelfTrace). `enter` is true at span
+/// begin. The hook runs on the span's thread; nullptr disables.
+using SpanHook = void (*)(std::string_view name, bool enter);
+void set_span_hook(SpanHook hook) noexcept;
+
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  std::string path_;  // full path including this span's name
+  std::size_t name_offset_ = 0;  // path_.substr(name_offset_) == name
+  std::size_t depth_ = 0;
+  std::uint64_t start_wall_ = 0;
+  std::uint64_t start_cpu_ = 0;
+};
+
+}  // namespace difftrace::obs

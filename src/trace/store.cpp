@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/crc32.hpp"
 #include "util/table.hpp"
 #include "util/varint.hpp"
@@ -192,12 +193,15 @@ bool trim_to_decodable_prefix(TraceBlob& blob) {
 
 void note_entry(LoadReport& report, LoadReport::Status status, std::string section,
                 std::uint64_t offset, std::uint64_t bytes, std::string reason) {
-  if (status == LoadReport::Status::Recovered)
+  if (status == LoadReport::Status::Recovered) {
     ++report.recovered;
-  else if (status == LoadReport::Status::Salvaged)
+  } else if (status == LoadReport::Status::Salvaged) {
     ++report.salvaged;
-  else
+  } else {
     ++report.dropped;
+    static auto& dropped_bytes = obs::counter("trace.salvage_bytes_dropped");
+    dropped_bytes.add(bytes);
+  }
   report.entries.push_back({status, std::move(section), offset, bytes, std::move(reason)});
 }
 
@@ -295,6 +299,22 @@ std::size_t TraceStore::size() const {
   return blobs_.size();
 }
 
+namespace {
+
+/// One charge per decoded blob: the stage counters the manifest reports
+/// ("events decoded") plus a per-blob size histogram, all off the per-event
+/// hot path.
+void charge_decode(std::size_t event_count) {
+  static auto& blobs = obs::counter("trace.blobs_decoded");
+  static auto& events = obs::counter("trace.events_decoded");
+  static auto& sizes = obs::histogram("trace.blob_events");
+  blobs.add(1);
+  events.add(event_count);
+  sizes.record(event_count);
+}
+
+}  // namespace
+
 std::vector<TraceEvent> TraceStore::decode(TraceKey key) const {
   TraceBlob copy;
   {
@@ -308,6 +328,7 @@ std::vector<TraceEvent> TraceStore::decode(TraceKey key) const {
   std::vector<TraceEvent> events;
   events.reserve(symbols.size());
   for (const auto s : symbols) events.push_back(symbol_to_event(s));
+  charge_decode(events.size());
   return events;
 }
 
@@ -332,6 +353,7 @@ TraceStore::DecodedTrace TraceStore::decode_tolerant(TraceKey key) const {
   }
   out.events.reserve(decoded.symbols.size());
   for (const auto s : decoded.symbols) out.events.push_back(symbol_to_event(s));
+  charge_decode(out.events.size());
   if (!decoded.complete) {
     out.complete = false;
     out.note = decoded.error;
@@ -462,10 +484,12 @@ TraceStore load_v2_strict(std::span<const std::uint8_t> buf) {
                                ", need " + std::to_string(len) + " bytes, " +
                                std::to_string(buf.size() - payload_at) + " left)");
     const auto payload = buf.subspan(payload_at, len);
-    if (util::crc32(payload) != crc)
+    if (util::crc32(payload) != crc) {
+      obs::counter("trace.crc_failures").add(1);
       throw std::runtime_error("TraceStore::load: checksum mismatch in " +
                                std::string(tag == kTagRegistry ? "registry" : "blob") + " frame" +
                                at_offset(pos));
+    }
     if (tag == kTagRegistry) {
       if (seen_registry)
         throw std::runtime_error("TraceStore::load: duplicate registry frame" + at_offset(pos));
@@ -490,8 +514,9 @@ TraceStore load_v2_strict(std::span<const std::uint8_t> buf) {
 
 TraceStore TraceStore::load(const std::filesystem::path& path) {
   const auto buf = read_file(path, "TraceStore::load");
-  if (is_v2(buf)) return load_v2_strict(buf);
-  return load_v1_strict(buf);
+  auto store = is_v2(buf) ? load_v2_strict(buf) : load_v1_strict(buf);
+  obs::counter("trace.blobs_loaded").add(store.size());
+  return store;
 }
 
 // --- salvage -----------------------------------------------------------------
@@ -698,6 +723,7 @@ void salvage_v2(std::span<const std::uint8_t> buf, TraceStore& store, LoadReport
     const auto payload = buf.subspan(payload_at, payload_end - payload_at);
     const bool torn = frame_torn || payload.size() < len;
     const bool crc_ok = !torn && util::crc32(payload) == crc;
+    if (!torn && !crc_ok) obs::counter("trace.crc_failures").add(1);
     if (tag == kTagRegistry) {
       if (crc_ok && report.registry_ok) {
         note_entry(report, LoadReport::Status::Dropped, "registry", pos, payload.size(),

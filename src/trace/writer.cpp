@@ -1,6 +1,22 @@
 #include "trace/writer.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace difftrace::trace {
+
+namespace {
+
+/// Encoder-side byte/event accounting, charged on flush boundaries so the
+/// per-event hot path stays a single codec push. `counted_*` live in the
+/// writer and advance monotonically under its mutex.
+void charge_encode_delta(std::uint64_t events_delta, std::uint64_t bytes_delta) {
+  static auto& events = obs::counter("trace.events_recorded");
+  static auto& bytes_out = obs::counter("compress.encode_bytes_out");
+  if (events_delta != 0) events.add(events_delta);
+  if (bytes_delta != 0) bytes_out.add(bytes_delta);
+}
+
+}  // namespace
 
 TraceWriter::TraceWriter(TraceKey key, std::string codec_name, std::uint64_t flush_interval)
     : key_(key),
@@ -12,7 +28,10 @@ void TraceWriter::record(EventKind kind, FunctionId fid) {
   std::lock_guard lock(mutex_);
   if (frozen_) return;
   encoder_->push(event_to_symbol(TraceEvent{fid, kind}));
-  if (++events_ % flush_interval_ == 0) encoder_->flush();
+  if (++events_ % flush_interval_ == 0) {
+    encoder_->flush();
+    charge_locked();
+  }
 }
 
 void TraceWriter::annotate(OpRecord op) {
@@ -26,6 +45,7 @@ void TraceWriter::freeze() {
   std::lock_guard lock(mutex_);
   if (!frozen_) {
     encoder_->flush();
+    charge_locked();
     frozen_ = true;
   }
 }
@@ -37,7 +57,10 @@ bool TraceWriter::frozen() const {
 
 void TraceWriter::flush() {
   std::lock_guard lock(mutex_);
-  if (!frozen_) encoder_->flush();
+  if (!frozen_) {
+    encoder_->flush();
+    charge_locked();
+  }
 }
 
 std::uint64_t TraceWriter::event_count() const {
@@ -47,8 +70,19 @@ std::uint64_t TraceWriter::event_count() const {
 
 std::vector<std::uint8_t> TraceWriter::bytes() const {
   std::lock_guard lock(mutex_);
-  if (!frozen_) encoder_->flush();
+  if (!frozen_) {
+    encoder_->flush();
+    charge_locked();
+  }
   return encoder_->bytes();
+}
+
+void TraceWriter::charge_locked() const {
+  const auto events_now = events_;
+  const auto bytes_now = static_cast<std::uint64_t>(encoder_->bytes().size());
+  charge_encode_delta(events_now - counted_events_, bytes_now - counted_bytes_);
+  counted_events_ = events_now;
+  counted_bytes_ = bytes_now;
 }
 
 std::vector<OpRecord> TraceWriter::ops() const {

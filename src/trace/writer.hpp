@@ -57,6 +57,10 @@ class TraceWriter {
   [[nodiscard]] std::vector<OpRecord> ops() const;
 
  private:
+  /// Advances the obs counters (events recorded, encoded bytes out) to the
+  /// current encoder state; called with mutex_ held after a flush.
+  void charge_locked() const;
+
   TraceKey key_;
   std::string codec_name_;
   mutable std::mutex mutex_;
@@ -65,6 +69,10 @@ class TraceWriter {
   std::uint64_t events_ = 0;
   std::vector<OpRecord> ops_;
   bool frozen_ = false;
+  // Already-charged watermarks for the obs counters (mutable: bytes() is
+  // const but flushes the encoder).
+  mutable std::uint64_t counted_events_ = 0;
+  mutable std::uint64_t counted_bytes_ = 0;
 };
 
 }  // namespace difftrace::trace

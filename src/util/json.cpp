@@ -1,0 +1,361 @@
+#include "util/json.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace difftrace::util {
+
+void write_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+// --- JsonWriter --------------------------------------------------------------
+
+void JsonWriter::newline_indent() {
+  out_ << '\n';
+  for (std::size_t i = 0; i < stack_.size() * static_cast<std::size_t>(indent_); ++i) out_ << ' ';
+}
+
+void JsonWriter::before_item() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already placed the comma/indent
+  }
+  if (stack_.empty()) return;  // document root
+  if (!stack_.back().empty) out_ << ',';
+  stack_.back().empty = false;
+  newline_indent();
+}
+
+void JsonWriter::begin_object() {
+  before_item();
+  out_ << '{';
+  stack_.push_back({false, true});
+}
+
+void JsonWriter::end_object() {
+  assert(!stack_.empty() && !stack_.back().array && !pending_key_);
+  const bool was_empty = stack_.back().empty;
+  stack_.pop_back();
+  if (!was_empty) newline_indent();
+  out_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  before_item();
+  out_ << '[';
+  stack_.push_back({true, true});
+}
+
+void JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back().array && !pending_key_);
+  const bool was_empty = stack_.back().empty;
+  stack_.pop_back();
+  if (!was_empty) newline_indent();
+  out_ << ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  assert(!stack_.empty() && !stack_.back().array && !pending_key_);
+  if (!stack_.back().empty) out_ << ',';
+  stack_.back().empty = false;
+  newline_indent();
+  write_json_string(out_, k);
+  out_ << ": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  before_item();
+  write_json_string(out_, v);
+}
+
+void JsonWriter::value(bool v) {
+  before_item();
+  out_ << (v ? "true" : "false");
+}
+
+void JsonWriter::value(double v) {
+  before_item();
+  if (!std::isfinite(v)) {
+    out_ << "null";  // JSON has no NaN/Inf
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ << buf;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_item();
+  out_ << v;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  before_item();
+  out_ << v;
+}
+
+// --- JsonValue ---------------------------------------------------------------
+
+const JsonValue* JsonValue::find(std::string_view k) const noexcept {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [key, value] : object)
+    if (key == k) return &value;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view k) const {
+  const auto* v = find(k);
+  if (v == nullptr) throw std::runtime_error("json: missing key '" + std::string(k) + "'");
+  return *v;
+}
+
+std::int64_t JsonValue::as_int() const {
+  if (kind != Kind::Number) throw std::runtime_error("json: expected a number");
+  return static_cast<std::int64_t>(number);
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  if (kind != Kind::Number || number < 0) throw std::runtime_error("json: expected a non-negative number");
+  return static_cast<std::uint64_t>(number);
+}
+
+double JsonValue::as_double() const {
+  if (kind != Kind::Number) throw std::runtime_error("json: expected a number");
+  return number;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind != Kind::String) throw std::runtime_error("json: expected a string");
+  return string;
+}
+
+bool JsonValue::as_bool() const {
+  if (kind != Kind::Bool) throw std::runtime_error("json: expected a boolean");
+  return boolean;
+}
+
+// --- parser ------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    auto v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json parse error at byte " + std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+                                   text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        v.string = parse_string();
+        return v;
+      }
+      case 't': {
+        if (!consume_literal("true")) fail("bad literal");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        v.boolean = true;
+        return v;
+      }
+      case 'f': {
+        if (!consume_literal("false")) fail("bad literal");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        v.boolean = false;
+        return v;
+      }
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{};
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      auto key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code += static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad \\u escape");
+          }
+          // difftrace only emits \u00xx control escapes; encode as UTF-8.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    try {
+      v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace difftrace::util

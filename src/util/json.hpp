@@ -1,0 +1,101 @@
+// Minimal JSON support for difftrace's machine-readable artifacts (the run
+// manifest, `info --json`, benchmark outputs).
+//
+// JsonWriter is a streaming emitter with automatic comma/indent handling so
+// every producer (manifest, store info, bench output) writes structurally
+// valid documents from the same code path. JsonValue + parse_json is the
+// matching reader — a small recursive-descent parser, sufficient for the
+// documents difftrace itself writes (`difftrace stats`, manifest round-trip
+// tests), not a general-purpose validator.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace difftrace::util {
+
+/// Escapes and quotes `s` as a JSON string literal.
+void write_json_string(std::ostream& out, std::string_view s);
+
+/// Streaming JSON emitter. Call begin_object/begin_array to open containers,
+/// key() before each object member, value() for scalars; commas and
+/// indentation are inserted automatically. Misuse (value with a pending key
+/// missing, end without begin) is a logic error, checked with assertions in
+/// debug builds only — the producers are all difftrace code.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out, int indent = 2) : out_(out), indent_(indent) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v);
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(std::uint32_t v) { value(static_cast<std::uint64_t>(v)); }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+
+  /// key + scalar value in one call.
+  template <typename T>
+  void field(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  void before_item();
+  void newline_indent();
+
+  std::ostream& out_;
+  int indent_;
+  struct Level {
+    bool array = false;
+    bool empty = true;
+  };
+  std::vector<Level> stack_;
+  bool pending_key_ = false;
+};
+
+/// Parsed JSON document node.
+struct JsonValue {
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order kept
+
+  [[nodiscard]] bool is_object() const noexcept { return kind == Kind::Object; }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::Array; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view k) const noexcept;
+  /// Object member lookup; throws std::runtime_error naming the key.
+  [[nodiscard]] const JsonValue& at(std::string_view k) const;
+
+  /// Scalar accessors; throw std::runtime_error on a kind mismatch.
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] bool as_bool() const;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+/// Throws std::runtime_error with a byte offset on malformed input.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+}  // namespace difftrace::util

@@ -3,9 +3,12 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "cli/commands.hpp"
+#include "obs/manifest.hpp"
+#include "util/json.hpp"
 
 namespace difftrace::cli {
 namespace {
@@ -161,7 +164,7 @@ TEST_F(CliRoundTrip, OutliersSingleRun) {
                  "--fault", "dlBug", "--fault-proc", "3", "--fault-iteration", "2"}),
             0)
       << err_.str();
-  EXPECT_NE(out_.str().find("[watchdog]"), std::string::npos);
+  EXPECT_NE(err_.str().find("[watchdog]"), std::string::npos);
   ASSERT_EQ(run({"outliers", faulty_, "--attr", "sing.actual"}), 0) << err_.str();
   EXPECT_NE(out_.str().find("Outlier score"), std::string::npos);
   EXPECT_NE(out_.str().find("dendrogram:"), std::string::npos);
@@ -197,6 +200,117 @@ TEST_F(CliRoundTrip, BadTraceKeyRejected) {
             0);
   EXPECT_EQ(run({"decode", normal_, "--trace", "x.y"}), 2);
   EXPECT_NE(err_.str().find("bad trace id"), std::string::npos);
+}
+
+// --- observability -----------------------------------------------------------
+
+TEST_F(CliRoundTrip, InfoJsonIsParsableAndMatchesTable) {
+  ASSERT_EQ(run({"collect", "--app", "oddeven", "--nranks", "4", "--size", "8", "--out", normal_}),
+            0);
+  ASSERT_EQ(run({"info", normal_, "--json"}), 0) << err_.str();
+  const auto doc = util::parse_json(out_.str());
+  EXPECT_EQ(doc.at("traces").as_uint(), 4u);
+  EXPECT_GT(doc.at("events").as_uint(), 0u);
+  EXPECT_GT(doc.at("compression_ratio").as_double(), 0.0);
+  ASSERT_TRUE(doc.at("blobs").is_array());
+  ASSERT_EQ(doc.at("blobs").array.size(), 4u);
+  EXPECT_EQ(doc.at("blobs").array[0].at("codec").as_string(), "parlot");
+  EXPECT_FALSE(doc.at("blobs").array[0].at("salvaged").as_bool());
+}
+
+TEST_F(CliRoundTrip, StatsFlagWritesManifestAndStatsCommandRendersIt) {
+  ASSERT_EQ(run({"collect", "--app", "oddeven", "--nranks", "8", "--size", "8", "--out", normal_}),
+            0);
+  ASSERT_EQ(run({"collect", "--app", "oddeven", "--nranks", "8", "--size", "8", "--out", faulty_,
+                 "--fault", "swapBug", "--fault-proc", "5", "--fault-iteration", "7"}),
+            0);
+
+  const auto manifest_path = (dir_ / "manifest.json").string();
+  ASSERT_EQ(run({"rank", normal_, faulty_, "--stats=" + manifest_path}), 0) << err_.str();
+  EXPECT_NE(err_.str().find("[stats] manifest written"), std::string::npos);
+  // Results stay clean: the manifest note goes to err, the table to out.
+  EXPECT_EQ(out_.str().find("[stats]"), std::string::npos);
+
+  const auto manifest = [&] {
+    std::ifstream file(manifest_path);
+    std::ostringstream text;
+    text << file.rdbuf();
+    return obs::RunManifest::from_json_text(text.str());
+  }();
+  EXPECT_EQ(manifest.exit_code, 0);
+  ASSERT_EQ(manifest.command.size(), 4u);
+  EXPECT_EQ(manifest.command[0], "rank");
+  ASSERT_EQ(manifest.inputs.size(), 2u);
+  EXPECT_TRUE(manifest.inputs[0].ok);
+  EXPECT_GT(manifest.wall_ns, 0u);
+  EXPECT_GE(manifest.phase_coverage(), 0.90);
+  // Every stage the sweep exercises reported in.
+  const auto counter_value = [&](std::string_view name) -> std::uint64_t {
+    for (const auto& c : manifest.counters)
+      if (c.name == name) return c.value;
+    return 0;
+  };
+  EXPECT_GT(counter_value("trace.blobs_decoded"), 0u);
+  EXPECT_GT(counter_value("filter.events_in"), 0u);
+  EXPECT_GT(counter_value("nlr.tokens_in"), 0u);
+  EXPECT_GT(counter_value("jsm.cells"), 0u);
+
+  ASSERT_EQ(run({"stats", manifest_path}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("difftrace run manifest"), std::string::npos);
+  EXPECT_NE(out_.str().find("phase coverage"), std::string::npos);
+  EXPECT_NE(out_.str().find("Counter"), std::string::npos);
+}
+
+TEST_F(CliRoundTrip, BareStatsFlagRendersToErr) {
+  ASSERT_EQ(run({"collect", "--app", "oddeven", "--nranks", "2", "--size", "4", "--out", normal_}),
+            0);
+  ASSERT_EQ(run({"info", normal_, "--stats"}), 0);
+  EXPECT_NE(err_.str().find("difftrace run manifest"), std::string::npos);
+  EXPECT_EQ(out_.str().find("difftrace run manifest"), std::string::npos);
+}
+
+TEST_F(CliRoundTrip, SelfTraceProducesAnalyzableArchive) {
+  ASSERT_EQ(run({"collect", "--app", "oddeven", "--nranks", "8", "--size", "8", "--out", normal_}),
+            0);
+  ASSERT_EQ(run({"collect", "--app", "oddeven", "--nranks", "8", "--size", "8", "--out", faulty_,
+                 "--fault", "swapBug", "--fault-proc", "5", "--fault-iteration", "7"}),
+            0);
+
+  const auto self_path = (dir_ / "self.dtrc").string();
+  ASSERT_EQ(run({"rank", normal_, faulty_, "--self-trace=" + self_path}), 0) << err_.str();
+  EXPECT_NE(err_.str().find("[self-trace]"), std::string::npos);
+
+  // The self-trace is a well-formed archive...
+  ASSERT_EQ(run({"fsck", self_path}), 0) << out_.str();
+  // ...whose NLR names the pipeline's phases (rank/load/sweep run on the
+  // main thread, which is always stream 0.0 of the self-trace).
+  ASSERT_EQ(run({"nlr", self_path, "--trace", "0.0", "--filter", "all"}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("rank"), std::string::npos);
+  EXPECT_NE(out_.str().find("sweep"), std::string::npos);
+}
+
+TEST_F(CliRoundTrip, SalvageChatterGoesToErrNotOut) {
+  ASSERT_EQ(run({"collect", "--app", "oddeven", "--nranks", "4", "--size", "8", "--out", normal_}),
+            0);
+  const auto damaged = (dir_ / "damaged.dtrc").string();
+  ASSERT_EQ(run({"chaos", normal_, "--out", damaged, "--fault", "bitflip", "--seed", "3"}), 0)
+      << err_.str();
+  ASSERT_EQ(run({"info", damaged, "--json"}), 0) << err_.str();
+  EXPECT_NE(err_.str().find("[salvage]"), std::string::npos);
+  // stdout stays machine-readable even for a damaged archive.
+  EXPECT_EQ(out_.str().find("[salvage]"), std::string::npos);
+  EXPECT_NO_THROW((void)util::parse_json(out_.str()));
+}
+
+TEST_F(CliRoundTrip, StatsCommandRejectsBadManifest) {
+  EXPECT_EQ(run({"stats", (dir_ / "missing.json").string()}), 2);
+  const auto bad = (dir_ / "bad.json").string();
+  {
+    std::ofstream file(bad);
+    file << "{\"manifest_version\": 99}";
+  }
+  EXPECT_EQ(run({"stats", bad}), 2);
+  EXPECT_NE(err_.str().find("cannot parse manifest"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Validate a difftrace run manifest against schema version 1.
+
+The manifest is the machine-readable record a run writes under
+`--stats=FILE` (and the format of the BENCH_*.json files produced by
+`perf_sweep --json`). The schema is documented in DESIGN.md
+("Observability") and mirrored by obs::RunManifest. CI runs this over the
+manifest of the oddeven walkthrough so the telemetry contract — stable
+field names and types, phases that actually account for the run — is
+enforced, not just described.
+
+Usage: tools/check_manifest.py MANIFEST.json
+           [--min-coverage 0.95] [--require-counter NAME ...]
+Exit code: 0 when the manifest validates, 1 otherwise (problems on stderr).
+
+Stdlib only — no third-party JSON-schema machinery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+
+CRC32_RE = re.compile(r"^[0-9a-f]{8}$")
+PHASE_PATH_RE = re.compile(r"^[^/]+(/[^/]+)*$")
+
+
+class Problems:
+    def __init__(self) -> None:
+        self.messages: list[str] = []
+
+    def add(self, message: str) -> None:
+        self.messages.append(message)
+
+    def expect(self, obj: dict, key: str, kinds, where: str) -> object:
+        """Checks obj[key] exists with one of `kinds`; returns it (or None)."""
+        if key not in obj:
+            self.add(f"{where}: missing key '{key}'")
+            return None
+        value = obj[key]
+        if not isinstance(value, kinds) or isinstance(value, bool) and kinds is not bool:
+            self.add(f"{where}: '{key}' has type {type(value).__name__}")
+            return None
+        return value
+
+
+def check_phases(phases: list, problems: Problems) -> None:
+    for i, phase in enumerate(phases):
+        where = f"phases[{i}]"
+        if not isinstance(phase, dict):
+            problems.add(f"{where}: not an object")
+            continue
+        path = problems.expect(phase, "path", str, where)
+        name = problems.expect(phase, "name", str, where)
+        depth = problems.expect(phase, "depth", int, where)
+        count = problems.expect(phase, "count", int, where)
+        problems.expect(phase, "wall_ns", int, where)
+        problems.expect(phase, "cpu_ns", int, where)
+        if path is not None and not PHASE_PATH_RE.match(path):
+            problems.add(f"{where}: malformed path '{path}'")
+        if path is not None and name is not None and not path.endswith(name):
+            problems.add(f"{where}: name '{name}' is not the tail of path '{path}'")
+        if path is not None and depth is not None and path.count("/") != depth:
+            problems.add(f"{where}: depth {depth} disagrees with path '{path}'")
+        if count is not None and count < 1:
+            problems.add(f"{where}: count {count} < 1")
+
+
+def phase_coverage(phases: list) -> float:
+    """Mirror of obs::RunManifest::phase_coverage: the fraction of the
+    largest depth-0 phase's wall time covered by its direct children."""
+    roots = [p for p in phases if isinstance(p, dict) and p.get("depth") == 0]
+    if not roots:
+        return 1.0
+    root = max(roots, key=lambda p: p.get("wall_ns", 0))
+    if not root.get("wall_ns"):
+        return 1.0
+    prefix = root["path"] + "/"
+    children_wall = sum(
+        p.get("wall_ns", 0)
+        for p in phases
+        if isinstance(p, dict) and p.get("depth") == 1 and str(p.get("path", "")).startswith(prefix)
+    )
+    if not any(
+        isinstance(p, dict) and p.get("depth") == 1 and str(p.get("path", "")).startswith(prefix)
+        for p in phases
+    ):
+        return 1.0
+    return children_wall / root["wall_ns"]
+
+
+def check_manifest(doc: object, min_coverage: float, required_counters: list[str]) -> list[str]:
+    problems = Problems()
+    if not isinstance(doc, dict):
+        return ["document root is not an object"]
+
+    version = problems.expect(doc, "manifest_version", int, "manifest")
+    if version is not None and version != 1:
+        problems.add(f"manifest: unsupported manifest_version {version}")
+    problems.expect(doc, "tool_version", str, "manifest")
+    problems.expect(doc, "exit_code", int, "manifest")
+    problems.expect(doc, "wall_ns", int, "manifest")
+    problems.expect(doc, "cpu_ns", int, "manifest")
+    problems.expect(doc, "peak_rss_kb", int, "manifest")
+
+    command = problems.expect(doc, "command", list, "manifest")
+    if command is not None and not all(isinstance(c, str) for c in command):
+        problems.add("manifest: command entries must be strings")
+
+    inputs = problems.expect(doc, "inputs", list, "manifest")
+    for i, entry in enumerate(inputs or []):
+        where = f"inputs[{i}]"
+        if not isinstance(entry, dict):
+            problems.add(f"{where}: not an object")
+            continue
+        problems.expect(entry, "path", str, where)
+        problems.expect(entry, "bytes", int, where)
+        problems.expect(entry, "ok", bool, where)
+        crc = problems.expect(entry, "crc32", str, where)
+        if crc is not None and not CRC32_RE.match(crc):
+            problems.add(f"{where}: crc32 '{crc}' is not 8 lowercase hex digits")
+
+    phases = problems.expect(doc, "phases", list, "manifest")
+    if phases is not None:
+        check_phases(phases, problems)
+        coverage = phase_coverage(phases)
+        if coverage < min_coverage:
+            problems.add(
+                f"manifest: phase coverage {coverage:.3f} below required {min_coverage:.3f}"
+            )
+
+    counters = problems.expect(doc, "counters", list, "manifest")
+    counter_names = set()
+    for i, entry in enumerate(counters or []):
+        where = f"counters[{i}]"
+        if not isinstance(entry, dict):
+            problems.add(f"{where}: not an object")
+            continue
+        name = problems.expect(entry, "name", str, where)
+        value = problems.expect(entry, "value", int, where)
+        if name is not None:
+            counter_names.add(name)
+        if value is not None and value == 0:
+            problems.add(f"{where}: zero-valued counter '{name}' (schema emits nonzero only)")
+    for name in required_counters:
+        if name not in counter_names:
+            problems.add(f"manifest: required counter '{name}' missing or zero")
+
+    histograms = problems.expect(doc, "histograms", list, "manifest")
+    for i, entry in enumerate(histograms or []):
+        where = f"histograms[{i}]"
+        if not isinstance(entry, dict):
+            problems.add(f"{where}: not an object")
+            continue
+        problems.expect(entry, "name", str, where)
+        problems.expect(entry, "count", int, where)
+        problems.expect(entry, "sum", int, where)
+        buckets = problems.expect(entry, "buckets", list, where)
+        for j, bucket in enumerate(buckets or []):
+            bwhere = f"{where}.buckets[{j}]"
+            if not isinstance(bucket, dict):
+                problems.add(f"{bwhere}: not an object")
+                continue
+            problems.expect(bucket, "le_log2", int, bwhere)
+            problems.expect(bucket, "count", int, bwhere)
+
+    return problems.messages
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("manifest", help="manifest JSON written by --stats=FILE")
+    parser.add_argument(
+        "--min-coverage",
+        type=float,
+        default=0.0,
+        help="minimum phase coverage (fraction of root wall time, e.g. 0.95)",
+    )
+    parser.add_argument(
+        "--require-counter",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="counter that must be present (repeatable)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.manifest, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_manifest: cannot read {args.manifest}: {e}", file=sys.stderr)
+        return 1
+
+    problems = check_manifest(doc, args.min_coverage, args.require_counter)
+    if problems:
+        for message in problems:
+            print(f"check_manifest: {message}", file=sys.stderr)
+        print(f"check_manifest: {args.manifest}: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+
+    phases = doc.get("phases", [])
+    print(
+        f"check_manifest: {args.manifest}: ok "
+        f"({len(phases)} phase(s), {len(doc.get('counters', []))} counter(s), "
+        f"coverage {phase_coverage(phases):.3f})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
