@@ -7,12 +7,17 @@
 //
 // This bench has two modes:
 //   perf_sweep [gbench flags]   google-benchmark timings (default)
-//   perf_sweep --json[=PATH]    one instrumented pass per thread count,
-//                               emitted as a run manifest (the BENCH_*.json
-//                               format) — phases carry the wall/CPU numbers,
-//                               counters the pipeline throughput.
+//   perf_sweep --json[=PATH]    one instrumented pass per job count plus a
+//                               cold/warm cache pair, emitted as a run
+//                               manifest (the BENCH_*.json format) — phases
+//                               sweep_j1/j2/j4/jhw and cache_cold/cache_warm
+//                               carry the wall/CPU numbers, counters the
+//                               pipeline throughput and cache hit/miss.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -25,6 +30,8 @@
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "sched/cache.hpp"
+#include "sched/pool.hpp"
 
 using namespace difftrace;
 
@@ -75,6 +82,54 @@ void BM_SweepThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_SweepThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
+/// Scratch cache directory for the cache benchmarks / manifest mode.
+struct BenchCacheDir {
+  std::filesystem::path path;
+  BenchCacheDir() {
+    path = std::filesystem::temp_directory_path() /
+           ("difftrace-perf-sweep-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(path);
+  }
+  ~BenchCacheDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+void BM_SweepCacheCold(benchmark::State& state) {
+  const auto& pair = stores();
+  BenchCacheDir dir;
+  sched::Cache cache(dir.path);
+  auto config = wide_sweep(0);
+  config.cache = &cache;
+  for (auto _ : state) {
+    state.PauseTiming();
+    cache.clear();  // every iteration starts from an empty directory
+    state.ResumeTiming();
+    auto table = core::sweep(pair.normal, pair.faulty, config);
+    benchmark::DoNotOptimize(table);
+  }
+  state.counters["misses"] = static_cast<double>(cache.misses());
+}
+BENCHMARK(BM_SweepCacheCold)->UseRealTime();
+
+void BM_SweepCacheWarm(benchmark::State& state) {
+  const auto& pair = stores();
+  BenchCacheDir dir;
+  sched::Cache cache(dir.path);
+  auto config = wide_sweep(0);
+  config.cache = &cache;
+  // Prime once; every measured iteration replays against the warm cache.
+  auto primed = core::sweep(pair.normal, pair.faulty, config);
+  benchmark::DoNotOptimize(primed);
+  for (auto _ : state) {
+    auto table = core::sweep(pair.normal, pair.faulty, config);
+    benchmark::DoNotOptimize(table);
+  }
+  state.counters["hits"] = static_cast<double>(cache.hits());
+}
+BENCHMARK(BM_SweepCacheWarm)->UseRealTime();
+
 void BM_SessionBuild(benchmark::State& state) {
   const auto& pair = stores();
   for (auto _ : state) {
@@ -97,12 +152,17 @@ BENCHMARK(BM_Evaluate);
 
 // --- manifest mode (--json) --------------------------------------------------
 
-// One measured sweep per thread count, each under its own span, so the
-// manifest's phase table is the speedup curve and its counters the pipeline
-// throughput. This is the generator for BENCH_sweep.json.
+// One measured sweep per job count plus a cold/warm cache pair, each under
+// its own span, so the manifest's phase table is the speedup curve and its
+// counters the pipeline throughput. This is the generator for
+// BENCH_sweep.json. Returns nonzero if any pass disagrees with the serial
+// table — the bench doubles as a cheap end-to-end determinism check.
 int run_manifest_mode(const std::vector<std::string>& command, const std::string& json_path) {
   obs::MetricsRegistry::instance().reset();
   obs::PhaseTable::instance().reset();
+  BenchCacheDir cache_dir;
+  std::string baseline;
+  bool mismatch = false;
   {
     obs::Span span_root("perf_sweep");
     const StorePair* pair = nullptr;
@@ -110,13 +170,41 @@ int run_manifest_mode(const std::vector<std::string>& command, const std::string
       obs::Span span_collect("collect");
       pair = &stores();
     }
-    for (const std::size_t threads : {1, 2, 4, 8}) {
-      obs::Span span_sweep("sweep_t" + std::to_string(threads));
-      auto table = core::sweep(pair->normal, pair->faulty, wide_sweep(threads));
-      benchmark::DoNotOptimize(table);
+    const auto check = [&](const core::RankingTable& table, const char* what) {
+      const auto rendered = table.render();
+      if (baseline.empty())
+        baseline = rendered;
+      else if (rendered != baseline) {
+        std::cerr << "perf_sweep: " << what << " table differs from the jobs=1 baseline\n";
+        mismatch = true;
+      }
+    };
+    // Speedup curve: explicit 1/2/4 plus the host's own concurrency (only
+    // when that is not already one of the explicit points).
+    std::vector<std::pair<std::size_t, std::string>> passes = {
+        {1, "sweep_j1"}, {2, "sweep_j2"}, {4, "sweep_j4"}};
+    const auto hw = sched::hardware_jobs();
+    if (hw != 1 && hw != 2 && hw != 4) passes.emplace_back(hw, "sweep_jhw");
+    for (const auto& [jobs, name] : passes) {
+      obs::Span span_sweep(name);
+      check(core::sweep(pair->normal, pair->faulty, wide_sweep(jobs)), name.c_str());
+    }
+    // Cache pair: same sweep at hardware jobs, cold (filling) then warm.
+    sched::Cache cache(cache_dir.path);
+    auto cached = wide_sweep(0);
+    cached.cache = &cache;
+    {
+      obs::Span span_cold("cache_cold");
+      check(core::sweep(pair->normal, pair->faulty, cached), "cache_cold");
+    }
+    {
+      obs::Span span_warm("cache_warm");
+      check(core::sweep(pair->normal, pair->faulty, cached), "cache_warm");
     }
   }
-  const auto manifest = obs::collect_manifest(command, {}, 0);
+  auto manifest = obs::collect_manifest(command, {}, mismatch ? 1 : 0);
+  manifest.jobs = sched::hardware_jobs();
+  manifest.cache_dir = cache_dir.path.string();
   if (json_path.empty()) {
     manifest.write_json(std::cout);
     std::cout << "\n";
@@ -130,7 +218,7 @@ int run_manifest_mode(const std::vector<std::string>& command, const std::string
     file << "\n";
     std::cerr << "[stats] manifest written to " << json_path << "\n";
   }
-  return 0;
+  return mismatch ? 1 : 0;
 }
 
 }  // namespace

@@ -18,9 +18,12 @@
 #include "obs/metrics.hpp"
 #include "obs/selftrace.hpp"
 #include "obs/span.hpp"
+#include "sched/cache.hpp"
+#include "sched/pool.hpp"
 #include "trace/chaos.hpp"
 #include "trace/export.hpp"
 #include "util/json.hpp"
+#include "util/log.hpp"
 #include "util/str.hpp"
 #include "util/table.hpp"
 
@@ -106,6 +109,24 @@ std::vector<FilterSpec> filters_from(const Args& args) {
   return filters;
 }
 
+constexpr const char* kDefaultCacheDir = ".difftrace-cache";
+
+/// Requested job count: --jobs wins, --threads is the pre-engine spelling
+/// kept as an alias, 0 (default) defers to DIFFTRACE_JOBS / the hardware.
+std::size_t jobs_request_from(const Args& args) {
+  if (args.has("jobs")) return static_cast<std::size_t>(args.int_or("jobs", 0));
+  return static_cast<std::size_t>(args.int_or("threads", 0));
+}
+
+/// Cache directory selected by --cache[=DIR]; "" means caching is off.
+/// (A bare `--cache` parses as a flag, i.e. an empty value — that selects
+/// the default directory.)
+std::string cache_dir_from(const Args& args) {
+  if (!args.has("cache")) return {};
+  const auto dir = args.get_or("cache", "");
+  return dir.empty() ? std::string(kDefaultCacheDir) : dir;
+}
+
 trace::TraceStore load_store(const std::string& path, std::ostream& err) {
   try {
     return trace::TraceStore::load(path);
@@ -116,10 +137,12 @@ trace::TraceStore load_store(const std::string& path, std::ostream& err) {
     auto result = trace::TraceStore::salvage(path);
     if (result.store.size() == 0)
       throw ArgError("cannot load trace store '" + path + "': " + e.what());
-    err << "[salvage] '" << path << "' is damaged (" << e.what() << "); recovered "
+    std::ostringstream msg;
+    msg << "[salvage] '" << path << "' is damaged (" << e.what() << "); recovered "
         << result.report.recovered << " intact and " << result.report.salvaged
         << " partial blob(s), dropped " << result.report.dropped
-        << " — run 'difftrace fsck' for details\n";
+        << " — run 'difftrace fsck' for details";
+    util::status_line(err, msg.str());
     return std::move(result.store);
   }
 }
@@ -183,8 +206,13 @@ commands:
   nlr STORE --trace P.T [--filter SPEC] [--k N]
       print the nested-loop representation of one trace.
   rank NORMAL FAULTY [--filters SPEC,SPEC,...] [--attrs a,b,...] [--k N]
-       [--linkage NAME] [--top N] [--threads N]
+       [--linkage NAME] [--top N] [--jobs N] [--cache[=DIR]]
       filter x attribute sweep; prints the ranking table and consensus.
+      --jobs N sizes the worker pool (default: DIFFTRACE_JOBS env, then the
+      hardware concurrency; --jobs 1 forces serial; --threads is a legacy
+      alias). --cache reuses per-trace NLR and per-row evaluation artifacts
+      from DIR (default .difftrace-cache). Output is byte-identical at any
+      job count and any cache state.
   diffnlr NORMAL FAULTY --trace P.T [--filter SPEC] [--k N] [--color]
           [--side-by-side]
       loop-structure diff of one trace between the two runs.
@@ -197,7 +225,7 @@ commands:
   triage NORMAL FAULTY [--filter SPEC] [--k N]
       initial bug-class triage: hang / structural-change / frequency-change.
   report NORMAL FAULTY [--filters SPEC,...] [--detail-filter SPEC]
-         [--diffs N] [--side-by-side] [--threads N]
+         [--diffs N] [--side-by-side] [--jobs N] [--cache[=DIR]]
       one-shot artifact: triage + ranking + progress + top diffNLRs.
   check STORE [--checkers NAME,NAME,...] [--list]
       semantic trace verifier: call/return well-formedness, MPI send/recv
@@ -213,6 +241,10 @@ commands:
       write a deterministically corrupted copy of an archive (testing aid).
   stats MANIFEST
       render a run manifest (the --stats=FILE output) as human tables.
+  cache {stats|clear|verify} [--cache=DIR]
+      inspect or maintain the content-addressed artifact cache written by
+      rank/report --cache (default directory .difftrace-cache). verify
+      frame-checks every entry and exits 1 if any is damaged.
 
 global flags (any command; use the '=' forms):
   --stats[=FILE]      collect a run manifest: per-phase wall/CPU spans,
@@ -268,7 +300,7 @@ int cmd_collect(const Args& args, std::ostream& out, std::ostream& err) {
     throw ArgError("unknown app '" + app + "' (oddeven, ilcs, lulesh)");
   }
 
-  if (run.report.deadlock) err << "[watchdog] " << run.report.deadlock_info << "\n";
+  if (run.report.deadlock) util::status_line(err, "[watchdog] " + run.report.deadlock_info);
   run.store.save(path);
   const auto stats = run.store.stats();
   out << "saved " << stats.trace_count << " trace(s), " << stats.total_events << " events, "
@@ -287,6 +319,13 @@ int cmd_info(const Args& args, std::ostream& out, std::ostream& err) {
     json.field("compressed_bytes", stats.total_compressed_bytes);
     json.field("compression_ratio", stats.compression_ratio);
     json.field("functions", store.registry().size());
+    // Execution-engine context: what a sweep run with these flags/env would
+    // use, plus the process-wide cache counters (nonzero when the in-process
+    // harness ran cached commands earlier).
+    json.field("jobs", sched::resolve_jobs(jobs_request_from(args)));
+    json.field("cache_dir", cache_dir_from(args));
+    json.field("cache_hits", obs::counter("sched.cache_hit").value());
+    json.field("cache_misses", obs::counter("sched.cache_miss").value());
     json.key("blobs");
     json.begin_array();
     for (const auto& key : store.keys()) {
@@ -356,6 +395,7 @@ int cmd_rank(const Args& args, std::ostream& out, std::ostream& err) {
   // command's wall time with no dark gaps.
   std::optional<trace::TraceStore> normal, faulty;
   core::SweepConfig sweep;
+  std::optional<sched::Cache> cache;  // outlives the sweep that borrows it
   {
     obs::Span span_load("load");
     normal = load_store(args.positional_at(1, "normal trace store"), err);
@@ -368,9 +408,13 @@ int cmd_rank(const Args& args, std::ostream& out, std::ostream& err) {
     sweep.pipeline.nlr = nlr_from(args);
     sweep.pipeline.linkage = parse_linkage(args.get_or("linkage", "ward"));
     sweep.pipeline.top_n = static_cast<std::size_t>(args.int_or("top", 6));
-    sweep.analysis_threads = static_cast<std::size_t>(args.int_or("threads", 1));
+    sweep.analysis_threads = jobs_request_from(args);
+    if (const auto dir = cache_dir_from(args); !dir.empty()) {
+      cache.emplace(dir);
+      sweep.cache = &*cache;
+    }
     for (const auto& health : core::store_health(*normal, *faulty))
-      err << "[degraded] trace " << health.key.label() << ": " << health.note << "\n";
+      util::status_line(err, "[degraded] trace " + health.key.label() + ": " + health.note);
   }
   const auto table = core::sweep(*normal, *faulty, sweep);
   obs::Span span_render("render");
@@ -435,7 +479,12 @@ int cmd_report(const Args& args, std::ostream& out, std::ostream& err) {
   core::ReportConfig config;
   config.sweep.filters = filters_from(args);
   config.sweep.pipeline.nlr = nlr_from(args);
-  config.sweep.analysis_threads = static_cast<std::size_t>(args.int_or("threads", 1));
+  config.sweep.analysis_threads = jobs_request_from(args);
+  std::optional<sched::Cache> cache;  // outlives build_report's sweep
+  if (const auto dir = cache_dir_from(args); !dir.empty()) {
+    cache.emplace(dir);
+    config.sweep.cache = &*cache;
+  }
   config.detail_filter = parse_filter(args.get_or("detail-filter", args.get_or("filters", "mpiall")));
   config.diffnlr_count = static_cast<std::size_t>(args.int_or("diffs", 2));
   config.side_by_side = args.flag("side-by-side");
@@ -565,6 +614,32 @@ int cmd_stats(const Args& args, std::ostream& out, std::ostream& /*err*/) {
   return 0;
 }
 
+int cmd_cache(const Args& args, std::ostream& out, std::ostream& /*err*/) {
+  const auto action = args.positional_at(1, "cache action (stats, clear, verify)");
+  auto dir = cache_dir_from(args);
+  if (dir.empty()) dir = kDefaultCacheDir;
+  sched::Cache cache(dir);
+  if (action == "stats") {
+    const auto stats = cache.stats();
+    out << "cache directory: " << cache.dir().string() << "\n";
+    out << "entries:         " << stats.entries << "\n";
+    out << "bytes:           " << stats.bytes << "\n";
+    return 0;
+  }
+  if (action == "clear") {
+    out << "removed " << cache.clear() << " entrie(s) from " << cache.dir().string() << "\n";
+    return 0;
+  }
+  if (action == "verify") {
+    const auto report = cache.verify();
+    out << "verified " << report.checked << " entrie(s): " << report.ok << " ok, " << report.bad
+        << " bad\n";
+    for (const auto& name : report.bad_entries) out << "  bad: " << name << "\n";
+    return report.bad == 0 ? 0 : 1;
+  }
+  throw ArgError("unknown cache action '" + action + "' (stats, clear, verify)");
+}
+
 namespace {
 
 int dispatch(const std::string& command, const Args& args, std::ostream& out, std::ostream& err) {
@@ -583,6 +658,7 @@ int dispatch(const std::string& command, const Args& args, std::ostream& out, st
   if (command == "fsck") return cmd_fsck(args, out, err);
   if (command == "chaos") return cmd_chaos(args, out, err);
   if (command == "stats") return cmd_stats(args, out, err);
+  if (command == "cache") return cmd_cache(args, out, err);
   throw ArgError("unknown command '" + command + "' (see 'difftrace help')");
 }
 
@@ -600,6 +676,8 @@ int run_command(const std::vector<std::string>& argv, std::ostream& out, std::os
   std::string stats_path;
   std::string selftrace_path;
   std::vector<std::string> input_paths;
+  std::uint64_t manifest_jobs = 0;
+  std::string manifest_cache_dir;
   try {
     const Args args(argv);
     const auto& command = argv[0];
@@ -608,6 +686,11 @@ int run_command(const std::vector<std::string>& argv, std::ostream& out, std::os
     want_selftrace = args.has("self-trace");
     selftrace_path = args.get_or("self-trace", "");
     if (want_selftrace && selftrace_path.empty()) selftrace_path = "difftrace-selftrace.dtrc";
+    // Execution-engine provenance for the manifest: only sweep commands
+    // spin up a pool, so jobs stays 0 (unrecorded) elsewhere.
+    if (command == "rank" || command == "report")
+      manifest_jobs = sched::resolve_jobs(jobs_request_from(args));
+    manifest_cache_dir = cache_dir_from(args);
 
     // One telemetry window per run: the process may host several in-process
     // run_command calls (tests), so start each instrumented run from zero.
@@ -631,10 +714,10 @@ int run_command(const std::vector<std::string>& argv, std::ostream& out, std::os
       code = dispatch(command, args, out, err);
     }
   } catch (const ArgError& e) {
-    err << "error: " << e.what() << "\n";
+    util::status_line(err, std::string("error: ") + e.what());
     code = 2;
   } catch (const std::exception& e) {
-    err << "error: " << e.what() << "\n";
+    util::status_line(err, std::string("error: ") + e.what());
     code = 1;
   }
 
@@ -644,21 +727,24 @@ int run_command(const std::vector<std::string>& argv, std::ostream& out, std::os
     if (want_selftrace && obs::SelfTrace::instance().active()) {
       const auto store = obs::SelfTrace::instance().stop();
       store.save(selftrace_path);
-      err << "[self-trace] " << store.size() << " stream(s) written to " << selftrace_path << "\n";
+      util::status_line(err, "[self-trace] " + std::to_string(store.size()) +
+                                 " stream(s) written to " + selftrace_path);
     }
     if (want_stats) {
-      const auto manifest = obs::collect_manifest(argv, input_paths, code);
+      auto manifest = obs::collect_manifest(argv, input_paths, code);
+      manifest.jobs = manifest_jobs;
+      manifest.cache_dir = manifest_cache_dir;
       if (stats_path.empty()) {
         err << manifest.render();
       } else {
         std::ofstream file(stats_path, std::ios::trunc);
         if (!file) throw std::runtime_error("cannot open stats file '" + stats_path + "'");
         manifest.write_json(file);
-        err << "[stats] manifest written to " << stats_path << "\n";
+        util::status_line(err, "[stats] manifest written to " + stats_path);
       }
     }
   } catch (const std::exception& e) {
-    err << "error: " << e.what() << "\n";
+    util::status_line(err, std::string("error: ") + e.what());
     if (code == 0) code = 1;
   }
   return code;

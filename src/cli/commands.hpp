@@ -16,6 +16,7 @@
 //   fsck      archive integrity check / best-effort salvage report
 //   chaos     inject a deterministic fault into an archive (testing aid)
 //   stats     render a run manifest (--stats=FILE output) as tables
+//   cache     inspect/maintain the --cache artifact cache (stats|clear|verify)
 //
 // Global flags (any command): --stats=FILE writes a JSON run manifest
 // (bare --stats renders it to err), --self-trace=FILE records the
@@ -65,5 +66,6 @@ int cmd_check(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_fsck(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_chaos(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_stats(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_cache(const Args& args, std::ostream& out, std::ostream& err);
 
 }  // namespace difftrace::cli

@@ -102,6 +102,15 @@ std::string FilterSpec::name() const {
   return out;
 }
 
+std::string FilterSpec::fingerprint() const {
+  std::string out = name();
+  for (const auto& pattern : custom_patterns_) {
+    out += '\x1f';  // unit separator: pattern text may contain any printable
+    out += pattern;
+  }
+  return out;
+}
+
 std::vector<std::string> FilterSpec::apply(const std::vector<trace::TraceEvent>& events,
                                            const trace::FunctionRegistry& registry) const {
   // One registry snapshot instead of a mutex-guarded lookup per event —

@@ -62,6 +62,10 @@ class FilterSpec {
   /// "11.mpiall.cust"-style canonical name (paper ranking-table notation).
   [[nodiscard]] std::string name() const;
 
+  /// Cache-key form: name() plus the custom regex texts, which the short
+  /// name elides (two different ".cust" filters must not share a key).
+  [[nodiscard]] std::string fingerprint() const;
+
   /// Applies the filter to one decoded trace: returns the retained token
   /// sequence ("foo" for calls, "ret:foo" for kept returns).
   [[nodiscard]] std::vector<std::string> apply(const std::vector<trace::TraceEvent>& events,

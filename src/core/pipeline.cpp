@@ -1,14 +1,18 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <stdexcept>
-#include <thread>
 
+#include "core/sweep_cache.hpp"
 #include "obs/span.hpp"
+#include "sched/cache.hpp"
+#include "sched/graph.hpp"
+#include "sched/pool.hpp"
 #include "util/stats.hpp"
 #include "util/str.hpp"
 #include "util/table.hpp"
@@ -17,9 +21,76 @@ namespace difftrace::core {
 
 // --- Session -----------------------------------------------------------------
 
+namespace {
+
+/// Per-(run, trace) working state for the parallel/cached Session build.
+struct SideSlot {
+  std::string cache_key;                 // NLR artifact key ("" when uncached)
+  std::optional<NlrArtifact> artifact;   // cache hit: the rehydrated program
+  std::vector<std::string> token_strings;  // miss: filtered token stream
+  std::vector<TokenId> ids;              // miss: session token ids (phase B)
+  bool complete = true;
+  std::string note;
+};
+
+/// Converts one trace's reduction (session token ids, private loop table)
+/// into the self-contained local-id form stored in the cache. Local ids are
+/// assigned by a left-to-right walk of the program, recursing into a loop
+/// body at its first reference: for tokens this visitation order equals the
+/// filtered stream's first-occurrence order (the walk is the expansion with
+/// repetitions elided), and for loops it equals formation order — the two
+/// properties rehydration relies on to reproduce shared-table ids.
+NlrArtifact make_local_artifact(const NlrProgram& program, const LoopTable& table,
+                                const TokenTable& tokens, bool complete, std::string note) {
+  NlrArtifact art;
+  art.complete = complete;
+  art.note = std::move(note);
+
+  std::map<TokenId, std::uint32_t> token_map;  // session id -> local id
+  std::vector<std::optional<std::uint32_t>> loop_map(table.size());
+
+  const auto map_token = [&](TokenId id) {
+    const auto [it, inserted] = token_map.try_emplace(id, static_cast<std::uint32_t>(art.token_names.size()));
+    if (inserted) art.token_names.push_back(tokens.name(id));
+    return it->second;
+  };
+  const auto map_loop = [&](auto&& self, std::uint32_t id) -> std::uint32_t {
+    if (loop_map[id]) return *loop_map[id];
+    NlrBody local_body;
+    for (const auto& item : table.body(id)) {
+      if (item.is_loop())
+        local_body.push_back(NlrItem::loop(self(self, item.id), item.count));
+      else
+        local_body.push_back(NlrItem::token(map_token(item.id)));
+    }
+    const auto local = static_cast<std::uint32_t>(art.loop_bodies.size());
+    art.loop_bodies.push_back(std::move(local_body));
+    loop_map[id] = local;
+    return local;
+  };
+  for (const auto& item : program) {
+    if (item.is_loop())
+      art.program.push_back(NlrItem::loop(map_loop(map_loop, item.id), item.count));
+    else
+      art.program.push_back(NlrItem::token(map_token(item.id)));
+  }
+  return art;
+}
+
+}  // namespace
+
 Session::Session(const trace::TraceStore& normal, const trace::TraceStore& faulty, FilterSpec filter,
                  NlrConfig nlr_config)
+    : Session(normal, faulty, std::move(filter), nlr_config, SessionOptions{}) {}
+
+Session::Session(const trace::TraceStore& normal, const trace::TraceStore& faulty, FilterSpec filter,
+                 NlrConfig nlr_config, const SessionOptions& options)
     : filter_(std::move(filter)), nlr_config_(nlr_config) {
+  build(normal, faulty, options);
+}
+
+void Session::build(const trace::TraceStore& normal, const trace::TraceStore& faulty,
+                    const SessionOptions& options) {
   obs::Span span_session("session");
   // Union of both runs' keys: analyzable traces (present in both) keep their
   // JSM row; one-sided traces are recorded as dropped, never silently lost.
@@ -32,6 +103,157 @@ Session::Session(const trace::TraceStore& normal, const trace::TraceStore& fault
   for (const auto& key : faulty.keys())
     if (!normal.contains(key)) dropped_.push_back({key, true, "missing in normal run"});
 
+  sched::Pool* pool = options.pool;
+  const bool pooled = pool != nullptr && pool->jobs() > 1;
+  // Known-body folding reads loop bodies formed by OTHER traces of the
+  // session, so its reduction can neither run on private per-trace tables
+  // nor be cached under per-trace keys; it keeps the serial path.
+  const bool isolated_nlr = !nlr_config_.fold_known_bodies;
+  sched::Cache* cache = isolated_nlr ? options.cache : nullptr;
+
+  if ((!pooled && cache == nullptr) || !isolated_nlr) {
+    build_serial(normal, faulty);
+    return;
+  }
+
+  const std::size_t n = traces_.size();
+  // Unit u in [0, n) is the normal run of traces_[u]; [n, 2n) the faulty run
+  // of traces_[u - n] — the canonical (serial) interning order.
+  std::vector<SideSlot> sides(2 * n);
+
+  // Phase A (parallel): per trace, either rehydrate the cached NLR artifact
+  // (no decode at all) or decode tolerantly and filter to token strings.
+  {
+    obs::Span span_decode("decode");
+    const auto load = [&](std::size_t u) {
+      const bool is_faulty = u >= n;
+      const auto& store = is_faulty ? faulty : normal;
+      const auto key = traces_[is_faulty ? u - n : u];
+      SideSlot& slot = sides[u];
+      if (cache != nullptr) {
+        slot.cache_key = nlr_artifact_key(trace_fingerprint(store, key), filter_, nlr_config_);
+        if (auto payload = cache->lookup(slot.cache_key, kArtifactNlr)) {
+          if (auto artifact = decode_nlr_artifact(*payload)) {
+            slot.complete = artifact->complete;
+            slot.note = artifact->note;
+            slot.artifact = std::move(artifact);
+            return;
+          }
+        }
+      }
+      auto decoded = store.decode_tolerant(key);
+      slot.complete = decoded.complete;
+      slot.note = std::move(decoded.note);
+      slot.token_strings = filter_.apply(decoded.events, store.registry());
+    };
+    if (pooled) {
+      pool->parallel_for(2 * n, load);
+    } else {
+      for (std::size_t u = 0; u < 2 * n; ++u) load(u);
+    }
+  }
+
+  health_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    TraceHealth h{traces_[i], false, ""};
+    const auto& nslot = sides[i];
+    const auto& fslot = sides[n + i];
+    if (!nslot.complete || !fslot.complete) {
+      h.degraded = true;
+      if (!nslot.complete) h.note = "normal run: " + nslot.note;
+      if (!fslot.complete) h.note += (h.note.empty() ? "" : "; ") + ("faulty run: " + fslot.note);
+    }
+    health_.push_back(std::move(h));
+  }
+
+  obs::Span span_nlr("nlr");
+  // Phase B (serial, canonical order): intern the token vocabulary. Artifact
+  // vocabularies list names in stream first-occurrence order, so interning
+  // them is indistinguishable from interning the stream itself — shared
+  // token ids come out identical to a from-scratch serial build.
+  std::vector<std::vector<TokenId>> token_maps(2 * n);  // artifact-local -> session
+  for (std::size_t u = 0; u < 2 * n; ++u) {
+    SideSlot& slot = sides[u];
+    if (slot.artifact) {
+      auto& map = token_maps[u];
+      map.reserve(slot.artifact->token_names.size());
+      for (const auto& name : slot.artifact->token_names) map.push_back(tokens_.intern(name));
+    } else {
+      slot.ids = tokens_.intern_all(slot.token_strings);
+      slot.token_strings.clear();
+      slot.token_strings.shrink_to_fit();
+    }
+  }
+
+  // Phase C (parallel): reduce each cache-miss trace against a PRIVATE loop
+  // table. With folding disabled a trace's reduction never reads bodies it
+  // did not form itself, so the private result is isomorphic to the shared
+  // one — phase D's remap makes the isomorphism explicit. Freshly reduced
+  // traces are encoded and stored back to the cache here (tokens_ is only
+  // read const from this point, so worker reads are safe).
+  std::vector<LoopTable> private_tables(2 * n);
+  std::vector<NlrProgram> private_programs(2 * n);
+  {
+    const auto reduce = [&](std::size_t u) {
+      SideSlot& slot = sides[u];
+      if (slot.artifact) return;
+      private_programs[u] = build_nlr(slot.ids, private_tables[u], nlr_config_);
+      if (cache != nullptr) {
+        const auto artifact = make_local_artifact(private_programs[u], private_tables[u], tokens_,
+                                                  slot.complete, slot.note);
+        cache->store(slot.cache_key, kArtifactNlr, encode_nlr_artifact(artifact));
+      }
+    };
+    if (pooled) {
+      pool->parallel_for(2 * n, reduce);
+    } else {
+      for (std::size_t u = 0; u < 2 * n; ++u) reduce(u);
+    }
+  }
+
+  // Phase D (serial, canonical order): commit loop bodies to the shared
+  // table. Local ids — artifact or private — are in formation order, and a
+  // body only references earlier locals, so a plain in-order intern of the
+  // remapped bodies replays the exact intern sequence (and therefore the
+  // exact loop/shape ids) of a serial build.
+  normal_.reserve(n);
+  faulty_.reserve(n);
+  for (std::size_t u = 0; u < 2 * n; ++u) {
+    SideSlot& slot = sides[u];
+    const auto remap_program = [&](const NlrProgram& program, const std::vector<std::uint32_t>& loop_map,
+                                   const std::vector<TokenId>* token_map) {
+      NlrProgram out;
+      out.reserve(program.size());
+      for (const auto& item : program) {
+        if (item.is_loop())
+          out.push_back(NlrItem::loop(loop_map[item.id], item.count));
+        else
+          out.push_back(NlrItem::token(token_map ? (*token_map)[item.id] : item.id));
+      }
+      return out;
+    };
+
+    NlrProgram committed;
+    if (slot.artifact) {
+      const auto& art = *slot.artifact;
+      const auto& tmap = token_maps[u];
+      std::vector<std::uint32_t> loop_map(art.loop_bodies.size());
+      for (std::size_t l = 0; l < art.loop_bodies.size(); ++l)
+        loop_map[l] = loops_.intern(remap_program(art.loop_bodies[l], loop_map, &tmap));
+      committed = remap_program(art.program, loop_map, &tmap);
+    } else {
+      const auto& table = private_tables[u];
+      std::vector<std::uint32_t> loop_map(table.size());
+      for (std::size_t l = 0; l < table.size(); ++l)
+        loop_map[l] = loops_.intern(
+            remap_program(table.body(static_cast<std::uint32_t>(l)), loop_map, nullptr));
+      committed = remap_program(private_programs[u], loop_map, nullptr);
+    }
+    (u < n ? normal_ : faulty_).push_back(std::move(committed));
+  }
+}
+
+void Session::build_serial(const trace::TraceStore& normal, const trace::TraceStore& faulty) {
   // Decode tolerantly: salvaged or tail-corrupt blobs contribute their clean
   // prefix and flag the trace as degraded instead of aborting the session.
   health_.reserve(traces_.size());
@@ -298,49 +520,42 @@ int RankingTable::consensus_process() const {
 
 namespace {
 
-/// All rows for one filter (one Session, every attribute configuration).
-std::vector<RankingRow> rows_for_filter(const trace::TraceStore& normal,
-                                        const trace::TraceStore& faulty, const SweepConfig& config,
-                                        std::size_t filter_index) {
-  const Session session(normal, faulty, config.filters[filter_index], config.pipeline.nlr);
-  std::vector<RankingRow> rows;
-  rows.reserve(config.attributes.size());
-  for (std::size_t attr_index = 0; attr_index < config.attributes.size(); ++attr_index) {
-    const auto& attr = config.attributes[attr_index];
-    const auto eval = evaluate(session, attr, config.pipeline.linkage);
+/// One ranking row from an Evaluation. `traces` is the session trace list
+/// (keys present in both stores, sorted) — computable without any decode,
+/// which is what lets fully cached rows skip Session construction entirely.
+RankingRow make_row(const Evaluation& eval, const SweepConfig& config,
+                    const std::vector<trace::TraceKey>& traces, std::size_t filter_index,
+                    std::size_t attr_index) {
+  RankingRow row;
+  row.filter_label =
+      config.filters[filter_index].name() + ".0K" + std::to_string(config.pipeline.nlr.k);
+  row.attr_label = config.attributes[attr_index].name();
+  row.bscore = eval.bscore;
+  row.filter_index = filter_index;
+  row.attr_index = attr_index;
 
-    RankingRow row;
-    row.filter_label = session.label();
-    row.attr_label = attr.name();
-    row.bscore = eval.bscore;
-    row.filter_index = filter_index;
-    row.attr_index = attr_index;
+  const auto top = select_suspicious(eval.scores, config.pipeline.top_n,
+                                     config.pipeline.threshold_sigmas);
+  for (const auto i : top) row.top_threads.push_back(traces[i].label());
 
-    const auto top = select_suspicious(eval.scores, config.pipeline.top_n,
-                                       config.pipeline.threshold_sigmas);
-    for (const auto i : top) row.top_threads.push_back(session.traces()[i].label());
-
-    // Process-level aggregation: mean suspicion across the process's
-    // threads, then the same selection rule.
-    std::map<int, std::pair<double, int>> per_proc;  // proc -> (sum, count)
-    for (std::size_t i = 0; i < session.traces().size(); ++i) {
-      auto& [sum, count] = per_proc[session.traces()[i].proc];
-      sum += eval.scores[i];
-      ++count;
-    }
-    std::vector<int> procs;
-    std::vector<double> proc_scores;
-    for (const auto& [proc, agg] : per_proc) {
-      procs.push_back(proc);
-      proc_scores.push_back(agg.first / agg.second);
-    }
-    const auto top_procs = select_suspicious(proc_scores, config.pipeline.top_n,
-                                             config.pipeline.threshold_sigmas);
-    for (const auto i : top_procs) row.top_processes.push_back(procs[i]);
-
-    rows.push_back(std::move(row));
+  // Process-level aggregation: mean suspicion across the process's
+  // threads, then the same selection rule.
+  std::map<int, std::pair<double, int>> per_proc;  // proc -> (sum, count)
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    auto& [sum, count] = per_proc[traces[i].proc];
+    sum += eval.scores[i];
+    ++count;
   }
-  return rows;
+  std::vector<int> procs;
+  std::vector<double> proc_scores;
+  for (const auto& [proc, agg] : per_proc) {
+    procs.push_back(proc);
+    proc_scores.push_back(agg.first / agg.second);
+  }
+  const auto top_procs = select_suspicious(proc_scores, config.pipeline.top_n,
+                                           config.pipeline.threshold_sigmas);
+  for (const auto i : top_procs) row.top_processes.push_back(procs[i]);
+  return row;
 }
 
 }  // namespace
@@ -348,42 +563,77 @@ std::vector<RankingRow> rows_for_filter(const trace::TraceStore& normal,
 RankingTable sweep(const trace::TraceStore& normal, const trace::TraceStore& faulty,
                    const SweepConfig& config) {
   obs::Span span_sweep("sweep");
-  const std::size_t requested =
-      config.analysis_threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
-                                   : config.analysis_threads;
-  const std::size_t workers = std::min(requested, std::max<std::size_t>(1, config.filters.size()));
+  sched::Pool pool(sched::resolve_jobs(config.analysis_threads));
+  sched::Cache* cache = config.cache;
 
-  std::vector<std::vector<RankingRow>> per_filter(config.filters.size());
-  if (workers <= 1) {
-    for (std::size_t f = 0; f < config.filters.size(); ++f)
-      per_filter[f] = rows_for_filter(normal, faulty, config, f);
-  } else {
-    std::atomic<std::size_t> next{0};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
-        for (;;) {
-          const auto f = next.fetch_add(1, std::memory_order_relaxed);
-          if (f >= config.filters.size()) return;
-          try {
-            per_filter[f] = rows_for_filter(normal, faulty, config, f);
-          } catch (...) {
-            std::lock_guard lock(error_mutex);
-            if (!first_error) first_error = std::current_exception();
-          }
+  const std::size_t n_filters = config.filters.size();
+  const std::size_t n_attrs = config.attributes.size();
+
+  // The session trace list (keys in both stores, sorted) — needed for row
+  // labels even when every Evaluation comes from the cache.
+  std::vector<trace::TraceKey> common;
+  for (const auto& key : normal.keys())
+    if (faulty.contains(key)) common.push_back(key);
+
+  // Evaluation pre-pass: rows whose cached artifact rehydrates need no
+  // recompute; filters where EVERY row hits skip Session construction (and
+  // with it every decode and NLR build) — the warm-rerun fast path.
+  std::vector<std::vector<std::optional<Evaluation>>> results(
+      n_filters, std::vector<std::optional<Evaluation>>(n_attrs));
+  std::vector<std::string> eval_keys(n_filters * n_attrs);
+  if (cache != nullptr) {
+    const auto normal_fp = store_fingerprint(normal);
+    const auto faulty_fp = store_fingerprint(faulty);
+    for (std::size_t f = 0; f < n_filters; ++f) {
+      for (std::size_t a = 0; a < n_attrs; ++a) {
+        auto& key = eval_keys[f * n_attrs + a];
+        key = eval_artifact_key(normal_fp, faulty_fp, config.filters[f], config.pipeline.nlr,
+                                config.attributes[a], config.pipeline.linkage);
+        if (auto payload = cache->lookup(key, kArtifactEval)) {
+          if (auto eval = decode_evaluation(*payload)) results[f][a] = std::move(*eval);
         }
-      });
+      }
     }
-    for (auto& t : pool) t.join();
-    if (first_error) std::rethrow_exception(first_error);
   }
 
+  // Task graph: one Session task per filter that still needs one, one
+  // Evaluation task per missing row depending on its filter's Session.
+  // Submission order (filter 0's session, its evaluations, filter 1, ...)
+  // is exactly the serial execution order, which Graph::run reproduces at
+  // jobs == 1; at higher job counts only scheduling changes — results land
+  // in (f, a) slots and are committed below in submission order.
+  std::vector<std::unique_ptr<Session>> sessions(n_filters);
+  sched::Graph graph;
+  for (std::size_t f = 0; f < n_filters; ++f) {
+    bool all_cached = n_attrs > 0;
+    for (std::size_t a = 0; a < n_attrs && all_cached; ++a)
+      if (!results[f][a]) all_cached = false;
+    if (all_cached) continue;
+
+    const auto session_task = graph.add({}, [&, f] {
+      SessionOptions session_options;
+      session_options.pool = &pool;
+      session_options.cache = cache;
+      sessions[f] = std::make_unique<Session>(normal, faulty, config.filters[f],
+                                              config.pipeline.nlr, session_options);
+    });
+    for (std::size_t a = 0; a < n_attrs; ++a) {
+      if (results[f][a]) continue;
+      graph.add({session_task}, [&, f, a] {
+        auto eval = evaluate(*sessions[f], config.attributes[a], config.pipeline.linkage);
+        if (cache != nullptr)
+          cache->store(eval_keys[f * n_attrs + a], kArtifactEval, encode_evaluation(eval));
+        results[f][a] = std::move(eval);
+      });
+    }
+  }
+  graph.run(pool, "sweep");
+
   RankingTable table;
-  for (auto& rows : per_filter)
-    for (auto& row : rows) table.rows.push_back(std::move(row));
+  table.rows.reserve(n_filters * n_attrs);
+  for (std::size_t f = 0; f < n_filters; ++f)
+    for (std::size_t a = 0; a < n_attrs; ++a)
+      table.rows.push_back(make_row(*results[f][a], config, common, f, a));
   std::sort(table.rows.begin(), table.rows.end(), [](const RankingRow& a, const RankingRow& b) {
     if (a.bscore != b.bscore) return a.bscore < b.bscore;
     if (a.filter_index != b.filter_index) return a.filter_index < b.filter_index;

@@ -26,6 +26,11 @@
 #include "core/nlr.hpp"
 #include "trace/store.hpp"
 
+namespace difftrace::sched {
+class Cache;
+class Pool;
+}  // namespace difftrace::sched
+
 namespace difftrace::core {
 
 struct PipelineConfig {
@@ -48,11 +53,31 @@ struct TraceHealth {
   std::string note;       // human-readable reason, empty when healthy
 };
 
+/// Execution knobs for building a Session (and, via SweepConfig, a sweep).
+/// Both pointers are optional borrows; the referents must outlive the build.
+struct SessionOptions {
+  /// Worker pool for per-trace decode/filter/NLR. Null or 1-job pools build
+  /// serially (today's exact code path).
+  sched::Pool* pool = nullptr;
+  /// Artifact cache for per-trace NLR programs. Null disables caching.
+  /// Ignored when NlrConfig::fold_known_bodies is set — folding makes one
+  /// trace's reduction depend on its siblings, which per-trace keys cannot
+  /// express (the sweep's per-row Evaluation cache still applies).
+  sched::Cache* cache = nullptr;
+};
+
 /// Filter-dependent state shared by all attribute configurations.
 class Session {
  public:
   Session(const trace::TraceStore& normal, const trace::TraceStore& faulty, FilterSpec filter,
           NlrConfig nlr_config);
+  /// Parallel/cached build. Byte-identical results to the serial
+  /// constructor at any job count and any cache state: tokens and loop
+  /// bodies are committed to the shared tables in canonical trace order
+  /// (all normal traces, then all faulty), which reproduces the exact
+  /// intern sequence of a from-scratch serial build.
+  Session(const trace::TraceStore& normal, const trace::TraceStore& faulty, FilterSpec filter,
+          NlrConfig nlr_config, const SessionOptions& options);
 
   [[nodiscard]] const FilterSpec& filter() const noexcept { return filter_; }
   [[nodiscard]] const NlrConfig& nlr_config() const noexcept { return nlr_config_; }
@@ -90,6 +115,10 @@ class Session {
   [[nodiscard]] std::string label() const;
 
  private:
+  void build(const trace::TraceStore& normal, const trace::TraceStore& faulty,
+             const SessionOptions& options);
+  void build_serial(const trace::TraceStore& normal, const trace::TraceStore& faulty);
+
   FilterSpec filter_;
   NlrConfig nlr_config_;
   std::vector<trace::TraceKey> traces_;
@@ -171,11 +200,16 @@ struct SweepConfig {
   std::vector<FilterSpec> filters;
   std::vector<AttrConfig> attributes = all_attr_configs();
   PipelineConfig pipeline;
-  /// Worker threads for the sweep (each filter's Session is independent) —
-  /// the paper's future-work item (1), "exploit multi-core CPUs". 0 = use
-  /// the hardware concurrency; 1 = serial. Output is deterministic and
-  /// identical regardless of thread count.
-  std::size_t analysis_threads = 1;
+  /// Job count for the sweep's sched::Pool (`--jobs`) — the paper's
+  /// future-work item (1), "exploit multi-core CPUs". 0 = resolve via the
+  /// DIFFTRACE_JOBS environment variable, falling back to the hardware
+  /// concurrency; 1 = serial (today's exact code path). Output is
+  /// deterministic and byte-identical regardless of job count.
+  std::size_t analysis_threads = 0;
+  /// Content-addressed artifact cache (`--cache`); null disables caching.
+  /// Borrowed — must outlive the sweep. A warm cache changes wall time,
+  /// never output.
+  sched::Cache* cache = nullptr;
 };
 
 [[nodiscard]] RankingTable sweep(const trace::TraceStore& normal, const trace::TraceStore& faulty,

@@ -1,0 +1,249 @@
+#include "core/sweep_cache.hpp"
+
+#include <stdexcept>
+
+#include "sched/artifact.hpp"
+#include "sched/digest.hpp"
+#include "util/crc32.hpp"
+
+namespace difftrace::core {
+
+namespace {
+
+void add_blob_fingerprint(sched::DigestBuilder& d, const trace::TraceBlob& blob) {
+  d.add(blob.codec_name);
+  d.add(util::crc32({blob.bytes.data(), blob.bytes.size()}));
+  d.add(blob.event_count);
+  d.add(blob.truncated);
+  d.add(blob.salvaged);
+  // blob.ops are deliberately excluded: the sweep reads the event stream
+  // only; op records feed `difftrace check`, which is not cached.
+}
+
+void add_registry_fingerprint(sched::DigestBuilder& d, const trace::FunctionRegistry& registry) {
+  const auto functions = registry.snapshot();
+  d.add(static_cast<std::uint64_t>(functions.size()));
+  for (const auto& fn : functions) {
+    d.add(static_cast<std::uint64_t>(fn.id));
+    d.add(fn.name);
+    d.add(static_cast<std::uint64_t>(fn.image));
+  }
+}
+
+void add_nlr_fingerprint(sched::DigestBuilder& d, const NlrConfig& nlr) {
+  d.add(static_cast<std::uint64_t>(nlr.k));
+  d.add(static_cast<std::uint64_t>(nlr.min_reps));
+  d.add(nlr.fold_known_bodies);
+}
+
+void add_attr_fingerprint(sched::DigestBuilder& d, const AttrConfig& attr) {
+  d.add(attr.name());
+  d.add(attr.deep);  // name() omits deep
+}
+
+void put_program(sched::ArtifactWriter& w, const NlrProgram& program) {
+  w.put_u64(program.size());
+  for (const auto& item : program) {
+    w.put_u64(item.is_loop() ? 1 : 0);
+    w.put_u64(item.id);
+    if (item.is_loop()) w.put_u64(item.count);
+  }
+}
+
+/// `loop_limit` bounds the loop ids a program/body may reference.
+NlrProgram get_program(sched::ArtifactReader& r, std::size_t token_limit,
+                       std::size_t loop_limit) {
+  const auto count = r.get_u64();
+  NlrProgram program;
+  program.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const bool is_loop = r.get_u64() != 0;
+    const auto id = r.get_u32();
+    if (is_loop) {
+      if (id >= loop_limit) throw std::out_of_range("nlr artifact: loop id out of range");
+      program.push_back(NlrItem::loop(id, r.get_u64()));
+    } else {
+      if (id >= token_limit) throw std::out_of_range("nlr artifact: token id out of range");
+      program.push_back(NlrItem::token(id));
+    }
+  }
+  return program;
+}
+
+void put_matrix(sched::ArtifactWriter& w, const util::Matrix& m) {
+  w.put_u64(m.rows());
+  w.put_u64(m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) w.put_f64(m(r, c));
+}
+
+util::Matrix get_matrix(sched::ArtifactReader& r) {
+  const auto rows = r.get_u64();
+  const auto cols = r.get_u64();
+  if (rows > (1u << 20) || cols > (1u << 20))
+    throw std::out_of_range("eval artifact: absurd matrix shape");
+  util::Matrix m(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = r.get_f64();
+  return m;
+}
+
+void put_dendrogram(sched::ArtifactWriter& w, const Dendrogram& d) {
+  w.put_u64(d.size());
+  for (const auto& merge : d) {
+    w.put_u64(merge.a);
+    w.put_u64(merge.b);
+    w.put_f64(merge.height);
+    w.put_u64(merge.size);
+  }
+}
+
+Dendrogram get_dendrogram(sched::ArtifactReader& r) {
+  const auto count = r.get_u64();
+  Dendrogram d;
+  d.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Merge m;
+    m.a = static_cast<std::size_t>(r.get_u64());
+    m.b = static_cast<std::size_t>(r.get_u64());
+    m.height = r.get_f64();
+    m.size = static_cast<std::size_t>(r.get_u64());
+    d.push_back(m);
+  }
+  return d;
+}
+
+}  // namespace
+
+std::uint64_t trace_fingerprint(const trace::TraceStore& store, trace::TraceKey key) {
+  sched::DigestBuilder d;
+  d.add(sched::kArtifactSchemaVersion);
+  add_blob_fingerprint(d, store.blob(key));
+  add_registry_fingerprint(d, store.registry());
+  return d.value();
+}
+
+std::uint64_t store_fingerprint(const trace::TraceStore& store) {
+  sched::DigestBuilder d;
+  d.add(sched::kArtifactSchemaVersion);
+  const auto keys = store.keys();
+  d.add(static_cast<std::uint64_t>(keys.size()));
+  for (const auto& key : keys) {
+    d.add(static_cast<std::uint64_t>(key.proc));
+    d.add(static_cast<std::uint64_t>(key.thread));
+    add_blob_fingerprint(d, store.blob(key));
+  }
+  add_registry_fingerprint(d, store.registry());
+  return d.value();
+}
+
+std::string nlr_artifact_key(std::uint64_t trace_fp, const FilterSpec& filter,
+                             const NlrConfig& nlr) {
+  sched::DigestBuilder d;
+  d.add(sched::kArtifactSchemaVersion);
+  d.add(std::string_view("nlr"));
+  d.add(trace_fp);
+  d.add(filter.fingerprint());
+  add_nlr_fingerprint(d, nlr);
+  return d.hex();
+}
+
+std::string eval_artifact_key(std::uint64_t normal_fp, std::uint64_t faulty_fp,
+                              const FilterSpec& filter, const NlrConfig& nlr,
+                              const AttrConfig& attr, Linkage linkage) {
+  sched::DigestBuilder d;
+  d.add(sched::kArtifactSchemaVersion);
+  d.add(std::string_view("eval"));
+  d.add(normal_fp);
+  d.add(faulty_fp);
+  d.add(filter.fingerprint());
+  add_nlr_fingerprint(d, nlr);
+  add_attr_fingerprint(d, attr);
+  d.add(linkage_name(linkage));
+  return d.hex();
+}
+
+std::vector<std::uint8_t> encode_nlr_artifact(const NlrArtifact& artifact) {
+  sched::ArtifactWriter w;
+  w.put_bool(artifact.complete);
+  w.put_str(artifact.note);
+  w.put_u64(artifact.token_names.size());
+  for (const auto& name : artifact.token_names) w.put_str(name);
+  w.put_u64(artifact.loop_bodies.size());
+  for (const auto& body : artifact.loop_bodies) put_program(w, body);
+  put_program(w, artifact.program);
+  return w.take();
+}
+
+std::optional<NlrArtifact> decode_nlr_artifact(std::span<const std::uint8_t> payload) {
+  try {
+    sched::ArtifactReader r(payload);
+    NlrArtifact out;
+    out.complete = r.get_bool();
+    out.note = r.get_str();
+    const auto token_count = r.get_u64();
+    out.token_names.reserve(token_count);
+    for (std::uint64_t i = 0; i < token_count; ++i) out.token_names.push_back(r.get_str());
+    const auto loop_count = r.get_u64();
+    out.loop_bodies.reserve(loop_count);
+    for (std::uint64_t i = 0; i < loop_count; ++i) {
+      // A body may only reference loops formed before it (inner before
+      // outer), which the local id assignment guarantees by construction.
+      out.loop_bodies.push_back(
+          get_program(r, out.token_names.size(), static_cast<std::size_t>(i)));
+      if (out.loop_bodies.back().empty())
+        throw std::out_of_range("nlr artifact: empty loop body");
+    }
+    out.program = get_program(r, out.token_names.size(), out.loop_bodies.size());
+    if (!r.at_end()) return std::nullopt;
+    return out;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<std::uint8_t> encode_evaluation(const Evaluation& eval) {
+  sched::ArtifactWriter w;
+  w.put_u64(static_cast<std::uint64_t>(eval.attr.kind));
+  w.put_u64(static_cast<std::uint64_t>(eval.attr.freq));
+  w.put_bool(eval.attr.deep);
+  put_matrix(w, eval.jsm_normal);
+  put_matrix(w, eval.jsm_faulty);
+  put_matrix(w, eval.jsm_d);
+  w.put_u64(eval.scores.size());
+  for (const auto s : eval.scores) w.put_f64(s);
+  put_dendrogram(w, eval.dend_normal);
+  put_dendrogram(w, eval.dend_faulty);
+  w.put_f64(eval.bscore);
+  return w.take();
+}
+
+std::optional<Evaluation> decode_evaluation(std::span<const std::uint8_t> payload) {
+  try {
+    sched::ArtifactReader r(payload);
+    Evaluation out;
+    const auto kind = r.get_u64();
+    const auto freq = r.get_u64();
+    if (kind > static_cast<std::uint64_t>(AttrKind::Double) ||
+        freq > static_cast<std::uint64_t>(FreqMode::NoFreq))
+      return std::nullopt;
+    out.attr.kind = static_cast<AttrKind>(kind);
+    out.attr.freq = static_cast<FreqMode>(freq);
+    out.attr.deep = r.get_bool();
+    out.jsm_normal = get_matrix(r);
+    out.jsm_faulty = get_matrix(r);
+    out.jsm_d = get_matrix(r);
+    const auto score_count = r.get_u64();
+    out.scores.reserve(score_count);
+    for (std::uint64_t i = 0; i < score_count; ++i) out.scores.push_back(r.get_f64());
+    out.dend_normal = get_dendrogram(r);
+    out.dend_faulty = get_dendrogram(r);
+    out.bscore = r.get_f64();
+    if (!r.at_end()) return std::nullopt;
+    return out;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace difftrace::core

@@ -1,0 +1,84 @@
+// Cache keys and typed artifact codecs for the sweep (`--cache`).
+//
+// sched::Cache stores opaque payloads under content digests; this header is
+// where those payloads and digests get their meaning for the DiffTrace
+// pipeline. Two artifact kinds exist:
+//
+//   kArtifactNlr  — one trace's filtered+reduced NLR program, in LOCAL id
+//                   space: the token vocabulary (first-occurrence order) and
+//                   loop bodies are stored alongside the program, so the
+//                   artifact is self-contained and independent of which
+//                   other traces share the Session. Session rehydration
+//                   re-interns tokens/bodies into the shared tables in
+//                   canonical trace order, which reproduces the exact ids a
+//                   from-scratch serial build would assign.
+//   kArtifactEval — one (filter × attribute) Evaluation: the three JSM
+//                   matrices, suspicion scores, both dendrograms, B-score.
+//                   Doubles are stored as raw bit patterns, so a warm run is
+//                   bit-identical to a cold one.
+//
+// Key derivation (invalidation is purely by key):
+//   NLR key  = digest(schema, "nlr", blob fingerprint [codec, payload CRC,
+//              event count, truncated/salvaged flags], registry fingerprint,
+//              filter fingerprint, NLR config)
+//   Eval key = digest(schema, "eval", both stores' fingerprints [every key +
+//              blob fingerprint + registry], filter fingerprint, NLR config,
+//              attribute config, linkage)
+// Post-processing knobs (top_n, threshold_sigmas) are NOT part of the eval
+// key: they shape row rendering, not the Evaluation. Op records are also
+// excluded — the sweep never reads them. The artifact schema version is
+// mixed into every digest AND checked in the frame, so a codec change
+// orphans old entries instead of misreading them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/attributes.hpp"
+#include "core/filter.hpp"
+#include "core/hclust.hpp"
+#include "core/nlr.hpp"
+#include "core/pipeline.hpp"
+#include "trace/store.hpp"
+
+namespace difftrace::core {
+
+inline constexpr std::uint64_t kArtifactNlr = 1;
+inline constexpr std::uint64_t kArtifactEval = 2;
+
+/// Digest of one trace's inputs: its blob + the store's function registry.
+[[nodiscard]] std::uint64_t trace_fingerprint(const trace::TraceStore& store,
+                                              trace::TraceKey key);
+
+/// Digest of a whole store: every key's blob + the registry.
+[[nodiscard]] std::uint64_t store_fingerprint(const trace::TraceStore& store);
+
+[[nodiscard]] std::string nlr_artifact_key(std::uint64_t trace_fp, const FilterSpec& filter,
+                                           const NlrConfig& nlr);
+
+[[nodiscard]] std::string eval_artifact_key(std::uint64_t normal_fp, std::uint64_t faulty_fp,
+                                            const FilterSpec& filter, const NlrConfig& nlr,
+                                            const AttrConfig& attr, Linkage linkage);
+
+/// One trace's reduction result in local id space (see file comment).
+struct NlrArtifact {
+  bool complete = true;   // decode_tolerant's verdict at build time
+  std::string note;       // its degradation note ("" when healthy)
+  std::vector<std::string> token_names;  // local TokenId -> name
+  std::vector<NlrBody> loop_bodies;      // local loop id -> body (local ids)
+  NlrProgram program;                    // local ids
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_nlr_artifact(const NlrArtifact& artifact);
+/// nullopt on any structural defect (the frame CRC already passed, so this
+/// only fires on schema-logic mismatches; callers treat it as a miss).
+[[nodiscard]] std::optional<NlrArtifact> decode_nlr_artifact(
+    std::span<const std::uint8_t> payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_evaluation(const Evaluation& eval);
+[[nodiscard]] std::optional<Evaluation> decode_evaluation(std::span<const std::uint8_t> payload);
+
+}  // namespace difftrace::core

@@ -65,6 +65,10 @@ RunManifest collect_manifest(std::vector<std::string> command,
   const auto& registry = MetricsRegistry::instance();
   m.counters = registry.counters(/*nonzero_only=*/true);
   m.histograms = registry.histograms(/*nonzero_only=*/true);
+  for (const auto& counter : m.counters) {
+    if (counter.name == "sched.cache_hit") m.cache_hits = counter.value;
+    if (counter.name == "sched.cache_miss") m.cache_misses = counter.value;
+  }
   for (const auto& path : input_paths) m.inputs.push_back(digest_file(path));
   return m;
 }
@@ -94,6 +98,10 @@ void RunManifest::write_json(std::ostream& out) const {
   w.field("wall_ns", wall_ns);
   w.field("cpu_ns", cpu_ns);
   w.field("peak_rss_kb", peak_rss_kb);
+  w.field("jobs", jobs);
+  w.field("cache_dir", cache_dir);
+  w.field("cache_hits", cache_hits);
+  w.field("cache_misses", cache_misses);
 
   w.key("inputs");
   w.begin_array();
@@ -175,6 +183,12 @@ RunManifest RunManifest::from_json(const util::JsonValue& doc) {
   m.wall_ns = doc.at("wall_ns").as_uint();
   m.cpu_ns = doc.at("cpu_ns").as_uint();
   m.peak_rss_kb = doc.at("peak_rss_kb").as_uint();
+  // Additive post-release fields: absent in manifests written before the
+  // execution engine existed, so parse them tolerantly.
+  if (const auto* jobs_field = doc.find("jobs")) m.jobs = jobs_field->as_uint();
+  if (const auto* dir_field = doc.find("cache_dir")) m.cache_dir = dir_field->as_string();
+  if (const auto* hits_field = doc.find("cache_hits")) m.cache_hits = hits_field->as_uint();
+  if (const auto* misses_field = doc.find("cache_misses")) m.cache_misses = misses_field->as_uint();
 
   for (const auto& entry : doc.at("inputs").array) {
     ManifestInput input;
@@ -252,6 +266,12 @@ std::string RunManifest::render() const {
   out << "wall time:      " << format_ms(wall_ns) << " ms\n";
   out << "cpu time:       " << format_ms(cpu_ns) << " ms\n";
   out << "peak rss:       " << peak_rss_kb << " KiB\n";
+  if (jobs != 0) out << "jobs:           " << jobs << "\n";
+  if (!cache_dir.empty()) {
+    out << "cache dir:      " << cache_dir << "\n";
+    out << "cache hits:     " << cache_hits << "\n";
+    out << "cache misses:   " << cache_misses << "\n";
+  }
   out << "phase coverage: " << util::format_double(phase_coverage() * 100.0, 1) << "% of root wall\n";
 
   if (!inputs.empty()) {

@@ -14,10 +14,17 @@
 //   wall_ns           int     wall time of the run's root phase
 //   cpu_ns            int     process CPU time consumed so far
 //   peak_rss_kb       int     ru_maxrss at manifest collection
+//   jobs              int     resolved sched::Pool size (0 = not recorded)
+//   cache_dir         string  artifact cache directory ("" = no cache)
+//   cache_hits        int     sched.cache_hit total at collection
+//   cache_misses      int     sched.cache_miss total at collection
 //   inputs            [{path, bytes, crc32, ok}]  input archive digests
 //   phases            [{path, name, depth, count, wall_ns, cpu_ns}]
 //   counters          [{name, value}]             nonzero counters only
 //   histograms        [{name, count, sum, buckets: [{le_log2, count}]}]
+// The four execution-engine fields were added after the schema's first
+// release; the version stays 1 because they are additive and the parser
+// tolerates their absence.
 #pragma once
 
 #include <cstdint>
@@ -55,6 +62,14 @@ struct RunManifest {
   std::uint64_t wall_ns = 0;
   std::uint64_t cpu_ns = 0;
   std::uint64_t peak_rss_kb = 0;
+  /// Execution-engine telemetry: resolved job count (CLI-filled; 0 when the
+  /// command has no sweep), cache directory ("" = no cache), and the
+  /// process-wide cache hit/miss totals (auto-filled from the sched
+  /// counters by collect_manifest).
+  std::uint64_t jobs = 0;
+  std::string cache_dir;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
   std::vector<ManifestInput> inputs;
   std::vector<PhaseStats> phases;
   std::vector<CounterSample> counters;

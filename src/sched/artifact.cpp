@@ -1,0 +1,119 @@
+#include "sched/artifact.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/crc32.hpp"
+#include "util/varint.hpp"
+
+namespace difftrace::sched {
+
+namespace {
+constexpr char kMagic[4] = {'D', 'T', 'A', '1'};
+}  // namespace
+
+void ArtifactWriter::put_u64(std::uint64_t v) { util::put_varint(buf_, v); }
+
+void ArtifactWriter::put_i64(std::int64_t v) { util::put_svarint(buf_, v); }
+
+void ArtifactWriter::put_str(std::string_view s) {
+  put_u64(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ArtifactWriter::put_f64(double v) {
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+std::uint64_t ArtifactReader::get_u64() { return util::get_varint(data_, pos_); }
+
+std::uint32_t ArtifactReader::get_u32() {
+  const auto v = get_u64();
+  if (v > 0xffffffffull) throw std::out_of_range("artifact: u32 overflow");
+  return static_cast<std::uint32_t>(v);
+}
+
+std::int64_t ArtifactReader::get_i64() { return util::get_svarint(data_, pos_); }
+
+std::string ArtifactReader::get_str() {
+  const auto len = get_u64();
+  if (len > data_.size() - pos_) throw std::out_of_range("artifact: string truncated");
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_),
+                static_cast<std::size_t>(len));
+  pos_ += static_cast<std::size_t>(len);
+  return s;
+}
+
+double ArtifactReader::get_f64() {
+  if (data_.size() - pos_ < 8) throw std::out_of_range("artifact: f64 truncated");
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) bits |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return std::bit_cast<double>(bits);
+}
+
+std::vector<std::uint8_t> seal_artifact(std::uint64_t kind,
+                                        std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(payload.size() + 24);
+  frame.insert(frame.end(), kMagic, kMagic + 4);
+  util::put_varint(frame, kArtifactSchemaVersion);
+  util::put_varint(frame, kind);
+  util::put_varint(frame, payload.size());
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  const std::uint32_t crc = util::crc32({frame.data(), frame.size()});
+  for (int i = 0; i < 4; ++i) frame.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  return frame;
+}
+
+namespace {
+
+/// Shared frame validation: on success fills kind and the payload's
+/// [begin, end) offsets within `frame`.
+bool check_frame(std::span<const std::uint8_t> frame, std::uint64_t& kind,
+                 std::size_t& payload_begin, std::size_t& payload_end) {
+  if (frame.size() < 4 + 1 + 1 + 1 + 4) return false;
+  if (std::memcmp(frame.data(), kMagic, 4) != 0) return false;
+  const std::size_t body_len = frame.size() - 4;
+  std::uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i)
+    stored_crc |= static_cast<std::uint32_t>(frame[body_len + i]) << (8 * i);
+  if (util::crc32({frame.data(), body_len}) != stored_crc) return false;
+  try {
+    std::size_t pos = 4;
+    const auto covered = frame.first(body_len);
+    if (util::get_varint(covered, pos) != kArtifactSchemaVersion) return false;
+    kind = util::get_varint(covered, pos);
+    const auto payload_len = util::get_varint(covered, pos);
+    if (payload_len != body_len - pos) return false;
+    payload_begin = pos;
+    payload_end = body_len;
+    return true;
+  } catch (const std::out_of_range&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+std::optional<std::vector<std::uint8_t>> open_artifact(
+    std::span<const std::uint8_t> frame, std::uint64_t expected_kind) {
+  std::uint64_t kind = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  if (!check_frame(frame, kind, begin, end) || kind != expected_kind) return std::nullopt;
+  return std::vector<std::uint8_t>(frame.begin() + static_cast<std::ptrdiff_t>(begin),
+                                   frame.begin() + static_cast<std::ptrdiff_t>(end));
+}
+
+std::optional<std::uint64_t> probe_artifact(std::span<const std::uint8_t> frame) {
+  std::uint64_t kind = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  if (!check_frame(frame, kind, begin, end)) return std::nullopt;
+  return kind;
+}
+
+}  // namespace difftrace::sched

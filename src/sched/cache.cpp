@@ -1,0 +1,131 @@
+#include "sched/cache.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "sched/artifact.hpp"
+
+namespace difftrace::sched {
+
+namespace {
+
+constexpr const char* kEntryExtension = ".dta";
+
+std::optional<std::vector<std::uint8_t>> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> bytes;
+  in.seekg(0, std::ios::end);
+  const auto size = in.tellg();
+  if (size < 0) return std::nullopt;
+  bytes.resize(static_cast<std::size_t>(size));
+  in.seekg(0, std::ios::beg);
+  in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(bytes.size()));
+  if (!in) return std::nullopt;
+  return bytes;
+}
+
+}  // namespace
+
+Cache::Cache(std::filesystem::path dir) : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::filesystem::path Cache::entry_path(const std::string& key) const {
+  return dir_ / (key + kEntryExtension);
+}
+
+std::optional<std::vector<std::uint8_t>> Cache::lookup(const std::string& key,
+                                                       std::uint64_t kind) {
+  auto frame = read_file(entry_path(key));
+  if (frame) {
+    if (auto payload = open_artifact({frame->data(), frame->size()}, kind)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      obs::counter("sched.cache_hit").add(1);
+      return payload;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  obs::counter("sched.cache_miss").add(1);
+  return std::nullopt;
+}
+
+void Cache::store(const std::string& key, std::uint64_t kind,
+                  std::span<const std::uint8_t> payload) {
+  const auto frame = seal_artifact(kind, payload);
+  // Unique tmp name per writer thread: two workers racing to store the same
+  // key must not interleave into one file. rename() then makes publication
+  // atomic; last writer wins with an identical frame.
+  std::ostringstream tmp_name;
+  tmp_name << key << ".tmp." << std::this_thread::get_id();
+  const auto tmp_path = dir_ / tmp_name.str();
+  try {
+    {
+      std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+      if (!out) return;
+      out.write(reinterpret_cast<const char*>(frame.data()),
+                static_cast<std::streamsize>(frame.size()));
+      if (!out) {
+        out.close();
+        std::error_code ec;
+        std::filesystem::remove(tmp_path, ec);
+        return;
+      }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp_path, entry_path(key), ec);
+    if (ec) std::filesystem::remove(tmp_path, ec);
+  } catch (const std::exception&) {
+    // Best-effort by contract: a failed store degrades to a future miss.
+  }
+}
+
+CacheStats Cache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != kEntryExtension) continue;
+    ++s.entries;
+    std::error_code size_ec;
+    const auto bytes = entry.file_size(size_ec);
+    if (!size_ec) s.bytes += bytes;
+  }
+  return s;
+}
+
+std::size_t Cache::clear() {
+  std::size_t removed = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != kEntryExtension) continue;
+    std::error_code remove_ec;
+    if (std::filesystem::remove(entry.path(), remove_ec)) ++removed;
+  }
+  return removed;
+}
+
+Cache::VerifyReport Cache::verify() const {
+  VerifyReport report;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != kEntryExtension) continue;
+    ++report.checked;
+    const auto frame = read_file(entry.path());
+    if (frame && probe_artifact({frame->data(), frame->size()})) {
+      ++report.ok;
+    } else {
+      ++report.bad;
+      report.bad_entries.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(report.bad_entries.begin(), report.bad_entries.end());
+  return report;
+}
+
+}  // namespace difftrace::sched

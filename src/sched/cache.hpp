@@ -1,0 +1,76 @@
+// Content-addressed artifact cache backing `--cache`.
+//
+// A Cache is a flat directory of `<16-hex-digest>.dta` files, each one
+// artifact frame (sched/artifact). Keys are content digests derived by the
+// producing layer (core/sweep_cache) from everything that feeds the cached
+// computation — input blob CRCs, filter/NLR/attribute fingerprints, schema
+// version — so a stale entry is simply never looked up; there is no explicit
+// invalidation.
+//
+// The failure contract mirrors PR 1's salvage rules: a missing, truncated,
+// bit-flipped, or wrong-kind entry is a MISS (recompute and overwrite),
+// never an error. store() is best-effort (tmp file + rename, failures
+// swallowed) — a read-only cache directory degrades to a pass-through.
+// lookup/store are safe to call from pool workers concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace difftrace::sched {
+
+struct CacheStats {
+  std::uint64_t entries = 0;  // files on disk
+  std::uint64_t bytes = 0;    // total size on disk
+  std::uint64_t hits = 0;     // this process, this Cache instance
+  std::uint64_t misses = 0;
+};
+
+class Cache {
+ public:
+  /// Opens (creating if needed) the cache directory. Throws
+  /// std::filesystem::filesystem_error if the directory cannot be created.
+  explicit Cache(std::filesystem::path dir);
+
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept { return dir_; }
+
+  /// Returns the payload stored under `key` with the given kind, or nullopt
+  /// (counted as a miss) when absent or defective.
+  std::optional<std::vector<std::uint8_t>> lookup(const std::string& key, std::uint64_t kind);
+
+  /// Stores a payload under `key`, atomically (write tmp, rename).
+  /// Best-effort: I/O failures leave the cache unchanged and are swallowed.
+  void store(const std::string& key, std::uint64_t kind,
+             std::span<const std::uint8_t> payload);
+
+  [[nodiscard]] CacheStats stats() const;
+
+  /// Removes every entry; returns how many were deleted.
+  std::size_t clear();
+
+  struct VerifyReport {
+    std::uint64_t checked = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t bad = 0;
+    std::vector<std::string> bad_entries;  // file names that failed the frame check
+  };
+  /// Frame-checks every entry (magic/schema/length/CRC). Read-only.
+  [[nodiscard]] VerifyReport verify() const;
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_.load(); }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_.load(); }
+
+ private:
+  [[nodiscard]] std::filesystem::path entry_path(const std::string& key) const;
+
+  std::filesystem::path dir_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace difftrace::sched

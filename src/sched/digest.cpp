@@ -1,0 +1,35 @@
+#include "sched/digest.hpp"
+
+#include <cstdio>
+
+namespace difftrace::sched {
+
+void DigestBuilder::mix(std::uint8_t byte) noexcept {
+  state_ ^= byte;
+  state_ *= 0x00000100000001b3ull;  // FNV-1a prime
+}
+
+DigestBuilder& DigestBuilder::add_bytes(std::span<const std::uint8_t> data) {
+  auto len = static_cast<std::uint64_t>(data.size());
+  for (int i = 0; i < 8; ++i) mix(static_cast<std::uint8_t>(len >> (8 * i)));
+  for (const auto b : data) mix(b);
+  return *this;
+}
+
+DigestBuilder& DigestBuilder::add(std::string_view s) {
+  return add_bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+DigestBuilder& DigestBuilder::add(std::uint64_t v) {
+  std::uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  return add_bytes(bytes);
+}
+
+std::string DigestBuilder::hex() const {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(state_));
+  return buf;
+}
+
+}  // namespace difftrace::sched

@@ -1,0 +1,40 @@
+// Content digests for the sweep cache (sched::Cache).
+//
+// A DigestBuilder folds a tagged byte stream into a 64-bit FNV-1a value.
+// Every field is length-prefixed before it is mixed in, so ("ab", "c") and
+// ("a", "bc") produce different digests — the key derivation in
+// core/sweep_cache concatenates many small fingerprints and must never
+// alias. 64 bits is plenty for a cache key: a collision costs a wrong hit
+// only if the colliding entry also passes the artifact frame's kind check,
+// and the cache is an accelerator, not a source of truth (corrupt or
+// mismatched entries degrade to recomputes).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace difftrace::sched {
+
+class DigestBuilder {
+ public:
+  /// Mixes in raw bytes, length-prefixed.
+  DigestBuilder& add_bytes(std::span<const std::uint8_t> data);
+  DigestBuilder& add(std::string_view s);
+  DigestBuilder& add(std::uint64_t v);
+  DigestBuilder& add(std::uint32_t v) { return add(static_cast<std::uint64_t>(v)); }
+  DigestBuilder& add(int v) { return add(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
+  DigestBuilder& add(bool v) { return add(static_cast<std::uint64_t>(v ? 1 : 0)); }
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return state_; }
+  /// 16 lowercase hex digits — the cache entry file stem.
+  [[nodiscard]] std::string hex() const;
+
+ private:
+  void mix(std::uint8_t byte) noexcept;
+
+  std::uint64_t state_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+};
+
+}  // namespace difftrace::sched

@@ -1,0 +1,137 @@
+#include "sched/graph.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace difftrace::sched {
+
+Graph::TaskId Graph::add(const std::vector<TaskId>& deps, std::function<void()> fn) {
+  const TaskId id = tasks_.size();
+  Task task;
+  task.fn = std::move(fn);
+  task.deps_remaining = deps.size();
+  for (const TaskId dep : deps) {
+    if (dep >= id) throw std::invalid_argument("sched::Graph: dep on a not-yet-added task");
+    tasks_[dep].dependents.push_back(id);
+  }
+  tasks_.push_back(std::move(task));
+  return id;
+}
+
+void Graph::run(Pool& pool, const std::string& scope) {
+  if (tasks_.empty()) return;
+  if (pool.jobs() == 1) {
+    run_serial();
+  } else {
+    run_parallel(pool, scope);
+  }
+  rethrow_first_error();
+}
+
+void Graph::run_serial() {
+  // Id order is a topological order (deps precede dependents by
+  // construction), and it is exactly the order a pre-sched serial sweep
+  // executed these units in.
+  for (auto& task : tasks_) {
+    if (task.state == TaskState::Skipped) continue;
+    try {
+      task.fn();
+      task.state = TaskState::Done;
+    } catch (...) {
+      task.state = TaskState::Failed;
+      task.error = std::current_exception();
+    }
+    if (task.state == TaskState::Failed) {
+      // Transitively skip: dependents have higher ids, so one forward pass
+      // marking from the failed task suffices (done below via dependents).
+      std::vector<TaskId> doomed = task.dependents;
+      while (!doomed.empty()) {
+        const TaskId d = doomed.back();
+        doomed.pop_back();
+        if (tasks_[d].state == TaskState::Skipped) continue;
+        tasks_[d].state = TaskState::Skipped;
+        doomed.insert(doomed.end(), tasks_[d].dependents.begin(), tasks_[d].dependents.end());
+      }
+    }
+  }
+}
+
+void Graph::finish_locked(TaskId id, TaskState outcome, std::vector<TaskId>& ready_out) {
+  tasks_[id].state = outcome;
+  ++completed_;
+  for (const TaskId dep_id : tasks_[id].dependents) {
+    Task& dependent = tasks_[dep_id];
+    if (outcome != TaskState::Done && dependent.state == TaskState::Pending) {
+      // A failed or skipped dependency dooms the dependent; it completes as
+      // Skipped once its remaining deps resolve (counted now if this was the
+      // last one) so the caller's completion count still reaches size().
+      dependent.state = TaskState::Skipped;
+    }
+    if (--dependent.deps_remaining == 0) {
+      if (dependent.state == TaskState::Skipped) {
+        finish_locked(dep_id, TaskState::Skipped, ready_out);
+      } else {
+        ready_out.push_back(dep_id);
+      }
+    }
+  }
+}
+
+void Graph::run_parallel(Pool& pool, const std::string& scope) {
+  // Posting a task must be able to re-post newly ready dependents from the
+  // completion path, hence a copyable function object instead of a lambda.
+  struct Runner {
+    Graph* graph;
+    Pool* pool;
+    const std::string* scope;
+
+    void post(TaskId id) const {
+      Graph* g = graph;
+      Pool* p = pool;
+      const Runner self = *this;
+      p->post(*scope, [g, self, id] {
+        Task& task = g->tasks_[id];
+        TaskState outcome = TaskState::Done;
+        try {
+          task.fn();
+        } catch (...) {
+          task.error = std::current_exception();
+          outcome = TaskState::Failed;
+        }
+        std::vector<TaskId> ready;
+        {
+          std::lock_guard<std::mutex> lk(g->mu_);
+          g->finish_locked(id, outcome, ready);
+        }
+        for (const TaskId r : ready) self.post(r);
+        self.pool->notify_all();
+      });
+    }
+  };
+  const Runner runner{this, &pool, &scope};
+
+  std::vector<TaskId> initial;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (TaskId id = 0; id < tasks_.size(); ++id) {
+      if (tasks_[id].deps_remaining == 0) initial.push_back(id);
+    }
+  }
+  for (const TaskId id : initial) runner.post(id);
+
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (completed_ == tasks_.size()) break;
+    }
+    if (!pool.try_run_one()) pool.wait_for_progress();
+  }
+}
+
+void Graph::rethrow_first_error() const {
+  for (const auto& task : tasks_) {
+    if (task.error) std::rethrow_exception(task.error);
+  }
+}
+
+}  // namespace difftrace::sched

@@ -1,0 +1,70 @@
+// Small dependency-graph executor on top of sched::Pool.
+//
+// Tasks are added with explicit dependencies on previously added tasks, so
+// task ids are already a topological order. run() executes the graph:
+//
+//   - jobs == 1: tasks run inline on the caller, strictly in id order. The
+//     sweep adds its tasks in today's serial execution order (session for
+//     filter f, then f's evaluations, then filter f+1, ...), so a 1-job run
+//     reproduces the serial pipeline exactly, span nesting included.
+//   - jobs > 1: ready tasks are posted to the pool; the caller participates
+//     by draining ticks until every task completed. Completion order is
+//     scheduling-dependent, which is fine because tasks communicate only
+//     through pre-allocated result slots indexed by task — callers commit
+//     results in submission order after run() returns.
+//
+// A task that throws marks itself failed; its dependents (transitively) are
+// skipped, the rest of the graph still runs, and run() rethrows the failed
+// task with the lowest id — matching what a serial in-order run would have
+// thrown first.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sched/pool.hpp"
+
+namespace difftrace::sched {
+
+class Graph {
+ public:
+  using TaskId = std::size_t;
+
+  /// Registers a task. Every dep must be an id returned by an earlier add()
+  /// (throws std::invalid_argument otherwise).
+  TaskId add(const std::vector<TaskId>& deps, std::function<void()> fn);
+
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+
+  /// Executes all tasks; `scope` names the span under which pool workers run
+  /// them. Single-use: run() consumes the graph.
+  void run(Pool& pool, const std::string& scope);
+
+ private:
+  enum class TaskState { Pending, Running, Done, Failed, Skipped };
+
+  struct Task {
+    std::function<void()> fn;
+    std::vector<TaskId> dependents;
+    std::size_t deps_remaining = 0;
+    TaskState state = TaskState::Pending;
+    std::exception_ptr error;
+  };
+
+  void run_serial();
+  void run_parallel(Pool& pool, const std::string& scope);
+  /// Called with mu_ held; posts/skips dependents of a finished task and
+  /// returns ids that became ready.
+  void finish_locked(TaskId id, TaskState outcome, std::vector<TaskId>& ready_out);
+  void rethrow_first_error() const;
+
+  std::vector<Task> tasks_;
+  std::mutex mu_;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace difftrace::sched

@@ -1,0 +1,20 @@
+// Torn-line-free status output for concurrent pipelines.
+//
+// CLI progress chatter ("[salvage] ...", "[degraded] ...") goes to stderr
+// while results go to stdout (PR 3's stream discipline). Once sweep workers
+// run concurrently, two threads composing a line out of several `<<`
+// insertions can interleave mid-line. status_line() composes the full line
+// first and writes it — newline included — as ONE stream insertion under a
+// process-wide mutex, so lines stay whole at any job count.
+#pragma once
+
+#include <ostream>
+#include <string_view>
+
+namespace difftrace::util {
+
+/// Writes `text` plus a trailing newline to `out` as a single, mutex-held
+/// insertion. `text` must not itself contain a newline.
+void status_line(std::ostream& out, std::string_view text);
+
+}  // namespace difftrace::util

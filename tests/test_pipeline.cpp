@@ -2,11 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 
 #include "apps/oddeven.hpp"
 #include "apps/runner.hpp"
+#include "sched/cache.hpp"
+#include "sched/pool.hpp"
 
 namespace difftrace::core {
 namespace {
@@ -219,20 +225,140 @@ TEST_F(OddEvenPipeline, TracesAreDeterministicAcrossCollections) {
 }
 
 TEST_F(OddEvenPipeline, ParallelSweepMatchesSerial) {
-  SweepConfig serial;
-  serial.filters = {FilterSpec::mpi_all(), FilterSpec::mpi_send_recv(),
+  // The engine's core promise: the ranking table is byte-identical at any
+  // job count (1 is today's exact serial path, 0 resolves to the hardware).
+  SweepConfig config;
+  config.filters = {FilterSpec::mpi_all(), FilterSpec::mpi_send_recv(),
                     FilterSpec::mpi_collectives(), FilterSpec::everything()};
-  auto parallel = serial;
-  parallel.analysis_threads = 4;
-  auto hw = serial;
-  hw.analysis_threads = 0;  // hardware concurrency
+  config.analysis_threads = 1;
+  const auto baseline = sweep(*normal_, *swap_, config);
+  ASSERT_EQ(baseline.rows.size(), 24u);
+  for (const std::size_t jobs : {std::size_t{2}, std::size_t{4}, std::size_t{8}, std::size_t{0}}) {
+    config.analysis_threads = jobs;
+    EXPECT_EQ(baseline.render(), sweep(*normal_, *swap_, config).render()) << "jobs " << jobs;
+  }
+}
 
-  const auto a = sweep(*normal_, *swap_, serial);
-  const auto b = sweep(*normal_, *swap_, parallel);
-  const auto c = sweep(*normal_, *swap_, hw);
-  EXPECT_EQ(a.render(), b.render());
-  EXPECT_EQ(a.render(), c.render());
-  ASSERT_EQ(a.rows.size(), 24u);
+struct SweepCacheDir {
+  std::filesystem::path path;
+  SweepCacheDir() {
+    path = std::filesystem::temp_directory_path() /
+           ("difftrace-pipeline-cache-" + std::to_string(::getpid()) + "-" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    std::filesystem::create_directories(path);
+  }
+  ~SweepCacheDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+TEST_F(OddEvenPipeline, ParallelCachedSessionMatchesSerial) {
+  const auto filter = FilterSpec::mpi_all();
+  const NlrConfig nlr;
+  const Session serial(*normal_, *swap_, filter, nlr);
+
+  SweepCacheDir dir;
+  sched::Cache cache(dir.path);
+  sched::Pool pool(4);
+  SessionOptions options;
+  options.pool = &pool;
+  options.cache = &cache;
+  // Cold (fills the cache) and warm (rehydrates from it) must both equal
+  // the serial build down to table identity, not just program shape.
+  for (const char* pass : {"cold", "warm"}) {
+    const Session built(*normal_, *swap_, filter, nlr, options);
+    ASSERT_EQ(built.traces(), serial.traces()) << pass;
+    ASSERT_EQ(built.tokens().size(), serial.tokens().size()) << pass;
+    for (TokenId t = 0; t < serial.tokens().size(); ++t)
+      EXPECT_EQ(built.tokens().name(t), serial.tokens().name(t)) << pass << " token " << t;
+    ASSERT_EQ(built.loops().size(), serial.loops().size()) << pass;
+    for (std::uint32_t l = 0; l < serial.loops().size(); ++l) {
+      EXPECT_EQ(built.loops().body(l), serial.loops().body(l)) << pass << " loop " << l;
+      EXPECT_EQ(built.loops().shape_id(l), serial.loops().shape_id(l)) << pass << " loop " << l;
+    }
+    for (std::size_t i = 0; i < serial.traces().size(); ++i) {
+      EXPECT_EQ(built.normal_nlr(i), serial.normal_nlr(i)) << pass << " trace " << i;
+      EXPECT_EQ(built.faulty_nlr(i), serial.faulty_nlr(i)) << pass << " trace " << i;
+    }
+  }
+  EXPECT_GT(cache.hits(), 0u);  // the warm pass actually used the artifacts
+}
+
+TEST_F(OddEvenPipeline, SweepColdAndWarmCacheAreByteIdentical) {
+  SweepCacheDir dir;
+  sched::Cache cache(dir.path);
+  SweepConfig config;
+  config.filters = {FilterSpec::mpi_all(), FilterSpec::mpi_send_recv()};
+  config.analysis_threads = 2;
+  config.cache = &cache;
+
+  const auto cold = sweep(*normal_, *swap_, config);
+  const auto cold_misses = cache.misses();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_GT(cold_misses, 0u);
+
+  const auto warm = sweep(*normal_, *swap_, config);
+  EXPECT_EQ(cold.render(), warm.render());
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), cold_misses);  // warm run missed nothing
+
+  // And a cacheless sweep agrees with both.
+  config.cache = nullptr;
+  EXPECT_EQ(cold.render(), sweep(*normal_, *swap_, config).render());
+}
+
+TEST_F(OddEvenPipeline, CorruptedCacheEntriesAreRecomputedCleanly) {
+  SweepCacheDir dir;
+  sched::Cache cache(dir.path);
+  SweepConfig config;
+  config.filters = {FilterSpec::mpi_all()};
+  config.analysis_threads = 2;
+  config.cache = &cache;
+  const auto baseline = sweep(*normal_, *swap_, config);
+
+  // Plant defects in every entry: truncate one, bit-flip the rest.
+  std::vector<std::filesystem::path> entries;
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path))
+    entries.push_back(entry.path());
+  ASSERT_FALSE(entries.empty());
+  std::filesystem::resize_file(entries.front(), 4);
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    std::fstream f(entries[i], std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(5);
+    f.put('\x5a');
+  }
+
+  const auto hits_before = cache.hits();
+  const auto misses_before = cache.misses();
+  const auto recomputed = sweep(*normal_, *swap_, config);
+  EXPECT_EQ(baseline.render(), recomputed.render());
+  EXPECT_EQ(cache.hits(), hits_before);          // nothing defective was trusted
+  EXPECT_GT(cache.misses(), misses_before);      // the defects were counted as misses
+
+  // The recompute overwrote the planted defects with good frames.
+  EXPECT_EQ(cache.verify().bad, 0u);
+}
+
+TEST_F(OddEvenPipeline, FoldKnownBodiesFallsBackToSerialButStaysCached) {
+  // fold_known_bodies couples traces through the shared loop table, so the
+  // per-trace NLR cache is disabled — but the sweep must still be
+  // deterministic and the per-row evaluation cache still applies.
+  SweepCacheDir dir;
+  sched::Cache cache(dir.path);
+  SweepConfig config;
+  config.filters = {FilterSpec::mpi_all()};
+  config.pipeline.nlr.fold_known_bodies = true;
+  config.analysis_threads = 1;
+  const auto serial = sweep(*normal_, *swap_, config);
+
+  config.analysis_threads = 4;
+  config.cache = &cache;
+  const auto cold = sweep(*normal_, *swap_, config);
+  const auto warm = sweep(*normal_, *swap_, config);
+  EXPECT_EQ(serial.render(), cold.render());
+  EXPECT_EQ(serial.render(), warm.render());
+  EXPECT_GT(cache.hits(), 0u);  // evaluation artifacts hit on the warm run
 }
 
 TEST(RankingTable, ConsensusOfEmptyTableIsBenign) {

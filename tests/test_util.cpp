@@ -1,5 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/log.hpp"
 #include "util/prng.hpp"
 #include "util/stats.hpp"
 #include "util/str.hpp"
@@ -134,6 +141,43 @@ TEST(Heatmap, RendersShades) {
   const auto s = render_heatmap(m, "title");
   EXPECT_NE(s.find("title"), std::string::npos);
   EXPECT_NE(s.find("██"), std::string::npos);
+}
+
+// --- status_line ---------------------------------------------------------
+
+TEST(StatusLine, AppendsNewlineAndWritesText) {
+  std::ostringstream out;
+  status_line(out, "[stage] something happened");
+  EXPECT_EQ(out.str(), "[stage] something happened\n");
+}
+
+TEST(StatusLine, ConcurrentWritersNeverTearLines) {
+  // Each thread writes a run of single-character lines; any interleaving
+  // inside a line (e.g. "aab\nb\n") would produce a mixed line. 8 threads ×
+  // 200 lines is enough to tear reliably without the mutex.
+  std::ostringstream out;
+  constexpr int kThreads = 8;
+  constexpr int kLines = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&out, t] {
+      const std::string text(10, static_cast<char>('a' + t));
+      for (int i = 0; i < kLines; ++i) status_line(out, text);
+    });
+  for (auto& thread : threads) thread.join();
+
+  std::istringstream in(out.str());
+  std::string line;
+  std::map<char, int> seen;
+  int total = 0;
+  while (std::getline(in, line)) {
+    ASSERT_EQ(line.size(), 10u) << "torn line: '" << line << "'";
+    ASSERT_EQ(line, std::string(10, line[0])) << "mixed line: '" << line << "'";
+    ++seen[line[0]];
+    ++total;
+  }
+  EXPECT_EQ(total, kThreads * kLines);
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(seen[static_cast<char>('a' + t)], kLines);
 }
 
 }  // namespace

@@ -105,6 +105,17 @@ def check_manifest(doc: object, min_coverage: float, required_counters: list[str
     problems.expect(doc, "cpu_ns", int, "manifest")
     problems.expect(doc, "peak_rss_kb", int, "manifest")
 
+    # Execution-engine fields are additive (schema stays v1): absent in
+    # manifests written before the scheduler existed, typed when present.
+    for key, kinds in (
+        ("jobs", int),
+        ("cache_dir", str),
+        ("cache_hits", int),
+        ("cache_misses", int),
+    ):
+        if key in doc:
+            problems.expect(doc, key, kinds, "manifest")
+
     command = problems.expect(doc, "command", list, "manifest")
     if command is not None and not all(isinstance(c, str) for c in command):
         problems.add("manifest: command entries must be strings")
