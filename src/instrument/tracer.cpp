@@ -32,7 +32,7 @@ Tracer& Tracer::instance() {
 
 void Tracer::begin_session(std::shared_ptr<trace::FunctionRegistry> registry, CaptureLevel level,
                            std::string codec_name) {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (active_) throw std::logic_error("Tracer: a session is already active");
   if (!registry) throw std::invalid_argument("Tracer: registry must not be null");
   active_ = true;
@@ -44,7 +44,7 @@ void Tracer::begin_session(std::shared_ptr<trace::FunctionRegistry> registry, Ca
 }
 
 trace::TraceStore Tracer::end_session() {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (!active_) throw std::logic_error("Tracer: no active session");
   trace::TraceStore store(registry_);
   for (const auto& [key, writer] : writers_) store.absorb(*writer);
@@ -55,17 +55,17 @@ trace::TraceStore Tracer::end_session() {
 }
 
 bool Tracer::session_active() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return active_;
 }
 
 CaptureLevel Tracer::level() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return level_;
 }
 
 void Tracer::bind_current_thread(trace::TraceKey key) {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (!active_) throw std::logic_error("Tracer: bind_current_thread without an active session");
   if (t_state.writer != nullptr) throw std::logic_error("Tracer: thread already bound");
   auto& slot = writers_[key];
@@ -95,7 +95,7 @@ void Tracer::on_op(trace::OpRecord op) {
 }
 
 void Tracer::freeze_all() {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   for (const auto& [key, writer] : writers_) writer->freeze();
 }
 

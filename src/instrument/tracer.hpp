@@ -20,7 +20,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -28,6 +27,8 @@
 #include "trace/registry.hpp"
 #include "trace/store.hpp"
 #include "trace/writer.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace difftrace::instrument {
 
@@ -81,12 +82,15 @@ class Tracer {
  private:
   Tracer() = default;
 
-  mutable std::mutex mutex_;
-  bool active_ = false;
-  CaptureLevel level_ = CaptureLevel::MainImage;
-  std::string codec_name_ = "parlot";
-  std::shared_ptr<trace::FunctionRegistry> registry_;
-  std::map<trace::TraceKey, std::unique_ptr<trace::TraceWriter>> writers_;
+  // Per-event hot paths (on_call/on_return/on_op) bypass this mutex via the
+  // thread-local writer cached at bind time; the mutex guards session
+  // lifecycle and the writer map only.
+  mutable util::Mutex mutex_;
+  bool active_ DT_GUARDED_BY(mutex_) = false;
+  CaptureLevel level_ DT_GUARDED_BY(mutex_) = CaptureLevel::MainImage;
+  std::string codec_name_ DT_GUARDED_BY(mutex_) = "parlot";
+  std::shared_ptr<trace::FunctionRegistry> registry_ DT_GUARDED_BY(mutex_);
+  std::map<trace::TraceKey, std::unique_ptr<trace::TraceWriter>> writers_ DT_GUARDED_BY(mutex_);
 };
 
 /// RAII thread binding. Throws if no session is active.

@@ -23,7 +23,7 @@ MetricsRegistry& MetricsRegistry::instance() {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end())
     it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
@@ -31,7 +31,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end())
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
@@ -39,7 +39,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 }
 
 std::vector<CounterSample> MetricsRegistry::counters(bool nonzero_only) const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::vector<CounterSample> out;
   out.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -51,7 +51,7 @@ std::vector<CounterSample> MetricsRegistry::counters(bool nonzero_only) const {
 }
 
 std::vector<HistogramSample> MetricsRegistry::histograms(bool nonzero_only) const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::vector<HistogramSample> out;
   out.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) {
@@ -63,7 +63,7 @@ std::vector<HistogramSample> MetricsRegistry::histograms(bool nonzero_only) cons
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   for (auto& [name, counter] : counters_) counter->reset();
   for (auto& [name, histogram] : histograms_) histogram->reset();
 }

@@ -20,10 +20,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace difftrace::obs {
 
@@ -103,9 +105,12 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // The registry map structure is the only guarded state; Counter/Histogram
+  // *values* are relaxed atomics behind stable unique_ptrs, touched lock-free
+  // on the hot path (the whole point of the cached-reference idiom above).
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_ DT_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_ DT_GUARDED_BY(mutex_);
 };
 
 /// Call-site helpers: obs::counter("x").add(n).

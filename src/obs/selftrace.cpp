@@ -21,7 +21,7 @@ SelfTrace& SelfTrace::instance() {
 
 void SelfTrace::start(std::string codec_name) {
   {
-    std::lock_guard lock(mutex_);
+    const util::MutexLock lock(mutex_);
     if (active_) throw std::logic_error("SelfTrace::start: already active");
     active_ = true;
     codec_name_ = std::move(codec_name);
@@ -34,7 +34,7 @@ void SelfTrace::start(std::string codec_name) {
 
 trace::TraceStore SelfTrace::stop() {
   set_span_hook(nullptr);
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (!active_) throw std::logic_error("SelfTrace::stop: not active");
   active_ = false;
   trace::TraceStore store(registry_);
@@ -45,12 +45,12 @@ trace::TraceStore SelfTrace::stop() {
 }
 
 bool SelfTrace::active() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return active_;
 }
 
 void SelfTrace::on_span(std::string_view name, bool enter) {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (!active_) return;  // hook raced a stop(); drop the event
   auto it = writers_.find(std::this_thread::get_id());
   if (it == writers_.end()) {

@@ -20,7 +20,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -28,6 +27,8 @@
 #include "trace/registry.hpp"
 #include "trace/store.hpp"
 #include "trace/writer.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace difftrace::obs {
 
@@ -54,12 +55,12 @@ class SelfTrace {
  private:
   SelfTrace() = default;
 
-  mutable std::mutex mutex_;
-  bool active_ = false;
-  std::string codec_name_ = "parlot";
-  std::shared_ptr<trace::FunctionRegistry> registry_;
-  std::map<std::thread::id, std::unique_ptr<trace::TraceWriter>> writers_;
-  int next_thread_index_ = 0;
+  mutable util::Mutex mutex_;
+  bool active_ DT_GUARDED_BY(mutex_) = false;
+  std::string codec_name_ DT_GUARDED_BY(mutex_) = "parlot";
+  std::shared_ptr<trace::FunctionRegistry> registry_ DT_GUARDED_BY(mutex_);
+  std::map<std::thread::id, std::unique_ptr<trace::TraceWriter>> writers_ DT_GUARDED_BY(mutex_);
+  int next_thread_index_ DT_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace difftrace::obs

@@ -33,7 +33,7 @@ PhaseTable& PhaseTable::instance() {
 
 void PhaseTable::add(const std::string& path, std::string_view name, std::size_t depth,
                      std::uint64_t wall_ns, std::uint64_t cpu_ns) {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   auto& stats = phases_[path];
   if (stats.count == 0) {
     stats.path = path;
@@ -46,7 +46,7 @@ void PhaseTable::add(const std::string& path, std::string_view name, std::size_t
 }
 
 std::vector<PhaseStats> PhaseTable::snapshot() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::vector<PhaseStats> out;
   out.reserve(phases_.size());
   for (const auto& [path, stats] : phases_) out.push_back(stats);
@@ -54,7 +54,7 @@ std::vector<PhaseStats> PhaseTable::snapshot() const {
 }
 
 void PhaseTable::reset() {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   phases_.clear();
 }
 

@@ -21,10 +21,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace difftrace::obs {
 
@@ -52,8 +54,8 @@ class PhaseTable {
  private:
   PhaseTable() = default;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, PhaseStats> phases_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, PhaseStats> phases_ DT_GUARDED_BY(mutex_);
 };
 
 /// Monotonic wall clock / calling thread's CPU clock, in nanoseconds.

@@ -68,6 +68,12 @@ class Cache {
  private:
   [[nodiscard]] std::filesystem::path entry_path(const std::string& key) const;
 
+  // Lock-free by design: dir_ is immutable after construction and the
+  // counters are independent relaxed atomics, so there is no capability for
+  // thread-safety analysis to track. The invariant worth pinning instead is
+  // hits + misses == lookups (every lookup() increments exactly one counter
+  // on every path); tests/test_sched.cpp asserts it under concurrent mixed
+  // traffic.
   std::filesystem::path dir_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};

@@ -6,6 +6,7 @@
 namespace difftrace::sched {
 
 Graph::TaskId Graph::add(const std::vector<TaskId>& deps, std::function<void()> fn) {
+  const util::MutexLock lock(mu_);
   const TaskId id = tasks_.size();
   Task task;
   task.fn = std::move(fn);
@@ -19,7 +20,10 @@ Graph::TaskId Graph::add(const std::vector<TaskId>& deps, std::function<void()> 
 }
 
 void Graph::run(Pool& pool, const std::string& scope) {
-  if (tasks_.empty()) return;
+  {
+    const util::MutexLock lock(mu_);
+    if (tasks_.empty()) return;
+  }
   if (pool.jobs() == 1) {
     run_serial();
   } else {
@@ -29,6 +33,9 @@ void Graph::run(Pool& pool, const std::string& scope) {
 }
 
 void Graph::run_serial() {
+  // Single-threaded: no pool workers exist, so holding the lock across the
+  // whole pass (task bodies included) cannot contend with anything.
+  const util::MutexLock lock(mu_);
   // Id order is a topological order (deps precede dependents by
   // construction), and it is exactly the order a pre-sched serial sweep
   // executed these units in.
@@ -90,17 +97,24 @@ void Graph::run_parallel(Pool& pool, const std::string& scope) {
       Pool* p = pool;
       const Runner self = *this;
       p->post(*scope, [g, self, id] {
-        Task& task = g->tasks_[id];
+        Task* task = nullptr;
+        {
+          const util::MutexLock lk(g->mu_);
+          task = &g->tasks_[id];
+        }
+        // Unlocked use is safe: tasks_ never reallocates during run() and
+        // this worker is the unique owner of entry `id` (fn/error) until it
+        // reports completion through finish_locked below.
         TaskState outcome = TaskState::Done;
         try {
-          task.fn();
+          task->fn();
         } catch (...) {
-          task.error = std::current_exception();
+          task->error = std::current_exception();
           outcome = TaskState::Failed;
         }
         std::vector<TaskId> ready;
         {
-          std::lock_guard<std::mutex> lk(g->mu_);
+          const util::MutexLock lk(g->mu_);
           g->finish_locked(id, outcome, ready);
         }
         for (const TaskId r : ready) self.post(r);
@@ -112,7 +126,7 @@ void Graph::run_parallel(Pool& pool, const std::string& scope) {
 
   std::vector<TaskId> initial;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    const util::MutexLock lock(mu_);
     for (TaskId id = 0; id < tasks_.size(); ++id) {
       if (tasks_[id].deps_remaining == 0) initial.push_back(id);
     }
@@ -121,7 +135,7 @@ void Graph::run_parallel(Pool& pool, const std::string& scope) {
 
   for (;;) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      const util::MutexLock lock(mu_);
       if (completed_ == tasks_.size()) break;
     }
     if (!pool.try_run_one()) pool.wait_for_progress();
@@ -129,6 +143,7 @@ void Graph::run_parallel(Pool& pool, const std::string& scope) {
 }
 
 void Graph::rethrow_first_error() const {
+  const util::MutexLock lock(mu_);
   for (const auto& task : tasks_) {
     if (task.error) std::rethrow_exception(task.error);
   }

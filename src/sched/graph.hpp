@@ -22,11 +22,12 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "sched/pool.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace difftrace::sched {
 
@@ -36,13 +37,16 @@ class Graph {
 
   /// Registers a task. Every dep must be an id returned by an earlier add()
   /// (throws std::invalid_argument otherwise).
-  TaskId add(const std::vector<TaskId>& deps, std::function<void()> fn);
+  TaskId add(const std::vector<TaskId>& deps, std::function<void()> fn) DT_EXCLUDES(mu_);
 
-  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] std::size_t size() const DT_EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
+    return tasks_.size();
+  }
 
   /// Executes all tasks; `scope` names the span under which pool workers run
   /// them. Single-use: run() consumes the graph.
-  void run(Pool& pool, const std::string& scope);
+  void run(Pool& pool, const std::string& scope) DT_EXCLUDES(mu_);
 
  private:
   enum class TaskState { Pending, Running, Done, Failed, Skipped };
@@ -55,16 +59,20 @@ class Graph {
     std::exception_ptr error;
   };
 
-  void run_serial();
-  void run_parallel(Pool& pool, const std::string& scope);
-  /// Called with mu_ held; posts/skips dependents of a finished task and
-  /// returns ids that became ready.
-  void finish_locked(TaskId id, TaskState outcome, std::vector<TaskId>& ready_out);
-  void rethrow_first_error() const;
+  void run_serial() DT_EXCLUDES(mu_);
+  void run_parallel(Pool& pool, const std::string& scope) DT_EXCLUDES(mu_);
+  /// Posts/skips dependents of a finished task and returns ids that became
+  /// ready.
+  void finish_locked(TaskId id, TaskState outcome, std::vector<TaskId>& ready_out) DT_REQUIRES(mu_);
+  void rethrow_first_error() const DT_EXCLUDES(mu_);
 
-  std::vector<Task> tasks_;
-  std::mutex mu_;
-  std::size_t completed_ = 0;
+  // tasks_ is structurally frozen during run(): the vector never reallocates
+  // and each Task's fn/error cells are touched only by the one worker that
+  // claimed that id. The mutex serializes the scheduling metadata (state,
+  // deps_remaining, completed_) that workers race on.
+  mutable util::Mutex mu_;
+  std::vector<Task> tasks_ DT_GUARDED_BY(mu_);
+  std::size_t completed_ DT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace difftrace::sched

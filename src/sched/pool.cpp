@@ -18,7 +18,9 @@ std::size_t hardware_jobs() {
 
 std::size_t resolve_jobs(std::size_t requested) {
   if (requested > 0) return requested;
-  if (const char* env = std::getenv("DIFFTRACE_JOBS"); env != nullptr && *env != '\0') {
+  // Reading the environment once at resolve time, before any worker exists;
+  // getenv is not re-entrancy-safe but has no concurrent writer here.
+  if (const char* env = std::getenv("DIFFTRACE_JOBS"); env != nullptr && *env != '\0') {  // NOLINT(concurrency-mt-unsafe)
     char* end = nullptr;
     const unsigned long parsed = std::strtoul(env, &end, 10);
     if (end != nullptr && *end == '\0' && parsed > 0) return static_cast<std::size_t>(parsed);
@@ -35,7 +37,7 @@ Pool::Pool(std::size_t jobs) : jobs_(jobs == 0 ? 1 : jobs) {
 
 Pool::~Pool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    const util::MutexLock lk(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -44,7 +46,7 @@ Pool::~Pool() {
 
 void Pool::post(std::string scope, std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    const util::MutexLock lk(mu_);
     queue_.push_back(Tick{std::move(scope), std::move(fn), std::this_thread::get_id()});
   }
   cv_.notify_one();
@@ -53,7 +55,7 @@ void Pool::post(std::string scope, std::function<void()> fn) {
 bool Pool::try_run_one() {
   Tick tick;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    const util::MutexLock lk(mu_);
     if (queue_.empty()) return false;
     tick = std::move(queue_.front());
     queue_.pop_front();
@@ -66,11 +68,11 @@ bool Pool::try_run_one() {
 }
 
 void Pool::wait_for_progress() {
-  std::unique_lock<std::mutex> lk(mu_);
+  const util::MutexLock lk(mu_);
   if (!queue_.empty() || stop_) return;
   // Timed wait: completion signals race with going to sleep, and a missed
   // notify must not strand the caller.
-  cv_.wait_for(lk, std::chrono::milliseconds(2));
+  cv_.wait_for(mu_, std::chrono::milliseconds(2));
 }
 
 void Pool::notify_all() { cv_.notify_all(); }
@@ -80,8 +82,8 @@ void Pool::worker_main(std::size_t index) {
   for (;;) {
     Tick tick;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      const util::MutexLock lk(mu_);
+      while (!stop_ && queue_.empty()) cv_.wait(mu_);
       if (queue_.empty()) return;  // stop_ and drained
       tick = std::move(queue_.front());
       queue_.pop_front();
@@ -112,9 +114,9 @@ void Pool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& b
     const std::function<void(std::size_t)>& body;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> live{0};  // iterations claimed but not finished
-    std::mutex err_mu;
-    std::exception_ptr error;
-    std::size_t error_index = static_cast<std::size_t>(-1);
+    util::Mutex err_mu;
+    std::exception_ptr error DT_GUARDED_BY(err_mu);
+    std::size_t error_index DT_GUARDED_BY(err_mu) = static_cast<std::size_t>(-1);
   };
   // shared_ptr: helper ticks may outlive this frame only if the caller
   // abandons the wait, which it never does — but late-queued helpers that run
@@ -136,7 +138,7 @@ void Pool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& b
       try {
         st->body(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lk(st->err_mu);
+        const util::MutexLock lk(st->err_mu);
         if (i < st->error_index) {
           st->error_index = i;
           st->error = std::current_exception();
@@ -158,7 +160,12 @@ void Pool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& b
   while (state->live.load() != 0) {
     if (!try_run_one()) wait_for_progress();
   }
-  if (state->error) std::rethrow_exception(state->error);
+  std::exception_ptr error;
+  {
+    const util::MutexLock lk(state->err_mu);
+    error = state->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace difftrace::sched

@@ -19,15 +19,16 @@
 // counter.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace difftrace::sched {
 
@@ -52,22 +53,25 @@ class Pool {
   [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
 
   /// Enqueues a tick. `scope` names the span under which worker threads run
-  /// it (e.g. "sweep" -> "sweep/worker3/..."). Requires jobs() > 1.
-  void post(std::string scope, std::function<void()> fn);
+  /// it (e.g. "sweep" -> "sweep/worker3/..."). Requires jobs() > 1. The tick
+  /// must not let an exception escape (workers have no handler; enforced by
+  /// lint rule `task-throw`) — wrap fallible work the way Graph and
+  /// parallel_for do, capturing the exception into shared state.
+  void post(std::string scope, std::function<void()> fn) DT_EXCLUDES(mu_);
 
   /// Runs one queued tick on the calling thread if any is available.
   /// Returns false when the queue was empty.
-  bool try_run_one();
+  bool try_run_one() DT_EXCLUDES(mu_);
 
   /// Blocks the caller until woken by tick completion or timeout; used by
   /// callers waiting for posted work they cannot help with.
-  void wait_for_progress();
+  void wait_for_progress() DT_EXCLUDES(mu_);
 
   /// Runs body(0..n-1) across the pool plus the calling thread; returns when
   /// all iterations finished. Iterations are claimed dynamically; the first
   /// exception (lowest claimed index wins ties arbitrarily) stops further
   /// claims and is rethrown on the caller. jobs == 1 runs a plain loop.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) DT_EXCLUDES(mu_);
 
   /// Wakes all sleeping participants; call after externally observable state
   /// changes that a waiter might be polling for (Graph completions).
@@ -80,15 +84,14 @@ class Pool {
     std::thread::id poster;
   };
 
-  void worker_main(std::size_t index);
-  bool run_tick_locked_pop();
+  void worker_main(std::size_t index) DT_EXCLUDES(mu_);
 
   const std::size_t jobs_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Tick> queue_;
-  bool stop_ = false;
-  std::vector<std::thread> threads_;
+  util::Mutex mu_;
+  util::CondVar cv_;
+  std::deque<Tick> queue_ DT_GUARDED_BY(mu_);
+  bool stop_ DT_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;  // written by ctor/dtor only
 };
 
 }  // namespace difftrace::sched

@@ -31,13 +31,12 @@ void World::check_rank(int rank, const char* who) const {
                    std::to_string(config_.nranks) + ")");
 }
 
-void World::blocking_wait(std::unique_lock<std::mutex>& lock, int rank, const char* what,
-                          const std::function<bool()>& pred) {
+void World::blocking_wait(int rank, const char* what, const std::function<bool()>& pred) {
   if (cancelled_) throw DeadlockAbort{cancel_reason_};
   if (pred()) return;
   blocked_[static_cast<std::size_t>(rank)] = Blocked{what, pred};
   cv_.notify_all();  // let the watchdog re-sample blocked state promptly
-  cv_.wait(lock, [&] { return cancelled_ || pred(); });
+  while (!cancelled_ && !pred()) cv_.wait(mutex_);
   blocked_[static_cast<std::size_t>(rank)].reset();
   if (cancelled_ && !pred()) throw DeadlockAbort{cancel_reason_};
 }
@@ -60,7 +59,7 @@ std::shared_ptr<PendingMsg> World::post_send(int src, int dst, int tag,
   msg->payload.assign(data.begin(), data.end());
   msg->rendezvous = data.size() > config_.eager_limit;
 
-  std::unique_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (cancelled_) throw DeadlockAbort{cancel_reason_};
   msg->id = next_msg_id_++;
   mailbox_[static_cast<std::size_t>(dst)].push_back(msg);
@@ -70,9 +69,9 @@ std::shared_ptr<PendingMsg> World::post_send(int src, int dst, int tag,
 
 void World::await_send(int src, const std::shared_ptr<PendingMsg>& msg) {
   if (!msg->rendezvous) return;  // eager sends complete at deposit
-  std::unique_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const PendingMsg* raw = msg.get();
-  blocking_wait(lock, src, "MPI_Send(rendezvous)", [raw] { return raw->consumed; });
+  blocking_wait(src, "MPI_Send(rendezvous)", [raw] { return raw->consumed; });
 }
 
 void World::send(int src, int dst, int tag, std::span<const std::byte> data) {
@@ -83,9 +82,11 @@ void World::send(int src, int dst, int tag, std::span<const std::byte> data) {
 std::size_t World::recv(int dst, int src, int tag, std::span<std::byte> out) {
   check_rank(dst, "recv");
   check_rank(src, "recv(src)");
-  std::unique_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::shared_ptr<PendingMsg> found;
-  blocking_wait(lock, dst, "MPI_Recv", [&, dst, src, tag] {
+  // The predicate runs only with mutex_ held (here and in the watchdog), so
+  // it carries the REQUIRES annotation its find_match call needs.
+  blocking_wait(dst, "MPI_Recv", [&, dst, src, tag]() DT_REQUIRES(mutex_) {
     found = find_match(dst, src, tag);
     return found != nullptr;
   });
@@ -103,7 +104,7 @@ std::size_t World::recv(int dst, int src, int tag, std::span<std::byte> out) {
 std::optional<std::size_t> World::try_recv(int dst, int src, int tag, std::span<std::byte> out) {
   check_rank(dst, "try_recv");
   check_rank(src, "try_recv(src)");
-  std::unique_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (cancelled_) throw DeadlockAbort{cancel_reason_};
   const auto found = find_match(dst, src, tag);
   if (!found) return std::nullopt;
@@ -162,7 +163,7 @@ void World::collective(int rank, const CollParams& params, std::span<const std::
     throw MpiError(std::string(coll_type_name(params.type)) + ": contribution size " +
                    std::to_string(in.size()) + " != count*dtype " + std::to_string(expected));
 
-  std::unique_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (cancelled_) throw DeadlockAbort{cancel_reason_};
   const std::uint64_t seq = coll_seq_[static_cast<std::size_t>(rank)]++;
   auto it = collectives_.find(seq);
@@ -189,7 +190,7 @@ void World::collective(int rank, const CollParams& params, std::span<const std::
   }
 
   const CollSlot* raw = slot.get();
-  blocking_wait(lock, rank, coll_type_name(params.type).data(), [raw] { return raw->complete; });
+  blocking_wait(rank, coll_type_name(params.type).data(), [raw] { return raw->complete; });
 
   // Each rank materializes its own result — with ITS OWN reduction
   // operator, so an op-mismatched reduction terminates with inconsistent
@@ -226,7 +227,7 @@ void World::collective(int rank, const CollParams& params, std::span<const std::
 
 void World::mark_finished(int rank) {
   check_rank(rank, "mark_finished");
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (!done_[static_cast<std::size_t>(rank)]) {
     done_[static_cast<std::size_t>(rank)] = true;
     ++finished_;
@@ -236,7 +237,7 @@ void World::mark_finished(int rank) {
 
 void World::mark_failed(int rank) {
   check_rank(rank, "mark_failed");
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (!done_[static_cast<std::size_t>(rank)]) {
     done_[static_cast<std::size_t>(rank)] = true;
     ++failed_;
@@ -245,17 +246,17 @@ void World::mark_failed(int rank) {
 }
 
 bool World::cancelled() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return cancelled_;
 }
 
 std::string World::cancel_reason() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return cancel_reason_;
 }
 
 void World::cancel(std::string reason) {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (cancelled_) return;
   cancelled_ = true;
   cancel_reason_ = std::move(reason);
@@ -263,7 +264,7 @@ void World::cancel(std::string reason) {
 }
 
 std::optional<std::string> World::detect_deadlock() {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (cancelled_) return std::nullopt;
   int blocked_count = 0;
   for (int r = 0; r < config_.nranks; ++r) {
@@ -295,7 +296,7 @@ std::optional<std::string> World::detect_deadlock() {
 }
 
 bool World::all_done() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return finished_ + failed_ == config_.nranks;
 }
 

@@ -25,14 +25,12 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -40,6 +38,8 @@
 
 #include "simmpi/error.hpp"
 #include "simmpi/types.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace difftrace::simmpi {
 
@@ -139,29 +139,34 @@ class World {
     std::vector<std::vector<std::byte>> contribs;
   };
 
-  /// Blocks rank until pred() (or cancellation → DeadlockAbort). Must be
-  /// called with mutex_ held via the unique_lock.
-  void blocking_wait(std::unique_lock<std::mutex>& lock, int rank, const char* what,
-                     const std::function<bool()>& pred);
+  /// Blocks rank until pred() (or cancellation → DeadlockAbort). The caller
+  /// holds mutex_; the wait releases and reacquires it. `pred` runs under
+  /// mutex_ here and in the watchdog's detect_deadlock re-evaluation, so
+  /// predicates touching guarded state carry their own DT_REQUIRES(mutex_).
+  void blocking_wait(int rank, const char* what, const std::function<bool()>& pred)
+      DT_REQUIRES(mutex_);
 
-  [[nodiscard]] std::shared_ptr<PendingMsg> find_match(int dst, int src, int tag);
+  [[nodiscard]] std::shared_ptr<PendingMsg> find_match(int dst, int src, int tag)
+      DT_REQUIRES(mutex_);
   void check_rank(int rank, const char* who) const;
 
   WorldConfig config_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
 
-  std::vector<std::deque<std::shared_ptr<PendingMsg>>> mailbox_;  // per destination
-  std::map<std::uint64_t, std::shared_ptr<CollSlot>> collectives_;
-  std::vector<std::uint64_t> coll_seq_;  // per-rank collective call counter
+  std::vector<std::deque<std::shared_ptr<PendingMsg>>> mailbox_
+      DT_GUARDED_BY(mutex_);  // per destination
+  std::map<std::uint64_t, std::shared_ptr<CollSlot>> collectives_ DT_GUARDED_BY(mutex_);
+  /// Per-rank collective call counter.
+  std::vector<std::uint64_t> coll_seq_ DT_GUARDED_BY(mutex_);
 
-  std::vector<std::optional<Blocked>> blocked_;  // per rank
-  int finished_ = 0;
-  int failed_ = 0;
-  std::vector<bool> done_;
-  bool cancelled_ = false;
-  std::string cancel_reason_;
-  std::uint64_t next_msg_id_ = 0;
+  std::vector<std::optional<Blocked>> blocked_ DT_GUARDED_BY(mutex_);  // per rank
+  int finished_ DT_GUARDED_BY(mutex_) = 0;
+  int failed_ DT_GUARDED_BY(mutex_) = 0;
+  std::vector<bool> done_ DT_GUARDED_BY(mutex_);
+  bool cancelled_ DT_GUARDED_BY(mutex_) = false;
+  std::string cancel_reason_ DT_GUARDED_BY(mutex_);
+  std::uint64_t next_msg_id_ DT_GUARDED_BY(mutex_) = 0;
 };
 
 /// A deposited point-to-point message. Exposed so isend requests can await

@@ -1,6 +1,5 @@
 #include "simomp/team.hpp"
 
-#include <condition_variable>
 #include <exception>
 #include <map>
 #include <stdexcept>
@@ -9,6 +8,8 @@
 
 #include "instrument/tracer.hpp"
 #include "trace/op.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace difftrace::simomp {
 
@@ -25,10 +26,13 @@ struct TeamState {
 };
 
 struct Registry {
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::map<int, TeamState> teams;                          // proc -> active region
-  std::map<std::pair<int, std::string>, std::mutex> criticals;  // (proc, name)
+  util::Mutex mutex;
+  util::CondVar cv;
+  std::map<int, TeamState> teams DT_GUARDED_BY(mutex);  // proc -> active region
+  /// (proc, name) -> section mutex. Entries are created on first use and
+  /// never erased, so a pointer handed out under `mutex` stays valid for the
+  /// process lifetime (Critical holds one across its own lock/unlock).
+  std::map<std::pair<int, std::string>, util::Mutex> criticals DT_GUARDED_BY(mutex);
 };
 
 Registry& registry() {
@@ -52,14 +56,14 @@ namespace detail {
 
 void note_region_begin(int proc, int num_threads) {
   auto& r = registry();
-  std::lock_guard lock(r.mutex);
+  const util::MutexLock lock(r.mutex);
   auto [it, inserted] = r.teams.emplace(proc, TeamState{num_threads, 0, 0});
   if (!inserted) throw std::logic_error("simomp: nested parallel regions are not supported");
 }
 
 void note_region_end(int proc) {
   auto& r = registry();
-  std::lock_guard lock(r.mutex);
+  const util::MutexLock lock(r.mutex);
   r.teams.erase(proc);
 }
 
@@ -81,11 +85,11 @@ void parallel_region(int proc, int num_threads, const std::function<void(int)>& 
 
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(num_threads - 1));
-  std::mutex error_mutex;
+  util::Mutex error_mutex;
   std::exception_ptr first_error;
 
   const auto capture_error = [&](std::exception_ptr e) {
-    std::lock_guard lock(error_mutex);
+    const util::MutexLock lock(error_mutex);
     if (!first_error) first_error = e;
   };
 
@@ -121,30 +125,29 @@ void parallel_region(int proc, int num_threads, const std::function<void(int)>& 
 
 Critical::Critical(int proc, std::string_view name) : name_(name) {
   auto& r = registry();
-  std::mutex* section = nullptr;
   {
-    std::lock_guard lock(r.mutex);
-    section = &r.criticals[{proc, std::string(name)}];
+    const util::MutexLock lock(r.mutex);
+    section_ = &r.criticals[{proc, std::string(name)}];
   }
   {
     // GOMP_critical_start returns once the lock is held.
     TraceScope scope("GOMP_critical_start", Image::OmpLib, /*plt=*/true);
     note_lock_op(trace::OpCode::LockAcquire, name_);
-    lock_ = std::unique_lock<std::mutex>(*section);
+    section_->lock();
   }
 }
 
 Critical::~Critical() {
   TraceScope scope("GOMP_critical_end", Image::OmpLib, /*plt=*/true);
   note_lock_op(trace::OpCode::LockRelease, name_);
-  lock_.unlock();
+  section_->unlock();
 }
 
 void team_barrier(int proc) {
   TraceScope scope("GOMP_barrier", Image::OmpLib, /*plt=*/true);
   instrument::Tracer::instance().on_op(trace::OpRecord{.code = trace::OpCode::ThreadBarrier});
   auto& r = registry();
-  std::unique_lock lock(r.mutex);
+  const util::MutexLock lock(r.mutex);
   const auto it = r.teams.find(proc);
   if (it == r.teams.end()) throw std::logic_error("team_barrier: no active parallel region for proc");
   TeamState& team = it->second;
@@ -154,7 +157,7 @@ void team_barrier(int proc) {
     ++team.generation;
     r.cv.notify_all();
   } else {
-    r.cv.wait(lock, [&] { return team.generation != my_generation; });
+    while (team.generation == my_generation) r.cv.wait(r.mutex);
   }
 }
 

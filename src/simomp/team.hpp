@@ -18,9 +18,11 @@
 
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace difftrace::simomp {
 
@@ -31,16 +33,18 @@ void parallel_region(int proc, int num_threads, const std::function<void(int)>& 
 /// Named critical section, scoped per process (two processes' sections are
 /// independent, like OpenMP named criticals within separate jobs). Emits
 /// GOMP_critical_start/GOMP_critical_end around the lock.
-class Critical {
+class DT_SCOPED_CAPABILITY Critical {
  public:
-  Critical(int proc, std::string_view name);
-  ~Critical();
+  /// Looks up (creating on first use) the process-scoped section mutex and
+  /// acquires it; the constructor returns with the section held.
+  Critical(int proc, std::string_view name) DT_ACQUIRE(section_);
+  ~Critical() DT_RELEASE();
   Critical(const Critical&) = delete;
   Critical& operator=(const Critical&) = delete;
 
  private:
   std::string name_;  // kept for the release annotation
-  std::unique_lock<std::mutex> lock_;
+  util::Mutex* section_ = nullptr;  // owned by the simomp registry, never null after ctor
 };
 
 /// Team-wide barrier for the current region (GOMP_barrier). All

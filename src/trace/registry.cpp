@@ -16,7 +16,7 @@ std::string_view image_name(Image image) noexcept {
 }
 
 FunctionId FunctionRegistry::intern(std::string_view name, Image image) {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (const auto it = by_name_.find(std::string(name)); it != by_name_.end()) return it->second;
   const auto id = static_cast<FunctionId>(infos_.size());
   infos_.push_back(FunctionInfo{id, std::string(name), image});
@@ -25,25 +25,25 @@ FunctionId FunctionRegistry::intern(std::string_view name, Image image) {
 }
 
 std::optional<FunctionId> FunctionRegistry::find(std::string_view name) const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = by_name_.find(std::string(name));
   if (it == by_name_.end()) return std::nullopt;
   return it->second;
 }
 
 FunctionInfo FunctionRegistry::info(FunctionId id) const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (id >= infos_.size()) throw std::out_of_range("FunctionRegistry: unknown id " + std::to_string(id));
   return infos_[id];
 }
 
 std::size_t FunctionRegistry::size() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return infos_.size();
 }
 
 std::vector<FunctionInfo> FunctionRegistry::snapshot() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return infos_;
 }
 

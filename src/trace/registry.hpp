@@ -4,7 +4,6 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -12,6 +11,8 @@
 #include <vector>
 
 #include "trace/event.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace difftrace::trace {
 
@@ -53,9 +54,9 @@ class FunctionRegistry {
   [[nodiscard]] std::vector<FunctionInfo> snapshot() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, FunctionId> by_name_;
-  std::vector<FunctionInfo> infos_;
+  mutable util::Mutex mutex_;
+  std::unordered_map<std::string, FunctionId> by_name_ DT_GUARDED_BY(mutex_);
+  std::vector<FunctionInfo> infos_ DT_GUARDED_BY(mutex_);
 };
 
 }  // namespace difftrace::trace

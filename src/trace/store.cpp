@@ -234,26 +234,26 @@ std::string LoadReport::render() const {
 // --- TraceStore basics -------------------------------------------------------
 
 TraceStore::TraceStore(const TraceStore& other) : registry_(other.registry_) {
-  std::lock_guard lock(other.mutex_);
+  const util::MutexLock lock(other.mutex_);
   blobs_ = other.blobs_;
 }
 
 TraceStore& TraceStore::operator=(const TraceStore& other) {
   if (this == &other) return *this;
-  std::scoped_lock lock(mutex_, other.mutex_);
+  const util::MutexLock2 lock(mutex_, other.mutex_);
   registry_ = other.registry_;
   blobs_ = other.blobs_;
   return *this;
 }
 
 TraceStore::TraceStore(TraceStore&& other) noexcept : registry_(std::move(other.registry_)) {
-  std::lock_guard lock(other.mutex_);
+  const util::MutexLock lock(other.mutex_);
   blobs_ = std::move(other.blobs_);
 }
 
 TraceStore& TraceStore::operator=(TraceStore&& other) noexcept {
   if (this == &other) return *this;
-  std::scoped_lock lock(mutex_, other.mutex_);
+  const util::MutexLock2 lock(mutex_, other.mutex_);
   registry_ = std::move(other.registry_);
   blobs_ = std::move(other.blobs_);
   return *this;
@@ -270,12 +270,12 @@ void TraceStore::absorb(const TraceWriter& writer) {
 }
 
 void TraceStore::add_blob(TraceKey key, TraceBlob blob) {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   blobs_[key] = std::move(blob);
 }
 
 std::vector<TraceKey> TraceStore::keys() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::vector<TraceKey> out;
   out.reserve(blobs_.size());
   for (const auto& [key, _] : blobs_) out.push_back(key);
@@ -283,19 +283,19 @@ std::vector<TraceKey> TraceStore::keys() const {
 }
 
 bool TraceStore::contains(TraceKey key) const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return blobs_.contains(key);
 }
 
 const TraceBlob& TraceStore::blob(TraceKey key) const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = blobs_.find(key);
   if (it == blobs_.end()) throw std::out_of_range("TraceStore: no trace for " + key.label());
   return it->second;
 }
 
 std::size_t TraceStore::size() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return blobs_.size();
 }
 
@@ -318,13 +318,17 @@ void charge_decode(std::size_t event_count) {
 std::vector<TraceEvent> TraceStore::decode(TraceKey key) const {
   TraceBlob copy;
   {
-    std::lock_guard lock(mutex_);
+    const util::MutexLock lock(mutex_);
     const auto it = blobs_.find(key);
     if (it == blobs_.end()) throw std::out_of_range("TraceStore: no trace for " + key.label());
     copy = it->second;
   }
   const auto codec = compress::make_codec(copy.codec_name);
-  const auto symbols = codec.decoder->decode(copy.bytes);
+  // TraceStore::decode is the one sanctioned strict entry point: its contract
+  // is "throw on any damage", and callers wanting resilience use
+  // decode_tolerant (bounded decode_prefix) instead.
+  const auto symbols = codec.decoder->decode(copy.bytes);  // NOLINT-DT(bounded-decode): strict-by-contract API
+
   std::vector<TraceEvent> events;
   events.reserve(symbols.size());
   for (const auto s : symbols) events.push_back(symbol_to_event(s));
@@ -335,7 +339,7 @@ std::vector<TraceEvent> TraceStore::decode(TraceKey key) const {
 TraceStore::DecodedTrace TraceStore::decode_tolerant(TraceKey key) const {
   TraceBlob copy;
   {
-    std::lock_guard lock(mutex_);
+    const util::MutexLock lock(mutex_);
     const auto it = blobs_.find(key);
     if (it == blobs_.end()) throw std::out_of_range("TraceStore: no trace for " + key.label());
     copy = it->second;
@@ -365,7 +369,7 @@ TraceStore::DecodedTrace TraceStore::decode_tolerant(TraceKey key) const {
 }
 
 StoreStats TraceStore::stats() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   StoreStats s;
   s.trace_count = blobs_.size();
   for (const auto& [_, blob] : blobs_) {
@@ -402,7 +406,7 @@ void TraceStore::save(const std::filesystem::path& path) const {
   encode_registry_payload(payload, registry_->snapshot());
   append_frame(kTagRegistry, payload);
 
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   for (const auto& [key, blob] : blobs_) {
     payload.clear();
     encode_blob_payload(payload, key, blob);

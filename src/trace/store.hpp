@@ -20,7 +20,6 @@
 #include <filesystem>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -28,6 +27,8 @@
 #include "trace/op.hpp"
 #include "trace/registry.hpp"
 #include "trace/writer.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace difftrace::trace {
 
@@ -146,9 +147,12 @@ class TraceStore {
   [[nodiscard]] static SalvageResult salvage(const std::filesystem::path& path);
 
  private:
+  // registry_ is unguarded by design: it is set in constructors/assignment
+  // only (single-writer by contract) and FunctionRegistry is internally
+  // thread-safe; blobs_ is the cross-thread harvest target.
   std::shared_ptr<FunctionRegistry> registry_;
-  mutable std::mutex mutex_;
-  std::map<TraceKey, TraceBlob> blobs_;
+  mutable util::Mutex mutex_;
+  std::map<TraceKey, TraceBlob> blobs_ DT_GUARDED_BY(mutex_);
 };
 
 struct SalvageResult {

@@ -25,7 +25,7 @@ TraceWriter::TraceWriter(TraceKey key, std::string codec_name, std::uint64_t flu
       flush_interval_(flush_interval == 0 ? 1 : flush_interval) {}
 
 void TraceWriter::record(EventKind kind, FunctionId fid) {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (frozen_) return;
   encoder_->push(event_to_symbol(TraceEvent{fid, kind}));
   if (++events_ % flush_interval_ == 0) {
@@ -35,14 +35,14 @@ void TraceWriter::record(EventKind kind, FunctionId fid) {
 }
 
 void TraceWriter::annotate(OpRecord op) {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (frozen_) return;
   op.event_index = events_;
   ops_.push_back(std::move(op));
 }
 
 void TraceWriter::freeze() {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (!frozen_) {
     encoder_->flush();
     charge_locked();
@@ -51,12 +51,12 @@ void TraceWriter::freeze() {
 }
 
 bool TraceWriter::frozen() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return frozen_;
 }
 
 void TraceWriter::flush() {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (!frozen_) {
     encoder_->flush();
     charge_locked();
@@ -64,12 +64,12 @@ void TraceWriter::flush() {
 }
 
 std::uint64_t TraceWriter::event_count() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return events_;
 }
 
 std::vector<std::uint8_t> TraceWriter::bytes() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (!frozen_) {
     encoder_->flush();
     charge_locked();
@@ -86,7 +86,7 @@ void TraceWriter::charge_locked() const {
 }
 
 std::vector<OpRecord> TraceWriter::ops() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return ops_;
 }
 

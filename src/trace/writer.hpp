@@ -12,13 +12,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "compress/codec.hpp"
 #include "trace/event.hpp"
 #include "trace/op.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace difftrace::trace {
 
@@ -58,21 +59,21 @@ class TraceWriter {
 
  private:
   /// Advances the obs counters (events recorded, encoded bytes out) to the
-  /// current encoder state; called with mutex_ held after a flush.
-  void charge_locked() const;
+  /// current encoder state; called after a flush.
+  void charge_locked() const DT_REQUIRES(mutex_);
 
   TraceKey key_;
   std::string codec_name_;
-  mutable std::mutex mutex_;
-  std::unique_ptr<compress::SymbolEncoder> encoder_;
-  std::uint64_t flush_interval_;
-  std::uint64_t events_ = 0;
-  std::vector<OpRecord> ops_;
-  bool frozen_ = false;
+  mutable util::Mutex mutex_;
+  std::unique_ptr<compress::SymbolEncoder> encoder_ DT_GUARDED_BY(mutex_);
+  const std::uint64_t flush_interval_;
+  std::uint64_t events_ DT_GUARDED_BY(mutex_) = 0;
+  std::vector<OpRecord> ops_ DT_GUARDED_BY(mutex_);
+  bool frozen_ DT_GUARDED_BY(mutex_) = false;
   // Already-charged watermarks for the obs counters (mutable: bytes() is
   // const but flushes the encoder).
-  mutable std::uint64_t counted_events_ = 0;
-  mutable std::uint64_t counted_bytes_ = 0;
+  mutable std::uint64_t counted_events_ DT_GUARDED_BY(mutex_) = 0;
+  mutable std::uint64_t counted_bytes_ DT_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace difftrace::trace

@@ -1,19 +1,20 @@
 #include "util/log.hpp"
 
-#include <mutex>
 #include <string>
+
+#include "util/mutex.hpp"
 
 namespace difftrace::util {
 
 void status_line(std::ostream& out, std::string_view text) {
   // One mutex for every stream: interleaving across streams pointing at the
   // same terminal would tear just as badly as same-stream races.
-  static std::mutex mutex;
+  static Mutex mutex;
   std::string line;
   line.reserve(text.size() + 1);
   line.append(text);
   line.push_back('\n');
-  const std::lock_guard<std::mutex> lock(mutex);
+  const MutexLock lock(mutex);
   out << line;
   out.flush();
 }

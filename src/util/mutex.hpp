@@ -1,0 +1,126 @@
+// Annotated locking primitives: the only mutex vocabulary the difftrace
+// tree uses (enforced by tools/lint/difftrace_lint.py rule `raw-mutex`).
+//
+// std::mutex carries no thread-safety attributes, so Clang's analysis cannot
+// see what it protects. util::Mutex wraps it as a DT_CAPABILITY, MutexLock
+// replaces std::lock_guard as a DT_SCOPED_CAPABILITY, and CondVar wraps
+// std::condition_variable so waits release/reacquire the *annotated* lock.
+// Under `clang++ -Wthread-safety -Werror` every access to a DT_GUARDED_BY
+// member outside a MutexLock scope (or a DT_REQUIRES function) is a build
+// break; under gcc everything compiles to exactly the std primitives the
+// code used before.
+//
+// CondVar deliberately has no predicate overloads: a predicate lambda is
+// analyzed as a separate function with no lock context, so it would need a
+// DT_NO_THREAD_SAFETY_ANALYSIS escape on every wait. Callers write the
+// standard `while (!condition) cv.wait(mu);` loop instead, which keeps the
+// condition inside the annotated caller where the analysis can see it
+// (spurious wakeups are handled identically either way).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace difftrace::util {
+
+class CondVar;
+
+/// An exclusive capability backed by std::mutex. Prefer MutexLock over
+/// manual lock()/unlock() pairs.
+class DT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DT_ACQUIRE() { mu_.lock(); }
+  void unlock() DT_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() DT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock of one Mutex (std::lock_guard with capability tracking).
+class DT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() DT_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII lock of two *distinct* Mutexes, acquired in address order so
+/// concurrent cross-object operations (a = b; ‖ b = a;) cannot deadlock —
+/// the std::scoped_lock(a, b) replacement. Precondition: &a != &b; callers
+/// (e.g. TraceStore::operator=) reject self-assignment first.
+class DT_SCOPED_CAPABILITY MutexLock2 {
+ public:
+  MutexLock2(Mutex& a, Mutex& b) DT_ACQUIRE(a, b) : a_(a), b_(b) {
+    if (std::less<const Mutex*>{}(&a, &b)) {
+      a.lock();
+      b.lock();
+    } else {
+      b.lock();
+      a.lock();
+    }
+  }
+  ~MutexLock2() DT_RELEASE() {
+    a_.unlock();
+    b_.unlock();
+  }
+
+  MutexLock2(const MutexLock2&) = delete;
+  MutexLock2& operator=(const MutexLock2&) = delete;
+
+ private:
+  Mutex& a_;
+  Mutex& b_;
+};
+
+/// Condition variable bound to util::Mutex. wait() atomically releases the
+/// annotated capability, sleeps, and reacquires it before returning, so the
+/// caller's DT_REQUIRES/MutexLock context stays truthful across the wait.
+/// Implemented over std::condition_variable on the wrapped std::mutex —
+/// no extra synchronization versus the pre-annotation code.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Caller must hold `mu` (checked by TSA); holds it again on return.
+  /// Spurious wakeups happen — always wait in a `while (!cond)` loop.
+  void wait(Mutex& mu) DT_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership stays with the caller's MutexLock
+  }
+
+  /// Timed wait; returns std::cv_status::timeout when `dur` elapsed first.
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& dur)
+      DT_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const auto status = cv_.wait_for(native, dur);
+    native.release();
+    return status;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace difftrace::util

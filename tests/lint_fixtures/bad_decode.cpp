@@ -1,0 +1,17 @@
+// Lint fixture: seeded `bounded-decode` violation. Strict decoder entry
+// point driven outside the codec layer. Never compiled.
+#include <cstdint>
+#include <vector>
+
+namespace difftrace::fixture {
+
+struct Decoder {
+  std::vector<std::uint32_t> decode(const std::vector<std::uint8_t>& in);
+  std::vector<std::uint32_t> decode_prefix(const std::vector<std::uint8_t>& in, std::size_t cap);
+};
+
+std::vector<std::uint32_t> load(Decoder* decoder, const std::vector<std::uint8_t>& bytes) {
+  return decoder->decode(bytes);  // seeded violation
+}
+
+}  // namespace difftrace::fixture

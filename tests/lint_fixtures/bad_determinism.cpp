@@ -1,0 +1,22 @@
+// Lint fixture: seeded `determinism` violations. Wall clock and ambient
+// randomness in pipeline code. Never compiled.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace difftrace::fixture {
+
+unsigned jitter_seed() {
+  return static_cast<unsigned>(time(nullptr));  // seeded violation
+}
+
+int pick_shard(int nshards) {
+  return rand() % nshards;  // seeded violation
+}
+
+unsigned hardware_seed() {
+  std::random_device rd;  // seeded violation
+  return rd();
+}
+
+}  // namespace difftrace::fixture

@@ -1,0 +1,16 @@
+// Lint fixture: seeded `naked-new` violations. Never compiled.
+namespace difftrace::fixture {
+
+struct Node {
+  int value = 0;
+};
+
+Node* make_node() {
+  return new Node{};  // seeded violation
+}
+
+void drop_node(Node* node) {
+  delete node;  // seeded violation
+}
+
+}  // namespace difftrace::fixture

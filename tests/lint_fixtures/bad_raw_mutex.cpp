@@ -1,0 +1,23 @@
+// Lint fixture: seeded `raw-mutex` violations — a raw std primitive and a
+// util::Mutex member with no DT_GUARDED_BY anywhere in the file. Never
+// compiled (util::Mutex is only name-checked by the linter).
+#include <mutex>
+
+namespace difftrace::util {
+class Mutex {};
+}  // namespace difftrace::util
+
+namespace difftrace::fixture {
+namespace util = difftrace::util;
+
+class Counter {
+ public:
+  void bump();
+
+ private:
+  std::mutex mu_;  // seeded violation: raw std primitive
+  util::Mutex annotated_mu_;  // seeded violation: no DT_GUARDED_BY in file
+  long count_ = 0;
+};
+
+}  // namespace difftrace::fixture

@@ -1,0 +1,16 @@
+// Lint fixture: seeded `stream-discipline` violation. Library code writing
+// to process stdout. Never compiled — scanned by lint_selftest only.
+#include <cstdio>
+#include <iostream>
+
+namespace difftrace::fixture {
+
+void report_progress(int percent) {
+  std::cout << "progress: " << percent << "%\n";  // seeded violation
+}
+
+void report_legacy(int percent) {
+  printf("progress: %d%%\n", percent);  // seeded violation
+}
+
+}  // namespace difftrace::fixture

@@ -1,0 +1,19 @@
+// Lint fixture: seeded `task-throw` violation — a throw that can escape a
+// Pool task lambda (workers have no handler). Never compiled.
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace difftrace::fixture {
+
+struct FakePool {
+  void post(std::string scope, std::function<void()> fn);
+};
+
+void enqueue(FakePool& pool, bool fail) {
+  pool.post("fixture", [fail] {
+    if (fail) throw std::runtime_error("escapes the worker");  // seeded violation
+  });
+}
+
+}  // namespace difftrace::fixture

@@ -1,0 +1,95 @@
+// Lint fixture: a file full of NEAR-misses that must all pass. Guards the
+// linter against false positives: every construct here is the sanctioned
+// sibling of something a rule bans. Never compiled.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#define DT_GUARDED_BY(x)
+
+namespace difftrace::util {
+class Mutex {};
+}  // namespace difftrace::util
+
+namespace difftrace::fixture_clean {
+namespace util = difftrace::util;
+
+// stream-discipline near-misses: snprintf formats into a buffer; stderr is
+// the diagnostics channel, not stdout; quoted "std::cout" is prose.
+void format_into(char* buf, std::size_t n, int v) {
+  std::snprintf(buf, n, "%d", v);
+  std::fprintf(stderr, "diag only, never printf to stdout\n");
+  const std::string doc = "call std::cout << x; printf(\"%d\"); from cli/ only";
+  (void)doc;
+}
+
+// bounded-decode near-misses: the bounded prefix entry point and the
+// tolerant store wrapper are exactly what the rule steers callers to.
+struct Decoder {
+  std::vector<std::uint32_t> decode_prefix(const std::vector<std::uint8_t>& in, std::size_t cap);
+};
+struct Store {
+  std::vector<std::uint32_t> decode_tolerant(int key);
+};
+std::vector<std::uint32_t> load(Decoder* decoder, Store& store,
+                                const std::vector<std::uint8_t>& bytes) {
+  auto events = decoder->decode_prefix(bytes, bytes.size());
+  auto more = store.decode_tolerant(0);
+  events.insert(events.end(), more.begin(), more.end());
+  return events;
+}
+
+// determinism near-misses: steady_clock is the sanctioned clock; words
+// containing time(/rand( as a suffix are not the libc calls; a comment
+// saying rand() is prose.
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() - start)
+          .count());
+}
+std::uint64_t wall_time(std::uint64_t ticks) { return ticks; }  // rand() and time() in prose are fine
+std::uint64_t operand(std::uint64_t x) { return wall_time(x); }
+
+// naked-new near-misses: make_unique/make_shared own; `= delete` is a
+// deleted member, not a deallocation.
+class Owner {
+ public:
+  Owner() : data_(std::make_unique<int>(7)), shared_(std::make_shared<int>(9)) {}
+  Owner(const Owner&) = delete;
+  Owner& operator=(const Owner&) = delete;
+
+ private:
+  std::unique_ptr<int> data_;
+  std::shared_ptr<int> shared_;
+};
+
+// task-throw near-miss: the throw is inside a try within the lambda, so it
+// cannot escape the worker — the Graph / parallel_for pattern.
+struct FakePool {
+  void post(std::string scope, std::function<void()> fn);
+};
+void enqueue(FakePool& pool) {
+  pool.post("fixture", [] {
+    try {
+      throw std::runtime_error("caught before the worker sees it");
+    } catch (...) {
+    }
+  });
+}
+
+// raw-mutex near-miss: a util::Mutex member tied to data via DT_GUARDED_BY.
+class Counter {
+ public:
+  void bump();
+
+ private:
+  util::Mutex mu_;
+  long count_ DT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace difftrace::fixture_clean

@@ -1,0 +1,56 @@
+// Lint fixture: one violation per rule, each suppressed with a same-line
+// NOLINT-DT marker carrying a reason. Must lint clean — this is the
+// suppression-mechanism regression test. Never compiled.
+#include <cstdlib>
+#include <cstdint>
+#include <ctime>
+#include <functional>
+#include <iostream>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace difftrace::util {
+class Mutex {};
+}  // namespace difftrace::util
+
+namespace difftrace::fixture_suppressed {
+namespace util = difftrace::util;
+
+void report(int percent) {
+  std::cout << percent << "\n";  // NOLINT-DT(stream-discipline): fixture exercising suppression
+}
+
+struct Decoder {
+  std::vector<std::uint32_t> decode(const std::vector<std::uint8_t>& in);
+};
+std::vector<std::uint32_t> load(Decoder* decoder, const std::vector<std::uint8_t>& bytes) {
+  return decoder->decode(bytes);  // NOLINT-DT(bounded-decode): fixture exercising suppression
+}
+
+unsigned seed() {
+  return static_cast<unsigned>(time(nullptr));  // NOLINT-DT(determinism): fixture exercising suppression
+}
+
+int* leak() {
+  return new int{3};  // NOLINT-DT(naked-new): fixture exercising suppression
+}
+
+struct FakePool {
+  void post(std::string scope, std::function<void()> fn);
+};
+void enqueue(FakePool& pool) {
+  pool.post("fixture", [] {
+    throw std::runtime_error("suppressed");  // NOLINT-DT(task-throw): fixture exercising suppression
+  });
+}
+
+class Counter {
+ private:
+  std::mutex raw_mu_;  // NOLINT-DT(raw-mutex): fixture exercising suppression
+  util::Mutex mu_;  // NOLINT-DT(raw-mutex): fixture exercising suppression (no DT_GUARDED_BY here)
+  long count_ = 0;
+};
+
+}  // namespace difftrace::fixture_suppressed

@@ -325,6 +325,55 @@ TEST(Cache, StoreIntoReadOnlyDirectoryDegradesToPassThrough) {
   EXPECT_FALSE(cache.lookup("cccccccccccccccc", 1).has_value());
 }
 
+// Regression pins for the lock contracts the thread-safety annotations
+// prove (PR 5 audit: no latent guarded-access bug found, so the proven
+// behaviour is pinned instead).
+
+// Contract: Pool::~Pool sets stop_ under the mutex and workers re-check the
+// queue after waking, so every tick posted before destruction runs — stop
+// drains, it does not discard; and no worker sleeps through the shutdown
+// notify (the dtor would hang in join).
+TEST(Pool, DestructorDrainsEveryPostedTick) {
+  std::atomic<int> ran{0};
+  {
+    Pool pool(4);
+    for (int i = 0; i < 200; ++i) {
+      pool.post("drain", [&ran] { ran.fetch_add(1); });
+    }
+  }  // destructor joins here
+  EXPECT_EQ(ran.load(), 200);
+}
+
+// Contract: shutdown with idle (sleeping) workers cannot lose the wakeup —
+// stop_ is written under the same mutex the workers' wait predicate reads,
+// so a worker is either awake and sees stop_, or asleep and gets the
+// notify. Many iterations make a lost-wakeup hang all but certain to bite.
+TEST(Pool, IdleShutdownNeverLosesTheStopWakeup) {
+  for (int i = 0; i < 100; ++i) {
+    Pool pool(4);  // workers go to sleep on the empty queue
+  }                // dtor must always join promptly
+  SUCCEED();
+}
+
+// Contract: every lookup() increments exactly one of hits_/misses_ on every
+// path — absent entry, present entry, and defective entry (corruption is a
+// counted miss, not an error).
+TEST(Cache, EveryLookupOutcomeCountsExactlyOnce) {
+  TempDir dir;
+  Cache cache(dir.path);
+  const std::string key = DigestBuilder().add(std::uint64_t{42}).hex();
+  EXPECT_FALSE(cache.lookup(key, 1).has_value());  // absent -> miss
+  cache.store(key, 1, std::vector<std::uint8_t>{1, 2, 3});
+  EXPECT_TRUE(cache.lookup(key, 1).has_value());  // present -> hit
+  {
+    std::ofstream out(dir.path / (key + ".dta"), std::ios::trunc | std::ios::binary);
+    out << "garbage";
+  }
+  EXPECT_FALSE(cache.lookup(key, 1).has_value());  // defective -> miss
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
 TEST(Cache, ConcurrentLookupStoreIsSafe) {
   TempDir dir;
   Cache cache(dir.path);
