@@ -1,0 +1,205 @@
+// PR6 — the fault injector's clean-path cost. Every simmpi API entry now
+// runs fault_prologue (an `active()` load, plus an op-cursor bump when a
+// plan is armed), so the question the matrix's credibility rests on is:
+// what does tracing a *clean* run cost with the injector compiled in, and
+// with it armed-but-missing? The contract is <= 1% over the trace phase.
+//
+// Modes, mirroring perf_sweep:
+//   perf_matrix [gbench flags]   google-benchmark timings (default)
+//   perf_matrix --json[=PATH]    interleaved instrumented collections under
+//                                spans collect_clean / collect_armed_miss /
+//                                collect_injected, emitted as a run manifest
+//                                (the BENCH_matrix.json format). Counter
+//                                bench.armed_overhead_bp carries the median
+//                                armed-miss overhead in basis points.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apps/catalog.hpp"
+#include "apps/runner.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "sched/pool.hpp"
+#include "simfault/injector.hpp"
+
+using namespace difftrace;
+
+namespace {
+
+/// One traced stencil collection (4 ranks, default params). Arms `plan` for
+/// the duration when it is a runtime class; FaultPlan{} collects clean.
+trace::TraceStore collect_once(const simfault::FaultPlan& plan) {
+  const auto* app = apps::find_app("stencil");
+  apps::AppParams params;
+  params.plan = plan;
+  const auto fn = apps::make_rank_fn(*app, params);
+  const auto resolved = apps::resolve_params(*app, params);
+  simmpi::WorldConfig world;
+  world.nranks = resolved.nranks;
+  std::optional<simfault::InjectorSession> session;
+  if (simfault::is_runtime_class(resolved.plan.cls))
+    session.emplace(resolved.plan, app->shape(resolved));
+  return apps::run_traced(world, fn).store;
+}
+
+/// Armed but never firing: a valid rank with an op index no rank reaches.
+/// This is the "injector compiled in AND armed" hot path — every API entry
+/// pays the cursor bump and predicate check, no decision ever fires.
+simfault::FaultPlan armed_miss_plan() {
+  return simfault::parse_plan("delay@rank=3,op=1000000");
+}
+
+simfault::FaultPlan injected_plan() { return simfault::parse_plan("delay@rank=2,op=6,ticks=24"); }
+
+void BM_CollectClean(benchmark::State& state) {
+  for (auto _ : state) {
+    auto store = collect_once({});
+    benchmark::DoNotOptimize(store);
+  }
+}
+BENCHMARK(BM_CollectClean)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_CollectArmedMiss(benchmark::State& state) {
+  const auto plan = armed_miss_plan();
+  for (auto _ : state) {
+    auto store = collect_once(plan);
+    benchmark::DoNotOptimize(store);
+  }
+}
+BENCHMARK(BM_CollectArmedMiss)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_CollectInjected(benchmark::State& state) {
+  const auto plan = injected_plan();
+  for (auto _ : state) {
+    auto store = collect_once(plan);
+    benchmark::DoNotOptimize(store);
+  }
+}
+BENCHMARK(BM_CollectInjected)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// The disarmed fast path in isolation: one relaxed atomic load per hook.
+void BM_HookDisarmed(benchmark::State& state) {
+  simfault::Injector::instance().disarm();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simfault::hooks::active());
+    benchmark::DoNotOptimize(simfault::hooks::delay_ticks(0, 3));
+  }
+}
+BENCHMARK(BM_HookDisarmed);
+
+// --- manifest mode (--json) --------------------------------------------------
+
+/// Interleaved reps (clean, armed-miss, injected, repeat) so drift hits all
+/// three alike; medians feed the overhead counters. Returns nonzero when the
+/// injected pass never fires — the bench doubles as an arming smoke test.
+int run_manifest_mode(const std::vector<std::string>& command, const std::string& json_path) {
+  using clock = std::chrono::steady_clock;
+  obs::MetricsRegistry::instance().reset();
+  obs::PhaseTable::instance().reset();
+  constexpr int kReps = 9;
+  bool injected_fired = true;
+  std::vector<double> clean_ms, armed_ms, injected_ms;
+  {
+    obs::Span span_root("perf_matrix");
+    const auto timed = [](const char* phase, std::vector<double>& sink, const auto& body) {
+      obs::Span span(phase);
+      const auto start = clock::now();
+      body();
+      sink.push_back(std::chrono::duration<double, std::milli>(clock::now() - start).count());
+    };
+    // Warm-up collection: first-run costs (registry, thread spin-up) land
+    // outside the measured reps.
+    benchmark::DoNotOptimize(collect_once({}));
+    for (int rep = 0; rep < kReps; ++rep) {
+      timed("collect_clean", clean_ms, [] { benchmark::DoNotOptimize(collect_once({})); });
+      timed("collect_armed_miss", armed_ms,
+            [] { benchmark::DoNotOptimize(collect_once(armed_miss_plan())); });
+      timed("collect_injected", injected_ms, [&injected_fired] {
+        const auto plan = injected_plan();
+        const auto* app = apps::find_app("stencil");
+        apps::AppParams params;
+        params.plan = plan;
+        const auto fn = apps::make_rank_fn(*app, params);
+        const auto resolved = apps::resolve_params(*app, params);
+        simmpi::WorldConfig world;
+        world.nranks = resolved.nranks;
+        const simfault::InjectorSession session(resolved.plan, app->shape(resolved));
+        benchmark::DoNotOptimize(apps::run_traced(world, fn).store);
+        injected_fired = injected_fired && session.fired() > 0;
+      });
+    }
+  }
+  const auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const double clean = median(clean_ms);
+  const double armed = median(armed_ms);
+  const double injected = median(injected_ms);
+  // Basis points over clean (100 bp = 1%); clamped at zero — noise can put
+  // the armed median under the clean one.
+  const auto overhead_bp = [clean](double ms) {
+    return static_cast<std::uint64_t>(std::max(0.0, (ms - clean) / clean * 10'000.0));
+  };
+  obs::counter("bench.armed_overhead_bp").add(overhead_bp(armed));
+  obs::counter("bench.injected_overhead_bp").add(overhead_bp(injected));
+  std::cerr << "[stats] median collect ms: clean " << clean << ", armed-miss " << armed
+            << " (+" << overhead_bp(armed) << " bp), injected " << injected << " (+"
+            << overhead_bp(injected) << " bp)\n";
+  if (!injected_fired) std::cerr << "perf_matrix: injected plan never fired\n";
+
+  auto manifest = obs::collect_manifest(command, {}, injected_fired ? 0 : 1);
+  manifest.jobs = sched::hardware_jobs();
+  if (json_path.empty()) {
+    manifest.write_json(std::cout);
+    std::cout << "\n";
+  } else {
+    std::ofstream file(json_path);
+    if (!file) {
+      std::cerr << "perf_matrix: cannot write '" << json_path << "'\n";
+      return 1;
+    }
+    manifest.write_json(file);
+    file << "\n";
+    std::cerr << "[stats] manifest written to " << json_path << "\n";
+  }
+  return injected_fired ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool want_json = false;
+  std::string json_path;
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      want_json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      want_json = true;
+      json_path = arg.substr(7);
+    } else {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+  if (want_json)
+    return run_manifest_mode({bench_argv.empty() ? "perf_matrix" : bench_argv[0], "--json"},
+                             json_path);
+
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,226 @@
+#include "apps/catalog.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "apps/ilcs.hpp"
+#include "apps/lulesh.hpp"
+#include "apps/mwq.hpp"
+#include "apps/oddeven.hpp"
+#include "apps/pcpipe.hpp"
+#include "apps/redtree.hpp"
+#include "apps/ring.hpp"
+#include "apps/stencil.hpp"
+
+namespace difftrace::apps {
+
+namespace {
+
+using simfault::AppShape;
+using simfault::FaultClass;
+
+std::vector<AppInfo> build_catalog() {
+  std::vector<AppInfo> catalog;
+
+  catalog.push_back(AppInfo{
+      .name = "oddeven",
+      .summary = "odd/even transposition sort (Figure 2 walkthrough)",
+      .deterministic = true,
+      .hybrid = false,
+      .app_faults = {FaultClass::SwapBug, FaultClass::DlBug},
+      .defaults = {.nranks = 4, .threads = 1, .iterations = 4, .size = 16, .seed = 42, .plan = {}},
+      .shape = [](const AppParams& p) { return AppShape{p.nranks, 1, p.nranks}; },
+      .build =
+          [](const AppParams& p, const FaultSpec& fault) -> simmpi::RankFn {
+        auto cfg = std::make_shared<OddEvenConfig>();
+        cfg->nranks = p.nranks;
+        cfg->elements_per_rank = p.size;
+        cfg->seed = p.seed;
+        cfg->fault = fault;
+        return [cfg](simmpi::Comm& comm) { odd_even_rank(comm, *cfg); };
+      },
+  });
+
+  catalog.push_back(AppInfo{
+      .name = "ilcs",
+      .summary = "master/worker iterative local search (§IV case study)",
+      // Wall-clock pacing and racing workers make trace bytes run-dependent.
+      .deterministic = false,
+      .hybrid = true,
+      .app_faults = {FaultClass::OmpNoCritical, FaultClass::WrongCollectiveSize,
+                     FaultClass::WrongCollectiveOp},
+      .defaults = {.nranks = 4, .threads = 2, .iterations = 6, .size = 12, .seed = 42, .plan = {}},
+      .shape = [](const AppParams& p) { return AppShape{p.nranks, p.threads + 1, p.iterations}; },
+      .build =
+          [](const AppParams& p, const FaultSpec& fault) -> simmpi::RankFn {
+        auto cfg = std::make_shared<IlcsConfig>();
+        cfg->nranks = p.nranks;
+        cfg->workers = p.threads;
+        cfg->ncities = static_cast<std::size_t>(p.size);
+        cfg->max_rounds = p.iterations;
+        cfg->seed = p.seed;
+        cfg->fault = fault;
+        return [cfg](simmpi::Comm& comm) { ilcs_rank(comm, *cfg); };
+      },
+  });
+
+  catalog.push_back(AppInfo{
+      .name = "lulesh",
+      .summary = "Lagrangian shock-hydro proxy with halo exchange (§V)",
+      .deterministic = true,
+      .hybrid = true,
+      .app_faults = {FaultClass::SkipLagrangeLeapFrog},
+      .defaults = {.nranks = 4, .threads = 2, .iterations = 2, .size = 16, .seed = 42, .plan = {}},
+      .shape = [](const AppParams& p) { return AppShape{p.nranks, p.threads, p.iterations}; },
+      .build =
+          [](const AppParams& p, const FaultSpec& fault) -> simmpi::RankFn {
+        auto cfg = std::make_shared<LuleshConfig>();
+        cfg->nranks = p.nranks;
+        cfg->omp_threads = p.threads;
+        cfg->elements_per_rank = p.size;
+        cfg->cycles = p.iterations;
+        cfg->seed = p.seed;
+        cfg->fault = fault;
+        return [cfg](simmpi::Comm& comm) { lulesh_rank(comm, *cfg); };
+      },
+  });
+
+  catalog.push_back(AppInfo{
+      .name = "stencil",
+      .summary = "1-D Jacobi halo exchange (Irecv/Isend/Waitall + Allreduce)",
+      .deterministic = true,
+      .hybrid = false,
+      .app_faults = {},
+      .defaults = {.nranks = 4, .threads = 1, .iterations = 8, .size = 32, .seed = 42, .plan = {}},
+      .shape = [](const AppParams& p) { return AppShape{p.nranks, 1, p.iterations}; },
+      .build =
+          [](const AppParams& p, const FaultSpec&) -> simmpi::RankFn {
+        auto cfg = std::make_shared<StencilConfig>();
+        cfg->nranks = p.nranks;
+        cfg->cells_per_rank = p.size;
+        cfg->iterations = p.iterations;
+        cfg->seed = p.seed;
+        return [cfg](simmpi::Comm& comm) { stencil_rank(comm, *cfg); };
+      },
+  });
+
+  catalog.push_back(AppInfo{
+      .name = "mwq",
+      .summary = "master/worker task queue (send burst + recv burst star)",
+      .deterministic = true,
+      .hybrid = false,
+      .app_faults = {},
+      .defaults = {.nranks = 4, .threads = 1, .iterations = 12, .size = 64, .seed = 42, .plan = {}},
+      .shape = [](const AppParams& p) { return AppShape{p.nranks, 1, p.iterations}; },
+      .build =
+          [](const AppParams& p, const FaultSpec&) -> simmpi::RankFn {
+        auto cfg = std::make_shared<MwqConfig>();
+        cfg->nranks = p.nranks;
+        cfg->tasks = p.iterations;
+        cfg->task_size = p.size;
+        cfg->seed = p.seed;
+        return [cfg](simmpi::Comm& comm) { mwq_rank(comm, *cfg); };
+      },
+  });
+
+  catalog.push_back(AppInfo{
+      .name = "pcpipe",
+      .summary = "producer/consumer pipeline chain across ranks",
+      .deterministic = true,
+      .hybrid = false,
+      .app_faults = {},
+      .defaults = {.nranks = 4, .threads = 1, .iterations = 10, .size = 48, .seed = 42, .plan = {}},
+      .shape = [](const AppParams& p) { return AppShape{p.nranks, 1, p.iterations}; },
+      .build =
+          [](const AppParams& p, const FaultSpec&) -> simmpi::RankFn {
+        auto cfg = std::make_shared<PcpipeConfig>();
+        cfg->nranks = p.nranks;
+        cfg->items = p.iterations;
+        cfg->item_size = p.size;
+        cfg->seed = p.seed;
+        return [cfg](simmpi::Comm& comm) { pcpipe_rank(comm, *cfg); };
+      },
+  });
+
+  catalog.push_back(AppInfo{
+      .name = "ring",
+      .summary = "token passing around a rank ring (single-edge cycle)",
+      .deterministic = true,
+      .hybrid = false,
+      .app_faults = {},
+      .defaults = {.nranks = 4, .threads = 1, .iterations = 3, .size = 1, .seed = 42, .plan = {}},
+      .shape = [](const AppParams& p) { return AppShape{p.nranks, 1, p.iterations}; },
+      .build =
+          [](const AppParams& p, const FaultSpec&) -> simmpi::RankFn {
+        auto cfg = std::make_shared<RingConfig>();
+        cfg->nranks = p.nranks;
+        cfg->laps = p.iterations;
+        cfg->seed = p.seed;
+        return [cfg](simmpi::Comm& comm) { ring_rank(comm, *cfg); };
+      },
+  });
+
+  catalog.push_back(AppInfo{
+      .name = "redtree",
+      .summary = "hand-rolled binomial reduction tree over Send/Recv",
+      .deterministic = true,
+      .hybrid = false,
+      .app_faults = {},
+      .defaults = {.nranks = 4, .threads = 1, .iterations = 3, .size = 32, .seed = 42, .plan = {}},
+      .shape = [](const AppParams& p) { return AppShape{p.nranks, 1, p.iterations}; },
+      .build =
+          [](const AppParams& p, const FaultSpec&) -> simmpi::RankFn {
+        auto cfg = std::make_shared<RedtreeConfig>();
+        cfg->nranks = p.nranks;
+        cfg->rounds = p.iterations;
+        cfg->work_size = p.size;
+        cfg->seed = p.seed;
+        return [cfg](simmpi::Comm& comm) { redtree_rank(comm, *cfg); };
+      },
+  });
+
+  return catalog;
+}
+
+}  // namespace
+
+const std::vector<AppInfo>& app_catalog() {
+  static const std::vector<AppInfo> catalog = build_catalog();
+  return catalog;
+}
+
+const AppInfo* find_app(std::string_view name) {
+  for (const auto& app : app_catalog())
+    if (app.name == name) return &app;
+  return nullptr;
+}
+
+bool app_supports(const AppInfo& app, simfault::FaultClass cls) {
+  if (cls == simfault::FaultClass::None || simfault::is_runtime_class(cls)) return true;
+  return std::find(app.app_faults.begin(), app.app_faults.end(), cls) != app.app_faults.end();
+}
+
+AppParams resolve_params(const AppInfo& app, AppParams params) {
+  if (params.nranks <= 0) params.nranks = app.defaults.nranks;
+  if (params.threads <= 0) params.threads = app.defaults.threads;
+  if (params.iterations <= 0) params.iterations = app.defaults.iterations;
+  if (params.size <= 0) params.size = app.defaults.size;
+  return params;
+}
+
+simmpi::RankFn make_rank_fn(const AppInfo& app, const AppParams& params) {
+  const AppParams p = resolve_params(app, params);
+  simfault::validate_plan(p.plan, app.shape(p));
+  FaultSpec fault;
+  if (p.plan.enabled() && !simfault::is_runtime_class(p.plan.cls)) {
+    if (!app_supports(app, p.plan.cls))
+      throw simfault::PlanError(
+          "class", std::string(app.name) + " does not implement app-side fault '" +
+                       std::string(simfault::fault_class_name(p.plan.cls)) + "'");
+    fault = to_fault_spec(p.plan);
+  }
+  return app.build(p, fault);
+}
+
+}  // namespace difftrace::apps

@@ -1,0 +1,68 @@
+// The miniapp catalog: one registry describing every app the CLI and the
+// fault matrix can run — name, trace-shape summary, determinism, the
+// app-side (legacy paper) fault classes it implements, its coordinate shape
+// for plan validation, and a factory building the rank program.
+//
+// The factory path is the single choke point where fault plans meet apps:
+// make_rank_fn resolves parameter defaults, validates the plan against the
+// app's shape (rejecting out-of-range rank/thread/iteration with a
+// structured PlanError — silently-armed-nothing runs are a bug class this
+// replaces), converts app-side classes to the legacy FaultSpec, and leaves
+// runtime classes to the separately-armed simfault::Injector.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "apps/faults.hpp"
+#include "simfault/plan.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace difftrace::apps {
+
+/// Uniform knobs across apps; 0 means "use the app's default". Each app maps
+/// them onto its own config (size -> elements/cities/cells, iterations ->
+/// phases/rounds/cycles/tasks, threads -> team size for hybrid apps).
+struct AppParams {
+  int nranks = 0;
+  int threads = 0;
+  int iterations = 0;
+  int size = 0;
+  std::uint64_t seed = 42;
+  simfault::FaultPlan plan;
+};
+
+struct AppInfo {
+  std::string_view name;
+  std::string_view summary;
+  /// Same (params, plan) => byte-identical traces. False only for apps with
+  /// wall-clock pacing or cross-thread races (ilcs); the matrix pins
+  /// verdicts — and the determinism tests pin archives — only where true.
+  bool deterministic = true;
+  /// Uses simomp teams (so LockHold / OmpNoCritical plans can fire).
+  bool hybrid = false;
+  /// App-side (legacy) fault classes this app implements.
+  std::vector<simfault::FaultClass> app_faults;
+  AppParams defaults;
+  std::function<simfault::AppShape(const AppParams&)> shape;
+  /// Builds the rank program; `fault` is the already-converted legacy spec
+  /// (FaultType::None for clean or runtime-injected runs).
+  std::function<simmpi::RankFn(const AppParams&, const FaultSpec&)> build;
+};
+
+[[nodiscard]] const std::vector<AppInfo>& app_catalog();
+/// nullptr when no app has that name.
+[[nodiscard]] const AppInfo* find_app(std::string_view name);
+[[nodiscard]] bool app_supports(const AppInfo& app, simfault::FaultClass cls);
+
+/// Fills zero-valued params from the app's defaults.
+[[nodiscard]] AppParams resolve_params(const AppInfo& app, AppParams params);
+
+/// Resolve + validate + build (see file comment). Throws simfault::PlanError
+/// on out-of-range predicates or an app-side class the app does not
+/// implement. Runtime-class plans validate here but *arm* via the Injector.
+[[nodiscard]] simmpi::RankFn make_rank_fn(const AppInfo& app, const AppParams& params);
+
+}  // namespace difftrace::apps

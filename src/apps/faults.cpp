@@ -1,0 +1,53 @@
+#include "apps/faults.hpp"
+
+namespace difftrace::apps {
+
+namespace {
+
+using simfault::FaultClass;
+
+constexpr FaultClass to_class(FaultType type) noexcept {
+  switch (type) {
+    case FaultType::None: return FaultClass::None;
+    case FaultType::SwapBug: return FaultClass::SwapBug;
+    case FaultType::DlBug: return FaultClass::DlBug;
+    case FaultType::OmpNoCritical: return FaultClass::OmpNoCritical;
+    case FaultType::WrongCollectiveSize: return FaultClass::WrongCollectiveSize;
+    case FaultType::WrongCollectiveOp: return FaultClass::WrongCollectiveOp;
+    case FaultType::SkipLagrangeLeapFrog: return FaultClass::SkipLagrangeLeapFrog;
+  }
+  return FaultClass::None;
+}
+
+}  // namespace
+
+simfault::FaultPlan to_fault_plan(const FaultSpec& spec) {
+  simfault::FaultPlan plan;
+  plan.cls = to_class(spec.type);
+  plan.rank = spec.proc;
+  plan.thread = spec.thread;
+  plan.iteration = spec.iteration;
+  return plan;
+}
+
+FaultSpec to_fault_spec(const simfault::FaultPlan& plan) {
+  FaultSpec spec;
+  switch (plan.cls) {
+    case FaultClass::None: spec.type = FaultType::None; break;
+    case FaultClass::SwapBug: spec.type = FaultType::SwapBug; break;
+    case FaultClass::DlBug: spec.type = FaultType::DlBug; break;
+    case FaultClass::OmpNoCritical: spec.type = FaultType::OmpNoCritical; break;
+    case FaultClass::WrongCollectiveSize: spec.type = FaultType::WrongCollectiveSize; break;
+    case FaultClass::WrongCollectiveOp: spec.type = FaultType::WrongCollectiveOp; break;
+    case FaultClass::SkipLagrangeLeapFrog: spec.type = FaultType::SkipLagrangeLeapFrog; break;
+    default:
+      throw simfault::PlanError("class", "'" + std::string(simfault::fault_class_name(plan.cls)) +
+                                             "' is a runtime class, not an app-side fault");
+  }
+  spec.proc = plan.rank;
+  spec.thread = plan.thread;
+  spec.iteration = plan.iteration;
+  return spec;
+}
+
+}  // namespace difftrace::apps

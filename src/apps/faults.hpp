@@ -19,6 +19,8 @@
 #include <string>
 #include <string_view>
 
+#include "simfault/plan.hpp"
+
 namespace difftrace::apps {
 
 enum class FaultType {
@@ -53,5 +55,17 @@ struct FaultSpec {
   [[nodiscard]] bool targets(int p) const noexcept { return type != FaultType::None && proc == p; }
   [[nodiscard]] bool targets(int p, int t) const noexcept { return targets(p) && thread == t; }
 };
+
+// FaultSpec <-> simfault::FaultPlan bridge. The six paper bugs are app-side
+// fault *classes* in the unified plan vocabulary (their `fault_name` strings
+// are the plan class names), so one spec grammar, one validator, and one
+// matrix driver cover hand-planted and runtime-injected faults alike.
+
+/// Plan equivalent of a legacy spec (class + rank/thread/iteration).
+[[nodiscard]] simfault::FaultPlan to_fault_plan(const FaultSpec& spec);
+
+/// Legacy-spec equivalent of an app-side plan. Throws simfault::PlanError
+/// for runtime classes — those are armed on the injector, not on the app.
+[[nodiscard]] FaultSpec to_fault_spec(const simfault::FaultPlan& plan);
 
 }  // namespace difftrace::apps

@@ -7,6 +7,7 @@
 
 #include "apps/libc.hpp"
 #include "instrument/tracer.hpp"
+#include "simfault/injector.hpp"
 #include "simomp/team.hpp"
 #include "util/prng.hpp"
 
@@ -459,6 +460,7 @@ void lulesh_rank(simmpi::Comm& comm, const LuleshConfig& config) {
   comm.barrier();
 
   for (int cycle = 0; cycle < config.cycles; ++cycle) {
+    if (!simfault::hooks::begin_iteration(rank, cycle)) continue;  // SkipIter plans
     time_increment(comm, domain);
     // §V fault: process `proc` never invokes LagrangeLeapFrog — it stops
     // updating the domain and stops serving halo messages, starving its

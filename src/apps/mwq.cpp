@@ -1,0 +1,98 @@
+#include "apps/mwq.hpp"
+
+#include <cmath>
+#include <span>
+#include <stdexcept>
+
+#include "instrument/tracer.hpp"
+#include "simfault/injector.hpp"
+#include "util/prng.hpp"
+
+namespace difftrace::apps {
+
+namespace {
+
+using instrument::TraceScope;
+
+constexpr int kTaskTag = 21;
+constexpr int kResultTag = 22;
+/// A task whose first element is the pill value tells the worker to stop.
+constexpr double kPoisonPill = -1.0;
+
+/// The traced work kernel: a little arithmetic over the payload.
+double execute_task(std::span<const double> payload) {
+  TraceScope scope("executeTask");
+  double acc = 0.0;
+  for (const double v : payload) acc += std::sqrt(std::abs(v)) * 0.5 + v * 0.25;
+  return acc;
+}
+
+void master_rank(simmpi::Comm& comm, const MwqConfig& config) {
+  TraceScope scope("masterLoop");
+  const int workers = comm.size() - 1;
+  util::Xoshiro256 rng(config.seed);
+  std::vector<double> task(static_cast<std::size_t>(config.task_size));
+
+  // Dispatch round-robin; SkipIter plans drop a dispatch entirely (the
+  // matching result is then never collected — bookkeeping stays consistent).
+  std::vector<int> dispatched_to;
+  dispatched_to.reserve(static_cast<std::size_t>(config.tasks));
+  for (int t = 0; t < config.tasks; ++t) {
+    for (auto& v : task) v = rng.uniform() * 2.0 - 1.0;
+    if (!simfault::hooks::begin_iteration(0, t)) continue;
+    const int worker = 1 + t % workers;
+    comm.send(std::span<const double>(task), worker, kTaskTag);
+    dispatched_to.push_back(worker);
+  }
+
+  // Collect one result per dispatched task, in dispatch order.
+  double total = 0.0;
+  for (const int worker : dispatched_to)
+    total += comm.recv_value<double>(worker, kResultTag);
+
+  // Poison pills shut the workers down.
+  std::vector<double> pill(static_cast<std::size_t>(config.task_size), kPoisonPill);
+  for (int w = 1; w <= workers; ++w) comm.send(std::span<const double>(pill), w, kTaskTag);
+
+  if (config.result_sink != nullptr) (*config.result_sink)[0] = total;
+}
+
+void worker_rank(simmpi::Comm& comm, const MwqConfig& config) {
+  TraceScope scope("workerLoop");
+  const int rank = comm.rank();
+  std::vector<double> task(static_cast<std::size_t>(config.task_size));
+  double checksum = 0.0;
+  int local_task = 0;
+  for (;;) {
+    comm.recv(std::span<double>(task), 0, kTaskTag);
+    if (!task.empty() && task[0] == kPoisonPill) break;
+    (void)simfault::hooks::begin_iteration(rank, local_task++);
+    const double result = execute_task(task);
+    checksum += result;
+    comm.send_value(result, 0, kResultTag);
+  }
+  if (config.result_sink != nullptr)
+    (*config.result_sink)[static_cast<std::size_t>(rank)] = checksum;
+}
+
+}  // namespace
+
+void mwq_rank(simmpi::Comm& comm, const MwqConfig& config) {
+  TraceScope scope("main");
+  comm.init();
+  const int rank = comm.comm_rank();
+  if (comm.comm_size() < 2) throw std::invalid_argument("mwq: needs nranks >= 2");
+  if (rank == 0)
+    master_rank(comm, config);
+  else
+    worker_rank(comm, config);
+  comm.finalize();
+}
+
+simmpi::RunReport run_mwq(const MwqConfig& config, const simmpi::WorldConfig& world) {
+  simmpi::WorldConfig wc = world;
+  wc.nranks = config.nranks;
+  return simmpi::run_world(wc, [&config](simmpi::Comm& comm) { mwq_rank(comm, config); });
+}
+
+}  // namespace difftrace::apps

@@ -1,0 +1,41 @@
+// MWQ — a master/worker task queue over point-to-point messages.
+//
+// Rank 0 is the master: it dispatches `tasks` work items round-robin to the
+// worker ranks (blocking MPI_Send), then collects one result per dispatched
+// task (blocking MPI_Recv, in dispatch order), then sends every worker a
+// poison pill. Workers loop [MPI_Recv task, executeTask, MPI_Send result]
+// until the pill arrives. The master's trace is a long Send burst followed
+// by a Recv burst; each worker's is a tight recv/compute/send loop whose
+// length depends on its rank — an asymmetric star topology, unlike the
+// neighbour/collective patterns of the other apps.
+//
+// Deterministic: dispatch order, result collection order, and worker task
+// counts are all fixed functions of (tasks, nranks) — no wildcard receives,
+// no polling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/faults.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace difftrace::apps {
+
+struct MwqConfig {
+  int nranks = 4;  // 1 master + (nranks-1) workers; needs nranks >= 2
+  int tasks = 12;
+  int task_size = 64;  // work-item payload length (doubles)
+  std::uint64_t seed = 42;
+
+  /// Optional sink for the master's aggregated result checksum (index 0)
+  /// and each worker's local checksum (index = rank).
+  std::vector<double>* result_sink = nullptr;
+};
+
+void mwq_rank(simmpi::Comm& comm, const MwqConfig& config);
+
+[[nodiscard]] simmpi::RunReport run_mwq(const MwqConfig& config,
+                                        const simmpi::WorldConfig& world);
+
+}  // namespace difftrace::apps

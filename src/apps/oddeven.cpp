@@ -4,6 +4,7 @@
 #include <span>
 
 #include "instrument/tracer.hpp"
+#include "simfault/injector.hpp"
 #include "util/prng.hpp"
 
 namespace difftrace::apps {
@@ -44,6 +45,7 @@ void odd_even_sort(simmpi::Comm& comm, std::vector<std::int32_t>& data, const Od
   std::vector<std::int32_t> partner_data(data.size());
 
   for (int i = 0; i < nranks; ++i) {
+    if (!simfault::hooks::begin_iteration(rank, i)) continue;  // SkipIter plans
     const int partner = find_ptr(i, rank, nranks);
     if (partner < 0) continue;
 

@@ -1,0 +1,88 @@
+#include "apps/pcpipe.hpp"
+
+#include <cmath>
+#include <span>
+#include <stdexcept>
+
+#include "instrument/tracer.hpp"
+#include "simfault/injector.hpp"
+#include "util/prng.hpp"
+
+namespace difftrace::apps {
+
+namespace {
+
+using instrument::TraceScope;
+
+constexpr int kItemTag = 31;
+
+double produce(util::Xoshiro256& rng, std::vector<double>& item) {
+  TraceScope scope("produce");
+  double sum = 0.0;
+  for (auto& v : item) {
+    v = rng.uniform();
+    sum += v;
+  }
+  return sum;
+}
+
+double transform(std::vector<double>& item, int stage) {
+  TraceScope scope("transform");
+  double sum = 0.0;
+  for (auto& v : item) {
+    v = std::fma(v, 0.75, 0.125 * static_cast<double>(stage + 1));
+    sum += v;
+  }
+  return sum;
+}
+
+double consume(const std::vector<double>& item) {
+  TraceScope scope("consume");
+  double sum = 0.0;
+  for (const double v : item) sum += v;
+  return sum;
+}
+
+}  // namespace
+
+void pcpipe_rank(simmpi::Comm& comm, const PcpipeConfig& config) {
+  TraceScope scope("main");
+  comm.init();
+  const int rank = comm.comm_rank();
+  const int nranks = comm.comm_size();
+  if (nranks < 2) throw std::invalid_argument("pcpipe: needs nranks >= 2");
+
+  util::Xoshiro256 rng(config.seed);
+  std::vector<double> item(static_cast<std::size_t>(config.item_size), 0.0);
+  double checksum = 0.0;
+
+  for (int i = 0; i < config.items; ++i) {
+    // A skipped iteration on any stage starves the rest of the chain for
+    // this item — the realistic outcome of a lost pipeline element.
+    if (!simfault::hooks::begin_iteration(rank, i)) continue;
+    if (rank == 0) {
+      checksum += produce(rng, item);
+      comm.send(std::span<const double>(item), rank + 1, kItemTag);
+    } else if (rank < nranks - 1) {
+      comm.recv(std::span<double>(item), rank - 1, kItemTag);
+      checksum += transform(item, rank);
+      comm.send(std::span<const double>(item), rank + 1, kItemTag);
+    } else {
+      comm.recv(std::span<double>(item), rank - 1, kItemTag);
+      checksum += consume(item);
+    }
+  }
+
+  const double global = comm.allreduce_value(checksum, simmpi::ReduceOp::Sum);
+  if (config.checksum_sink != nullptr)
+    (*config.checksum_sink)[static_cast<std::size_t>(rank)] = global;
+  comm.finalize();
+}
+
+simmpi::RunReport run_pcpipe(const PcpipeConfig& config, const simmpi::WorldConfig& world) {
+  simmpi::WorldConfig wc = world;
+  wc.nranks = config.nranks;
+  return simmpi::run_world(wc, [&config](simmpi::Comm& comm) { pcpipe_rank(comm, config); });
+}
+
+}  // namespace difftrace::apps

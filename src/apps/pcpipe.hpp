@@ -1,0 +1,37 @@
+// PCPipe — a producer/consumer pipeline across ranks.
+//
+// Rank 0 produces `items` work items; each middle rank receives an item from
+// its left neighbour, transforms it, and forwards it right; the last rank
+// consumes. After the stream drains, all ranks MPI_Allreduce(SUM) their
+// stage checksums. Per-rank loop bodies are [produce, Send] at the head,
+// [Recv, transform, Send] in the middle, and [Recv, consume] at the tail —
+// a chain topology where every rank's trace differs by position.
+//
+// Deterministic: the item count is global and fixed, messages flow along a
+// single edge per stage (no wildcard receives), and transforms are pure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/faults.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace difftrace::apps {
+
+struct PcpipeConfig {
+  int nranks = 4;  // pipeline stages; needs nranks >= 2
+  int items = 10;
+  int item_size = 48;  // payload length (doubles)
+  std::uint64_t seed = 42;
+
+  /// Optional per-rank sink for the global checksum (index = rank).
+  std::vector<double>* checksum_sink = nullptr;
+};
+
+void pcpipe_rank(simmpi::Comm& comm, const PcpipeConfig& config);
+
+[[nodiscard]] simmpi::RunReport run_pcpipe(const PcpipeConfig& config,
+                                           const simmpi::WorldConfig& world);
+
+}  // namespace difftrace::apps

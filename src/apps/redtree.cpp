@@ -1,0 +1,72 @@
+#include "apps/redtree.hpp"
+
+#include <cmath>
+#include <span>
+
+#include "instrument/tracer.hpp"
+#include "simfault/injector.hpp"
+#include "util/prng.hpp"
+
+namespace difftrace::apps {
+
+namespace {
+
+using instrument::TraceScope;
+
+constexpr int kPartialTag = 51;
+
+double local_work(util::Xoshiro256& rng, int work_size) {
+  TraceScope scope("localWork");
+  double sum = 0.0;
+  for (int i = 0; i < work_size; ++i) sum += std::sin(rng.uniform() * 3.141592653589793);
+  return sum;
+}
+
+/// Stride-doubling combine: returns the subtree sum at rank 0, the partial
+/// sum a rank handed upward everywhere else.
+double tree_reduce(simmpi::Comm& comm, double partial) {
+  TraceScope scope("treeReduce");
+  const int rank = comm.rank();
+  const int nranks = comm.size();
+  for (int stride = 1; stride < nranks; stride *= 2) {
+    if (rank % (2 * stride) == 0) {
+      const int child = rank + stride;
+      if (child < nranks) partial += comm.recv_value<double>(child, kPartialTag);
+    } else {
+      comm.send_value(partial, rank - stride, kPartialTag);
+      break;  // handed upward; this rank is done with the tree
+    }
+  }
+  return partial;
+}
+
+}  // namespace
+
+void redtree_rank(simmpi::Comm& comm, const RedtreeConfig& config) {
+  TraceScope scope("main");
+  comm.init();
+  const int rank = comm.comm_rank();
+  (void)comm.comm_size();
+
+  util::Xoshiro256 rng(config.seed + static_cast<std::uint64_t>(rank) * 0x9E37u);
+  double total = 0.0;
+  for (int round = 0; round < config.rounds; ++round) {
+    if (!simfault::hooks::begin_iteration(rank, round)) continue;  // SkipIter plans
+    double partial = local_work(rng, config.work_size);
+    partial = tree_reduce(comm, partial);
+    total = partial;
+    comm.bcast(std::span<double>(&total, 1), 0);
+  }
+
+  if (config.total_sink != nullptr)
+    (*config.total_sink)[static_cast<std::size_t>(rank)] = total;
+  comm.finalize();
+}
+
+simmpi::RunReport run_redtree(const RedtreeConfig& config, const simmpi::WorldConfig& world) {
+  simmpi::WorldConfig wc = world;
+  wc.nranks = config.nranks;
+  return simmpi::run_world(wc, [&config](simmpi::Comm& comm) { redtree_rank(comm, config); });
+}
+
+}  // namespace difftrace::apps

@@ -1,0 +1,38 @@
+// RedTree — a hand-rolled binomial reduction tree over point-to-point sends,
+// the shape real MPI libraries use *inside* MPI_Reduce, written out in the
+// application so every hop is a visible MPI_Send/MPI_Recv pair.
+//
+// Each round: every rank does traced local work, then the tree combines
+// partial sums with stride doubling (rank r receives from r+stride when
+// r % (2*stride) == 0, else sends to r-stride and leaves the round), and
+// rank 0 broadcasts the total. Rank traces thin out up the tree — rank 0
+// talks every level, odd ranks exactly once — giving a per-rank call-count
+// gradient unlike any other app in the catalog.
+//
+// Deterministic: the tree is a pure function of (rank, nranks).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/faults.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace difftrace::apps {
+
+struct RedtreeConfig {
+  int nranks = 4;
+  int rounds = 3;
+  int work_size = 32;  // local work-array length per round
+  std::uint64_t seed = 42;
+
+  /// Optional per-rank sink for the last broadcast total (index = rank).
+  std::vector<double>* total_sink = nullptr;
+};
+
+void redtree_rank(simmpi::Comm& comm, const RedtreeConfig& config);
+
+[[nodiscard]] simmpi::RunReport run_redtree(const RedtreeConfig& config,
+                                            const simmpi::WorldConfig& world);
+
+}  // namespace difftrace::apps

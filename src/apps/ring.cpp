@@ -1,0 +1,60 @@
+#include "apps/ring.hpp"
+
+#include <span>
+#include <stdexcept>
+
+#include "instrument/tracer.hpp"
+#include "simfault/injector.hpp"
+
+namespace difftrace::apps {
+
+namespace {
+
+using instrument::TraceScope;
+
+constexpr int kTokenTag = 41;
+
+std::int64_t bump_token(std::int64_t token) {
+  TraceScope scope("bumpToken");
+  return token + 1;
+}
+
+}  // namespace
+
+void ring_rank(simmpi::Comm& comm, const RingConfig& config) {
+  TraceScope scope("main");
+  comm.init();
+  const int rank = comm.comm_rank();
+  const int nranks = comm.comm_size();
+  if (nranks < 2) throw std::invalid_argument("ring: needs nranks >= 2");
+  const int next = (rank + 1) % nranks;
+  const int prev = (rank + nranks - 1) % nranks;
+
+  std::int64_t token = static_cast<std::int64_t>(config.seed % 1000);
+  for (int lap = 0; lap < config.laps; ++lap) {
+    if (!simfault::hooks::begin_iteration(rank, lap)) continue;  // SkipIter plans
+    TraceScope pass("passToken");
+    if (rank == 0) {
+      token = bump_token(token);
+      comm.send_value(token, next, kTokenTag);
+      token = comm.recv_value<std::int64_t>(prev, kTokenTag);
+    } else {
+      token = comm.recv_value<std::int64_t>(prev, kTokenTag);
+      token = bump_token(token);
+      comm.send_value(token, next, kTokenTag);
+    }
+  }
+
+  comm.bcast(std::span<std::int64_t>(&token, 1), 0);
+  if (config.token_sink != nullptr)
+    (*config.token_sink)[static_cast<std::size_t>(rank)] = token;
+  comm.finalize();
+}
+
+simmpi::RunReport run_ring(const RingConfig& config, const simmpi::WorldConfig& world) {
+  simmpi::WorldConfig wc = world;
+  wc.nranks = config.nranks;
+  return simmpi::run_world(wc, [&config](simmpi::Comm& comm) { ring_rank(comm, config); });
+}
+
+}  // namespace difftrace::apps

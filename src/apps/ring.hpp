@@ -1,0 +1,34 @@
+// Ring — token passing around a rank ring, the smallest possible MPI shape.
+//
+// A token starts at rank 0 and circulates `laps` times; each rank increments
+// it before forwarding. After the laps, rank 0 broadcasts the final token so
+// every rank can verify it. The per-rank loop body is [Recv, bump, Send]
+// (rank 0: [bump, Send, Recv]) — a single-edge cyclic dependency chain,
+// ideal for watching one interfered message ripple around the whole job.
+//
+// Deterministic: one message in flight at a time, fixed lap count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/faults.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace difftrace::apps {
+
+struct RingConfig {
+  int nranks = 4;  // needs nranks >= 2
+  int laps = 3;
+  std::uint64_t seed = 42;
+
+  /// Optional per-rank sink for the broadcast final token (index = rank).
+  std::vector<std::int64_t>* token_sink = nullptr;
+};
+
+void ring_rank(simmpi::Comm& comm, const RingConfig& config);
+
+[[nodiscard]] simmpi::RunReport run_ring(const RingConfig& config,
+                                         const simmpi::WorldConfig& world);
+
+}  // namespace difftrace::apps

@@ -1,0 +1,91 @@
+#include "apps/stencil.hpp"
+
+#include <array>
+#include <cmath>
+#include <span>
+
+#include "instrument/tracer.hpp"
+#include "simfault/injector.hpp"
+#include "util/prng.hpp"
+
+namespace difftrace::apps {
+
+namespace {
+
+using instrument::TraceScope;
+
+constexpr int kLeftTag = 11;
+constexpr int kRightTag = 12;
+
+/// One halo exchange: nonblocking receives first (as real stencil codes
+/// order them), then boundary sends, then a single Waitall.
+void exchange_halos(simmpi::Comm& comm, std::vector<double>& cells, int iter) {
+  TraceScope scope("exchangeHalos");
+  (void)iter;
+  const int rank = comm.rank();
+  const int nranks = comm.size();
+  const int left = rank - 1;
+  const int right = rank + 1;
+  const std::size_t last = cells.size() - 1;
+
+  std::array<simmpi::Request, 4> reqs;
+  std::size_t n = 0;
+  if (left >= 0)
+    reqs[n++] = comm.irecv(std::span<double>(&cells[0], 1), left, kRightTag);
+  if (right < nranks)
+    reqs[n++] = comm.irecv(std::span<double>(&cells[last], 1), right, kLeftTag);
+  if (left >= 0)
+    reqs[n++] = comm.isend(std::span<const double>(&cells[1], 1), left, kLeftTag);
+  if (right < nranks)
+    reqs[n++] = comm.isend(std::span<const double>(&cells[last - 1], 1), right, kRightTag);
+  comm.waitall(std::span<simmpi::Request>(reqs.data(), n));
+}
+
+/// 3-point Jacobi update over the interior; returns the local residual.
+double apply_stencil(std::vector<double>& cells, std::vector<double>& next) {
+  TraceScope scope("applyStencil");
+  double residual = 0.0;
+  for (std::size_t i = 1; i + 1 < cells.size(); ++i) {
+    next[i] = 0.5 * cells[i] + 0.25 * (cells[i - 1] + cells[i + 1]);
+    residual += std::abs(next[i] - cells[i]);
+  }
+  for (std::size_t i = 1; i + 1 < cells.size(); ++i) cells[i] = next[i];
+  return residual;
+}
+
+}  // namespace
+
+void stencil_rank(simmpi::Comm& comm, const StencilConfig& config) {
+  TraceScope scope("main");
+  comm.init();
+  const int rank = comm.comm_rank();
+  (void)comm.comm_size();
+
+  // Interior cells plus one ghost per side.
+  util::Xoshiro256 rng(config.seed + static_cast<std::uint64_t>(rank) * 0x9E37u);
+  std::vector<double> cells(static_cast<std::size_t>(config.cells_per_rank) + 2, 0.0);
+  for (auto& c : cells) c = rng.uniform();
+  std::vector<double> next(cells.size(), 0.0);
+
+  double residual = 0.0;
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    if (!simfault::hooks::begin_iteration(rank, iter)) continue;  // SkipIter plans
+    TraceScope step("stencilStep");
+    exchange_halos(comm, cells, iter);
+    residual = apply_stencil(cells, next);
+    if (config.residual_every > 0 && (iter + 1) % config.residual_every == 0)
+      residual = comm.allreduce_value(residual, simmpi::ReduceOp::Sum);
+  }
+
+  if (config.residual_sink != nullptr)
+    (*config.residual_sink)[static_cast<std::size_t>(rank)] = residual;
+  comm.finalize();
+}
+
+simmpi::RunReport run_stencil(const StencilConfig& config, const simmpi::WorldConfig& world) {
+  simmpi::WorldConfig wc = world;
+  wc.nranks = config.nranks;
+  return simmpi::run_world(wc, [&config](simmpi::Comm& comm) { stencil_rank(comm, config); });
+}
+
+}  // namespace difftrace::apps

@@ -1,0 +1,38 @@
+// Stencil — 1-D Jacobi halo exchange, the classic bulk-synchronous shape.
+//
+// Each rank owns a block of cells with one ghost cell per side. Every
+// iteration: post MPI_Irecv for both halos, MPI_Isend both boundary cells,
+// MPI_Waitall, apply the 3-point stencil, and every `residual_every`
+// iterations MPI_Allreduce(SUM) the local residual. The per-trace loop body
+// is [Irecv, Irecv, Isend, Isend, Waitall, (Allreduce)] — a nonblocking
+// pattern none of the paper's three apps exercises.
+//
+// Fully deterministic: fixed iteration count, no wildcard receives, no
+// wall-clock pacing — a given (seed, plan) yields byte-identical traces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/faults.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace difftrace::apps {
+
+struct StencilConfig {
+  int nranks = 4;
+  int cells_per_rank = 32;
+  int iterations = 8;
+  int residual_every = 4;  // Allreduce cadence (0 = never)
+  std::uint64_t seed = 42;
+
+  /// Optional per-rank sink for the final local residual (index = rank).
+  std::vector<double>* residual_sink = nullptr;
+};
+
+void stencil_rank(simmpi::Comm& comm, const StencilConfig& config);
+
+[[nodiscard]] simmpi::RunReport run_stencil(const StencilConfig& config,
+                                            const simmpi::WorldConfig& world);
+
+}  // namespace difftrace::apps

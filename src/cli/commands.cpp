@@ -3,14 +3,14 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
 
 #include "analyze/analyze.hpp"
-#include "apps/ilcs.hpp"
-#include "apps/lulesh.hpp"
-#include "apps/oddeven.hpp"
+#include "apps/catalog.hpp"
 #include "apps/runner.hpp"
+#include "simfault/injector.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "core/triage.hpp"
@@ -92,6 +92,21 @@ apps::FaultSpec parse_fault(const Args& args) {
   if (fault.type != apps::FaultType::None && fault.proc < 0)
     throw ArgError("--fault requires --fault-proc");
   return fault;
+}
+
+/// Fault selection for `collect`: --plan SPEC (the unified grammar) wins;
+/// the legacy --fault/--fault-* flags are converted to an equivalent plan.
+simfault::FaultPlan plan_from(const Args& args) {
+  if (args.has("plan")) {
+    if (args.get_or("fault", "none") != "none")
+      throw ArgError("--plan and --fault are mutually exclusive");
+    try {
+      return simfault::parse_plan(args.required("plan"));
+    } catch (const simfault::PlanError& e) {
+      throw ArgError(std::string("bad --plan: ") + e.what());
+    }
+  }
+  return apps::to_fault_plan(parse_fault(args));
 }
 
 core::NlrConfig nlr_from(const Args& args) {
@@ -193,11 +208,26 @@ std::string usage_text() {
 usage: difftrace <command> [options]
 
 commands:
-  collect --app {oddeven|ilcs|lulesh} --out FILE [--nranks N] [--fault NAME
+  collect --app NAME --out FILE [--nranks N] [--size N] [--workers N]
+          [--iterations N] [--seed N] [--plan SPEC | --fault NAME
           --fault-proc P [--fault-thread T] [--fault-iteration I]]
-          [--level {main|all}] [--codec {parlot|lz78|null}] [--size N]
-          [--workers N] [--cycles N]
-      run a miniapp under the tracer and save the trace store.
+          [--level {main|all}] [--codec {parlot|lz78|null}]
+      run a catalog miniapp (oddeven, ilcs, lulesh, stencil, mwq, pcpipe,
+      ring, redtree) under the tracer and save the trace store. --plan takes
+      a fault-plan spec, e.g. 'drop@rank=1' or 'delay@rank=2,op=6,ticks=24'
+      (classes: drop, dup, reorder, misroute, corrupt, skip, delay, lockhold,
+      plus the app-side paper bugs swapBug, dlBug, ompNoCritical,
+      wrongCollectiveSize, wrongCollectiveOp, skipLagrangeLeapFrog); the
+      --fault flags are the legacy spelling of the app-side classes.
+  matrix --out FILE [--apps A,B,...] [--faults SPEC;SPEC;...] [--nranks N]
+         [--jobs N] [--cell-timeout-ms N] [--keep-archives DIR] [--quiet]
+      run the apps x fault-plans grid: collect a clean baseline and one
+      faulty run per cell (deadlocks bounded by the per-cell watchdog),
+      then ask whether `rank` puts the injected rank first and whether
+      `check` emits the right diagnostic class. Prints the verdict wall
+      and writes a machine-readable matrix report to FILE (validate with
+      tools/check_matrix.py). Faults are ';'-separated plan specs
+      (default: one representative plan per class).
   info STORE [--json]
       store statistics: traces, events, compression, distinct functions.
       --json emits the same data as a machine-readable document.
@@ -261,46 +291,53 @@ ompcrit, ompmutex, mem, net, poll, string, all, cust=REGEX}; prefix terms
 }
 
 int cmd_collect(const Args& args, std::ostream& out, std::ostream& err) {
-  const auto app = args.required("app");
+  const auto app_name = args.required("app");
   const auto path = args.required("out");
-  const auto fault = parse_fault(args);
   const auto level = args.get_or("level", "main") == "all" ? instrument::CaptureLevel::AllImages
                                                            : instrument::CaptureLevel::MainImage;
   const auto codec = args.get_or("codec", "parlot");
 
-  simmpi::WorldConfig world;
-  world.nranks = static_cast<int>(args.int_or("nranks", 8));
-
-  apps::TracedRun run;
-  if (app == "oddeven") {
-    apps::OddEvenConfig config;
-    config.nranks = world.nranks;
-    config.elements_per_rank = static_cast<int>(args.int_or("size", 16));
-    config.fault = fault;
-    run = apps::run_traced(world, [config](simmpi::Comm& c) { apps::odd_even_rank(c, config); },
-                           level, codec);
-  } else if (app == "ilcs") {
-    apps::IlcsConfig config;
-    config.nranks = world.nranks;
-    config.workers = static_cast<int>(args.int_or("workers", 4));
-    config.ncities = static_cast<std::size_t>(args.int_or("size", 14));
-    config.fault = fault;
-    run = apps::run_traced(world, [config](simmpi::Comm& c) { apps::ilcs_rank(c, config); },
-                           level, codec);
-  } else if (app == "lulesh") {
-    apps::LuleshConfig config;
-    config.nranks = world.nranks;
-    config.omp_threads = static_cast<int>(args.int_or("workers", 4));
-    config.elements_per_rank = static_cast<int>(args.int_or("size", 32));
-    config.cycles = static_cast<int>(args.int_or("cycles", 4));
-    config.fault = fault;
-    run = apps::run_traced(world, [config](simmpi::Comm& c) { apps::lulesh_rank(c, config); },
-                           level, codec);
-  } else {
-    throw ArgError("unknown app '" + app + "' (oddeven, ilcs, lulesh)");
+  const auto* app = apps::find_app(app_name);
+  if (!app) {
+    std::string names;
+    for (const auto& entry : apps::app_catalog()) {
+      if (!names.empty()) names += ", ";
+      names += entry.name;
+    }
+    throw ArgError("unknown app '" + app_name + "' (" + names + ")");
   }
 
+  apps::AppParams params;
+  params.nranks = static_cast<int>(args.int_or("nranks", 0));
+  params.threads = static_cast<int>(args.int_or("workers", 0));
+  // --cycles is the historical lulesh spelling; --iterations is the uniform one.
+  params.iterations = static_cast<int>(args.int_or("iterations", args.int_or("cycles", 0)));
+  params.size = static_cast<int>(args.int_or("size", 0));
+  params.seed = static_cast<std::uint64_t>(args.int_or("seed", 42));
+  params.plan = plan_from(args);
+
+  simmpi::RankFn fn;
+  try {
+    fn = apps::make_rank_fn(*app, params);
+  } catch (const simfault::PlanError& e) {
+    throw ArgError(std::string("bad fault plan: ") + e.what());
+  }
+  const auto resolved = apps::resolve_params(*app, params);
+
+  simmpi::WorldConfig world;
+  world.nranks = resolved.nranks;
+
+  // Runtime classes arm the injector for the duration of the run; app-side
+  // classes were already baked into the rank program by make_rank_fn.
+  std::optional<simfault::InjectorSession> session;
+  if (simfault::is_runtime_class(resolved.plan.cls))
+    session.emplace(resolved.plan, app->shape(resolved));
+
+  auto run = apps::run_traced(world, fn, level, codec);
+
   if (run.report.deadlock) util::status_line(err, "[watchdog] " + run.report.deadlock_info);
+  if (session && !session->fired())
+    util::status_line(err, "[simfault] armed plan '" + resolved.plan.to_spec() + "' never fired");
   run.store.save(path);
   const auto stats = run.store.stats();
   out << "saved " << stats.trace_count << " trace(s), " << stats.total_events << " events, "
@@ -644,6 +681,7 @@ namespace {
 
 int dispatch(const std::string& command, const Args& args, std::ostream& out, std::ostream& err) {
   if (command == "collect") return cmd_collect(args, out, err);
+  if (command == "matrix") return cmd_matrix(args, out, err);
   if (command == "info") return cmd_info(args, out, err);
   if (command == "decode") return cmd_decode(args, out, err);
   if (command == "nlr") return cmd_nlr(args, out, err);
@@ -688,7 +726,7 @@ int run_command(const std::vector<std::string>& argv, std::ostream& out, std::os
     if (want_selftrace && selftrace_path.empty()) selftrace_path = "difftrace-selftrace.dtrc";
     // Execution-engine provenance for the manifest: only sweep commands
     // spin up a pool, so jobs stays 0 (unrecorded) elsewhere.
-    if (command == "rank" || command == "report")
+    if (command == "rank" || command == "report" || command == "matrix")
       manifest_jobs = sched::resolve_jobs(jobs_request_from(args));
     manifest_cache_dir = cache_dir_from(args);
 

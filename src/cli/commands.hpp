@@ -3,7 +3,10 @@
 // throws cli::ArgError for usage mistakes (main converts those to exit 2).
 //
 // Commands (see usage_text() for the full synopsis):
-//   collect   run a miniapp under the tracer, save the store to a file
+//   collect   run a catalog miniapp under the tracer (optionally with a
+//             fault plan armed), save the store to a file
+//   matrix    run the apps x fault-plans accuracy grid, print the verdict
+//             wall, write a machine-readable matrix report
 //   info      trace-store statistics and per-trace summary
 //   decode    print a filtered token stream of one trace
 //   nlr       print the NLR of one trace (with the loop legend)
@@ -52,6 +55,7 @@ int run_command(const std::vector<std::string>& argv, std::ostream& out, std::os
 // Individual commands (exposed for tests). Results go to `out`; chatter
 // (salvage notes, watchdog and degraded-mode warnings) goes to `err`.
 int cmd_collect(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_matrix(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_info(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_decode(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_nlr(const Args& args, std::ostream& out, std::ostream& err);

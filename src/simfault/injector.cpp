@@ -1,0 +1,222 @@
+#include "simfault/injector.hpp"
+
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "util/prng.hpp"
+
+namespace difftrace::simfault {
+
+namespace {
+
+/// Stateless per-decision hash: mixes the plan seed with the decision
+/// coordinates so randomized choices depend only on (seed, coordinates),
+/// never on interleaving. Distinct salts keep the streams independent.
+std::uint64_t decision_hash(std::uint64_t seed, std::uint64_t salt, int a, int b) noexcept {
+  std::uint64_t state = seed ^ (salt * 0x9E3779B97F4A7C15ULL) ^
+                        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) ^
+                        static_cast<std::uint32_t>(b);
+  return util::splitmix64(state);
+}
+
+void count_class(FaultClass cls) {
+  switch (cls) {
+    case FaultClass::Drop: obs::counter("simfault.drop").add(); break;
+    case FaultClass::Dup: obs::counter("simfault.dup").add(); break;
+    case FaultClass::Reorder: obs::counter("simfault.reorder").add(); break;
+    case FaultClass::Misroute: obs::counter("simfault.misroute").add(); break;
+    case FaultClass::CorruptReduce: obs::counter("simfault.corrupt").add(); break;
+    case FaultClass::SkipIter: obs::counter("simfault.skip").add(); break;
+    case FaultClass::Delay: obs::counter("simfault.delay").add(); break;
+    case FaultClass::LockHold: obs::counter("simfault.lockhold").add(); break;
+    default: break;
+  }
+}
+
+}  // namespace
+
+Injector& Injector::instance() {
+  static Injector injector;
+  return injector;
+}
+
+void Injector::arm(const FaultPlan& plan, const AppShape& shape) {
+  validate_plan(plan, shape);
+  disarm();
+  plan_ = plan;
+  shape_ = shape;
+  const auto nranks = static_cast<std::size_t>(shape.nranks > 0 ? shape.nranks : 1);
+  op_seq_ = std::make_unique<std::atomic<int>[]>(nranks);
+  iter_now_ = std::make_unique<std::atomic<int>[]>(nranks);
+  lock_seq_ = std::make_unique<std::atomic<int>[]>(nranks * kMaxThreads);
+  for (std::size_t i = 0; i < nranks; ++i) {
+    op_seq_[i].store(0, std::memory_order_relaxed);
+    iter_now_[i].store(-1, std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < nranks * kMaxThreads; ++i)
+    lock_seq_[i].store(0, std::memory_order_relaxed);
+  fired_.store(0, std::memory_order_relaxed);
+  if (is_runtime_class(plan.cls)) armed_.store(true, std::memory_order_release);
+}
+
+void Injector::disarm() noexcept { armed_.store(false, std::memory_order_release); }
+
+bool Injector::rank_matches(int rank) const noexcept {
+  return plan_.rank < 0 || plan_.rank == rank;
+}
+
+bool Injector::iter_matches(int rank) const noexcept {
+  if (plan_.iteration < 0) return true;
+  if (rank < 0 || rank >= shape_.nranks) return false;
+  return iter_now_[static_cast<std::size_t>(rank)].load(std::memory_order_relaxed) ==
+         plan_.iteration;
+}
+
+bool Injector::op_matches(int op_index) const noexcept {
+  return plan_.op_index < 0 || plan_.op_index == op_index;
+}
+
+void Injector::note_fired() noexcept {
+  fired_.fetch_add(1, std::memory_order_relaxed);
+  obs::counter("simfault.fired").add();
+  count_class(plan_.cls);
+}
+
+int Injector::op_enter(int rank) noexcept {
+  if (rank < 0 || rank >= shape_.nranks) return -1;
+  return op_seq_[static_cast<std::size_t>(rank)].fetch_add(1, std::memory_order_relaxed);
+}
+
+int Injector::delay_ticks(int rank, int op_index) noexcept {
+  if (plan_.cls != FaultClass::Delay) return 0;
+  if (!rank_matches(rank) || !iter_matches(rank) || !op_matches(op_index)) return 0;
+  note_fired();
+  return plan_.ticks;
+}
+
+hooks::MsgDecision Injector::on_message(int src, int dst, int tag) noexcept {
+  (void)tag;
+  hooks::MsgDecision decision;
+  if (!rank_matches(src) || !iter_matches(src)) return decision;
+  // The message decision keys on the op the sender is currently inside:
+  // op_enter already advanced the cursor, so "current" is the value - 1.
+  const int op = (src >= 0 && src < shape_.nranks)
+                     ? op_seq_[static_cast<std::size_t>(src)].load(std::memory_order_relaxed) - 1
+                     : -1;
+  if (!op_matches(op)) return decision;
+  switch (plan_.cls) {
+    case FaultClass::Drop:
+      decision.action = hooks::MsgAction::Drop;
+      break;
+    case FaultClass::Dup:
+      decision.action = hooks::MsgAction::Duplicate;
+      break;
+    case FaultClass::Reorder:
+      decision.action = hooks::MsgAction::HoldBack;
+      break;
+    case FaultClass::Misroute: {
+      decision.action = hooks::MsgAction::Misroute;
+      if (plan_.to >= 0) {
+        decision.new_dest = plan_.to;
+      } else {
+        // Derive a wrong-but-valid destination from the seed: any rank other
+        // than the posted one (falls back to dst when nranks == 1).
+        const int n = shape_.nranks > 1 ? shape_.nranks : 1;
+        auto pick = static_cast<int>(decision_hash(plan_.seed, /*salt=*/3, src, op) %
+                                     static_cast<std::uint64_t>(n));
+        if (pick == dst) pick = (pick + 1) % n;
+        decision.new_dest = pick;
+      }
+      if (decision.new_dest == dst) decision.action = hooks::MsgAction::Deliver;
+      break;
+    }
+    default:
+      return decision;
+  }
+  if (decision.action != hooks::MsgAction::Deliver) note_fired();
+  return decision;
+}
+
+bool Injector::corrupt_contribution(int rank, std::byte* data, std::size_t size) noexcept {
+  if (plan_.cls != FaultClass::CorruptReduce || data == nullptr || size == 0) return false;
+  if (!rank_matches(rank) || !iter_matches(rank)) return false;
+  const int op = (rank >= 0 && rank < shape_.nranks)
+                     ? op_seq_[static_cast<std::size_t>(rank)].load(std::memory_order_relaxed) - 1
+                     : -1;
+  if (!op_matches(op)) return false;
+  std::uint64_t state = decision_hash(plan_.seed, /*salt=*/5, rank, op);
+  util::Xoshiro256 prng(state);
+  for (std::size_t i = 0; i < size; ++i) {
+    // XOR with a never-zero byte so at least one bit always flips.
+    auto pattern = static_cast<std::uint8_t>(prng.below(255) + 1);
+    data[i] ^= static_cast<std::byte>(pattern);
+  }
+  note_fired();
+  return true;
+}
+
+bool Injector::begin_iteration(int rank, int iteration) noexcept {
+  if (rank >= 0 && rank < shape_.nranks)
+    iter_now_[static_cast<std::size_t>(rank)].store(iteration, std::memory_order_relaxed);
+  if (plan_.cls != FaultClass::SkipIter) return true;
+  if (!rank_matches(rank)) return true;
+  if (plan_.iteration >= 0 && plan_.iteration != iteration) return true;
+  note_fired();
+  return false;
+}
+
+int Injector::lock_hold_ticks(int proc, int thread) noexcept {
+  if (plan_.cls != FaultClass::LockHold) return 0;
+  if (proc < 0 || proc >= shape_.nranks || thread < 0 || thread >= kMaxThreads) return 0;
+  const auto slot = static_cast<std::size_t>(proc) * kMaxThreads + static_cast<std::size_t>(thread);
+  const int acq = lock_seq_[slot].fetch_add(1, std::memory_order_relaxed);
+  if (plan_.rank != proc) return 0;  // validate_plan guarantees rank >= 0
+  if (plan_.thread >= 0 && plan_.thread != thread) return 0;
+  if (!op_matches(acq)) return 0;
+  note_fired();
+  return plan_.ticks;
+}
+
+namespace hooks {
+
+bool active() noexcept { return Injector::instance().armed(); }
+
+int op_enter(int rank) noexcept {
+  auto& injector = Injector::instance();
+  if (!injector.armed()) return -1;
+  return injector.op_enter(rank);
+}
+
+int delay_ticks(int rank, int op_index) noexcept {
+  auto& injector = Injector::instance();
+  if (!injector.armed()) return 0;
+  return injector.delay_ticks(rank, op_index);
+}
+
+MsgDecision on_message(int src, int dst, int tag) noexcept {
+  auto& injector = Injector::instance();
+  if (!injector.armed()) return {};
+  return injector.on_message(src, dst, tag);
+}
+
+bool corrupt_contribution(int rank, std::byte* data, std::size_t size) noexcept {
+  auto& injector = Injector::instance();
+  if (!injector.armed()) return false;
+  return injector.corrupt_contribution(rank, data, size);
+}
+
+bool begin_iteration(int rank, int iteration) noexcept {
+  auto& injector = Injector::instance();
+  if (!injector.armed()) return true;
+  return injector.begin_iteration(rank, iteration);
+}
+
+int lock_hold_ticks(int proc, int thread) noexcept {
+  auto& injector = Injector::instance();
+  if (!injector.armed()) return 0;
+  return injector.lock_hold_ticks(proc, thread);
+}
+
+}  // namespace hooks
+
+}  // namespace difftrace::simfault

@@ -1,0 +1,139 @@
+// The runtime fault injector: one process-wide Injector armed with a single
+// FaultPlan, consulted by hook points inside simmpi (World::post_send,
+// World::collective, Comm op prologues) and simomp (Critical). The injector
+// only *decides* — callers own all tracing and message mechanics — so this
+// library links nothing above util/obs and the decision layer stays testable
+// without a World.
+//
+// Determinism contract: every decision is a pure function of (plan, rank,
+// thread, op-index, iteration). Randomized choices (corruption bytes, derived
+// misroute targets) hash the plan seed with the coordinates via splitmix64,
+// so they are independent of thread interleaving and of DIFFTRACE_JOBS —
+// the same seed yields byte-identical traces at any job count.
+//
+// Concurrency: arm()/disarm() must be called while no simulated ranks are
+// running (the matrix driver runs cells serially). Hook reads synchronize on
+// the armed flag (release store / acquire load); per-coordinate counters are
+// relaxed atomics bumped only by the owning rank's thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <atomic>
+#include <memory>
+
+#include "simfault/plan.hpp"
+
+namespace difftrace::simfault {
+
+namespace hooks {
+
+enum class MsgAction : std::uint8_t {
+  Deliver,   // no interference
+  Drop,      // the network eats the message; the sender believes it completed
+  Duplicate, // deliver the message twice
+  HoldBack,  // delay delivery until the sender's next send/collective
+  Misroute,  // deliver to `new_dest` instead of the posted destination
+};
+
+struct MsgDecision {
+  MsgAction action = MsgAction::Deliver;
+  int new_dest = -1;  // valid iff action == Misroute
+};
+
+/// Fast armed check; every other hook is a no-op returning the neutral
+/// decision when this is false.
+[[nodiscard]] bool active() noexcept;
+
+/// Called at each simmpi API entry on the calling rank's thread. Returns the
+/// 0-based per-rank op index of the op now executing (-1 when disarmed).
+int op_enter(int rank) noexcept;
+
+/// Virtual ticks to insert before the op that just entered (Delay plans);
+/// the caller emits them as traced scopes. 0 when the plan does not fire.
+[[nodiscard]] int delay_ticks(int rank, int op_index) noexcept;
+
+/// Consulted when rank `src` posts a message to `dst` (under the World
+/// mutex, on src's thread). The decision keys on src's current op index.
+[[nodiscard]] MsgDecision on_message(int src, int dst, int tag) noexcept;
+
+/// Consulted when `rank` deposits a Reduce/Allreduce contribution. Returns
+/// true after XOR-ing a seed-derived pattern into the bytes when a
+/// CorruptReduce plan fires; false leaves the buffer untouched.
+bool corrupt_contribution(int rank, std::byte* data, std::size_t size) noexcept;
+
+/// App-reported loop boundary; also advances the rank's iteration cursor
+/// used by iteration predicates. Returns false when a SkipIter plan says
+/// this iteration must be skipped.
+bool begin_iteration(int rank, int iteration) noexcept;
+
+/// Extra traced ticks to hold a critical section after acquiring it
+/// (LockHold plans). Counts per-(proc, thread) acquisitions as the op index.
+[[nodiscard]] int lock_hold_ticks(int proc, int thread) noexcept;
+
+}  // namespace hooks
+
+class Injector {
+ public:
+  [[nodiscard]] static Injector& instance();
+
+  /// Validates the plan against `shape` (throws PlanError) and arms it.
+  /// Must not race with running ranks; rearming replaces the previous plan.
+  void arm(const FaultPlan& plan, const AppShape& shape);
+  void disarm() noexcept;
+
+  [[nodiscard]] bool armed() const noexcept {
+    return armed_.load(std::memory_order_acquire);
+  }
+  /// Decisions taken (messages interfered with, ticks inserted, iterations
+  /// skipped, buffers corrupted) since the last arm().
+  [[nodiscard]] std::uint64_t fired() const noexcept {
+    return fired_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  // Decision engine (the hooks:: free functions forward here).
+  int op_enter(int rank) noexcept;
+  [[nodiscard]] int delay_ticks(int rank, int op_index) noexcept;
+  [[nodiscard]] hooks::MsgDecision on_message(int src, int dst, int tag) noexcept;
+  bool corrupt_contribution(int rank, std::byte* data, std::size_t size) noexcept;
+  bool begin_iteration(int rank, int iteration) noexcept;
+  [[nodiscard]] int lock_hold_ticks(int proc, int thread) noexcept;
+
+ private:
+  Injector() = default;
+
+  [[nodiscard]] bool rank_matches(int rank) const noexcept;
+  [[nodiscard]] bool iter_matches(int rank) const noexcept;
+  [[nodiscard]] bool op_matches(int op_index) const noexcept;
+  void note_fired() noexcept;
+
+  static constexpr int kMaxThreads = 256;  // lock-counter stride per proc
+
+  std::atomic<bool> armed_{false};
+  FaultPlan plan_;
+  AppShape shape_;
+  // Per-rank cursors, each written only by the owning rank's thread.
+  std::unique_ptr<std::atomic<int>[]> op_seq_;
+  std::unique_ptr<std::atomic<int>[]> iter_now_;
+  std::unique_ptr<std::atomic<int>[]> lock_seq_;  // [proc * kMaxThreads + thread]
+  std::atomic<std::uint64_t> fired_{0};
+};
+
+/// RAII arm/disarm for tests and the matrix driver: arms on construction
+/// (validating against `shape`), disarms on destruction.
+class InjectorSession {
+ public:
+  InjectorSession(const FaultPlan& plan, const AppShape& shape) {
+    Injector::instance().arm(plan, shape);
+  }
+  ~InjectorSession() { Injector::instance().disarm(); }
+  InjectorSession(const InjectorSession&) = delete;
+  InjectorSession& operator=(const InjectorSession&) = delete;
+
+  [[nodiscard]] std::uint64_t fired() const noexcept {
+    return Injector::instance().fired();
+  }
+};
+
+}  // namespace difftrace::simfault

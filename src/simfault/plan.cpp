@@ -1,0 +1,196 @@
+#include "simfault/plan.hpp"
+
+#include <array>
+#include <cctype>
+#include <sstream>
+#include <utility>
+
+#include "util/json.hpp"
+#include "util/str.hpp"
+
+namespace difftrace::simfault {
+
+namespace {
+
+constexpr std::array<std::pair<FaultClass, std::string_view>, 15> kClassNames = {{
+    {FaultClass::None, "none"},
+    {FaultClass::Drop, "drop"},
+    {FaultClass::Dup, "dup"},
+    {FaultClass::Reorder, "reorder"},
+    {FaultClass::Misroute, "misroute"},
+    {FaultClass::CorruptReduce, "corrupt"},
+    {FaultClass::SkipIter, "skip"},
+    {FaultClass::Delay, "delay"},
+    {FaultClass::LockHold, "lockhold"},
+    {FaultClass::SwapBug, "swapBug"},
+    {FaultClass::DlBug, "dlBug"},
+    {FaultClass::OmpNoCritical, "ompNoCritical"},
+    {FaultClass::WrongCollectiveSize, "wrongCollectiveSize"},
+    {FaultClass::WrongCollectiveOp, "wrongCollectiveOp"},
+    {FaultClass::SkipLagrangeLeapFrog, "skipLagrangeLeapFrog"},
+}};
+
+int parse_int_field(std::string_view key, std::string_view value) {
+  try {
+    std::size_t used = 0;
+    const std::string text(value);
+    const int parsed = std::stoi(text, &used);
+    if (used != text.size()) throw std::invalid_argument("trailing characters");
+    return parsed;
+  } catch (const std::exception&) {
+    throw PlanError(std::string(key), "'" + std::string(value) + "' is not an integer");
+  }
+}
+
+void assign_field(FaultPlan& plan, std::string_view key, std::string_view value) {
+  if (key == "rank")
+    plan.rank = parse_int_field(key, value);
+  else if (key == "thread")
+    plan.thread = parse_int_field(key, value);
+  else if (key == "iter" || key == "iteration")
+    plan.iteration = parse_int_field(key, value);
+  else if (key == "op")
+    plan.op_index = parse_int_field(key, value);
+  else if (key == "ticks")
+    plan.ticks = parse_int_field(key, value);
+  else if (key == "to")
+    plan.to = parse_int_field(key, value);
+  else if (key == "seed")
+    plan.seed = static_cast<std::uint64_t>(parse_int_field(key, value));
+  else
+    throw PlanError(std::string(key), "unknown key (rank, thread, iter, op, ticks, to, seed)");
+}
+
+std::string trim(std::string_view s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])) != 0) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])) != 0) --end;
+  return std::string(s.substr(begin, end - begin));
+}
+
+FaultPlan plan_from_json_text(std::string_view text) {
+  util::JsonValue doc;
+  try {
+    doc = util::parse_json(text);
+  } catch (const std::exception& e) {
+    throw PlanError("json", e.what());
+  }
+  if (!doc.is_object()) throw PlanError("json", "plan document is not an object");
+  FaultPlan plan;
+  for (const auto& [key, value] : doc.object) {
+    if (key == "class") {
+      plan.cls = fault_class_from_name(value.as_string());
+      continue;
+    }
+    if (value.kind != util::JsonValue::Kind::Number)
+      throw PlanError(key, "expected an integer value");
+    assign_field(plan, key, std::to_string(value.as_int()));
+  }
+  return plan;
+}
+
+}  // namespace
+
+std::string_view fault_class_name(FaultClass cls) noexcept {
+  for (const auto& [value, name] : kClassNames)
+    if (value == cls) return name;
+  return "unknown";
+}
+
+FaultClass fault_class_from_name(std::string_view name) {
+  for (const auto& [value, text] : kClassNames)
+    if (text == name) return value;
+  throw PlanError("class", "unknown fault class '" + std::string(name) + "'");
+}
+
+bool is_runtime_class(FaultClass cls) noexcept {
+  switch (cls) {
+    case FaultClass::Drop:
+    case FaultClass::Dup:
+    case FaultClass::Reorder:
+    case FaultClass::Misroute:
+    case FaultClass::CorruptReduce:
+    case FaultClass::SkipIter:
+    case FaultClass::Delay:
+    case FaultClass::LockHold:
+      return true;
+    default:
+      return false;
+  }
+}
+
+FaultPlan parse_plan(std::string_view spec) {
+  const auto trimmed = trim(spec);
+  if (trimmed.empty()) throw PlanError("class", "empty plan spec");
+  if (trimmed.front() == '{') return plan_from_json_text(trimmed);
+
+  FaultPlan plan;
+  const auto at = trimmed.find('@');
+  plan.cls = fault_class_from_name(trimmed.substr(0, at));
+  if (at == std::string::npos) return plan;
+  const auto fields = trimmed.substr(at + 1);
+  if (fields.empty()) throw PlanError("spec", "'@' with no key=value fields");
+  for (const auto& field : util::split(fields, ',')) {
+    const auto eq = field.find('=');
+    if (eq == std::string::npos)
+      throw PlanError("spec", "field '" + field + "' is not key=value");
+    assign_field(plan, trim(field.substr(0, eq)), trim(field.substr(eq + 1)));
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_spec() const {
+  std::ostringstream os;
+  os << fault_class_name(cls);
+  std::string sep = "@";
+  const auto emit = [&](std::string_view key, long long value) {
+    os << sep << key << "=" << value;
+    sep = ",";
+  };
+  if (rank >= 0) emit("rank", rank);
+  if (thread >= 0) emit("thread", thread);
+  if (iteration >= 0) emit("iter", iteration);
+  if (op_index >= 0) emit("op", op_index);
+  if (cls == FaultClass::Delay || cls == FaultClass::LockHold) emit("ticks", ticks);
+  if (to >= 0) emit("to", to);
+  if (seed != FaultPlan{}.seed) emit("seed", static_cast<long long>(seed));
+  return os.str();
+}
+
+std::string FaultPlan::to_json() const {
+  std::ostringstream os;
+  util::JsonWriter json(os, /*indent=*/0);
+  json.begin_object();
+  json.field("class", fault_class_name(cls));
+  if (rank >= 0) json.field("rank", rank);
+  if (thread >= 0) json.field("thread", thread);
+  if (iteration >= 0) json.field("iter", iteration);
+  if (op_index >= 0) json.field("op", op_index);
+  if (cls == FaultClass::Delay || cls == FaultClass::LockHold) json.field("ticks", ticks);
+  if (to >= 0) json.field("to", to);
+  json.field("seed", seed);
+  json.end_object();
+  return os.str();
+}
+
+void validate_plan(const FaultPlan& plan, const AppShape& shape) {
+  const auto check = [](std::string_view key, int value, int bound) {
+    if (value < -1)
+      throw PlanError(std::string(key), std::to_string(value) + " is negative (-1 means any)");
+    if (bound >= 0 && value >= bound)
+      throw PlanError(std::string(key), std::to_string(value) + " out of range [0, " +
+                                            std::to_string(bound) + ")");
+  };
+  check("rank", plan.rank, shape.nranks);
+  check("thread", plan.thread, shape.threads);
+  check("iter", plan.iteration, shape.iterations);
+  check("op", plan.op_index, -1);
+  check("to", plan.to, shape.nranks);
+  if (plan.ticks <= 0 && (plan.cls == FaultClass::Delay || plan.cls == FaultClass::LockHold))
+    throw PlanError("ticks", std::to_string(plan.ticks) + " must be positive");
+  if (plan.cls == FaultClass::LockHold && plan.rank < 0)
+    throw PlanError("rank", "lockhold requires an explicit rank");
+}
+
+}  // namespace difftrace::simfault

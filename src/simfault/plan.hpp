@@ -1,0 +1,114 @@
+// FaultPlan: the declarative vocabulary of the runtime fault injector.
+//
+// A plan names one fault class plus the predicates that arm it. The runtime
+// classes (Drop .. LockHold) are implemented by hook points inside simmpi /
+// simomp — the *network* or the *runtime* misbehaves, never the app source.
+// The legacy classes (SwapBug .. SkipLagrangeLeapFrog) are the paper's
+// hand-planted bugs, implemented inside the miniapps; they share this
+// vocabulary so one spec grammar, one validator, and one matrix driver
+// cover both (apps/faults.hpp bridges FaultSpec <-> FaultPlan).
+//
+// Spec grammar (compact form):
+//   <class>[@key=value[,key=value...]]
+//   keys: rank, thread, iter, op, ticks, to, seed
+// Examples:
+//   drop@rank=1,op=6         drop the message rank 1 posts as its 7th MPI op
+//   corrupt@rank=2,op=3      corrupt rank 2's contribution to that reduction
+//   delay@rank=3,op=4,ticks=32
+//   lockhold@rank=1,thread=2,ticks=16
+//   dlBug@rank=1,iter=1      the paper's oddeven deadlock, as a plan
+// A spec starting with '{' is parsed as the equivalent JSON object
+// ({"class": "drop", "rank": 1, "op": 6, ...}).
+//
+// Predicate semantics: -1 means "any". A plan with an explicit op/iter fires
+// exactly at that occurrence; wildcards fire at every matching occurrence.
+// Op indices count the target rank's MPI API calls from 0 (for LockHold:
+// that thread's critical-section acquisitions). Iterations are app-reported
+// loop indices (see simfault::hooks::begin_iteration).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace difftrace::simfault {
+
+enum class FaultClass : std::uint8_t {
+  None,
+  // Runtime classes, injected by the simmpi/simomp hook points.
+  Drop,           // discard a posted message (the network eats it)
+  Dup,            // deliver a posted message twice
+  Reorder,        // hold a message back until the sender's next send/collective
+  Misroute,       // deliver a message to the wrong destination rank
+  CorruptReduce,  // flip the target rank's reduction contribution bytes
+  SkipIter,       // skip one app loop iteration entirely
+  Delay,          // insert N traced virtual ticks before the target op
+  LockHold,       // hold a critical section across N extra traced ticks
+  // Legacy classes: the paper's six hand-planted bugs (implemented by the
+  // miniapps; names must stay stable — golden tests key on them).
+  SwapBug,
+  DlBug,
+  OmpNoCritical,
+  WrongCollectiveSize,
+  WrongCollectiveOp,
+  SkipLagrangeLeapFrog,
+};
+
+[[nodiscard]] std::string_view fault_class_name(FaultClass cls) noexcept;
+/// Reverse lookup; throws PlanError on an unknown name.
+[[nodiscard]] FaultClass fault_class_from_name(std::string_view name);
+/// True for the classes the simmpi/simomp hooks implement (vs. app-side).
+[[nodiscard]] bool is_runtime_class(FaultClass cls) noexcept;
+
+/// Structured parse/validation failure: `field` names the offending spec key
+/// ("class", "rank", "op", ...), what() carries the full message.
+class PlanError : public std::runtime_error {
+ public:
+  PlanError(std::string field, const std::string& message)
+      : std::runtime_error("fault plan: " + field + ": " + message), field_(std::move(field)) {}
+
+  [[nodiscard]] const std::string& field() const noexcept { return field_; }
+
+ private:
+  std::string field_;
+};
+
+struct FaultPlan {
+  FaultClass cls = FaultClass::None;
+  int rank = -1;       // target process rank (-1 = any)
+  int thread = -1;     // target team thread (LockHold / OmpNoCritical)
+  int iteration = -1;  // app-reported loop iteration
+  int op_index = -1;   // per-rank MPI-op (or per-thread lock) sequence number
+  int ticks = 8;       // Delay / LockHold: virtual ticks to insert
+  int to = -1;         // Misroute: destination override (-1 = derived from seed)
+  std::uint64_t seed = 42;  // drives the PRNG-derived decisions (corruption
+                            // pattern, misroute target) — same seed, same bytes
+
+  [[nodiscard]] bool enabled() const noexcept { return cls != FaultClass::None; }
+  /// Compact spec round-trip (parse_plan(to_spec()) == *this).
+  [[nodiscard]] std::string to_spec() const;
+  /// JSON object form ({"class": ..., "rank": ...}); omits wildcard fields.
+  [[nodiscard]] std::string to_json() const;
+
+  [[nodiscard]] bool operator==(const FaultPlan&) const noexcept = default;
+};
+
+/// Parses the compact spec grammar above (or, when `spec` starts with '{',
+/// the JSON object form). Throws PlanError naming the bad key.
+[[nodiscard]] FaultPlan parse_plan(std::string_view spec);
+
+/// The coordinate bounds a plan's predicates are validated against.
+/// A dimension of -1 means "unknown — only reject negative garbage".
+struct AppShape {
+  int nranks = -1;
+  int threads = -1;
+  int iterations = -1;
+};
+
+/// Rejects out-of-range predicates with a structured PlanError: a plan that
+/// targets rank 99 of a 4-rank job would otherwise arm nothing and report a
+/// clean run — the silent-acceptance bug this replaces.
+void validate_plan(const FaultPlan& plan, const AppShape& shape);
+
+}  // namespace difftrace::simfault

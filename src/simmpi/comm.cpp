@@ -1,6 +1,7 @@
 #include "simmpi/comm.hpp"
 
 #include "instrument/tracer.hpp"
+#include "simfault/injector.hpp"
 
 namespace difftrace::simmpi {
 
@@ -43,6 +44,19 @@ void note_coll(const CollParams& params, const char* api_name) {
   instrument::Tracer::instance().on_op(std::move(op));
 }
 
+/// Injector prologue at every MPI API entry: advances this rank's op cursor
+/// (the coordinate fault-plan predicates key on) and, when a Delay plan
+/// fires, burns N virtual ticks as plt-visible system-library scopes — the
+/// shape a descheduled rank leaves in a real trace.
+void fault_prologue(int rank) {
+  if (!simfault::hooks::active()) return;
+  const int op = simfault::hooks::op_enter(rank);
+  const int ticks = simfault::hooks::delay_ticks(rank, op);
+  for (int i = 0; i < ticks; ++i) {
+    const TraceScope tick("sched_yield", Image::SystemLib, /*plt=*/true);
+  }
+}
+
 /// The op a wait on `request` amounts to: completing a send or a recv.
 void note_wait(const Request& request) {
   note_p2p(request.kind() == Request::Kind::Send ? trace::OpCode::WaitSend : trace::OpCode::WaitRecv,
@@ -58,22 +72,26 @@ Comm::Comm(std::shared_ptr<World> world, int rank) : world_(std::move(world)), r
 
 void Comm::init() {
   auto scope = api_scope("MPI_Init");
+  fault_prologue(rank_);
   InternalScope a("MPID_Init");
   InternalScope b("MPIDI_CH3_Init");
 }
 
 int Comm::comm_rank() {
   auto scope = api_scope("MPI_Comm_rank");
+  fault_prologue(rank_);
   return rank_;
 }
 
 int Comm::comm_size() {
   auto scope = api_scope("MPI_Comm_size");
+  fault_prologue(rank_);
   return world_->nranks();
 }
 
 void Comm::finalize() {
   auto scope = api_scope("MPI_Finalize");
+  fault_prologue(rank_);
   InternalScope a("MPID_Finalize");
   // Synchronizing, like most real implementations: a job with one
   // deadlocked rank hangs here, so the surviving ranks' traces show an
@@ -86,6 +104,7 @@ void Comm::finalize() {
 
 void Comm::send_bytes(std::span<const std::byte> data, int dest, int tag) {
   auto scope = api_scope("MPI_Send");
+  fault_prologue(rank_);
   InternalScope a("MPID_Send");
   InternalScope b("MPIDI_CH3_iSend");
   note_p2p(trace::OpCode::SendPost, dest, tag, data.size());
@@ -94,6 +113,7 @@ void Comm::send_bytes(std::span<const std::byte> data, int dest, int tag) {
 
 std::size_t Comm::recv_bytes(std::span<std::byte> out, int src, int tag) {
   auto scope = api_scope("MPI_Recv");
+  fault_prologue(rank_);
   InternalScope a("MPID_Recv");
   InternalScope b("MPIDI_CH3U_Recvq_FDU_or_AEP");
   note_p2p(trace::OpCode::RecvPost, src, tag);
@@ -102,6 +122,7 @@ std::size_t Comm::recv_bytes(std::span<std::byte> out, int src, int tag) {
 
 Request Comm::isend_bytes(std::span<const std::byte> data, int dest, int tag) {
   auto scope = api_scope("MPI_Isend");
+  fault_prologue(rank_);
   InternalScope a("MPID_Isend");
   note_p2p(trace::OpCode::IsendPost, dest, tag, data.size());
   Request req;
@@ -115,6 +136,7 @@ Request Comm::isend_bytes(std::span<const std::byte> data, int dest, int tag) {
 
 Request Comm::irecv_bytes(std::span<std::byte> out, int src, int tag) {
   auto scope = api_scope("MPI_Irecv");
+  fault_prologue(rank_);
   InternalScope a("MPID_Irecv");
   note_p2p(trace::OpCode::IrecvPost, src, tag);
   Request req;
@@ -128,12 +150,19 @@ Request Comm::irecv_bytes(std::span<std::byte> out, int src, int tag) {
 
 void Comm::wait(Request& request) {
   auto scope = api_scope("MPI_Wait");
+  fault_prologue(rank_);
   InternalScope a("MPIR_Wait");
-  if (request.complete_ || request.kind_ == Request::Kind::None) {
+  if (request.kind_ == Request::Kind::None) {
     request.complete_ = true;
     return;
   }
+  // Recorded before the completion check: whether the partner's message had
+  // already landed when the wait ran is a scheduling accident, and the op
+  // stream must be a function of the program alone (same seed + plan =>
+  // byte-identical archives). The blocking wait is still the last op in the
+  // frame, which is what pending-op attribution keys on.
   note_wait(request);
+  if (request.complete_) return;
   switch (request.kind_) {
     case Request::Kind::Send:
       world_->await_send(rank_, request.msg_);
@@ -149,13 +178,15 @@ void Comm::wait(Request& request) {
 
 void Comm::waitall(std::span<Request> requests) {
   auto scope = api_scope("MPI_Waitall");
+  fault_prologue(rank_);
   InternalScope a("MPIR_Waitall");
   for (auto& request : requests) {
-    if (request.complete_ || request.kind_ == Request::Kind::None) {
+    if (request.kind_ == Request::Kind::None) {
       request.complete_ = true;
       continue;
     }
-    note_wait(request);
+    note_wait(request);  // unconditional — see Comm::wait
+    if (request.complete_) continue;
     switch (request.kind_) {
       case Request::Kind::Send:
         world_->await_send(rank_, request.msg_);
@@ -172,6 +203,7 @@ void Comm::waitall(std::span<Request> requests) {
 
 void Comm::barrier() {
   auto scope = api_scope("MPI_Barrier");
+  fault_prologue(rank_);
   InternalScope a("MPIR_Barrier_intra");
   const CollParams params{.type = CollType::Barrier};
   note_coll(params, "MPI_Barrier");
@@ -180,6 +212,7 @@ void Comm::barrier() {
 
 void Comm::bcast_bytes(std::span<std::byte> data, Dtype dtype, std::size_t count, int root) {
   auto scope = api_scope("MPI_Bcast");
+  fault_prologue(rank_);
   InternalScope a("MPIR_Bcast_intra");
   const CollParams params{.type = CollType::Bcast, .dtype = dtype, .count = count, .root = root};
   note_coll(params, "MPI_Bcast");
@@ -192,6 +225,7 @@ void Comm::bcast_bytes(std::span<std::byte> data, Dtype dtype, std::size_t count
 void Comm::reduce_bytes(std::span<const std::byte> in, std::span<std::byte> out, Dtype dtype,
                         std::size_t count, ReduceOp op, int root) {
   auto scope = api_scope("MPI_Reduce");
+  fault_prologue(rank_);
   InternalScope a("MPIR_Reduce_intra");
   const CollParams params{.type = CollType::Reduce, .dtype = dtype, .count = count, .root = root, .op = op};
   note_coll(params, "MPI_Reduce");
@@ -201,6 +235,7 @@ void Comm::reduce_bytes(std::span<const std::byte> in, std::span<std::byte> out,
 void Comm::allreduce_bytes(std::span<const std::byte> in, std::span<std::byte> out, Dtype dtype,
                            std::size_t count, ReduceOp op) {
   auto scope = api_scope("MPI_Allreduce");
+  fault_prologue(rank_);
   InternalScope a("MPIR_Allreduce_intra");
   InternalScope b("MPIDI_POSIX_progress");
   const CollParams params{.type = CollType::Allreduce, .dtype = dtype, .count = count, .op = op};

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "simfault/injector.hpp"
+
 namespace difftrace::simmpi {
 
 std::string_view coll_type_name(CollType t) noexcept {
@@ -20,6 +22,7 @@ std::string_view coll_type_name(CollType t) noexcept {
 World::World(WorldConfig config) : config_(config) {
   if (config_.nranks <= 0) throw MpiError("World: nranks must be positive");
   mailbox_.resize(static_cast<std::size_t>(config_.nranks));
+  held_.resize(static_cast<std::size_t>(config_.nranks));
   coll_seq_.assign(static_cast<std::size_t>(config_.nranks), 0);
   blocked_.resize(static_cast<std::size_t>(config_.nranks));
   done_.assign(static_cast<std::size_t>(config_.nranks), false);
@@ -61,10 +64,47 @@ std::shared_ptr<PendingMsg> World::post_send(int src, int dst, int tag,
 
   const util::MutexLock lock(mutex_);
   if (cancelled_) throw DeadlockAbort{cancel_reason_};
+  flush_held(src);  // a Reorder-held message is released by the next send
   msg->id = next_msg_id_++;
+  const auto decision = simfault::hooks::on_message(src, dst, tag);
+  switch (decision.action) {
+    case simfault::hooks::MsgAction::Drop:
+      // The network eats the message: the sender sees a completed send (so
+      // rendezvous waits return immediately), the receiver never will.
+      msg->consumed = true;
+      cv_.notify_all();
+      return msg;
+    case simfault::hooks::MsgAction::HoldBack:
+      held_[static_cast<std::size_t>(src)] = HeldMsg{dst, msg};
+      return msg;
+    case simfault::hooks::MsgAction::Misroute:
+      dst = decision.new_dest;
+      check_rank(dst, "send(misroute)");
+      break;
+    case simfault::hooks::MsgAction::Duplicate: {
+      auto clone = std::make_shared<PendingMsg>();
+      clone->src = msg->src;
+      clone->tag = msg->tag;
+      clone->payload = msg->payload;
+      clone->rendezvous = false;  // the ghost copy never blocks the sender
+      clone->id = next_msg_id_++;
+      mailbox_[static_cast<std::size_t>(dst)].push_back(std::move(clone));
+      break;
+    }
+    case simfault::hooks::MsgAction::Deliver:
+      break;
+  }
   mailbox_[static_cast<std::size_t>(dst)].push_back(msg);
   cv_.notify_all();
   return msg;
+}
+
+void World::flush_held(int src) {
+  auto& slot = held_[static_cast<std::size_t>(src)];
+  if (!slot.has_value()) return;
+  mailbox_[static_cast<std::size_t>(slot->dst)].push_back(std::move(slot->msg));
+  slot.reset();
+  cv_.notify_all();
 }
 
 void World::await_send(int src, const std::shared_ptr<PendingMsg>& msg) {
@@ -165,6 +205,7 @@ void World::collective(int rank, const CollParams& params, std::span<const std::
 
   const util::MutexLock lock(mutex_);
   if (cancelled_) throw DeadlockAbort{cancel_reason_};
+  flush_held(rank);  // collective entry also releases a Reorder-held message
   const std::uint64_t seq = coll_seq_[static_cast<std::size_t>(rank)]++;
   auto it = collectives_.find(seq);
   if (it == collectives_.end()) {
@@ -182,7 +223,11 @@ void World::collective(int rank, const CollParams& params, std::span<const std::
     // the watchdog later converts into truncated traces.
     slot->mismatch = true;
   }
-  slot->contribs[static_cast<std::size_t>(rank)].assign(in.begin(), in.end());
+  auto& contrib = slot->contribs[static_cast<std::size_t>(rank)];
+  contrib.assign(in.begin(), in.end());
+  if ((params.type == CollType::Reduce || params.type == CollType::Allreduce) &&
+      !contrib.empty())
+    simfault::hooks::corrupt_contribution(rank, contrib.data(), contrib.size());
   slot->joined++;
   if (slot->joined == config_.nranks && !slot->mismatch) {
     slot->complete = true;
@@ -228,6 +273,7 @@ void World::collective(int rank, const CollParams& params, std::span<const std::
 void World::mark_finished(int rank) {
   check_rank(rank, "mark_finished");
   const util::MutexLock lock(mutex_);
+  flush_held(rank);
   if (!done_[static_cast<std::size_t>(rank)]) {
     done_[static_cast<std::size_t>(rank)] = true;
     ++finished_;
@@ -238,6 +284,7 @@ void World::mark_finished(int rank) {
 void World::mark_failed(int rank) {
   check_rank(rank, "mark_failed");
   const util::MutexLock lock(mutex_);
+  flush_held(rank);
   if (!done_[static_cast<std::size_t>(rank)]) {
     done_[static_cast<std::size_t>(rank)] = true;
     ++failed_;

@@ -139,12 +139,23 @@ class World {
     std::vector<std::vector<std::byte>> contribs;
   };
 
+  /// A message held back by a Reorder fault plan, pending release.
+  struct HeldMsg {
+    int dst = 0;
+    std::shared_ptr<PendingMsg> msg;
+  };
+
   /// Blocks rank until pred() (or cancellation → DeadlockAbort). The caller
   /// holds mutex_; the wait releases and reacquires it. `pred` runs under
   /// mutex_ here and in the watchdog's detect_deadlock re-evaluation, so
   /// predicates touching guarded state carry their own DT_REQUIRES(mutex_).
   void blocking_wait(int rank, const char* what, const std::function<bool()>& pred)
       DT_REQUIRES(mutex_);
+
+  /// Releases rank's held-back message (Reorder plans): called at the
+  /// sender's next send, collective entry, and rank completion, so a held
+  /// message cannot silently leak past the end of the run.
+  void flush_held(int src) DT_REQUIRES(mutex_);
 
   [[nodiscard]] std::shared_ptr<PendingMsg> find_match(int dst, int src, int tag)
       DT_REQUIRES(mutex_);
@@ -156,6 +167,7 @@ class World {
 
   std::vector<std::deque<std::shared_ptr<PendingMsg>>> mailbox_
       DT_GUARDED_BY(mutex_);  // per destination
+  std::vector<std::optional<HeldMsg>> held_ DT_GUARDED_BY(mutex_);  // per source
   std::map<std::uint64_t, std::shared_ptr<CollSlot>> collectives_ DT_GUARDED_BY(mutex_);
   /// Per-rank collective call counter.
   std::vector<std::uint64_t> coll_seq_ DT_GUARDED_BY(mutex_);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "instrument/tracer.hpp"
+#include "simfault/injector.hpp"
 #include "trace/op.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
@@ -39,6 +40,19 @@ Registry& registry() {
   static Registry r;
   return r;
 }
+
+/// Team thread id of the calling thread (-1 outside a parallel region).
+/// Critical reads it so LockHold fault plans can predicate on the thread
+/// without threading a tid through every Critical construction site.
+thread_local int t_team_tid = -1;
+
+struct TidGuard {
+  int prev;
+  explicit TidGuard(int tid) noexcept : prev(t_team_tid) { t_team_tid = tid; }
+  ~TidGuard() { t_team_tid = prev; }
+  TidGuard(const TidGuard&) = delete;
+  TidGuard& operator=(const TidGuard&) = delete;
+};
 
 /// Semantic op annotation (trace/op.hpp) on the current thread's stream.
 /// Lock acquisitions are annotated *before* blocking on the mutex, so a
@@ -96,6 +110,7 @@ void parallel_region(int proc, int num_threads, const std::function<void(int)>& 
   for (int tid = 1; tid < num_threads; ++tid) {
     workers.emplace_back([&, tid] {
       instrument::ScopedBinding binding(trace::TraceKey{proc, tid});
+      const TidGuard team_tid(tid);
       try {
         fn(tid);
       } catch (...) {
@@ -107,6 +122,7 @@ void parallel_region(int proc, int num_threads, const std::function<void(int)>& 
   // Master participates as thread 0, on the calling thread (which is
   // already bound as {proc, 0} by the MPI runtime).
   try {
+    const TidGuard team_tid(0);
     fn(0);
   } catch (...) {
     capture_error(std::current_exception());
@@ -134,6 +150,14 @@ Critical::Critical(int proc, std::string_view name) : name_(name) {
     TraceScope scope("GOMP_critical_start", Image::OmpLib, /*plt=*/true);
     note_lock_op(trace::OpCode::LockAcquire, name_);
     section_->lock();
+  }
+  // LockHold fault plans: burn N traced virtual ticks while the section is
+  // held, stretching the critical region the way a descheduled holder would.
+  if (simfault::hooks::active()) {
+    const int hold = simfault::hooks::lock_hold_ticks(proc, t_team_tid < 0 ? 0 : t_team_tid);
+    for (int i = 0; i < hold; ++i) {
+      const TraceScope tick("sched_yield", Image::SystemLib, /*plt=*/true);
+    }
   }
 }
 

@@ -389,7 +389,52 @@ StoreStats TraceStore::stats() const {
 
 // --- save (always writes v2) -------------------------------------------------
 
+namespace {
+
+/// Re-encodes a blob's symbol stream with function ids remapped through
+/// `remap` (old id -> canonical id). Flags, ops, codec, and the declared
+/// event count are preserved; an undecodable tail (already-salvaged blobs)
+/// is dropped — those bytes were unreadable under the old ids too.
+TraceBlob remap_blob(const TraceBlob& blob, const std::vector<FunctionId>& remap) {
+  const auto decoded = compress::make_codec(blob.codec_name)
+                           .decoder->decode_prefix(
+                               blob.bytes, std::max(blob.event_count, compress::kDefaultSymbolCap));
+  TraceBlob out = blob;
+  auto codec = compress::make_codec(blob.codec_name);
+  for (const auto symbol : decoded.symbols) {
+    auto event = symbol_to_event(symbol);
+    if (event.fid < remap.size()) event.fid = remap[event.fid];
+    codec.encoder->push(event_to_symbol(event));
+  }
+  codec.encoder->flush();
+  out.bytes = codec.encoder->bytes();
+  return out;
+}
+
+}  // namespace
+
 void TraceStore::save(const std::filesystem::path& path) const {
+  // Archives are canonical: functions serialize in name order, and the blob
+  // streams are remapped to match. In-memory ids are assigned by first
+  // intern, which races between rank threads — without this remap the same
+  // run would save different bytes depending on thread scheduling, breaking
+  // the determinism contract (same seed + plan => byte-identical archives).
+  auto functions = registry_->snapshot();
+  std::vector<std::size_t> order(functions.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&functions](std::size_t a, std::size_t b) {
+    return functions[a].name < functions[b].name;
+  });
+  bool identity = true;
+  std::vector<FunctionId> remap(functions.size());
+  std::vector<FunctionInfo> sorted;
+  sorted.reserve(order.size());
+  for (std::size_t new_id = 0; new_id < order.size(); ++new_id) {
+    identity = identity && order[new_id] == new_id;
+    remap[functions[order[new_id]].id] = static_cast<FunctionId>(new_id);
+    sorted.push_back(functions[order[new_id]]);
+  }
+
   std::vector<std::uint8_t> buf;
   buf.insert(buf.end(), kMagicV2.begin(), kMagicV2.end());
   put_u32(buf, kVersionV2);
@@ -403,13 +448,17 @@ void TraceStore::save(const std::filesystem::path& path) const {
   };
 
   std::vector<std::uint8_t> payload;
-  encode_registry_payload(payload, registry_->snapshot());
+  encode_registry_payload(payload, sorted);
   append_frame(kTagRegistry, payload);
 
   const util::MutexLock lock(mutex_);
   for (const auto& [key, blob] : blobs_) {
     payload.clear();
-    encode_blob_payload(payload, key, blob);
+    if (identity) {
+      encode_blob_payload(payload, key, blob);
+    } else {
+      encode_blob_payload(payload, key, remap_blob(blob, remap));
+    }
     append_frame(kTagBlob, payload);
   }
   write_file(path, buf, "TraceStore::save");

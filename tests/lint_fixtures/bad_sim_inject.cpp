@@ -1,0 +1,20 @@
+// Lint fixture: seeded `sim-only-injection` violation. A simfault hook
+// call compiled into pipeline-side code (this path is outside the
+// simmpi/simomp/apps perimeter). Never compiled.
+#include <cstddef>
+
+namespace difftrace::simfault::hooks {
+bool active();
+int delay_ticks(int rank, int op_index);
+}  // namespace difftrace::simfault::hooks
+
+namespace difftrace::fixture {
+
+std::size_t decode_block(int rank, int op) {
+  if (simfault::hooks::active()) {  // seeded violation
+    return static_cast<std::size_t>(simfault::hooks::delay_ticks(rank, op));  // seeded violation
+  }
+  return 0;
+}
+
+}  // namespace difftrace::fixture

@@ -82,6 +82,21 @@ void enqueue(FakePool& pool) {
   });
 }
 
+// sim-only-injection near-misses: arming a plan through the control-plane
+// surface (InjectorSession / parse_plan) is legal anywhere; only the
+// simfault::hooks:: decision surface is perimeter-bound. Prose naming
+// simfault::hooks::on_message is a comment, not a call.
+namespace simfault {
+struct FaultPlan {};
+struct InjectorSession {
+  explicit InjectorSession(const FaultPlan& plan);
+};
+FaultPlan parse_plan(const std::string& spec);
+}  // namespace simfault
+void arm_for_collection() {
+  const simfault::InjectorSession session(simfault::parse_plan("drop@rank=1"));
+}
+
 // raw-mutex near-miss: a util::Mutex member tied to data via DT_GUARDED_BY.
 class Counter {
  public:

@@ -53,4 +53,11 @@ class Counter {
   long count_ = 0;
 };
 
+namespace simfault::hooks {
+bool active();
+}  // namespace simfault::hooks
+bool probe_injector() {
+  return simfault::hooks::active();  // NOLINT-DT(sim-only-injection): fixture exercising suppression
+}
+
 }  // namespace difftrace::fixture_suppressed

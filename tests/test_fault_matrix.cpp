@@ -1,0 +1,247 @@
+// Golden-verdict wall for `difftrace matrix`: the apps × faults grid must
+// keep producing the verdicts the paper's accuracy claims rest on. The
+// small-grid tests pin report shape, arg validation, hang resolution, and
+// jobs-count invariance; DefaultGridMatchesGolden re-runs the full default
+// grid and holds every pinned (deterministic-app) cell to
+// tests/golden_matrix.json — regenerate that file deliberately, never by
+// letting a regression rewrite it.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cli/commands.hpp"
+#include "util/json.hpp"
+
+namespace difftrace::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FaultMatrix : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           ("difftrace_matrix_" + std::to_string(::getpid()) + "_" + info->name());
+    fs::create_directories(dir_);
+    report_ = (dir_ / "matrix.json").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  int run(const std::vector<std::string>& argv) {
+    out_.str("");
+    err_.str("");
+    return run_command(argv, out_, err_);
+  }
+
+  static util::JsonValue load_json(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return util::parse_json(text.str());
+  }
+
+  /// Cell lookup by (app, spec); fails the test when absent.
+  static const util::JsonValue* find_cell(const util::JsonValue& report, const std::string& app,
+                                          const std::string& spec) {
+    for (const auto& cell : report.at("cells").array) {
+      if (cell.at("app").as_string() == app && cell.at("spec").as_string() == spec) return &cell;
+    }
+    ADD_FAILURE() << "no cell for " << app << " x " << spec;
+    return nullptr;
+  }
+
+  fs::path dir_;
+  std::string report_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+// --- argument validation -----------------------------------------------------
+
+TEST_F(FaultMatrix, RequiresOut) {
+  EXPECT_EQ(run({"matrix"}), 2);
+  EXPECT_NE(err_.str().find("out"), std::string::npos);
+}
+
+TEST_F(FaultMatrix, UnknownAppFails) {
+  EXPECT_EQ(run({"matrix", "--out", report_, "--apps", "nosuchapp"}), 2);
+  EXPECT_NE(err_.str().find("nosuchapp"), std::string::npos);
+}
+
+TEST_F(FaultMatrix, BadFaultSpecFails) {
+  EXPECT_EQ(run({"matrix", "--out", report_, "--faults", "gremlin@rank=1"}), 2);
+  EXPECT_EQ(run({"matrix", "--out", report_, "--faults", "drop@rank=banana"}), 2);
+  EXPECT_EQ(run({"matrix", "--out", report_, "--cell-timeout-ms", "0"}), 2);
+}
+
+// --- small grids -------------------------------------------------------------
+
+TEST_F(FaultMatrix, SmallGridReportShape) {
+  ASSERT_EQ(run({"matrix", "--out", report_, "--quiet", "--apps", "oddeven,stencil", "--faults",
+                 "none;delay@rank=1,op=6,ticks=24;swapBug@rank=1,iter=1"}),
+            0)
+      << err_.str();
+  const auto report = load_json(report_);
+  EXPECT_EQ(report.at("matrix_version").as_int(), 1);
+  EXPECT_EQ(report.at("generator").as_string(), "difftrace matrix");
+  ASSERT_EQ(report.at("apps").array.size(), 2u);
+  ASSERT_EQ(report.at("faults").array.size(), 3u);
+  ASSERT_EQ(report.at("cells").array.size(), 6u);
+  EXPECT_EQ(report.at("summary").at("cells").as_int(), 6);
+
+  // Clean columns ground the wall: no fault, no diagnostic, no suspect.
+  for (const auto* app : {"oddeven", "stencil"}) {
+    const auto* cell = find_cell(report, app, "none");
+    ASSERT_NE(cell, nullptr);
+    EXPECT_EQ(cell->at("run").as_string(), "completed");
+    EXPECT_EQ(cell->at("verdict").as_string(), "clean");
+    EXPECT_EQ(cell->at("check_exit").as_int(), 0);
+    EXPECT_TRUE(cell->at("pinned").as_bool());
+  }
+
+  // Delay completes but leaves injected tick scopes: sweep must put the
+  // injected rank first even though no checker rule names the fault.
+  for (const auto* app : {"oddeven", "stencil"}) {
+    const auto* cell = find_cell(report, app, "delay@rank=1,op=6,ticks=24");
+    ASSERT_NE(cell, nullptr);
+    EXPECT_EQ(cell->at("run").as_string(), "completed");
+    EXPECT_EQ(cell->at("verdict").as_string(), "rank-only");
+    EXPECT_TRUE(cell->at("fired").as_bool());
+    EXPECT_TRUE(cell->at("rank_first").as_bool());
+    EXPECT_EQ(cell->at("consensus").as_int(), 1);
+  }
+
+  // swapBug is oddeven's planted bug; stencil does not implement it.
+  const auto* swap_cell = find_cell(report, "oddeven", "swapBug@rank=1,iter=1");
+  ASSERT_NE(swap_cell, nullptr);
+  EXPECT_EQ(swap_cell->at("verdict").as_string(), "rank-only");
+  const auto* skip_cell = find_cell(report, "stencil", "swapBug@rank=1,iter=1");
+  ASSERT_NE(skip_cell, nullptr);
+  EXPECT_EQ(skip_cell->at("run").as_string(), "skipped");
+  EXPECT_EQ(skip_cell->at("verdict").as_string(), "skipped");
+  EXPECT_EQ(report.at("summary").at("skipped").as_int(), 1);
+}
+
+TEST_F(FaultMatrix, InjectedDeadlocksResolveToHang) {
+  // The watchdog bound is the satellite contract: a DlBug-class deadlock can
+  // never wedge the matrix — it must time out into a `hang` verdict.
+  ASSERT_EQ(run({"matrix", "--out", report_, "--quiet", "--cell-timeout-ms", "8000", "--apps",
+                 "oddeven", "--faults", "none;drop@rank=1;dlBug@rank=1,iter=1"}),
+            0)
+      << err_.str();
+  const auto report = load_json(report_);
+
+  const auto* drop_cell = find_cell(report, "oddeven", "drop@rank=1");
+  ASSERT_NE(drop_cell, nullptr);
+  EXPECT_EQ(drop_cell->at("run").as_string(), "hang");
+  EXPECT_EQ(drop_cell->at("verdict").as_string(), "hang");
+  EXPECT_TRUE(drop_cell->at("fired").as_bool());
+  // Hang cells still grade their truncated archives: the starvation rules
+  // must fire on the watchdog-frozen evidence.
+  EXPECT_TRUE(drop_cell->at("check_ok").as_bool());
+  EXPECT_NE(drop_cell->at("check_exit").as_int(), 0);
+
+  const auto* dl_cell = find_cell(report, "oddeven", "dlBug@rank=1,iter=1");
+  ASSERT_NE(dl_cell, nullptr);
+  EXPECT_EQ(dl_cell->at("run").as_string(), "hang");
+  EXPECT_EQ(dl_cell->at("verdict").as_string(), "hang");
+
+  EXPECT_EQ(report.at("summary").at("hangs").as_int(), 2);
+}
+
+TEST_F(FaultMatrix, JobsCountDoesNotChangeTheWall) {
+  // --jobs only parallelizes grading; every cell's verdict, consensus, and
+  // diagnostics must be identical at any job count.
+  const std::string grid = "none;delay@rank=1,op=6,ticks=24;misroute@rank=1";
+  const auto one = (dir_ / "jobs1.json").string();
+  const auto four = (dir_ / "jobs4.json").string();
+  ASSERT_EQ(run({"matrix", "--out", one, "--quiet", "--jobs", "1", "--cell-timeout-ms", "8000",
+                 "--apps", "stencil,mwq", "--faults", grid}),
+            0)
+      << err_.str();
+  ASSERT_EQ(run({"matrix", "--out", four, "--quiet", "--jobs", "4", "--cell-timeout-ms", "8000",
+                 "--apps", "stencil,mwq", "--faults", grid}),
+            0)
+      << err_.str();
+  const auto a = load_json(one);
+  const auto b = load_json(four);
+  ASSERT_EQ(a.at("cells").array.size(), b.at("cells").array.size());
+  for (std::size_t i = 0; i < a.at("cells").array.size(); ++i) {
+    const auto& ca = a.at("cells").array[i];
+    const auto& cb = b.at("cells").array[i];
+    ASSERT_EQ(ca.at("app").as_string(), cb.at("app").as_string());
+    ASSERT_EQ(ca.at("spec").as_string(), cb.at("spec").as_string());
+    const std::string where = ca.at("app").as_string() + " x " + ca.at("spec").as_string();
+    EXPECT_EQ(ca.at("run").as_string(), cb.at("run").as_string()) << where;
+    EXPECT_EQ(ca.at("verdict").as_string(), cb.at("verdict").as_string()) << where;
+    EXPECT_EQ(ca.at("consensus").as_int(), cb.at("consensus").as_int()) << where;
+    EXPECT_EQ(ca.at("rank_first").as_bool(), cb.at("rank_first").as_bool()) << where;
+    EXPECT_EQ(ca.at("check_exit").as_int(), cb.at("check_exit").as_int()) << where;
+  }
+}
+
+// --- the full wall -----------------------------------------------------------
+
+TEST_F(FaultMatrix, DefaultGridMatchesGolden) {
+  ASSERT_EQ(run({"matrix", "--out", report_, "--quiet", "--cell-timeout-ms", "8000"}), 0)
+      << err_.str();
+  const auto report = load_json(report_);
+
+  // Inline anchors first: load-bearing verdicts that must hold even if
+  // someone regenerates the golden file without looking.
+  const std::vector<std::tuple<std::string, std::string, std::string>> anchors = {
+      {"oddeven", "none", "clean"},
+      {"oddeven", "swapBug@rank=1,iter=1", "rank-only"},
+      {"oddeven", "dlBug@rank=1,iter=1", "hang"},
+      {"oddeven", "drop@rank=1", "hang"},
+      {"stencil", "delay@rank=1,op=6,ticks=24", "rank-only"},
+      {"lulesh", "skipLagrangeLeapFrog@rank=1", "hang"},
+      {"ring", "reorder@rank=1", "hang"},
+  };
+  for (const auto& [app, spec, verdict] : anchors) {
+    const auto* cell = find_cell(report, app, spec);
+    ASSERT_NE(cell, nullptr);
+    EXPECT_EQ(cell->at("verdict").as_string(), verdict) << app << " x " << spec;
+  }
+
+  // ilcs races on purpose: its cells must never be pinned.
+  for (const auto& cell : report.at("cells").array) {
+    if (cell.at("app").as_string() == "ilcs") {
+      EXPECT_FALSE(cell.at("pinned").as_bool());
+    }
+  }
+
+  // Then the full wall: every pinned golden cell must reproduce exactly.
+  const auto golden = load_json(std::string(DIFFTRACE_REPO_ROOT) + "/tests/golden_matrix.json");
+  ASSERT_EQ(golden.at("apps").array.size(), report.at("apps").array.size());
+  ASSERT_EQ(golden.at("faults").array.size(), report.at("faults").array.size());
+  std::size_t pinned = 0;
+  for (const auto& want : golden.at("cells").array) {
+    if (!want.at("pinned").as_bool()) continue;
+    ++pinned;
+    const auto app = want.at("app").as_string();
+    const auto spec = want.at("spec").as_string();
+    const auto* got = find_cell(report, app, spec);
+    ASSERT_NE(got, nullptr);
+    const std::string where = app + " x " + spec;
+    EXPECT_EQ(got->at("run").as_string(), want.at("run").as_string()) << where;
+    EXPECT_EQ(got->at("verdict").as_string(), want.at("verdict").as_string()) << where;
+    EXPECT_EQ(got->at("rank_first").as_bool(), want.at("rank_first").as_bool()) << where;
+    EXPECT_EQ(got->at("check_ok").as_bool(), want.at("check_ok").as_bool()) << where;
+    EXPECT_EQ(got->at("fired").as_bool(), want.at("fired").as_bool()) << where;
+  }
+  // A gutted golden file must not pass silently: the default grid pins all
+  // deterministic-app cells (7 of 8 apps).
+  EXPECT_GE(pinned, 90u);
+}
+
+}  // namespace
+}  // namespace difftrace::cli

@@ -1,0 +1,376 @@
+// simfault tests: the plan grammar (spec + JSON round trips, structured
+// out-of-range rejection), the injector's decision engine (seeded
+// determinism, arm/disarm lifecycle), the FaultSpec bridge, the catalog's
+// validation choke point, and the end-to-end determinism contract — the
+// same (seed, plan) yields byte-identical archives at any DIFFTRACE_JOBS,
+// and injected-fault archives survive chaos + salvage + check.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analyze/analyze.hpp"
+#include "apps/catalog.hpp"
+#include "apps/faults.hpp"
+#include "apps/runner.hpp"
+#include "apps/stencil.hpp"
+#include "simfault/injector.hpp"
+#include "simfault/plan.hpp"
+#include "trace/chaos.hpp"
+#include "trace/store.hpp"
+
+namespace difftrace::simfault {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path temp_path(const std::string& name) {
+  return fs::temp_directory_path() / ("difftrace_simfault_" + name);
+}
+
+std::vector<std::uint8_t> file_bytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in), {});
+}
+
+// --- plan grammar -----------------------------------------------------------
+
+TEST(FaultPlan, ParsesCompactSpec) {
+  const auto plan = parse_plan("drop@rank=1,op=3");
+  EXPECT_EQ(plan.cls, FaultClass::Drop);
+  EXPECT_EQ(plan.rank, 1);
+  EXPECT_EQ(plan.op_index, 3);
+  EXPECT_EQ(plan.thread, -1);
+  EXPECT_EQ(plan.iteration, -1);
+}
+
+TEST(FaultPlan, ParsesEveryClassName) {
+  const std::vector<std::string> names = {
+      "drop", "dup",     "reorder",       "misroute",            "corrupt",
+      "skip", "delay",   "lockhold",      "swapBug",             "dlBug",
+      "ompNoCritical",   "wrongCollectiveSize", "wrongCollectiveOp",
+      "skipLagrangeLeapFrog"};
+  for (const auto& name : names) {
+    const auto cls = fault_class_from_name(name);
+    EXPECT_EQ(fault_class_name(cls), name) << name;
+  }
+  EXPECT_THROW((void)fault_class_from_name("gremlin"), PlanError);
+}
+
+TEST(FaultPlan, SpecRoundTrip) {
+  for (const auto* spec : {"delay@rank=2,op=6,ticks=24", "skip@rank=1,iter=1",
+                           "misroute@rank=0,to=3", "corrupt@rank=3,seed=7",
+                           "ompNoCritical@rank=1,thread=2"}) {
+    const auto plan = parse_plan(spec);
+    EXPECT_EQ(parse_plan(plan.to_spec()), plan) << spec;
+  }
+}
+
+TEST(FaultPlan, JsonRoundTrip) {
+  const auto plan = parse_plan("delay@rank=2,op=6,ticks=24,seed=99");
+  const auto from_json = parse_plan(plan.to_json());
+  EXPECT_EQ(from_json, plan);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)parse_plan(""), PlanError);
+  EXPECT_THROW((void)parse_plan("drop@rank=banana"), PlanError);
+  EXPECT_THROW((void)parse_plan("drop@altitude=3"), PlanError);
+  EXPECT_THROW((void)parse_plan("drop@rank"), PlanError);
+  try {
+    (void)parse_plan("drop@rank=zap");
+    FAIL() << "expected PlanError";
+  } catch (const PlanError& e) {
+    EXPECT_EQ(e.field(), "rank");
+  }
+}
+
+TEST(FaultPlan, ValidateRejectsOutOfRangeCoordinates) {
+  const AppShape shape{4, 2, 8};
+  EXPECT_NO_THROW(validate_plan(parse_plan("drop@rank=3"), shape));
+  EXPECT_THROW(validate_plan(parse_plan("drop@rank=4"), shape), PlanError);
+  EXPECT_THROW(validate_plan(parse_plan("lockhold@rank=1,thread=2"), shape), PlanError);
+  EXPECT_THROW(validate_plan(parse_plan("skip@rank=1,iter=8"), shape), PlanError);
+  EXPECT_THROW(validate_plan(parse_plan("delay@rank=1,ticks=0"), shape), PlanError);
+  // lockhold must name a rank: a wildcard would hold every critical section.
+  EXPECT_THROW(validate_plan(parse_plan("lockhold@ticks=4"), shape), PlanError);
+}
+
+// --- legacy FaultSpec bridge -------------------------------------------------
+
+TEST(FaultBridge, SpecPlanRoundTrip) {
+  apps::FaultSpec spec;
+  spec.type = apps::FaultType::OmpNoCritical;
+  spec.proc = 2;
+  spec.thread = 1;
+  const auto plan = apps::to_fault_plan(spec);
+  EXPECT_EQ(plan.cls, FaultClass::OmpNoCritical);
+  EXPECT_EQ(plan.rank, 2);
+  EXPECT_EQ(plan.thread, 1);
+  const auto back = apps::to_fault_spec(plan);
+  EXPECT_EQ(back.type, spec.type);
+  EXPECT_EQ(back.proc, spec.proc);
+  EXPECT_EQ(back.thread, spec.thread);
+}
+
+TEST(FaultBridge, RuntimeClassesHaveNoLegacySpelling) {
+  EXPECT_THROW((void)apps::to_fault_spec(parse_plan("drop@rank=1")), PlanError);
+  EXPECT_THROW((void)apps::to_fault_spec(parse_plan("delay@rank=1")), PlanError);
+}
+
+// --- injector decision engine ------------------------------------------------
+
+TEST(Injector, HooksNeutralWhenDisarmed) {
+  Injector::instance().disarm();
+  EXPECT_FALSE(hooks::active());
+  EXPECT_EQ(hooks::op_enter(0), -1);
+  EXPECT_EQ(hooks::delay_ticks(0, 5), 0);
+  EXPECT_EQ(hooks::on_message(0, 1, 7).action, hooks::MsgAction::Deliver);
+  EXPECT_TRUE(hooks::begin_iteration(0, 0));
+  EXPECT_EQ(hooks::lock_hold_ticks(0, 0), 0);
+}
+
+TEST(Injector, SessionArmsAndDisarms) {
+  const AppShape shape{4, 1, 8};
+  {
+    const InjectorSession session(parse_plan("delay@rank=1,op=2,ticks=5"), shape);
+    EXPECT_TRUE(hooks::active());
+    EXPECT_EQ(hooks::op_enter(1), 0);
+    EXPECT_EQ(hooks::delay_ticks(1, 0), 0);  // op 0, predicate wants op 2
+    EXPECT_EQ(hooks::op_enter(1), 1);
+    EXPECT_EQ(hooks::op_enter(1), 2);
+    EXPECT_EQ(hooks::delay_ticks(1, 2), 5);
+    EXPECT_EQ(hooks::delay_ticks(0, 2), 0);  // wrong rank
+    EXPECT_EQ(session.fired(), 1u);
+  }
+  EXPECT_FALSE(hooks::active());
+}
+
+TEST(Injector, DropDecisionIsPerSenderOp) {
+  const AppShape shape{4, 1, 8};
+  const InjectorSession session(parse_plan("drop@rank=2,op=0"), shape);
+  (void)hooks::op_enter(2);  // rank 2 now executing op 0
+  EXPECT_EQ(hooks::on_message(2, 3, 7).action, hooks::MsgAction::Drop);
+  (void)hooks::op_enter(2);  // op 1: predicate no longer matches
+  EXPECT_EQ(hooks::on_message(2, 3, 7).action, hooks::MsgAction::Deliver);
+  EXPECT_EQ(hooks::on_message(1, 3, 7).action, hooks::MsgAction::Deliver);
+}
+
+TEST(Injector, MisrouteTargetIsSeedDeterministic) {
+  const AppShape shape{8, 1, 8};
+  int first = -2;
+  for (int trial = 0; trial < 3; ++trial) {
+    const InjectorSession session(parse_plan("misroute@rank=1,seed=11"), shape);
+    (void)hooks::op_enter(1);
+    const auto decision = hooks::on_message(1, 2, 7);
+    if (decision.action == hooks::MsgAction::Misroute) {
+      EXPECT_GE(decision.new_dest, 0);
+      EXPECT_LT(decision.new_dest, 8);
+      EXPECT_NE(decision.new_dest, 2);
+    }
+    const int got = decision.action == hooks::MsgAction::Misroute ? decision.new_dest : -1;
+    if (trial == 0)
+      first = got;
+    else
+      EXPECT_EQ(got, first);  // same seed, same coordinates => same target
+  }
+}
+
+TEST(Injector, ExplicitMisrouteTargetWins) {
+  const AppShape shape{4, 1, 8};
+  const InjectorSession session(parse_plan("misroute@rank=1,to=0"), shape);
+  (void)hooks::op_enter(1);
+  const auto decision = hooks::on_message(1, 2, 7);
+  ASSERT_EQ(decision.action, hooks::MsgAction::Misroute);
+  EXPECT_EQ(decision.new_dest, 0);
+}
+
+TEST(Injector, CorruptionIsSeededAndNonZero) {
+  const AppShape shape{4, 1, 8};
+  std::vector<std::byte> a(16, std::byte{0}), b(16, std::byte{0});
+  {
+    const InjectorSession session(parse_plan("corrupt@rank=1,seed=5"), shape);
+    EXPECT_TRUE(hooks::corrupt_contribution(1, a.data(), a.size()));
+    EXPECT_FALSE(hooks::corrupt_contribution(0, b.data(), b.size()));
+  }
+  EXPECT_NE(a, std::vector<std::byte>(16, std::byte{0}));  // pattern never zero
+  EXPECT_EQ(b, std::vector<std::byte>(16, std::byte{0}));
+  std::vector<std::byte> c(16, std::byte{0});
+  {
+    const InjectorSession session(parse_plan("corrupt@rank=1,seed=5"), shape);
+    EXPECT_TRUE(hooks::corrupt_contribution(1, c.data(), c.size()));
+  }
+  EXPECT_EQ(a, c);  // same seed => same pattern
+}
+
+TEST(Injector, SkipIterFiresOnce) {
+  const AppShape shape{4, 1, 8};
+  const InjectorSession session(parse_plan("skip@rank=1,iter=2"), shape);
+  for (int iter = 0; iter < 4; ++iter) {
+    EXPECT_EQ(hooks::begin_iteration(1, iter), iter != 2) << iter;
+    EXPECT_TRUE(hooks::begin_iteration(0, iter));
+  }
+  EXPECT_EQ(session.fired(), 1u);
+}
+
+TEST(Injector, ArmRejectsInvalidPlan) {
+  const AppShape shape{4, 1, 8};
+  EXPECT_THROW(Injector::instance().arm(parse_plan("drop@rank=9"), shape), PlanError);
+  EXPECT_FALSE(Injector::instance().armed());
+}
+
+// --- catalog choke point -----------------------------------------------------
+
+TEST(Catalog, HasAtLeastEightApps) {
+  EXPECT_GE(apps::app_catalog().size(), 8u);
+  for (const auto* name :
+       {"oddeven", "ilcs", "lulesh", "stencil", "mwq", "pcpipe", "ring", "redtree"})
+    EXPECT_NE(apps::find_app(name), nullptr) << name;
+  EXPECT_EQ(apps::find_app("nosuch"), nullptr);
+}
+
+TEST(Catalog, RejectsOutOfRangePlans) {
+  const auto* app = apps::find_app("stencil");
+  ASSERT_NE(app, nullptr);
+  apps::AppParams params;
+  params.plan = parse_plan("drop@rank=99");
+  EXPECT_THROW((void)apps::make_rank_fn(*app, params), PlanError);
+  params.plan = parse_plan("skip@rank=1,iter=99");
+  EXPECT_THROW((void)apps::make_rank_fn(*app, params), PlanError);
+}
+
+TEST(Catalog, RejectsAppSideClassTheAppLacks) {
+  const auto* app = apps::find_app("stencil");
+  ASSERT_NE(app, nullptr);
+  apps::AppParams params;
+  params.plan = parse_plan("dlBug@rank=1,iter=1");
+  EXPECT_THROW((void)apps::make_rank_fn(*app, params), PlanError);
+}
+
+// --- end-to-end determinism --------------------------------------------------
+
+simmpi::WorldConfig fast_world(int nranks) {
+  simmpi::WorldConfig config;
+  config.nranks = nranks;
+  config.watchdog_poll = std::chrono::milliseconds(5);
+  config.wall_timeout = std::chrono::milliseconds(20'000);
+  return config;
+}
+
+std::vector<std::uint8_t> collect_bytes(const std::string& app_name, const std::string& spec,
+                                        const std::string& tag) {
+  const auto* app = apps::find_app(app_name);
+  EXPECT_NE(app, nullptr);
+  apps::AppParams params;
+  params.plan = spec == "none" ? FaultPlan{} : parse_plan(spec);
+  auto fn = apps::make_rank_fn(*app, params);
+  const auto resolved = apps::resolve_params(*app, params);
+  std::optional<InjectorSession> session;
+  if (is_runtime_class(resolved.plan.cls)) session.emplace(resolved.plan, app->shape(resolved));
+  auto run = apps::run_traced(fast_world(resolved.nranks), fn);
+  const auto path = temp_path(app_name + "_" + tag + ".dtrc");
+  run.store.save(path.string());
+  auto bytes = file_bytes(path);
+  fs::remove(path);
+  return bytes;
+}
+
+TEST(Determinism, SameSeedSamePlanByteIdenticalAtAnyJobCount) {
+  // Collection never touches the pool, and every injector decision hashes
+  // the plan seed with logical coordinates — so DIFFTRACE_JOBS must not be
+  // able to change a single archive byte.
+  for (const auto* spec : {"delay@rank=2,op=6,ticks=24", "skip@rank=1,iter=1", "drop@rank=1"}) {
+    std::vector<std::vector<std::uint8_t>> runs;
+    for (const auto* jobs : {"1", "2", "8"}) {
+      ::setenv("DIFFTRACE_JOBS", jobs, 1);
+      runs.push_back(collect_bytes("stencil", spec, std::string("jobs") + jobs));
+    }
+    ::unsetenv("DIFFTRACE_JOBS");
+    EXPECT_FALSE(runs[0].empty());
+    EXPECT_EQ(runs[0], runs[1]) << spec;
+    EXPECT_EQ(runs[0], runs[2]) << spec;
+  }
+}
+
+TEST(Determinism, RepeatedInjectedRunsAreByteIdentical) {
+  const auto a = collect_bytes("mwq", "misroute@rank=1", "a");
+  const auto b = collect_bytes("mwq", "misroute@rank=1", "b");
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  // The seed is part of the plan identity: corrupt patterns must change.
+  const auto* app = apps::find_app("stencil");
+  ASSERT_NE(app, nullptr);
+  std::vector<double> sinks[2];
+  int i = 0;
+  for (const auto* spec : {"corrupt@rank=1,seed=5", "corrupt@rank=1,seed=6"}) {
+    apps::AppParams params;
+    params.plan = parse_plan(spec);
+    const auto resolved = apps::resolve_params(*app, params);
+    std::vector<double> residuals(static_cast<std::size_t>(resolved.nranks), 0.0);
+    // Rebuild with a residual sink so the corrupted reduction is observable.
+    apps::StencilConfig config;
+    config.nranks = resolved.nranks;
+    config.cells_per_rank = resolved.size;
+    config.iterations = resolved.iterations;
+    config.residual_sink = &residuals;
+    const InjectorSession session(resolved.plan, app->shape(resolved));
+    auto run = apps::run_traced(fast_world(resolved.nranks),
+                                [&config](simmpi::Comm& c) { apps::stencil_rank(c, config); });
+    EXPECT_TRUE(run.report.all_completed()) << spec;
+    EXPECT_GT(session.fired(), 0u) << spec;
+    sinks[i++] = residuals;
+  }
+  EXPECT_FALSE(sinks[0].empty());
+  EXPECT_NE(sinks[0], sinks[1]);
+}
+
+// --- chaos + salvage over injected-fault archives ----------------------------
+
+TEST(ChaosSalvage, InjectedHangArchiveSurvivesMutationAndCheck) {
+  // A drop-injected run deadlocks; the watchdog truncates the archive like a
+  // killed job. That archive, further damaged by chaos, must still salvage
+  // and check without throwing — degraded evidence, never a crash.
+  const auto* app = apps::find_app("ring");
+  ASSERT_NE(app, nullptr);
+  apps::AppParams params;
+  params.plan = parse_plan("drop@rank=1");
+  auto fn = apps::make_rank_fn(*app, params);
+  const auto resolved = apps::resolve_params(*app, params);
+  trace::TraceStore store;
+  {
+    const InjectorSession session(resolved.plan, app->shape(resolved));
+    auto run = apps::run_traced(fast_world(resolved.nranks), fn);
+    EXPECT_TRUE(run.report.deadlock);
+    EXPECT_GT(session.fired(), 0u);
+    store = std::move(run.store);
+  }
+  const auto clean = temp_path("chaos_clean.dtrc");
+  store.save(clean.string());
+  const auto archive = trace::chaos_read_file(clean);
+  fs::remove(clean);
+
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto mutated = trace::chaos_inject(archive, trace::ChaosFault::Truncate, seed);
+    const auto hurt = temp_path("chaos_hurt.dtrc");
+    trace::chaos_write_file(hurt, mutated.bytes);
+    const auto result = trace::TraceStore::salvage(hurt);
+    fs::remove(hurt);
+    if (result.store.size() == 0) continue;  // everything lost: acceptable, not a crash
+    EXPECT_NO_THROW({
+      const auto report = analyze::run_checks(result.store);
+      (void)report.exit_code();
+    }) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace difftrace::simfault

@@ -148,14 +148,52 @@ TEST(Store, SaveLoadRoundTrip) {
   const auto loaded = TraceStore::load(path);
   std::filesystem::remove(path);
 
+  // Archives are canonical: functions serialize name-sorted (so saved bytes
+  // are independent of intern order) and blob streams are remapped to match.
   EXPECT_EQ(loaded.registry().size(), 2u);
-  EXPECT_EQ(loaded.registry().name(1), "MPI_Send");
-  EXPECT_EQ(loaded.registry().info(1).image, Image::MpiLib);
+  EXPECT_EQ(loaded.registry().name(0), "MPI_Send");
+  EXPECT_EQ(loaded.registry().info(0).image, Image::MpiLib);
+  EXPECT_EQ(loaded.registry().name(1), "main");
   ASSERT_TRUE(loaded.contains({2, 3}));
   EXPECT_TRUE(loaded.blob({2, 3}).truncated);
   const auto events = loaded.decode({2, 3});
   ASSERT_EQ(events.size(), 3u);
-  EXPECT_EQ(events[1], (TraceEvent{1, EventKind::Call}));
+  EXPECT_EQ(events[0], (TraceEvent{1, EventKind::Call}));   // main
+  EXPECT_EQ(events[1], (TraceEvent{0, EventKind::Call}));   // MPI_Send
+  EXPECT_EQ(events[2], (TraceEvent{0, EventKind::Return}));
+}
+
+TEST(Store, SaveIsCanonicalAcrossInternOrder) {
+  // Two stores with the same traces but opposite intern order must save
+  // byte-identical archives — the racy first-intern order between rank
+  // threads must never reach the bytes.
+  const auto build = [](bool reversed) {
+    TraceStore store;
+    if (reversed) {
+      store.registry().intern("beta", Image::Main);
+      store.registry().intern("alpha", Image::Main);
+    } else {
+      store.registry().intern("alpha", Image::Main);
+      store.registry().intern("beta", Image::Main);
+    }
+    const auto alpha = *store.registry().find("alpha");
+    const auto beta = *store.registry().find("beta");
+    TraceWriter writer({0, 0});
+    writer.record(EventKind::Call, alpha);
+    writer.record(EventKind::Call, beta);
+    writer.record(EventKind::Return, beta);
+    writer.record(EventKind::Return, alpha);
+    writer.flush();
+    store.absorb(writer);
+    const auto path = std::filesystem::temp_directory_path() /
+                      (reversed ? "difftrace_canon_r.bin" : "difftrace_canon_f.bin");
+    store.save(path);
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)), {});
+    std::filesystem::remove(path);
+    return bytes;
+  };
+  EXPECT_EQ(build(false), build(true));
 }
 
 TEST(Store, LoadRejectsGarbage) {

@@ -1,0 +1,253 @@
+#!/usr/bin/env python3
+"""Validate a `difftrace matrix` report against schema version 1.
+
+The report is the machine-readable output of the apps x fault-plans
+accuracy wall (`difftrace matrix --out FILE`). The schema is documented in
+DESIGN.md ("Fault injection") and mirrored by cli/matrix.cpp. CI runs this
+over a pruned grid so the verdict contract — stable field names, coherent
+run/verdict pairs, a grid that actually covers apps x faults — is
+enforced, not just described.
+
+With --golden GOLDEN.json the report is also diffed against a pinned
+verdict wall: every `pinned` cell present in the golden file must
+reproduce its golden verdict, rank_first, and check_ok bits exactly
+(deterministic apps promise run-to-run stable archives, so a drifting
+pinned cell is a regression, not noise). Unpinned cells — apps with
+wall-clock pacing or racing threads — are never compared.
+
+Usage: tools/check_matrix.py REPORT.json [--golden GOLDEN.json]
+           [--require-apps N] [--require-faults N]
+Exit code: 0 when the report validates, 1 otherwise (problems on stderr).
+
+Stdlib only — no third-party JSON-schema machinery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+RUNS = {"completed", "hang", "failed", "skipped"}
+VERDICTS = {
+    "clean",
+    "false-positive",
+    "hang",
+    "detected",
+    "rank-only",
+    "check-only",
+    "silent",
+    "skipped",
+    "failed",
+}
+# Verdicts a run state may legally carry. `hang` runs always resolve to the
+# `hang` verdict — the bounded-watchdog contract for injected deadlocks.
+RUN_VERDICTS = {
+    "completed": {"clean", "false-positive", "detected", "rank-only", "check-only", "silent"},
+    "hang": {"hang"},
+    "failed": {"failed"},
+    "skipped": {"skipped"},
+}
+
+
+class Problems:
+    def __init__(self) -> None:
+        self.messages: list[str] = []
+
+    def add(self, message: str) -> None:
+        self.messages.append(message)
+
+    def expect(self, obj: dict, key: str, kinds, where: str) -> object:
+        """Checks obj[key] exists with one of `kinds`; returns it (or None)."""
+        if key not in obj:
+            self.add(f"{where}: missing key '{key}'")
+            return None
+        value = obj[key]
+        if not isinstance(value, kinds) or isinstance(value, bool) and kinds is not bool:
+            self.add(f"{where}: '{key}' has type {type(value).__name__}")
+            return None
+        return value
+
+
+def check_cell(cell: dict, where: str, apps: list, faults: list, problems: Problems) -> None:
+    app = problems.expect(cell, "app", str, where)
+    problems.expect(cell, "fault", str, where)
+    spec = problems.expect(cell, "spec", str, where)
+    problems.expect(cell, "pinned", bool, where)
+    run = problems.expect(cell, "run", str, where)
+    problems.expect(cell, "fired", bool, where)
+    problems.expect(cell, "injected_rank", int, where)
+    problems.expect(cell, "consensus", int, where)
+    rank_first = problems.expect(cell, "rank_first", bool, where)
+    problems.expect(cell, "check_exit", int, where)
+    rules = problems.expect(cell, "check_rules", list, where)
+    problems.expect(cell, "check_ok", bool, where)
+    verdict = problems.expect(cell, "verdict", str, where)
+
+    if app is not None and apps and app not in apps:
+        problems.add(f"{where}: app '{app}' not in the report's apps list")
+    if spec is not None and faults and spec not in faults:
+        problems.add(f"{where}: spec '{spec}' not in the report's faults list")
+    if rules is not None and not all(isinstance(r, str) for r in rules):
+        problems.add(f"{where}: check_rules entries must be strings")
+    if run is not None and run not in RUNS:
+        problems.add(f"{where}: unknown run state '{run}'")
+    if verdict is not None and verdict not in VERDICTS:
+        problems.add(f"{where}: unknown verdict '{verdict}'")
+    if run in RUN_VERDICTS and verdict is not None and verdict not in RUN_VERDICTS[run]:
+        problems.add(f"{where}: run '{run}' cannot carry verdict '{verdict}'")
+    if verdict == "detected" and rank_first is False:
+        problems.add(f"{where}: verdict 'detected' with rank_first false")
+    injected = cell.get("injected_rank")
+    consensus = cell.get("consensus")
+    if (
+        rank_first is True
+        and isinstance(injected, int)
+        and isinstance(consensus, int)
+        and injected != consensus
+    ):
+        problems.add(f"{where}: rank_first but consensus {consensus} != injected {injected}")
+
+
+def check_summary(doc: dict, cells: list, problems: Problems) -> None:
+    summary = problems.expect(doc, "summary", dict, "matrix")
+    if summary is None:
+        return
+    counted = {
+        "cells": len(cells),
+        "hangs": sum(1 for c in cells if isinstance(c, dict) and c.get("run") == "hang"),
+        "skipped": sum(1 for c in cells if isinstance(c, dict) and c.get("run") == "skipped"),
+        "failed": sum(1 for c in cells if isinstance(c, dict) and c.get("run") == "failed"),
+        "detected": sum(1 for c in cells if isinstance(c, dict) and c.get("verdict") == "detected"),
+        "rank_first": sum(1 for c in cells if isinstance(c, dict) and c.get("rank_first") is True),
+    }
+    for key, expected in counted.items():
+        value = problems.expect(summary, key, int, "summary")
+        if value is not None and value != expected:
+            problems.add(f"summary: '{key}' is {value} but the cells say {expected}")
+    problems.expect(summary, "check_ok", int, "summary")
+
+
+def check_matrix(doc: object, require_apps: int, require_faults: int) -> list[str]:
+    problems = Problems()
+    if not isinstance(doc, dict):
+        return ["document root is not an object"]
+
+    version = problems.expect(doc, "matrix_version", int, "matrix")
+    if version is not None and version != 1:
+        problems.add(f"matrix: unsupported matrix_version {version}")
+    problems.expect(doc, "generator", str, "matrix")
+    problems.expect(doc, "jobs", int, "matrix")
+    problems.expect(doc, "cell_timeout_ms", int, "matrix")
+
+    apps = problems.expect(doc, "apps", list, "matrix") or []
+    faults = problems.expect(doc, "faults", list, "matrix") or []
+    if not all(isinstance(a, str) for a in apps):
+        problems.add("matrix: apps entries must be strings")
+    if not all(isinstance(f, str) for f in faults):
+        problems.add("matrix: faults entries must be strings")
+    if len(set(apps)) != len(apps):
+        problems.add("matrix: duplicate app in apps list")
+    if len(set(faults)) != len(faults):
+        problems.add("matrix: duplicate spec in faults list")
+    if len(apps) < require_apps:
+        problems.add(f"matrix: {len(apps)} app(s), required at least {require_apps}")
+    if len(faults) < require_faults:
+        problems.add(f"matrix: {len(faults)} fault column(s), required at least {require_faults}")
+
+    cells = problems.expect(doc, "cells", list, "matrix")
+    if cells is None:
+        return problems.messages
+    if apps and faults and len(cells) != len(apps) * len(faults):
+        problems.add(
+            f"matrix: {len(cells)} cell(s) but {len(apps)} apps x {len(faults)} faults"
+            f" = {len(apps) * len(faults)}"
+        )
+    seen = set()
+    for i, cell in enumerate(cells):
+        where = f"cells[{i}]"
+        if not isinstance(cell, dict):
+            problems.add(f"{where}: not an object")
+            continue
+        check_cell(cell, where, apps, faults, problems)
+        key = (cell.get("app"), cell.get("spec"))
+        if key in seen:
+            problems.add(f"{where}: duplicate cell {key}")
+        seen.add(key)
+
+    check_summary(doc, cells, problems)
+    return problems.messages
+
+
+def check_golden(doc: dict, golden: dict) -> list[str]:
+    """Pinned-cell regression wall: every pinned golden cell must reproduce."""
+    problems: list[str] = []
+    cells = {
+        (c.get("app"), c.get("spec")): c
+        for c in doc.get("cells", [])
+        if isinstance(c, dict)
+    }
+    for gold in golden.get("cells", []):
+        if not isinstance(gold, dict) or not gold.get("pinned"):
+            continue
+        key = (gold.get("app"), gold.get("spec"))
+        cell = cells.get(key)
+        if cell is None:
+            problems.append(f"golden: pinned cell {key} missing from the report")
+            continue
+        for field in ("verdict", "run", "rank_first", "check_ok", "fired"):
+            if field in gold and cell.get(field) != gold[field]:
+                problems.append(
+                    f"golden: {key} {field} regressed: "
+                    f"got {cell.get(field)!r}, pinned {gold[field]!r}"
+                )
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="matrix JSON written by `difftrace matrix --out`")
+    parser.add_argument("--golden", help="pinned verdict wall to diff against")
+    parser.add_argument(
+        "--require-apps", type=int, default=0, help="minimum number of app columns"
+    )
+    parser.add_argument(
+        "--require-faults", type=int, default=0, help="minimum number of fault rows"
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.report, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_matrix: cannot read {args.report}: {e}", file=sys.stderr)
+        return 1
+
+    problems = check_matrix(doc, args.require_apps, args.require_faults)
+    if args.golden and not problems:
+        try:
+            with open(args.golden, encoding="utf-8") as f:
+                golden = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"check_matrix: cannot read {args.golden}: {e}", file=sys.stderr)
+            return 1
+        problems += check_golden(doc, golden)
+
+    if problems:
+        for message in problems:
+            print(f"check_matrix: {message}", file=sys.stderr)
+        print(f"check_matrix: {args.report}: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+
+    cells = doc.get("cells", [])
+    summary = doc.get("summary", {})
+    print(
+        f"check_matrix: {args.report}: ok ({len(doc.get('apps', []))} apps x "
+        f"{len(doc.get('faults', []))} faults, {len(cells)} cells, "
+        f"{summary.get('detected', 0)} detected, {summary.get('hangs', 0)} hang)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

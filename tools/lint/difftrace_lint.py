@@ -226,6 +226,24 @@ def _scan_task_throw(lines: list[str]) -> Iterable[tuple[int, str]]:
     return
 
 
+# --- sim-only-injection ---------------------------------------------------
+# The fault injector's hook surface (simfault::hooks::*) may be compiled
+# only into the simulated runtimes it perturbs — simmpi, simomp, the
+# miniapps, and simfault itself. A hook call in the analysis pipeline or
+# the CLI would mean injected faults could perturb *analysis* of a trace,
+# not just its collection, breaking the determinism contract. (Arming via
+# simfault::InjectorSession / parse_plan is control-plane and stays legal
+# anywhere.)
+
+_SIM_HOOK_RE = re.compile(r"\bsimfault\s*::\s*hooks\s*::")
+
+
+def _scan_sim_inject(lines: list[str]) -> Iterable[tuple[int, str]]:
+    for i, line in enumerate(lines, start=1):
+        if _SIM_HOOK_RE.search(line):
+            yield i, "simfault::hooks:: call outside the simulated runtimes (injection points live in simmpi/simomp/apps only)"
+
+
 # --- raw-mutex ------------------------------------------------------------
 # All locking goes through util::Mutex / util::MutexLock / util::CondVar so
 # Clang thread-safety analysis can see it; raw std primitives are invisible
@@ -284,6 +302,12 @@ RULES: list[Rule] = [
         "no throw escaping a Pool task lambda (workers have no handler)",
         exempt=lambda p: False,
         scan=_scan_task_throw,
+    ),
+    Rule(
+        "sim-only-injection",
+        "no simfault::hooks:: call sites outside simfault/simmpi/simomp/apps",
+        exempt=lambda p: _has_dir(p, "simfault", "simmpi", "simomp", "apps"),
+        scan=_scan_sim_inject,
     ),
     Rule(
         "raw-mutex",

@@ -32,6 +32,7 @@ EXPECTED: dict[str, set[tuple[str, int]]] = {
     "bad_determinism.cpp": {("determinism", 10), ("determinism", 14), ("determinism", 18)},
     "bad_naked_new.cpp": {("naked-new", 9), ("naked-new", 13)},
     "bad_task_throw.cpp": {("task-throw", 15)},
+    "bad_sim_inject.cpp": {("sim-only-injection", 14), ("sim-only-injection", 15)},
     "bad_raw_mutex.cpp": {("raw-mutex", 18), ("raw-mutex", 19)},
     "clean.cpp": set(),
     "suppressed.cpp": set(),
