@@ -1,0 +1,405 @@
+#include "analyze/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "analyze/facts.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "trace/opspan.hpp"
+
+namespace difftrace::analyze {
+
+namespace {
+
+using trace::OpCode;
+using trace::OpRecord;
+
+[[nodiscard]] bool is_send_post(OpCode c) noexcept {
+  return c == OpCode::SendPost || c == OpCode::IsendPost;
+}
+[[nodiscard]] bool is_recv_post(OpCode c) noexcept {
+  return c == OpCode::RecvPost || c == OpCode::IrecvPost;
+}
+
+}  // namespace
+
+AbstractEngine::AbstractEngine(const trace::TraceStore& store, const CheckOptions& options)
+    : store_(&store),
+      options_(&options),
+      // The default K=10 is tuned for bare function-name streams; the check
+      // IR interleaves op tokens with events, so one iteration's block runs
+      // longer — 16 keeps typical bodies recognizable.
+      ir_(core::NlrConfig{.k = 16, .min_reps = 2, .fold_known_bodies = false}),
+      effects_(ir_) {
+  if (!options.cache_dir.empty()) cache_ = std::make_unique<sched::Cache>(options.cache_dir);
+}
+
+void AbstractEngine::log_fallback(trace::TraceKey key, const std::string& reason) {
+  if (options_->fallback_log != nullptr)
+    *options_->fallback_log << "[fallback] stream " << key.label() << " " << reason << "\n";
+}
+
+const FlatBody& AbstractEngine::flat_body(std::uint32_t loop_id) {
+  const auto it = flat_bodies_.find(loop_id);
+  if (it != flat_bodies_.end()) return it->second;
+  return flat_bodies_.emplace(loop_id, flatten_body(ir_, loop_id)).first->second;
+}
+
+void AbstractEngine::classify_blocked_facts(StreamFacts& f, bool has_last_op,
+                                            std::uint32_t last_op_payload,
+                                            std::uint64_t last_op_event) const {
+  const auto* registry = store_->registry_ptr().get();
+  for (auto it = f.open_frames.rbegin(); it != f.open_frames.rend(); ++it) {
+    const auto image = registry_fn_image(registry, it->fid);
+    if (image == trace::Image::Internal || image == trace::Image::SystemLib) continue;
+    if (image == trace::Image::MpiLib || image == trace::Image::OmpLib) {
+      f.blocked = true;
+      f.blocked_fid = it->fid;
+      f.blocked_call_index = it->call_index;
+      if (has_last_op && last_op_event > f.blocked_call_index) {
+        f.pending = ir_.op_payload(last_op_payload);
+        f.pending->event_index = last_op_event;
+      }
+    }
+    break;  // an open Main-image frame below the top means not runtime-blocked
+  }
+}
+
+StreamSummary AbstractEngine::summarize_concrete(StreamInfo& s) {
+  classify_blocked(s, store_->registry_ptr().get());
+  StreamSummary summary;
+  fill_shape_facts(s, summary.facts);
+  fill_lock_facts(s, summary.facts);
+  fill_mpi_facts(s, summary.facts);
+  segments_from_colls(summary);
+  summary.facts.colls.clear();  // flatten_colls re-materializes from the segments
+  return summary;
+}
+
+StreamSummary AbstractEngine::summarize(trace::TraceKey key) {
+  static auto& cache_hits = obs::counter("check.summary_cache_hit");
+  static auto& cache_misses = obs::counter("check.summary_cache_miss");
+  std::string cache_key;
+  if (cache_ != nullptr) {
+    cache_key = check_summary_key(*store_, key, ir_.config());
+    if (auto payload = cache_->lookup(cache_key, kArtifactCheckSummary)) {
+      if (auto cached = decode_check_summary(*payload)) {
+        cache_hits.add(1);
+        return std::move(*cached);
+      }
+    }
+    cache_misses.add(1);
+  }
+
+  auto s = build_stream_info(*store_, key);
+
+  // Anchors the IR cannot reproduce: unordered op records, or an op
+  // anchored past the decoded events. Rare and exact either way.
+  const trace::OpSpanIndex index(s.ops);
+  const bool anchors_ok =
+      index.ordered() && (s.ops.empty() || s.ops.back().event_index <= s.events.size());
+  StreamSummary summary;
+  if (!anchors_ok) {
+    log_fallback(key, "(all rules): op anchors defeat the IR — concrete walk of the stream");
+    summary = summarize_concrete(s);
+  } else {
+    const auto program = ir_.reduce(s);
+    effects_.update();
+
+    auto& f = summary.facts;
+    f.key = s.key;
+    f.event_count = s.events.size();
+    f.op_count = s.ops.size();
+    f.truncated = s.truncated;
+    f.degraded = s.degraded;
+    f.degradation = s.degradation;
+
+    // Pass A — stream shape and the last-op cursor. A loop body that is
+    // stack-neutral contributes nothing but its event span.
+    bool shape_abstract = true;
+    {
+      std::vector<OpenFrame> stack;
+      std::uint64_t cur = 0;
+      bool has_last = false;
+      std::uint32_t last_payload = 0;
+      std::uint64_t last_event = 0;
+      for (const auto& item : program) {
+        if (item.is_loop()) {
+          const auto& eff = effects_.effect(item.id);
+          if (!eff.stack_clean) {
+            shape_abstract = false;
+            break;
+          }
+          if (eff.has_ops) {
+            has_last = true;
+            last_payload = eff.last_op_payload;
+            last_event = cur + (item.count - 1) * eff.events + eff.last_op_rel_event;
+          }
+          cur += item.count * eff.events;
+          continue;
+        }
+        const auto& tok = ir_.tokens()[item.id];
+        if (tok.is_op) {
+          has_last = true;
+          last_payload = tok.op;
+          last_event = cur;
+          continue;
+        }
+        if (tok.kind == trace::EventKind::Call) {
+          stack.push_back({tok.fid, cur});
+        } else if (stack.empty()) {
+          f.orphan_returns.emplace_back(cur, tok.fid);
+        } else {
+          if (stack.back().fid != tok.fid) f.mismatched_returns.emplace_back(cur, tok.fid);
+          stack.pop_back();
+        }
+        ++cur;
+      }
+      if (shape_abstract) {
+        f.open_frames = std::move(stack);
+        classify_blocked_facts(f, has_last, last_payload, last_event);
+      }
+    }
+    if (!shape_abstract) {
+      // A body that is not stack-neutral changes the surrounding stack on
+      // every iteration; the decoded event walk (already done) is exact.
+      log_fallback(key, "stream: loop body not stack-neutral — concrete stack walk");
+      f.orphan_returns.clear();
+      f.mismatched_returns.clear();
+      classify_blocked(s, store_->registry_ptr().get());
+      fill_shape_facts(s, f);
+    }
+
+    // Pass B — lock discipline. Invariant bodies compose as one iteration
+    // (diagnosis keeps the first witness per order edge); anything the
+    // summary cannot decide replays just that loop — all iterations in auto
+    // mode, the first kWidenIterations (widening) in summary mode.
+    {
+      const auto pending_ordinal = f.pending.has_value()
+                                       ? f.op_count - 1
+                                       : std::numeric_limits<std::uint64_t>::max();
+      std::vector<std::pair<std::string, std::uint64_t>> held;  // (name, abs acquire anchor)
+      std::uint64_t cur = 0;
+      std::uint64_t ordinal = 0;
+
+      const auto sim_op = [&](const OpRecord& op, std::uint64_t abs_event,
+                              std::uint64_t abs_ordinal) {
+        if (op.code == OpCode::LockAcquire) {
+          const bool already = std::any_of(
+              held.begin(), held.end(), [&op](const auto& h) { return h.first == op.detail; });
+          if (already)
+            f.lock_findings.push_back({LockFinding::Kind::Reacquire, abs_event, op.detail});
+          for (const auto& h : held) f.lock_edges.push_back({h.first, op.detail, abs_event});
+          // A pending acquire was never granted.
+          if (abs_ordinal != pending_ordinal) held.emplace_back(op.detail, abs_event);
+        } else if (op.code == OpCode::LockRelease) {
+          const auto it = std::find_if(held.rbegin(), held.rend(),
+                                       [&op](const auto& h) { return h.first == op.detail; });
+          if (it == held.rend()) {
+            f.lock_findings.push_back({LockFinding::Kind::UnpairedRelease, abs_event, op.detail});
+          } else {
+            held.erase(std::next(it).base());
+          }
+        } else if (op.code == OpCode::ThreadBarrier && !held.empty()) {
+          std::string names;
+          for (const auto& h : held) {
+            if (!names.empty()) names += "', '";
+            names += h.first;
+          }
+          f.lock_findings.push_back(
+              {LockFinding::Kind::HeldAtBarrier, abs_event, std::move(names)});
+        }
+      };
+
+      for (const auto& item : program) {
+        if (!item.is_loop()) {
+          const auto& tok = ir_.tokens()[item.id];
+          if (tok.is_op) {
+            sim_op(ir_.op_payload(tok.op), cur, ordinal);
+            ++ordinal;
+          } else {
+            ++cur;
+          }
+          continue;
+        }
+        const auto& eff = effects_.effect(item.id);
+        const auto loop_events = item.count * eff.events;
+        const auto loop_ops = item.count * eff.ops;
+        if (eff.lock_pure) {
+          cur += loop_events;
+          ordinal += loop_ops;
+          continue;
+        }
+        const bool overlap = std::any_of(
+            eff.lock_acquires.begin(), eff.lock_acquires.end(), [&held](const std::string& name) {
+              return std::any_of(held.begin(), held.end(),
+                                 [&name](const auto& h) { return h.first == name; });
+            });
+        const bool pending_inside =
+            pending_ordinal >= ordinal && pending_ordinal < ordinal + loop_ops;
+        if (eff.lock_invariant && !overlap && (!eff.has_barrier || held.empty()) &&
+            !pending_inside) {
+          for (const auto& edge : eff.lock_edges)
+            f.lock_edges.push_back({edge.first, edge.second, cur + edge.event_index});
+          for (const auto& [name, rel] : eff.first_acquires)
+            for (const auto& h : held) f.lock_edges.push_back({h.first, name, cur + rel});
+          cur += loop_events;
+          ordinal += loop_ops;
+          continue;
+        }
+        std::string reason = "locks: loop L" + std::to_string(item.id) + "^" +
+                             std::to_string(item.count) + " ";
+        if (pending_inside) {
+          reason += "contains the pending op";
+        } else if (!eff.lock_invariant) {
+          reason += "is not lock-invariant";
+        } else if (overlap) {
+          reason += "re-acquires a lock already held outside it";
+        } else {
+          reason += "reaches a barrier with outer locks held";
+        }
+        const auto& flat = flat_body(item.id);
+        std::uint64_t sim_iters = item.count;
+        if (options_->engine == CheckEngine::Auto) {
+          log_fallback(key, reason + " — exact replay of its " + std::to_string(item.count) +
+                                " iteration(s)");
+        } else if (item.count > kWidenIterations) {
+          sim_iters = kWidenIterations;
+          summary.locks = Precision::Approx;
+        }
+        for (std::uint64_t k = 0; k < sim_iters; ++k) {
+          const auto base_event = cur + k * eff.events;
+          const auto base_ordinal = ordinal + k * eff.ops;
+          for (std::size_t j = 0; j < flat.ops.size(); ++j)
+            sim_op(ir_.op_payload(flat.ops[j].first), base_event + flat.ops[j].second,
+                   base_ordinal + j);
+        }
+        cur += loop_events;
+        ordinal += loop_ops;
+      }
+      // Locks still held at the end of a stream that finished cleanly.
+      if (!f.truncated && !f.degraded && !f.blocked)
+        for (const auto& h : held)
+          f.lock_findings.push_back({LockFinding::Kind::Unreleased, h.second, h.first});
+    }
+
+    // Pass C — MPI traffic. Channel deltas multiply exactly; collective
+    // participation compresses to segments. A body past the instance cap
+    // falls back to the concrete op scan (still exact).
+    {
+      std::map<std::pair<int, int>, std::uint64_t> sends;
+      std::map<std::pair<int, int>, std::uint64_t> recvs;
+      bool overflow = false;
+      std::uint64_t cur = 0;
+      for (const auto& item : program) {
+        if (item.is_loop()) {
+          const auto& eff = effects_.effect(item.id);
+          if (eff.coll_overflow) {
+            overflow = true;
+            break;
+          }
+          for (const auto& c : eff.sends) sends[{c.peer, c.tag}] += item.count * c.count;
+          for (const auto& c : eff.recvs) recvs[{c.peer, c.tag}] += item.count * c.count;
+          if (!eff.colls.empty()) {
+            CollSegment seg;
+            seg.base_event = cur;
+            seg.repeat = item.count;
+            seg.event_span = eff.events;
+            seg.runs.reserve(eff.colls.size());
+            for (const auto& [payload, rel] : eff.colls)
+              seg.runs.push_back({ir_.op_payload(payload), rel});
+            summary.coll_segments.push_back(std::move(seg));
+          }
+          cur += item.count * eff.events;
+          continue;
+        }
+        const auto& tok = ir_.tokens()[item.id];
+        if (!tok.is_op) {
+          ++cur;
+          continue;
+        }
+        const auto& op = ir_.op_payload(tok.op);
+        if (is_send_post(op.code)) ++sends[{op.peer, op.tag}];
+        if (is_recv_post(op.code)) ++recvs[{op.peer, op.tag}];
+        if (op.code == OpCode::CollEnter) {
+          CollSegment seg;
+          seg.base_event = cur;
+          seg.repeat = 1;
+          seg.event_span = 0;
+          seg.runs.push_back({op, 0});
+          summary.coll_segments.push_back(std::move(seg));
+        }
+      }
+      if (overflow) {
+        log_fallback(key, "mpi: loop body exceeds " + std::to_string(kMaxBodyCollInstances) +
+                              " collective instances — concrete op scan");
+        summary.coll_segments.clear();
+        fill_mpi_facts(s, f);
+        segments_from_colls(summary);
+        f.colls.clear();
+      } else {
+        for (const auto& [ch, n] : sends) f.sends.push_back({ch.first, ch.second, n});
+        for (const auto& [ch, n] : recvs) f.recvs.push_back({ch.first, ch.second, n});
+      }
+    }
+  }
+
+  if (cache_ != nullptr && summary.exact())
+    cache_->store(cache_key, kArtifactCheckSummary, encode_check_summary(summary));
+  return summary;
+}
+
+CheckReport AbstractEngine::run() {
+  // Resolve the checker set first so an unknown name fails fast.
+  std::vector<std::string> names;
+  if (options_->checkers.empty()) {
+    for (const auto& info : available_checkers()) names.emplace_back(info.name);
+  } else {
+    for (const auto& name : options_->checkers) {
+      (void)make_checker(name);  // throws std::invalid_argument for unknown names
+      names.push_back(name);
+    }
+  }
+
+  std::vector<StreamSummary> summaries;
+  for (const auto& key : store_->keys()) summaries.push_back(summarize(key));
+  std::sort(summaries.begin(), summaries.end(), [](const StreamSummary& a, const StreamSummary& b) {
+    return a.facts.key < b.facts.key;
+  });
+
+  CheckReport report;
+  report.streams_checked = summaries.size();
+  std::vector<const StreamFacts*> ptrs;
+  ptrs.reserve(summaries.size());
+  for (auto& summary : summaries) {
+    flatten_colls(summary);
+    report.events_checked += summary.facts.event_count;
+    if (summary.facts.degraded)
+      report.notes.push_back("stream " + summary.facts.key.label() + " degraded: " +
+                             (summary.facts.degradation.empty() ? "partial decode"
+                                                                : summary.facts.degradation) +
+                             " — severities that rely on its evidence are capped at warning");
+    ptrs.push_back(&summary.facts);
+  }
+
+  const FactsView view(store_->registry_ptr().get(), std::move(ptrs));
+  for (const auto& name : names) {
+    obs::Span span_checker(name);
+    if (name == "stream") {
+      diagnose_wellformed(view, report);
+    } else if (name == "mpi") {
+      diagnose_mpi(view, report);
+    } else if (name == "locks") {
+      diagnose_locks(view, report);
+    }
+    ++report.checkers_run;
+  }
+  report.sort();
+  return report;
+}
+
+}  // namespace difftrace::analyze

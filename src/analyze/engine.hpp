@@ -1,0 +1,63 @@
+// AbstractEngine: the summary/auto paths of `difftrace check`.
+//
+// Instead of walking every decoded op like the replay engine, this engine
+// reduces each stream to an NLR program over a shared LoopTable (ir.hpp),
+// summarizes every loop body once (summary.hpp), and derives the same
+// StreamFacts the replay fills — composing body effects by iteration count
+// and across nesting. Both engines feed the identical shared diagnosis
+// stage (facts.hpp), so whenever the facts agree the rendered report is
+// byte-identical by construction.
+//
+// A body a rule cannot compose exactly earns a fallback, scoped to the
+// smallest region that needs it:
+//   * auto    — exact replay of just that loop's iterations (flatten_body),
+//               each fallback logged with its reason; verdicts stay exact.
+//   * summary — widened walk of the first kWidenIterations iterations; the
+//               family's Precision drops to Approx (taxonomy preserved,
+//               anchors may shift).
+// Streams with unordered op anchors skip the IR entirely and use the
+// concrete fact fills — still exact, never cached as approximations.
+//
+// Exact summaries are keyed into the content-addressed sched::Cache
+// (check_summary_key), so a warm re-check skips decode + summarization.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "analyze/analyze.hpp"
+#include "analyze/ir.hpp"
+#include "analyze/summary.hpp"
+#include "sched/cache.hpp"
+#include "trace/store.hpp"
+
+namespace difftrace::analyze {
+
+class AbstractEngine {
+ public:
+  AbstractEngine(const trace::TraceStore& store, const CheckOptions& options);
+
+  [[nodiscard]] CheckReport run();
+
+ private:
+  [[nodiscard]] StreamSummary summarize(trace::TraceKey key);
+  /// Concrete (replay-view) facts for one stream — the whole-stream
+  /// fallback used when op anchors defeat the IR. Exact.
+  [[nodiscard]] StreamSummary summarize_concrete(StreamInfo& s);
+  /// Blocked classification over abstractly derived facts.
+  void classify_blocked_facts(StreamFacts& f, bool has_last_op, std::uint32_t last_op_payload,
+                              std::uint64_t last_op_event) const;
+  [[nodiscard]] const FlatBody& flat_body(std::uint32_t loop_id);
+  void log_fallback(trace::TraceKey key, const std::string& reason);
+
+  const trace::TraceStore* store_;
+  const CheckOptions* options_;
+  IrContext ir_;
+  EffectTable effects_;
+  std::map<std::uint32_t, FlatBody> flat_bodies_;
+  std::unique_ptr<sched::Cache> cache_;
+};
+
+}  // namespace difftrace::analyze

@@ -1,0 +1,68 @@
+#include "analyze/facts.hpp"
+
+#include <algorithm>
+
+namespace difftrace::analyze {
+
+void fill_shape_facts(const StreamInfo& s, StreamFacts& f) {
+  f.key = s.key;
+  f.event_count = s.events.size();
+  f.op_count = s.ops.size();
+  f.truncated = s.truncated;
+  f.degraded = s.degraded;
+  f.degradation = s.degradation;
+  f.open_frames = s.open_frames;
+  f.orphan_returns.clear();
+  for (const auto index : s.orphan_returns)
+    f.orphan_returns.emplace_back(index, s.events[index].fid);
+  f.mismatched_returns.clear();
+  for (const auto index : s.mismatched_returns)
+    f.mismatched_returns.emplace_back(index, s.events[index].fid);
+  f.blocked = s.blocked;
+  f.blocked_fid = s.blocked_fid;
+  f.blocked_call_index = s.blocked_call_index;
+  if (const auto* pending = s.pending()) {
+    f.pending = *pending;
+  } else {
+    f.pending.reset();
+  }
+}
+
+FactsView::FactsView(const trace::FunctionRegistry* registry,
+                     std::vector<const StreamFacts*> streams)
+    : registry_(registry), streams_(std::move(streams)) {
+  for (const auto* f : streams_) {
+    any_degraded_ = any_degraded_ || f->degraded;
+    any_ops_ = any_ops_ || f->op_count > 0;
+  }
+}
+
+const StreamFacts* FactsView::find(trace::TraceKey key) const noexcept {
+  const auto it = std::lower_bound(
+      streams_.begin(), streams_.end(), key,
+      [](const StreamFacts* f, const trace::TraceKey& k) { return f->key < k; });
+  return it != streams_.end() && (*it)->key == key ? *it : nullptr;
+}
+
+std::vector<const StreamFacts*> FactsView::rank_streams() const {
+  std::vector<const StreamFacts*> out;
+  for (const auto* f : streams_)
+    if (f->key.thread == 0) out.push_back(f);
+  return out;
+}
+
+std::string FactsView::fn_name(trace::FunctionId fid) const {
+  if (registry_ != nullptr && fid < registry_->size()) return registry_->name(fid);
+  return "?fn" + std::to_string(fid);
+}
+
+std::string FactsView::call_path(const StreamFacts& f) const {
+  std::string out;
+  for (const auto& frame : f.open_frames) {
+    if (!out.empty()) out += " > ";
+    out += fn_name(frame.fid);
+  }
+  return out;
+}
+
+}  // namespace difftrace::analyze

@@ -1,0 +1,53 @@
+#include "analyze/ir.hpp"
+
+#include <tuple>
+
+#include "trace/opspan.hpp"
+
+namespace difftrace::analyze {
+
+bool IrContext::OpPayloadLess::operator()(const trace::OpRecord& a,
+                                          const trace::OpRecord& b) const {
+  return std::tie(a.code, a.peer, a.tag, a.count, a.coll, a.dtype, a.redop, a.detail) <
+         std::tie(b.code, b.peer, b.tag, b.count, b.coll, b.dtype, b.redop, b.detail);
+}
+
+core::TokenId IrContext::intern_event(trace::EventKind kind, trace::FunctionId fid) {
+  const auto key = std::make_pair(static_cast<std::uint64_t>(kind),
+                                  static_cast<std::uint64_t>(fid));
+  const auto it = event_ids_.find(key);
+  if (it != event_ids_.end()) return it->second;
+  const auto id = static_cast<core::TokenId>(tokens_.size());
+  tokens_.push_back({.is_op = false, .kind = kind, .fid = fid, .op = 0});
+  event_ids_.emplace(key, id);
+  return id;
+}
+
+core::TokenId IrContext::intern_op(const trace::OpRecord& op) {
+  trace::OpRecord payload = op;
+  payload.event_index = 0;
+  const auto it = op_ids_.find(payload);
+  if (it != op_ids_.end()) return it->second;
+  const auto id = static_cast<core::TokenId>(tokens_.size());
+  tokens_.push_back({.is_op = true,
+                     .kind = trace::EventKind::Call,
+                     .fid = 0,
+                     .op = static_cast<std::uint32_t>(op_payloads_.size())});
+  op_payloads_.push_back(std::move(payload));
+  op_ids_.emplace(op_payloads_.back(), id);
+  return id;
+}
+
+core::NlrProgram IrContext::reduce(const StreamInfo& s) {
+  core::NlrBuilder builder(loops_, config_);
+  const trace::OpSpanIndex index(s.ops);
+  for (std::size_t i = 0; i < s.events.size(); ++i) {
+    for (const auto& op : index.at(i)) builder.push(intern_op(op));
+    builder.push(intern_event(s.events[i].kind, s.events[i].fid));
+  }
+  // Trailing ops anchored past the last event (at it, after degraded trim).
+  for (const auto& op : index.in_span(s.events.size(), UINT64_MAX)) builder.push(intern_op(op));
+  return builder.take();
+}
+
+}  // namespace difftrace::analyze

@@ -1,0 +1,67 @@
+// The check-token IR of the abstract engine.
+//
+// One stream becomes a single token sequence interleaving its call/return
+// events with its op records (an op anchored at event_index i precedes
+// event i, matching the writer's "recorded before" anchor), then reduces
+// to an NLR program over a LoopTable shared by every stream of the run.
+// Identical iterations produce identical token blocks, so a loop body's
+// checker-visible effect is constant across iterations — the property the
+// effect summaries in summary.hpp rest on. Op payloads are interned with
+// their anchors zeroed: the IR separates *what happened* (the token) from
+// *where* (reconstructed by position during the abstract walk).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "analyze/context.hpp"
+#include "core/nlr.hpp"
+#include "trace/op.hpp"
+
+namespace difftrace::analyze {
+
+/// Decoded meaning of one IR token.
+struct IrToken {
+  bool is_op = false;
+  trace::EventKind kind = trace::EventKind::Call;  // event tokens
+  trace::FunctionId fid = 0;                       // event tokens
+  std::uint32_t op = 0;  // op tokens: index into IrContext::op_payload
+};
+
+/// Shared token/loop space for one engine run. Streams reduced through the
+/// same context share loop ids, so a body summarized for one rank is free
+/// for every other rank that runs the same code.
+class IrContext {
+ public:
+  explicit IrContext(core::NlrConfig config) : config_(config) {}
+
+  /// Tokenizes and reduces one decoded stream.
+  [[nodiscard]] core::NlrProgram reduce(const StreamInfo& s);
+
+  [[nodiscard]] const core::LoopTable& loops() const noexcept { return loops_; }
+  [[nodiscard]] const std::vector<IrToken>& tokens() const noexcept { return tokens_; }
+  [[nodiscard]] const trace::OpRecord& op_payload(std::uint32_t index) const {
+    return op_payloads_[index];
+  }
+  [[nodiscard]] const core::NlrConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] core::TokenId intern_event(trace::EventKind kind, trace::FunctionId fid);
+  [[nodiscard]] core::TokenId intern_op(const trace::OpRecord& op);
+
+  core::NlrConfig config_;
+  core::LoopTable loops_;
+  std::vector<IrToken> tokens_;
+  std::vector<trace::OpRecord> op_payloads_;  // anchors zeroed
+  /// Payload ordering for interning (OpRecord itself only defines ==).
+  struct OpPayloadLess {
+    [[nodiscard]] bool operator()(const trace::OpRecord& a, const trace::OpRecord& b) const;
+  };
+
+  std::map<std::pair<std::uint64_t, std::uint64_t>, core::TokenId> event_ids_;
+  std::map<trace::OpRecord, core::TokenId, OpPayloadLess> op_ids_;
+};
+
+}  // namespace difftrace::analyze

@@ -1,0 +1,26 @@
+// The replay-fallback translation unit — the ONLY place in src/analyze
+// allowed to expand an NLR program back to its flat token sequence
+// (tools/lint: ir-first-analysis). The abstract engine calls flatten_body
+// when a loop's effect summary cannot decide a rule exactly and the exact
+// semantics require walking the iterations concretely; everything else in
+// this library works on the reduced program and the effect table.
+
+#include "analyze/summary.hpp"
+
+namespace difftrace::analyze {
+
+FlatBody flatten_body(const IrContext& ir, std::uint32_t loop_id) {
+  const auto tokens = core::expand_nlr({core::NlrItem::loop(loop_id, 1)}, ir.loops());
+  FlatBody flat;
+  for (const auto token : tokens) {
+    const auto& tok = ir.tokens()[token];
+    if (tok.is_op) {
+      flat.ops.emplace_back(tok.op, flat.events);
+    } else {
+      ++flat.events;
+    }
+  }
+  return flat;
+}
+
+}  // namespace difftrace::analyze

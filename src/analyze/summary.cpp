@@ -1,0 +1,472 @@
+#include "analyze/summary.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "core/sweep_cache.hpp"
+#include "sched/artifact.hpp"
+#include "sched/digest.hpp"
+
+namespace difftrace::analyze {
+
+namespace {
+
+using trace::OpCode;
+using trace::OpRecord;
+
+[[nodiscard]] bool is_lock_op(OpCode c) noexcept {
+  return c == OpCode::LockAcquire || c == OpCode::LockRelease || c == OpCode::ThreadBarrier;
+}
+
+}  // namespace
+
+void EffectTable::update() {
+  // Ascending id order is bottom-up: body(i) references only loops < i.
+  while (effects_.size() < ir_->loops().size()) {
+    effects_.push_back(compute(ir_->loops().body(static_cast<std::uint32_t>(effects_.size()))));
+  }
+}
+
+BodyEffect EffectTable::compute(const core::NlrBody& body) const {
+  BodyEffect eff;
+  eff.stack_clean = true;
+  eff.lock_pure = true;
+  eff.lock_invariant = true;
+
+  std::vector<trace::FunctionId> stack;
+  std::vector<std::pair<std::string, std::uint64_t>> held;  // (name, rel acquire)
+  std::set<std::string> acquires;
+  std::set<std::string> first_seen;
+  std::map<std::pair<int, int>, std::uint64_t> sends;
+  std::map<std::pair<int, int>, std::uint64_t> recvs;
+
+  for (const auto& item : body) {
+    if (item.is_loop()) {
+      const auto& child = effects_[item.id];
+      eff.tokens += item.count * child.tokens;
+      eff.stack_clean = eff.stack_clean && child.stack_clean;
+      eff.has_barrier = eff.has_barrier || child.has_barrier;
+      // Locks: a pure child is invisible; an invariant child composes when
+      // none of its locks are currently held and any barrier meets an empty
+      // held set; anything else makes this body imprecise too.
+      if (!child.lock_pure) {
+        eff.lock_pure = false;
+        const bool overlap =
+            std::any_of(child.lock_acquires.begin(), child.lock_acquires.end(),
+                        [&held](const std::string& name) {
+                          return std::any_of(held.begin(), held.end(),
+                                             [&name](const auto& h) { return h.first == name; });
+                        });
+        if (!child.lock_invariant || overlap || (child.has_barrier && !held.empty())) {
+          eff.lock_invariant = false;
+        } else {
+          for (const auto& edge : child.lock_edges)
+            eff.lock_edges.push_back({edge.first, edge.second, eff.events + edge.event_index});
+          for (const auto& [name, rel] : child.first_acquires) {
+            for (const auto& h : held)
+              eff.lock_edges.push_back({h.first, name, eff.events + rel});
+            if (first_seen.insert(name).second)
+              eff.first_acquires.emplace_back(name, eff.events + rel);
+          }
+          acquires.insert(child.lock_acquires.begin(), child.lock_acquires.end());
+        }
+      }
+      for (const auto& c : child.sends) sends[{c.peer, c.tag}] += item.count * c.count;
+      for (const auto& c : child.recvs) recvs[{c.peer, c.tag}] += item.count * c.count;
+      if (child.coll_overflow) {
+        eff.coll_overflow = true;
+      } else {
+        for (std::uint64_t k = 0; k < item.count && !eff.coll_overflow; ++k) {
+          for (const auto& [payload, rel] : child.colls) {
+            if (eff.colls.size() >= kMaxBodyCollInstances) {
+              eff.coll_overflow = true;
+              break;
+            }
+            eff.colls.emplace_back(payload, eff.events + k * child.events + rel);
+          }
+        }
+      }
+      if (child.has_ops) {
+        eff.has_ops = true;
+        eff.last_op_payload = child.last_op_payload;
+        eff.last_op_rel_event =
+            eff.events + (item.count - 1) * child.events + child.last_op_rel_event;
+      }
+      eff.events += item.count * child.events;
+      eff.ops += item.count * child.ops;
+      continue;
+    }
+
+    ++eff.tokens;
+    const auto& tok = ir_->tokens()[item.id];
+    if (!tok.is_op) {
+      if (tok.kind == trace::EventKind::Call) {
+        stack.push_back(tok.fid);
+      } else if (stack.empty() || stack.back() != tok.fid) {
+        eff.stack_clean = false;  // pops below base or mismatched return
+        if (!stack.empty()) stack.pop_back();
+      } else {
+        stack.pop_back();
+      }
+      ++eff.events;
+      continue;
+    }
+
+    const auto& op = ir_->op_payload(tok.op);
+    eff.has_ops = true;
+    eff.last_op_payload = tok.op;
+    eff.last_op_rel_event = eff.events;
+    if (is_lock_op(op.code)) eff.lock_pure = false;
+    if (op.code == OpCode::LockAcquire) {
+      const bool already =
+          std::any_of(held.begin(), held.end(),
+                      [&op](const auto& h) { return h.first == op.detail; });
+      if (already) eff.lock_invariant = false;  // reacquire finding every iteration
+      for (const auto& h : held) eff.lock_edges.push_back({h.first, op.detail, eff.events});
+      if (first_seen.insert(op.detail).second)
+        eff.first_acquires.emplace_back(op.detail, eff.events);
+      acquires.insert(op.detail);
+      held.emplace_back(op.detail, eff.events);
+    } else if (op.code == OpCode::LockRelease) {
+      const auto it = std::find_if(held.rbegin(), held.rend(),
+                                   [&op](const auto& h) { return h.first == op.detail; });
+      if (it == held.rend()) {
+        eff.lock_invariant = false;  // releases an outer lock (or unpaired)
+      } else {
+        held.erase(std::next(it).base());
+      }
+    } else if (op.code == OpCode::ThreadBarrier) {
+      eff.has_barrier = true;
+      if (!held.empty()) eff.lock_invariant = false;
+    } else if (op.code == OpCode::SendPost || op.code == OpCode::IsendPost) {
+      ++sends[{op.peer, op.tag}];
+    } else if (op.code == OpCode::RecvPost || op.code == OpCode::IrecvPost) {
+      ++recvs[{op.peer, op.tag}];
+    } else if (op.code == OpCode::CollEnter) {
+      if (eff.colls.size() >= kMaxBodyCollInstances) {
+        eff.coll_overflow = true;
+      } else {
+        eff.colls.emplace_back(tok.op, eff.events);
+      }
+    }
+    ++eff.ops;
+  }
+
+  if (!stack.empty()) eff.stack_clean = false;
+  if (!held.empty()) eff.lock_invariant = false;  // net-acquiring body
+  if (eff.coll_overflow) eff.colls.clear();
+  eff.lock_acquires.assign(acquires.begin(), acquires.end());
+  for (const auto& [ch, n] : sends) eff.sends.push_back({ch.first, ch.second, n});
+  for (const auto& [ch, n] : recvs) eff.recvs.push_back({ch.first, ch.second, n});
+  return eff;
+}
+
+void flatten_colls(StreamSummary& summary) {
+  auto& colls = summary.facts.colls;
+  colls.clear();
+  std::size_t total = 0;
+  for (const auto& seg : summary.coll_segments) total += seg.repeat * seg.runs.size();
+  colls.reserve(total);
+  for (const auto& seg : summary.coll_segments) {
+    for (std::uint64_t k = 0; k < seg.repeat; ++k) {
+      for (const auto& run : seg.runs) {
+        colls.push_back(run.payload);
+        colls.back().event_index = seg.base_event + k * seg.event_span + run.rel_event;
+      }
+    }
+  }
+}
+
+void segments_from_colls(StreamSummary& summary) {
+  summary.coll_segments.clear();
+  summary.coll_segments.reserve(summary.facts.colls.size());
+  for (const auto& op : summary.facts.colls) {
+    CollSegment seg;
+    seg.base_event = op.event_index;
+    seg.repeat = 1;
+    seg.event_span = 0;
+    seg.runs.push_back({op, 0});
+    seg.runs.back().payload.event_index = 0;
+    summary.coll_segments.push_back(std::move(seg));
+  }
+}
+
+namespace {
+
+void put_op(sched::ArtifactWriter& w, const OpRecord& op) {
+  w.put_u64(op.event_index);
+  w.put_u32(static_cast<std::uint32_t>(op.code));
+  w.put_i64(op.peer);
+  w.put_i64(op.tag);
+  w.put_u64(op.count);
+  w.put_u32(op.coll);
+  w.put_u32(op.dtype);
+  w.put_u32(op.redop);
+  w.put_str(op.detail);
+}
+
+[[nodiscard]] OpRecord get_op(sched::ArtifactReader& r) {
+  OpRecord op;
+  op.event_index = r.get_u64();
+  const auto code = r.get_u32();
+  if (code > static_cast<std::uint32_t>(OpCode::ThreadBarrier)) throw std::out_of_range("opcode");
+  op.code = static_cast<OpCode>(code);
+  op.peer = static_cast<std::int32_t>(r.get_i64());
+  op.tag = static_cast<std::int32_t>(r.get_i64());
+  op.count = r.get_u64();
+  op.coll = static_cast<std::uint8_t>(r.get_u32());
+  op.dtype = static_cast<std::uint8_t>(r.get_u32());
+  op.redop = static_cast<std::uint8_t>(r.get_u32());
+  op.detail = r.get_str();
+  return op;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_check_summary(const StreamSummary& summary) {
+  const auto& f = summary.facts;
+  sched::ArtifactWriter w;
+  w.put_i64(f.key.proc);
+  w.put_i64(f.key.thread);
+  w.put_u64(f.event_count);
+  w.put_u64(f.op_count);
+  w.put_bool(f.truncated);
+  w.put_bool(f.degraded);
+  w.put_str(f.degradation);
+  w.put_u64(f.open_frames.size());
+  for (const auto& frame : f.open_frames) {
+    w.put_u32(frame.fid);
+    w.put_u64(frame.call_index);
+  }
+  w.put_u64(f.orphan_returns.size());
+  for (const auto& [index, fid] : f.orphan_returns) {
+    w.put_u64(index);
+    w.put_u32(fid);
+  }
+  w.put_u64(f.mismatched_returns.size());
+  for (const auto& [index, fid] : f.mismatched_returns) {
+    w.put_u64(index);
+    w.put_u32(fid);
+  }
+  w.put_bool(f.blocked);
+  w.put_u32(f.blocked_fid);
+  w.put_u64(f.blocked_call_index);
+  w.put_bool(f.pending.has_value());
+  if (f.pending) put_op(w, *f.pending);
+  w.put_u64(f.lock_findings.size());
+  for (const auto& finding : f.lock_findings) {
+    w.put_u32(static_cast<std::uint32_t>(finding.kind));
+    w.put_u64(finding.event_index);
+    w.put_str(finding.detail);
+  }
+  w.put_u64(f.lock_edges.size());
+  for (const auto& edge : f.lock_edges) {
+    w.put_str(edge.first);
+    w.put_str(edge.second);
+    w.put_u64(edge.event_index);
+  }
+  w.put_u64(f.sends.size());
+  for (const auto& c : f.sends) {
+    w.put_i64(c.peer);
+    w.put_i64(c.tag);
+    w.put_u64(c.count);
+  }
+  w.put_u64(f.recvs.size());
+  for (const auto& c : f.recvs) {
+    w.put_i64(c.peer);
+    w.put_i64(c.tag);
+    w.put_u64(c.count);
+  }
+  w.put_u64(summary.coll_segments.size());
+  for (const auto& seg : summary.coll_segments) {
+    w.put_u64(seg.base_event);
+    w.put_u64(seg.repeat);
+    w.put_u64(seg.event_span);
+    w.put_u64(seg.runs.size());
+    for (const auto& run : seg.runs) {
+      put_op(w, run.payload);
+      w.put_u64(run.rel_event);
+    }
+  }
+  w.put_u32(static_cast<std::uint32_t>(summary.shape));
+  w.put_u32(static_cast<std::uint32_t>(summary.locks));
+  w.put_u32(static_cast<std::uint32_t>(summary.mpi));
+  return w.take();
+}
+
+std::optional<StreamSummary> decode_check_summary(std::span<const std::uint8_t> payload) {
+  try {
+    sched::ArtifactReader r(payload);
+    StreamSummary summary;
+    auto& f = summary.facts;
+    f.key.proc = static_cast<int>(r.get_i64());
+    f.key.thread = static_cast<int>(r.get_i64());
+    f.event_count = r.get_u64();
+    f.op_count = r.get_u64();
+    f.truncated = r.get_bool();
+    f.degraded = r.get_bool();
+    f.degradation = r.get_str();
+    const auto frames = r.get_u64();
+    for (std::uint64_t i = 0; i < frames; ++i) {
+      OpenFrame frame;
+      frame.fid = r.get_u32();
+      frame.call_index = r.get_u64();
+      f.open_frames.push_back(frame);
+    }
+    const auto orphans = r.get_u64();
+    for (std::uint64_t i = 0; i < orphans; ++i) {
+      const auto index = r.get_u64();
+      f.orphan_returns.emplace_back(index, r.get_u32());
+    }
+    const auto mismatched = r.get_u64();
+    for (std::uint64_t i = 0; i < mismatched; ++i) {
+      const auto index = r.get_u64();
+      f.mismatched_returns.emplace_back(index, r.get_u32());
+    }
+    f.blocked = r.get_bool();
+    f.blocked_fid = r.get_u32();
+    f.blocked_call_index = r.get_u64();
+    if (r.get_bool()) f.pending = get_op(r);
+    const auto findings = r.get_u64();
+    for (std::uint64_t i = 0; i < findings; ++i) {
+      LockFinding finding;
+      const auto kind = r.get_u32();
+      if (kind > static_cast<std::uint32_t>(LockFinding::Kind::Unreleased)) return std::nullopt;
+      finding.kind = static_cast<LockFinding::Kind>(kind);
+      finding.event_index = r.get_u64();
+      finding.detail = r.get_str();
+      f.lock_findings.push_back(std::move(finding));
+    }
+    const auto edges = r.get_u64();
+    for (std::uint64_t i = 0; i < edges; ++i) {
+      LockEdge edge;
+      edge.first = r.get_str();
+      edge.second = r.get_str();
+      edge.event_index = r.get_u64();
+      f.lock_edges.push_back(std::move(edge));
+    }
+    const auto sends = r.get_u64();
+    for (std::uint64_t i = 0; i < sends; ++i) {
+      ChannelCount c;
+      c.peer = static_cast<int>(r.get_i64());
+      c.tag = static_cast<int>(r.get_i64());
+      c.count = r.get_u64();
+      f.sends.push_back(c);
+    }
+    const auto recvs = r.get_u64();
+    for (std::uint64_t i = 0; i < recvs; ++i) {
+      ChannelCount c;
+      c.peer = static_cast<int>(r.get_i64());
+      c.tag = static_cast<int>(r.get_i64());
+      c.count = r.get_u64();
+      f.recvs.push_back(c);
+    }
+    const auto segments = r.get_u64();
+    for (std::uint64_t i = 0; i < segments; ++i) {
+      CollSegment seg;
+      seg.base_event = r.get_u64();
+      seg.repeat = r.get_u64();
+      seg.event_span = r.get_u64();
+      const auto runs = r.get_u64();
+      for (std::uint64_t j = 0; j < runs; ++j) {
+        CollRun run;
+        run.payload = get_op(r);
+        run.rel_event = r.get_u64();
+        seg.runs.push_back(std::move(run));
+      }
+      summary.coll_segments.push_back(std::move(seg));
+    }
+    const auto shape = r.get_u32();
+    const auto locks = r.get_u32();
+    const auto mpi = r.get_u32();
+    if (shape > 1 || locks > 1 || mpi > 1) return std::nullopt;
+    summary.shape = static_cast<Precision>(shape);
+    summary.locks = static_cast<Precision>(locks);
+    summary.mpi = static_cast<Precision>(mpi);
+    if (!r.at_end()) return std::nullopt;
+    return summary;
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+namespace {
+
+/// splitmix64-style combine: three multiplies per word, word-at-a-time.
+inline std::uint64_t mix64(std::uint64_t h, std::uint64_t v) noexcept {
+  h += v + 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+/// 64-bit fingerprint over every field of every op record. This runs once
+/// per stream per cached check, over potentially millions of ops, and is
+/// the whole price of a warm summary-cache hit — so it hashes machine
+/// words, not bytes, and spreads the fields of each op across four
+/// independent accumulator lanes: a single serial multiply chain (one
+/// splitmix step per field) costs more in dependency latency than the
+/// replay walk the cache is supposed to beat. Each lane is a one-multiply
+/// FNV-style fold; the lanes only meet in the splitmix finale, which
+/// supplies the avalanche the per-lane folds lack. Word packing makes the
+/// value endian-dependent, which is fine for an on-disk cache keyed per
+/// machine.
+std::uint64_t ops_fingerprint(const std::vector<trace::OpRecord>& ops) {
+  std::uint64_t h0 = 0x6a09e667f3bcc909ULL;
+  std::uint64_t h1 = 0xbb67ae8584caa73bULL;
+  std::uint64_t h2 = 0x3c6ef372fe94f82bULL;
+  std::uint64_t h3 = 0xa54ff53a5f1d36f1ULL;
+  constexpr std::uint64_t kMul = 0x9e3779b97f4a7c15ULL;
+  for (const auto& op : ops) {
+    h0 = (h0 ^ op.event_index) * kMul;
+    h1 = (h1 ^ ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(op.code)) << 32) |
+                static_cast<std::uint32_t>(op.peer))) *
+         kMul;
+    h2 = (h2 ^ ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(op.tag)) << 32) |
+                (static_cast<std::uint32_t>(op.coll) | (static_cast<std::uint32_t>(op.dtype) << 8) |
+                 (static_cast<std::uint32_t>(op.redop) << 16)))) *
+         kMul;
+    h3 = (h3 ^ op.count) * kMul;
+    if (!op.detail.empty()) {
+      h0 = (h0 ^ op.detail.size()) * kMul;
+      const char* p = op.detail.data();
+      std::size_t n = op.detail.size();
+      for (; n >= 8; p += 8, n -= 8) {
+        std::uint64_t chunk;
+        std::memcpy(&chunk, p, 8);
+        h1 = (h1 ^ chunk) * kMul;
+      }
+      if (n != 0) {
+        std::uint64_t chunk = 0;
+        std::memcpy(&chunk, p, n);
+        h2 = (h2 ^ chunk) * kMul;
+      }
+    }
+  }
+  return mix64(mix64(mix64(mix64(ops.size(), h0), h1), h2), h3);
+}
+
+}  // namespace
+
+std::string check_summary_key(const trace::TraceStore& store, trace::TraceKey key,
+                              const core::NlrConfig& config) {
+  sched::DigestBuilder b;
+  b.add(sched::kArtifactSchemaVersion);
+  b.add(kCheckSummarySchema);
+  b.add("check-summary");
+  b.add(core::trace_fingerprint(store, key));
+  // trace_fingerprint covers blob framing and the registry but deliberately
+  // excludes op records; the checkers read little else, so hash them here.
+  const auto& ops = store.blob(key).ops;
+  b.add(static_cast<std::uint64_t>(ops.size()));
+  b.add(ops_fingerprint(ops));
+  b.add(static_cast<std::uint64_t>(config.k));
+  b.add(static_cast<std::uint64_t>(config.min_reps));
+  b.add(config.fold_known_bodies);
+  return b.hex();
+}
+
+}  // namespace difftrace::analyze

@@ -1,0 +1,157 @@
+// Loop-body effect summaries — the lattice of the abstract checker engine.
+//
+// Every NLR loop body gets a one-time BodyEffect: its expanded span
+// (tokens/events/ops), stack discipline, lock behaviour, per-channel
+// send/recv deltas, and collective participation. Effects compose by
+// iteration count via multiplication and across nesting bottom-up over the
+// shared LoopTable (bodies reference only lower loop ids, so ascending id
+// order IS the fixpoint order). A body whose effect a rule cannot compose
+// exactly (a lock-imbalanced body, a collective list past the cap) earns a
+// per-rule Precision verdict of Approx, which the engine resolves by
+// widening (summary mode) or scoped exact replay (auto mode) — see
+// replay_fallback.cpp for the only expansion site.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze/facts.hpp"
+#include "analyze/ir.hpp"
+#include "core/nlr.hpp"
+#include "trace/store.hpp"
+
+namespace difftrace::analyze {
+
+/// sched::Cache artifact kind for per-stream check-fact summaries.
+inline constexpr std::uint64_t kArtifactCheckSummary = 3;
+/// Bump when the summary payload encoding or fact semantics change.
+inline constexpr std::uint64_t kCheckSummarySchema = 1;
+/// Per-body collective instances kept before declaring overflow.
+inline constexpr std::size_t kMaxBodyCollInstances = 1024;
+/// Iterations a widened (summary-mode) walk keeps of an imprecise loop:
+/// identical iterations mean the lock state converges after the second
+/// pass or not at all, so two is where the abstraction stops paying.
+inline constexpr std::uint64_t kWidenIterations = 2;
+
+/// One loop body's composed effect. Span fields are always exact; the
+/// per-family fields each carry their own validity flag.
+struct BodyEffect {
+  std::uint64_t tokens = 0;
+  std::uint64_t events = 0;
+  std::uint64_t ops = 0;
+
+  /// Stack-neutral: balanced call/return, never pops below its own base,
+  /// no orphan or mismatched returns inside — iterating it any number of
+  /// times leaves the surrounding stack untouched.
+  bool stack_clean = false;
+
+  /// No lock ops anywhere in the body.
+  bool lock_pure = false;
+  /// Lock-invariant: from an empty held set the body produces no findings,
+  /// releases everything it acquires, and never releases an outer lock —
+  /// N iterations then behave exactly like one.
+  bool lock_invariant = false;
+  bool has_barrier = false;
+  std::vector<std::string> lock_acquires;  // distinct names, sorted
+  /// First in-body acquire per name, (name, rel event) in occurrence order —
+  /// the witnesses for outer-held × body-acquire order edges.
+  std::vector<std::pair<std::string, std::uint64_t>> first_acquires;
+  /// Within-body acquisition-order edges with first-iteration anchors.
+  std::vector<LockEdge> lock_edges;
+
+  /// One iteration's p2p deltas per (peer, tag) — always exact.
+  std::vector<ChannelCount> sends;
+  std::vector<ChannelCount> recvs;
+
+  /// One iteration's collective entries (op payload id, rel event), capped
+  /// at kMaxBodyCollInstances; overflow sends the stream's mpi family to
+  /// the concrete path.
+  bool coll_overflow = false;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> colls;
+
+  /// Last op of one iteration, for pending-op attribution.
+  bool has_ops = false;
+  std::uint32_t last_op_payload = 0;
+  std::uint64_t last_op_rel_event = 0;
+};
+
+/// Memoized BodyEffects over an IrContext's shared LoopTable.
+class EffectTable {
+ public:
+  explicit EffectTable(const IrContext& ir) : ir_(&ir) {}
+
+  /// Extends coverage to every body currently interned (bottom-up).
+  void update();
+  [[nodiscard]] const BodyEffect& effect(std::uint32_t loop_id) const {
+    return effects_[loop_id];
+  }
+
+ private:
+  [[nodiscard]] BodyEffect compute(const core::NlrBody& body) const;
+
+  const IrContext* ir_;
+  std::vector<BodyEffect> effects_;
+};
+
+/// Per-family precision verdict of one stream summary.
+enum class Precision : std::uint8_t { Exact = 0, Approx = 1 };
+
+/// Compressed collective participation: instance k of run r anchors at
+/// base_event + k*event_span + rel_event.
+struct CollRun {
+  trace::OpRecord payload;  // anchor zeroed
+  std::uint64_t rel_event = 0;
+};
+struct CollSegment {
+  std::uint64_t base_event = 0;
+  std::uint64_t repeat = 1;
+  std::uint64_t event_span = 0;
+  std::vector<CollRun> runs;
+};
+
+/// One stream's checker facts plus how they were obtained. facts.colls is
+/// left empty until flatten_colls materializes it from the segments.
+struct StreamSummary {
+  StreamFacts facts;
+  std::vector<CollSegment> coll_segments;
+  Precision shape = Precision::Exact;
+  Precision locks = Precision::Exact;
+  Precision mpi = Precision::Exact;
+
+  [[nodiscard]] bool exact() const noexcept {
+    return shape == Precision::Exact && locks == Precision::Exact && mpi == Precision::Exact;
+  }
+};
+
+/// Materializes facts.colls from coll_segments (idempotent).
+void flatten_colls(StreamSummary& summary);
+
+/// Builds coll_segments back from explicit instances (repeat-1 segments) —
+/// the concrete-path inverse of flatten_colls.
+void segments_from_colls(StreamSummary& summary);
+
+/// Artifact payload round-trip. decode returns nullopt on any defect.
+[[nodiscard]] std::vector<std::uint8_t> encode_check_summary(const StreamSummary& summary);
+[[nodiscard]] std::optional<StreamSummary> decode_check_summary(
+    std::span<const std::uint8_t> payload);
+
+/// Cache key: archive fingerprint (blob codec/CRC/shape + registry) plus
+/// the op records — trace_fingerprint deliberately excludes ops, and the
+/// checkers read little else — plus the engine's NLR configuration.
+[[nodiscard]] std::string check_summary_key(const trace::TraceStore& store, trace::TraceKey key,
+                                            const core::NlrConfig& config);
+
+/// Body expansion helpers — implemented in replay_fallback.cpp, the one
+/// translation unit of this library allowed to expand NLR programs
+/// (tools/lint: ir-first-analysis).
+struct FlatBody {
+  /// (op payload id, rel event) per op, in body order.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> ops;
+  std::uint64_t events = 0;
+};
+[[nodiscard]] FlatBody flatten_body(const IrContext& ir, std::uint32_t loop_id);
+
+}  // namespace difftrace::analyze

@@ -1,5 +1,6 @@
 #include "cli/commands.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -257,11 +258,19 @@ commands:
   report NORMAL FAULTY [--filters SPEC,...] [--detail-filter SPEC]
          [--diffs N] [--side-by-side] [--jobs N] [--cache[=DIR]]
       one-shot artifact: triage + ranking + progress + top diffNLRs.
-  check STORE [--checkers NAME,NAME,...] [--list]
+  check STORE [--checkers NAME,NAME,...] [--engine {replay|summary|auto}]
+        [--cache[=DIR]] [--list]
       semantic trace verifier: call/return well-formedness, MPI send/recv
       matching, collective agreement, deadlock cycles, and lock discipline.
       exits 0 when clean, 1 when any error-severity finding exists, 3 when
       only warnings/infos were found. --list prints the available checkers.
+      --engine picks how facts are derived: 'replay' walks every decoded op
+      (default), 'summary' analyzes loop-body effect summaries over the NLR
+      form (widening undecidable bodies), 'auto' uses summaries but replays
+      exactly the loops a summary cannot decide (logged to stderr) — same
+      verdicts as replay, typically much faster on iterative traces.
+      --cache keys exact per-stream summaries into the artifact cache so a
+      warm re-check skips summarization entirely.
   fsck STORE [--rescue FILE]
       integrity-check an archive; prints a per-section salvage report and
       exits non-zero if anything is damaged. --rescue writes the recovered
@@ -569,16 +578,33 @@ int cmd_check(const Args& args, std::ostream& out, std::ostream& err) {
     return 0;
   }
   const auto path = args.positional_at(1, "trace-store path");
-  const auto store = load_store(path, err);
   analyze::CheckOptions options;
-  if (const auto names = args.get("checkers"))
-    for (const auto& name : util::split(*names, ',')) options.checkers.push_back(name);
-  analyze::CheckReport report;
-  try {
-    report = analyze::run_checks(store, options);
-  } catch (const std::invalid_argument& e) {
-    throw ArgError(e.what());
+  const auto engine_name = args.get_or("engine", "replay");
+  const auto engine = analyze::parse_check_engine(engine_name);
+  if (!engine) throw ArgError("unknown engine '" + engine_name + "' (replay, summary, auto)");
+  options.engine = *engine;
+  options.cache_dir = cache_dir_from(args);
+  if (options.engine == analyze::CheckEngine::Auto) options.fallback_log = &err;
+  if (const auto names = args.get("checkers")) {
+    for (const auto& name : util::split(*names, ',')) {
+      // An unknown checker is an analysis failure, not a usage error: name
+      // the valid checkers and exit 1 before touching the archive.
+      const auto known = analyze::available_checkers();
+      if (std::none_of(known.begin(), known.end(),
+                       [&name](const analyze::CheckerInfo& info) { return info.name == name; })) {
+        std::string valid;
+        for (const auto& info : known) {
+          if (!valid.empty()) valid += ", ";
+          valid += info.name;
+        }
+        err << "check: unknown checker '" << name << "' — valid checkers: " << valid << "\n";
+        return 1;
+      }
+      options.checkers.push_back(name);
+    }
   }
+  const auto store = load_store(path, err);
+  const auto report = analyze::run_checks(store, options);
   out << "check " << path << "\n" << report.render();
   return report.exit_code();
 }
@@ -716,6 +742,7 @@ int run_command(const std::vector<std::string>& argv, std::ostream& out, std::os
   std::vector<std::string> input_paths;
   std::uint64_t manifest_jobs = 0;
   std::string manifest_cache_dir;
+  std::string manifest_check_engine;
   try {
     const Args args(argv);
     const auto& command = argv[0];
@@ -729,6 +756,11 @@ int run_command(const std::vector<std::string>& argv, std::ostream& out, std::os
     if (command == "rank" || command == "report" || command == "matrix")
       manifest_jobs = sched::resolve_jobs(jobs_request_from(args));
     manifest_cache_dir = cache_dir_from(args);
+    // Fact-engine provenance: which engine `check` derived its facts with
+    // (recorded whether or not the flag parses — a bad value exits 2 anyway).
+    if (command == "check")
+      if (const auto engine = analyze::parse_check_engine(args.get_or("engine", "replay")))
+        manifest_check_engine = analyze::check_engine_name(*engine);
 
     // One telemetry window per run: the process may host several in-process
     // run_command calls (tests), so start each instrumented run from zero.
@@ -772,6 +804,7 @@ int run_command(const std::vector<std::string>& argv, std::ostream& out, std::os
       auto manifest = obs::collect_manifest(argv, input_paths, code);
       manifest.jobs = manifest_jobs;
       manifest.cache_dir = manifest_cache_dir;
+      manifest.check_engine = manifest_check_engine;
       if (stats_path.empty()) {
         err << manifest.render();
       } else {

@@ -220,6 +220,29 @@ std::vector<TokenId> expand_nlr(const NlrProgram& program, const LoopTable& tabl
   return out;
 }
 
+std::vector<std::uint64_t> body_weights(const LoopTable& table,
+                                        std::span<const std::uint64_t> token_weight) {
+  std::vector<std::uint64_t> weights(table.size(), 0);
+  for (std::uint32_t id = 0; id < table.size(); ++id) {
+    weights[id] = program_weight(table.body(id), token_weight, weights);
+  }
+  return weights;
+}
+
+std::uint64_t program_weight(const NlrProgram& program,
+                             std::span<const std::uint64_t> token_weight,
+                             std::span<const std::uint64_t> body_weight) {
+  std::uint64_t total = 0;
+  for (const auto& item : program) {
+    if (item.is_loop()) {
+      total += item.count * (item.id < body_weight.size() ? body_weight[item.id] : 0);
+    } else if (item.id < token_weight.size()) {
+      total += token_weight[item.id];
+    }
+  }
+  return total;
+}
+
 std::string item_attr_label(const NlrItem& item, const TokenTable& tokens) {
   if (item.is_loop()) return "L" + std::to_string(item.id);
   return tokens.name(item.id);

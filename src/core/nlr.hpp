@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -150,6 +151,22 @@ class NlrBuilder {
 
 /// Lossless expansion back to the flat token sequence.
 [[nodiscard]] std::vector<TokenId> expand_nlr(const NlrProgram& program, const LoopTable& table);
+
+/// Expanded weight of every loop body, computed without expansion.
+///
+/// `token_weight[t]` is token t's own weight (all-ones measures expanded
+/// token length; per-token op/event counts measure those instead); tokens
+/// with ids past the span weigh 0. A loop item contributes
+/// count × weight(its body), so the result is the exact expanded weight.
+/// Bodies reference only lower loop ids (intern order is bottom-up), which
+/// makes one ascending-id pass the whole fixpoint.
+[[nodiscard]] std::vector<std::uint64_t> body_weights(const LoopTable& table,
+                                                      std::span<const std::uint64_t> token_weight);
+
+/// Expanded weight of one program given precomputed `body_weights`.
+[[nodiscard]] std::uint64_t program_weight(const NlrProgram& program,
+                                           std::span<const std::uint64_t> token_weight,
+                                           std::span<const std::uint64_t> body_weight);
 
 /// "L0^4" / token-name rendering of a single item.
 [[nodiscard]] std::string item_label(const NlrItem& item, const TokenTable& tokens);

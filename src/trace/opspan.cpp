@@ -1,0 +1,37 @@
+#include "trace/opspan.hpp"
+
+#include <algorithm>
+
+namespace difftrace::trace {
+
+OpSpanIndex::OpSpanIndex(std::span<const OpRecord> ops) : ops_(ops) {
+  for (std::size_t i = 1; i < ops_.size(); ++i) {
+    if (ops_[i].event_index < ops_[i - 1].event_index) {
+      ordered_ = false;
+      break;
+    }
+  }
+}
+
+std::size_t OpSpanIndex::first_at_or_after(std::uint64_t event_index) const noexcept {
+  if (!ordered_) return ops_.size();
+  const auto it = std::lower_bound(
+      ops_.begin(), ops_.end(), event_index,
+      [](const OpRecord& op, std::uint64_t at) { return op.event_index < at; });
+  return static_cast<std::size_t>(it - ops_.begin());
+}
+
+std::span<const OpRecord> OpSpanIndex::in_span(std::uint64_t begin_event,
+                                               std::uint64_t end_event) const noexcept {
+  if (!ordered_ || begin_event >= end_event) return {};
+  const auto first = first_at_or_after(begin_event);
+  const auto last = first_at_or_after(end_event);
+  return ops_.subspan(first, last - first);
+}
+
+std::span<const OpRecord> OpSpanIndex::at(std::uint64_t event_index) const noexcept {
+  if (event_index == UINT64_MAX) return {};
+  return in_span(event_index, event_index + 1);
+}
+
+}  // namespace difftrace::trace

@@ -1,0 +1,48 @@
+// Op-span indexing for one stream's side-channel records.
+//
+// OpRecords anchor to the event stream by `event_index` (= events recorded
+// before the op), and the writer appends them in anchor order, so the ops
+// of any event range [begin, end) form one contiguous slice. This index
+// exposes that slice by binary search, which is what lets the abstract
+// checker engine attribute ops to loop-body event spans without expanding
+// the NLR program. Salvaged archives can in principle present ops out of
+// anchor order; `ordered()` reports that so callers can fall back to a
+// linear walk instead of trusting the search.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "trace/op.hpp"
+
+namespace difftrace::trace {
+
+class OpSpanIndex {
+ public:
+  OpSpanIndex() = default;
+  /// Indexes `ops`, which must outlive the index (a view, not a copy).
+  explicit OpSpanIndex(std::span<const OpRecord> ops);
+
+  /// True when anchors are nondecreasing — the precondition for the
+  /// binary-search accessors below (they return empty spans otherwise).
+  [[nodiscard]] bool ordered() const noexcept { return ordered_; }
+  [[nodiscard]] std::size_t size() const noexcept { return ops_.size(); }
+
+  /// Index of the first op anchored at or after `event_index`
+  /// (ops_.size() when none).
+  [[nodiscard]] std::size_t first_at_or_after(std::uint64_t event_index) const noexcept;
+
+  /// Ops anchored inside the event range [begin, end).
+  [[nodiscard]] std::span<const OpRecord> in_span(std::uint64_t begin_event,
+                                                  std::uint64_t end_event) const noexcept;
+
+  /// Ops anchored exactly at `event_index` (recorded before that event).
+  [[nodiscard]] std::span<const OpRecord> at(std::uint64_t event_index) const noexcept;
+
+ private:
+  std::span<const OpRecord> ops_;
+  bool ordered_ = true;
+};
+
+}  // namespace difftrace::trace

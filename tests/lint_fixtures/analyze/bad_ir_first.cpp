@@ -1,0 +1,40 @@
+// Lint fixture: seeded `ir-first-analysis` violations. Lives under an
+// analyze/ directory so the path-scoped rule applies; the real exemption
+// (replay_fallback.cpp) is pinned by the tree lint staying clean. Also
+// carries the rule's near-misses and a suppressed call. Never compiled.
+#include <cstdint>
+#include <vector>
+
+namespace difftrace::fixture_analyze {
+
+struct NlrItem {};
+struct LoopTable {};
+std::vector<std::uint32_t> expand_nlr(const std::vector<NlrItem>&, const LoopTable&);  // NOLINT-DT(ir-first-analysis): fixture declaration, not a call
+std::vector<std::uint32_t> expand_nlr_prefix(const std::vector<NlrItem>& items,
+                                             const LoopTable& loops, std::size_t cap);
+
+std::vector<std::uint32_t> walk_everything(const std::vector<NlrItem>& items,
+                                           const LoopTable& loops) {
+  return expand_nlr(items, loops);  // seeded violation: full expansion in analysis code
+}
+
+std::vector<std::uint32_t> walk_qualified(const std::vector<NlrItem>& items,
+                                          const LoopTable& loops) {
+  namespace core = difftrace::fixture_analyze;
+  return core::expand_nlr(items, loops);  // seeded violation: qualified call is still a call
+}
+
+// Near-misses: a bounded sibling entry point, and prose naming the banned
+// token. "call expand_nlr(items, loops)" in a string is not a call.
+std::vector<std::uint32_t> walk_bounded(const std::vector<NlrItem>& items,
+                                        const LoopTable& loops) {
+  return expand_nlr_prefix(items, loops, 64);
+}
+const char* advice() { return "never call expand_nlr(items, loops) from a checker"; }
+
+std::vector<std::uint32_t> walk_sanctioned(const std::vector<NlrItem>& items,
+                                           const LoopTable& loops) {
+  return expand_nlr(items, loops);  // NOLINT-DT(ir-first-analysis): fixture exercising suppression
+}
+
+}  // namespace difftrace::fixture_analyze

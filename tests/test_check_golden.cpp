@@ -227,10 +227,13 @@ TEST(CheckGolden, CliCheckCommandExitCodesAndListing) {
   for (const auto* name : {"stream", "mpi", "locks"})
     EXPECT_NE(out.str().find(name), std::string::npos);
 
+  // An unknown checker fails plainly (exit 1) and names the valid ones.
   out.str("");
   err.str("");
-  EXPECT_EQ(cli::run_command({"check", faulty_path, "--checkers", "bogus"}, out, err), 2);
-  EXPECT_NE(err.str().find("bogus"), std::string::npos);
+  EXPECT_EQ(cli::run_command({"check", faulty_path, "--checkers", "bogus"}, out, err), 1);
+  EXPECT_NE(err.str().find("unknown checker 'bogus'"), std::string::npos);
+  for (const auto* name : {"stream", "mpi", "locks"})
+    EXPECT_NE(err.str().find(name), std::string::npos);
 
   std::filesystem::remove(normal_path);
   std::filesystem::remove(faulty_path);

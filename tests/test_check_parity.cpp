@@ -1,0 +1,302 @@
+// Differential parity wall for the check engines: whatever archive the
+// tool can produce — every cell of the default apps × faults matrix,
+// chaos-salvaged wrecks, watchdog-truncated hangs — `--engine=summary`
+// and `--engine=auto` must reach the replay engine's verdicts. Auto is
+// held to the strictest bar (byte-identical report, since its fallback
+// walks are exact); summary is held to the verdict taxonomy (rule ×
+// severity multiset), notes, and exit code, because widening may merge
+// repeated witnesses of one finding. Auto must also log every fallback
+// it takes, with a reason, on the stream the CLI points at stderr.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze/analyze.hpp"
+#include "apps/oddeven.hpp"
+#include "apps/runner.hpp"
+#include "cli/commands.hpp"
+#include "trace/chaos.hpp"
+#include "trace/op.hpp"
+#include "trace/writer.hpp"
+#include "util/json.hpp"
+
+namespace difftrace {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Verdict taxonomy of a report: how many diagnostics of each (rule,
+/// severity). Summary-mode parity is judged on this, not on rendered
+/// bytes — message wording may cite different witnesses.
+std::map<std::pair<std::string, int>, std::size_t> taxonomy(const analyze::CheckReport& report) {
+  std::map<std::pair<std::string, int>, std::size_t> counts;
+  for (const auto& d : report.diagnostics)
+    ++counts[{d.rule, static_cast<int>(d.severity)}];
+  return counts;
+}
+
+std::string describe(const std::map<std::pair<std::string, int>, std::size_t>& counts) {
+  std::ostringstream os;
+  for (const auto& [key, n] : counts)
+    os << key.first << "/sev" << key.second << " x" << n << "; ";
+  return os.str();
+}
+
+/// The parity contract, library level: replay is the oracle.
+void expect_engine_parity(const trace::TraceStore& store, const std::string& label) {
+  analyze::CheckOptions replay_opts;
+  replay_opts.engine = analyze::CheckEngine::Replay;
+  const auto replay = analyze::run_checks(store, replay_opts);
+
+  std::ostringstream fallback_log;
+  analyze::CheckOptions auto_opts;
+  auto_opts.engine = analyze::CheckEngine::Auto;
+  auto_opts.fallback_log = &fallback_log;
+  const auto autod = analyze::run_checks(store, auto_opts);
+
+  analyze::CheckOptions summary_opts;
+  summary_opts.engine = analyze::CheckEngine::Summary;
+  const auto summary = analyze::run_checks(store, summary_opts);
+
+  // Auto = exact facts from the IR with scoped concrete walks: the whole
+  // report must be byte-identical, severity capping included.
+  EXPECT_EQ(autod.render(), replay.render()) << label << " (auto vs replay)";
+  EXPECT_EQ(autod.exit_code(), replay.exit_code()) << label;
+  EXPECT_EQ(autod.events_checked, replay.events_checked) << label;
+
+  // Summary = widened: same verdicts, same exit code, same notes.
+  EXPECT_EQ(summary.exit_code(), replay.exit_code()) << label;
+  EXPECT_EQ(taxonomy(summary), taxonomy(replay))
+      << label << "\n  summary: " << describe(taxonomy(summary))
+      << "\n  replay:  " << describe(taxonomy(replay));
+  EXPECT_EQ(summary.notes, replay.notes) << label;
+  EXPECT_EQ(summary.streams_checked, replay.streams_checked) << label;
+}
+
+class CheckParity : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           ("difftrace_parity_" + std::to_string(::getpid()) + "_" + info->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  int run(const std::vector<std::string>& argv) {
+    out_.str("");
+    err_.str("");
+    return cli::run_command(argv, out_, err_);
+  }
+
+  fs::path dir_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+/// A deterministic archive the summaries cannot fully compose: each rank
+/// runs an outer loop whose body holds more collective instances than
+/// kMaxBodyCollInstances (an inner allreduce loop), so the mpi family of
+/// every stream is Approx and auto must take its concrete fallback. The
+/// run itself is clean — both ranks participate identically.
+trace::TraceStore trace_coll_overflow() {
+  trace::TraceStore store;
+  const auto main_fn = store.registry().intern("main", trace::Image::Main);
+  const auto step_fn = store.registry().intern("step", trace::Image::Main);
+  const auto allreduce = store.registry().intern("MPI_Allreduce", trace::Image::MpiLib);
+  for (int rank = 0; rank < 2; ++rank) {
+    trace::TraceWriter w({rank, 0}, "null");
+    w.record(trace::EventKind::Call, main_fn);
+    for (int outer = 0; outer < 3; ++outer) {
+      w.record(trace::EventKind::Call, step_fn);
+      for (int inner = 0; inner < 1100; ++inner) {
+        w.record(trace::EventKind::Call, allreduce);
+        w.annotate({.code = trace::OpCode::CollEnter,
+                    .peer = 0,
+                    .count = 1,
+                    .coll = 3,
+                    .dtype = 1,
+                    .redop = 1,
+                    .detail = "MPI_Allreduce"});
+        w.record(trace::EventKind::Return, allreduce);
+      }
+      w.record(trace::EventKind::Return, step_fn);
+    }
+    w.record(trace::EventKind::Return, main_fn);
+    store.absorb(w);
+  }
+  return store;
+}
+
+trace::TraceStore trace_odd_even(apps::FaultSpec fault) {
+  simmpi::WorldConfig world;
+  world.nranks = 4;
+  world.watchdog_poll = std::chrono::milliseconds(5);
+  apps::OddEvenConfig config;
+  config.nranks = world.nranks;
+  config.elements_per_rank = 8;
+  config.fault = fault;
+  auto run = apps::run_traced(world, [config](simmpi::Comm& c) { apps::odd_even_rank(c, config); });
+  return std::move(run.store);
+}
+
+// --- the full matrix, all engines --------------------------------------------
+
+TEST_F(CheckParity, EveryDefaultMatrixArchiveAgreesAcrossEngines) {
+  // Re-run the default apps × faults grid and keep every cell's archive:
+  // completed runs, silent faults, and watchdog-truncated hangs alike.
+  const auto keep = (dir_ / "archives").string();
+  ASSERT_EQ(run({"matrix", "--out", (dir_ / "matrix.json").string(), "--quiet",
+                 "--cell-timeout-ms", "8000", "--keep-archives", keep}),
+            0)
+      << err_.str();
+
+  std::vector<std::string> archives;
+  for (const auto& entry : fs::directory_iterator(keep))
+    if (entry.path().extension() == ".dtrc") archives.push_back(entry.path().string());
+  std::sort(archives.begin(), archives.end());
+  // The default grid is 8 apps × 15 fault plans = 120 cells; every cell
+  // that actually ran (completed or hung — skipped cells are app/fault
+  // pairs the app does not implement) must have left an archive to grade.
+  std::ifstream report_in(dir_ / "matrix.json");
+  std::ostringstream report_text;
+  report_text << report_in.rdbuf();
+  const auto report = util::parse_json(report_text.str());
+  ASSERT_EQ(report.at("cells").array.size(), 120u);
+  std::size_t ran = 0;
+  for (const auto& cell : report.at("cells").array)
+    if (cell.at("run").as_string() != "skipped") ++ran;
+  ASSERT_EQ(archives.size(), ran);
+  ASSERT_GE(archives.size(), 70u);
+
+  for (const auto& path : archives) {
+    SCOPED_TRACE(path);
+    const auto store = trace::TraceStore::load(path);
+    expect_engine_parity(store, fs::path(path).filename().string());
+  }
+}
+
+// --- damaged evidence ---------------------------------------------------------
+
+TEST_F(CheckParity, ChaosSalvagedArchivesKeepParity) {
+  // Degraded evidence is where an abstract engine is most tempted to
+  // disagree with replay (missing op records, torn streams, capped
+  // severities). Salvage whatever chaos leaves and hold the line anyway.
+  const auto clean_path = dir_ / "clean.dtr";
+  const auto faulty_path = dir_ / "faulty.dtr";
+  trace_odd_even({}).save(clean_path);
+  trace_odd_even({apps::FaultType::DlBug, 1, -1, 1}).save(faulty_path);
+
+  for (const auto& src : {clean_path, faulty_path}) {
+    const auto archive = trace::chaos_read_file(src);
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      const auto corrupted = trace::chaos_random(archive, seed);
+      const auto bad_path = dir_ / "damaged.dtr";
+      trace::chaos_write_file(bad_path, corrupted.bytes);
+      const auto result = trace::TraceStore::salvage(bad_path);
+      expect_engine_parity(result.store, src.filename().string() + " seed " +
+                                             std::to_string(seed) + " (" +
+                                             corrupted.description + ")");
+    }
+  }
+}
+
+// --- CLI surface --------------------------------------------------------------
+
+TEST_F(CheckParity, CliEnginesMatchOnStdoutAndExitCode) {
+  const auto path = (dir_ / "faulty.dtr").string();
+  trace_odd_even({apps::FaultType::DlBug, 1, -1, 1}).save(path);
+
+  const int replay_exit = run({"check", path, "--engine=replay"});
+  const std::string replay_stdout = out_.str();
+  EXPECT_EQ(replay_exit, 1);
+
+  const int auto_exit = run({"check", path, "--engine=auto"});
+  EXPECT_EQ(auto_exit, replay_exit);
+  EXPECT_EQ(out_.str(), replay_stdout);
+
+  const int summary_exit = run({"check", path, "--engine=summary"});
+  EXPECT_EQ(summary_exit, replay_exit);
+}
+
+TEST_F(CheckParity, AutoLogsEveryFallbackWithAReason) {
+  // An outer loop body holding more collective instances than the summary
+  // cap defeats the mpi summaries on every stream, so auto must take
+  // concrete walks — and say so, once per fallback, on stderr. (A
+  // hand-built archive, not a collected one: the threaded apps' trace
+  // shape is scheduler-dependent, so whether their loops summarize
+  // exactly varies run to run.)
+  const auto path = (dir_ / "overflow.dtrc").string();
+  trace_coll_overflow().save(path);
+
+  const int replay_exit = run({"check", path, "--engine=replay"});
+  const std::string replay_stdout = out_.str();
+  EXPECT_EQ(replay_exit, 0) << out_.str();
+
+  const int auto_exit = run({"check", path, "--engine=auto"});
+  EXPECT_EQ(auto_exit, replay_exit);
+  EXPECT_EQ(out_.str(), replay_stdout);
+
+  // Every fallback line names the stream it re-walked and why; both
+  // ranks' mpi families are undecidable here, so both must appear.
+  std::istringstream err_lines(err_.str());
+  std::string line;
+  std::size_t fallbacks = 0;
+  while (std::getline(err_lines, line)) {
+    if (line.rfind("[fallback] ", 0) != 0) continue;
+    ++fallbacks;
+    EXPECT_NE(line.find("stream "), std::string::npos) << line;
+    // The reason clause follows the stream key; it must be non-empty
+    // prose, not a bare tag.
+    EXPECT_GT(line.size(), std::string("[fallback] stream 0.0 ").size()) << line;
+  }
+  EXPECT_GE(fallbacks, 2u) << err_.str();
+
+  // Summary on the same archive widens instead of re-walking, but the
+  // verdict taxonomy still has to match replay's.
+  const auto store = trace::TraceStore::load(path);
+  expect_engine_parity(store, "collective-overflow archive");
+}
+
+TEST_F(CheckParity, SummaryCacheRoundTripIsStableAndHits) {
+  const auto path = (dir_ / "clean.dtr").string();
+  trace_odd_even({}).save(path);
+  const auto cache = (dir_ / "cache").string();
+  const auto cold_stats = (dir_ / "cold.json").string();
+  const auto warm_stats = (dir_ / "warm.json").string();
+
+  ASSERT_EQ(run({"check", path, "--engine=auto", "--cache=" + cache, "--stats=" + cold_stats}), 0)
+      << err_.str();
+  const std::string cold_stdout = out_.str();
+  ASSERT_EQ(run({"check", path, "--engine=auto", "--cache=" + cache, "--stats=" + warm_stats}), 0)
+      << err_.str();
+  EXPECT_EQ(out_.str(), cold_stdout);
+
+  const auto load_json = [](const std::string& p) {
+    std::ifstream in(p);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return util::parse_json(text.str());
+  };
+  const auto cold = load_json(cold_stats);
+  const auto warm = load_json(warm_stats);
+  EXPECT_EQ(cold.at("check_engine").as_string(), "auto");
+  EXPECT_EQ(warm.at("check_engine").as_string(), "auto");
+  EXPECT_GT(cold.at("summary_cache_misses").as_int(), 0);
+  EXPECT_EQ(cold.at("summary_cache_hits").as_int(), 0);
+  EXPECT_GT(warm.at("summary_cache_hits").as_int(), 0);
+  EXPECT_EQ(warm.at("summary_cache_misses").as_int(), 0);
+}
+
+}  // namespace
+}  // namespace difftrace

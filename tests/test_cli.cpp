@@ -414,6 +414,35 @@ TEST_F(CliRoundTrip, InfoJsonAndManifestCarryEngineFields) {
   EXPECT_EQ(warm.cache_misses, 0u);
 }
 
+TEST_F(CliRoundTrip, CheckEngineFlagSelectsAndValidates) {
+  ASSERT_EQ(run({"collect", "--app", "oddeven", "--nranks", "4", "--size", "8", "--out", normal_}),
+            0)
+      << err_.str();
+
+  // Every engine name is accepted and agrees on a clean archive.
+  EXPECT_EQ(run({"check", normal_, "--engine", "replay"}), 0) << err_.str();
+  const auto replay_out = out_.str();
+  EXPECT_EQ(run({"check", normal_, "--engine", "summary"}), 0) << err_.str();
+  EXPECT_EQ(run({"check", normal_, "--engine", "auto"}), 0) << err_.str();
+  EXPECT_EQ(out_.str(), replay_out);
+
+  // An unknown engine is a usage error (exit 2) naming the valid ones.
+  EXPECT_EQ(run({"check", normal_, "--engine", "quantum"}), 2);
+  EXPECT_NE(err_.str().find("unknown engine 'quantum'"), std::string::npos);
+  for (const auto* name : {"replay", "summary", "auto"})
+    EXPECT_NE(err_.str().find(name), std::string::npos);
+
+  // The engine choice lands in the run manifest.
+  const auto manifest_path = (dir_ / "manifest.json").string();
+  ASSERT_EQ(run({"check", normal_, "--engine", "summary", "--stats=" + manifest_path}), 0)
+      << err_.str();
+  std::ifstream file(manifest_path);
+  std::ostringstream text;
+  text << file.rdbuf();
+  const auto manifest = obs::RunManifest::from_json_text(text.str());
+  EXPECT_EQ(manifest.check_engine, "summary");
+}
+
 TEST_F(CliRoundTrip, StatsCommandRejectsBadManifest) {
   EXPECT_EQ(run({"stats", (dir_ / "missing.json").string()}), 2);
   const auto bad = (dir_ / "bad.json").string();

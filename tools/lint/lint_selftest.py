@@ -34,6 +34,9 @@ EXPECTED: dict[str, set[tuple[str, int]]] = {
     "bad_task_throw.cpp": {("task-throw", 15)},
     "bad_sim_inject.cpp": {("sim-only-injection", 14), ("sim-only-injection", 15)},
     "bad_raw_mutex.cpp": {("raw-mutex", 18), ("raw-mutex", 19)},
+    # Path-scoped rule: the fixture sits under an analyze/ subdirectory so
+    # the scope predicate fires on it exactly as it does on src/analyze/.
+    "analyze/bad_ir_first.cpp": {("ir-first-analysis", 18), ("ir-first-analysis", 24)},
     "clean.cpp": set(),
     "suppressed.cpp": set(),
 }
