@@ -34,6 +34,7 @@
 #include "analyze/analyze.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/selftrace.hpp"
 #include "obs/span.hpp"
 #include "trace/store.hpp"
 #include "trace/writer.hpp"
@@ -192,9 +193,11 @@ struct BenchCacheDir {
 /// generator for BENCH_check.json). Every pass's rendered report must be
 /// byte-identical to replay's — summary and auto are Exact on this
 /// archive's bounded loops, so even summary is held to full parity here.
-int run_manifest_mode(const std::vector<std::string>& command, const std::string& json_path) {
+int run_manifest_mode(const std::vector<std::string>& command, const std::string& json_path,
+                      const std::string& selftrace_path) {
   obs::MetricsRegistry::instance().reset();
   obs::PhaseTable::instance().reset();
+  if (!selftrace_path.empty()) obs::SelfTrace::instance().start();
   BenchCacheDir cache_dir;
   bool mismatch = false;
   std::uint64_t replay_ns = 0;
@@ -254,6 +257,13 @@ int run_manifest_mode(const std::vector<std::string>& command, const std::string
             << summary_warm_ns / 1'000'000 << "ms (" << speedup(summary_warm_ns) << "x)\n";
 
   auto manifest = obs::collect_manifest(command, {}, mismatch ? 1 : 0);
+  if (!selftrace_path.empty()) {
+    const auto self_store = obs::SelfTrace::instance().stop();
+    self_store.save(selftrace_path);
+    std::cerr << "[self-trace] " << self_store.size() << " stream(s) written to "
+              << selftrace_path << "\n";
+    manifest.self_trace = selftrace_path;
+  }
   manifest.check_engine = "summary";
   manifest.cache_dir = cache_dir.path.string();
   if (json_path.empty()) {
@@ -277,6 +287,7 @@ int run_manifest_mode(const std::vector<std::string>& command, const std::string
 int main(int argc, char** argv) {
   bool want_json = false;
   std::string json_path;
+  std::string selftrace_path;
   std::vector<char*> bench_argv;
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -285,13 +296,17 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--json=", 0) == 0) {
       want_json = true;
       json_path = arg.substr(7);
+    } else if (arg == "--self-trace") {
+      selftrace_path = "perf_check.selftrace.dtrc";
+    } else if (arg.rfind("--self-trace=", 0) == 0) {
+      selftrace_path = arg.substr(13);
     } else {
       bench_argv.push_back(argv[i]);
     }
   }
   if (want_json)
     return run_manifest_mode({bench_argv.empty() ? "perf_check" : bench_argv[0], "--json"},
-                             json_path);
+                             json_path, selftrace_path);
 
   int bench_argc = static_cast<int>(bench_argv.size());
   benchmark::Initialize(&bench_argc, bench_argv.data());

@@ -27,6 +27,7 @@
 #include "apps/runner.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/selftrace.hpp"
 #include "obs/span.hpp"
 #include "sched/pool.hpp"
 #include "simfault/injector.hpp"
@@ -101,10 +102,12 @@ BENCHMARK(BM_HookDisarmed);
 /// Interleaved reps (clean, armed-miss, injected, repeat) so drift hits all
 /// three alike; medians feed the overhead counters. Returns nonzero when the
 /// injected pass never fires — the bench doubles as an arming smoke test.
-int run_manifest_mode(const std::vector<std::string>& command, const std::string& json_path) {
+int run_manifest_mode(const std::vector<std::string>& command, const std::string& json_path,
+                      const std::string& selftrace_path) {
   using clock = std::chrono::steady_clock;
   obs::MetricsRegistry::instance().reset();
   obs::PhaseTable::instance().reset();
+  if (!selftrace_path.empty()) obs::SelfTrace::instance().start();
   constexpr int kReps = 9;
   bool injected_fired = true;
   std::vector<double> clean_ms, armed_ms, injected_ms;
@@ -158,6 +161,13 @@ int run_manifest_mode(const std::vector<std::string>& command, const std::string
   if (!injected_fired) std::cerr << "perf_matrix: injected plan never fired\n";
 
   auto manifest = obs::collect_manifest(command, {}, injected_fired ? 0 : 1);
+  if (!selftrace_path.empty()) {
+    const auto self_store = obs::SelfTrace::instance().stop();
+    self_store.save(selftrace_path);
+    std::cerr << "[self-trace] " << self_store.size() << " stream(s) written to "
+              << selftrace_path << "\n";
+    manifest.self_trace = selftrace_path;
+  }
   manifest.jobs = sched::hardware_jobs();
   if (json_path.empty()) {
     manifest.write_json(std::cout);
@@ -180,6 +190,7 @@ int run_manifest_mode(const std::vector<std::string>& command, const std::string
 int main(int argc, char** argv) {
   bool want_json = false;
   std::string json_path;
+  std::string selftrace_path;
   std::vector<char*> bench_argv;
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -188,13 +199,17 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--json=", 0) == 0) {
       want_json = true;
       json_path = arg.substr(7);
+    } else if (arg == "--self-trace") {
+      selftrace_path = "perf_matrix.selftrace.dtrc";
+    } else if (arg.rfind("--self-trace=", 0) == 0) {
+      selftrace_path = arg.substr(13);
     } else {
       bench_argv.push_back(argv[i]);
     }
   }
   if (want_json)
     return run_manifest_mode({bench_argv.empty() ? "perf_matrix" : bench_argv[0], "--json"},
-                             json_path);
+                             json_path, selftrace_path);
 
   int bench_argc = static_cast<int>(bench_argv.size());
   benchmark::Initialize(&bench_argc, bench_argv.data());

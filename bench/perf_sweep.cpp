@@ -29,6 +29,7 @@
 #include "core/pipeline.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/selftrace.hpp"
 #include "obs/span.hpp"
 #include "sched/cache.hpp"
 #include "sched/pool.hpp"
@@ -157,9 +158,11 @@ BENCHMARK(BM_Evaluate);
 // counters the pipeline throughput. This is the generator for
 // BENCH_sweep.json. Returns nonzero if any pass disagrees with the serial
 // table — the bench doubles as a cheap end-to-end determinism check.
-int run_manifest_mode(const std::vector<std::string>& command, const std::string& json_path) {
+int run_manifest_mode(const std::vector<std::string>& command, const std::string& json_path,
+                      const std::string& selftrace_path) {
   obs::MetricsRegistry::instance().reset();
   obs::PhaseTable::instance().reset();
+  if (!selftrace_path.empty()) obs::SelfTrace::instance().start();
   BenchCacheDir cache_dir;
   std::string baseline;
   bool mismatch = false;
@@ -203,6 +206,13 @@ int run_manifest_mode(const std::vector<std::string>& command, const std::string
     }
   }
   auto manifest = obs::collect_manifest(command, {}, mismatch ? 1 : 0);
+  if (!selftrace_path.empty()) {
+    const auto self_store = obs::SelfTrace::instance().stop();
+    self_store.save(selftrace_path);
+    std::cerr << "[self-trace] " << self_store.size() << " stream(s) written to "
+              << selftrace_path << "\n";
+    manifest.self_trace = selftrace_path;
+  }
   manifest.jobs = sched::hardware_jobs();
   manifest.cache_dir = cache_dir.path.string();
   if (json_path.empty()) {
@@ -226,6 +236,7 @@ int run_manifest_mode(const std::vector<std::string>& command, const std::string
 int main(int argc, char** argv) {
   bool want_json = false;
   std::string json_path;
+  std::string selftrace_path;
   std::vector<char*> bench_argv;
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -234,13 +245,17 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--json=", 0) == 0) {
       want_json = true;
       json_path = arg.substr(7);
+    } else if (arg == "--self-trace") {
+      selftrace_path = "perf_sweep.selftrace.dtrc";
+    } else if (arg.rfind("--self-trace=", 0) == 0) {
+      selftrace_path = arg.substr(13);
     } else {
       bench_argv.push_back(argv[i]);
     }
   }
   if (want_json)
     return run_manifest_mode({bench_argv.empty() ? "perf_sweep" : bench_argv[0], "--json"},
-                             json_path);
+                             json_path, selftrace_path);
 
   int bench_argc = static_cast<int>(bench_argv.size());
   benchmark::Initialize(&bench_argc, bench_argv.data());

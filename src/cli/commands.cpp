@@ -163,6 +163,15 @@ trace::TraceStore load_store(const std::string& path, std::ostream& err) {
   }
 }
 
+/// load_store under a "load" span, so every archive-consuming command's
+/// manifest has a depth-1 load phase and `perf diff` can compare load time
+/// across any pair of runs. The span closes after the return value is
+/// constructed (guaranteed copy elision), so it covers the whole load.
+trace::TraceStore load_store_span(const std::string& path, std::ostream& err) {
+  obs::Span span_load("load");
+  return load_store(path, err);
+}
+
 }  // namespace
 
 FilterSpec parse_filter(const std::string& spec) {
@@ -284,6 +293,23 @@ commands:
       inspect or maintain the content-addressed artifact cache written by
       rank/report --cache (default directory .difftrace-cache). verify
       frame-checks every entry and exits 1 if any is damaged.
+  perf export INPUT [--format {chrome|csv}] [--out FILE]
+      turn telemetry into external-tool artifacts. INPUT is a run manifest
+      (--stats=FILE JSON) or a self-trace archive (--self-trace output),
+      auto-detected. 'chrome' (default) emits Chrome Trace Event JSON for
+      chrome://tracing / Perfetto — one lane per span-tree root, per-phase
+      p50/p95/p99 and the counter snapshot in the span args; 'csv' a flat
+      per-phase (manifest) or per-span (self-trace) table.
+  perf diff BASE HEAD [--rel-threshold F] [--abs-floor-ms F] [--json]
+       [--no-selftrace] [--out FILE]
+      compare two run manifests phase by phase. A phase only counts as
+      changed when its wall delta exceeds BOTH the relative threshold
+      (default 0.25 of base) AND the absolute floor (default 1 ms); verdicts
+      are improved/regressed/unchanged/added/removed. When both manifests
+      record --self-trace archives, diffNLR runs over them to localize where
+      the phase structure diverged (--no-selftrace skips this). --json emits
+      the machine schema validated by tools/check_manifest.py --perfdiff.
+      exits 0 when no phase regressed, 3 on any regression.
 
 global flags (any command; use the '=' forms):
   --stats[=FILE]      collect a run manifest: per-phase wall/CPU spans,
@@ -355,7 +381,8 @@ int cmd_collect(const Args& args, std::ostream& out, std::ostream& err) {
 }
 
 int cmd_info(const Args& args, std::ostream& out, std::ostream& err) {
-  const auto store = load_store(args.positional_at(1, "trace-store path"), err);
+  const auto store = load_store_span(args.positional_at(1, "trace-store path"), err);
+  obs::Span span_render("render");
   const auto stats = store.stats();
   if (args.flag("json")) {
     util::JsonWriter json(out);
@@ -408,17 +435,19 @@ int cmd_info(const Args& args, std::ostream& out, std::ostream& err) {
 }
 
 int cmd_decode(const Args& args, std::ostream& out, std::ostream& err) {
-  const auto store = load_store(args.positional_at(1, "trace-store path"), err);
+  const auto store = load_store_span(args.positional_at(1, "trace-store path"), err);
   const auto key = parse_trace_key(args.required("trace"));
   const auto filter = parse_filter(args.get_or("filter", "all"));
+  obs::Span span_decode("decode");
   for (const auto& token : filter.apply(store, key)) out << token << "\n";
   return 0;
 }
 
 int cmd_nlr(const Args& args, std::ostream& out, std::ostream& err) {
-  const auto store = load_store(args.positional_at(1, "trace-store path"), err);
+  const auto store = load_store_span(args.positional_at(1, "trace-store path"), err);
   const auto key = parse_trace_key(args.required("trace"));
   const auto filter = parse_filter(args.get_or("filter", "all"));
+  obs::Span span_nlr("nlr");
   core::TokenTable tokens;
   core::LoopTable loops;
   const auto program =
@@ -471,11 +500,12 @@ int cmd_rank(const Args& args, std::ostream& out, std::ostream& err) {
 }
 
 int cmd_diffnlr(const Args& args, std::ostream& out, std::ostream& err) {
-  const auto normal = load_store(args.positional_at(1, "normal trace store"), err);
-  const auto faulty = load_store(args.positional_at(2, "faulty trace store"), err);
+  const auto normal = load_store_span(args.positional_at(1, "normal trace store"), err);
+  const auto faulty = load_store_span(args.positional_at(2, "faulty trace store"), err);
   const auto key = parse_trace_key(args.required("trace"));
   const core::Session session(normal, faulty, parse_filter(args.get_or("filter", "mpiall")),
                               nlr_from(args));
+  obs::Span span_diff("diff");
   const auto diff = session.diffnlr(key);
   out << "diffNLR(" << key.label() << "):\n";
   if (args.flag("side-by-side"))
@@ -486,10 +516,11 @@ int cmd_diffnlr(const Args& args, std::ostream& out, std::ostream& err) {
 }
 
 int cmd_progress(const Args& args, std::ostream& out, std::ostream& err) {
-  const auto normal = load_store(args.positional_at(1, "normal trace store"), err);
-  const auto faulty = load_store(args.positional_at(2, "faulty trace store"), err);
+  const auto normal = load_store_span(args.positional_at(1, "normal trace store"), err);
+  const auto faulty = load_store_span(args.positional_at(2, "faulty trace store"), err);
   const core::Session session(normal, faulty, parse_filter(args.get_or("filter", "mpiall")),
                               nlr_from(args));
+  obs::Span span_progress("progress");
   util::TextTable table({"Trace", "Progress ratio"});
   const auto ratios = session.progress_ratios();
   for (std::size_t i = 0; i < ratios.size(); ++i)
@@ -504,11 +535,12 @@ int cmd_progress(const Args& args, std::ostream& out, std::ostream& err) {
 }
 
 int cmd_outliers(const Args& args, std::ostream& out, std::ostream& err) {
-  const auto store = load_store(args.positional_at(1, "trace-store path"), err);
+  const auto store = load_store_span(args.positional_at(1, "trace-store path"), err);
   const auto eval = core::evaluate_single_run(
       store, parse_filter(args.get_or("filter", "mpiall")),
       parse_attr(args.get_or("attr", "sing.actual")), nlr_from(args),
       parse_linkage(args.get_or("linkage", "ward")));
+  obs::Span span_render("render");
   util::TextTable table({"Trace", "Outlier score"});
   for (std::size_t i = 0; i < eval.traces.size(); ++i)
     table.add_row({eval.traces[i].label(), util::format_double(eval.outlier_scores[i], 3)});
@@ -520,8 +552,8 @@ int cmd_outliers(const Args& args, std::ostream& out, std::ostream& err) {
 }
 
 int cmd_report(const Args& args, std::ostream& out, std::ostream& err) {
-  const auto normal = load_store(args.positional_at(1, "normal trace store"), err);
-  const auto faulty = load_store(args.positional_at(2, "faulty trace store"), err);
+  const auto normal = load_store_span(args.positional_at(1, "normal trace store"), err);
+  const auto faulty = load_store_span(args.positional_at(2, "faulty trace store"), err);
   core::ReportConfig config;
   config.sweep.filters = filters_from(args);
   config.sweep.pipeline.nlr = nlr_from(args);
@@ -539,16 +571,17 @@ int cmd_report(const Args& args, std::ostream& out, std::ostream& err) {
 }
 
 int cmd_triage(const Args& args, std::ostream& out, std::ostream& err) {
-  const auto normal = load_store(args.positional_at(1, "normal trace store"), err);
-  const auto faulty = load_store(args.positional_at(2, "faulty trace store"), err);
+  const auto normal = load_store_span(args.positional_at(1, "normal trace store"), err);
+  const auto faulty = load_store_span(args.positional_at(2, "faulty trace store"), err);
   const auto report = core::triage(normal, faulty, parse_filter(args.get_or("filter", "mpiall")),
                                    nlr_from(args));
+  obs::Span span_render("render");
   out << report.render();
   return 0;
 }
 
 int cmd_export(const Args& args, std::ostream& out, std::ostream& err) {
-  const auto store = load_store(args.positional_at(1, "trace-store path"), err);
+  const auto store = load_store_span(args.positional_at(1, "trace-store path"), err);
   const auto format_name = args.get_or("format", "csv");
   trace::ExportFormat format;
   if (format_name == "csv")
@@ -558,6 +591,7 @@ int cmd_export(const Args& args, std::ostream& out, std::ostream& err) {
   else
     throw ArgError("unknown export format '" + format_name + "' (csv, json)");
 
+  obs::Span span_export("export");
   if (const auto path = args.get("out")) {
     std::ofstream file(*path, std::ios::trunc);
     if (!file) throw ArgError("cannot open output file '" + *path + "'");
@@ -603,7 +637,7 @@ int cmd_check(const Args& args, std::ostream& out, std::ostream& err) {
       options.checkers.push_back(name);
     }
   }
-  const auto store = load_store(path, err);
+  const auto store = load_store_span(path, err);
   const auto report = analyze::run_checks(store, options);
   out << "check " << path << "\n" << report.render();
   return report.exit_code();
@@ -613,13 +647,18 @@ int cmd_fsck(const Args& args, std::ostream& out, std::ostream& /*err*/) {
   const auto path = args.positional_at(1, "trace-store path");
   trace::SalvageResult result;
   try {
+    obs::Span span_salvage("salvage");
     result = trace::TraceStore::salvage(path);
   } catch (const std::exception& e) {
     // salvage only throws on I/O problems (missing/unreadable file).
     throw ArgError("cannot read '" + path + "': " + e.what());
   }
-  out << "fsck " << path << "\n" << result.report.render();
+  {
+    obs::Span span_render("render");
+    out << "fsck " << path << "\n" << result.report.render();
+  }
   if (const auto rescue = args.get("rescue")) {
+    obs::Span span_rescue("rescue");
     result.store.save(*rescue);
     out << "rescued store written to " << *rescue << " (" << result.store.size() << " trace(s))\n";
   }
@@ -634,11 +673,13 @@ int cmd_chaos(const Args& args, std::ostream& out, std::ostream& /*err*/) {
 
   std::vector<std::uint8_t> archive;
   try {
+    obs::Span span_load("load");
     archive = trace::chaos_read_file(path);
   } catch (const std::exception& e) {
     throw ArgError("cannot read '" + path + "': " + e.what());
   }
 
+  obs::Span span_inject("inject");
   trace::ChaosResult result;
   if (fault_name == "random")
     result = trace::chaos_random(archive, seed);
@@ -663,16 +704,20 @@ int cmd_chaos(const Args& args, std::ostream& out, std::ostream& /*err*/) {
 
 int cmd_stats(const Args& args, std::ostream& out, std::ostream& /*err*/) {
   const auto path = args.positional_at(1, "manifest path (from --stats=FILE)");
-  std::ifstream file(path);
-  if (!file) throw ArgError("cannot open manifest '" + path + "'");
-  std::ostringstream text;
-  text << file.rdbuf();
   obs::RunManifest manifest;
-  try {
-    manifest = obs::RunManifest::from_json_text(text.str());
-  } catch (const std::exception& e) {
-    throw ArgError("cannot parse manifest '" + path + "': " + e.what());
+  {
+    obs::Span span_load("load");
+    std::ifstream file(path);
+    if (!file) throw ArgError("cannot open manifest '" + path + "'");
+    std::ostringstream text;
+    text << file.rdbuf();
+    try {
+      manifest = obs::RunManifest::from_json_text(text.str());
+    } catch (const std::exception& e) {
+      throw ArgError("cannot parse manifest '" + path + "': " + e.what());
+    }
   }
+  obs::Span span_render("render");
   out << manifest.render();
   return 0;
 }
@@ -681,6 +726,9 @@ int cmd_cache(const Args& args, std::ostream& out, std::ostream& /*err*/) {
   const auto action = args.positional_at(1, "cache action (stats, clear, verify)");
   auto dir = cache_dir_from(args);
   if (dir.empty()) dir = kDefaultCacheDir;
+  // One action span per subcommand ("cache/verify", ...), so cache
+  // maintenance runs produce structured manifests too.
+  obs::Span span_action(action);
   sched::Cache cache(dir);
   if (action == "stats") {
     const auto stats = cache.stats();
@@ -723,6 +771,7 @@ int dispatch(const std::string& command, const Args& args, std::ostream& out, st
   if (command == "chaos") return cmd_chaos(args, out, err);
   if (command == "stats") return cmd_stats(args, out, err);
   if (command == "cache") return cmd_cache(args, out, err);
+  if (command == "perf") return cmd_perf(args, out, err);
   throw ArgError("unknown command '" + command + "' (see 'difftrace help')");
 }
 
@@ -805,6 +854,9 @@ int run_command(const std::vector<std::string>& argv, std::ostream& out, std::os
       manifest.jobs = manifest_jobs;
       manifest.cache_dir = manifest_cache_dir;
       manifest.check_engine = manifest_check_engine;
+      // Cross-reference the archive saved above so `perf diff` can follow
+      // two manifests to their self-traces and localize divergence.
+      if (want_selftrace) manifest.self_trace = selftrace_path;
       if (stats_path.empty()) {
         err << manifest.render();
       } else {

@@ -20,6 +20,9 @@
 //   chaos     inject a deterministic fault into an archive (testing aid)
 //   stats     render a run manifest (--stats=FILE output) as tables
 //   cache     inspect/maintain the --cache artifact cache (stats|clear|verify)
+//   perf      performance observability: export a manifest/self-trace as
+//             Chrome Trace Event JSON or CSV; noise-aware diff of two run
+//             manifests (exit 3 on regression)
 //
 // Global flags (any command): --stats=FILE writes a JSON run manifest
 // (bare --stats renders it to err), --self-trace=FILE records the
@@ -71,5 +74,6 @@ int cmd_fsck(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_chaos(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_stats(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_cache(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_perf(const Args& args, std::ostream& out, std::ostream& err);
 
 }  // namespace difftrace::cli

@@ -1,0 +1,231 @@
+// `difftrace perf` — the performance-observability command group.
+//
+//   perf export INPUT [--format {chrome|csv}] [--out FILE]
+//   perf diff BASE HEAD [--rel-threshold F] [--abs-floor-ms F] [--json]
+//        [--no-selftrace] [--out FILE]
+//
+// export turns telemetry the pipeline already produces (a --stats=FILE run
+// manifest, or a --self-trace archive) into artifacts external tools load:
+// Chrome Trace Event JSON (chrome://tracing, Perfetto) or CSV. diff compares
+// two run manifests phase by phase with the noise model documented in
+// obs/perfdiff.hpp, and — when both manifests record a self-trace archive —
+// reuses the core diffNLR pipeline on difftrace's own traces to localize
+// *where* the two runs' phase structures diverged (DiffTrace diffing
+// DiffTrace). This TU lives in the CLI because that localization needs
+// difftrace_core; the exporters and differ themselves are obs-layer.
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cli/commands.hpp"
+#include "core/pipeline.hpp"
+#include "obs/export.hpp"
+#include "obs/perfdiff.hpp"
+#include "obs/span.hpp"
+#include "trace/store.hpp"
+#include "util/log.hpp"
+
+namespace difftrace::cli {
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw ArgError("cannot open '" + path + "'");
+  std::ostringstream text;
+  text << file.rdbuf();
+  return std::move(text).str();
+}
+
+/// A run manifest is a JSON object; everything else we try as an archive.
+bool looks_like_json(const std::string& text) {
+  for (const char c : text) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') continue;
+    return c == '{';
+  }
+  return false;
+}
+
+/// Tolerant archive load, mirroring the main command loader: damaged
+/// self-traces are salvaged and exported as far as they decode.
+trace::TraceStore load_archive(const std::string& path, std::ostream& err) {
+  try {
+    return trace::TraceStore::load(path);
+  } catch (const std::exception& e) {
+    auto result = trace::TraceStore::salvage(path);
+    if (result.store.size() == 0)
+      throw ArgError("cannot load trace store '" + path + "': " + e.what());
+    util::status_line(err, "[salvage] '" + path + "' is damaged (" + e.what() + "); exporting " +
+                               std::to_string(result.store.size()) + " recovered stream(s)");
+    return std::move(result.store);
+  }
+}
+
+obs::RunManifest parse_manifest(const std::string& path, const std::string& text) {
+  try {
+    return obs::RunManifest::from_json_text(text);
+  } catch (const std::exception& e) {
+    throw ArgError("cannot parse manifest '" + path + "': " + e.what());
+  }
+}
+
+double double_or(const Args& args, const std::string& key, double fallback) {
+  const auto value = args.get(key);
+  if (!value || value->empty()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(*value, &pos);
+    if (pos == value->size()) return parsed;
+  } catch (const std::exception&) {
+  }
+  throw ArgError("bad --" + key + " value '" + *value + "' (expected a number)");
+}
+
+/// Writes `body(stream)` to --out FILE when given, else to `out`.
+template <typename Body>
+void emit(const Args& args, std::ostream& out, Body&& body) {
+  if (const auto path = args.get("out"); path && !path->empty()) {
+    std::ofstream file(*path, std::ios::trunc);
+    if (!file) throw ArgError("cannot open output file '" + *path + "'");
+    body(file);
+  } else {
+    body(out);
+  }
+}
+
+int perf_export(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto input = args.positional_at(2, "input (run manifest JSON or self-trace archive)");
+  const auto format_name = args.get_or("format", "chrome");
+  const auto format = obs::parse_export_format(format_name);
+  if (!format) throw ArgError("unknown perf export format '" + format_name + "' (chrome, csv)");
+
+  const auto text = read_file(input);
+  if (looks_like_json(text)) {
+    obs::Span span_export("export-manifest");
+    const auto manifest = parse_manifest(input, text);
+    emit(args, out, [&](std::ostream& sink) {
+      if (*format == obs::ExportFormat::Chrome)
+        obs::export_manifest_chrome(manifest, sink);
+      else
+        obs::export_manifest_csv(manifest, sink);
+    });
+  } else {
+    obs::Span span_export("export-selftrace");
+    const auto store = load_archive(input, err);
+    emit(args, out, [&](std::ostream& sink) {
+      if (*format == obs::ExportFormat::Chrome)
+        obs::export_selftrace_chrome(store, sink);
+      else
+        obs::export_selftrace_csv(store, sink);
+    });
+  }
+  if (const auto path = args.get("out"); path && !path->empty())
+    util::status_line(err, "[perf] " + format_name + " export written to " + *path);
+  return 0;
+}
+
+/// Resolve a self_trace path recorded in a manifest: as written, then
+/// relative to the manifest's own directory (manifests usually record the
+/// path the run was given, which was relative to the run's cwd).
+std::string resolve_selftrace(const std::string& recorded, const std::string& manifest_path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (fs::is_regular_file(recorded, ec)) return recorded;
+  const auto sibling = fs::path(manifest_path).parent_path() / fs::path(recorded).filename();
+  if (fs::is_regular_file(sibling, ec)) return sibling.string();
+  return {};
+}
+
+void localize_divergence(obs::PerfDiffReport& report, const obs::RunManifest& base,
+                         const obs::RunManifest& head, const std::string& base_path,
+                         const std::string& head_path, std::ostream& err) {
+  auto& selftrace = report.selftrace;
+  if (base.self_trace.empty() || head.self_trace.empty()) {
+    selftrace.note = "not run (both manifests must record --self-trace archives)";
+    return;
+  }
+  const auto base_archive = resolve_selftrace(base.self_trace, base_path);
+  const auto head_archive = resolve_selftrace(head.self_trace, head_path);
+  if (base_archive.empty() || head_archive.empty()) {
+    selftrace.note = "not run (self-trace archive '" +
+                     (base_archive.empty() ? base.self_trace : head.self_trace) + "' not found)";
+    return;
+  }
+  try {
+    obs::Span span_localize("localize");
+    const auto base_store = load_archive(base_archive, err);
+    const auto head_store = load_archive(head_archive, err);
+    // The self-trace is a genuine v2 archive, so the paper pipeline applies
+    // unchanged: base plays "normal", head plays "faulty", and diffNLR over
+    // the main stream (0.0, the command's own thread) names the first
+    // structural divergence between the two runs' phase sequences.
+    const core::Session session(base_store, head_store, parse_filter("all"), core::NlrConfig{});
+    if (session.traces().empty()) {
+      selftrace.note = "not run (the two self-traces share no stream)";
+      return;
+    }
+    auto key = session.traces().front();
+    for (const auto& candidate : session.traces())
+      if (candidate == trace::TraceKey{0, 0}) key = candidate;
+    const auto diff = session.diffnlr(key);
+    selftrace.ran = true;
+    selftrace.identical = diff.identical();
+    selftrace.distance = diff.distance();
+    if (!diff.identical()) selftrace.rendered = diff.render();
+    selftrace.note = "diffNLR over stream " + key.label() + " of " + base_archive + " vs " +
+                     head_archive;
+  } catch (const std::exception& e) {
+    selftrace.note = std::string("not run (") + e.what() + ")";
+  }
+}
+
+int perf_diff(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto base_path = args.positional_at(2, "base manifest");
+  const auto head_path = args.positional_at(3, "head manifest");
+
+  obs::PerfDiffOptions options;
+  options.rel_threshold = double_or(args, "rel-threshold", options.rel_threshold);
+  const double floor_ms =
+      double_or(args, "abs-floor-ms", static_cast<double>(options.abs_floor_ns) / 1e6);
+  if (options.rel_threshold < 0.0) throw ArgError("--rel-threshold must be >= 0");
+  if (floor_ms < 0.0) throw ArgError("--abs-floor-ms must be >= 0");
+  options.abs_floor_ns = static_cast<std::uint64_t>(floor_ms * 1e6);
+
+  obs::RunManifest base;
+  obs::RunManifest head;
+  {
+    obs::Span span_load("load");
+    base = parse_manifest(base_path, read_file(base_path));
+    head = parse_manifest(head_path, read_file(head_path));
+  }
+
+  obs::PerfDiffReport report;
+  {
+    obs::Span span_diff("diff");
+    report = obs::diff_manifests(base, head, options, base_path, head_path);
+  }
+  if (!args.flag("no-selftrace"))
+    localize_divergence(report, base, head, base_path, head_path, err);
+  else
+    report.selftrace.note = "disabled (--no-selftrace)";
+
+  emit(args, out, [&](std::ostream& sink) {
+    if (args.flag("json"))
+      report.write_json(sink);
+    else
+      sink << report.render();
+  });
+  return report.exit_code();
+}
+
+}  // namespace
+
+int cmd_perf(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto action = args.positional_at(1, "perf action (export, diff)");
+  if (action == "export") return perf_export(args, out, err);
+  if (action == "diff") return perf_diff(args, out, err);
+  throw ArgError("unknown perf action '" + action + "' (export, diff)");
+}
+
+}  // namespace difftrace::cli

@@ -1,0 +1,209 @@
+// Manifest exporters (chrome / csv). The self-trace exporters live in
+// export_selftrace.cpp, which links the trace layer; this TU stays inside
+// difftrace_obs (util + obs only).
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/str.hpp"
+
+namespace difftrace::obs {
+
+std::optional<ExportFormat> parse_export_format(std::string_view name) {
+  if (name == "chrome") return ExportFormat::Chrome;
+  if (name == "csv") return ExportFormat::Csv;
+  return std::nullopt;
+}
+
+namespace {
+
+/// ns -> exact "<µs>.<frac>" decimal literal (chrome ts/dur are µs). snprintf
+/// of two integers, not a double round-trip, so export is byte-deterministic.
+std::string us_literal(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+std::uint64_t rounded_percentile(const Histogram::Snapshot& data, double q) {
+  const double v = histogram_percentile(data, q);
+  return v <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(v));
+}
+
+/// The manifest's span tree, re-linked from the flat phase list. Children
+/// are laid out sequentially from the parent's start so durations and
+/// nesting survive even though the manifest stores aggregates only.
+struct PhaseNode {
+  const PhaseStats* phase = nullptr;
+  std::uint64_t start_ns = 0;
+  std::vector<PhaseNode*> children;
+};
+
+struct PhaseTree {
+  std::vector<PhaseNode> nodes;    // one per phase, stable addresses
+  std::vector<PhaseNode*> roots;   // depth-0, main (largest wall) first
+};
+
+PhaseTree build_tree(const RunManifest& manifest) {
+  PhaseTree tree;
+  tree.nodes.reserve(manifest.phases.size());
+  std::map<std::string_view, PhaseNode*> by_path;
+  for (const auto& phase : manifest.phases) {
+    tree.nodes.push_back({&phase, 0, {}});
+    by_path[phase.path] = &tree.nodes.back();
+  }
+  for (auto& node : tree.nodes) {
+    const auto& path = node.phase->path;
+    const auto slash = path.rfind('/');
+    if (slash == std::string::npos) {
+      tree.roots.push_back(&node);
+      continue;
+    }
+    const auto parent = by_path.find(std::string_view(path).substr(0, slash));
+    if (parent != by_path.end())
+      parent->second->children.push_back(&node);
+    else
+      tree.roots.push_back(&node);  // orphaned path: promote, never drop
+  }
+  // Lanes: the command's main tree (largest wall) first, then the
+  // worker-rooted trees, largest first, ties broken by path.
+  std::sort(tree.roots.begin(), tree.roots.end(), [](const PhaseNode* a, const PhaseNode* b) {
+    if (a->phase->wall_ns != b->phase->wall_ns) return a->phase->wall_ns > b->phase->wall_ns;
+    return a->phase->path < b->phase->path;
+  });
+  for (auto& node : tree.nodes) {
+    std::sort(node.children.begin(), node.children.end(),
+              [](const PhaseNode* a, const PhaseNode* b) { return a->phase->path < b->phase->path; });
+    std::uint64_t cursor = 0;
+    for (auto* child : node.children) {
+      child->start_ns = cursor;  // relative; made absolute during layout
+      cursor += child->phase->wall_ns;
+    }
+  }
+  return tree;
+}
+
+void layout(PhaseNode* node, std::uint64_t base_ns) {
+  node->start_ns += base_ns;
+  for (auto* child : node->children) layout(child, node->start_ns);
+}
+
+const HistogramSample* find_histogram(const RunManifest& manifest, const std::string& name) {
+  for (const auto& histogram : manifest.histograms)
+    if (histogram.name == name) return &histogram;
+  return nullptr;
+}
+
+void write_phase_event(util::JsonWriter& w, const RunManifest& manifest, const PhaseNode& node,
+                       int tid, bool is_main_root) {
+  const auto& phase = *node.phase;
+  w.begin_object();
+  w.field("name", phase.name);
+  w.field("ph", "X");
+  w.field("pid", 1);
+  w.field("tid", tid);
+  w.key("ts");
+  w.raw_value(us_literal(node.start_ns));
+  w.key("dur");
+  w.raw_value(us_literal(phase.wall_ns));
+  w.field("cat", "phase");
+  w.key("args");
+  w.begin_object();
+  w.field("path", phase.path);
+  w.field("count", phase.count);
+  w.field("cpu_ns", phase.cpu_ns);
+  if (const auto* histogram = find_histogram(manifest, "span." + phase.path)) {
+    w.field("p50_ns", rounded_percentile(histogram->data, 0.50));
+    w.field("p95_ns", rounded_percentile(histogram->data, 0.95));
+    w.field("p99_ns", rounded_percentile(histogram->data, 0.99));
+  }
+  if (is_main_root && !manifest.counters.empty()) {
+    // The run's counter snapshot rides on the root span: hovering the
+    // command lane answers "how many cache hits / salvages happened here".
+    w.key("counters");
+    w.begin_object();
+    for (const auto& counter : manifest.counters) w.field(counter.name, counter.value);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void write_tree_events(util::JsonWriter& w, const RunManifest& manifest, const PhaseNode& node,
+                       int tid, bool is_main_root) {
+  write_phase_event(w, manifest, node, tid, is_main_root);
+  for (const auto* child : node.children) write_tree_events(w, manifest, *child, tid, false);
+}
+
+void write_metadata(util::JsonWriter& w, std::string_view name, std::string_view value, int tid) {
+  w.begin_object();
+  w.field("name", name);
+  w.field("ph", "M");
+  w.field("pid", 1);
+  w.field("tid", tid);
+  w.key("args");
+  w.begin_object();
+  w.field("name", value);
+  w.end_object();
+  w.end_object();
+}
+
+std::string csv_field(std::string_view s) {
+  if (s.find_first_of(",\"\n") == std::string_view::npos) return std::string(s);
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void export_manifest_chrome(const RunManifest& manifest, std::ostream& out) {
+  auto tree = build_tree(manifest);
+  for (auto* root : tree.roots) layout(root, 0);
+
+  util::JsonWriter w(out);
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+  write_metadata(w, "process_name", "difftrace " + util::join(manifest.command, " "), 0);
+  for (std::size_t tid = 0; tid < tree.roots.size(); ++tid)
+    write_metadata(w, "thread_name", tree.roots[tid]->phase->name, static_cast<int>(tid));
+  for (std::size_t tid = 0; tid < tree.roots.size(); ++tid)
+    write_tree_events(w, manifest, *tree.roots[tid], static_cast<int>(tid), tid == 0);
+  w.end_array();
+  w.end_object();
+  out << '\n';
+}
+
+void export_manifest_csv(const RunManifest& manifest, std::ostream& out) {
+  out << "path,name,depth,count,wall_ns,cpu_ns,p50_ns,p95_ns,p99_ns\n";
+  for (const auto& phase : manifest.phases) {
+    const auto* histogram = find_histogram(manifest, "span." + phase.path);
+    out << csv_field(phase.path) << ',' << csv_field(phase.name) << ',' << phase.depth << ','
+        << phase.count << ',' << phase.wall_ns << ',' << phase.cpu_ns << ',';
+    if (histogram != nullptr) {
+      out << rounded_percentile(histogram->data, 0.50) << ','
+          << rounded_percentile(histogram->data, 0.95) << ','
+          << rounded_percentile(histogram->data, 0.99);
+    } else {
+      out << ",,";
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace difftrace::obs

@@ -1,0 +1,62 @@
+// Telemetry exporters: turn a RunManifest's aggregated span tree or a
+// self-trace archive into artifacts external tools consume.
+//
+// Chrome Trace Event JSON ("chrome" format) loads in chrome://tracing and
+// Perfetto: one synthetic process, one chrome "thread" lane per depth-0 span
+// root (the command's main tree plus each worker-rooted tree), "X" complete
+// events for phases. The manifest records *aggregates* (no per-instance
+// timestamps), so the manifest exporter lays phases out sequentially —
+// each child starts where its previous sibling ended under its parent's
+// start — which preserves durations, nesting, and proportions exactly, and
+// ordering approximately. Span args carry the per-phase duration percentiles
+// (p50/p95/p99 from the "span.<path>" histograms) and the run's counter
+// snapshot rides on the root span, so hovering a lane answers "how many
+// cache hits / salvages / summary hits happened here".
+//
+// The self-trace exporter replays a recorded pipeline archive (a genuine v2
+// archive of Call/Return phase events). Trace events carry no timestamps, so
+// it uses a per-thread logical clock (one microsecond per event) — the
+// *structure* is exact, durations are event counts. Worker streams are
+// canonicalized by the sched::Pool worker id embedded in their span names
+// ("worker3"), not by the racy order in which threads first recorded a span,
+// so the same workload exports byte-identically regardless of which OS
+// thread won the stream-index race.
+//
+// CSV ("csv" format) is the flat-file spelling of the same data for
+// spreadsheet/pandas consumption.
+//
+// All exporters write results to the given stream (the CLI passes stdout or
+// --out FILE) and never chatter: stream discipline is enforced by the
+// obs-sink-discipline lint rule.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string_view>
+
+#include "obs/manifest.hpp"
+
+namespace difftrace::trace {
+class TraceStore;
+}
+
+namespace difftrace::obs {
+
+enum class ExportFormat : std::uint8_t { Chrome, Csv };
+
+/// "chrome" / "csv"; nullopt for anything else.
+[[nodiscard]] std::optional<ExportFormat> parse_export_format(std::string_view name);
+
+/// Manifest span tree -> Chrome Trace Event JSON / CSV (one row per phase,
+/// with percentile columns).
+void export_manifest_chrome(const RunManifest& manifest, std::ostream& out);
+void export_manifest_csv(const RunManifest& manifest, std::ostream& out);
+
+/// Self-trace archive -> Chrome Trace Event JSON / CSV (one row per span
+/// instance, logical-clock timestamps). Tolerant of damaged archives: each
+/// stream contributes its longest decodable prefix, unclosed spans are
+/// closed at the stream's final tick and tagged `"unclosed": true`.
+void export_selftrace_chrome(const trace::TraceStore& store, std::ostream& out);
+void export_selftrace_csv(const trace::TraceStore& store, std::ostream& out);
+
+}  // namespace difftrace::obs

@@ -1,0 +1,231 @@
+// Self-trace exporters (chrome / csv): replay a recorded pipeline archive
+// into per-thread span timelines. Lives in difftrace_selftrace, not
+// difftrace_obs, because it links the trace layer (obs itself must not).
+//
+// Trace events carry no timestamps, so a per-stream logical clock advances
+// one tick (exported as one microsecond) per event: structure and event
+// ordering are exact, durations are event counts.
+//
+// Worker-id canonicalization: the SelfTrace stream index is the racy order
+// in which threads first recorded a span, but a pool worker's span names
+// embed its stable sched::Pool id ("worker3"). Lanes are therefore ordered
+// main-streams-first, then workers by embedded id (ties by content), and
+// the original stream keys are deliberately left out of the output — the
+// same workload exports byte-identically at any DIFFTRACE_JOBS and however
+// the stream-index race resolved.
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/store.hpp"
+#include "util/json.hpp"
+
+namespace difftrace::obs {
+
+namespace {
+
+struct SpanEvent {
+  std::uint64_t ts = 0;   // logical ticks == event index within the stream
+  std::uint64_t dur = 0;
+  std::size_t depth = 0;
+  std::string name;
+  bool unclosed = false;  // synthesized close at end-of-stream
+};
+
+struct Lane {
+  std::vector<SpanEvent> events;
+  std::uint64_t ticks = 0;   // total events in the stream
+  int worker_id = -1;        // from a "worker<N>" span name; -1 = main-ish
+  bool complete = true;
+  std::string note;
+  std::string sort_key;      // content fingerprint for deterministic ties
+};
+
+std::string function_name(const trace::TraceStore& store, trace::FunctionId fid) {
+  // Salvaged archives can reference ids the (damaged) registry lost.
+  if (fid >= store.registry().size()) return "?fn" + std::to_string(fid);
+  return store.registry().name(fid);
+}
+
+/// "worker<digits>" -> N, else -1.
+int parse_worker_id(std::string_view name) {
+  constexpr std::string_view kPrefix = "worker";
+  if (name.size() <= kPrefix.size() || name.substr(0, kPrefix.size()) != kPrefix) return -1;
+  int id = 0;
+  for (const char c : name.substr(kPrefix.size())) {
+    if (c < '0' || c > '9') return -1;
+    id = id * 10 + (c - '0');
+  }
+  return id;
+}
+
+Lane build_lane(const trace::TraceStore& store, trace::TraceKey key) {
+  Lane lane;
+  const auto decoded = store.decode_tolerant(key);
+  lane.complete = decoded.complete;
+  lane.note = decoded.note;
+  lane.ticks = decoded.events.size();
+
+  struct Open {
+    std::string name;
+    std::uint64_t start = 0;
+  };
+  std::vector<Open> stack;
+  std::uint64_t clock = 0;
+  for (const auto& event : decoded.events) {
+    auto name = function_name(store, event.fid);
+    if (event.kind == trace::EventKind::Call) {
+      if (lane.worker_id < 0) lane.worker_id = parse_worker_id(name);
+      lane.sort_key += name;
+      lane.sort_key += ';';
+      stack.push_back({std::move(name), clock});
+    } else if (!stack.empty()) {
+      // Returns close the innermost open span; a name mismatch cannot
+      // happen in a well-formed self-trace and is tolerated like one.
+      Open open = std::move(stack.back());
+      stack.pop_back();
+      lane.events.push_back({open.start, clock - open.start, stack.size(), std::move(open.name), false});
+    }
+    ++clock;
+  }
+  // Truncated streams (watchdog, crash): close what is still open at the
+  // final tick so the lane renders, and say so.
+  while (!stack.empty()) {
+    Open open = std::move(stack.back());
+    stack.pop_back();
+    lane.events.push_back({open.start, clock - open.start, stack.size(), std::move(open.name), true});
+  }
+  std::sort(lane.events.begin(), lane.events.end(), [](const SpanEvent& a, const SpanEvent& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    if (a.dur != b.dur) return a.dur > b.dur;  // parents before children
+    return a.depth < b.depth;
+  });
+  return lane;
+}
+
+std::vector<Lane> build_lanes(const trace::TraceStore& store) {
+  std::vector<Lane> lanes;
+  for (const auto& key : store.keys()) lanes.push_back(build_lane(store, key));
+  // Main streams first (stream-key order is irrelevant once worker streams
+  // are identified, and main streams are compared by content so the output
+  // does not depend on racy stream indices).
+  std::stable_sort(lanes.begin(), lanes.end(), [](const Lane& a, const Lane& b) {
+    const bool a_worker = a.worker_id >= 0;
+    const bool b_worker = b.worker_id >= 0;
+    if (a_worker != b_worker) return !a_worker;
+    if (a_worker && a.worker_id != b.worker_id) return a.worker_id < b.worker_id;
+    if (a.ticks != b.ticks) return a.ticks > b.ticks;
+    return a.sort_key < b.sort_key;
+  });
+  return lanes;
+}
+
+std::string lane_name(const Lane& lane, std::size_t tid, std::size_t main_lanes) {
+  if (lane.worker_id >= 0) return "pool worker " + std::to_string(lane.worker_id);
+  if (main_lanes == 1) return "main";
+  return "thread " + std::to_string(tid);
+}
+
+std::string csv_field(std::string_view s) {
+  if (s.find_first_of(",\"\n") == std::string_view::npos) return std::string(s);
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void export_selftrace_chrome(const trace::TraceStore& store, std::ostream& out) {
+  const auto lanes = build_lanes(store);
+  std::size_t main_lanes = 0;
+  for (const auto& lane : lanes)
+    if (lane.worker_id < 0) ++main_lanes;
+
+  util::JsonWriter w(out);
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+  {
+    w.begin_object();
+    w.field("name", "process_name");
+    w.field("ph", "M");
+    w.field("pid", 1);
+    w.field("tid", 0);
+    w.key("args");
+    w.begin_object();
+    w.field("name", "difftrace self-trace");
+    w.end_object();
+    w.end_object();
+  }
+  for (std::size_t tid = 0; tid < lanes.size(); ++tid) {
+    w.begin_object();
+    w.field("name", "thread_name");
+    w.field("ph", "M");
+    w.field("pid", 1);
+    w.field("tid", tid);
+    w.key("args");
+    w.begin_object();
+    w.field("name", lane_name(lanes[tid], tid, main_lanes));
+    w.end_object();
+    w.end_object();
+  }
+  for (std::size_t tid = 0; tid < lanes.size(); ++tid) {
+    const auto& lane = lanes[tid];
+    for (const auto& event : lane.events) {
+      w.begin_object();
+      w.field("name", event.name);
+      w.field("ph", "X");
+      w.field("pid", 1);
+      w.field("tid", tid);
+      w.field("ts", event.ts);
+      w.field("dur", event.dur);
+      w.field("cat", "span");
+      if (event.unclosed) {
+        w.key("args");
+        w.begin_object();
+        w.field("unclosed", true);
+        w.end_object();
+      }
+      w.end_object();
+    }
+    if (!lane.complete) {
+      // Degraded stream: flag it in-timeline instead of silently rendering
+      // a clean-looking prefix.
+      w.begin_object();
+      w.field("name", "truncated");
+      w.field("ph", "i");
+      w.field("pid", 1);
+      w.field("tid", tid);
+      w.field("ts", lane.ticks);
+      w.field("s", "t");
+      w.key("args");
+      w.begin_object();
+      w.field("note", lane.note);
+      w.end_object();
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  out << '\n';
+}
+
+void export_selftrace_csv(const trace::TraceStore& store, std::ostream& out) {
+  const auto lanes = build_lanes(store);
+  out << "tid,ts,dur,depth,name,unclosed\n";
+  for (std::size_t tid = 0; tid < lanes.size(); ++tid)
+    for (const auto& event : lanes[tid].events)
+      out << tid << ',' << event.ts << ',' << event.dur << ',' << event.depth << ','
+          << csv_field(event.name) << ',' << (event.unclosed ? 1 : 0) << '\n';
+}
+
+}  // namespace difftrace::obs

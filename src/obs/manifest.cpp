@@ -107,6 +107,7 @@ void RunManifest::write_json(std::ostream& out) const {
   w.field("check_engine", check_engine);
   w.field("summary_cache_hits", summary_cache_hits);
   w.field("summary_cache_misses", summary_cache_misses);
+  w.field("self_trace", self_trace);
 
   w.key("inputs");
   w.begin_array();
@@ -200,6 +201,8 @@ RunManifest RunManifest::from_json(const util::JsonValue& doc) {
     m.summary_cache_hits = shits_field->as_uint();
   if (const auto* smisses_field = doc.find("summary_cache_misses"))
     m.summary_cache_misses = smisses_field->as_uint();
+  if (const auto* selftrace_field = doc.find("self_trace"))
+    m.self_trace = selftrace_field->as_string();
 
   for (const auto& entry : doc.at("inputs").array) {
     ManifestInput input;
@@ -278,16 +281,20 @@ std::string RunManifest::render() const {
   out << "cpu time:       " << format_ms(cpu_ns) << " ms\n";
   out << "peak rss:       " << peak_rss_kb << " KiB\n";
   if (jobs != 0) out << "jobs:           " << jobs << "\n";
-  if (!cache_dir.empty()) {
-    out << "cache dir:      " << cache_dir << "\n";
+  // Surface cache and engine telemetry whenever there is anything to say:
+  // a recorded directory/engine, or nonzero traffic (older manifests carry
+  // the counters without the directory).
+  if (!cache_dir.empty() || cache_hits + cache_misses != 0) {
+    if (!cache_dir.empty()) out << "cache dir:      " << cache_dir << "\n";
     out << "cache hits:     " << cache_hits << "\n";
     out << "cache misses:   " << cache_misses << "\n";
   }
-  if (!check_engine.empty()) {
-    out << "check engine:   " << check_engine << "\n";
+  if (!check_engine.empty() || summary_cache_hits + summary_cache_misses != 0) {
+    if (!check_engine.empty()) out << "check engine:   " << check_engine << "\n";
     out << "summary cache:  " << summary_cache_hits << " hit(s), " << summary_cache_misses
         << " miss(es)\n";
   }
+  if (!self_trace.empty()) out << "self trace:     " << self_trace << "\n";
   out << "phase coverage: " << util::format_double(phase_coverage() * 100.0, 1) << "% of root wall\n";
 
   if (!inputs.empty()) {
@@ -319,14 +326,20 @@ std::string RunManifest::render() const {
   }
 
   if (!histograms.empty()) {
-    util::TextTable table({"Histogram", "Count", "Sum", "Mean"});
+    // Percentiles (interpolated within the winning log2 bucket) instead of
+    // raw bucket dumps: the bucket layout is an implementation detail, the
+    // distribution shape is what a reader wants.
+    util::TextTable table({"Histogram", "Count", "Mean", "p50", "p95", "p99"});
     for (const auto& histogram : histograms) {
       const double mean = histogram.data.count == 0
                               ? 0.0
                               : static_cast<double>(histogram.data.sum) /
                                     static_cast<double>(histogram.data.count);
       table.add_row({histogram.name, std::to_string(histogram.data.count),
-                     std::to_string(histogram.data.sum), util::format_double(mean, 1)});
+                     util::format_double(mean, 1),
+                     util::format_double(histogram_percentile(histogram.data, 0.50), 1),
+                     util::format_double(histogram_percentile(histogram.data, 0.95), 1),
+                     util::format_double(histogram_percentile(histogram.data, 0.99), 1)});
     }
     out << "\n" << table.render();
   }

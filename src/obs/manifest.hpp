@@ -21,6 +21,7 @@
 //   check_engine      string  fact engine of a `check` run ("" elsewhere)
 //   summary_cache_hits   int  check.summary_cache_hit total at collection
 //   summary_cache_misses int  check.summary_cache_miss total at collection
+//   self_trace        string  path of the run's --self-trace archive ("" = none)
 //   inputs            [{path, bytes, crc32, ok}]  input archive digests
 //   phases            [{path, name, depth, count, wall_ns, cpu_ns}]
 //   counters          [{name, value}]             nonzero counters only
@@ -80,6 +81,11 @@ struct RunManifest {
   std::string check_engine;
   std::uint64_t summary_cache_hits = 0;
   std::uint64_t summary_cache_misses = 0;
+  /// Path of the self-trace archive the run wrote under `--self-trace[=path]`
+  /// ("" when the run recorded none). `perf diff` follows these paths to
+  /// localize *where* two runs' phase structures diverged via diffNLR.
+  /// Additive like the engine fields above.
+  std::string self_trace;
   std::vector<ManifestInput> inputs;
   std::vector<PhaseStats> phases;
   std::vector<CounterSample> counters;

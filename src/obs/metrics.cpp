@@ -17,6 +17,34 @@ void Histogram::reset() noexcept {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
 }
 
+double histogram_percentile(const Histogram::Snapshot& snapshot, double q) noexcept {
+  if (snapshot.count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample, 1-based; q=0 picks the first sample.
+  const double rank = q * static_cast<double>(snapshot.count - 1) + 1.0;
+  double seen = 0.0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    const auto in_bucket = snapshot.buckets[i];
+    if (in_bucket == 0) continue;
+    if (seen + static_cast<double>(in_bucket) < rank) {
+      seen += static_cast<double>(in_bucket);
+      continue;
+    }
+    if (i == 0) return 0.0;  // bucket 0 holds only the value 0
+    const auto lb = static_cast<double>(Histogram::bucket_lower_bound(i));
+    const double ub = i + 1 < Histogram::kBuckets
+                          ? static_cast<double>(Histogram::bucket_lower_bound(i + 1))
+                          : lb * 2.0;
+    // Place each sample at the middle of its 1/in_bucket slot so a lone
+    // sample reports the bucket midpoint, not the upper bound.
+    const double frac = (rank - seen - 0.5) / static_cast<double>(in_bucket);
+    return lb + (frac < 0.0 ? 0.0 : frac) * (ub - lb);
+  }
+  // Unreachable with a consistent snapshot; fall back to the mean.
+  return static_cast<double>(snapshot.sum) / static_cast<double>(snapshot.count);
+}
+
 MetricsRegistry& MetricsRegistry::instance() {
   static MetricsRegistry registry;
   return registry;

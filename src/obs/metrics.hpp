@@ -113,6 +113,14 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_ DT_GUARDED_BY(mutex_);
 };
 
+/// Quantile estimate (q in [0, 1]) from a log2-bucketed snapshot: find the
+/// bucket holding the q-th sample and interpolate linearly inside it. Exact
+/// for bucket 0 (the value 0); elsewhere accurate to within the bucket's
+/// width, which is all a log2 histogram can promise. Returns 0 on an empty
+/// snapshot. Used by the stats renderer and the chrome-trace exporter to
+/// materialize p50/p95/p99 per phase.
+[[nodiscard]] double histogram_percentile(const Histogram::Snapshot& snapshot, double q) noexcept;
+
 /// Call-site helpers: obs::counter("x").add(n).
 [[nodiscard]] inline Counter& counter(std::string_view name) {
   return MetricsRegistry::instance().counter(name);

@@ -1,0 +1,215 @@
+#include "obs/perfdiff.hpp"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/json.hpp"
+#include "util/str.hpp"
+#include "util/table.hpp"
+
+namespace difftrace::obs {
+
+std::string_view phase_verdict_name(PhaseVerdict verdict) noexcept {
+  switch (verdict) {
+    case PhaseVerdict::Unchanged: return "unchanged";
+    case PhaseVerdict::Improved: return "improved";
+    case PhaseVerdict::Regressed: return "regressed";
+    case PhaseVerdict::Added: return "added";
+    case PhaseVerdict::Removed: return "removed";
+  }
+  return "unchanged";
+}
+
+double PhaseDelta::ratio() const noexcept {
+  if (verdict == PhaseVerdict::Added || verdict == PhaseVerdict::Removed) return 0.0;
+  if (base_wall_ns == 0) return head_wall_ns == 0 ? 1.0 : 0.0;
+  return static_cast<double>(head_wall_ns) / static_cast<double>(base_wall_ns);
+}
+
+std::size_t PerfDiffReport::count(PhaseVerdict verdict) const noexcept {
+  std::size_t n = 0;
+  for (const auto& phase : phases)
+    if (phase.verdict == verdict) ++n;
+  return n;
+}
+
+namespace {
+
+PhaseVerdict judge(std::uint64_t base, std::uint64_t head, const PerfDiffOptions& options) {
+  const auto delta = head > base ? head - base : base - head;
+  if (delta <= options.abs_floor_ns) return PhaseVerdict::Unchanged;
+  const double rel = base == 0 ? 1.0 : static_cast<double>(delta) / static_cast<double>(base);
+  if (rel <= options.rel_threshold) return PhaseVerdict::Unchanged;
+  return head > base ? PhaseVerdict::Regressed : PhaseVerdict::Improved;
+}
+
+std::string format_ms(std::uint64_t ns) {
+  return util::format_double(static_cast<double>(ns) / 1e6, 3);
+}
+
+}  // namespace
+
+PerfDiffReport diff_manifests(const RunManifest& base, const RunManifest& head,
+                              const PerfDiffOptions& options, std::string base_label,
+                              std::string head_label) {
+  PerfDiffReport report;
+  report.options = options;
+  report.base_label = std::move(base_label);
+  report.head_label = std::move(head_label);
+  report.base_wall_ns = base.wall_ns;
+  report.head_wall_ns = head.wall_ns;
+
+  struct Sides {
+    PhaseDelta delta;
+    bool in_base = false;
+    bool in_head = false;
+  };
+  std::map<std::string, Sides> by_path;  // ordered: report rows sort by path
+  for (const auto& phase : base.phases) {
+    auto& sides = by_path[phase.path];
+    sides.delta.path = phase.path;
+    sides.delta.base_wall_ns = phase.wall_ns;
+    sides.delta.base_count = phase.count;
+    sides.in_base = true;
+  }
+  for (const auto& phase : head.phases) {
+    auto& sides = by_path[phase.path];
+    sides.delta.path = phase.path;
+    sides.delta.head_wall_ns = phase.wall_ns;
+    sides.delta.head_count = phase.count;
+    sides.in_head = true;
+  }
+  for (auto& [path, sides] : by_path) {
+    if (sides.in_base && sides.in_head)
+      sides.delta.verdict = judge(sides.delta.base_wall_ns, sides.delta.head_wall_ns, options);
+    else
+      sides.delta.verdict = sides.in_base ? PhaseVerdict::Removed : PhaseVerdict::Added;
+    report.phases.push_back(sides.delta);
+  }
+
+  std::map<std::string, CounterDelta> counters;
+  for (const auto& counter : base.counters) {
+    auto& delta = counters[counter.name];
+    delta.name = counter.name;
+    delta.base = counter.value;
+  }
+  for (const auto& counter : head.counters) {
+    auto& delta = counters[counter.name];
+    delta.name = counter.name;
+    delta.head = counter.value;
+  }
+  for (auto& [name, delta] : counters)
+    if (delta.base != delta.head) report.counters.push_back(delta);
+
+  return report;
+}
+
+std::string PerfDiffReport::render() const {
+  std::ostringstream out;
+  out << "perf diff: " << base_label << " -> " << head_label << " (threshold "
+      << util::format_double(options.rel_threshold * 100.0, 0) << "% and "
+      << format_ms(options.abs_floor_ns) << " ms)\n";
+  out << "total wall:  " << format_ms(base_wall_ns) << " ms -> " << format_ms(head_wall_ns)
+      << " ms\n";
+
+  if (!phases.empty()) {
+    util::TextTable table({"Phase", "Base ms", "Head ms", "Ratio", "Verdict"});
+    for (const auto& phase : phases) {
+      const bool structural =
+          phase.verdict == PhaseVerdict::Added || phase.verdict == PhaseVerdict::Removed;
+      table.add_row({phase.path,
+                     phase.verdict == PhaseVerdict::Added ? "-" : format_ms(phase.base_wall_ns),
+                     phase.verdict == PhaseVerdict::Removed ? "-" : format_ms(phase.head_wall_ns),
+                     structural ? "-" : util::format_double(phase.ratio(), 2),
+                     std::string(phase_verdict_name(phase.verdict))});
+    }
+    out << "\n" << table.render();
+  }
+
+  if (!counters.empty()) {
+    util::TextTable table({"Counter", "Base", "Head"});
+    for (const auto& counter : counters)
+      table.add_row({counter.name, std::to_string(counter.base), std::to_string(counter.head)});
+    out << "\n" << table.render();
+  }
+
+  if (selftrace.ran) {
+    out << "\nself-trace divergence (diffNLR over the two runs' pipelines):\n";
+    if (selftrace.identical) {
+      out << "  phase structures are identical\n";
+    } else {
+      out << "  distance " << selftrace.distance << "\n";
+      if (!selftrace.rendered.empty()) out << selftrace.rendered;
+    }
+  } else if (!selftrace.note.empty()) {
+    out << "\nself-trace divergence: " << selftrace.note << "\n";
+  }
+
+  out << "\n"
+      << count(PhaseVerdict::Regressed) << " regressed, " << count(PhaseVerdict::Improved)
+      << " improved, " << count(PhaseVerdict::Unchanged) << " unchanged, "
+      << count(PhaseVerdict::Added) << " added, " << count(PhaseVerdict::Removed) << " removed\n";
+  out << "verdict: " << (regressed() ? "REGRESSED" : "ok") << "\n";
+  return std::move(out).str();
+}
+
+void PerfDiffReport::write_json(std::ostream& out) const {
+  util::JsonWriter w(out);
+  w.begin_object();
+  w.field("perfdiff_version", kPerfDiffVersion);
+  w.field("base", base_label);
+  w.field("head", head_label);
+  w.field("rel_threshold", options.rel_threshold);
+  w.field("abs_floor_ns", options.abs_floor_ns);
+  w.field("base_wall_ns", base_wall_ns);
+  w.field("head_wall_ns", head_wall_ns);
+  w.field("verdict", regressed() ? "regressed" : "ok");
+  w.field("exit_code", exit_code());
+
+  w.key("summary");
+  w.begin_object();
+  for (const auto verdict : {PhaseVerdict::Unchanged, PhaseVerdict::Improved,
+                             PhaseVerdict::Regressed, PhaseVerdict::Added, PhaseVerdict::Removed})
+    w.field(phase_verdict_name(verdict), static_cast<std::uint64_t>(count(verdict)));
+  w.end_object();
+
+  w.key("phases");
+  w.begin_array();
+  for (const auto& phase : phases) {
+    w.begin_object();
+    w.field("path", phase.path);
+    w.field("base_wall_ns", phase.base_wall_ns);
+    w.field("head_wall_ns", phase.head_wall_ns);
+    w.field("base_count", phase.base_count);
+    w.field("head_count", phase.head_count);
+    w.field("ratio", phase.ratio());
+    w.field("verdict", phase_verdict_name(phase.verdict));
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("counters");
+  w.begin_array();
+  for (const auto& counter : counters) {
+    w.begin_object();
+    w.field("name", counter.name);
+    w.field("base", counter.base);
+    w.field("head", counter.head);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("selftrace");
+  w.begin_object();
+  w.field("ran", selftrace.ran);
+  w.field("identical", selftrace.identical);
+  w.field("distance", static_cast<std::uint64_t>(selftrace.distance));
+  w.field("note", selftrace.note);
+  w.end_object();
+
+  w.end_object();
+  out << '\n';
+}
+
+}  // namespace difftrace::obs

@@ -1,0 +1,94 @@
+// Noise-aware comparison of two RunManifests, phase by phase — the engine
+// behind `difftrace perf diff` and the CI perf gate (tools/perf_gate.py).
+//
+// Noise model: a phase only counts as changed when it moves by BOTH a
+// relative threshold (default 25% of the base wall time) AND an absolute
+// floor (default 1 ms). The floor keeps microsecond phases from flapping —
+// a 0.1 ms phase that doubles is still noise; the relative threshold keeps
+// big phases from tripping on scheduler jitter. Phases present on only one
+// side report added/removed (structural change, never a gate failure by
+// itself). The report's exit_code() is 3 on any regression, 0 otherwise,
+// matching the check-command convention "3 = the tool worked and found a
+// problem".
+//
+// The differ itself is pure manifest math; localizing *where* the phase
+// structure diverged (running diffNLR over the two runs' self-trace
+// archives) needs the core pipeline, so the CLI fills `selftrace` in after
+// the fact.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/manifest.hpp"
+
+namespace difftrace::obs {
+
+inline constexpr int kPerfDiffVersion = 1;
+
+struct PerfDiffOptions {
+  double rel_threshold = 0.25;             // fraction of base wall
+  std::uint64_t abs_floor_ns = 1'000'000;  // 1 ms
+};
+
+enum class PhaseVerdict : std::uint8_t { Unchanged, Improved, Regressed, Added, Removed };
+[[nodiscard]] std::string_view phase_verdict_name(PhaseVerdict verdict) noexcept;
+
+struct PhaseDelta {
+  std::string path;
+  std::uint64_t base_wall_ns = 0;
+  std::uint64_t head_wall_ns = 0;
+  std::uint64_t base_count = 0;
+  std::uint64_t head_count = 0;
+  PhaseVerdict verdict = PhaseVerdict::Unchanged;
+
+  /// head/base wall ratio; 0 when the phase is added or removed.
+  [[nodiscard]] double ratio() const noexcept;
+};
+
+struct CounterDelta {
+  std::string name;
+  std::uint64_t base = 0;
+  std::uint64_t head = 0;
+};
+
+/// Self-trace divergence localization, filled by the CLI when both
+/// manifests name a readable self-trace archive.
+struct SelfTraceDiff {
+  bool ran = false;
+  bool identical = false;
+  std::size_t distance = 0;  // diffNLR edit distance over the main stream
+  std::string note;          // why it was skipped, or a one-line summary
+  std::string rendered;      // diffNLR block output ("" when identical)
+};
+
+struct PerfDiffReport {
+  PerfDiffOptions options;
+  std::string base_label;
+  std::string head_label;
+  std::uint64_t base_wall_ns = 0;
+  std::uint64_t head_wall_ns = 0;
+  std::vector<PhaseDelta> phases;      // union of both sides, by path
+  std::vector<CounterDelta> counters;  // counters whose values differ
+  SelfTraceDiff selftrace;
+
+  [[nodiscard]] std::size_t count(PhaseVerdict verdict) const noexcept;
+  [[nodiscard]] bool regressed() const noexcept { return count(PhaseVerdict::Regressed) != 0; }
+  [[nodiscard]] int exit_code() const noexcept { return regressed() ? 3 : 0; }
+
+  /// Human tables (stdout of `perf diff`).
+  [[nodiscard]] std::string render() const;
+  /// Machine output (`perf diff --json`), validated by
+  /// tools/check_manifest.py --perfdiff.
+  void write_json(std::ostream& out) const;
+};
+
+[[nodiscard]] PerfDiffReport diff_manifests(const RunManifest& base, const RunManifest& head,
+                                            const PerfDiffOptions& options = {},
+                                            std::string base_label = "base",
+                                            std::string head_label = "head");
+
+}  // namespace difftrace::obs

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <ctime>
 
+#include "obs/metrics.hpp"
+
 namespace difftrace::obs {
 
 namespace {
@@ -81,6 +83,11 @@ Span::~Span() {
   if (const auto hook = g_span_hook.load(std::memory_order_acquire)) hook(name, false);
   tl_span_stack.pop_back();
   PhaseTable::instance().add(path_, name, depth_, wall, cpu);
+  // Per-phase duration distribution ("span.<path>"), the source of the
+  // p50/p95/p99 columns in `difftrace stats` and chrome-trace span args.
+  // Same per-span-close cost class as the PhaseTable add above (one lock +
+  // map lookup); spans mark phases, not events, so this is off the hot path.
+  histogram("span." + path_).record(wall);
 }
 
 }  // namespace difftrace::obs

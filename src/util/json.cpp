@@ -91,6 +91,11 @@ void JsonWriter::value(std::string_view v) {
   write_json_string(out_, v);
 }
 
+void JsonWriter::raw_value(std::string_view literal) {
+  before_item();
+  out_ << literal;
+}
+
 void JsonWriter::value(bool v) {
   before_item();
   out_ << (v ? "true" : "false");

@@ -46,6 +46,13 @@ class JsonWriter {
   void value(std::uint32_t v) { value(static_cast<std::uint64_t>(v)); }
   void value(int v) { value(static_cast<std::int64_t>(v)); }
 
+  /// Emits `literal` verbatim as one value token; the caller guarantees it
+  /// is valid JSON. Exists for producers that need exact decimal rendering
+  /// the double path cannot give (chrome-trace microsecond timestamps are
+  /// written as "<ns/1000>.<ns%1000 zero-padded>" so byte-identical inputs
+  /// export byte-identically).
+  void raw_value(std::string_view literal);
+
   /// key + scalar value in one call.
   template <typename T>
   void field(std::string_view k, T v) {

@@ -1,0 +1,18 @@
+// Lint fixture: seeded `obs-sink-discipline` violations. Obs-layer code
+// writing to ambient process streams instead of its explicit ostream sink.
+// The directory name ("obs/") is what puts this file in the rule's scope.
+// Never compiled — scanned by lint_selftest only.
+#include <cstdio>
+#include <iostream>
+
+namespace difftrace::fixture {
+
+void export_warn(int dropped) {
+  std::cerr << "export dropped " << dropped << " event(s)\n";  // seeded violation
+}
+
+void export_warn_legacy(int dropped) {
+  fprintf(stderr, "export dropped %d event(s)\n", dropped);  // seeded violation
+}
+
+}  // namespace difftrace::fixture

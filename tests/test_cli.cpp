@@ -443,6 +443,158 @@ TEST_F(CliRoundTrip, CheckEngineFlagSelectsAndValidates) {
   EXPECT_EQ(manifest.check_engine, "summary");
 }
 
+// --- perf command group ------------------------------------------------------
+
+TEST_F(CliRoundTrip, PerfDiffNoiseIsCleanInjectedSlowdownGates) {
+  ASSERT_EQ(run({"collect", "--app", "oddeven", "--nranks", "4", "--size", "8", "--out", normal_,
+                 "--stats=" + (dir_ / "base.json").string()}),
+            0)
+      << err_.str();
+  ASSERT_EQ(run({"collect", "--app", "oddeven", "--nranks", "4", "--size", "8", "--out", faulty_,
+                 "--stats=" + (dir_ / "head.json").string()}),
+            0)
+      << err_.str();
+
+  // Same binary, same workload: any wall-time delta is noise and must not
+  // trip the gate at default thresholds.
+  ASSERT_EQ(run({"perf", "diff", (dir_ / "base.json").string(), (dir_ / "head.json").string(),
+                 "--no-selftrace"}),
+            0)
+      << out_.str();
+  EXPECT_NE(out_.str().find("verdict: ok"), std::string::npos);
+
+  // Inject a 2x slowdown into every phase of the head manifest.
+  {
+    std::ifstream file(dir_ / "head.json");
+    std::ostringstream text;
+    text << file.rdbuf();
+    auto slowed = obs::RunManifest::from_json_text(text.str());
+    for (auto& phase : slowed.phases) phase.wall_ns *= 2;
+    std::ofstream rewrite(dir_ / "slow.json");
+    rewrite << slowed.to_json();
+  }
+  out_.str("");
+  err_.str("");
+  EXPECT_EQ(run({"perf", "diff", (dir_ / "base.json").string(), (dir_ / "slow.json").string(),
+                 "--no-selftrace"}),
+            3);
+  EXPECT_NE(out_.str().find("regressed"), std::string::npos);
+  EXPECT_NE(out_.str().find("verdict: REGRESSED"), std::string::npos);
+
+  // --json output is machine-readable and carries the gate verdict.
+  EXPECT_EQ(run({"perf", "diff", (dir_ / "base.json").string(), (dir_ / "slow.json").string(),
+                 "--no-selftrace", "--json"}),
+            3);
+  EXPECT_NO_THROW((void)util::parse_json(out_.str()));
+  EXPECT_NE(out_.str().find("\"exit_code\": 3"), std::string::npos);
+}
+
+TEST_F(CliRoundTrip, PerfExportManifestChromeAndCsv) {
+  const auto stats = (dir_ / "run.json").string();
+  ASSERT_EQ(run({"collect", "--app", "oddeven", "--nranks", "4", "--size", "8", "--out", normal_,
+                 "--stats=" + stats}),
+            0)
+      << err_.str();
+
+  ASSERT_EQ(run({"perf", "export", stats}), 0) << err_.str();
+  EXPECT_NO_THROW((void)util::parse_json(out_.str()));
+  EXPECT_NE(out_.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(out_.str().find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(out_.str().find("\"collect\""), std::string::npos);
+
+  ASSERT_EQ(run({"perf", "export", stats, "--format", "csv"}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("path,name,depth,count,wall_ns,cpu_ns"), std::string::npos);
+
+  // --out writes the artifact and keeps stdout clean; chatter goes to err.
+  const auto artifact = (dir_ / "run.trace.json").string();
+  ASSERT_EQ(run({"perf", "export", stats, "--out", artifact}), 0) << err_.str();
+  EXPECT_TRUE(out_.str().empty());
+  EXPECT_NE(err_.str().find("export written"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(artifact));
+
+  EXPECT_EQ(run({"perf", "export", stats, "--format", "svg"}), 2);
+  EXPECT_EQ(run({"perf", "frobnicate"}), 2);
+}
+
+TEST_F(CliRoundTrip, PerfSelfTraceExportIsCanonicalAcrossJobs) {
+  ASSERT_EQ(run({"collect", "--app", "oddeven", "--nranks", "8", "--size", "8", "--out", normal_}),
+            0);
+  ASSERT_EQ(run({"collect", "--app", "oddeven", "--nranks", "8", "--size", "8", "--out", faulty_,
+                 "--fault", "swapBug", "--fault-proc", "3", "--fault-iteration", "2"}),
+            0);
+
+  // The same rank pipeline, self-traced at three pool widths. Which lane a
+  // sweep cell lands on is racy (workers and the caller both claim ticks),
+  // but the exported *work* is conserved: every job count shows the same
+  // number of evaluate/cluster spans, and exactly one rank root.
+  const auto count = [](const std::string& text, const std::string& needle) {
+    std::size_t n = 0;
+    for (auto pos = text.find(needle); pos != std::string::npos; pos = text.find(needle, pos + 1))
+      ++n;
+    return n;
+  };
+  std::size_t evaluates = 0;
+  for (const std::string jobs : {"1", "2", "8"}) {
+    const auto archive = (dir_ / ("self" + jobs + ".dtrc")).string();
+    ASSERT_EQ(run({"rank", normal_, faulty_, "--jobs", jobs, "--self-trace=" + archive}), 0)
+        << err_.str();
+    ASSERT_EQ(run({"perf", "export", archive, "--format", "csv"}), 0) << err_.str();
+    const auto csv = out_.str();
+    EXPECT_EQ(count(csv, ",rank,"), 1u);
+    EXPECT_GT(count(csv, ",evaluate,"), 0u);
+    EXPECT_EQ(count(csv, ",evaluate,"), count(csv, ",cluster,"));
+    if (jobs == "1")
+      evaluates = count(csv, ",evaluate,");
+    else
+      EXPECT_EQ(count(csv, ",evaluate,"), evaluates);
+  }
+
+  // At --jobs 1 the whole pipeline is deterministic: two separate runs
+  // export byte-identical chrome traces, with canonical lane names and no
+  // leaked stream keys.
+  const auto rerun = (dir_ / "self1b.dtrc").string();
+  ASSERT_EQ(run({"rank", normal_, faulty_, "--jobs", "1", "--self-trace=" + rerun}), 0);
+  ASSERT_EQ(run({"perf", "export", (dir_ / "self1.dtrc").string()}), 0);
+  const auto first = out_.str();
+  ASSERT_EQ(run({"perf", "export", rerun}), 0);
+  EXPECT_EQ(first, out_.str());
+  // At --jobs 1 the pool spawns no worker threads (ticks run inline on the
+  // caller), so the export is a single canonical "main" lane. Worker-lane
+  // naming is pinned by the synthetic-store tests in test_perf.cpp.
+  EXPECT_NE(first.find("\"main\""), std::string::npos);
+  EXPECT_EQ(first.find("pool worker"), std::string::npos);
+}
+
+TEST_F(CliRoundTrip, PerfDiffLocalizesViaRecordedSelfTraces) {
+  ASSERT_EQ(run({"collect", "--app", "oddeven", "--nranks", "8", "--size", "8", "--out", normal_}),
+            0);
+  ASSERT_EQ(run({"collect", "--app", "oddeven", "--nranks", "8", "--size", "8", "--out", faulty_,
+                 "--fault", "swapBug", "--fault-proc", "3", "--fault-iteration", "2"}),
+            0);
+
+  // Two instrumented runs of the same pipeline, each recording both its
+  // manifest and its self-trace; the manifest remembers the archive path.
+  for (const std::string tag : {"a", "b"}) {
+    ASSERT_EQ(run({"rank", normal_, faulty_, "--jobs", "1",
+                   "--stats=" + (dir_ / (tag + ".json")).string(),
+                   "--self-trace=" + (dir_ / (tag + ".dtrc")).string()}),
+              0)
+        << err_.str();
+  }
+  {
+    std::ifstream file(dir_ / "a.json");
+    std::ostringstream text;
+    text << file.rdbuf();
+    EXPECT_EQ(obs::RunManifest::from_json_text(text.str()).self_trace,
+              (dir_ / "a.dtrc").string());
+  }
+
+  ASSERT_EQ(run({"perf", "diff", (dir_ / "a.json").string(), (dir_ / "b.json").string()}), 0)
+      << out_.str();
+  EXPECT_NE(out_.str().find("self-trace divergence"), std::string::npos);
+  EXPECT_NE(out_.str().find("identical"), std::string::npos);
+}
+
 TEST_F(CliRoundTrip, StatsCommandRejectsBadManifest) {
   EXPECT_EQ(run({"stats", (dir_ / "missing.json").string()}), 2);
   const auto bad = (dir_ / "bad.json").string();

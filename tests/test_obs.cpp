@@ -164,6 +164,14 @@ RunManifest sample_manifest() {
   m.phases.push_back({"rank/load", "load", 1, 1, 300, 280});
   m.phases.push_back({"rank/sweep", "sweep", 1, 1, 680, 600});
   m.counters.push_back({"nlr.tokens_in", 168});
+  m.jobs = 4;
+  m.cache_dir = "/tmp/cache";
+  m.cache_hits = 3;
+  m.cache_misses = 1;
+  m.check_engine = "abstract";
+  m.summary_cache_hits = 7;
+  m.summary_cache_misses = 2;
+  m.self_trace = "run.selftrace.dtrc";
   HistogramSample h;
   h.name = "trace.blob_events";
   h.data.count = 2;
@@ -203,6 +211,16 @@ TEST(Manifest, JsonRoundTripPreservesEveryField) {
   ASSERT_EQ(parsed.counters.size(), 1u);
   EXPECT_EQ(parsed.counters[0].name, "nlr.tokens_in");
   EXPECT_EQ(parsed.counters[0].value, 168u);
+
+  // Post-release additive fields survive the round trip too.
+  EXPECT_EQ(parsed.jobs, 4u);
+  EXPECT_EQ(parsed.cache_dir, "/tmp/cache");
+  EXPECT_EQ(parsed.cache_hits, 3u);
+  EXPECT_EQ(parsed.cache_misses, 1u);
+  EXPECT_EQ(parsed.check_engine, "abstract");
+  EXPECT_EQ(parsed.summary_cache_hits, 7u);
+  EXPECT_EQ(parsed.summary_cache_misses, 2u);
+  EXPECT_EQ(parsed.self_trace, "run.selftrace.dtrc");
 
   ASSERT_EQ(parsed.histograms.size(), 1u);
   EXPECT_EQ(parsed.histograms[0].data.count, 2u);

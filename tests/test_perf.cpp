@@ -1,0 +1,369 @@
+// Performance observability: histogram percentiles, chrome/csv exporters
+// (manifest layout and self-trace worker-id canonicalization), and the
+// noise-aware manifest differ behind `difftrace perf diff`.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perfdiff.hpp"
+#include "trace/registry.hpp"
+#include "trace/store.hpp"
+#include "trace/writer.hpp"
+
+namespace difftrace::obs {
+namespace {
+
+// --- percentiles -------------------------------------------------------------
+
+TEST(Percentiles, EmptySnapshotIsZeroAndQIsClamped) {
+  Histogram::Snapshot empty;
+  EXPECT_DOUBLE_EQ(histogram_percentile(empty, 0.5), 0.0);
+
+  Histogram h;
+  h.record(100);
+  const auto snap = h.snapshot();
+  // Out-of-range quantiles clamp instead of misbehaving.
+  EXPECT_DOUBLE_EQ(histogram_percentile(snap, -1.0), histogram_percentile(snap, 0.0));
+  EXPECT_DOUBLE_EQ(histogram_percentile(snap, 2.0), histogram_percentile(snap, 1.0));
+}
+
+TEST(Percentiles, SingleSampleReportsItsBucketMidpoint) {
+  Histogram h;
+  h.record(100);  // bucket [64, 128)
+  const auto snap = h.snapshot();
+  const double p50 = histogram_percentile(snap, 0.5);
+  EXPECT_DOUBLE_EQ(p50, 96.0);  // (64 + 128) / 2
+  // Every quantile of a one-sample histogram is that sample's bucket.
+  EXPECT_DOUBLE_EQ(histogram_percentile(snap, 0.99), p50);
+}
+
+TEST(Percentiles, ZeroBucketAndSpreadAcrossBuckets) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.record(0);
+  for (int i = 0; i < 10; ++i) h.record(1000);  // bucket [512, 1024)
+  const auto snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(histogram_percentile(snap, 0.5), 0.0);
+  const double p99 = histogram_percentile(snap, 0.99);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1024.0);
+}
+
+TEST(Percentiles, MonotoneInQ) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1024; v *= 2) h.record(v);
+  const auto snap = h.snapshot();
+  double last = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double p = histogram_percentile(snap, q);
+    EXPECT_GE(p, last);
+    last = p;
+  }
+}
+
+TEST(Percentiles, TopBucketDoesNotOverflow) {
+  Histogram h;
+  h.record(~std::uint64_t{0});  // bucket 64: lb = 2^63, no 2^64 upper bound
+  const auto snap = h.snapshot();
+  const double p50 = histogram_percentile(snap, 0.5);
+  EXPECT_GE(p50, 9.2e18);  // >= 2^63
+  EXPECT_LT(p50, 1.9e19);  // < 2^64: the synthetic ub stayed finite
+}
+
+// --- perf diff ---------------------------------------------------------------
+
+RunManifest manifest_with(std::vector<std::pair<std::string, std::uint64_t>> phases) {
+  RunManifest m;
+  m.command = {"rank", "a.dtrc", "b.dtrc"};
+  std::uint64_t total = 0;
+  for (auto& [path, wall] : phases) {
+    const auto slash = path.rfind('/');
+    const auto name = slash == std::string::npos ? path : path.substr(slash + 1);
+    const auto depth = static_cast<std::size_t>(std::count(path.begin(), path.end(), '/'));
+    m.phases.push_back({path, name, depth, 1, wall, wall});
+    if (depth == 0) total += wall;
+  }
+  m.wall_ns = total;
+  return m;
+}
+
+TEST(PerfDiff, NoiseUnderBothThresholdsIsUnchanged) {
+  // 10ms -> 11ms: 10% relative, over the 1ms floor but under the 25% gate.
+  const auto base = manifest_with({{"rank", 10'000'000}});
+  const auto head = manifest_with({{"rank", 11'000'000}});
+  const auto report = diff_manifests(base, head);
+  ASSERT_EQ(report.phases.size(), 1u);
+  EXPECT_EQ(report.phases[0].verdict, PhaseVerdict::Unchanged);
+  EXPECT_EQ(report.exit_code(), 0);
+}
+
+TEST(PerfDiff, LargeRelativeButTinyAbsoluteIsUnchanged) {
+  // 3x slowdown on a 100us phase: the absolute floor absorbs it.
+  const auto base = manifest_with({{"rank", 100'000}});
+  const auto head = manifest_with({{"rank", 300'000}});
+  const auto report = diff_manifests(base, head);
+  EXPECT_EQ(report.phases[0].verdict, PhaseVerdict::Unchanged);
+  EXPECT_EQ(report.exit_code(), 0);
+}
+
+TEST(PerfDiff, TwoXSlowdownRegressesWithExitThree) {
+  const auto base = manifest_with({{"rank", 10'000'000}, {"rank/load", 2'000'000}});
+  const auto head = manifest_with({{"rank", 20'000'000}, {"rank/load", 2'100'000}});
+  const auto report = diff_manifests(base, head);
+  ASSERT_EQ(report.phases.size(), 2u);
+  EXPECT_EQ(report.phases[0].verdict, PhaseVerdict::Regressed);  // map order: "rank" first
+  EXPECT_NEAR(report.phases[0].ratio(), 2.0, 1e-9);
+  EXPECT_EQ(report.phases[1].verdict, PhaseVerdict::Unchanged);
+  EXPECT_TRUE(report.regressed());
+  EXPECT_EQ(report.exit_code(), 3);
+  EXPECT_NE(report.render().find("REGRESSED"), std::string::npos);
+}
+
+TEST(PerfDiff, SpeedupIsImprovedAndDoesNotGate) {
+  const auto base = manifest_with({{"rank", 20'000'000}});
+  const auto head = manifest_with({{"rank", 10'000'000}});
+  const auto report = diff_manifests(base, head);
+  EXPECT_EQ(report.phases[0].verdict, PhaseVerdict::Improved);
+  EXPECT_EQ(report.exit_code(), 0);
+}
+
+TEST(PerfDiff, StructuralChangesAreAddedRemovedNeverGate) {
+  const auto base = manifest_with({{"rank", 10'000'000}, {"rank/old", 5'000'000}});
+  const auto head = manifest_with({{"rank", 10'000'000}, {"rank/new", 5'000'000}});
+  const auto report = diff_manifests(base, head);
+  ASSERT_EQ(report.phases.size(), 3u);  // rank, rank/new, rank/old (path order)
+  EXPECT_EQ(report.phases[1].path, "rank/new");
+  EXPECT_EQ(report.phases[1].verdict, PhaseVerdict::Added);
+  EXPECT_EQ(report.phases[2].path, "rank/old");
+  EXPECT_EQ(report.phases[2].verdict, PhaseVerdict::Removed);
+  EXPECT_EQ(report.count(PhaseVerdict::Added), 1u);
+  EXPECT_EQ(report.count(PhaseVerdict::Removed), 1u);
+  EXPECT_EQ(report.exit_code(), 0);
+}
+
+TEST(PerfDiff, ThresholdsAreConfigurable) {
+  const auto base = manifest_with({{"rank", 10'000'000}});
+  const auto head = manifest_with({{"rank", 11'000'000}});
+  PerfDiffOptions strict;
+  strict.rel_threshold = 0.05;
+  strict.abs_floor_ns = 0;
+  const auto report = diff_manifests(base, head, strict);
+  EXPECT_EQ(report.phases[0].verdict, PhaseVerdict::Regressed);
+  EXPECT_EQ(report.exit_code(), 3);
+}
+
+TEST(PerfDiff, CountersKeepOnlyDiffering) {
+  auto base = manifest_with({{"rank", 10'000'000}});
+  auto head = manifest_with({{"rank", 10'000'000}});
+  base.counters.push_back({"same.counter", 5});
+  head.counters.push_back({"same.counter", 5});
+  base.counters.push_back({"drifted.counter", 10});
+  head.counters.push_back({"drifted.counter", 12});
+  head.counters.push_back({"new.counter", 1});
+  const auto report = diff_manifests(base, head);
+  ASSERT_EQ(report.counters.size(), 2u);
+  EXPECT_EQ(report.counters[0].name, "drifted.counter");
+  EXPECT_EQ(report.counters[0].base, 10u);
+  EXPECT_EQ(report.counters[0].head, 12u);
+  EXPECT_EQ(report.counters[1].name, "new.counter");
+  EXPECT_EQ(report.counters[1].base, 0u);
+}
+
+TEST(PerfDiff, JsonOutputCarriesVerdictAndSchema) {
+  const auto base = manifest_with({{"rank", 10'000'000}});
+  const auto head = manifest_with({{"rank", 25'000'000}});
+  const auto report = diff_manifests(base, head, {}, "base.json", "head.json");
+  std::ostringstream json;
+  report.write_json(json);
+  const auto text = json.str();
+  EXPECT_NE(text.find("\"perfdiff_version\": 1"), std::string::npos);
+  EXPECT_NE(text.find("\"base\": \"base.json\""), std::string::npos);
+  EXPECT_NE(text.find("\"verdict\": \"regressed\""), std::string::npos);
+  EXPECT_NE(text.find("\"exit_code\": 3"), std::string::npos);
+  EXPECT_NE(text.find("\"path\": \"rank\""), std::string::npos);
+}
+
+// --- manifest chrome/csv export ----------------------------------------------
+
+RunManifest export_sample() {
+  auto m = manifest_with(
+      {{"rank", 10'000'000}, {"rank/load", 2'000'000}, {"rank/sweep", 7'000'000}});
+  m.counters.push_back({"nlr.tokens_in", 168});
+  HistogramSample h;
+  h.name = "span.rank/load";
+  h.data.count = 1;
+  h.data.sum = 2'000'000;
+  h.data.buckets[Histogram::bucket_index(2'000'000)] = 1;
+  m.histograms.push_back(h);
+  return m;
+}
+
+TEST(ManifestExport, ChromeLayoutNestsChildrenUnderParentStart) {
+  std::ostringstream out;
+  export_manifest_chrome(export_sample(), out);
+  const auto text = out.str();
+  EXPECT_NE(text.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"M\""), std::string::npos);
+  // Timestamps are exact decimal microseconds: root at 0, load at 0, and
+  // sweep laid out after load's 2ms (= 2000us).
+  EXPECT_NE(text.find("\"name\": \"rank\""), std::string::npos);
+  EXPECT_NE(text.find("\"dur\": 10000.000"), std::string::npos);
+  EXPECT_NE(text.find("\"ts\": 2000.000"), std::string::npos);
+  // The histogram rode along as percentile args.
+  EXPECT_NE(text.find("\"p50_ns\""), std::string::npos);
+  // Counters attach to the root phase only.
+  EXPECT_NE(text.find("\"nlr.tokens_in\": 168"), std::string::npos);
+}
+
+TEST(ManifestExport, ChromeOutputIsValidJsonShape) {
+  std::ostringstream out;
+  export_manifest_chrome(export_sample(), out);
+  const auto text = out.str();
+  // Cheap structural sanity without a parser dependency: balanced braces
+  // and the stream ends with the closing object + newline.
+  long depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\')
+        ++i;
+      else if (c == '"')
+        in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(ManifestExport, CsvListsEveryPhaseWithPercentileColumns) {
+  std::ostringstream out;
+  export_manifest_csv(export_sample(), out);
+  const auto text = out.str();
+  EXPECT_NE(text.find("path,name,depth,count,wall_ns,cpu_ns,p50_ns,p95_ns,p99_ns"),
+            std::string::npos);
+  EXPECT_NE(text.find("rank/load,load,1,1,2000000,2000000,"), std::string::npos);
+  // Phases without a histogram leave the percentile cells empty.
+  EXPECT_NE(text.find("rank/sweep,sweep,1,1,7000000,7000000,,,"), std::string::npos);
+}
+
+TEST(ManifestExport, ParsesFormatNames) {
+  EXPECT_EQ(parse_export_format("chrome"), ExportFormat::Chrome);
+  EXPECT_EQ(parse_export_format("csv"), ExportFormat::Csv);
+  EXPECT_FALSE(parse_export_format("svg").has_value());
+}
+
+// --- self-trace export -------------------------------------------------------
+
+/// Builds a synthetic self-trace store: stream contents are given as
+/// (kind, name) pairs, keyed in the order supplied — so tests can model the
+/// stream-index race by permuting the order while keeping content fixed.
+trace::TraceStore make_selftrace(
+    const std::vector<std::vector<std::pair<trace::EventKind, std::string>>>& streams) {
+  auto registry = std::make_shared<trace::FunctionRegistry>();
+  trace::TraceStore store(registry);
+  int index = 0;
+  for (const auto& events : streams) {
+    trace::TraceWriter writer({0, index++});
+    for (const auto& [kind, name] : events) writer.record(kind, registry->intern(name));
+    store.absorb(writer);
+  }
+  return store;
+}
+
+using trace::EventKind;
+
+std::vector<std::pair<EventKind, std::string>> main_stream() {
+  return {{EventKind::Call, "sweep"},
+          {EventKind::Call, "load"},
+          {EventKind::Return, "load"},
+          {EventKind::Return, "sweep"}};
+}
+
+std::vector<std::pair<EventKind, std::string>> worker_stream(int id, int cells) {
+  std::vector<std::pair<EventKind, std::string>> events;
+  events.push_back({EventKind::Call, "worker" + std::to_string(id)});
+  for (int i = 0; i < cells; ++i) {
+    events.push_back({EventKind::Call, "cell"});
+    events.push_back({EventKind::Return, "cell"});
+  }
+  events.push_back({EventKind::Return, "worker" + std::to_string(id)});
+  return events;
+}
+
+TEST(SelfTraceExport, ByteIdenticalUnderScrambledStreamOrder) {
+  // The same workload, with the per-thread streams registered in three
+  // different racy orders (what varying DIFFTRACE_JOBS scheduling does).
+  const auto a = make_selftrace({main_stream(), worker_stream(0, 2), worker_stream(1, 3)});
+  const auto b = make_selftrace({worker_stream(1, 3), main_stream(), worker_stream(0, 2)});
+  const auto c = make_selftrace({worker_stream(0, 2), worker_stream(1, 3), main_stream()});
+
+  std::ostringstream ja, jb, jc;
+  export_selftrace_chrome(a, ja);
+  export_selftrace_chrome(b, jb);
+  export_selftrace_chrome(c, jc);
+  EXPECT_EQ(ja.str(), jb.str());
+  EXPECT_EQ(ja.str(), jc.str());
+
+  std::ostringstream ca, cb;
+  export_selftrace_csv(a, ca);
+  export_selftrace_csv(b, cb);
+  EXPECT_EQ(ca.str(), cb.str());
+}
+
+TEST(SelfTraceExport, LanesAreMainFirstThenWorkersById) {
+  const auto store = make_selftrace({worker_stream(3, 1), worker_stream(0, 1), main_stream()});
+  std::ostringstream out;
+  export_selftrace_chrome(store, out);
+  const auto text = out.str();
+  const auto main_pos = text.find("\"name\": \"main\"");
+  const auto w0_pos = text.find("\"name\": \"pool worker 0\"");
+  const auto w3_pos = text.find("\"name\": \"pool worker 3\"");
+  ASSERT_NE(main_pos, std::string::npos);
+  ASSERT_NE(w0_pos, std::string::npos);
+  ASSERT_NE(w3_pos, std::string::npos);
+  EXPECT_LT(main_pos, w0_pos);
+  EXPECT_LT(w0_pos, w3_pos);
+  // Stream keys are canonicalized away: the racy {proc, thread} indices the
+  // store used must not leak into the export.
+  EXPECT_EQ(text.find("\"0.2\""), std::string::npos);
+}
+
+TEST(SelfTraceExport, LogicalClockAndNesting) {
+  const auto store = make_selftrace({main_stream()});
+  std::ostringstream out;
+  export_selftrace_csv(store, out);
+  // sweep opens at tick 0 and closes at tick 3 (dur 3, depth 0); load spans
+  // ticks 1..2 (dur 1, depth 1).
+  EXPECT_EQ(out.str(),
+            "tid,ts,dur,depth,name,unclosed\n"
+            "0,0,3,0,sweep,0\n"
+            "0,1,1,1,load,0\n");
+}
+
+TEST(SelfTraceExport, UnclosedSpansAreSynthesizedAndFlagged) {
+  // A stream frozen mid-span (watchdog kill): Call without Return.
+  const auto store = make_selftrace({{{EventKind::Call, "sweep"}, {EventKind::Call, "cell"}}});
+  std::ostringstream out;
+  export_selftrace_chrome(store, out);
+  const auto text = out.str();
+  EXPECT_NE(text.find("\"unclosed\": true"), std::string::npos);
+  // Both spans were closed at the final tick.
+  EXPECT_NE(text.find("\"name\": \"sweep\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\": \"cell\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace difftrace::obs

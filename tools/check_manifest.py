@@ -115,6 +115,7 @@ def check_manifest(doc: object, min_coverage: float, required_counters: list[str
         ("check_engine", str),
         ("summary_cache_hits", int),
         ("summary_cache_misses", int),
+        ("self_trace", str),
     ):
         if key in doc:
             problems.expect(doc, key, kinds, "manifest")
@@ -186,9 +187,93 @@ def check_manifest(doc: object, min_coverage: float, required_counters: list[str
     return problems.messages
 
 
+PERFDIFF_VERDICTS = ("unchanged", "improved", "regressed", "added", "removed")
+
+
+def check_perfdiff(doc: object) -> list[str]:
+    """Validate `difftrace perf diff --json` output (obs::PerfDiffReport)."""
+    problems = Problems()
+    if not isinstance(doc, dict):
+        return ["document root is not an object"]
+
+    version = problems.expect(doc, "perfdiff_version", int, "perfdiff")
+    if version is not None and version != 1:
+        problems.add(f"perfdiff: unsupported perfdiff_version {version}")
+    problems.expect(doc, "base", str, "perfdiff")
+    problems.expect(doc, "head", str, "perfdiff")
+    problems.expect(doc, "rel_threshold", (int, float), "perfdiff")
+    problems.expect(doc, "abs_floor_ns", int, "perfdiff")
+    problems.expect(doc, "base_wall_ns", int, "perfdiff")
+    problems.expect(doc, "head_wall_ns", int, "perfdiff")
+    verdict = problems.expect(doc, "verdict", str, "perfdiff")
+    if verdict is not None and verdict not in ("ok", "regressed"):
+        problems.add(f"perfdiff: verdict '{verdict}' is not ok/regressed")
+    exit_code = problems.expect(doc, "exit_code", int, "perfdiff")
+    if exit_code is not None and exit_code not in (0, 3):
+        problems.add(f"perfdiff: exit_code {exit_code} is not 0/3")
+    if verdict is not None and exit_code is not None:
+        if (verdict == "regressed") != (exit_code == 3):
+            problems.add(f"perfdiff: verdict '{verdict}' disagrees with exit_code {exit_code}")
+
+    summary = problems.expect(doc, "summary", dict, "perfdiff")
+    for key in PERFDIFF_VERDICTS:
+        if summary is not None:
+            problems.expect(summary, key, int, "summary")
+
+    phases = problems.expect(doc, "phases", list, "perfdiff")
+    tally = dict.fromkeys(PERFDIFF_VERDICTS, 0)
+    for i, phase in enumerate(phases or []):
+        where = f"phases[{i}]"
+        if not isinstance(phase, dict):
+            problems.add(f"{where}: not an object")
+            continue
+        problems.expect(phase, "path", str, where)
+        problems.expect(phase, "base_wall_ns", int, where)
+        problems.expect(phase, "head_wall_ns", int, where)
+        problems.expect(phase, "base_count", int, where)
+        problems.expect(phase, "head_count", int, where)
+        problems.expect(phase, "ratio", (int, float), where)
+        phase_verdict = problems.expect(phase, "verdict", str, where)
+        if phase_verdict is not None:
+            if phase_verdict not in PERFDIFF_VERDICTS:
+                problems.add(f"{where}: unknown verdict '{phase_verdict}'")
+            else:
+                tally[phase_verdict] += 1
+    if isinstance(summary, dict):
+        for key in PERFDIFF_VERDICTS:
+            if isinstance(summary.get(key), int) and summary[key] != tally[key]:
+                problems.add(
+                    f"perfdiff: summary.{key} = {summary[key]} but phases tally {tally[key]}"
+                )
+
+    counters = problems.expect(doc, "counters", list, "perfdiff")
+    for i, entry in enumerate(counters or []):
+        where = f"counters[{i}]"
+        if not isinstance(entry, dict):
+            problems.add(f"{where}: not an object")
+            continue
+        problems.expect(entry, "name", str, where)
+        problems.expect(entry, "base", int, where)
+        problems.expect(entry, "head", int, where)
+
+    selftrace = problems.expect(doc, "selftrace", dict, "perfdiff")
+    if selftrace is not None:
+        problems.expect(selftrace, "ran", bool, "selftrace")
+        problems.expect(selftrace, "identical", bool, "selftrace")
+        problems.expect(selftrace, "distance", int, "selftrace")
+        problems.expect(selftrace, "note", str, "selftrace")
+
+    return problems.messages
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("manifest", help="manifest JSON written by --stats=FILE")
+    parser.add_argument(
+        "--perfdiff",
+        action="store_true",
+        help="validate `difftrace perf diff --json` output instead of a run manifest",
+    )
     parser.add_argument(
         "--min-coverage",
         type=float,
@@ -211,12 +296,22 @@ def main() -> int:
         print(f"check_manifest: cannot read {args.manifest}: {e}", file=sys.stderr)
         return 1
 
-    problems = check_manifest(doc, args.min_coverage, args.require_counter)
+    if args.perfdiff:
+        problems = check_perfdiff(doc)
+    else:
+        problems = check_manifest(doc, args.min_coverage, args.require_counter)
     if problems:
         for message in problems:
             print(f"check_manifest: {message}", file=sys.stderr)
         print(f"check_manifest: {args.manifest}: {len(problems)} problem(s)", file=sys.stderr)
         return 1
+
+    if args.perfdiff:
+        print(
+            f"check_manifest: {args.manifest}: perfdiff ok "
+            f"({len(doc.get('phases', []))} phase(s), verdict {doc.get('verdict')})"
+        )
+        return 0
 
     phases = doc.get("phases", [])
     print(

@@ -287,6 +287,33 @@ def _scan_raw_mutex(lines: list[str]) -> Iterable[tuple[int, str]]:
         yield first_member, "util::Mutex member but no DT_GUARDED_BY in this file (tie the guarded data to the capability)"
 
 
+# --- obs-sink-discipline --------------------------------------------------
+# The obs layer is the telemetry *producer*: exporters, the perf differ,
+# and the manifest renderer all emit through an explicit std::ostream& sink
+# the caller chooses (stdout, --out FILE, a test's stringstream). An
+# ambient stream write inside src/obs/ — std::cerr included — bypasses the
+# caller's sink choice, breaks the byte-identical-export contract, and
+# cannot be captured by the CLI's stream-discipline epilogue. Chatter
+# belongs to the caller (the CLI routes it via util::status_line).
+# stream-discipline already polices stdout here; this rule closes the
+# stderr/FILE* side for the one layer whose whole job is well-routed output.
+
+_OBS_SINK_RE = re.compile(
+    r"std\s*::\s*cerr"
+    r"|std\s*::\s*clog"
+    r"|(?<![\w:.>])fprintf\s*\("
+    r"|(?<![\w:.>])fputs\s*\("
+    r"|(?<![\w:.>])fputc\s*\("
+    r"|(?<![\w:.>])perror\s*\("
+)
+
+
+def _scan_obs_sink(lines: list[str]) -> Iterable[tuple[int, str]]:
+    for i, line in enumerate(lines, start=1):
+        if _OBS_SINK_RE.search(line):
+            yield i, "ambient stream write in the obs layer (emit through the explicit std::ostream& sink; chatter belongs to the caller)"
+
+
 # --------------------------------------------------------------------------
 
 RULES: list[Rule] = [
@@ -331,6 +358,12 @@ RULES: list[Rule] = [
         "no expand_nlr() in src/analyze/ outside the replay-fallback TU",
         exempt=lambda p: not _has_dir(p, "analyze") or p.name == "replay_fallback.cpp",
         scan=_scan_ir_first,
+    ),
+    Rule(
+        "obs-sink-discipline",
+        "no ambient stream writes (std::cerr/fprintf/...) inside src/obs/",
+        exempt=lambda p: not _has_dir(p, "obs"),
+        scan=_scan_obs_sink,
     ),
     Rule(
         "raw-mutex",

@@ -34,9 +34,11 @@ EXPECTED: dict[str, set[tuple[str, int]]] = {
     "bad_task_throw.cpp": {("task-throw", 15)},
     "bad_sim_inject.cpp": {("sim-only-injection", 14), ("sim-only-injection", 15)},
     "bad_raw_mutex.cpp": {("raw-mutex", 18), ("raw-mutex", 19)},
-    # Path-scoped rule: the fixture sits under an analyze/ subdirectory so
-    # the scope predicate fires on it exactly as it does on src/analyze/.
+    # Path-scoped rules: these fixtures sit under an analyze/ (resp. obs/)
+    # subdirectory so the scope predicate fires on them exactly as it does
+    # on src/analyze/ (resp. src/obs/).
     "analyze/bad_ir_first.cpp": {("ir-first-analysis", 18), ("ir-first-analysis", 24)},
+    "obs/bad_obs_stream.cpp": {("obs-sink-discipline", 11), ("obs-sink-discipline", 15)},
     "clean.cpp": set(),
     "suppressed.cpp": set(),
 }

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over difftrace run manifests.
+
+Runs a bench generator (any command accepting --json=FILE, e.g.
+`perf_sweep --json`) N times, merges the runs into a median-of-runs
+manifest (per-phase / per-counter medians, so one noisy scheduler hiccup
+cannot fail the gate or sneak a regression past it), then asks
+`difftrace perf diff` to compare the committed baseline against the
+median with CI-grade thresholds. Artifacts — every raw run, the merged
+median, the machine-readable diff, and a chrome://tracing export of the
+median — land in --out-dir for upload.
+
+Usage:
+  tools/perf_gate.py --bench "build/bench/perf_sweep" --baseline BENCH_sweep.json \
+      --difftrace build/tools/difftrace [--repeat 3] [--rel-threshold 3.0] \
+      [--abs-floor-ms 20] [--out-dir perf-gate]
+  tools/perf_gate.py --bench ... --write-baseline BENCH_sweep.json
+      (refresh mode: write the median manifest as the new baseline, no diff)
+
+Exit code: 0 clean, 3 sustained regression (difftrace's own gate code),
+1 on operational failure (bench crashed, unreadable manifests).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shlex
+import statistics
+import subprocess
+import sys
+from pathlib import Path
+
+
+def run_bench(cmd: list[str], json_path: Path, out_dir: Path, rep: int) -> dict:
+    full = cmd + [f"--json={json_path}"]
+    log_path = out_dir / f"run{rep}.log"
+    with open(log_path, "w", encoding="utf-8") as log:
+        proc = subprocess.run(full, stdout=log, stderr=subprocess.STDOUT, check=False)
+    if proc.returncode != 0:
+        sys.stderr.write(f"perf_gate: rep {rep}: '{shlex.join(full)}' exited "
+                         f"{proc.returncode} (see {log_path})\n")
+        raise SystemExit(1)
+    try:
+        with open(json_path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.stderr.write(f"perf_gate: rep {rep}: cannot read manifest: {e}\n")
+        raise SystemExit(1)
+
+
+def median_merge(runs: list[dict]) -> dict:
+    """First run as the skeleton, per-phase/per-counter medians across runs.
+
+    A phase or counter missing from some run contributes only the values it
+    has — phase structure comes from the first run (the bench is
+    deterministic; only timings vary rep to rep).
+    """
+    merged = json.loads(json.dumps(runs[0]))
+    for kind, key_field, value_fields in (
+        ("phases", "path", ("wall_ns", "cpu_ns")),
+        ("counters", "name", ("value",)),
+    ):
+        by_key: dict[str, list[dict]] = {}
+        for run in runs:
+            for entry in run.get(kind, []):
+                by_key.setdefault(entry[key_field], []).append(entry)
+        for entry in merged.get(kind, []):
+            samples = by_key.get(entry[key_field], [])
+            for field in value_fields:
+                values = [s[field] for s in samples if field in s]
+                if values:
+                    entry[field] = int(statistics.median(values))
+    for field in ("wall_ns", "cpu_ns"):
+        values = [run[field] for run in runs if field in run]
+        if values:
+            merged[field] = int(statistics.median(values))
+    return merged
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", required=True,
+                        help="bench command accepting --json=FILE (shell-quoted)")
+    parser.add_argument("--difftrace", default="build/tools/difftrace",
+                        help="difftrace binary for perf diff / perf export")
+    parser.add_argument("--baseline", help="committed baseline manifest to diff against")
+    parser.add_argument("--write-baseline", metavar="FILE",
+                        help="write the median manifest to FILE and skip the diff")
+    parser.add_argument("--repeat", type=int, default=3, help="bench repetitions (median-of-N)")
+    parser.add_argument("--rel-threshold", type=float, default=3.0,
+                        help="relative wall-time threshold passed to perf diff")
+    parser.add_argument("--abs-floor-ms", type=float, default=20.0,
+                        help="absolute floor passed to perf diff")
+    parser.add_argument("--out-dir", default="perf-gate", help="artifact directory")
+    args = parser.parse_args()
+
+    if bool(args.baseline) == bool(args.write_baseline):
+        parser.error("exactly one of --baseline / --write-baseline is required")
+    if args.repeat < 1:
+        parser.error("--repeat must be >= 1")
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    bench_cmd = shlex.split(args.bench)
+
+    runs = [run_bench(bench_cmd, out_dir / f"run{rep}.json", out_dir, rep)
+            for rep in range(args.repeat)]
+    median = median_merge(runs)
+    median_path = out_dir / "median.json"
+    with open(median_path, "w", encoding="utf-8") as f:
+        json.dump(median, f, indent=1)
+        f.write("\n")
+
+    if args.write_baseline:
+        # Baselines are repo-committed and diffed against other machines'
+        # runs: drop the machine-local artifact pointers.
+        median["self_trace"] = ""
+        median["cache_dir"] = ""
+        with open(args.write_baseline, "w", encoding="utf-8") as f:
+            json.dump(median, f, indent=1)
+            f.write("\n")
+        print(f"perf_gate: baseline written to {args.write_baseline} "
+              f"(median of {args.repeat} run(s))")
+        return 0
+
+    export = subprocess.run(
+        [args.difftrace, "perf", "export", str(median_path),
+         "--out", str(out_dir / "median.trace.json")],
+        check=False)
+    if export.returncode != 0:
+        sys.stderr.write("perf_gate: chrome export failed\n")
+        return 1
+
+    diff_cmd = [args.difftrace, "perf", "diff", args.baseline, str(median_path),
+                "--no-selftrace", "--rel-threshold", str(args.rel_threshold),
+                "--abs-floor-ms", str(args.abs_floor_ms)]
+    # Human-readable verdict to the CI log, machine-readable to the artifacts.
+    text = subprocess.run(diff_cmd, check=False)
+    with open(out_dir / "perfdiff.json", "w", encoding="utf-8") as f:
+        machine = subprocess.run(diff_cmd + ["--json"], stdout=f, check=False)
+    if text.returncode != machine.returncode:
+        sys.stderr.write("perf_gate: text and json diff disagree on the verdict\n")
+        return 1
+    if text.returncode not in (0, 3):
+        sys.stderr.write(f"perf_gate: perf diff failed with exit {text.returncode}\n")
+        return 1
+    return text.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())

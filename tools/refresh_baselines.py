@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Refresh the committed BENCH_*.json perf baselines.
+
+Thin driver over tools/perf_gate.py --write-baseline: reruns each bench
+generator --repeat times and replaces the baseline with the median-of-runs
+manifest. Run this after an intentional performance change (and say so in
+the commit), then re-run the gate to confirm the new baselines are
+self-consistent:
+
+  python3 tools/refresh_baselines.py --build-dir build [--repeat 3]
+  python3 tools/perf_gate.py --bench build/bench/perf_sweep \
+      --baseline BENCH_sweep.json --difftrace build/tools/difftrace
+
+Baselines are medians from *one* machine — the CI gate compensates with
+generous thresholds (see .github/workflows/ci.yml), so refreshing on a
+laptop is fine; refreshing on CI hardware is better.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+BASELINES = {
+    "BENCH_sweep.json": "bench/perf_sweep",
+    "BENCH_check.json": "bench/perf_check",
+    "BENCH_matrix.json": "bench/perf_matrix",
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build", help="CMake build directory")
+    parser.add_argument("--repeat", type=int, default=3, help="runs per baseline (median-of-N)")
+    parser.add_argument("--only", action="append", default=[], metavar="BENCH_FILE",
+                        help="refresh just this baseline (repeatable)")
+    args = parser.parse_args()
+
+    tools = Path(__file__).resolve().parent
+    repo = tools.parent
+    build = Path(args.build_dir)
+    failures = 0
+    for baseline, bench in BASELINES.items():
+        if args.only and baseline not in args.only:
+            continue
+        bench_bin = build / bench
+        if not bench_bin.exists():
+            sys.stderr.write(f"refresh_baselines: {bench_bin} not built, skipping\n")
+            failures += 1
+            continue
+        print(f"refresh_baselines: {baseline} <- median of {args.repeat} x {bench_bin}")
+        code = subprocess.run(
+            [sys.executable, str(tools / "perf_gate.py"),
+             "--bench", str(bench_bin),
+             "--write-baseline", str(repo / baseline),
+             "--repeat", str(args.repeat),
+             "--out-dir", str(build / "perf-gate-refresh")],
+            check=False).returncode
+        if code != 0:
+            sys.stderr.write(f"refresh_baselines: {baseline} failed (exit {code})\n")
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
