@@ -38,6 +38,13 @@ class Args {
   /// Positional at index; throws ArgError with `what` when absent.
   [[nodiscard]] std::string positional_at(std::size_t index, const std::string& what) const;
 
+  /// Every parsed option in sorted key order (flags map to ""). The query
+  /// client uses this view to forward options it does not itself consume to
+  /// the serve daemon verbatim.
+  [[nodiscard]] const std::map<std::string, std::string>& options() const noexcept {
+    return options_;
+  }
+
  private:
   std::vector<std::string> positional_;
   std::map<std::string, std::string> options_;  // flags map to ""

@@ -11,6 +11,8 @@
 #include "analyze/analyze.hpp"
 #include "apps/catalog.hpp"
 #include "apps/runner.hpp"
+#include "cli/load.hpp"
+#include "cli/ops.hpp"
 #include "simfault/injector.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
@@ -33,44 +35,6 @@ namespace difftrace::cli {
 namespace {
 
 using core::FilterSpec;
-
-trace::TraceKey parse_trace_key(const std::string& label) {
-  const auto parts = util::split(label, '.');
-  try {
-    if (parts.size() == 1) return {std::stoi(parts[0]), 0};
-    if (parts.size() == 2) return {std::stoi(parts[0]), std::stoi(parts[1])};
-  } catch (const std::exception&) {
-  }
-  throw ArgError("bad trace id '" + label + "' (expected P or P.T, e.g. 6.4)");
-}
-
-core::AttrConfig parse_attr(const std::string& spec) {
-  // "sing.noFreq" notation, matching the ranking tables.
-  core::AttrConfig config;
-  const auto parts = util::split(spec, '.');
-  if (parts.size() != 2) throw ArgError("bad attribute spec '" + spec + "' (expected e.g. sing.noFreq)");
-  if (parts[0] == "sing")
-    config.kind = core::AttrKind::Single;
-  else if (parts[0] == "doub")
-    config.kind = core::AttrKind::Double;
-  else
-    throw ArgError("unknown attribute kind '" + parts[0] + "'");
-  if (parts[1] == "actual")
-    config.freq = core::FreqMode::Actual;
-  else if (parts[1] == "log10")
-    config.freq = core::FreqMode::Log10;
-  else if (parts[1] == "noFreq")
-    config.freq = core::FreqMode::NoFreq;
-  else
-    throw ArgError("unknown frequency mode '" + parts[1] + "'");
-  return config;
-}
-
-core::Linkage parse_linkage(const std::string& name) {
-  for (const auto method : core::all_linkages())
-    if (name == core::linkage_name(method)) return method;
-  throw ArgError("unknown linkage '" + name + "'");
-}
 
 apps::FaultSpec parse_fault(const Args& args) {
   apps::FaultSpec fault;
@@ -108,68 +72,6 @@ simfault::FaultPlan plan_from(const Args& args) {
     }
   }
   return apps::to_fault_plan(parse_fault(args));
-}
-
-core::NlrConfig nlr_from(const Args& args) {
-  core::NlrConfig nlr;
-  nlr.k = static_cast<std::size_t>(args.int_or("k", 10));
-  nlr.min_reps = static_cast<std::size_t>(args.int_or("min-reps", 2));
-  nlr.fold_known_bodies = args.flag("fold-known");
-  return nlr;
-}
-
-std::vector<FilterSpec> filters_from(const Args& args) {
-  std::vector<FilterSpec> filters;
-  for (const auto& spec : util::split(args.get_or("filters", "mpiall"), ','))
-    filters.push_back(parse_filter(spec));
-  return filters;
-}
-
-constexpr const char* kDefaultCacheDir = ".difftrace-cache";
-
-/// Requested job count: --jobs wins, --threads is the pre-engine spelling
-/// kept as an alias, 0 (default) defers to DIFFTRACE_JOBS / the hardware.
-std::size_t jobs_request_from(const Args& args) {
-  if (args.has("jobs")) return static_cast<std::size_t>(args.int_or("jobs", 0));
-  return static_cast<std::size_t>(args.int_or("threads", 0));
-}
-
-/// Cache directory selected by --cache[=DIR]; "" means caching is off.
-/// (A bare `--cache` parses as a flag, i.e. an empty value — that selects
-/// the default directory.)
-std::string cache_dir_from(const Args& args) {
-  if (!args.has("cache")) return {};
-  const auto dir = args.get_or("cache", "");
-  return dir.empty() ? std::string(kDefaultCacheDir) : dir;
-}
-
-trace::TraceStore load_store(const std::string& path, std::ostream& err) {
-  try {
-    return trace::TraceStore::load(path);
-  } catch (const std::exception& e) {
-    // Damaged archives are the expected input of a debugging tool (the jobs
-    // we trace get killed); fall back to salvage and analyze what survives
-    // rather than refusing. fsck gives the full per-blob report.
-    auto result = trace::TraceStore::salvage(path);
-    if (result.store.size() == 0)
-      throw ArgError("cannot load trace store '" + path + "': " + e.what());
-    std::ostringstream msg;
-    msg << "[salvage] '" << path << "' is damaged (" << e.what() << "); recovered "
-        << result.report.recovered << " intact and " << result.report.salvaged
-        << " partial blob(s), dropped " << result.report.dropped
-        << " — run 'difftrace fsck' for details";
-    util::status_line(err, msg.str());
-    return std::move(result.store);
-  }
-}
-
-/// load_store under a "load" span, so every archive-consuming command's
-/// manifest has a depth-1 load phase and `perf diff` can compare load time
-/// across any pair of runs. The span closes after the return value is
-/// constructed (guaranteed copy elision), so it covers the whole load.
-trace::TraceStore load_store_span(const std::string& path, std::ostream& err) {
-  obs::Span span_load("load");
-  return load_store(path, err);
 }
 
 }  // namespace
@@ -310,6 +212,27 @@ commands:
       the phase structure diverged (--no-selftrace skips this). --json emits
       the machine schema validated by tools/check_manifest.py --perfdiff.
       exits 0 when no phase regressed, 3 on any regression.
+  serve --socket PATH [--store DIR] [--jobs N] [--idle-timeout-ms N]
+      resident trace service: owns a sharded on-disk store of ingested
+      archives (DIR defaults to .difftrace-store), keeps hot decoded stores
+      and NLR sessions pinned in memory, and answers line-delimited JSON
+      requests (ingest, list, rank, check, diff, stats, shutdown) on a local
+      socket. Answers are byte-identical to the cold CLI commands; repeated
+      queries skip load/decode/NLR work. Runs until a shutdown request (or
+      SIGINT/SIGTERM). Daemon chatter goes to stderr; validate response
+      framing with tools/check_manifest.py --serve.
+  query --socket PATH OP [operands] [--timeout-ms N] [--id ID] [--raw]
+      thin client for a running serve daemon. OP is one of:
+        ingest FILE [--name NAME]   add an archive to the daemon's store
+        list                        ingested runs (name, crc, shard, sizes)
+        rank NORMAL FAULTY [...]    ranking table (same flags as 'rank')
+        check RUN [...]             semantic checks (same flags as 'check')
+        diff NORMAL FAULTY --trace P.T [...]   diffNLR (flags of 'diffnlr')
+        stats                       daemon counters and cache occupancy
+        shutdown                    ask the daemon to exit cleanly
+      RUN operands name ingested runs, not filesystem paths. Exit code is
+      the server-reported code for the operation; connection failures exit
+      1 after a bounded retry. --raw prints the raw response JSON line.
 
 global flags (any command; use the '=' forms):
   --stats[=FILE]      collect a run manifest: per-phase wall/CPU spans,
@@ -464,55 +387,26 @@ int cmd_nlr(const Args& args, std::ostream& out, std::ostream& err) {
 }
 
 int cmd_rank(const Args& args, std::ostream& out, std::ostream& err) {
-  // Phase accounting: "load" spans everything up to the sweep (store loads,
-  // config parsing, degraded-store triage), core::sweep opens its own span,
-  // and "render" covers the rest — so the manifest's depth-1 phases tile the
+  // Phase accounting: "load" spans everything up to the sweep (store loads
+  // and cache setup), core::sweep opens its own span inside rank_stores, and
+  // "render" covers the rest — so the manifest's depth-1 phases tile the
   // command's wall time with no dark gaps.
   std::optional<trace::TraceStore> normal, faulty;
-  core::SweepConfig sweep;
   std::optional<sched::Cache> cache;  // outlives the sweep that borrows it
   {
     obs::Span span_load("load");
     normal = load_store(args.positional_at(1, "normal trace store"), err);
     faulty = load_store(args.positional_at(2, "faulty trace store"), err);
-    sweep.filters = filters_from(args);
-    if (const auto attrs = args.get("attrs")) {
-      sweep.attributes.clear();
-      for (const auto& spec : util::split(*attrs, ',')) sweep.attributes.push_back(parse_attr(spec));
-    }
-    sweep.pipeline.nlr = nlr_from(args);
-    sweep.pipeline.linkage = parse_linkage(args.get_or("linkage", "ward"));
-    sweep.pipeline.top_n = static_cast<std::size_t>(args.int_or("top", 6));
-    sweep.analysis_threads = jobs_request_from(args);
-    if (const auto dir = cache_dir_from(args); !dir.empty()) {
-      cache.emplace(dir);
-      sweep.cache = &*cache;
-    }
-    for (const auto& health : core::store_health(*normal, *faulty))
-      util::status_line(err, "[degraded] trace " + health.key.label() + ": " + health.note);
+    if (const auto dir = cache_dir_from(args); !dir.empty()) cache.emplace(dir);
   }
-  const auto table = core::sweep(*normal, *faulty, sweep);
-  obs::Span span_render("render");
-  out << table.render();
-  out << "consensus suspicious trace:   " << table.consensus_thread() << "\n";
-  out << "consensus suspicious process: " << table.consensus_process() << "\n";
-  return 0;
+  return rank_stores(*normal, *faulty, args, cache ? &*cache : nullptr, out, err);
 }
 
 int cmd_diffnlr(const Args& args, std::ostream& out, std::ostream& err) {
   const auto normal = load_store_span(args.positional_at(1, "normal trace store"), err);
   const auto faulty = load_store_span(args.positional_at(2, "faulty trace store"), err);
-  const auto key = parse_trace_key(args.required("trace"));
-  const core::Session session(normal, faulty, parse_filter(args.get_or("filter", "mpiall")),
-                              nlr_from(args));
-  obs::Span span_diff("diff");
-  const auto diff = session.diffnlr(key);
-  out << "diffNLR(" << key.label() << "):\n";
-  if (args.flag("side-by-side"))
-    out << diff.render_side_by_side();
-  else
-    out << diff.render(args.flag("color"));
-  return 0;
+  const auto session = make_session(normal, faulty, args);
+  return render_diffnlr(*session, args.required("trace"), args, out);
 }
 
 int cmd_progress(const Args& args, std::ostream& out, std::ostream& err) {
@@ -612,35 +506,8 @@ int cmd_check(const Args& args, std::ostream& out, std::ostream& err) {
     return 0;
   }
   const auto path = args.positional_at(1, "trace-store path");
-  analyze::CheckOptions options;
-  const auto engine_name = args.get_or("engine", "replay");
-  const auto engine = analyze::parse_check_engine(engine_name);
-  if (!engine) throw ArgError("unknown engine '" + engine_name + "' (replay, summary, auto)");
-  options.engine = *engine;
-  options.cache_dir = cache_dir_from(args);
-  if (options.engine == analyze::CheckEngine::Auto) options.fallback_log = &err;
-  if (const auto names = args.get("checkers")) {
-    for (const auto& name : util::split(*names, ',')) {
-      // An unknown checker is an analysis failure, not a usage error: name
-      // the valid checkers and exit 1 before touching the archive.
-      const auto known = analyze::available_checkers();
-      if (std::none_of(known.begin(), known.end(),
-                       [&name](const analyze::CheckerInfo& info) { return info.name == name; })) {
-        std::string valid;
-        for (const auto& info : known) {
-          if (!valid.empty()) valid += ", ";
-          valid += info.name;
-        }
-        err << "check: unknown checker '" << name << "' — valid checkers: " << valid << "\n";
-        return 1;
-      }
-      options.checkers.push_back(name);
-    }
-  }
   const auto store = load_store_span(path, err);
-  const auto report = analyze::run_checks(store, options);
-  out << "check " << path << "\n" << report.render();
-  return report.exit_code();
+  return check_store(store, path, args, /*default_cache_dir=*/"", out, err);
 }
 
 int cmd_fsck(const Args& args, std::ostream& out, std::ostream& /*err*/) {
@@ -772,6 +639,8 @@ int dispatch(const std::string& command, const Args& args, std::ostream& out, st
   if (command == "stats") return cmd_stats(args, out, err);
   if (command == "cache") return cmd_cache(args, out, err);
   if (command == "perf") return cmd_perf(args, out, err);
+  if (command == "serve") return cmd_serve(args, out, err);
+  if (command == "query") return cmd_query(args, out, err);
   throw ArgError("unknown command '" + command + "' (see 'difftrace help')");
 }
 
@@ -802,7 +671,7 @@ int run_command(const std::vector<std::string>& argv, std::ostream& out, std::os
     if (want_selftrace && selftrace_path.empty()) selftrace_path = "difftrace-selftrace.dtrc";
     // Execution-engine provenance for the manifest: only sweep commands
     // spin up a pool, so jobs stays 0 (unrecorded) elsewhere.
-    if (command == "rank" || command == "report" || command == "matrix")
+    if (command == "rank" || command == "report" || command == "matrix" || command == "serve")
       manifest_jobs = sched::resolve_jobs(jobs_request_from(args));
     manifest_cache_dir = cache_dir_from(args);
     // Fact-engine provenance: which engine `check` derived its facts with

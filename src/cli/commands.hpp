@@ -23,6 +23,10 @@
 //   perf      performance observability: export a manifest/self-trace as
 //             Chrome Trace Event JSON or CSV; noise-aware diff of two run
 //             manifests (exit 3 on regression)
+//   serve     resident sharded trace service: ingest archives into an
+//             on-disk store and answer rank/check/diff queries over a
+//             line-delimited JSON socket protocol (see src/serve)
+//   query     thin client for a running serve daemon
 //
 // Global flags (any command): --stats=FILE writes a JSON run manifest
 // (bare --stats renders it to err), --self-trace=FILE records the
@@ -75,5 +79,7 @@ int cmd_chaos(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_stats(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_cache(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_perf(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_serve(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_query(const Args& args, std::ostream& out, std::ostream& err);
 
 }  // namespace difftrace::cli

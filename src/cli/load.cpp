@@ -1,0 +1,41 @@
+#include "cli/load.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "cli/args.hpp"
+#include "obs/span.hpp"
+#include "util/log.hpp"
+
+namespace difftrace::cli {
+
+TolerantLoad load_tolerant(const std::string& path, std::ostream& err) {
+  try {
+    return {trace::TraceStore::load(path), /*salvaged=*/false};
+  } catch (const std::exception& e) {
+    // Damaged archives are the expected input of a debugging tool (the jobs
+    // we trace get killed); fall back to salvage and analyze what survives
+    // rather than refusing. fsck gives the full per-blob report.
+    auto result = trace::TraceStore::salvage(path);
+    if (result.store.size() == 0)
+      throw ArgError("cannot load trace store '" + path + "': " + e.what());
+    std::ostringstream msg;
+    msg << "[salvage] '" << path << "' is damaged (" << e.what() << "); recovered "
+        << result.report.recovered << " intact and " << result.report.salvaged
+        << " partial blob(s), dropped " << result.report.dropped
+        << " — run 'difftrace fsck' for details";
+    util::status_line(err, msg.str());
+    return {std::move(result.store), /*salvaged=*/true};
+  }
+}
+
+trace::TraceStore load_store(const std::string& path, std::ostream& err) {
+  return std::move(load_tolerant(path, err).store);
+}
+
+trace::TraceStore load_store_span(const std::string& path, std::ostream& err) {
+  obs::Span span_load("load");
+  return load_store(path, err);
+}
+
+}  // namespace difftrace::cli

@@ -1,0 +1,37 @@
+// The one archive-load → salvage → health-report sequence every
+// archive-consuming entry point shares: CLI commands and the serve daemon's
+// ingest path both call load_tolerant, so "how difftrace treats a damaged
+// archive" is defined exactly once. Strict load is attempted first; on
+// damage the loader falls back to salvage, reports what was recovered on
+// the caller's chatter stream, and marks the result degraded. Only an
+// archive with nothing recoverable is an error (ArgError, exit 2).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "trace/store.hpp"
+
+namespace difftrace::cli {
+
+struct TolerantLoad {
+  trace::TraceStore store;
+  /// True when strict load failed and the store holds salvaged remains —
+  /// downstream consumers treat the evidence as degraded, not authoritative.
+  bool salvaged = false;
+};
+
+/// Loads `path` strictly, falling back to salvage with a "[salvage] ..."
+/// status line on `err`. Throws ArgError when nothing is recoverable.
+[[nodiscard]] TolerantLoad load_tolerant(const std::string& path, std::ostream& err);
+
+/// load_tolerant, keeping only the store (the historical helper shape).
+[[nodiscard]] trace::TraceStore load_store(const std::string& path, std::ostream& err);
+
+/// load_store under a "load" span, so every archive-consuming command's
+/// manifest has a depth-1 load phase and `perf diff` can compare load time
+/// across any pair of runs. The span closes after the return value is
+/// constructed (guaranteed copy elision), so it covers the whole load.
+[[nodiscard]] trace::TraceStore load_store_span(const std::string& path, std::ostream& err);
+
+}  // namespace difftrace::cli

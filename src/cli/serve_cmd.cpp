@@ -1,0 +1,186 @@
+// The `serve` and `query` commands: process wiring for the serve subsystem.
+//
+// This file is where the byte-parity contract is closed: the QueryOps handed
+// to serve::Service are thin adapters over the SAME command bodies the cold
+// CLI dispatches to (cli::rank_stores, cli::check_store, cli::make_session,
+// cli::render_diffnlr, cli::load_tolerant) — the daemon cannot drift from
+// `difftrace rank` because they are one implementation. The adapters'
+// only job is translating cli::ArgError (usage, exit 2) into serve::OpError
+// so the typed error crosses the cli/serve layer boundary.
+#include <csignal>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "cli/commands.hpp"
+#include "cli/load.hpp"
+#include "cli/ops.hpp"
+#include "sched/pool.hpp"
+#include "serve/server.hpp"
+#include "util/log.hpp"
+
+namespace difftrace::cli {
+
+namespace {
+
+volatile std::sig_atomic_t g_serve_signal = 0;
+
+void on_serve_signal(int /*sig*/) { g_serve_signal = 1; }
+
+/// Adapter boilerplate: run a cli op body, converting usage errors to the
+/// protocol's typed error.
+template <typename Fn>
+auto guard_usage(Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const ArgError& e) {
+    throw serve::OpError(2, e.what());
+  }
+}
+
+serve::QueryOps make_query_ops() {
+  serve::QueryOps ops;
+  ops.load_archive = [](const std::string& path, std::ostream& chatter) {
+    return guard_usage([&] {
+      auto loaded = load_tolerant(path, chatter);
+      return serve::LoadedArchive{std::move(loaded.store), loaded.salvaged};
+    });
+  };
+  ops.rank = [](const trace::TraceStore& normal, const trace::TraceStore& faulty,
+                const std::vector<std::string>& opts, sched::Cache* cache, std::ostream& out,
+                std::ostream& chatter) {
+    return guard_usage(
+        [&] { return rank_stores(normal, faulty, Args(opts), cache, out, chatter); });
+  };
+  ops.check = [](const trace::TraceStore& store, const std::string& label,
+                 const std::vector<std::string>& opts, const std::string& default_cache_dir,
+                 std::ostream& out, std::ostream& chatter) {
+    return guard_usage(
+        [&] { return check_store(store, label, Args(opts), default_cache_dir, out, chatter); });
+  };
+  ops.make_session = [](const trace::TraceStore& normal, const trace::TraceStore& faulty,
+                        const std::vector<std::string>& opts) {
+    return guard_usage([&] { return make_session(normal, faulty, Args(opts)); });
+  };
+  ops.diff = [](const core::Session& session, const std::string& trace,
+                const std::vector<std::string>& opts, std::ostream& out) {
+    return guard_usage([&] { return render_diffnlr(session, trace, Args(opts), out); });
+  };
+  return ops;
+}
+
+}  // namespace
+
+int cmd_serve(const Args& args, std::ostream& /*out*/, std::ostream& err) {
+  const auto socket_path = args.required("socket");
+
+  serve::ServiceConfig config;
+  config.store_root = args.get_or("store", ".difftrace-store");
+  config.hot_capacity = static_cast<std::size_t>(args.int_or("hot", 8));
+  serve::Service service(config, make_query_ops(), err);
+
+  serve::ServerConfig server;
+  server.jobs = sched::resolve_jobs(jobs_request_from(args));
+  server.idle_timeout_ms = static_cast<int>(args.int_or("idle-timeout-ms", 30'000));
+  server.interrupt = &g_serve_signal;
+
+  // Bind before installing handlers so a bind failure leaves signal
+  // disposition untouched.
+  serve::Listener listener(socket_path);
+  g_serve_signal = 0;
+  const auto prev_int = std::signal(SIGINT, on_serve_signal);
+  const auto prev_term = std::signal(SIGTERM, on_serve_signal);
+  serve::run_server(service, listener, server, err);
+  std::signal(SIGINT, prev_int);
+  std::signal(SIGTERM, prev_term);
+  return 0;
+}
+
+namespace {
+
+/// Client options that configure the query itself (or are claimed by the
+/// operand grammar); everything else is forwarded to the daemon verbatim.
+const std::set<std::string>& reserved_query_options() {
+  static const std::set<std::string> reserved = {
+      "socket", "timeout-ms", "timeout", "retries", "raw",
+      "id",     "name",       "trace",   "stats",   "self-trace",
+  };
+  return reserved;
+}
+
+serve::Request build_request(const Args& args) {
+  serve::Request req;
+  req.op = args.positional_at(1, "operation (ingest, list, rank, check, diff, stats, shutdown)");
+  req.request_id = args.get_or("id", "q1");
+  if (req.op == "ingest") {
+    req.path = args.positional_at(2, "archive path to ingest");
+    req.name = args.get_or("name", "");
+  } else if (req.op == "rank" || req.op == "diff") {
+    req.normal = args.positional_at(2, "normal run name");
+    req.faulty = args.positional_at(3, "faulty run name");
+    if (req.op == "diff") req.trace = args.required("trace");
+  } else if (req.op == "check") {
+    req.run = args.positional_at(2, "run name to check");
+  }
+  for (const auto& [key, value] : args.options()) {
+    if (reserved_query_options().contains(key)) continue;
+    req.opts.push_back(value.empty() ? "--" + key : "--" + key + "=" + value);
+  }
+  return req;
+}
+
+}  // namespace
+
+int cmd_query(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto socket_path = args.required("socket");
+  const auto req = build_request(args);
+  int timeout_ms = static_cast<int>(args.int_or("timeout-ms", 0));
+  if (timeout_ms <= 0) timeout_ms = static_cast<int>(args.int_or("timeout", 0)) * 1000;
+  if (timeout_ms <= 0) timeout_ms = 30'000;
+  const auto retries = static_cast<int>(args.int_or("retries", 5));
+
+  serve::Socket conn;
+  try {
+    conn = serve::connect_with_retry(socket_path, retries, /*backoff_ms=*/50);
+  } catch (const std::exception& e) {
+    util::status_line(err, std::string("query: ") + e.what());
+    return 1;
+  }
+
+  try {
+    std::ostringstream framed;
+    serve::write_request(framed, req);
+    conn.send_all(framed.str());
+    conn.set_recv_timeout_ms(timeout_ms);
+    std::string line;
+    switch (conn.recv_line(line)) {
+      case serve::Socket::RecvStatus::Line: {
+        const auto resp = serve::parse_response(line);
+        if (resp.request_id != req.request_id)
+          util::status_line(err, "query: response echoes request_id '" + resp.request_id +
+                                     "', expected '" + req.request_id + "'");
+        if (args.flag("raw")) {
+          out << line << "\n";
+        } else {
+          out << resp.output;
+          err << resp.chatter;
+          if (resp.status != "ok")
+            util::status_line(err, "query: server error: " + resp.error);
+        }
+        return resp.exit_code;
+      }
+      case serve::Socket::RecvStatus::Timeout:
+        util::status_line(err, "query: no response within " + std::to_string(timeout_ms) + " ms");
+        return 1;
+      case serve::Socket::RecvStatus::Closed:
+        util::status_line(err, "query: connection closed before a response arrived");
+        return 1;
+    }
+  } catch (const std::exception& e) {
+    util::status_line(err, std::string("query: ") + e.what());
+    return 1;
+  }
+  return 1;  // unreachable; switch above covers every status
+}
+
+}  // namespace difftrace::cli

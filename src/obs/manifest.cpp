@@ -9,7 +9,7 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "util/crc32.hpp"
+#include "util/file.hpp"
 #include "util/json.hpp"
 #include "util/str.hpp"
 #include "util/table.hpp"
@@ -32,23 +32,14 @@ std::uint64_t process_cpu_ns() {
 ManifestInput digest_file(const std::string& path) {
   ManifestInput input;
   input.path = path;
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return input;
-  std::vector<char> buffer(1 << 16);
-  std::uint32_t state = util::crc32_init();
-  std::uint64_t total = 0;
-  while (file) {
-    file.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
-    const auto got = file.gcount();
-    if (got <= 0) break;
-    state = util::crc32_update(
-        state, std::span(reinterpret_cast<const std::uint8_t*>(buffer.data()),
-                         static_cast<std::size_t>(got)));
-    total += static_cast<std::uint64_t>(got);
+  try {
+    const auto digest = util::digest_file_bytes(path);
+    input.bytes = digest.bytes;
+    input.crc32 = digest.crc32;
+    input.ok = true;
+  } catch (const std::exception&) {
+    // Unreadable inputs are still recorded by name, just not vouched for.
   }
-  input.bytes = total;
-  input.crc32 = util::crc32_final(state);
-  input.ok = true;
   return input;
 }
 
@@ -79,11 +70,7 @@ RunManifest collect_manifest(std::vector<std::string> command,
 
 namespace {
 
-std::string crc_hex(std::uint32_t crc) {
-  char buf[16];
-  std::snprintf(buf, sizeof(buf), "%08x", crc);
-  return buf;
-}
+std::string crc_hex(std::uint32_t crc) { return util::hex32(crc); }
 
 }  // namespace
 

@@ -27,6 +27,14 @@ namespace difftrace::sched {
 /// Bump when any artifact payload encoding changes shape.
 inline constexpr std::uint64_t kArtifactSchemaVersion = 1;
 
+// Artifact-kind registry. Kinds are defined in the layer that owns the
+// payload encoding; they are listed here so a new kind cannot silently
+// collide with an existing one:
+//   1  core::kArtifactNlr            per-trace NLR program   (core/sweep_cache.hpp)
+//   2  core::kArtifactEval           per-row sweep evaluation (core/sweep_cache.hpp)
+//   3  analyze::kArtifactCheckSummary per-stream check summary (analyze/summary.hpp)
+//   4  serve::kArtifactServeIndex    sharded trace-store index (serve/shard_store.hpp)
+
 /// Little-endian varint/string/f64 payload writer.
 class ArtifactWriter {
  public:

@@ -39,13 +39,58 @@ std::filesystem::path Cache::entry_path(const std::string& key) const {
   return dir_ / (key + kEntryExtension);
 }
 
+void Cache::retain_hot(std::size_t max_entries) {
+  util::MutexLock lock(hot_mu_);
+  hot_capacity_ = max_entries;
+  while (hot_.size() > hot_capacity_) {
+    auto victim = hot_.begin();
+    for (auto it = hot_.begin(); it != hot_.end(); ++it)
+      if (it->second.tick < victim->second.tick) victim = it;
+    hot_.erase(victim);
+  }
+}
+
+std::size_t Cache::hot_entries() const {
+  util::MutexLock lock(hot_mu_);
+  return hot_.size();
+}
+
+void Cache::hot_insert(const std::string& key, std::uint64_t kind,
+                       std::span<const std::uint8_t> payload) {
+  util::MutexLock lock(hot_mu_);
+  if (hot_capacity_ == 0) return;
+  auto& entry = hot_[key];
+  entry.kind = kind;
+  entry.tick = ++hot_tick_;
+  entry.payload.assign(payload.begin(), payload.end());
+  while (hot_.size() > hot_capacity_) {
+    auto victim = hot_.begin();
+    for (auto it = hot_.begin(); it != hot_.end(); ++it)
+      if (it->second.tick < victim->second.tick) victim = it;
+    hot_.erase(victim);
+  }
+}
+
 std::optional<std::vector<std::uint8_t>> Cache::lookup(const std::string& key,
                                                        std::uint64_t kind) {
+  {
+    util::MutexLock lock(hot_mu_);
+    if (hot_capacity_ != 0) {
+      if (const auto it = hot_.find(key); it != hot_.end() && it->second.kind == kind) {
+        it->second.tick = ++hot_tick_;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        obs::counter("sched.cache_hit").add(1);
+        obs::counter("sched.cache_hot_hit").add(1);
+        return it->second.payload;
+      }
+    }
+  }
   auto frame = read_file(entry_path(key));
   if (frame) {
     if (auto payload = open_artifact({frame->data(), frame->size()}, kind)) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       obs::counter("sched.cache_hit").add(1);
+      hot_insert(key, kind, {payload->data(), payload->size()});
       return payload;
     }
   }
@@ -82,6 +127,9 @@ void Cache::store(const std::string& key, std::uint64_t kind,
   } catch (const std::exception&) {
     // Best-effort by contract: a failed store degrades to a future miss.
   }
+  // Freshly computed payloads are the likeliest next lookups in a resident
+  // process; pin them regardless of whether the disk write stuck.
+  hot_insert(key, kind, payload);
 }
 
 CacheStats Cache::stats() const {
@@ -100,6 +148,11 @@ CacheStats Cache::stats() const {
 }
 
 std::size_t Cache::clear() {
+  {
+    // clear() promises subsequent lookups miss; pinned payloads must go too.
+    util::MutexLock lock(hot_mu_);
+    hot_.clear();
+  }
   std::size_t removed = 0;
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {

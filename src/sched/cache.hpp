@@ -17,10 +17,14 @@
 #include <atomic>
 #include <cstdint>
 #include <filesystem>
+#include <map>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace difftrace::sched {
 
@@ -65,18 +69,47 @@ class Cache {
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_.load(); }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_.load(); }
 
+  /// Keeps up to `max_entries` recently served payloads resident in memory,
+  /// so repeat lookups skip the disk read and frame re-verification. Off by
+  /// default (0): a one-shot CLI run never re-reads an entry, only a
+  /// resident process (difftrace serve, the perf benches) benefits. Passing
+  /// 0 disables the layer and drops anything already pinned. The memo is a
+  /// pure read-through copy of what open_artifact() returned, so answers are
+  /// byte-identical with the layer on or off, and hits through it still
+  /// count as cache hits (the hits + misses == lookups invariant holds).
+  void retain_hot(std::size_t max_entries) DT_EXCLUDES(hot_mu_);
+
+  /// Payloads currently pinned by the hot layer (0 when disabled).
+  [[nodiscard]] std::size_t hot_entries() const DT_EXCLUDES(hot_mu_);
+
  private:
   [[nodiscard]] std::filesystem::path entry_path(const std::string& key) const;
 
-  // Lock-free by design: dir_ is immutable after construction and the
-  // counters are independent relaxed atomics, so there is no capability for
-  // thread-safety analysis to track. The invariant worth pinning instead is
-  // hits + misses == lookups (every lookup() increments exactly one counter
-  // on every path); tests/test_sched.cpp asserts it under concurrent mixed
-  // traffic.
+  void hot_insert(const std::string& key, std::uint64_t kind,
+                  std::span<const std::uint8_t> payload) DT_EXCLUDES(hot_mu_);
+
+  // The disk path is lock-free: dir_ is immutable after construction and the
+  // counters are independent relaxed atomics. Only the opt-in hot layer
+  // below takes a lock, and only when enabled. The invariant worth pinning
+  // regardless is hits + misses == lookups (every lookup() increments
+  // exactly one counter on every path); tests/test_sched.cpp asserts it
+  // under concurrent mixed traffic.
   std::filesystem::path dir_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+
+  // In-memory hot layer (retain_hot). LRU over (key, kind) with a monotonic
+  // tick, mirroring serve::HotCache; payload bytes are exactly what the
+  // framed file decodes to, inserted only after a frame check passed.
+  struct HotEntry {
+    std::uint64_t kind = 0;
+    std::uint64_t tick = 0;
+    std::vector<std::uint8_t> payload;
+  };
+  mutable util::Mutex hot_mu_;
+  std::size_t hot_capacity_ DT_GUARDED_BY(hot_mu_) = 0;
+  std::uint64_t hot_tick_ DT_GUARDED_BY(hot_mu_) = 0;
+  std::map<std::string, HotEntry> hot_ DT_GUARDED_BY(hot_mu_);
 };
 
 }  // namespace difftrace::sched

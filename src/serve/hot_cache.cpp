@@ -1,0 +1,69 @@
+#include "serve/hot_cache.hpp"
+
+namespace difftrace::serve {
+
+template <typename T>
+void HotCache::trim(Map<T>& map) {
+  while (map.size() > capacity_) {
+    auto lru = map.begin();
+    for (auto it = map.begin(); it != map.end(); ++it)
+      if (it->second.tick < lru->second.tick) lru = it;
+    map.erase(lru);
+  }
+}
+
+HotCache::StorePtr HotCache::get_store(const std::string& key,
+                                       const std::function<StorePtr()>& build) {
+  {
+    util::MutexLock lock(mu_);
+    if (const auto it = stores_.find(key); it != stores_.end()) {
+      ++store_hits_;
+      it->second.tick = ++tick_;
+      return it->second.value;
+    }
+    ++store_misses_;
+  }
+  auto value = build();  // outside the lock: decodes can take seconds
+  if (capacity_ == 0) return value;
+  util::MutexLock lock(mu_);
+  auto [it, inserted] = stores_.try_emplace(key);
+  if (inserted) it->second.value = value;  // first insert wins
+  it->second.tick = ++tick_;
+  trim(stores_);
+  return it->second.value;
+}
+
+HotCache::SessionPtr HotCache::get_session(const std::string& key,
+                                           const std::function<SessionPtr()>& build) {
+  {
+    util::MutexLock lock(mu_);
+    if (const auto it = sessions_.find(key); it != sessions_.end()) {
+      ++session_hits_;
+      it->second.tick = ++tick_;
+      return it->second.value;
+    }
+    ++session_misses_;
+  }
+  auto value = build();
+  if (capacity_ == 0) return value;
+  util::MutexLock lock(mu_);
+  auto [it, inserted] = sessions_.try_emplace(key);
+  if (inserted) it->second.value = value;
+  it->second.tick = ++tick_;
+  trim(sessions_);
+  return it->second.value;
+}
+
+HotCache::Stats HotCache::stats() const {
+  util::MutexLock lock(mu_);
+  Stats s;
+  s.store_hits = store_hits_;
+  s.store_misses = store_misses_;
+  s.session_hits = session_hits_;
+  s.session_misses = session_misses_;
+  s.stores = stores_.size();
+  s.sessions = sessions_.size();
+  return s;
+}
+
+}  // namespace difftrace::serve

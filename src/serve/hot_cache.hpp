@@ -1,0 +1,84 @@
+// The daemon's in-memory tier above sched::Cache: decoded TraceStores and
+// built core::Sessions pinned as shared_ptrs, keyed by run content (name +
+// archive CRC) so a re-ingested run can never serve stale analysis — its new
+// CRC is a new key and the old entry simply ages out.
+//
+// Answer-parity contract: the cache stores the INPUTS of analysis (stores,
+// sessions), never rendered output. A hit and a miss therefore run the same
+// rendering code over equal values and produce byte-identical responses;
+// what a hit skips is archive decode and NLR construction, which is where
+// the warm-query speedup comes from.
+//
+// get_store/get_session run the builder OUTSIDE the lock (builds take
+// seconds; lookups take microseconds), so concurrent misses may build the
+// same entry twice — the first insert wins and the loser's value is used
+// for its own request then dropped. Correct either way, because builders
+// are deterministic functions of the key.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "trace/store.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace difftrace::serve {
+
+class HotCache {
+ public:
+  /// `capacity` bounds stores and sessions independently (an LRU each);
+  /// 0 disables pinning (every get builds).
+  explicit HotCache(std::size_t capacity) : capacity_(capacity) {}
+
+  using StorePtr = std::shared_ptr<const trace::TraceStore>;
+  using SessionPtr = std::shared_ptr<const core::Session>;
+
+  /// Returns the pinned store for `key`, building (and inserting) on miss.
+  StorePtr get_store(const std::string& key, const std::function<StorePtr()>& build)
+      DT_EXCLUDES(mu_);
+
+  /// Same protocol for built analysis sessions.
+  SessionPtr get_session(const std::string& key, const std::function<SessionPtr()>& build)
+      DT_EXCLUDES(mu_);
+
+  struct Stats {
+    std::uint64_t store_hits = 0;
+    std::uint64_t store_misses = 0;
+    std::uint64_t session_hits = 0;
+    std::uint64_t session_misses = 0;
+    std::size_t stores = 0;
+    std::size_t sessions = 0;
+  };
+  [[nodiscard]] Stats stats() const DT_EXCLUDES(mu_);
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::shared_ptr<const T> value;
+    std::uint64_t tick = 0;
+  };
+  template <typename T>
+  using Map = std::map<std::string, Entry<T>>;
+
+  /// Evicts the least-recently-used entry while over capacity.
+  template <typename T>
+  void trim(Map<T>& map) DT_REQUIRES(mu_);
+
+  const std::size_t capacity_;
+  mutable util::Mutex mu_;
+  std::uint64_t tick_ DT_GUARDED_BY(mu_) = 0;
+  Map<trace::TraceStore> stores_ DT_GUARDED_BY(mu_);
+  Map<core::Session> sessions_ DT_GUARDED_BY(mu_);
+  std::uint64_t store_hits_ DT_GUARDED_BY(mu_) = 0;
+  std::uint64_t store_misses_ DT_GUARDED_BY(mu_) = 0;
+  std::uint64_t session_hits_ DT_GUARDED_BY(mu_) = 0;
+  std::uint64_t session_misses_ DT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace difftrace::serve

@@ -1,0 +1,125 @@
+#include "serve/protocol.hpp"
+
+#include "util/json.hpp"
+
+namespace difftrace::serve {
+
+namespace {
+
+std::string string_field(const util::JsonValue& doc, std::string_view key) {
+  const auto* node = doc.find(key);
+  if (!node) return {};
+  if (node->kind != util::JsonValue::Kind::String)
+    throw OpError(2, "request field '" + std::string(key) + "' must be a string");
+  return node->string;
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  util::JsonValue doc;
+  try {
+    doc = util::parse_json(line);
+  } catch (const std::exception& e) {
+    throw OpError(2, std::string("malformed request: ") + e.what());
+  }
+  if (!doc.is_object()) throw OpError(2, "malformed request: expected a JSON object");
+
+  Request req;
+  req.op = string_field(doc, "op");
+  if (req.op.empty()) throw OpError(2, "request is missing 'op'");
+  req.request_id = string_field(doc, "request_id");
+  req.path = string_field(doc, "path");
+  req.name = string_field(doc, "name");
+  req.run = string_field(doc, "run");
+  req.normal = string_field(doc, "normal");
+  req.faulty = string_field(doc, "faulty");
+  req.trace = string_field(doc, "trace");
+  if (const auto* opts = doc.find("opts")) {
+    if (!opts->is_array()) throw OpError(2, "request field 'opts' must be an array");
+    for (const auto& item : opts->array) {
+      if (item.kind != util::JsonValue::Kind::String)
+        throw OpError(2, "request field 'opts' must contain only strings");
+      req.opts.push_back(item.string);
+    }
+  }
+  return req;
+}
+
+void write_request(std::ostream& out, const Request& req) {
+  {
+    util::JsonWriter json(out, /*indent=*/-1);
+    json.begin_object();
+    json.field("op", req.op);
+    json.field("request_id", req.request_id);
+    if (!req.path.empty()) json.field("path", req.path);
+    if (!req.name.empty()) json.field("name", req.name);
+    if (!req.run.empty()) json.field("run", req.run);
+    if (!req.normal.empty()) json.field("normal", req.normal);
+    if (!req.faulty.empty()) json.field("faulty", req.faulty);
+    if (!req.trace.empty()) json.field("trace", req.trace);
+    if (!req.opts.empty()) {
+      json.key("opts");
+      json.begin_array();
+      for (const auto& opt : req.opts) json.value(opt);
+      json.end_array();
+    }
+    json.end_object();
+  }
+  out << "\n";
+}
+
+void write_response(std::ostream& out, const Response& resp) {
+  {
+    util::JsonWriter json(out, /*indent=*/-1);
+    json.begin_object();
+    json.field("serve_version", resp.serve_version);
+    json.field("request_id", resp.request_id);
+    json.field("op", resp.op);
+    json.field("status", resp.status);
+    json.field("exit_code", resp.exit_code);
+    json.field("tool_version", resp.tool_version);
+    json.key("command");
+    json.begin_array();
+    for (const auto& token : resp.command) json.value(token);
+    json.end_array();
+    json.field("wall_ns", resp.wall_ns);
+    json.field("cpu_ns", resp.cpu_ns);
+    json.field("peak_rss_kb", resp.peak_rss_kb);
+    json.field("output", resp.output);
+    json.field("chatter", resp.chatter);
+    if (resp.status == "error") json.field("error", resp.error);
+    for (const auto& [key, raw] : resp.extras) {
+      json.key(key);
+      json.raw_value(raw);
+    }
+    json.end_object();
+  }
+  out << "\n";
+}
+
+Response parse_response(const std::string& line) {
+  const auto doc = util::parse_json(line);
+  if (!doc.is_object()) throw std::runtime_error("malformed response: expected a JSON object");
+  Response resp;
+  resp.serve_version = doc.at("serve_version").as_uint();
+  if (resp.serve_version != kServeVersion)
+    throw std::runtime_error("serve_version mismatch: daemon speaks v" +
+                             std::to_string(resp.serve_version) + ", client expects v" +
+                             std::to_string(kServeVersion));
+  resp.request_id = doc.at("request_id").as_string();
+  resp.op = doc.at("op").as_string();
+  resp.status = doc.at("status").as_string();
+  resp.exit_code = static_cast<int>(doc.at("exit_code").as_int());
+  resp.tool_version = doc.at("tool_version").as_string();
+  for (const auto& token : doc.at("command").array) resp.command.push_back(token.as_string());
+  resp.wall_ns = doc.at("wall_ns").as_uint();
+  resp.cpu_ns = doc.at("cpu_ns").as_uint();
+  resp.peak_rss_kb = doc.at("peak_rss_kb").as_uint();
+  resp.output = doc.at("output").as_string();
+  resp.chatter = doc.at("chatter").as_string();
+  if (const auto* error = doc.find("error")) resp.error = error->as_string();
+  return resp;
+}
+
+}  // namespace difftrace::serve

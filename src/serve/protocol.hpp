@@ -1,0 +1,90 @@
+// The serve wire protocol: line-delimited JSON over a local socket, one
+// request document per line in, one response document per line out.
+//
+// Requests name an operation (ingest, list, rank, check, diff, stats,
+// shutdown) plus its operands; analysis options travel as an `opts` array of
+// raw "--key=value" CLI tokens so the daemon can hand them to the SAME
+// option parsers the cold CLI uses — byte-identical answers fall out of the
+// shared parser, not a parallel schema.
+//
+// Every response carries `serve_version` plus the RunManifest v1 shared
+// fields (tool_version, command, exit_code, wall_ns, cpu_ns, peak_rss_kb) so
+// tools/check_manifest.py --serve validates a response stream with the same
+// typed-field checks it applies to manifests. Responses never interleave:
+// result text is in `output`, stderr-style chatter in `chatter`.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace difftrace::serve {
+
+/// Bump when any response field changes meaning or shape.
+inline constexpr std::uint64_t kServeVersion = 1;
+
+/// A typed operation failure: carried to the client as an error response
+/// with this exit code (2 = usage mistake, 1 = operation failure), matching
+/// the exit codes the cold CLI would produce for the same input.
+class OpError : public std::runtime_error {
+ public:
+  OpError(int exit_code, const std::string& message)
+      : std::runtime_error(message), exit_code_(exit_code) {}
+
+  [[nodiscard]] int exit_code() const noexcept { return exit_code_; }
+
+ private:
+  int exit_code_;
+};
+
+struct Request {
+  std::string op;          // ingest | list | rank | check | diff | stats | shutdown
+  std::string request_id;  // client-chosen correlation id, echoed verbatim
+  std::string path;        // ingest: archive file to read
+  std::string name;        // ingest: run name (default: archive stem)
+  std::string run;         // check: ingested run to verify
+  std::string normal;      // rank/diff: baseline run
+  std::string faulty;      // rank/diff: faulty run
+  std::string trace;       // diff: P.T trace label
+  std::vector<std::string> opts;  // raw "--key=value" / "--flag" CLI tokens
+};
+
+struct Response {
+  std::uint64_t serve_version = kServeVersion;
+  std::string request_id;
+  std::string op;
+  std::string status;  // "ok" | "error"
+  int exit_code = 0;
+  std::string tool_version;
+  std::vector<std::string> command;  // equivalent cold-CLI argv
+  std::uint64_t wall_ns = 0;
+  std::uint64_t cpu_ns = 0;
+  std::uint64_t peak_rss_kb = 0;
+  std::string output;   // the command's stdout, verbatim
+  std::string chatter;  // the command's stderr-style chatter, verbatim
+  std::string error;    // human-readable failure (status == "error" only)
+  /// Op-specific structured payload: (key, raw JSON value) pairs appended to
+  /// the response object (e.g. ingest's "run", list's "runs").
+  std::vector<std::pair<std::string, std::string>> extras;
+};
+
+/// Parses one request line. Throws OpError(2) on malformed JSON, a missing
+/// `op`, or a non-string/array field — the server answers with an error
+/// response rather than dropping the connection.
+[[nodiscard]] Request parse_request(const std::string& line);
+
+/// Writes `req` as exactly one line: a compact JSON document plus '\n'.
+/// Empty operand fields are omitted (the parser treats absent and "" alike).
+void write_request(std::ostream& out, const Request& req);
+
+/// Writes `resp` as exactly one line: a compact JSON document plus '\n'.
+void write_response(std::ostream& out, const Response& resp);
+
+/// Parses a response line back into the struct (client and tests). Throws
+/// std::runtime_error on malformed input or a serve_version mismatch.
+[[nodiscard]] Response parse_response(const std::string& line);
+
+}  // namespace difftrace::serve

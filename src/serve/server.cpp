@@ -1,0 +1,88 @@
+#include "serve/server.hpp"
+
+#include <memory>
+#include <optional>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "sched/pool.hpp"
+#include "util/log.hpp"
+
+namespace difftrace::serve {
+
+namespace {
+
+/// Receive-slice granularity: short enough that a connection notices daemon
+/// shutdown promptly, long enough to stay off the scheduler's back.
+constexpr int kRecvSliceMs = 250;
+
+}  // namespace
+
+void serve_connection(Service& service, Socket& conn, int idle_timeout_ms) {
+  conn.set_recv_timeout_ms(kRecvSliceMs);
+  int idle_ms = 0;
+  std::string line;
+  while (!service.shutdown_requested()) {
+    switch (conn.recv_line(line)) {
+      case Socket::RecvStatus::Line: {
+        idle_ms = 0;
+        const auto resp = service.handle_line(line);
+        std::ostringstream framed;
+        write_response(framed, resp);
+        conn.send_all(framed.str());
+        break;
+      }
+      case Socket::RecvStatus::Timeout:
+        idle_ms += kRecvSliceMs;
+        if (idle_timeout_ms > 0 && idle_ms >= idle_timeout_ms) return;
+        break;
+      case Socket::RecvStatus::Closed:
+        return;
+    }
+  }
+}
+
+void run_server(Service& service, Listener& listener, const ServerConfig& config,
+                std::ostream& log) {
+  util::status_line(log, "[serve] listening on " + listener.path() + " (" +
+                             std::to_string(config.jobs) + " job(s))");
+  // Pool scope: destroying the pool after the accept loop drains the queue
+  // and joins the workers, so every accepted connection is fully served
+  // (including the shutdown response itself) before run_server returns.
+  std::optional<sched::Pool> pool;
+  if (config.jobs > 1) pool.emplace(config.jobs);
+  while (!service.shutdown_requested()) {
+    if (config.interrupt && *config.interrupt) {
+      util::status_line(log, "[serve] signal received; shutting down");
+      service.request_shutdown();
+      break;
+    }
+    auto accepted = listener.accept_for(/*timeout_ms=*/100);
+    if (!accepted) continue;
+    if (pool) {
+      // std::function requires copyable ticks; the connection rides in a
+      // shared_ptr. Ticks must not throw (pool workers have no handler) —
+      // a connection failure is counted and the connection dropped.
+      auto conn = std::make_shared<Socket>(std::move(*accepted));
+      const int idle = config.idle_timeout_ms;
+      pool->post("serve", [&service, conn, idle]() {
+        try {
+          serve_connection(service, *conn, idle);
+        } catch (const std::exception&) {
+          obs::counter("serve.connection_errors").add(1);
+        }
+      });
+    } else {
+      try {
+        serve_connection(service, *accepted, config.idle_timeout_ms);
+      } catch (const std::exception& e) {
+        obs::counter("serve.connection_errors").add(1);
+        util::status_line(log, std::string("[serve] connection error: ") + e.what());
+      }
+    }
+  }
+  pool.reset();  // drain in-flight connections before announcing exit
+  util::status_line(log, "[serve] shutdown complete");
+}
+
+}  // namespace difftrace::serve

@@ -1,0 +1,41 @@
+// The daemon's accept loop: connections in, Service answers out.
+//
+// Concurrency model: with jobs > 1 each accepted connection becomes one
+// sched::Pool tick that serves the whole connection (requests on one
+// connection are answered in order; distinct connections run concurrently,
+// which is what makes concurrent ingest + query real). jobs == 1 serves
+// connections inline on the accept thread — the deterministic debug mode.
+// Service's internals (shard store, hot cache, artifact cache) carry the
+// thread-safety contract; ticks never let an exception escape (connection
+// failures are counted and the connection dropped).
+#pragma once
+
+#include <csignal>
+#include <ostream>
+
+#include "serve/service.hpp"
+#include "serve/socket.hpp"
+
+namespace difftrace::serve {
+
+struct ServerConfig {
+  std::size_t jobs = 1;  // resolved (>= 1); jobs-1 pool workers serve connections
+  /// Per-connection idle cutoff; a client silent this long is dropped.
+  /// <= 0 disables the cutoff.
+  int idle_timeout_ms = 30'000;
+  /// Optional signal-delivery flag (set by a SIGINT/SIGTERM handler in the
+  /// hosting process); a nonzero value shuts the daemon down as if a
+  /// shutdown request had been answered.
+  const volatile std::sig_atomic_t* interrupt = nullptr;
+};
+
+/// Serves one connection to completion (peer close, idle cutoff, or daemon
+/// shutdown). Exposed for tests; run_server wraps it per accepted socket.
+void serve_connection(Service& service, Socket& conn, int idle_timeout_ms);
+
+/// Accepts and serves until a shutdown request has been answered; returns
+/// after all in-flight connections finished. `log` receives daemon chatter.
+void run_server(Service& service, Listener& listener, const ServerConfig& config,
+                std::ostream& log);
+
+}  // namespace difftrace::serve

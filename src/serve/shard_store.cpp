@@ -1,0 +1,208 @@
+#include "serve/shard_store.hpp"
+
+#include <cstdio>
+#include <system_error>
+#include <thread>
+#include <utility>
+
+#include "sched/artifact.hpp"
+#include "serve/protocol.hpp"
+#include "util/file.hpp"
+
+namespace difftrace::serve {
+
+namespace fs = std::filesystem;
+
+ShardStore::ShardStore(fs::path root) : root_(std::move(root)) {
+  fs::create_directories(root_ / "tmp");
+  for (std::uint32_t shard = 0; shard < kShardCount; ++shard) fs::create_directories(shard_dir(shard));
+  util::MutexLock lock(index_mu_);
+  if (!load_index()) {
+    // A brand-new store legitimately has no index yet; only report a rebuild
+    // when there was something to recover (a defective index, leftover
+    // staging files, or orphaned archives).
+    std::error_code ec;
+    const bool pristine = !fs::exists(index_path(), ec);
+    rebuild_index();
+    persist_index();
+    rebuilt_ = !pristine || !runs_.empty();
+  }
+}
+
+bool ShardStore::valid_run_name(const std::string& name) {
+  if (name.empty() || name.size() > 200 || name.front() == '.') return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+fs::path ShardStore::shard_dir(std::uint32_t shard) const {
+  char label[3];
+  std::snprintf(label, sizeof(label), "%02u", shard % kShardCount);
+  return root_ / "shards" / label;
+}
+
+fs::path ShardStore::archive_path(const RunInfo& run) const {
+  return shard_dir(run.shard) / (run.name + ".dtrc");
+}
+
+RunInfo ShardStore::ingest(const std::string& name, const trace::TraceStore& store, bool salvaged) {
+  if (!valid_run_name(name))
+    throw OpError(2, "invalid run name '" + name + "' (allowed: [A-Za-z0-9._-], no leading dot)");
+
+  // Stage under a caller-unique name so concurrent ingests of the same run
+  // never write the same staging file; the shard-directory rename below is
+  // the single commit point.
+  const auto tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  const auto staging = root_ / "tmp" / (name + "." + std::to_string(tid) + ".part");
+  store.save(staging.string());
+
+  RunInfo info;
+  info.name = name;
+  info.salvaged = salvaged;
+  const auto stats = store.stats();
+  info.traces = stats.trace_count;
+  info.events = stats.total_events;
+  try {
+    const auto digest = util::digest_file_bytes(staging.string());
+    info.bytes = digest.bytes;
+    info.crc32 = digest.crc32;
+    info.shard = digest.crc32 % kShardCount;
+    {
+      util::MutexLock lock(shard_mu_[info.shard]);
+      fs::rename(staging, archive_path(info));
+    }
+  } catch (...) {
+    std::error_code ec;
+    fs::remove(staging, ec);
+    throw;
+  }
+
+  std::optional<RunInfo> replaced;
+  {
+    util::MutexLock lock(index_mu_);
+    if (const auto it = runs_.find(name); it != runs_.end()) replaced = it->second;
+    runs_[name] = info;
+    persist_index();
+  }
+  // A re-ingest that landed in a different shard leaves the old archive
+  // behind; remove it outside the index lock (shard + index locks are never
+  // nested) — harmless if a concurrent re-ingest already did.
+  if (replaced && replaced->shard != info.shard) {
+    util::MutexLock lock(shard_mu_[replaced->shard]);
+    std::error_code ec;
+    fs::remove(archive_path(*replaced), ec);
+  }
+  return info;
+}
+
+std::optional<RunInfo> ShardStore::lookup(const std::string& name) const {
+  util::MutexLock lock(index_mu_);
+  const auto it = runs_.find(name);
+  if (it == runs_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<RunInfo> ShardStore::list() const {
+  util::MutexLock lock(index_mu_);
+  std::vector<RunInfo> runs;
+  runs.reserve(runs_.size());
+  for (const auto& [name, info] : runs_) runs.push_back(info);
+  return runs;
+}
+
+std::size_t ShardStore::size() const {
+  util::MutexLock lock(index_mu_);
+  return runs_.size();
+}
+
+bool ShardStore::load_index() {
+  std::vector<std::uint8_t> frame;
+  try {
+    frame = util::read_file_bytes(index_path().string());
+  } catch (const std::exception&) {
+    return false;
+  }
+  const auto payload = sched::open_artifact(frame, kArtifactServeIndex);
+  if (!payload) return false;
+  std::map<std::string, RunInfo> runs;
+  try {
+    sched::ArtifactReader reader(*payload);
+    const auto count = reader.get_u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      RunInfo info;
+      info.name = reader.get_str();
+      info.crc32 = reader.get_u32();
+      info.shard = reader.get_u32();
+      info.bytes = reader.get_u64();
+      info.traces = reader.get_u64();
+      info.events = reader.get_u64();
+      info.salvaged = reader.get_bool();
+      runs[info.name] = info;
+    }
+    if (!reader.at_end()) return false;
+  } catch (const std::out_of_range&) {
+    return false;
+  }
+  // The index is only trusted when the shards agree with it: an entry whose
+  // archive vanished (or changed size) means the daemon died mid-mutation —
+  // rebuild from disk instead of serving phantom runs.
+  for (const auto& [name, info] : runs) {
+    std::error_code ec;
+    if (info.shard >= kShardCount || fs::file_size(archive_path(info), ec) != info.bytes || ec)
+      return false;
+  }
+  runs_ = std::move(runs);
+  return true;
+}
+
+void ShardStore::rebuild_index() {
+  runs_.clear();
+  for (std::uint32_t shard = 0; shard < kShardCount; ++shard) {
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(shard_dir(shard), ec)) {
+      if (!entry.is_regular_file() || entry.path().extension() != ".dtrc") continue;
+      RunInfo info;
+      info.name = entry.path().stem().string();
+      info.shard = shard;  // trust placement; CRC is provenance, not an address
+      try {
+        const auto digest = util::digest_file_bytes(entry.path().string());
+        info.bytes = digest.bytes;
+        info.crc32 = digest.crc32;
+        const auto salvage = trace::TraceStore::salvage(entry.path().string());
+        if (salvage.store.size() == 0) continue;  // nothing recoverable: not a run
+        info.salvaged = !salvage.report.ok();
+        const auto stats = salvage.store.stats();
+        info.traces = stats.trace_count;
+        info.events = stats.total_events;
+      } catch (const std::exception&) {
+        continue;  // unreadable file: skip, never fail the rebuild
+      }
+      runs_[info.name] = info;
+    }
+  }
+  // Staging leftovers are pre-commit by definition; a rebuild is the
+  // recovery point where they are known dead.
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_ / "tmp", ec)) fs::remove(entry.path(), ec);
+}
+
+void ShardStore::persist_index() {
+  sched::ArtifactWriter writer;
+  writer.put_u64(runs_.size());
+  for (const auto& [name, info] : runs_) {
+    writer.put_str(info.name);
+    writer.put_u32(info.crc32);
+    writer.put_u32(info.shard);
+    writer.put_u64(info.bytes);
+    writer.put_u64(info.traces);
+    writer.put_u64(info.events);
+    writer.put_bool(info.salvaged);
+  }
+  util::write_file_atomic(index_path().string(), sched::seal_artifact(kArtifactServeIndex, writer.bytes()));
+}
+
+}  // namespace difftrace::serve

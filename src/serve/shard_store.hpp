@@ -1,0 +1,114 @@
+// The daemon's on-disk run store: ingested archives spread over a fixed set
+// of shard directories (shard = CRC-32 of the archive bytes mod kShardCount)
+// with one persisted index mapping run names to their shard and content
+// digest.
+//
+// Layout under the store root:
+//   shards/00 .. shards/15/   <name>.dtrc archives, canonical v2 framing
+//   tmp/                      staging area (*.part); ingest renames out of it
+//   index.dta                 framed artifact (kind 4) listing every run
+//
+// Durability contract: the index is a CACHE of the shard directories, never
+// the source of truth. It is written atomically (tmp + rename) after every
+// mutation, and ANY defect on open — missing file, bad frame, entry whose
+// archive is gone — triggers a full rebuild from the shards on disk, exactly
+// like a defective sched::Cache entry is a miss, never an error. A daemon
+// killed mid-ingest leaves at worst a stale *.part (cleared on rebuild) and
+// an index one rename behind (rebuilt).
+//
+// Locking: one util::Mutex per shard serializes renames into that shard
+// directory, one index mutex guards the in-memory map + index file. A shard
+// lock and the index lock are never held together, so lock order cannot
+// cycle. All annotated; -Wthread-safety -Werror proves the contract.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/store.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace difftrace::serve {
+
+/// Artifact kind for the persisted shard index (see the registry in
+/// sched/artifact.hpp).
+inline constexpr std::uint64_t kArtifactServeIndex = 4;
+
+/// Fixed shard fan-out. Changing this re-homes archives; the rebuild path
+/// trusts the directory a file is found in, so an old layout still opens.
+inline constexpr std::uint32_t kShardCount = 16;
+
+/// One ingested run, as recorded in the index.
+struct RunInfo {
+  std::string name;
+  std::uint32_t crc32 = 0;  // CRC-32 of the stored archive bytes
+  std::uint32_t shard = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t traces = 0;
+  std::uint64_t events = 0;
+  bool salvaged = false;  // the INGESTED source was damaged (store is clean)
+};
+
+class ShardStore {
+ public:
+  /// Opens (creating directories as needed) the store at `root`. A missing
+  /// or defective index is rebuilt from the shard directories; stale *.part
+  /// staging files are removed. Throws std::runtime_error only on I/O
+  /// failures that make the root unusable.
+  explicit ShardStore(std::filesystem::path root);
+
+  /// Run names are path components; restrict them to a filesystem- and
+  /// protocol-safe alphabet: [A-Za-z0-9._-], non-empty, no leading dot.
+  [[nodiscard]] static bool valid_run_name(const std::string& name);
+
+  /// Saves `store` into the shard chosen by its canonical archive CRC and
+  /// updates the index. Re-ingesting an existing name replaces it (the old
+  /// archive is removed, even across shards). Safe to call concurrently for
+  /// distinct or identical names. Throws OpError(2) on an invalid name,
+  /// std::runtime_error on I/O failure.
+  RunInfo ingest(const std::string& name, const trace::TraceStore& store, bool salvaged)
+      DT_EXCLUDES(index_mu_);
+
+  [[nodiscard]] std::optional<RunInfo> lookup(const std::string& name) const
+      DT_EXCLUDES(index_mu_);
+
+  /// All runs in name order.
+  [[nodiscard]] std::vector<RunInfo> list() const DT_EXCLUDES(index_mu_);
+
+  [[nodiscard]] std::size_t size() const DT_EXCLUDES(index_mu_);
+
+  /// Absolute path of a run's archive.
+  [[nodiscard]] std::filesystem::path archive_path(const RunInfo& run) const;
+
+  [[nodiscard]] const std::filesystem::path& root() const noexcept { return root_; }
+
+  /// True when open found no usable index and rebuilt it from the shards.
+  [[nodiscard]] bool rebuilt_on_open() const noexcept { return rebuilt_; }
+
+ private:
+  [[nodiscard]] std::filesystem::path shard_dir(std::uint32_t shard) const;
+  [[nodiscard]] std::filesystem::path index_path() const { return root_ / "index.dta"; }
+
+  /// True when index.dta exists, frames correctly, and every listed archive
+  /// is present with the recorded size.
+  bool load_index() DT_REQUIRES(index_mu_);
+  /// Rescans shards/*/ *.dtrc, recomputing digests and per-run statistics
+  /// (salvage-tolerant), and clears tmp/.
+  void rebuild_index() DT_REQUIRES(index_mu_);
+  void persist_index() DT_REQUIRES(index_mu_);
+
+  std::filesystem::path root_;
+  bool rebuilt_ = false;
+
+  mutable std::array<util::Mutex, kShardCount> shard_mu_;  // per-shard rename serialization
+  mutable util::Mutex index_mu_;
+  std::map<std::string, RunInfo> runs_ DT_GUARDED_BY(index_mu_);
+};
+
+}  // namespace difftrace::serve

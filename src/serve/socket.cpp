@@ -1,0 +1,190 @@
+#include "serve/socket.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace difftrace::serve {
+
+namespace {
+
+#ifdef MSG_NOSIGNAL
+constexpr int kSendFlags = MSG_NOSIGNAL;  // dead peer -> EPIPE, not SIGPIPE
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("socket path too long (" + std::to_string(path.size()) + " > " +
+                             std::to_string(sizeof(addr.sun_path) - 1) + " bytes): " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+int connect_fd(const std::string& path) {
+  const auto addr = make_addr(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+Socket::Socket(Socket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+void Socket::set_recv_timeout_ms(int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0)
+    throw_errno("setsockopt(SO_RCVTIMEO)");
+}
+
+Socket::RecvStatus Socket::recv_line(std::string& line) {
+  for (;;) {
+    if (const auto pos = buffer_.find('\n'); pos != std::string::npos) {
+      line.assign(buffer_, 0, pos);
+      buffer_.erase(0, pos + 1);
+      return RecvStatus::Line;
+    }
+    char chunk[4096];
+    const auto got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got == 0) return RecvStatus::Closed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return RecvStatus::Timeout;
+    throw_errno("recv");
+  }
+}
+
+void Socket::send_all(std::string_view data) {
+  while (!data.empty()) {
+    const auto sent = ::send(fd_, data.data(), data.size(), kSendFlags);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    data.remove_prefix(static_cast<std::size_t>(sent));
+  }
+}
+
+Listener::Listener(std::string path) : path_(std::move(path)) {
+  const auto addr = make_addr(path_);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EADDRINUSE) {
+      const int saved = errno;
+      ::close(fd_);
+      fd_ = -1;
+      errno = saved;
+      throw_errno("bind '" + path_ + "'");
+    }
+    // Distinguish a live daemon from a crashed one's leftover file: only a
+    // connect that actually fails proves the path is dead and reclaimable.
+    if (const int probe = connect_fd(path_); probe >= 0) {
+      ::close(probe);
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error("another daemon is already serving '" + path_ + "'");
+    }
+    ::unlink(path_.c_str());
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const int saved = errno;
+      ::close(fd_);
+      fd_ = -1;
+      errno = saved;
+      throw_errno("bind '" + path_ + "'");
+    }
+  }
+  if (::listen(fd_, 64) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    ::unlink(path_.c_str());
+    errno = saved;
+    throw_errno("listen '" + path_ + "'");
+  }
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+  ::unlink(path_.c_str());
+}
+
+std::optional<Socket> Listener::accept_for(int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return std::nullopt;
+    throw_errno("poll");
+  }
+  if (ready == 0) return std::nullopt;
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN || errno == EWOULDBLOCK)
+      return std::nullopt;
+    throw_errno("accept");
+  }
+  return Socket(fd);
+}
+
+Socket connect_socket(const std::string& path) {
+  const int fd = connect_fd(path);
+  if (fd < 0) throw_errno("connect '" + path + "'");
+  return Socket(fd);
+}
+
+Socket connect_with_retry(const std::string& path, int attempts, int backoff_ms) {
+  int delay = backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    const int fd = connect_fd(path);
+    if (fd >= 0) return Socket(fd);
+    if (attempt >= attempts) throw_errno("connect '" + path + "'");
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    delay = delay < 1000 ? delay * 2 : delay;  // doubling, capped
+  }
+}
+
+}  // namespace difftrace::serve

@@ -1,0 +1,82 @@
+// Minimal AF_UNIX stream transport for the serve protocol: an RAII
+// connection (Socket) with line-oriented receive, and an RAII listener that
+// owns the socket file. POSIX-only, like the rest of the daemon; everything
+// above this file is transport-agnostic (Service is plain request/response).
+//
+// Stale-socket policy: a leftover socket file from a crashed daemon is
+// reclaimed (connect probe fails -> unlink + rebind), but a LIVE daemon on
+// the same path is an error — two daemons must never share a store.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace difftrace::serve {
+
+/// One connected stream endpoint.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+  /// Applies SO_RCVTIMEO so recv_line can time out (0 = block forever).
+  void set_recv_timeout_ms(int ms);
+
+  enum class RecvStatus {
+    Line,     // a complete line was produced
+    Timeout,  // the receive timeout elapsed with no complete line
+    Closed,   // peer closed (an unterminated trailing fragment is dropped)
+  };
+
+  /// Reads up to the next '\n' (stripped). Throws std::runtime_error on a
+  /// hard socket error.
+  RecvStatus recv_line(std::string& line);
+
+  /// Writes all of `data`; throws std::runtime_error when the peer is gone.
+  void send_all(std::string_view data);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // received bytes past the last returned line
+};
+
+/// Bound + listening daemon endpoint; unlinks the socket file on destruction.
+class Listener {
+ public:
+  /// Throws std::runtime_error when the path is too long for sun_path, a
+  /// live daemon already serves it, or bind/listen fail.
+  explicit Listener(std::string path);
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Waits up to `timeout_ms` for one connection; nullopt on timeout.
+  /// Throws std::runtime_error on a hard accept error.
+  [[nodiscard]] std::optional<Socket> accept_for(int timeout_ms);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Connects to a daemon socket; throws std::runtime_error on failure.
+[[nodiscard]] Socket connect_socket(const std::string& path);
+
+/// connect_socket with a bounded retry: `attempts` tries with doubling
+/// backoff starting at `backoff_ms` (for clients racing daemon startup).
+[[nodiscard]] Socket connect_with_retry(const std::string& path, int attempts, int backoff_ms);
+
+}  // namespace difftrace::serve

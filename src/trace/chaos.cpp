@@ -4,6 +4,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/file.hpp"
 #include "util/prng.hpp"
 
 namespace difftrace::trace {
@@ -142,16 +143,19 @@ ChaosResult chaos_random(std::span<const std::uint8_t> archive, std::uint64_t se
 }
 
 std::vector<std::uint8_t> chaos_read_file(const std::filesystem::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("chaos: cannot open " + path.string());
-  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+  try {
+    return util::read_file_bytes(path);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("chaos: ") + e.what());
+  }
 }
 
 void chaos_write_file(const std::filesystem::path& path, std::span<const std::uint8_t> bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("chaos: cannot open " + path.string());
-  out.write(reinterpret_cast<const char*>(bytes.data()), static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw std::runtime_error("chaos: write failed for " + path.string());
+  try {
+    util::write_file_bytes(path, bytes);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("chaos: ") + e.what());
+  }
 }
 
 }  // namespace difftrace::trace

@@ -1,0 +1,66 @@
+#include "util/file.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "util/crc32.hpp"
+
+namespace difftrace::util {
+
+std::vector<std::uint8_t> read_file_bytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file_bytes(const std::filesystem::path& path, std::span<const std::uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open " + path.string());
+  out.write(reinterpret_cast<const char*>(bytes.data()), static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("write failed for " + path.string());
+}
+
+void write_file_atomic(const std::filesystem::path& path, std::span<const std::uint8_t> bytes) {
+  // Thread-unique staging name: concurrent writers to the same destination
+  // must not interleave into one temporary; rename() then publishes whole
+  // files only (last writer wins).
+  std::ostringstream tmp_name;
+  tmp_name << path.filename().string() << ".tmp." << std::this_thread::get_id();
+  const auto tmp_path = path.parent_path() / tmp_name.str();
+  try {
+    write_file_bytes(tmp_path, bytes);
+    std::filesystem::rename(tmp_path, path);
+  } catch (const std::exception&) {
+    std::error_code ec;
+    std::filesystem::remove(tmp_path, ec);
+    throw;
+  }
+}
+
+FileDigest digest_file_bytes(const std::filesystem::path& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("cannot open " + path.string());
+  std::vector<char> buffer(1 << 16);
+  std::uint32_t state = crc32_init();
+  FileDigest digest;
+  while (file) {
+    file.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    const auto got = file.gcount();
+    if (got <= 0) break;
+    state = crc32_update(state, std::span(reinterpret_cast<const std::uint8_t*>(buffer.data()),
+                                          static_cast<std::size_t>(got)));
+    digest.bytes += static_cast<std::uint64_t>(got);
+  }
+  digest.crc32 = crc32_final(state);
+  return digest;
+}
+
+std::string hex32(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", v);
+  return buf;
+}
+
+}  // namespace difftrace::util

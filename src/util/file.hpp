@@ -1,0 +1,44 @@
+// Whole-file byte I/O shared by the layers that move archives and framed
+// artifacts around (trace/chaos, sched/cache, serve's sharded store).
+//
+// The write side distinguishes plain writes from *atomic publishes*:
+// write_file_atomic stages the bytes in a thread-uniquely named sibling and
+// renames it over the destination, so a reader (or a crashed writer) can
+// never observe a half-written file — torn output is either the old file or
+// a leftover staging file that recovery scans ignore.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace difftrace::util {
+
+/// Reads an entire file; throws std::runtime_error when it cannot be opened.
+[[nodiscard]] std::vector<std::uint8_t> read_file_bytes(const std::filesystem::path& path);
+
+/// Writes (truncating) an entire file; throws std::runtime_error on failure.
+void write_file_bytes(const std::filesystem::path& path, std::span<const std::uint8_t> bytes);
+
+/// Atomic publish: writes to a thread-uniquely named temporary sibling and
+/// renames it over `path`. Throws std::runtime_error on failure, removing
+/// the temporary first; on success the destination transitions atomically
+/// from its previous content (or absence) to `bytes`.
+void write_file_atomic(const std::filesystem::path& path, std::span<const std::uint8_t> bytes);
+
+/// Size + CRC-32 of a file, computed streaming (no whole-file buffer).
+struct FileDigest {
+  std::uint64_t bytes = 0;
+  std::uint32_t crc32 = 0;
+};
+
+/// Throws std::runtime_error when the file cannot be opened.
+[[nodiscard]] FileDigest digest_file_bytes(const std::filesystem::path& path);
+
+/// Lower-case zero-padded "%08x" rendering — the digest spelling used by
+/// run manifests and serve responses.
+[[nodiscard]] std::string hex32(std::uint32_t v);
+
+}  // namespace difftrace::util

@@ -33,6 +33,7 @@ void write_json_string(std::ostream& out, std::string_view s) {
 // --- JsonWriter --------------------------------------------------------------
 
 void JsonWriter::newline_indent() {
+  if (indent_ < 0) return;  // compact mode: one line, no whitespace framing
   out_ << '\n';
   for (std::size_t i = 0; i < stack_.size() * static_cast<std::size_t>(indent_); ++i) out_ << ' ';
 }

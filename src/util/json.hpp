@@ -28,6 +28,9 @@ void write_json_string(std::ostream& out, std::string_view s);
 /// debug builds only — the producers are all difftrace code.
 class JsonWriter {
  public:
+  /// `indent` < 0 selects compact mode: the document is emitted on a single
+  /// line with no newlines or indentation — the framing used by
+  /// line-delimited protocols (serve responses are one document per line).
   explicit JsonWriter(std::ostream& out, int indent = 2) : out_(out), indent_(indent) {}
 
   void begin_object();

@@ -1,0 +1,18 @@
+// Seeded violations for serve-protocol-discipline: ambient process-stream
+// writes inside a src/serve/-scoped file. The daemon speaks a framed
+// line-delimited protocol; results belong in Response::output, chatter in
+// Response::chatter or the injected log sink, never on the process streams.
+#include <cstdio>
+#include <iostream>
+
+namespace difftrace::serve {
+
+inline void announce_bad() {
+  std::cerr << "daemon chatter on stderr\n";
+}
+
+inline void log_bad(int code) {
+  fprintf(stderr, "exit %d\n", code);
+}
+
+}  // namespace difftrace::serve

@@ -374,6 +374,55 @@ TEST(Cache, EveryLookupOutcomeCountsExactlyOnce) {
   EXPECT_EQ(cache.misses(), 2u);
 }
 
+// The opt-in hot layer (retain_hot) serves repeat lookups from memory: same
+// bytes, same hit accounting, no disk dependence once pinned. Off by default.
+TEST(Cache, RetainHotServesFromMemoryWithIdenticalBytes) {
+  TempDir dir;
+  Cache cache(dir.path);
+  EXPECT_EQ(cache.hot_entries(), 0u);  // disabled until opted in
+
+  cache.retain_hot(2);
+  const std::vector<std::uint8_t> payload = {9, 8, 7};
+  cache.store("aaaaaaaaaaaaaaaa", 1, payload);
+  EXPECT_EQ(cache.hot_entries(), 1u);  // store() pins fresh payloads
+
+  // Remove the backing file: a pinned entry must still hit, byte-identical.
+  fs::remove(dir.path / "aaaaaaaaaaaaaaaa.dta");
+  const auto found = cache.lookup("aaaaaaaaaaaaaaaa", 1);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, payload);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // Wrong kind never aliases through the memo: defect contract says miss.
+  EXPECT_FALSE(cache.lookup("aaaaaaaaaaaaaaaa", 2).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // LRU eviction at capacity 2: inserting two more evicts "aaaa..." (its
+  // backing file is already gone, so the eviction shows up as a miss).
+  cache.store("bbbbbbbbbbbbbbbb", 1, payload);
+  cache.store("cccccccccccccccc", 1, payload);
+  EXPECT_EQ(cache.hot_entries(), 2u);
+  fs::remove(dir.path / "cccccccccccccccc.dta");
+  EXPECT_TRUE(cache.lookup("cccccccccccccccc", 1).has_value());  // still pinned
+  EXPECT_FALSE(cache.lookup("aaaaaaaaaaaaaaaa", 1).has_value());  // evicted + gone
+
+  // A disk hit re-pins: lookup through the file populates the memo.
+  cache.store("dddddddddddddddd", 1, payload);
+  cache.retain_hot(0);  // disable drops everything pinned
+  EXPECT_EQ(cache.hot_entries(), 0u);
+  cache.retain_hot(2);
+  EXPECT_TRUE(cache.lookup("dddddddddddddddd", 1).has_value());  // from disk
+  fs::remove(dir.path / "dddddddddddddddd.dta");
+  EXPECT_TRUE(cache.lookup("dddddddddddddddd", 1).has_value());  // now pinned
+
+  // clear() empties the hot layer too: nothing survives it.
+  cache.clear();
+  EXPECT_EQ(cache.hot_entries(), 0u);
+  EXPECT_FALSE(cache.lookup("dddddddddddddddd", 1).has_value());
+
+  EXPECT_EQ(cache.hits() + cache.misses(), 7u);  // invariant holds throughout
+}
+
 TEST(Cache, ConcurrentLookupStoreIsSafe) {
   TempDir dir;
   Cache cache(dir.path);

@@ -11,7 +11,13 @@ enforced, not just described.
 
 Usage: tools/check_manifest.py MANIFEST.json
            [--min-coverage 0.95] [--require-counter NAME ...]
+       tools/check_manifest.py SESSION.jsonl --serve [--expect-ids q1,q2,...]
 Exit code: 0 when the manifest validates, 1 otherwise (problems on stderr).
+
+`--serve` switches to the resident-service contract: the input is a
+line-delimited transcript of `difftrace serve` responses (one JSON object
+per line, e.g. collected with `difftrace query --raw`), each carrying
+`serve_version`, the request_id echo, and the shared RunManifest fields.
 
 Stdlib only — no third-party JSON-schema machinery.
 """
@@ -187,6 +193,99 @@ def check_manifest(doc: object, min_coverage: float, required_counters: list[str
     return problems.messages
 
 
+SERVE_OPS = ("ingest", "list", "rank", "check", "diff", "stats", "shutdown")
+
+
+def check_serve_response(doc: object, where: str, expect_ids: list[str] | None,
+                         index: int) -> list[str]:
+    """Validate one serve protocol response object (serve::Response)."""
+    problems = Problems()
+    if not isinstance(doc, dict):
+        return [f"{where}: not an object"]
+
+    version = problems.expect(doc, "serve_version", int, where)
+    if version is not None and version != 1:
+        problems.add(f"{where}: unsupported serve_version {version}")
+
+    request_id = problems.expect(doc, "request_id", str, where)
+    if request_id == "":
+        problems.add(f"{where}: request_id must echo the request (empty)")
+    if expect_ids is not None and index < len(expect_ids):
+        if request_id is not None and request_id != expect_ids[index]:
+            problems.add(
+                f"{where}: request_id '{request_id}' != expected '{expect_ids[index]}'"
+            )
+
+    status = problems.expect(doc, "status", str, where)
+    if status is not None and status not in ("ok", "error"):
+        problems.add(f"{where}: status '{status}' is not ok/error")
+
+    op = problems.expect(doc, "op", str, where)
+    if op is not None and op not in SERVE_OPS:
+        # An unparseable request cannot echo an op; that is only legal on an
+        # error response.
+        if not (op == "" and status == "error"):
+            problems.add(f"{where}: unknown op '{op}'")
+
+    exit_code = problems.expect(doc, "exit_code", int, where)
+    if status == "error" and exit_code == 0:
+        problems.add(f"{where}: status 'error' with exit_code 0")
+    if status == "error":
+        error = problems.expect(doc, "error", str, where)
+        if error == "":
+            problems.add(f"{where}: status 'error' but 'error' message is empty")
+    elif "error" in doc:
+        problems.add(f"{where}: status 'ok' must omit the 'error' field")
+
+    # Shared RunManifest v1 fields: same names, same types as --stats output.
+    problems.expect(doc, "tool_version", str, where)
+    command = problems.expect(doc, "command", list, where)
+    if command is not None and not all(isinstance(c, str) for c in command):
+        problems.add(f"{where}: command entries must be strings")
+    for key in ("wall_ns", "cpu_ns", "peak_rss_kb"):
+        value = problems.expect(doc, key, int, where)
+        if value is not None and value < 0:
+            problems.add(f"{where}: {key} {value} is negative")
+
+    problems.expect(doc, "output", str, where)
+    problems.expect(doc, "chatter", str, where)
+    # Op-specific extras ("run", "runs", "serve", ...) are inlined as extra
+    # top-level keys; their schemas are additive and not pinned here.
+    return problems.messages
+
+
+def check_serve(path: str, expect_ids: list[str] | None) -> tuple[list[str], int]:
+    """Validate a line-delimited serve session transcript. Each line must be
+    one complete JSON response object (the framing IS the contract: a reply
+    that spills across lines breaks every line-oriented client)."""
+    problems: list[str] = []
+    responses = 0
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        return [f"cannot read {path}: {e}"], 0
+    for i, line in enumerate(lines):
+        where = f"line {i + 1}"
+        if not line.strip():
+            problems.append(f"{where}: blank line inside a response stream")
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as e:
+            problems.append(f"{where}: not valid JSON ({e})")
+            continue
+        problems.extend(check_serve_response(doc, where, expect_ids, responses))
+        responses += 1
+    if responses == 0:
+        problems.append("no responses found (empty session transcript)")
+    if expect_ids is not None and responses != len(expect_ids):
+        problems.append(
+            f"expected {len(expect_ids)} response(s) for --expect-ids, found {responses}"
+        )
+    return problems, responses
+
+
 PERFDIFF_VERDICTS = ("unchanged", "improved", "regressed", "added", "removed")
 
 
@@ -275,6 +374,18 @@ def main() -> int:
         help="validate `difftrace perf diff --json` output instead of a run manifest",
     )
     parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="validate a line-delimited serve session transcript (one JSON "
+        "response per line, as collected via `difftrace query --raw`)",
+    )
+    parser.add_argument(
+        "--expect-ids",
+        default=None,
+        metavar="ID,ID,...",
+        help="with --serve: comma-separated request_ids the responses must echo, in order",
+    )
+    parser.add_argument(
         "--min-coverage",
         type=float,
         default=0.0,
@@ -288,6 +399,20 @@ def main() -> int:
         help="counter that must be present (repeatable)",
     )
     args = parser.parse_args()
+
+    if args.serve:
+        expect_ids = args.expect_ids.split(",") if args.expect_ids else None
+        serve_problems, responses = check_serve(args.manifest, expect_ids)
+        if serve_problems:
+            for message in serve_problems:
+                print(f"check_manifest: {message}", file=sys.stderr)
+            print(
+                f"check_manifest: {args.manifest}: {len(serve_problems)} problem(s)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"check_manifest: {args.manifest}: serve ok ({responses} response(s))")
+        return 0
 
     try:
         with open(args.manifest, encoding="utf-8") as f:

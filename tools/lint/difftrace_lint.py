@@ -314,6 +314,38 @@ def _scan_obs_sink(lines: list[str]) -> Iterable[tuple[int, str]]:
             yield i, "ambient stream write in the obs layer (emit through the explicit std::ostream& sink; chatter belongs to the caller)"
 
 
+# --- serve-protocol-discipline --------------------------------------------
+# The serve daemon's contract is "one JSON document per line on the socket,
+# chatter only on streams the host passes in". ANY ambient process-stream
+# write inside src/serve/ — stdout or stderr, iostream or stdio — either
+# corrupts protocol framing (a stray line between responses) or escapes the
+# response's `chatter` capture, so a client loses daemon output it was
+# promised. Results travel in Response::output, chatter in
+# Response::chatter, daemon-side logging through the std::ostream& the
+# hosting command wires (the CLI points it at its own err stream).
+# stream-discipline already bans the stdout half everywhere; this rule adds
+# the stderr/FILE* half for the one directory that speaks a framed protocol.
+
+_SERVE_PROTOCOL_RE = re.compile(
+    r"std\s*::\s*cout"
+    r"|std\s*::\s*cerr"
+    r"|std\s*::\s*clog"
+    r"|(?<![\w:.>])printf\s*\("
+    r"|(?<![\w:.>])fprintf\s*\("
+    r"|(?<![\w:.>])fputs\s*\("
+    r"|(?<![\w:.>])fputc\s*\("
+    r"|(?<![\w:.>])puts\s*\("
+    r"|(?<![\w:.>])putchar\s*\("
+    r"|(?<![\w:.>])perror\s*\("
+)
+
+
+def _scan_serve_protocol(lines: list[str]) -> Iterable[tuple[int, str]]:
+    for i, line in enumerate(lines, start=1):
+        if _SERVE_PROTOCOL_RE.search(line):
+            yield i, "ambient process-stream write in the serve layer (route results into Response::output/chatter and logging through the injected std::ostream& sink)"
+
+
 # --------------------------------------------------------------------------
 
 RULES: list[Rule] = [
@@ -364,6 +396,12 @@ RULES: list[Rule] = [
         "no ambient stream writes (std::cerr/fprintf/...) inside src/obs/",
         exempt=lambda p: not _has_dir(p, "obs"),
         scan=_scan_obs_sink,
+    ),
+    Rule(
+        "serve-protocol-discipline",
+        "no ambient process-stream writes (stdout or stderr) inside src/serve/",
+        exempt=lambda p: not _has_dir(p, "serve"),
+        scan=_scan_serve_protocol,
     ),
     Rule(
         "raw-mutex",

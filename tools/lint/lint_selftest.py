@@ -39,6 +39,10 @@ EXPECTED: dict[str, set[tuple[str, int]]] = {
     # on src/analyze/ (resp. src/obs/).
     "analyze/bad_ir_first.cpp": {("ir-first-analysis", 18), ("ir-first-analysis", 24)},
     "obs/bad_obs_stream.cpp": {("obs-sink-discipline", 11), ("obs-sink-discipline", 15)},
+    "serve/bad_serve_protocol.cpp": {
+        ("serve-protocol-discipline", 11),
+        ("serve-protocol-discipline", 15),
+    },
     "clean.cpp": set(),
     "suppressed.cpp": set(),
 }

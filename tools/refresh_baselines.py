@@ -27,6 +27,7 @@ BASELINES = {
     "BENCH_sweep.json": "bench/perf_sweep",
     "BENCH_check.json": "bench/perf_check",
     "BENCH_matrix.json": "bench/perf_matrix",
+    "BENCH_serve.json": "bench/perf_serve",
 }
 
 
