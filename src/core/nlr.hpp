@@ -143,6 +143,10 @@ class NlrBuilder {
   LoopTable& table_;
   NlrConfig config_;
   NlrProgram stack_;
+  /// Reused lookup key for try_known_fold: assigning into it is
+  /// amortized-allocation-free, where constructing a fresh NlrBody per
+  /// probe allocated on every push (found by dtsa's alloc-in-hot-path).
+  NlrBody probe_;
 };
 
 /// Convenience: reduce a whole token sequence.

@@ -1,0 +1,102 @@
+#include "dtsa/analyzer.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "dtsa/callgraph.hpp"
+#include "dtsa/index.hpp"
+#include "sched/pool.hpp"
+
+namespace difftrace::dtsa {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool source_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".hh" || ext == ".h" ||
+         ext == ".cxx" || ext == ".hxx";
+}
+
+bool skip_dir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == "build" || (!name.empty() && name[0] == '.');
+}
+
+void collect(const fs::path& root, const fs::path& base, std::vector<std::string>& out) {
+  if (!fs::exists(base)) throw std::runtime_error("dtsa: no such path: " + base.string());
+  if (fs::is_regular_file(base)) {
+    if (source_extension(base))
+      out.push_back(fs::relative(base, root).generic_string());
+    return;
+  }
+  for (auto it = fs::recursive_directory_iterator(base);
+       it != fs::recursive_directory_iterator(); ++it) {
+    if (it->is_directory()) {
+      if (skip_dir(it->path())) it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && source_extension(it->path()))
+      out.push_back(fs::relative(it->path(), root).generic_string());
+  }
+}
+
+std::string read_text(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) throw std::runtime_error("dtsa: cannot read " + p.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+}  // namespace
+
+AnalyzeResult analyze(const AnalyzeOptions& options) {
+  const fs::path root(options.root);
+  if (!fs::exists(root)) throw std::runtime_error("dtsa: no such root: " + options.root);
+
+  std::vector<std::string> files;
+  if (options.paths.empty()) {
+    collect(root, root, files);
+  } else {
+    for (const std::string& p : options.paths) collect(root, root / p, files);
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  // Index files in parallel into order-indexed slots: the merge below sees
+  // the same sequence at any job count.
+  std::vector<FileIndex> slots(files.size());
+  sched::Pool pool(sched::resolve_jobs(static_cast<std::size_t>(std::max(options.jobs, 0))));
+  pool.parallel_for(files.size(), [&](std::size_t i) {
+    slots[i] = index_file(files[i], read_text(root / files[i]));
+  });
+
+  AnalyzeResult result;
+  result.files = files.size();
+  for (const FileIndex& fi : slots) {
+    result.functions += fi.functions.size();
+    for (const std::string& note : fi.notes) result.notes.push_back(fi.file + ": " + note);
+  }
+  std::sort(result.notes.begin(), result.notes.end());
+
+  const CallGraph graph = CallGraph::build(std::move(slots));
+  std::vector<Finding> findings = run_rules(graph, options.rules);
+  result.findings = filter_suppressed(graph, std::move(findings), &result.suppressed);
+  return result;
+}
+
+void render_text(std::ostream& out, const AnalyzeResult& result) {
+  for (const Finding& f : result.findings)
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+  for (const std::string& note : result.notes) out << "note: " << note << "\n";
+  out << "dtsa: " << result.findings.size() << " finding(s), " << result.suppressed
+      << " suppressed, " << result.functions << " function(s) in " << result.files
+      << " file(s)\n";
+}
+
+}  // namespace difftrace::dtsa

@@ -1,0 +1,39 @@
+// dtsa analyzer driver: discovers source files, indexes them (in parallel
+// when --jobs allows — per-file results land in order-indexed slots, so the
+// merged graph and therefore the output are byte-identical at any job
+// count), builds the call graph and runs the rules.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "dtsa/rules.hpp"
+
+namespace difftrace::dtsa {
+
+struct AnalyzeOptions {
+  std::string root = ".";          // paths in output are relative to this
+  std::vector<std::string> paths;  // subpaths to scan; empty = the root itself
+  int jobs = 1;                    // 0 = hardware concurrency (sched::resolve_jobs)
+  RuleConfig rules;
+};
+
+struct AnalyzeResult {
+  std::vector<Finding> findings;  // post-suppression, sorted, deduplicated
+  std::size_t suppressed = 0;
+  std::size_t files = 0;
+  std::size_t functions = 0;
+  std::vector<std::string> notes;  // lexer damage notes, "file: note"
+};
+
+/// Runs the full pipeline. Throws std::runtime_error on unusable input
+/// (missing root, unreadable file).
+[[nodiscard]] AnalyzeResult analyze(const AnalyzeOptions& options);
+
+/// Deterministic text report: one "file:line: [rule] message" per finding
+/// plus a one-line summary.
+void render_text(std::ostream& out, const AnalyzeResult& result);
+
+}  // namespace difftrace::dtsa

@@ -1,0 +1,207 @@
+#include "dtsa/callgraph.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace difftrace::dtsa {
+
+namespace {
+
+std::string_view last_component(std::string_view qualified) {
+  const auto pos = qualified.rfind("::");
+  return pos == std::string_view::npos ? qualified : qualified.substr(pos + 2);
+}
+
+/// Receiver stem for member-call filtering: last chain component, trailing
+/// underscores stripped, lowercased ("shard_store_" -> "shard_store").
+std::string receiver_stem(std::string_view receiver) {
+  const auto pos = receiver.rfind("::");
+  std::string_view tail = pos == std::string_view::npos ? receiver : receiver.substr(pos + 2);
+  while (!tail.empty() && tail.back() == '_') tail.remove_suffix(1);
+  std::string out(tail);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+/// Does the receiver spelling plausibly name an instance of `cls`?
+/// "store" ~ "TraceStore", "cache" ~ "Cache", "decoder" ~ "SymbolDecoder";
+/// but "cv" !~ "Comm" and "done" !~ "Cache" — this is what keeps the
+/// last-component fallback from aliasing std members (atomic `store`,
+/// condition-variable `wait`) onto unrelated repo methods.
+bool receiver_matches_class(const std::string& stem, std::string_view cls) {
+  // One-letter receivers are loop variables of unknown type (`b.store(0)`
+  // over atomics); matching them against everything aliases std members
+  // onto repo methods, so unjudgeable means no edge.
+  if (stem.size() < 2) return false;
+  std::string c(cls);
+  for (char& ch : c) ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  std::string flat = stem;
+  flat.erase(std::remove(flat.begin(), flat.end(), '_'), flat.end());
+  return c.find(flat) != std::string::npos || flat.find(c) != std::string::npos;
+}
+
+std::vector<std::string> split_scopes(std::string_view qualified) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= qualified.size()) {
+    const auto pos = qualified.find("::", start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(qualified.substr(start));
+      break;
+    }
+    parts.emplace_back(qualified.substr(start, pos - start));
+    start = pos + 2;
+  }
+  return parts;
+}
+
+}  // namespace
+
+CallGraph CallGraph::build(std::vector<FileIndex> files) {
+  CallGraph g;
+  std::sort(files.begin(), files.end(),
+            [](const FileIndex& a, const FileIndex& b) { return a.file < b.file; });
+
+  // Collect annotation declarations (header DT_REQUIRES) by qualified name.
+  std::map<std::string, std::vector<std::string>> decl_requires;
+  for (const FileIndex& fi : files)
+    for (const AnnotationDecl& a : fi.annotations) {
+      auto& dst = decl_requires[a.qualified];
+      dst.insert(dst.end(), a.requires_mutexes.begin(), a.requires_mutexes.end());
+    }
+
+  // One node per (qualified, file): same-file overloads merge (their token
+  // spans stay disjoint, so lock-region containment remains exact); same
+  // name in different files stays separate so findings carry the right file.
+  std::map<std::pair<std::string, std::string>, std::size_t> slot;
+  for (FileIndex& fi : files) {
+    for (FunctionInfo& fn : fi.functions) {
+      const auto key = std::make_pair(fn.qualified, fn.file);
+      const auto it = slot.find(key);
+      if (it == slot.end()) {
+        slot.emplace(key, g.nodes_.size());
+        g.nodes_.push_back(Node{std::move(fn), {}});
+      } else {
+        FunctionInfo& dst = g.nodes_[it->second].fn;
+        dst.hot = dst.hot || fn.hot;
+        dst.line = std::min(dst.line, fn.line);
+        dst.end_line = std::max(dst.end_line, fn.end_line);
+        dst.calls.insert(dst.calls.end(), fn.calls.begin(), fn.calls.end());
+        dst.sites.insert(dst.sites.end(), fn.sites.begin(), fn.sites.end());
+        dst.locks.insert(dst.locks.end(), fn.locks.begin(), fn.locks.end());
+        dst.requires_mutexes.insert(dst.requires_mutexes.end(), fn.requires_mutexes.begin(),
+                                    fn.requires_mutexes.end());
+      }
+    }
+    fi.functions.clear();
+  }
+  std::sort(g.nodes_.begin(), g.nodes_.end(), [](const Node& a, const Node& b) {
+    if (a.fn.qualified != b.fn.qualified) return a.fn.qualified < b.fn.qualified;
+    return a.fn.file < b.fn.file;
+  });
+
+  // Name lookup: exact qualified name -> sorted node ids.
+  std::map<std::string, std::vector<std::uint32_t>> by_exact;
+  std::map<std::string, std::vector<std::uint32_t>> by_last;
+  for (std::uint32_t id = 0; id < g.nodes_.size(); ++id) {
+    Node& n = g.nodes_[id];
+    by_exact[n.fn.qualified].push_back(id);
+    by_last[std::string(last_component(n.fn.qualified))].push_back(id);
+    g.by_name_.emplace(n.fn.qualified, id);  // first (lowest) id wins
+    // Merge header-declared DT_REQUIRES into the definition.
+    if (const auto it = decl_requires.find(n.fn.qualified); it != decl_requires.end())
+      n.fn.requires_mutexes.insert(n.fn.requires_mutexes.end(), it->second.begin(),
+                                   it->second.end());
+    std::sort(n.fn.requires_mutexes.begin(), n.fn.requires_mutexes.end());
+    n.fn.requires_mutexes.erase(
+        std::unique(n.fn.requires_mutexes.begin(), n.fn.requires_mutexes.end()),
+        n.fn.requires_mutexes.end());
+  }
+
+  // Resolve call sites to edges.
+  for (Node& n : g.nodes_) {
+    const std::vector<std::string> scopes = [&] {
+      const auto pos = n.fn.qualified.rfind("::");
+      return pos == std::string::npos ? std::vector<std::string>{}
+                                      : split_scopes(n.fn.qualified.substr(0, pos));
+    }();
+    for (const CallSite& cs : n.fn.calls) {
+      const std::vector<std::uint32_t>* targets = nullptr;
+      if (!cs.member) {
+        // Scope walk, innermost first: A::B::f, A::f, f.
+        for (std::size_t keep = scopes.size() + 1; keep-- > 0 && !targets;) {
+          std::string cand;
+          for (std::size_t s = 0; s < keep; ++s) {
+            cand += scopes[s];
+            cand += "::";
+          }
+          cand += cs.name;
+          if (const auto it = by_exact.find(cand); it != by_exact.end()) targets = &it->second;
+        }
+      }
+      std::vector<std::uint32_t> filtered;
+      if (!targets && cs.member) {
+        // Member calls resolve by last component against every indexed
+        // method of that name, filtered by receiver/class-name plausibility
+        // (over-approximate, but not so much that std::atomic's `store`
+        // aliases sched::Cache::store). Plain calls get no such fallback
+        // (it would alias std::move onto any repo `move`).
+        const std::string tail{last_component(cs.name)};
+        if (const auto it = by_last.find(tail); it != by_last.end()) {
+          if (cs.receiver == "this" || cs.receiver.empty()) {
+            // `this->f()` or an anonymous receiver (`arr[i].f()`,
+            // `make().f()`): only the caller's own class is plausible —
+            // keeping every candidate here is how std::atomic's `store` on
+            // an array element would alias sched::Cache::store.
+            const auto dot = n.fn.qualified.rfind("::");
+            const std::string self =
+                dot == std::string::npos ? "" : n.fn.qualified.substr(0, dot) + "::" + tail;
+            for (const std::uint32_t id : it->second)
+              if (g.nodes_[id].fn.qualified == self) filtered.push_back(id);
+          } else {
+            const std::string stem = receiver_stem(cs.receiver);
+            for (const std::uint32_t id : it->second) {
+              const std::string& q = g.nodes_[id].fn.qualified;
+              const auto mpos = q.rfind("::");
+              if (mpos == std::string::npos) continue;
+              const std::string_view prefix(q.data(), mpos);
+              if (receiver_matches_class(stem, last_component(prefix)))
+                filtered.push_back(id);
+            }
+          }
+          if (!filtered.empty()) targets = &filtered;
+        }
+      }
+      if (!targets) continue;  // external: effects covered by site extraction
+      for (const std::uint32_t callee : *targets)
+        n.edges.push_back(CallEdge{callee, cs.line, cs.tok});
+    }
+    std::sort(n.edges.begin(), n.edges.end(), [](const CallEdge& a, const CallEdge& b) {
+      if (a.tok != b.tok) return a.tok < b.tok;
+      return a.callee < b.callee;
+    });
+    n.edges.erase(std::unique(n.edges.begin(), n.edges.end(),
+                              [](const CallEdge& a, const CallEdge& b) {
+                                return a.tok == b.tok && a.callee == b.callee;
+                              }),
+                  n.edges.end());
+  }
+
+  g.files_ = std::move(files);
+  return g;
+}
+
+int CallGraph::find(const std::string& qualified) const {
+  const auto it = by_name_.find(qualified);
+  return it == by_name_.end() ? -1 : static_cast<int>(it->second);
+}
+
+const std::map<std::uint32_t, std::set<std::string>>& CallGraph::nolint(
+    const std::string& file) const {
+  static const std::map<std::uint32_t, std::set<std::string>> kEmpty;
+  for (const FileIndex& fi : files_)
+    if (fi.file == file) return fi.nolint;
+  return kEmpty;
+}
+
+}  // namespace difftrace::dtsa

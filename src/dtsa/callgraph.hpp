@@ -1,0 +1,64 @@
+// dtsa call graph: merges per-file indexes (index.hpp) into a whole-repo
+// graph of resolved call edges. Resolution is name-based and deliberately
+// over-approximate where C++ would need types:
+//
+//  - Plain calls resolve by scope walk: for a caller in scope A::B, the
+//    spelled name `f` tries A::B::f, A::f, f (and each suffix-qualified
+//    spelling like `util::f` tries A::util::f, util::f, ...). First hit by
+//    longest scope prefix wins; overloads collapse into one node.
+//  - Member calls (`x.f(...)`) resolve by last-component match against every
+//    indexed method named `f` — an over-approximation that errs toward
+//    reporting (rules allow per-line NOLINT-DT when it is too eager).
+//  - Unresolved calls are external (std::, libc) and produce no edge; their
+//    effects are covered by the site classification in the indexer.
+//
+// All node and edge orderings are deterministic (sorted by qualified name /
+// file / token), which is what makes dtsa output byte-stable across runs
+// and at any --jobs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dtsa/index.hpp"
+
+namespace difftrace::dtsa {
+
+/// One resolved call edge, anchored at the caller's call site.
+struct CallEdge {
+  std::uint32_t callee = 0;  // node id
+  std::uint32_t line = 0;    // call-site line in the caller's file
+  std::uint32_t tok = 0;     // call-site token index (lock-span containment)
+};
+
+/// One function node in the whole-repo graph.
+struct Node {
+  FunctionInfo fn;                  // merged definition facts
+  std::vector<CallEdge> edges;      // resolved outgoing calls, deterministic order
+};
+
+class CallGraph {
+ public:
+  /// Builds the graph from per-file indexes. `files` may arrive in any
+  /// order; the graph sorts everything internally.
+  static CallGraph build(std::vector<FileIndex> files);
+
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<FileIndex>& files() const { return files_; }
+
+  /// Node id by exact qualified name, or -1.
+  [[nodiscard]] int find(const std::string& qualified) const;
+
+  /// The per-file NOLINT map for a display path (empty map when unknown).
+  [[nodiscard]] const std::map<std::uint32_t, std::set<std::string>>& nolint(
+      const std::string& file) const;
+
+ private:
+  std::vector<Node> nodes_;                  // sorted by fn.qualified
+  std::vector<FileIndex> files_;             // sorted by file; functions cleared
+  std::map<std::string, std::uint32_t> by_name_;
+};
+
+}  // namespace difftrace::dtsa

@@ -1,0 +1,779 @@
+#include "dtsa/index.hpp"
+
+#include <algorithm>
+#include <array>
+#include <optional>
+
+namespace difftrace::dtsa {
+
+namespace {
+
+using Toks = std::vector<Token>;
+
+bool is_kw(const Token& t, std::string_view kw) {
+  return t.kind == TokKind::kIdentifier && t.text == kw;
+}
+
+bool is_p(const Token& t, std::string_view p) {
+  return t.kind == TokKind::kPunct && t.text == p;
+}
+
+/// Keywords that can never be a callee or a declared type; seeing one as a
+/// "name(" means control flow, not a call.
+constexpr std::string_view kNotCallable[] = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "alignas", "decltype", "static_assert", "noexcept", "throw", "new",
+    "delete", "co_return", "co_await", "co_yield", "typeid", "requires",
+    "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast",
+    "defined", "assert", "goto", "case", "do", "else", "try", "using",
+};
+
+/// Keywords after which an identifier still starts a fresh expression chain
+/// (as opposed to a preceding identifier that makes it a declared name).
+constexpr std::string_view kChainAfter[] = {
+    "return", "co_return", "co_await", "co_yield", "throw", "case", "else",
+    "do", "goto", "const", "constexpr", "consteval", "constinit", "static",
+    "inline", "extern", "virtual", "explicit", "friend", "mutable",
+    "volatile", "thread_local", "typename", "public", "private", "protected",
+    "new",
+};
+
+bool in(std::string_view needle, const auto& haystack) {
+  return std::find(std::begin(haystack), std::end(haystack), needle) != std::end(haystack);
+}
+
+/// Direct blocking operations by spelled last name: syscalls, sleeps,
+/// filesystem mutations, socket ops, and the pool's blocking wait. CondVar
+/// waits are deliberately absent — cv.wait(mu) releases the annotated lock
+/// by design (see util/mutex.hpp).
+constexpr std::string_view kBlockingNames[] = {
+    "sleep", "usleep", "nanosleep", "sleep_for", "sleep_until", "poll",
+    "select", "epoll_wait", "accept", "connect", "bind", "listen", "recv",
+    "send", "recvfrom", "sendto", "system", "popen", "fopen", "fsync",
+    "fdatasync", "rename", "remove_all", "create_directory",
+    "create_directories", "copy_file", "resize_file", "wait_for_progress",
+};
+
+/// Bare-call blocking syscalls: only when spelled unqualified and
+/// non-member (`read(fd, ...)`), so `store.read(...)` methods stay legal.
+constexpr std::string_view kBareBlockingNames[] = {"read", "write", "open", "close", "unlink"};
+
+/// Stream-object types whose construction is file IO.
+constexpr std::string_view kStreamTypes[] = {"ifstream", "ofstream", "fstream"};
+
+/// Allocation by spelled name. `reserve` is deliberately absent: it is the
+/// remedy the alloc-in-hot-path rule asks for, not the disease.
+constexpr std::string_view kAllocFree[] = {"make_unique", "make_shared", "to_string"};
+constexpr std::string_view kAllocMember[] = {"push_back", "emplace_back", "emplace",
+                                             "insert", "resize", "append"};
+
+/// Receivers whose `.decode(...)` is the strict, unbounded codec entry.
+bool is_decoder_receiver(std::string_view recv) {
+  const auto last = recv.rfind("::");
+  const std::string_view tail = last == std::string_view::npos ? recv : recv.substr(last + 2);
+  return tail == "decoder" || tail == "codec" || tail == "decoder_" || tail == "codec_" ||
+         tail == "dec" || tail == "dec_";
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream helpers
+// ---------------------------------------------------------------------------
+
+/// Skips a balanced template-argument list starting at `i` (toks[i] == "<").
+/// Returns the index just past the matching ">" or nullopt when this is not
+/// a template argument list (expression comparison, unbalanced, too long).
+/// ">>" closes two levels — that is the nested-template case.
+std::optional<std::size_t> skip_template_args(const Toks& toks, std::size_t i) {
+  int angle = 0;
+  int paren = 0;
+  const std::size_t limit = std::min(toks.size(), i + 160);
+  for (std::size_t j = i; j < limit; ++j) {
+    const Token& t = toks[j];
+    if (t.kind == TokKind::kPunct) {
+      const std::string& p = t.text;
+      if (p == "(") ++paren;
+      else if (p == ")") {
+        if (paren == 0) return std::nullopt;
+        --paren;
+      } else if (paren == 0) {
+        if (p == "<") ++angle;
+        else if (p == ">") {
+          if (--angle == 0) return j + 1;
+        } else if (p == ">>") {
+          angle -= 2;
+          if (angle == 0) return j + 1;
+          if (angle < 0) return std::nullopt;
+        } else if (p == ";" || p == "{" || p == "}" || p == "&&" || p == "||" || p == "<<")
+          return std::nullopt;
+      }
+    } else if (t.kind == TokKind::kPreproc) {
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+struct Chain {
+  std::string text;        // full spelling: "std::make_unique", "~Pool"
+  std::string last;        // last component: "make_unique"
+  std::size_t end = 0;     // index just past the chain (before template args)
+  std::size_t after = 0;   // index just past chain AND template args
+};
+
+/// Parses an id-expression chain at `i`: [~]ident(::[~]ident)* with
+/// operator-function names ("operator<<", "operator()", "operator bool")
+/// and trailing template arguments skipped into `after`.
+std::optional<Chain> parse_chain(const Toks& toks, std::size_t i) {
+  Chain c;
+  std::size_t j = i;
+  bool first = true;
+  while (j < toks.size()) {
+    std::string comp;
+    if (is_p(toks[j], "~") && j + 1 < toks.size() && toks[j + 1].kind == TokKind::kIdentifier) {
+      comp = "~" + toks[j + 1].text;
+      j += 2;
+    } else if (toks[j].kind == TokKind::kIdentifier) {
+      comp = toks[j].text;
+      ++j;
+      if (comp == "operator" && j < toks.size()) {
+        if (toks[j].kind == TokKind::kPunct && !is_p(toks[j], "(") ) {
+          comp += toks[j].text;
+          ++j;
+          // operator[] / operator() spell as two tokens.
+          if ((comp == "operator[" && j < toks.size() && is_p(toks[j], "]"))) {
+            comp += toks[j].text;
+            ++j;
+          }
+        } else if (is_p(toks[j], "(") && j + 1 < toks.size() && is_p(toks[j + 1], ")")) {
+          comp += "()";
+          j += 2;
+        } else if (toks[j].kind == TokKind::kIdentifier) {
+          comp += " " + toks[j].text;  // conversion operator
+          ++j;
+        } else if (toks[j].kind == TokKind::kString && j + 1 < toks.size() &&
+                   toks[j + 1].kind == TokKind::kIdentifier) {
+          comp += "\"\"" + toks[j + 1].text;  // user-defined literal
+          j += 2;
+        }
+      }
+    } else {
+      break;
+    }
+    if (!first) c.text += "::";
+    c.text += comp;
+    c.last = comp;
+    first = false;
+    // Optional template arguments between components: Foo<int>::bar.
+    std::size_t next = j;
+    if (next < toks.size() && is_p(toks[next], "<")) {
+      if (const auto past = skip_template_args(toks, next)) {
+        if (*past < toks.size() && is_p(toks[*past], "::")) next = *past;
+      }
+    }
+    if (next < toks.size() && is_p(toks[next], "::") && next + 1 < toks.size() &&
+        (toks[next + 1].kind == TokKind::kIdentifier || is_p(toks[next + 1], "~"))) {
+      j = next + 1;
+      continue;
+    }
+    break;
+  }
+  if (first) return std::nullopt;
+  c.end = j;
+  c.after = j;
+  if (j < toks.size() && is_p(toks[j], "<")) {
+    if (const auto past = skip_template_args(toks, j)) c.after = *past;
+  }
+  return c;
+}
+
+/// Walks a receiver chain backwards from `j` (the token before `.`/`->`).
+std::string receiver_before(const Toks& toks, std::size_t dot) {
+  if (dot == 0) return "";
+  std::size_t j = dot - 1;
+  if (toks[j].kind != TokKind::kIdentifier) return "";
+  std::size_t start = j;
+  while (start >= 2 && is_p(toks[start - 1], "::") && toks[start - 2].kind == TokKind::kIdentifier)
+    start -= 2;
+  std::string out;
+  for (std::size_t k = start; k <= j; ++k) {
+    if (!out.empty() && toks[k].kind == TokKind::kIdentifier) out += "::";
+    if (toks[k].kind == TokKind::kIdentifier) out += toks[k].text;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Statement classification (what does this `{` open?)
+// ---------------------------------------------------------------------------
+
+struct Signature {
+  std::string name;  // possibly qualified: "LoopTable::intern"
+  std::uint32_t line = 0;
+  std::vector<std::string> requires_mutexes;  // raw DT_REQUIRES args
+  bool ctor_init_pending = false;  // pending ends awaiting a member initializer
+};
+
+/// Scans `P` (the statement tokens before a `{` or `;`) for a function
+/// signature: the first name-chain followed by a balanced paren group at
+/// nesting level 0 whose tail contains only declarator qualifiers (const,
+/// noexcept(...), &, &&, ->ret, DT_* annotation macros) or a ctor-init.
+std::optional<Signature> parse_signature(const Toks& toks, std::size_t begin, std::size_t end) {
+  int paren = 0;
+  std::size_t i = begin;
+  while (i < end) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPreproc || t.kind == TokKind::kString ||
+        t.kind == TokKind::kChar || t.kind == TokKind::kNumber) {
+      ++i;
+      continue;
+    }
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "(") ++paren;
+      else if (t.text == ")") paren = std::max(0, paren - 1);
+      else if (t.text == "=" && paren == 0)
+        return std::nullopt;  // initializer, not a definition (default args are nested)
+      ++i;
+      continue;
+    }
+    // Identifier: try a chain at nesting level 0.
+    if (paren != 0) {
+      ++i;
+      continue;
+    }
+    const auto chain = parse_chain(toks, i);
+    if (!chain) {
+      ++i;
+      continue;
+    }
+    if (in(chain->last, kNotCallable) || in(chain->text, kNotCallable)) return std::nullopt;
+    if (chain->after >= end || !is_p(toks[chain->after], "(")) {
+      i = std::max(chain->after, i + 1);
+      continue;
+    }
+    // Balance the parameter list.
+    int depth = 0;
+    std::size_t close = chain->after;
+    for (; close < end; ++close) {
+      if (is_p(toks[close], "(")) ++depth;
+      else if (is_p(toks[close], ")")) {
+        if (--depth == 0) break;
+      }
+    }
+    if (close >= end) return std::nullopt;  // `(` unbalanced before `{`: expression
+    // Validate the tail.
+    Signature sig;
+    sig.name = chain->text;
+    sig.line = toks[i].line;
+    bool in_ctor_init = false;
+    std::size_t j = close + 1;
+    while (j < end) {
+      const Token& q = toks[j];
+      if (in_ctor_init) {
+        // Accept everything; just track whether the pending statement ends
+        // awaiting a member initializer (then the next `{` is a braced
+        // member init, not the body).
+        ++j;
+        continue;
+      }
+      if (q.kind == TokKind::kIdentifier) {
+        if (q.text == "DT_REQUIRES" || q.text == "DT_REQUIRES_SHARED") {
+          // Capture the annotation's argument expressions.
+          if (j + 1 < end && is_p(toks[j + 1], "(")) {
+            std::size_t k = j + 2;
+            int d = 1;
+            std::string arg;
+            for (; k < end && d > 0; ++k) {
+              if (is_p(toks[k], "(")) ++d;
+              else if (is_p(toks[k], ")")) {
+                if (--d == 0) break;
+              }
+              if (d >= 1) {
+                if (is_p(toks[k], ",") && d == 1) {
+                  if (!arg.empty()) sig.requires_mutexes.push_back(arg);
+                  arg.clear();
+                } else {
+                  arg += toks[k].text;
+                }
+              }
+            }
+            if (!arg.empty()) sig.requires_mutexes.push_back(arg);
+            j = k + 1;
+            continue;
+          }
+        }
+        // const / noexcept / override / final / try / any annotation macro.
+        ++j;
+        continue;
+      }
+      if (q.kind == TokKind::kPunct) {
+        const std::string& p = q.text;
+        if (p == ":") {
+          in_ctor_init = true;
+          ++j;
+          continue;
+        }
+        if (p == "(" ) {  // noexcept(...) / macro(...)
+          int d = 1;
+          ++j;
+          while (j < end && d > 0) {
+            if (is_p(toks[j], "(")) ++d;
+            else if (is_p(toks[j], ")")) --d;
+            ++j;
+          }
+          continue;
+        }
+        if (p == "&" || p == "&&" || p == "->" || p == "::" || p == "<" || p == ">" ||
+            p == ">>" || p == "," || p == "*" || p == "[" || p == "]") {
+          ++j;
+          continue;
+        }
+        return std::nullopt;  // `;`, `=`, ... — not a definition
+      }
+      ++j;  // literals in noexcept/annotations
+    }
+    if (in_ctor_init && end > begin) {
+      const Token& lastTok = toks[end - 1];
+      // `: a_(x), b_` + `{`  → that `{` initializes b_, the body comes later.
+      sig.ctor_init_pending = lastTok.kind == TokKind::kIdentifier;
+    }
+    return sig;
+  }
+  return std::nullopt;
+}
+
+/// Is there a top-level occurrence of keyword `kw` in [begin,end)?
+/// "Top-level" ignores occurrences inside parens and template-parameter
+/// lists (`template <class T>` must not read as a class definition).
+bool has_top_keyword(const Toks& toks, std::size_t begin, std::size_t end, std::string_view kw) {
+  int paren = 0;
+  std::size_t i = begin;
+  while (i < end) {
+    const Token& t = toks[i];
+    if (is_p(t, "(")) ++paren;
+    else if (is_p(t, ")")) paren = std::max(0, paren - 1);
+    else if (paren == 0 && is_kw(t, "template") && i + 1 < end && is_p(toks[i + 1], "<")) {
+      if (const auto past = skip_template_args(toks, i + 1)) {
+        i = *past;
+        continue;
+      }
+    } else if (paren == 0 && is_kw(t, kw)) {
+      return true;
+    }
+    ++i;
+  }
+  return false;
+}
+
+bool has_top_punct(const Toks& toks, std::size_t begin, std::size_t end, std::string_view p) {
+  int paren = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (is_p(toks[i], "(")) ++paren;
+    else if (is_p(toks[i], ")")) paren = std::max(0, paren - 1);
+    else if (paren == 0 && is_p(toks[i], p)) return true;
+  }
+  return false;
+}
+
+/// Class-head name: the last identifier before the base-clause `:` or the
+/// end, skipping `final` (handles `class DT_CAPABILITY("mutex") Mutex`).
+std::string class_head_name(const Toks& toks, std::size_t begin, std::size_t end) {
+  std::string name;
+  int paren = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& t = toks[i];
+    if (is_p(t, "(")) ++paren;
+    else if (is_p(t, ")")) paren = std::max(0, paren - 1);
+    else if (paren == 0 && is_p(t, ":")) break;
+    else if (paren == 0 && t.kind == TokKind::kIdentifier && t.text != "final" &&
+             t.text != "class" && t.text != "struct" && t.text != "union" &&
+             t.text != "enum" && t.text != "alignas" && t.text != "public" &&
+             t.text != "private" && t.text != "protected")
+      name = t.text;
+  }
+  return name.empty() ? "(anon)" : name;
+}
+
+// ---------------------------------------------------------------------------
+// The walker
+// ---------------------------------------------------------------------------
+
+struct Frame {
+  enum class Kind : std::uint8_t { kNamespace, kClass, kFunction, kBlock } kind;
+  std::vector<std::string> names;  // namespace components / class name
+  int fn = -1;                     // index into out.functions for kFunction
+  int saved_paren = 0;
+  bool expr = false;               // expression brace: popping keeps the statement alive
+  std::vector<std::size_t> lock_ids;  // LockAcquires (per owning fn) closing with me
+};
+
+class Walker {
+ public:
+  Walker(std::string_view display, const LexResult& lexed)
+      : toks_(lexed.tokens), lexed_(lexed) {
+    out_.file = std::string(display);
+    out_.nolint = lexed.directives.nolint;
+    out_.notes = lexed.notes;
+  }
+
+  FileIndex run() {
+    const std::size_t n = toks_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Token& t = toks_[i];
+      if (t.kind == TokKind::kPreproc) continue;
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "(") {
+          ++paren_;
+          continue;
+        }
+        if (t.text == ")") {
+          paren_ = std::max(0, paren_ - 1);
+          continue;
+        }
+        if (t.text == "{") {
+          open_brace(i);
+          continue;
+        }
+        if (t.text == "}") {
+          close_brace(i);
+          continue;
+        }
+        if (t.text == ";" && paren_ == 0) {
+          end_statement(i);
+          continue;
+        }
+        continue;
+      }
+      if (t.kind == TokKind::kIdentifier) maybe_site(i);
+    }
+    apply_hot_markers();
+    return std::move(out_);
+  }
+
+ private:
+  int current_fn() const {
+    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it)
+      if (it->kind == Frame::Kind::kFunction) return it->fn;
+    return -1;
+  }
+
+  /// Innermost non-block frame kind (drives "may a function start here").
+  Frame::Kind host_kind() const {
+    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it)
+      if (it->kind != Frame::Kind::kBlock) return it->kind;
+    return Frame::Kind::kNamespace;  // file scope behaves like a namespace
+  }
+
+  std::vector<std::string> scope_names() const {
+    std::vector<std::string> names;
+    for (const Frame& f : frames_)
+      for (const std::string& nm : f.names) names.push_back(nm);
+    return names;
+  }
+
+  std::string qualify(std::string_view name) const {
+    std::string q;
+    for (const std::string& nm : scope_names()) {
+      q += nm;
+      q += "::";
+    }
+    q += name;
+    return q;
+  }
+
+  /// Class prefix for canonical mutex naming: the enclosing class scope, or
+  /// (for out-of-class definitions) the qualifier embedded in the name.
+  std::string class_prefix(std::string_view fn_name) const {
+    const auto pos = fn_name.rfind("::");
+    if (pos != std::string_view::npos) return qualify(fn_name.substr(0, pos));
+    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it)
+      if (it->kind == Frame::Kind::kClass) {
+        // Qualify the class itself (drop nothing).
+        std::string q;
+        for (const Frame& f : frames_) {
+          if (&f == &*it.base() - 1) break;
+          for (const std::string& nm : f.names) q += nm + "::";
+        }
+        for (const std::string& nm : it->names) q += nm + "::";
+        if (!q.empty()) q.resize(q.size() - 2);
+        return q;
+      }
+    return "";
+  }
+
+  std::string canon_mutex(const std::string& expr, const std::string& cls) const {
+    if (!cls.empty()) return cls + "::" + expr;
+    return out_.file + "::" + expr;
+  }
+
+  void open_brace(std::size_t i) {
+    Frame fr;
+    fr.saved_paren = paren_;
+    if (paren_ > 0) {
+      fr.kind = Frame::Kind::kBlock;
+      fr.expr = true;
+      frames_.push_back(std::move(fr));
+      paren_ = 0;
+      return;
+    }
+    const std::size_t begin = stmt_start_;
+    const std::size_t end = i;
+    const Frame::Kind host = host_kind();
+    if (has_top_keyword(toks_, begin, end, "namespace")) {
+      fr.kind = Frame::Kind::kNamespace;
+      for (std::size_t j = begin; j < end; ++j)
+        if (toks_[j].kind == TokKind::kIdentifier && toks_[j].text != "namespace" &&
+            toks_[j].text != "inline")
+          fr.names.push_back(toks_[j].text);
+    } else if (has_top_keyword(toks_, begin, end, "enum")) {
+      fr.kind = Frame::Kind::kBlock;
+    } else if (has_top_keyword(toks_, begin, end, "class") ||
+               has_top_keyword(toks_, begin, end, "struct") ||
+               has_top_keyword(toks_, begin, end, "union")) {
+      fr.kind = Frame::Kind::kClass;
+      fr.names.push_back(class_head_name(toks_, begin, end));
+    } else if (has_top_punct(toks_, begin, end, "=")) {
+      fr.kind = Frame::Kind::kBlock;
+      fr.expr = true;
+    } else if (host != Frame::Kind::kFunction) {
+      if (const auto sig = parse_signature(toks_, begin, end)) {
+        if (sig->ctor_init_pending) {
+          // `{` initializes a member; the body brace is still to come.
+          fr.kind = Frame::Kind::kBlock;
+          fr.expr = true;
+          frames_.push_back(std::move(fr));
+          paren_ = 0;
+          return;  // keep stmt_start_: the signature stays pending
+        }
+        fr.kind = Frame::Kind::kFunction;
+        FunctionInfo fn;
+        fn.qualified = qualify(sig->name);
+        fn.file = out_.file;
+        fn.line = sig->line;
+        fn.tok_begin = static_cast<std::uint32_t>(i + 1);
+        const std::string cls = class_prefix(sig->name);
+        for (const std::string& m : sig->requires_mutexes)
+          fn.requires_mutexes.push_back(canon_mutex(m, cls));
+        fn_class_.push_back(cls);
+        fr.fn = static_cast<int>(out_.functions.size());
+        out_.functions.push_back(std::move(fn));
+      } else {
+        fr.kind = Frame::Kind::kBlock;
+      }
+    } else {
+      fr.kind = Frame::Kind::kBlock;
+    }
+    frames_.push_back(std::move(fr));
+    paren_ = 0;
+    stmt_start_ = i + 1;
+  }
+
+  void close_brace(std::size_t i) {
+    if (frames_.empty()) {
+      stmt_start_ = i + 1;
+      return;
+    }
+    Frame fr = std::move(frames_.back());
+    frames_.pop_back();
+    const int fn = fr.fn >= 0 ? fr.fn : current_fn();
+    if (fn >= 0) {
+      for (const std::size_t lock_id : fr.lock_ids)
+        out_.functions[static_cast<std::size_t>(fn)].locks[lock_id].tok_end =
+            static_cast<std::uint32_t>(i);
+    }
+    if (fr.kind == Frame::Kind::kFunction && fr.fn >= 0) {
+      auto& f = out_.functions[static_cast<std::size_t>(fr.fn)];
+      f.tok_end = static_cast<std::uint32_t>(i);
+      f.end_line = toks_[i].line;
+    }
+    paren_ = fr.saved_paren;
+    if (!fr.expr) stmt_start_ = i + 1;
+  }
+
+  void end_statement(std::size_t i) {
+    // DT_REQUIRES on a declaration (header prototype): keep the annotation
+    // so the out-of-line definition inherits it.
+    if (current_fn() < 0) {
+      bool has_req = false;
+      for (std::size_t j = stmt_start_; j < i; ++j)
+        if (is_kw(toks_[j], "DT_REQUIRES") || is_kw(toks_[j], "DT_REQUIRES_SHARED")) {
+          has_req = true;
+          break;
+        }
+      if (has_req) {
+        if (const auto sig = parse_signature(toks_, stmt_start_, i)) {
+          if (!sig->requires_mutexes.empty()) {
+            AnnotationDecl anno;
+            anno.qualified = qualify(sig->name);
+            const std::string cls = class_prefix(sig->name);
+            for (const std::string& m : sig->requires_mutexes)
+              anno.requires_mutexes.push_back(canon_mutex(m, cls));
+            out_.annotations.push_back(std::move(anno));
+          }
+        }
+      }
+    }
+    stmt_start_ = i + 1;
+  }
+
+  /// Records call/effect sites for the identifier chain starting at `i`,
+  /// when inside a function body.
+  void maybe_site(std::size_t i) {
+    const int fn = current_fn();
+    if (fn < 0) return;
+    // Chain starts: not mid-chain, not a declared name after a type.
+    if (i > 0) {
+      const Token& prev = toks_[i - 1];
+      if (is_p(prev, "~")) return;
+      if (is_p(prev, "::") && i >= 2) {
+        // Mid-chain unless the `::` is a global qualifier (`::read(fd, ...)`).
+        const Token& pp = toks_[i - 2];
+        if (pp.kind == TokKind::kIdentifier || is_p(pp, ">") || is_p(pp, ">>") ||
+            is_p(pp, ")"))
+          return;
+      }
+      if (prev.kind == TokKind::kIdentifier && !in(prev.text, kChainAfter)) return;
+    }
+    const auto chain = parse_chain(toks_, i);
+    if (!chain) return;
+    auto& f = out_.functions[static_cast<std::size_t>(fn)];
+    const std::uint32_t line = toks_[i].line;
+    const std::uint32_t tok = static_cast<std::uint32_t>(i);
+
+    if (chain->text == "new") {
+      f.sites.push_back(Site{SiteKind::kAlloc, "new", line, tok});
+      return;
+    }
+    if (chain->last == "cout" &&
+        (chain->text == "std::cout" || chain->text == "cout")) {
+      f.sites.push_back(Site{SiteKind::kStdout, "std::cout", line, tok});
+      return;
+    }
+
+    const bool member = i > 0 && (is_p(toks_[i - 1], ".") || is_p(toks_[i - 1], "->"));
+    const std::string receiver = member ? receiver_before(toks_, i - 1) : "";
+    const bool is_call = chain->after < toks_.size() && is_p(toks_[chain->after], "(");
+
+    if (is_call) {
+      if (in(chain->last, kNotCallable)) return;
+      f.calls.push_back(CallSite{chain->text, receiver, member, line, tok});
+      if (in(chain->last, kBlockingNames) ||
+          (!member && chain->text == chain->last && in(chain->last, kBareBlockingNames))) {
+        f.sites.push_back(Site{SiteKind::kBlocking, chain->last, line, tok});
+      }
+      if ((!member && in(chain->last, kAllocFree)) || (member && in(chain->last, kAllocMember))) {
+        f.sites.push_back(Site{SiteKind::kAlloc, chain->last, line, tok});
+      }
+      if (member && chain->last == "decode" && is_decoder_receiver(receiver)) {
+        f.sites.push_back(Site{SiteKind::kStrictDecode, receiver + "->decode", line, tok});
+      }
+      if (!member && (chain->last == "printf" || chain->last == "puts" ||
+                      chain->last == "putchar")) {
+        f.sites.push_back(Site{SiteKind::kStdout, chain->last, line, tok});
+      }
+      if (chain->last == "fprintf" && chain->after + 1 < toks_.size() &&
+          is_kw(toks_[chain->after + 1], "stdout")) {
+        f.sites.push_back(Site{SiteKind::kStdout, "fprintf(stdout", line, tok});
+      }
+      return;
+    }
+
+    // Declaration with constructor parens: `Type var(args...)`.
+    const std::size_t v = chain->after;
+    if (v + 1 < toks_.size() && toks_[v].kind == TokKind::kIdentifier &&
+        is_p(toks_[v + 1], "(") && !in(chain->last, kNotCallable)) {
+      if (chain->last == "MutexLock" || chain->last == "MutexLock2") {
+        record_lock(*chain, fn, v + 1, line, tok);
+        return;
+      }
+      if (in(chain->last, kStreamTypes)) {
+        f.sites.push_back(Site{SiteKind::kBlocking, chain->last, line, tok});
+        return;
+      }
+      // Constructor call of a (possibly repo-defined) type.
+      f.calls.push_back(CallSite{chain->text + "::" + chain->last, "", false, line, tok});
+    }
+  }
+
+  void record_lock(const Chain& chain, int fn, std::size_t open_paren, std::uint32_t line,
+                   std::uint32_t tok) {
+    auto& f = out_.functions[static_cast<std::size_t>(fn)];
+    LockAcquire acq;
+    acq.address_ordered = chain.last == "MutexLock2";
+    acq.line = line;
+    acq.tok_begin = tok;
+    acq.tok_end = 0;  // patched when the enclosing frame closes
+    // Split the constructor arguments on top-level commas.
+    std::size_t j = open_paren + 1;
+    int depth = 1;
+    std::string arg;
+    while (j < toks_.size() && depth > 0) {
+      if (is_p(toks_[j], "(")) ++depth;
+      else if (is_p(toks_[j], ")")) {
+        if (--depth == 0) break;
+      }
+      if (depth >= 1) {
+        if (is_p(toks_[j], ",") && depth == 1) {
+          if (!arg.empty()) acq.mutexes.push_back(arg);
+          arg.clear();
+        } else {
+          arg += toks_[j].text;
+        }
+      }
+      ++j;
+    }
+    if (!arg.empty()) acq.mutexes.push_back(arg);
+    const std::string cls = fn_class_[static_cast<std::size_t>(fn)];
+    for (std::string& m : acq.mutexes) m = canon_mutex(m, cls);
+    f.locks.push_back(std::move(acq));
+    if (!frames_.empty()) frames_.back().lock_ids.push_back(f.locks.size() - 1);
+  }
+
+  void apply_hot_markers() {
+    for (const std::uint32_t marker : lexed_.directives.hot_markers) {
+      FunctionInfo* best = nullptr;
+      for (auto& f : out_.functions) {
+        if (f.line <= marker && marker <= f.end_line) {
+          // Innermost containing function: latest start wins.
+          if (!best || f.line >= best->line) best = &f;
+        }
+      }
+      if (!best) {
+        // Marker directly above a function: attach to the next one starting
+        // within two lines.
+        for (auto& f : out_.functions)
+          if (f.line > marker && f.line <= marker + 2 && (!best || f.line < best->line)) best = &f;
+      }
+      if (best) best->hot = true;
+    }
+  }
+
+  const Toks& toks_;
+  const LexResult& lexed_;
+  FileIndex out_;
+  std::vector<Frame> frames_;
+  std::vector<std::string> fn_class_;  // parallel to out_.functions
+  std::size_t stmt_start_ = 0;
+  int paren_ = 0;
+};
+
+}  // namespace
+
+FileIndex index_file(std::string_view display, std::string_view text) {
+  const LexResult lexed = lex(text);
+  return Walker(display, lexed).run();
+}
+
+bool path_has_dir(std::string_view path, const std::vector<std::string_view>& names) {
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    std::size_t slash = path.find('/', start);
+    if (slash == std::string_view::npos) slash = path.size();
+    const std::string_view part = path.substr(start, slash - start);
+    for (const std::string_view nm : names)
+      if (part == nm) return true;
+    start = slash + 1;
+  }
+  return false;
+}
+
+}  // namespace difftrace::dtsa

@@ -1,0 +1,94 @@
+// dtsa indexer: turns one file's token stream (lexer.hpp) into the facts the
+// interprocedural rules consume — function definitions with qualified names,
+// call sites, effect sites (blocking ops, allocations, stdout writes, strict
+// decodes), lock-acquisition regions and DT_* thread-safety annotations.
+//
+// The extractor is AST-lite: it tracks namespace/class/function/block
+// nesting by brace matching, classifies each `{` from the statement tokens
+// preceding it, and walks function bodies recording sites with their token
+// position (so "is this site inside that lock region?" is a span check).
+// It is deliberately resolution-light — call sites record spelled names;
+// cross-file resolution happens in callgraph.cpp over the merged index.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dtsa/lexer.hpp"
+
+namespace difftrace::dtsa {
+
+/// Kinds of effect sites a rule can anchor a finding to.
+enum class SiteKind : std::uint8_t {
+  kBlocking,     // sleep/poll/file-IO/filesystem op, stream-object ctor
+  kAlloc,        // new / make_unique / container growth / to_string
+  kStdout,       // std::cout, printf(...), fprintf(stdout, ...)
+  kStrictDecode, // decoder->decode(...) — the unbounded entry point
+};
+
+struct Site {
+  SiteKind kind;
+  std::string detail;   // spelled op, e.g. "sleep_for", "push_back", "new"
+  std::uint32_t line = 0;
+  std::uint32_t tok = 0;  // token index within the file (span containment)
+};
+
+struct CallSite {
+  std::string name;      // spelled callee: "foo", "LoopTable::intern", "util::status_line"
+  std::string receiver;  // receiver chain for member calls ("table_"), else ""
+  bool member = false;   // x.f(...) / x->f(...)
+  std::uint32_t line = 0;
+  std::uint32_t tok = 0;
+};
+
+/// One lock acquisition: a MutexLock/MutexLock2 declaration. The held
+/// region spans from the declaration to the end of its enclosing block.
+struct LockAcquire {
+  std::vector<std::string> mutexes;  // canonical ids; 2 entries for MutexLock2
+  bool address_ordered = false;      // MutexLock2 (ordering escape hatch)
+  std::uint32_t line = 0;
+  std::uint32_t tok_begin = 0;  // region start (declaration)
+  std::uint32_t tok_end = 0;    // region end (enclosing block close), exclusive
+};
+
+struct FunctionInfo {
+  std::string qualified;  // difftrace::core::NlrBuilder::push
+  std::string file;       // display path (repo-relative)
+  std::uint32_t line = 0;
+  std::uint32_t end_line = 0;
+  std::uint32_t tok_begin = 0;  // body span, exclusive of braces
+  std::uint32_t tok_end = 0;
+  bool hot = false;  // carries a // DT_HOT marker
+  std::vector<CallSite> calls;
+  std::vector<Site> sites;
+  std::vector<LockAcquire> locks;
+  std::vector<std::string> requires_mutexes;  // DT_REQUIRES(...) — held on entry
+};
+
+/// DT_REQUIRES found on a *declaration* (header prototypes): merged into the
+/// defining FunctionInfo by qualified name when the definition is elsewhere.
+struct AnnotationDecl {
+  std::string qualified;
+  std::vector<std::string> requires_mutexes;
+};
+
+struct FileIndex {
+  std::string file;  // display path
+  std::vector<FunctionInfo> functions;
+  std::vector<AnnotationDecl> annotations;
+  std::map<std::uint32_t, std::set<std::string>> nolint;  // line -> rules ('*' ok)
+  std::vector<std::string> notes;
+};
+
+/// Indexes one file. `display` is the path recorded on every fact.
+[[nodiscard]] FileIndex index_file(std::string_view display, std::string_view text);
+
+/// True when `path` (repo-relative, '/'-separated) has a directory component
+/// in `names` — the path-scoping helper every rule uses.
+[[nodiscard]] bool path_has_dir(std::string_view path, const std::vector<std::string_view>& names);
+
+}  // namespace difftrace::dtsa

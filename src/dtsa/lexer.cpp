@@ -1,0 +1,388 @@
+#include "dtsa/lexer.hpp"
+
+#include <cctype>
+
+namespace difftrace::dtsa {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+bool is_number_cont(char c) {
+  // pp-number continuation: digits, letters (hex/suffixes/exponents), dot.
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '.' || c == '_';
+}
+
+/// String-literal encoding prefixes; `ends_R` selects the raw flavours.
+bool is_encoding_prefix(std::string_view id, bool* raw) {
+  if (id == "R" || id == "u8R" || id == "uR" || id == "UR" || id == "LR") {
+    *raw = true;
+    return true;
+  }
+  if (id == "u8" || id == "u" || id == "U" || id == "L") {
+    *raw = false;
+    return true;
+  }
+  return false;
+}
+
+// Multi-char punctuators, longest first within each leading char. `>>` is
+// kept as ONE token; consumers that balance template angle brackets treat
+// it as two closers (see index.cpp) — that is what keeps
+// `std::vector<std::vector<int>>` from desynchronizing the scan.
+constexpr std::string_view kPuncts[] = {
+    "->*", "...", "<<=", ">>=", "::", "->", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&",  "||",  "+=",  "-=",  "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  LexResult run() {
+    while (pos_ < text_.size()) step();
+    return std::move(result_);
+  }
+
+ private:
+  void step() {
+    const char c = text_[pos_];
+    if (c == '\n') {
+      ++line_;
+      ++pos_;
+      at_line_start_ = true;
+      return;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++pos_;
+      return;
+    }
+    if (c == '\\' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '\n') {
+      // Stray line continuation outside a directive: splice.
+      ++line_;
+      pos_ += 2;
+      return;
+    }
+    if (c == '/' && peek(1) == '/') {
+      line_comment();
+      return;
+    }
+    if (c == '/' && peek(1) == '*') {
+      block_comment();
+      return;
+    }
+    if (c == '#' && at_line_start_) {
+      preproc();
+      return;
+    }
+    at_line_start_ = false;
+    if (is_ident_start(c)) {
+      identifier();
+      return;
+    }
+    if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+      number();
+      return;
+    }
+    if (c == '"') {
+      string_lit(/*raw=*/false);
+      return;
+    }
+    if (c == '\'') {
+      char_lit();
+      return;
+    }
+    punct();
+  }
+
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  void emit(TokKind kind, std::string text, std::uint32_t line) {
+    result_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  /// Mines NOLINT-DT suppressions and DT_HOT markers out of one comment line.
+  void mine_comment(std::string_view comment, std::uint32_t line) {
+    for (std::size_t i = 0; i + 10 <= comment.size(); ++i) {
+      if (comment.compare(i, 10, "NOLINT-DT(") == 0) {
+        const std::size_t open = i + 9;
+        const std::size_t close = comment.find(')', open);
+        if (close == std::string_view::npos) break;
+        auto& set = result_.directives.nolint[line];
+        std::size_t start = open + 1;
+        while (start < close) {
+          std::size_t comma = comment.find(',', start);
+          if (comma == std::string_view::npos || comma > close) comma = close;
+          std::string_view rule = comment.substr(start, comma - start);
+          while (!rule.empty() && (rule.front() == ' ' || rule.front() == '\t')) rule.remove_prefix(1);
+          while (!rule.empty() && (rule.back() == ' ' || rule.back() == '\t')) rule.remove_suffix(1);
+          if (!rule.empty()) set.insert(std::string(rule));
+          start = comma + 1;
+        }
+        i = close;
+      }
+    }
+    // The hot marker must be the comment's *first* word ("// DT_HOT: reason"),
+    // never a mention mid-prose — otherwise documentation that merely talks
+    // about the marker (this file included) would mark its own functions hot.
+    std::size_t i = 0;
+    while (i < comment.size() &&
+           (comment[i] == '/' || comment[i] == '*' || comment[i] == '!' ||
+            comment[i] == ' ' || comment[i] == '\t'))
+      ++i;
+    if (comment.compare(i, 6, "DT_HOT") == 0 &&
+        (i + 6 == comment.size() || !is_ident_cont(comment[i + 6])))
+      result_.directives.hot_markers.push_back(line);
+  }
+
+  void line_comment() {
+    std::size_t end = text_.find('\n', pos_);
+    if (end == std::string_view::npos) end = text_.size();
+    mine_comment(text_.substr(pos_, end - pos_), line_);
+    pos_ = end;  // newline handled by step()
+  }
+
+  void block_comment() {
+    std::size_t i = pos_ + 2;
+    std::uint32_t line = line_;
+    std::size_t seg_start = pos_;
+    while (i < text_.size()) {
+      if (text_[i] == '\n') {
+        mine_comment(text_.substr(seg_start, i - seg_start), line);
+        ++line;
+        seg_start = i + 1;
+        ++i;
+        continue;
+      }
+      if (text_[i] == '*' && i + 1 < text_.size() && text_[i + 1] == '/') {
+        i += 2;
+        mine_comment(text_.substr(seg_start, i - seg_start), line);
+        pos_ = i;
+        line_ = line;
+        return;
+      }
+      ++i;
+    }
+    result_.notes.push_back("unterminated block comment at line " + std::to_string(line_));
+    mine_comment(text_.substr(seg_start, text_.size() - seg_start), line);
+    pos_ = text_.size();
+    line_ = line;
+  }
+
+  /// One whole directive, including backslash-newline continuations and any
+  /// comments or literals inside it. Emitted as a single kPreproc token
+  /// spelled "#word" so the indexer can skip it without brace confusion.
+  void preproc() {
+    const std::uint32_t start_line = line_;
+    std::size_t i = pos_ + 1;
+    while (i < text_.size() && (text_[i] == ' ' || text_[i] == '\t')) ++i;
+    std::size_t word_start = i;
+    while (i < text_.size() && is_ident_cont(text_[i])) ++i;
+    std::string spelled("#");
+    spelled.append(text_.substr(word_start, i - word_start));
+    // Consume to the end of the *logical* line. Line comments end the
+    // directive at the physical newline (a backslash inside a // comment is
+    // comment text, not a continuation); block comments and string/char
+    // literals are opaque.
+    while (i < text_.size()) {
+      const char c = text_[i];
+      if (c == '\n') break;
+      if (c == '\\' && i + 1 < text_.size() && text_[i + 1] == '\n') {
+        ++line_;
+        i += 2;
+        continue;
+      }
+      if (c == '/' && i + 1 < text_.size() && text_[i + 1] == '/') {
+        std::size_t end = text_.find('\n', i);
+        mine_comment(text_.substr(i, (end == std::string_view::npos ? text_.size() : end) - i), line_);
+        i = end == std::string_view::npos ? text_.size() : end;
+        break;
+      }
+      if (c == '/' && i + 1 < text_.size() && text_[i + 1] == '*') {
+        std::size_t end = text_.find("*/", i + 2);
+        if (end == std::string_view::npos) {
+          i = text_.size();
+          break;
+        }
+        for (std::size_t j = i; j < end + 2; ++j)
+          if (text_[j] == '\n') ++line_;
+        i = end + 2;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        ++i;
+        while (i < text_.size() && text_[i] != quote && text_[i] != '\n') {
+          if (text_[i] == '\\' && i + 1 < text_.size() && text_[i + 1] != '\n') {
+            i += 2;
+            continue;
+          }
+          ++i;
+        }
+        if (i < text_.size() && text_[i] == quote) ++i;
+        continue;
+      }
+      ++i;
+    }
+    emit(TokKind::kPreproc, std::move(spelled), start_line);
+    pos_ = i;
+  }
+
+  void identifier() {
+    const std::uint32_t line = line_;
+    std::size_t i = pos_;
+    while (i < text_.size() && is_ident_cont(text_[i])) ++i;
+    std::string id(text_.substr(pos_, i - pos_));
+    bool raw = false;
+    // Encoding prefix glued to a string literal: u8R"(...)", L"...", ...
+    // Only the exact prefix spellings count — `MACRO_R"text"` is an
+    // identifier followed by an ordinary string, NOT a raw string.
+    if (i < text_.size() && text_[i] == '"' && is_encoding_prefix(id, &raw)) {
+      pos_ = i;
+      string_lit(raw);
+      return;
+    }
+    if (i < text_.size() && text_[i] == '\'' && (id == "u8" || id == "u" || id == "U" || id == "L")) {
+      pos_ = i;
+      char_lit();
+      return;
+    }
+    pos_ = i;
+    emit(TokKind::kIdentifier, std::move(id), line);
+  }
+
+  void number() {
+    const std::uint32_t line = line_;
+    std::size_t i = pos_;
+    while (i < text_.size()) {
+      const char c = text_[i];
+      if (is_number_cont(c)) {
+        // Exponent signs keep the pp-number going: 1e+3, 0x1p-4.
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') && i + 1 < text_.size() &&
+            (text_[i + 1] == '+' || text_[i + 1] == '-')) {
+          i += 2;
+          continue;
+        }
+        ++i;
+        continue;
+      }
+      // Digit separator: a single quote BETWEEN digit characters is part of
+      // the number (1'000'000, 0xFF'FF), not a character literal.
+      if (c == '\'' && i + 1 < text_.size() &&
+          std::isalnum(static_cast<unsigned char>(text_[i + 1])) != 0) {
+        i += 2;
+        continue;
+      }
+      break;
+    }
+    emit(TokKind::kNumber, std::string(text_.substr(pos_, i - pos_)), line);
+    pos_ = i;
+  }
+
+  void string_lit(bool raw) {
+    const std::uint32_t line = line_;
+    if (raw) {
+      // R"delim( ... )delim" — no escapes, newlines are content.
+      std::size_t i = pos_ + 1;  // past the opening quote
+      std::size_t delim_start = i;
+      while (i < text_.size() && text_[i] != '(' && text_[i] != '\n' &&
+             i - delim_start <= 16)
+        ++i;
+      if (i >= text_.size() || text_[i] != '(') {
+        // Malformed raw literal; recover as an ordinary string.
+        pos_ = delim_start - 1;
+        string_lit(false);
+        return;
+      }
+      std::string closer(")");
+      closer.append(text_.substr(delim_start, i - delim_start));
+      closer += '"';
+      std::size_t end = text_.find(closer, i + 1);
+      if (end == std::string_view::npos) {
+        result_.notes.push_back("unterminated raw string at line " + std::to_string(line_));
+        end = text_.size();
+      } else {
+        end += closer.size();
+      }
+      for (std::size_t j = pos_; j < end; ++j)
+        if (text_[j] == '\n') ++line_;
+      pos_ = end;
+      emit(TokKind::kString, "", line);
+      return;
+    }
+    std::size_t i = pos_ + 1;
+    while (i < text_.size()) {
+      const char c = text_[i];
+      if (c == '\\' && i + 1 < text_.size()) {
+        if (text_[i + 1] == '\n') ++line_;  // spliced literal keeps line count exact
+        i += 2;
+        continue;
+      }
+      if (c == '"') {
+        ++i;
+        break;
+      }
+      if (c == '\n') break;  // unterminated on this line; recover
+      ++i;
+    }
+    pos_ = i;
+    emit(TokKind::kString, "", line);
+  }
+
+  void char_lit() {
+    const std::uint32_t line = line_;
+    std::size_t i = pos_ + 1;
+    while (i < text_.size()) {
+      const char c = text_[i];
+      if (c == '\\' && i + 1 < text_.size()) {
+        if (text_[i + 1] == '\n') ++line_;
+        i += 2;
+        continue;
+      }
+      if (c == '\'') {
+        ++i;
+        break;
+      }
+      if (c == '\n') break;
+      ++i;
+    }
+    pos_ = i;
+    emit(TokKind::kChar, "", line);
+  }
+
+  void punct() {
+    const char c = text_[pos_];
+    for (const std::string_view p : kPuncts) {
+      if (p[0] != c) continue;
+      if (text_.compare(pos_, p.size(), p) == 0) {
+        emit(TokKind::kPunct, std::string(p), line_);
+        pos_ += p.size();
+        return;
+      }
+    }
+    emit(TokKind::kPunct, std::string(1, c), line_);
+    ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  bool at_line_start_ = true;
+  LexResult result_;
+};
+
+}  // namespace
+
+LexResult lex(std::string_view text) { return Lexer(text).run(); }
+
+}  // namespace difftrace::dtsa

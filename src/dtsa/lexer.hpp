@@ -1,0 +1,63 @@
+// dtsa lexer: a dependency-free C++ tokenizer for the difftrace static
+// analyzer. It is not a compiler frontend — it produces exactly the token
+// stream the indexer (index.hpp) needs to extract functions, call sites and
+// lock regions: identifiers, numbers, literals (collapsed), punctuation and
+// whole preprocessor directives, each tagged with its 1-based source line.
+//
+// The hard part of lexing C++ without a preprocessor is not the tokens, it
+// is the *non-tokens*: comments, string/char literals (including raw
+// strings with custom delimiters and encoding prefixes), digit separators
+// and line continuations all hide characters that would otherwise be
+// misread as code. This lexer handles all of them and keeps line numbers
+// exact across every multi-line construct, because downstream findings and
+// NOLINT-DT suppressions are keyed by line.
+//
+// Comments are not discarded: NOLINT-DT rule suppressions and DT_HOT
+// region markers are mined out of them into LexResult::directives.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace difftrace::dtsa {
+
+enum class TokKind : std::uint8_t {
+  kIdentifier,  // foo, operator (the keyword), DT_REQUIRES
+  kNumber,      // 42, 1'000'000, 0xFF'8p3
+  kString,      // any string literal, raw or not (text is "")
+  kChar,        // any character literal (text is "")
+  kPunct,       // one operator/punctuator per token ("::", "->", ">>", "{")
+  kPreproc,     // a whole directive incl. continuations (text is "#word")
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;        // identifier spelling / punctuator / "#directive"
+  std::uint32_t line = 0;  // 1-based line the token starts on
+};
+
+/// Comment-borne directives, keyed by the 1-based line they sit on.
+struct CommentDirectives {
+  /// Comma-separated NOLINT-DT rule lists, or the `*` wildcard: the
+  /// suppressed rule ids per line.
+  std::map<std::uint32_t, std::set<std::string>> nolint;
+  /// `// DT_HOT[: reason]` marker lines (hot-path roots for alloc rules).
+  std::vector<std::uint32_t> hot_markers;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  CommentDirectives directives;
+  /// Lexical damage worth surfacing (unterminated raw string, ...). The
+  /// lexer always recovers; these are advisory.
+  std::vector<std::string> notes;
+};
+
+/// Tokenizes one translation unit's text. Never throws on malformed input.
+[[nodiscard]] LexResult lex(std::string_view text);
+
+}  // namespace difftrace::dtsa

@@ -1,0 +1,98 @@
+// dtsa — the DiffTrace static analyzer CLI.
+//
+//   dtsa [--root DIR] [--jobs N] [--sarif FILE] [PATH...]
+//   dtsa --list-rules
+//
+// Exit codes mirror the Python linter: 0 clean, 1 findings, 2 usage/error.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dtsa/analyzer.hpp"
+#include "dtsa/sarif.hpp"
+
+namespace {
+
+/// The single stdout write in dtsa: all rendering funnels through here so
+/// the analyzer's own stream-reach rule has exactly one site to account for.
+void emit_stdout(const std::string& text) {
+  std::cout << text;  // NOLINT-DT(stream-reach, stream-discipline): dtsa is a CLI; findings render to stdout by design
+}
+
+int usage(int code) {
+  std::ostringstream out;
+  out << "usage: dtsa [--root DIR] [--jobs N] [--sarif FILE] [PATH...]\n"
+      << "       dtsa --list-rules\n"
+      << "\n"
+      << "Analyzes C++ sources under DIR (paths relative to it; default: the\n"
+      << "root itself) with DiffTrace's interprocedural rules. Suppress a\n"
+      << "finding with a same-line comment: // NOLINT-DT(rule): reason\n";
+  emit_stdout(std::move(out).str());
+  return code;
+}
+
+int list_rules() {
+  std::ostringstream out;
+  for (const auto& r : difftrace::dtsa::rule_registry())
+    out << r.id << ": " << r.summary << "\n";
+  emit_stdout(std::move(out).str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  difftrace::dtsa::AnalyzeOptions options;
+  std::string sarif_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") return usage(0);
+    if (arg == "--list-rules") return list_rules();
+    if (arg == "--root") {
+      const char* v = next();
+      if (!v) return usage(2);
+      options.root = v;
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (!v) return usage(2);
+      options.jobs = std::atoi(v);
+    } else if (arg == "--sarif") {
+      const char* v = next();
+      if (!v) return usage(2);
+      sarif_path = v;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "dtsa: unknown option '" << arg << "'\n";
+      return usage(2);
+    } else {
+      options.paths.emplace_back(arg);
+    }
+  }
+
+  try {
+    const difftrace::dtsa::AnalyzeResult result = difftrace::dtsa::analyze(options);
+    std::ostringstream text;
+    difftrace::dtsa::render_text(text, result);
+    emit_stdout(std::move(text).str());
+    if (!sarif_path.empty()) {
+      std::ofstream out(sarif_path, std::ios::binary);
+      if (!out) {
+        std::cerr << "dtsa: cannot write " << sarif_path << "\n";
+        return 2;
+      }
+      difftrace::dtsa::write_sarif(out, "dtsa", difftrace::dtsa::rule_registry(),
+                                   result.findings);
+    }
+    return result.findings.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}

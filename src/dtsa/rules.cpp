@@ -1,0 +1,429 @@
+#include "dtsa/rules.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace difftrace::dtsa {
+
+const std::vector<RuleInfo>& rule_registry() {
+  static const std::vector<RuleInfo> kRules = {
+      {"blocking-under-lock",
+       "no blocking syscall/IO/sleep reachable while a util::Mutex is held"},
+      {"alloc-in-hot-path", "no heap allocation reachable from a // DT_HOT hot-path root"},
+      {"unbounded-decode-reach",
+       "strict codec decode stays within the bounded-decode family; use decode_tolerant"},
+      {"lock-order-consistency",
+       "static mutex acquisition order is acyclic and never fixes an order inside a "
+       "MutexLock2 pair"},
+      {"stream-reach", "stdout writes only in, or via, blessed result-rendering roots"},
+  };
+  return kRules;
+}
+
+namespace {
+
+void emit(std::vector<Finding>& out, std::string_view rule, const std::string& file,
+          std::uint32_t line, std::string message) {
+  out.push_back(Finding{std::string(rule), file, line, std::move(message)});
+}
+
+/// Effective body span end: unclosed lock regions (lexer recovery) extend to
+/// the end of the function.
+std::uint32_t region_end(const LockAcquire& l, const FunctionInfo& fn) {
+  return l.tok_end != 0 ? l.tok_end : fn.tok_end;
+}
+
+std::string join(const std::vector<std::string>& parts, const char* sep) {
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += sep;
+    out += p;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// blocking-under-lock
+// ---------------------------------------------------------------------------
+
+struct BlockingClosure {
+  std::vector<char> blocking;     // node transitively reaches a blocking op
+  std::vector<std::string> op;    // representative direct op ("sleep_for")
+  std::vector<std::string> where; // function holding that direct op
+};
+
+BlockingClosure blocking_closure(const CallGraph& g) {
+  const auto& nodes = g.nodes();
+  BlockingClosure c;
+  c.blocking.assign(nodes.size(), 0);
+  c.op.resize(nodes.size());
+  c.where.resize(nodes.size());
+  for (std::size_t id = 0; id < nodes.size(); ++id)
+    for (const Site& s : nodes[id].fn.sites)
+      if (s.kind == SiteKind::kBlocking) {
+        c.blocking[id] = 1;
+        c.op[id] = s.detail;
+        c.where[id] = nodes[id].fn.qualified;
+        break;  // sites are in token order: first one is the representative
+      }
+  // Multi-pass fixpoint in node-id order: deterministic representatives.
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t id = 0; id < nodes.size(); ++id) {
+      if (c.blocking[id]) continue;
+      for (const CallEdge& e : nodes[id].edges) {
+        if (e.callee == id || !c.blocking[e.callee]) continue;
+        c.blocking[id] = 1;
+        c.op[id] = c.op[e.callee];
+        c.where[id] = c.where[e.callee];
+        changed = true;
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+void rule_blocking_under_lock(const CallGraph& g, std::vector<Finding>& out) {
+  const auto& nodes = g.nodes();
+  const BlockingClosure c = blocking_closure(g);
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    const FunctionInfo& fn = nodes[id].fn;
+    struct Ctx {
+      std::string held;
+      std::uint32_t begin, end;
+    };
+    std::vector<Ctx> ctxs;
+    if (!fn.requires_mutexes.empty())
+      ctxs.push_back(Ctx{join(fn.requires_mutexes, ","), fn.tok_begin, fn.tok_end});
+    for (const LockAcquire& l : fn.locks)
+      ctxs.push_back(Ctx{join(l.mutexes, ","), l.tok_begin, region_end(l, fn)});
+    for (const Ctx& ctx : ctxs) {
+      for (const Site& s : fn.sites)
+        if (s.kind == SiteKind::kBlocking && s.tok >= ctx.begin && s.tok <= ctx.end)
+          emit(out, "blocking-under-lock", fn.file, s.line,
+               "blocking op '" + s.detail + "' while holding '" + ctx.held + "'");
+      for (const CallEdge& e : nodes[id].edges) {
+        if (e.callee == id || !c.blocking[e.callee]) continue;
+        if (e.tok < ctx.begin || e.tok > ctx.end) continue;
+        const FunctionInfo& callee = nodes[e.callee].fn;
+        std::string msg = "call to '" + callee.qualified + "' may block while holding '" +
+                          ctx.held + "'";
+        if (c.where[e.callee] != callee.qualified)
+          msg += " (reaches '" + c.op[e.callee] + "' in '" + c.where[e.callee] + "')";
+        else
+          msg += " ('" + c.op[e.callee] + "')";
+        emit(out, "blocking-under-lock", fn.file, e.line, std::move(msg));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// alloc-in-hot-path
+// ---------------------------------------------------------------------------
+
+void rule_alloc_in_hot_path(const CallGraph& g, std::vector<Finding>& out) {
+  const auto& nodes = g.nodes();
+  // Nodes are sorted by qualified name, so scanning roots in id order makes
+  // the recorded root for each reachable node the lexicographically first.
+  std::vector<int> root_of(nodes.size(), -1);
+  for (std::size_t root = 0; root < nodes.size(); ++root) {
+    if (!nodes[root].fn.hot || root_of[root] != -1) continue;
+    std::deque<std::uint32_t> queue{static_cast<std::uint32_t>(root)};
+    root_of[root] = static_cast<int>(root);
+    while (!queue.empty()) {
+      const std::uint32_t id = queue.front();
+      queue.pop_front();
+      for (const CallEdge& e : nodes[id].edges)
+        if (root_of[e.callee] == -1) {
+          root_of[e.callee] = static_cast<int>(root);
+          queue.push_back(e.callee);
+        }
+    }
+  }
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    if (root_of[id] == -1) continue;
+    const FunctionInfo& fn = nodes[id].fn;
+    const std::string& root = nodes[static_cast<std::size_t>(root_of[id])].fn.qualified;
+    for (const Site& s : fn.sites)
+      if (s.kind == SiteKind::kAlloc)
+        emit(out, "alloc-in-hot-path", fn.file, s.line,
+             "heap allocation '" + s.detail + "' on hot path (reachable from DT_HOT root '" +
+                 root + "')");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unbounded-decode-reach
+// ---------------------------------------------------------------------------
+
+void rule_unbounded_decode_reach(const CallGraph& g, const RuleConfig& cfg,
+                                 std::vector<Finding>& out) {
+  const auto& nodes = g.nodes();
+  std::vector<char> family(nodes.size(), 0);
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    const FunctionInfo& fn = nodes[id].fn;
+    if (path_has_dir(fn.file, cfg.decode_family_dirs) ||
+        std::find(cfg.decode_family_names.begin(), cfg.decode_family_names.end(),
+                  fn.qualified) != cfg.decode_family_names.end())
+      family[id] = 1;
+  }
+  // Tainted = holds a strict-decode site, or a *family* member calling a
+  // tainted node. Non-family members never propagate: they are the frontier
+  // and get reported instead.
+  std::vector<char> tainted(nodes.size(), 0);
+  for (std::size_t id = 0; id < nodes.size(); ++id)
+    for (const Site& s : nodes[id].fn.sites)
+      if (s.kind == SiteKind::kStrictDecode) tainted[id] = 1;
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t id = 0; id < nodes.size(); ++id) {
+      if (tainted[id] || !family[id]) continue;
+      for (const CallEdge& e : nodes[id].edges)
+        if (e.callee != id && tainted[e.callee]) {
+          tainted[id] = 1;
+          changed = true;
+          break;
+        }
+    }
+  }
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    if (family[id]) continue;
+    const FunctionInfo& fn = nodes[id].fn;
+    for (const Site& s : fn.sites)
+      if (s.kind == SiteKind::kStrictDecode)
+        emit(out, "unbounded-decode-reach", fn.file, s.line,
+             "strict decode '" + s.detail +
+                 "' outside the bounded-decode family; use decode_tolerant/decode_prefix");
+    for (const CallEdge& e : nodes[id].edges)
+      if (e.callee != id && tainted[e.callee])
+        emit(out, "unbounded-decode-reach", fn.file, e.line,
+             "call to '" + nodes[e.callee].fn.qualified +
+                 "' reaches a strict decode outside the bounded-decode family; use "
+                 "decode_tolerant/decode_prefix");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// lock-order-consistency
+// ---------------------------------------------------------------------------
+
+struct Prov {
+  std::string file;
+  std::uint32_t line = 0;
+  bool operator<(const Prov& o) const {
+    return file != o.file ? file < o.file : line < o.line;
+  }
+};
+
+void rule_lock_order(const CallGraph& g, std::vector<Finding>& out) {
+  const auto& nodes = g.nodes();
+  // Transitive acquisition sets (which mutexes can a call into f take?).
+  std::vector<std::set<std::string>> acq(nodes.size());
+  for (std::size_t id = 0; id < nodes.size(); ++id)
+    for (const LockAcquire& l : nodes[id].fn.locks)
+      acq[id].insert(l.mutexes.begin(), l.mutexes.end());
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t id = 0; id < nodes.size(); ++id)
+      for (const CallEdge& e : nodes[id].edges) {
+        if (e.callee == id) continue;
+        for (const std::string& m : acq[e.callee])
+          if (acq[id].insert(m).second) changed = true;
+      }
+  }
+  // Order edges held -> acquired, with first (smallest) provenance.
+  std::map<std::pair<std::string, std::string>, Prov> order;
+  auto add_edge = [&](const std::string& a, const std::string& b, Prov p) {
+    if (a == b) return;
+    const auto key = std::make_pair(a, b);
+    const auto it = order.find(key);
+    if (it == order.end())
+      order.emplace(key, std::move(p));
+    else if (p < it->second)
+      it->second = std::move(p);
+  };
+  // MutexLock2 pairs (unordered by design), with acquisition provenance.
+  std::map<std::pair<std::string, std::string>, Prov> pairs;
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    const FunctionInfo& fn = nodes[id].fn;
+    auto held_at = [&](std::uint32_t tok) {
+      std::set<std::string> held(fn.requires_mutexes.begin(), fn.requires_mutexes.end());
+      for (const LockAcquire& l : fn.locks)
+        if (l.tok_begin < tok && tok <= region_end(l, fn))
+          held.insert(l.mutexes.begin(), l.mutexes.end());
+      return held;
+    };
+    for (const LockAcquire& l : fn.locks) {
+      const std::set<std::string> held = held_at(l.tok_begin);
+      for (const std::string& h : held)
+        for (const std::string& m : l.mutexes)
+          add_edge(h, m, Prov{fn.file, l.line});
+      if (l.address_ordered && l.mutexes.size() == 2) {
+        auto key = std::make_pair(std::min(l.mutexes[0], l.mutexes[1]),
+                                  std::max(l.mutexes[0], l.mutexes[1]));
+        const Prov p{fn.file, l.line};
+        const auto it = pairs.find(key);
+        if (it == pairs.end())
+          pairs.emplace(std::move(key), p);
+        else if (p < it->second)
+          it->second = p;
+      }
+    }
+    for (const CallEdge& e : nodes[id].edges) {
+      if (e.callee == id || acq[e.callee].empty()) continue;
+      const std::set<std::string> held = held_at(e.tok);
+      for (const std::string& h : held)
+        for (const std::string& m : acq[e.callee])
+          add_edge(h, m, Prov{fn.file, e.line});
+    }
+  }
+  // (a) A fixed order between the members of a MutexLock2 pair contradicts
+  // its by-address acquisition.
+  for (const auto& [pair, prov] : pairs) {
+    for (const auto& [a, b] : {pair, std::make_pair(pair.second, pair.first)}) {
+      const auto it = order.find(std::make_pair(a, b));
+      if (it == order.end()) continue;
+      emit(out, "lock-order-consistency", prov.file, prov.line,
+           "MutexLock2 acquires {'" + pair.first + "', '" + pair.second +
+               "'} by address, but a fixed order '" + a + "' -> '" + b +
+               "' is established at " + it->second.file + ":" +
+               std::to_string(it->second.line));
+    }
+  }
+  // (b) Cycles in the order graph. Adjacency in sorted order; report each
+  // cycle once, keyed by its smallest member, anchored at that member's
+  // outgoing edge provenance.
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [key, prov] : order) adj[key.first].push_back(key.second);
+  std::set<std::string> reported;
+  for (const auto& [start, nbrs] : adj) {
+    if (reported.count(start)) continue;
+    // BFS back to `start`.
+    std::map<std::string, std::string> parent;
+    std::deque<std::string> queue;
+    for (const std::string& nb : nbrs)
+      if (!parent.count(nb)) {
+        parent[nb] = start;
+        queue.push_back(nb);
+      }
+    bool found = false;
+    while (!queue.empty() && !found) {
+      const std::string cur = queue.front();
+      queue.pop_front();
+      if (cur == start) {
+        found = true;
+        break;
+      }
+      const auto it = adj.find(cur);
+      if (it == adj.end()) continue;
+      for (const std::string& nb : it->second)
+        if (!parent.count(nb)) {
+          parent[nb] = cur;
+          queue.push_back(nb);
+        }
+    }
+    if (!found) continue;
+    // Reconstruct start -> ... -> start.
+    std::vector<std::string> cycle{start};
+    for (std::string cur = parent[start]; cur != start; cur = parent[cur])
+      cycle.push_back(cur);
+    std::reverse(cycle.begin() + 1, cycle.end());
+    // Only report from the smallest member so each cycle appears once.
+    if (cycle.size() < 2) continue;  // self-edges are never added
+    if (*std::min_element(cycle.begin(), cycle.end()) != start) continue;
+    for (const std::string& m : cycle) reported.insert(m);
+    std::string path;
+    for (const std::string& m : cycle) path += "'" + m + "' -> ";
+    path += "'" + start + "'";
+    const Prov& prov = order.at(std::make_pair(start, cycle.size() > 1 ? cycle[1] : start));
+    emit(out, "lock-order-consistency", prov.file, prov.line,
+         "lock acquisition order cycle: " + path);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// stream-reach
+// ---------------------------------------------------------------------------
+
+void rule_stream_reach(const CallGraph& g, const RuleConfig& cfg, std::vector<Finding>& out) {
+  const auto& nodes = g.nodes();
+  std::vector<char> blessed(nodes.size(), 0);
+  std::vector<char> writes(nodes.size(), 0);  // transitively reaches stdout
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    blessed[id] = path_has_dir(nodes[id].fn.file, cfg.blessed_dirs) ? 1 : 0;
+    for (const Site& s : nodes[id].fn.sites)
+      if (s.kind == SiteKind::kStdout) writes[id] = 1;
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t id = 0; id < nodes.size(); ++id) {
+      if (writes[id]) continue;
+      for (const CallEdge& e : nodes[id].edges)
+        if (e.callee != id && writes[e.callee]) {
+          writes[id] = 1;
+          changed = true;
+          break;
+        }
+    }
+  }
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    if (blessed[id]) continue;
+    const FunctionInfo& fn = nodes[id].fn;
+    for (const Site& s : fn.sites)
+      if (s.kind == SiteKind::kStdout)
+        emit(out, "stream-reach", fn.file, s.line,
+             "stdout write '" + s.detail + "' outside the blessed rendering roots");
+    for (const CallEdge& e : nodes[id].edges)
+      if (e.callee != id && blessed[e.callee] && writes[e.callee])
+        emit(out, "stream-reach", fn.file, e.line,
+             "call to rendering root '" + nodes[e.callee].fn.qualified +
+                 "' (writes stdout) from non-blessed code");
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> run_rules(const CallGraph& graph, const RuleConfig& config) {
+  std::vector<Finding> out;
+  rule_blocking_under_lock(graph, out);
+  rule_alloc_in_hot_path(graph, out);
+  rule_unbounded_decode_reach(graph, config, out);
+  rule_lock_order(graph, out);
+  rule_stream_reach(graph, config, out);
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Finding& a, const Finding& b) {
+                          return a.file == b.file && a.line == b.line && a.rule == b.rule &&
+                                 a.message == b.message;
+                        }),
+            out.end());
+  return out;
+}
+
+std::vector<Finding> filter_suppressed(const CallGraph& graph, std::vector<Finding> findings,
+                                       std::size_t* suppressed) {
+  std::vector<Finding> kept;
+  std::size_t dropped = 0;
+  for (Finding& f : findings) {
+    const auto& nolint = graph.nolint(f.file);
+    const auto it = nolint.find(f.line);
+    const bool drop = it != nolint.end() && (it->second.count("*") || it->second.count(f.rule));
+    if (drop)
+      ++dropped;
+    else
+      kept.push_back(std::move(f));
+  }
+  if (suppressed) *suppressed = dropped;
+  return kept;
+}
+
+}  // namespace difftrace::dtsa

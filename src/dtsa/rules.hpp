@@ -1,0 +1,66 @@
+// dtsa rules: the five interprocedural checks over the whole-repo call
+// graph (callgraph.hpp). Every rule anchors findings to a concrete source
+// line, so a NOLINT-DT suppression naming the rule on that line (with a
+// reason after the colon) drops it — the same suppression syntax (and
+// shared rule-id namespace) as the Python linter.
+//
+//   blocking-under-lock     no syscall/IO/sleep reachable while a
+//                           util::Mutex is held (lock regions + DT_REQUIRES)
+//   alloc-in-hot-path       no heap allocation reachable from // DT_HOT roots
+//   unbounded-decode-reach  strict codec decode stays within the
+//                           bounded-decode family (compress/ + allowlist)
+//   lock-order-consistency  the static acquisition-order graph is acyclic
+//                           and never fixes an order between a MutexLock2 pair
+//   stream-reach            stdout writes only in (or via) blessed
+//                           result-rendering roots (cli/apps/tools/...)
+//
+// Rules report the *frontier* of a violation (the site, or the call edge
+// that first crosses into the bad set), not every transitive caller —
+// one finding per root cause, not a cascade.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dtsa/callgraph.hpp"
+
+namespace difftrace::dtsa {
+
+struct Finding {
+  std::string rule;
+  std::string file;
+  std::uint32_t line = 0;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;
+};
+
+/// The stable rule registry (ids are part of the NOLINT-DT contract).
+[[nodiscard]] const std::vector<RuleInfo>& rule_registry();
+
+struct RuleConfig {
+  /// Directory components whose functions may write stdout (stream-reach).
+  std::vector<std::string_view> blessed_dirs{"cli", "apps", "tools", "examples", "bench"};
+  /// Directory components inside the bounded-decode family.
+  std::vector<std::string_view> decode_family_dirs{"compress"};
+  /// Qualified names allowlisted into the decode family (strict-by-contract
+  /// wrappers whose callers, not bodies, are the frontier).
+  std::vector<std::string_view> decode_family_names{"difftrace::trace::TraceStore::decode"};
+};
+
+/// Runs all rules. Output is sorted by (file, line, rule, message) and
+/// exact-deduplicated — deterministic for a given graph.
+[[nodiscard]] std::vector<Finding> run_rules(const CallGraph& graph, const RuleConfig& config);
+
+/// Drops findings whose line carries a NOLINT-DT suppression (naming the
+/// rule, or the `*` wildcard) in their file. Returns the kept findings;
+/// `suppressed` (if non-null) receives the number dropped.
+[[nodiscard]] std::vector<Finding> filter_suppressed(const CallGraph& graph,
+                                                     std::vector<Finding> findings,
+                                                     std::size_t* suppressed);
+
+}  // namespace difftrace::dtsa

@@ -1,0 +1,73 @@
+#include "dtsa/sarif.hpp"
+
+#include "util/json.hpp"
+
+namespace difftrace::dtsa {
+
+void write_sarif(std::ostream& out, std::string_view tool_name,
+                 const std::vector<RuleInfo>& rules, const std::vector<Finding>& findings) {
+  util::JsonWriter w(out, 2);
+  w.begin_object();
+  w.field("version", "2.1.0");
+  w.field("$schema",
+          "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/"
+          "sarif-schema-2.1.0.json");
+  w.key("runs");
+  w.begin_array();
+  w.begin_object();
+  w.key("tool");
+  w.begin_object();
+  w.key("driver");
+  w.begin_object();
+  w.field("name", tool_name);
+  w.field("informationUri", "https://github.com/difftrace/difftrace");
+  w.key("rules");
+  w.begin_array();
+  for (const RuleInfo& r : rules) {
+    w.begin_object();
+    w.field("id", r.id);
+    w.key("shortDescription");
+    w.begin_object();
+    w.field("text", r.summary);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();  // driver
+  w.end_object();  // tool
+  w.key("results");
+  w.begin_array();
+  for (const Finding& f : findings) {
+    w.begin_object();
+    w.field("ruleId", f.rule);
+    w.field("level", "error");
+    w.key("message");
+    w.begin_object();
+    w.field("text", f.message);
+    w.end_object();
+    w.key("locations");
+    w.begin_array();
+    w.begin_object();
+    w.key("physicalLocation");
+    w.begin_object();
+    w.key("artifactLocation");
+    w.begin_object();
+    w.field("uri", f.file);
+    w.end_object();
+    w.key("region");
+    w.begin_object();
+    w.field("startLine", f.line);
+    w.end_object();
+    w.end_object();  // physicalLocation
+    w.end_object();  // location
+    w.end_array();   // locations
+    w.end_object();  // result
+  }
+  w.end_array();  // results
+  w.end_object();  // run
+  w.end_array();   // runs
+  w.end_object();
+  out << "\n";
+}
+
+}  // namespace difftrace::dtsa

@@ -1,0 +1,24 @@
+// SARIF 2.1.0 writer for dtsa findings. The emitted document is the
+// minimal-but-valid profile both static analyzers in this repo share (the
+// Python linter's --sarif mirrors this shape): one run, a tool.driver with
+// the full rule registry, and one result per finding with a single physical
+// location. Deterministic: findings arrive pre-sorted and the writer adds
+// no timestamps or absolute paths, so byte-identical inputs produce
+// byte-identical SARIF.
+#pragma once
+
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "dtsa/rules.hpp"
+
+namespace difftrace::dtsa {
+
+/// Writes the findings as a SARIF 2.1.0 document. `tool_name` names the
+/// driver ("dtsa"); `uris` in results are the finding file paths verbatim
+/// (repo-relative).
+void write_sarif(std::ostream& out, std::string_view tool_name,
+                 const std::vector<RuleInfo>& rules, const std::vector<Finding>& findings);
+
+}  // namespace difftrace::dtsa

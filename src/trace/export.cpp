@@ -34,7 +34,7 @@ void export_csv(const TraceStore& store, std::ostream& out) {
   out << "proc,thread,logical_ts,kind,function,image\n";
   for (const auto& key : store.keys()) {
     std::uint64_t ts = 0;
-    for (const auto& event : store.decode(key)) {
+    for (const auto& event : store.decode(key)) {  // NOLINT-DT(unbounded-decode-reach): full-fidelity export is strict by contract
       const auto fn = store.registry().info(event.fid);
       out << key.proc << ',' << key.thread << ',' << ts++ << ','
           << (event.kind == EventKind::Call ? "call" : "return") << ',' << fn.name << ','
@@ -60,7 +60,7 @@ void export_json(const TraceStore& store, std::ostream& out) {
     out << "    {\"proc\": " << keys[k].proc << ", \"thread\": " << keys[k].thread
         << ", \"truncated\": " << (blob.truncated ? "true" : "false") << ", \"events\": [";
     std::uint64_t ts = 0;
-    const auto events = store.decode(keys[k]);
+    const auto events = store.decode(keys[k]);  // NOLINT-DT(unbounded-decode-reach): full-fidelity export is strict by contract
     for (std::size_t e = 0; e < events.size(); ++e) {
       out << '[' << ts++ << ',' << (events[e].kind == EventKind::Call ? 0 : 1) << ','
           << events[e].fid << ']' << (e + 1 < events.size() ? "," : "");

@@ -461,7 +461,7 @@ void TraceStore::save(const std::filesystem::path& path) const {
     }
     append_frame(kTagBlob, payload);
   }
-  write_file(path, buf, "TraceStore::save");
+  write_file(path, buf, "TraceStore::save");  // NOLINT-DT(blocking-under-lock): save snapshots under the store lock for a consistent frame
 }
 
 // --- strict load -------------------------------------------------------------

@@ -1,0 +1,52 @@
+// dtsa fixture: blocking-under-lock true positives.
+//
+// Not compiled — lexed by dtsa only. Each finding below is pinned by line in
+// tools/dtsa/dtsa_selftest.py; renumbering lines means re-pinning.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "util/sync.hpp"
+
+namespace fixblock {
+
+struct Guarded {
+  util::Mutex mu_;
+  int counter_ = 0;
+
+  void slow_tick() {
+    util::MutexLock lock(mu_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));  // finding: direct blocking op under mu_
+    counter_ += 1;
+  }
+
+  void checkpoint() {
+    util::MutexLock lock(mu_);
+    write_journal();  // finding: callee reaches fopen while mu_ is held
+  }
+
+  void write_journal() {
+    std::FILE* f = std::fopen("journal.bin", "ab");  // blocking site, but no lock here: clean
+    static_cast<void>(f);
+  }
+
+  void read_config() {
+    util::MutexLock lock(mu_);
+    std::ifstream in("difftrace.cfg");  // finding: stream constructor opens a file under mu_
+    static_cast<void>(in);
+  }
+
+  void append_locked(int v) DT_REQUIRES(mu_) {
+    counter_ += v;
+    fsync(0);  // finding: blocking op in a DT_REQUIRES(mu_) body
+  }
+
+  void save_snapshot() {
+    util::MutexLock lock(mu_);
+    std::FILE* f = std::fopen("snap.bin", "wb");  // NOLINT-DT(blocking-under-lock): fixture snapshot is written under the store lock for a consistent frame
+    static_cast<void>(f);
+  }
+};
+
+}  // namespace fixblock

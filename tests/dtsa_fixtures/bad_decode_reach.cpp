@@ -1,0 +1,29 @@
+// dtsa fixture: unbounded-decode-reach true positives.
+//
+// Not compiled — lexed by dtsa only. Lines are pinned by
+// tools/dtsa/dtsa_selftest.py. compress/fixture_codec.cpp provides the
+// in-family strict decode these frontier findings reach.
+#include <vector>
+
+namespace fixreach {
+
+std::vector<int> dump_everything(const Blob& blob) {
+  auto decoder = make_decoder(blob);
+  return decoder->decode(blob.bytes);  // finding: strict decode outside the family
+}
+
+int count_events(const Blob& blob) {
+  return fixcodec::decode_all(blob).size();  // finding: call reaches a strict decode
+}
+
+std::vector<int> export_checked(const Blob& blob) {
+  auto decoder = make_decoder(blob);
+  return decoder->decode(blob.bytes);  // NOLINT-DT(unbounded-decode-reach): fixture export is full-fidelity and strict by contract
+}
+
+int count_tolerantly(const Blob& blob) {
+  auto decoder = make_decoder(blob);
+  return decoder->decode_tolerant(blob.bytes).size();  // clean: the bounded entry point
+}
+
+}  // namespace fixreach

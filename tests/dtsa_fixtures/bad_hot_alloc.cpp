@@ -1,0 +1,26 @@
+// dtsa fixture: alloc-in-hot-path true positives.
+//
+// Not compiled — lexed by dtsa only. Lines are pinned by
+// tools/dtsa/dtsa_selftest.py.
+#include <string>
+#include <vector>
+
+namespace fixhot {
+
+// DT_HOT: fixture reduction loop
+void reduce_loop(std::vector<int>& stack, int token) {
+  stack.push_back(token);  // finding: allocation in the hot root itself
+  fold(stack);
+}
+
+void fold(std::vector<int>& stack) {
+  std::string label = std::to_string(stack.size());  // finding: allocation reachable from the hot root
+  stack.resize(stack.size() / 2);  // NOLINT-DT(alloc-in-hot-path): fixture shrink-only resize never allocates
+  static_cast<void>(label);
+}
+
+void cold_path(std::vector<int>& out) {
+  out.push_back(1);  // clean: not reachable from any DT_HOT root
+}
+
+}  // namespace fixhot

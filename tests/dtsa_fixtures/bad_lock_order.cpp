@@ -1,0 +1,60 @@
+// dtsa fixture: lock-order-consistency true positives.
+//
+// Not compiled — lexed by dtsa only. Lines are pinned by
+// tools/dtsa/dtsa_selftest.py.
+#include "util/sync.hpp"
+
+namespace fixlock {
+
+// (a) A MutexLock2 pair whose members also appear in a fixed order elsewhere.
+struct MixedPair {
+  util::Mutex a_;
+  util::Mutex b_;
+
+  void both() {
+    util::MutexLock2 lock(a_, b_);  // finding: fixed() establishes a_ -> b_, contradicting by-address
+  }
+
+  void fixed() {
+    util::MutexLock la(a_);
+    util::MutexLock lb(b_);
+  }
+};
+
+// (b) A three-mutex acquisition cycle across methods.
+struct CycleTri {
+  util::Mutex m1_;
+  util::Mutex m2_;
+  util::Mutex m3_;
+
+  void f1() {
+    util::MutexLock l1(m1_);
+    util::MutexLock l2(m2_);  // finding anchor: smallest cycle member's outgoing edge
+  }
+  void f2() {
+    util::MutexLock l2(m2_);
+    util::MutexLock l3(m3_);
+  }
+  void f3() {
+    util::MutexLock l3(m3_);
+    util::MutexLock l1(m1_);
+  }
+};
+
+// (c) Suppressed-with-reason: a legacy pair kept on MutexLock2 while the old
+// fixed-order path is migrated.
+struct LegacyPair {
+  util::Mutex front_;
+  util::Mutex back_;
+
+  void swap_halves() {
+    util::MutexLock2 lock(front_, back_);  // NOLINT-DT(lock-order-consistency): fixture legacy path still fixes front_ -> back_ during migration
+  }
+
+  void drain() {
+    util::MutexLock f(front_);
+    util::MutexLock b(back_);
+  }
+};
+
+}  // namespace fixlock

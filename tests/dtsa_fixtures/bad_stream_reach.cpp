@@ -1,0 +1,23 @@
+// dtsa fixture: stream-reach true positives.
+//
+// Not compiled — lexed by dtsa only. Lines are pinned by
+// tools/dtsa/dtsa_selftest.py. cli/fixture_render.cpp provides the blessed
+// rendering root the frontier finding calls into.
+#include <cstdio>
+#include <iostream>
+
+namespace fixstream {
+
+void debug_dump(int v) {
+  std::cout << "value=" << v << "\n";  // finding: direct stdout outside the blessed roots
+}
+
+void finish_run() {
+  fixrender::print_report();  // finding: calls a blessed root that writes stdout
+}
+
+void trace_progress(int pct) {
+  std::printf("%d%%\n", pct);  // NOLINT-DT(stream-reach): fixture progress meter writes stdout by design
+}
+
+}  // namespace fixstream

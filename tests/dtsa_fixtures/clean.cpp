@@ -1,0 +1,83 @@
+// dtsa fixture: lexer near-misses. Every construct here would produce a
+// spurious finding if the tokenizer mishandled it; the selftest pins this
+// file to ZERO findings.
+#include <iostream>
+#include <map>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+namespace fixclean {
+
+// Documentation that mentions DT_HOT mid-prose. The marker is only honored
+// as a comment's first word, so scan_tokens below must stay cold — its
+// push_back is not a finding.
+int scan_tokens(std::vector<int>& out) {
+  out.push_back(7);
+  return 1;
+}
+
+// Raw string with the plain `)"` terminator: the payload would be a
+// stream-reach finding (and a lock region) if it tokenized.
+const char* raw_paren() {
+  return R"(util::MutexLock lock(mu_); std::cout << "hidden";)";
+}
+
+// Raw string with a custom delimiter whose payload *contains* `)"`: matching
+// the short terminator instead of `)dt"` would expose std::printf.
+const char* raw_custom() {
+  return R"dt(first ")" then std::printf("x"); still inside)dt";
+}
+
+// Nested template arguments closed by `>>`, plus `>>` as a shift operator.
+int shift_templates() {
+  std::map<int, std::vector<std::pair<int, int>>> grid;
+  grid.insert({1, {}});
+  return static_cast<int>(grid.size() >> 1);
+}
+
+// Digit separators: the apostrophes must not open character literals (which
+// would swallow the following tokens and garble the rest of the file).
+int digit_separators() {
+  const int big = 1'000'000;
+  const unsigned mask = 0xFF'FFu;
+  return big & static_cast<int>(mask);
+}
+
+// An operator<< *definition* writing to its own stream parameter is not a
+// stdout site.
+struct Pair {
+  int a = 0;
+};
+std::ostream& operator<<(std::ostream& os, const Pair& p) {
+  os << p.a;
+  return os;
+}
+
+// Preprocessor line continuation: the continued line belongs to the
+// directive, so the std::cout it spells must not become a site in this
+// function.
+int preprocessor_continuation() {
+#define FIXCLEAN_SHOUT(msg) \
+  std::cout << (msg) << "\n"
+  return 0;
+}
+
+// Comment payloads never tokenize.
+int commented_payload() {
+  /* std::cout << "in a block comment";
+     std::printf("also commented"); */
+  // std::puts("line comment payload");
+  return 2;
+}
+
+// `decode` on a non-codec receiver is not the strict entry, and
+// decode_tolerant is the remedy, never a finding.
+int tolerant_only(Codec* decoder) {
+  return decoder->decode_tolerant(3);
+}
+int parser_decode(Parser& parser) {
+  return parser.decode(0);
+}
+
+}  // namespace fixclean

@@ -1,0 +1,11 @@
+// dtsa fixture: a blessed rendering root (lives under cli/, so its stdout
+// writes are allowed — and calls into it from non-blessed code are findings).
+#include <iostream>
+
+namespace fixrender {
+
+void print_report() {
+  std::cout << "report\n";  // blessed: clean
+}
+
+}  // namespace fixrender

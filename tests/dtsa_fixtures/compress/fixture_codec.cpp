@@ -1,0 +1,12 @@
+// dtsa fixture: the bounded-decode family (lives under compress/, so strict
+// decode is allowed here and taints callers outside the family).
+#include <vector>
+
+namespace fixcodec {
+
+std::vector<int> decode_all(const Blob& blob) {
+  auto codec = open_codec(blob);
+  return codec->decode(blob.bytes);  // strict site inside the family: clean, but taints callers
+}
+
+}  // namespace fixcodec

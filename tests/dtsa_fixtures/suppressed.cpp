@@ -1,0 +1,24 @@
+// dtsa fixture: a file whose every finding is suppressed — the selftest pins
+// it to zero findings and exactly two suppressions (one rule-specific, one
+// wildcard).
+#include <cstdio>
+
+#include "util/sync.hpp"
+
+namespace fixsupp {
+
+struct Supp {
+  util::Mutex mu_;
+
+  void flush_all() {
+    util::MutexLock lock(mu_);
+    std::FILE* f = std::fopen("flush.bin", "wb");  // NOLINT-DT(blocking-under-lock): fixture flush holds the lock across the open by design
+    static_cast<void>(f);
+  }
+
+  void log_direct() {
+    std::printf("done\n");  // NOLINT-DT(*): fixture wildcard suppression
+  }
+};
+
+}  // namespace fixsupp

@@ -1,0 +1,26 @@
+// Near-miss fixtures for the comment/string stripper itself: each construct
+// below defeated an earlier stripper, hiding or shifting the pinned findings.
+// The selftest pins exact lines, so a stripper regression reappears here.
+#include <iostream>
+
+namespace fixstrip {
+
+// MACRO_R is an identifier followed by an ordinary string literal — NOT a
+// raw-string opener. A stripper that matched `R"text(` here swallowed the
+// rest of the file hunting for a `)text"` closer that never comes, hiding
+// every finding below.
+#define FIXSTRIP_TAG(x) x
+inline const char* tag = FIXSTRIP_TAG(MACRO_R"text(");
+
+// Digit separators: a lone tick after a number once opened a "char literal"
+// that ate the rest of the line, hiding the violation sitting beside it.
+inline void sep() { int n = 1'000; std::cout << n; }
+
+// A backslash-newline inside a string literal spans two physical lines; a
+// stripper that dropped the line break made every finding below drift up a
+// line, off its pin.
+inline const char* cont = "first half \
+second half";
+inline void after() { std::cout << "pinned"; }
+
+}  // namespace fixstrip

@@ -1,0 +1,280 @@
+// Unit tests for the dtsa static analyzer: lexer token/edge cases, per-file
+// indexing (functions, sites, locks, directives), call-graph resolution, and
+// end-to-end rule runs over in-memory sources. The fixture-level pins live in
+// tools/dtsa/dtsa_selftest.py; these tests cover the layers underneath.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "dtsa/callgraph.hpp"
+#include "dtsa/index.hpp"
+#include "dtsa/lexer.hpp"
+#include "dtsa/rules.hpp"
+
+namespace dtsa = difftrace::dtsa;
+
+namespace {
+
+std::vector<std::string> identifiers(const dtsa::LexResult& lexed) {
+  std::vector<std::string> out;
+  for (const auto& t : lexed.tokens)
+    if (t.kind == dtsa::TokKind::kIdentifier) out.push_back(t.text);
+  return out;
+}
+
+const dtsa::FunctionInfo* find_fn(const dtsa::FileIndex& fi, std::string_view qualified) {
+  for (const auto& fn : fi.functions)
+    if (fn.qualified == qualified) return &fn;
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(DtsaLexer, RawStringPayloadNeverTokenizes) {
+  const auto lexed = dtsa::lex(R"src(
+const char* s = R"(std::cout << "hidden"; fopen("x", "r");)";
+)src");
+  const auto ids = identifiers(lexed);
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), "cout"), 0);
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), "fopen"), 0);
+}
+
+TEST(DtsaLexer, RawStringCustomDelimiterSpansShortTerminator) {
+  // The payload contains `)"`; only `)dt"` ends the literal.
+  const auto lexed = dtsa::lex("const char* s = R\"dt(one )\" two)dt\"; int after = 1;");
+  const auto ids = identifiers(lexed);
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), "two"), 0);
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), "after"), 1);
+}
+
+TEST(DtsaLexer, DigitSeparatorsDoNotOpenCharLiterals) {
+  const auto lexed = dtsa::lex("int a = 1'000'000; int b = 2;");
+  const auto ids = identifiers(lexed);
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), "b"), 1);
+}
+
+TEST(DtsaLexer, PreprocessorContinuationStaysOneDirective) {
+  const auto lexed = dtsa::lex("#define M(x) \\\n  fopen(x, \"r\")\nint live = 0;\n");
+  const auto ids = identifiers(lexed);
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), "fopen"), 0);
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), "live"), 1);
+  // Line numbers after the continuation stay correct.
+  for (const auto& t : lexed.tokens)
+    if (t.text == "live") EXPECT_EQ(t.line, 3u);
+}
+
+TEST(DtsaLexer, NolintDirectiveParsesRuleAndLine) {
+  const auto lexed = dtsa::lex("int x = 0;  // NOLINT-DT(stream-reach): reason here\n");
+  ASSERT_EQ(lexed.directives.nolint.size(), 1u);
+  const auto& [line, rules] = *lexed.directives.nolint.begin();
+  EXPECT_EQ(line, 1u);
+  EXPECT_TRUE(rules.count("stream-reach"));
+}
+
+TEST(DtsaLexer, HotMarkerOnlyAsFirstWord) {
+  const auto lexed = dtsa::lex(
+      "// DT_HOT: real marker\n"
+      "int f() { return 0; }\n"
+      "// prose that mentions DT_HOT mid-sentence\n"
+      "int g() { return 1; }\n");
+  ASSERT_EQ(lexed.directives.hot_markers.size(), 1u);
+  EXPECT_EQ(lexed.directives.hot_markers[0], 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Indexer
+// ---------------------------------------------------------------------------
+
+TEST(DtsaIndex, ExtractsQualifiedFunctionsAndSites) {
+  const auto fi = dtsa::index_file("a.cpp",
+                                   "namespace ns {\n"
+                                   "struct S {\n"
+                                   "  void m() { sleep_for(1); }\n"
+                                   "};\n"
+                                   "void free_fn() { std::to_string(2); }\n"
+                                   "}  // namespace ns\n");
+  const auto* m = find_fn(fi, "ns::S::m");
+  ASSERT_NE(m, nullptr);
+  ASSERT_EQ(m->sites.size(), 1u);
+  EXPECT_EQ(m->sites[0].kind, dtsa::SiteKind::kBlocking);
+  const auto* free_fn = find_fn(fi, "ns::free_fn");
+  ASSERT_NE(free_fn, nullptr);
+  ASSERT_EQ(free_fn->sites.size(), 1u);
+  EXPECT_EQ(free_fn->sites[0].kind, dtsa::SiteKind::kAlloc);
+}
+
+TEST(DtsaIndex, LockRegionsAreCanonicalizedAndSpanScoped) {
+  const auto fi = dtsa::index_file("a.cpp",
+                                   "struct G {\n"
+                                   "  util::Mutex mu_;\n"
+                                   "  void f() {\n"
+                                   "    { util::MutexLock lock(mu_); }\n"
+                                   "    fopen(\"x\", \"r\");\n"
+                                   "  }\n"
+                                   "};\n");
+  const auto* f = find_fn(fi, "G::f");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(f->locks.size(), 1u);
+  EXPECT_EQ(f->locks[0].mutexes, std::vector<std::string>{"G::mu_"});
+  EXPECT_FALSE(f->locks[0].address_ordered);
+  // The region closed before the fopen: its token span excludes the site.
+  ASSERT_EQ(f->sites.size(), 1u);
+  EXPECT_GT(f->sites[0].tok, f->locks[0].tok_end);
+}
+
+TEST(DtsaIndex, MutexLock2AndRequiresAnnotations) {
+  const auto fi = dtsa::index_file("a.cpp",
+                                   "struct P {\n"
+                                   "  util::Mutex a_;\n"
+                                   "  util::Mutex b_;\n"
+                                   "  void both() { util::MutexLock2 lock(a_, b_); }\n"
+                                   "  void held() DT_REQUIRES(a_) { fsync(0); }\n"
+                                   "};\n");
+  const auto* both = find_fn(fi, "P::both");
+  ASSERT_NE(both, nullptr);
+  ASSERT_EQ(both->locks.size(), 1u);
+  EXPECT_TRUE(both->locks[0].address_ordered);
+  EXPECT_EQ(both->locks[0].mutexes, (std::vector<std::string>{"P::a_", "P::b_"}));
+  const auto* held = find_fn(fi, "P::held");
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(held->requires_mutexes, std::vector<std::string>{"P::a_"});
+}
+
+TEST(DtsaIndex, StrictDecodeNeedsCodecReceiver) {
+  const auto fi = dtsa::index_file("a.cpp",
+                                   "int f(C* decoder, P& parser) {\n"
+                                   "  decoder->decode(1);\n"
+                                   "  parser.decode(2);\n"
+                                   "  return 0;\n"
+                                   "}\n");
+  const auto* f = find_fn(fi, "f");
+  ASSERT_NE(f, nullptr);
+  std::size_t strict = 0;
+  for (const auto& s : f->sites)
+    if (s.kind == dtsa::SiteKind::kStrictDecode) ++strict;
+  EXPECT_EQ(strict, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Call graph + rules, end to end over in-memory sources
+// ---------------------------------------------------------------------------
+
+dtsa::CallGraph graph_of(std::vector<std::pair<std::string, std::string>> sources) {
+  std::vector<dtsa::FileIndex> files;
+  files.reserve(sources.size());
+  for (auto& [name, text] : sources) files.push_back(dtsa::index_file(name, text));
+  return dtsa::CallGraph::build(std::move(files));
+}
+
+TEST(DtsaRules, InterproceduralBlockingUnderLock) {
+  const auto g = graph_of({{"a.cpp",
+                            "namespace n {\n"
+                            "struct G {\n"
+                            "  util::Mutex mu_;\n"
+                            "  void leaf() { fopen(\"x\", \"r\"); }\n"
+                            "  void locked() { util::MutexLock lock(mu_); leaf(); }\n"
+                            "};\n"
+                            "}\n"}});
+  const auto findings = dtsa::run_rules(g, dtsa::RuleConfig{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "blocking-under-lock");
+  EXPECT_EQ(findings[0].line, 5u);
+  EXPECT_NE(findings[0].message.find("n::G::leaf"), std::string::npos);
+}
+
+TEST(DtsaRules, CondVarWaitIsNotBlocking) {
+  // CondVar::wait releases the lock while waiting — deliberately NOT in the
+  // blocking set, so this idiomatic pattern stays clean.
+  const auto g = graph_of({{"a.cpp",
+                            "struct W {\n"
+                            "  util::Mutex mu_;\n"
+                            "  util::CondVar cv_;\n"
+                            "  void run() { util::MutexLock lock(mu_); cv_.wait(lock); }\n"
+                            "};\n"}});
+  EXPECT_TRUE(dtsa::run_rules(g, dtsa::RuleConfig{}).empty());
+}
+
+TEST(DtsaRules, HotPathReachesCalleeAllocations) {
+  const auto g = graph_of({{"a.cpp",
+                            "namespace n {\n"
+                            "void helper(std::vector<int>& v) { v.push_back(1); }\n"
+                            "// DT_HOT: root\n"
+                            "void root(std::vector<int>& v) { helper(v); }\n"
+                            "void cold(std::vector<int>& v) { v.push_back(2); }\n"
+                            "}\n"}});
+  const auto findings = dtsa::run_rules(g, dtsa::RuleConfig{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "alloc-in-hot-path");
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(DtsaRules, DecodeTaintStopsAtNonFamilyFrontier) {
+  dtsa::RuleConfig cfg;
+  const auto g = graph_of(
+      {{"compress/codec.cpp",
+        "namespace fam { int decode_all(B& b) { return b.codec->decode(1); } }\n"},
+       {"analyze/use.cpp",
+        "namespace out {\n"
+        "int direct_use(B& b) { return fam::decode_all(b); }\n"
+        "int transitive(B& b) { return direct_use(b); }\n"
+        "}\n"}});
+  const auto findings = dtsa::run_rules(g, cfg);
+  // Only the frontier call is reported; its non-family caller is not.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unbounded-decode-reach");
+  EXPECT_EQ(findings[0].file, "analyze/use.cpp");
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(DtsaRules, SuppressionFiltersByRuleAndWildcard) {
+  auto files = std::vector<dtsa::FileIndex>{dtsa::index_file(
+      "a.cpp",
+      "struct G {\n"
+      "  util::Mutex mu_;\n"
+      "  void f() {\n"
+      "    util::MutexLock lock(mu_);\n"
+      "    fopen(\"x\", \"r\");  // NOLINT-DT(blocking-under-lock): test reason\n"
+      "    fsync(0);  // NOLINT-DT(*): wildcard\n"
+      "    fdatasync(0);  // NOLINT-DT(stream-reach): wrong rule id does not suppress\n"
+      "  }\n"
+      "};\n")};
+  const auto g = dtsa::CallGraph::build(std::move(files));
+  auto findings = dtsa::run_rules(g, dtsa::RuleConfig{});
+  ASSERT_EQ(findings.size(), 3u);
+  std::size_t suppressed = 0;
+  const auto kept = dtsa::filter_suppressed(g, std::move(findings), &suppressed);
+  EXPECT_EQ(suppressed, 2u);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].line, 7u);
+}
+
+TEST(DtsaRules, FindingsAreSortedAndDeduped) {
+  const auto g = graph_of({{"b.cpp",
+                            "struct G {\n"
+                            "  util::Mutex mu_;\n"
+                            "  void f() { util::MutexLock lock(mu_); fsync(0); }\n"
+                            "};\n"},
+                           {"a.cpp",
+                            "struct H {\n"
+                            "  util::Mutex mu_;\n"
+                            "  void f() { util::MutexLock lock(mu_); fsync(0); }\n"
+                            "};\n"}});
+  const auto findings = dtsa::run_rules(g, dtsa::RuleConfig{});
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].file, "a.cpp");
+  EXPECT_EQ(findings[1].file, "b.cpp");
+}
+
+TEST(DtsaRules, RegistryNamesAreStable) {
+  std::vector<std::string> ids;
+  for (const auto& r : dtsa::rule_registry()) ids.emplace_back(r.id);
+  EXPECT_EQ(ids, (std::vector<std::string>{"blocking-under-lock", "alloc-in-hot-path",
+                                           "unbounded-decode-reach", "lock-order-consistency",
+                                           "stream-reach"}));
+}
+
+}  // namespace

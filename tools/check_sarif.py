@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Offline SARIF 2.1 validator shared by dtsa and difftrace_lint.
+
+Validates the subset of SARIF 2.1 both producers emit against an embedded
+JSON Schema (via jsonschema when available, hand-rolled structural checks
+otherwise), plus the cross-reference rules a schema cannot express:
+
+  * version is exactly "2.1.0" and $schema names the 2.1.0 schema,
+  * every result.ruleId is declared in tool.driver.rules,
+  * every physical location has a uri and a positive startLine.
+
+Usage: check_sarif.py FILE [FILE...]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+# A faithful subset of the SARIF 2.1.0 schema: everything dtsa and the lint
+# --sarif writer emit, with the properties SARIF marks required.
+SARIF_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string", "minLength": 1},
+                                    "informationUri": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string", "minLength": 1},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                    "properties": {"text": {"type": "string"}},
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "message"],
+                            "properties": {
+                                "ruleId": {"type": "string", "minLength": 1},
+                                "level": {"enum": ["none", "note", "warning", "error"]},
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {"text": {"type": "string"}},
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "required": ["artifactLocation"],
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "required": ["uri"],
+                                                        "properties": {
+                                                            "uri": {"type": "string", "minLength": 1}
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            }
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def _structural_errors(doc: object) -> list[str]:
+    """Schema validation: jsonschema when present, minimal checks otherwise."""
+    try:
+        import jsonschema  # noqa: PLC0415 - optional, image-provided
+
+        validator = jsonschema.Draft7Validator(SARIF_SCHEMA)
+        return [
+            f"{'/'.join(str(p) for p in err.absolute_path) or '<root>'}: {err.message}"
+            for err in sorted(validator.iter_errors(doc), key=str)
+        ]
+    except ImportError:
+        errors: list[str] = []
+        if not isinstance(doc, dict):
+            return ["<root>: not an object"]
+        if doc.get("version") != "2.1.0":
+            errors.append("version: expected '2.1.0'")
+        runs = doc.get("runs")
+        if not isinstance(runs, list) or not runs:
+            return errors + ["runs: expected a non-empty array"]
+        for i, run in enumerate(runs):
+            driver = run.get("tool", {}).get("driver", {}) if isinstance(run, dict) else {}
+            if not driver.get("name"):
+                errors.append(f"runs/{i}: missing tool.driver.name")
+            for j, res in enumerate(run.get("results", []) if isinstance(run, dict) else []):
+                if not isinstance(res, dict) or not res.get("ruleId"):
+                    errors.append(f"runs/{i}/results/{j}: missing ruleId")
+                if not isinstance(res, dict) or "text" not in res.get("message", {}):
+                    errors.append(f"runs/{i}/results/{j}: missing message.text")
+        return errors
+
+
+def _semantic_errors(doc: dict) -> list[str]:
+    """Cross-reference rules the schema cannot express."""
+    errors: list[str] = []
+    schema_url = doc.get("$schema", "")
+    if "sarif" not in schema_url or "2.1.0" not in schema_url:
+        errors.append(f"$schema: does not name the SARIF 2.1.0 schema ({schema_url!r})")
+    for i, run in enumerate(doc.get("runs", [])):
+        declared = {r.get("id") for r in run.get("tool", {}).get("driver", {}).get("rules", [])}
+        for j, res in enumerate(run.get("results", [])):
+            rule = res.get("ruleId")
+            if declared and rule not in declared:
+                errors.append(f"runs/{i}/results/{j}: ruleId {rule!r} not declared in driver.rules")
+            for k, loc in enumerate(res.get("locations", [])):
+                phys = loc.get("physicalLocation", {})
+                if not phys.get("artifactLocation", {}).get("uri"):
+                    errors.append(f"runs/{i}/results/{j}/locations/{k}: missing artifact uri")
+                start = phys.get("region", {}).get("startLine")
+                if not isinstance(start, int) or start < 1:
+                    errors.append(f"runs/{i}/results/{j}/locations/{k}: bad startLine {start!r}")
+    return errors
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable: {exc}"]
+    errors = _structural_errors(doc)
+    if isinstance(doc, dict):
+        errors.extend(_semantic_errors(doc))
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__.strip())
+        return 0 if argv else 2
+    status = 0
+    for name in argv:
+        path = pathlib.Path(name)
+        errors = check_file(path)
+        if errors:
+            status = 1
+            print(f"check_sarif: {path}: FAIL", file=sys.stderr)
+            for err in errors:
+                print(f"  {err}", file=sys.stderr)
+        else:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+            results = sum(len(run.get("results", [])) for run in doc.get("runs", []))
+            print(f"check_sarif: {path}: OK ({results} result(s))")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

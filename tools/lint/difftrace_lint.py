@@ -413,6 +413,18 @@ RULES: list[Rule] = [
 
 RULE_IDS = {rule.rule_id for rule in RULES}
 
+# NOLINT-DT shares one suppression namespace with the dtsa static analyzer
+# (src/dtsa/): its rule ids are legal in suppressions this linter scans past
+# (dtsa enforces them; this linter merely must not flag them as unknown).
+DTSA_RULE_IDS = {
+    "blocking-under-lock",
+    "alloc-in-hot-path",
+    "unbounded-decode-reach",
+    "lock-order-consistency",
+    "stream-reach",
+}
+KNOWN_SUPPRESSIBLE = RULE_IDS | DTSA_RULE_IDS
+
 # --------------------------------------------------------------------------
 # Source preprocessing: strip comments and literals, collect suppressions
 # --------------------------------------------------------------------------
@@ -443,7 +455,7 @@ def preprocess(text: str) -> Preprocessed:
         for m in _NOLINT_RE.finditer(comment):
             rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
             for r in rules:
-                if r != "*" and r not in RULE_IDS:
+                if r != "*" and r not in KNOWN_SUPPRESSIBLE:
                     unknown.append((line_no, r))
             suppressions.setdefault(line_no, set()).update(rules)
 
@@ -487,6 +499,18 @@ def preprocess(text: str) -> Preprocessed:
             continue
         raw = _RAW_STRING_OPEN_RE.match(text, i) if ch == "R" else None
         if raw:
+            # `R` must start the literal token. An identifier character right
+            # before it (beyond a bare encoding prefix u/U/L/u8) makes this
+            # the tail of a longer identifier — `MACRO_R"text("` is an
+            # ordinary string after an identifier, and treating it as a raw
+            # string would swallow everything up to a `)text"` that never
+            # comes.
+            j = i
+            while j > 0 and (text[j - 1].isalnum() or text[j - 1] == "_"):
+                j -= 1
+            if text[j:i] not in ("", "u", "U", "L", "u8"):
+                raw = None
+        if raw:
             closer = ")" + raw.group(1) + '"'
             end = text.find(closer, raw.end())
             end = n if end == -1 else end + len(closer)
@@ -497,6 +521,14 @@ def preprocess(text: str) -> Preprocessed:
                     line_no += 1
             buf.append('""')
             i = end
+            continue
+        if ch == "'" and 0 < i and i + 1 < n and text[i - 1].isalnum() and text[i + 1].isalnum():
+            # Digit separator (1'000'000), not a char literal: opening one
+            # here would swallow the rest of the line past the "closing"
+            # separator. (`return'x'` without a space hits this too — write
+            # the space.)
+            buf.append(ch)
+            i += 1
             continue
         if ch == '"' or ch == "'":
             quote = ch
@@ -511,14 +543,74 @@ def preprocess(text: str) -> Preprocessed:
             # Unterminated-on-line literals (e.g. apostrophes would have been
             # in comments, already stripped) just end at the newline.
             end = min(j + 1, n) if j < n and text[j] == quote else j
+            end = max(end, i + 1)
+            # A backslash-newline inside the literal was consumed above:
+            # emit the line breaks it spanned or every later line drifts.
+            for c in text[i:end]:
+                if c == "\n":
+                    out.append("".join(buf))
+                    buf = []
+                    line_no += 1
             buf.append(quote + quote)
-            i = max(end, i + 1)
+            i = end
             continue
         buf.append(ch)
         i += 1
     if buf:
         out.append("".join(buf))
     return Preprocessed(out, suppressions, unknown)
+
+
+# --------------------------------------------------------------------------
+# SARIF export (shared semantics with dtsa's --sarif; validated by
+# tools/check_sarif.py)
+# --------------------------------------------------------------------------
+
+_SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/"
+    "sarif-schema-2.1.0.json"
+)
+
+
+def sarif_document(findings: list[Finding]) -> dict:
+    summaries = {rule.rule_id: rule.summary for rule in RULES}
+    # Pseudo-rules (unknown-suppression, io-error) appear only when emitted.
+    for f in findings:
+        summaries.setdefault(f.rule, f.rule)
+    return {
+        "version": "2.1.0",
+        "$schema": _SARIF_SCHEMA_URI,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "difftrace_lint",
+                        "informationUri": "https://github.com/difftrace/difftrace",
+                        "rules": [
+                            {"id": rule_id, "shortDescription": {"text": summary}}
+                            for rule_id, summary in sorted(summaries.items())
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": f.rule,
+                        "level": "error",
+                        "message": {"text": f.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {"uri": f.path},
+                                    "region": {"startLine": max(f.line, 1)},
+                                }
+                            }
+                        ],
+                    }
+                    for f in findings
+                ],
+            }
+        ],
+    }
 
 
 # --------------------------------------------------------------------------
@@ -570,6 +662,7 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--root", default=".", help="repo root; paths are resolved and reported relative to it")
     parser.add_argument("--ci", action="store_true", help="emit GitHub Actions ::error annotations as well")
     parser.add_argument("--json", action="store_true", help="emit findings as a JSON array on stdout")
+    parser.add_argument("--sarif", metavar="FILE", help="also write findings as SARIF 2.1 to FILE")
     parser.add_argument("--list-rules", action="store_true", help="print rule ids and summaries, then exit")
     args = parser.parse_args(argv)
 
@@ -603,6 +696,11 @@ def main(argv: list[str]) -> int:
         all_findings.extend(problems)
 
     all_findings.sort(key=lambda f: (f.path, f.line, f.rule))
+
+    if args.sarif:
+        pathlib.Path(args.sarif).write_text(
+            json.dumps(sarif_document(all_findings), indent=2) + "\n", encoding="utf-8"
+        )
 
     if args.json:
         print(json.dumps([dataclasses.asdict(f) for f in all_findings], indent=2))

@@ -34,6 +34,10 @@ EXPECTED: dict[str, set[tuple[str, int]]] = {
     "bad_task_throw.cpp": {("task-throw", 15)},
     "bad_sim_inject.cpp": {("sim-only-injection", 14), ("sim-only-injection", 15)},
     "bad_raw_mutex.cpp": {("raw-mutex", 18), ("raw-mutex", 19)},
+    # Stripper near-misses: MACRO_R"..." (not a raw string), a digit
+    # separator's lone tick, and a backslash-newline inside a string. Each
+    # once hid or shifted these two findings; the exact lines pin the fix.
+    "bad_strip.cpp": {("stream-discipline", 17), ("stream-discipline", 24)},
     # Path-scoped rules: these fixtures sit under an analyze/ (resp. obs/)
     # subdirectory so the scope predicate fires on them exactly as it does
     # on src/analyze/ (resp. src/obs/).
